@@ -1,0 +1,31 @@
+# Convenience targets for the SPEX reproduction.
+
+.PHONY: install test bench bench-json examples experiments clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+test-output:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-output:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-json:
+	pytest benchmarks/ --benchmark-only --benchmark-json=benchmark_results.json
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done
+
+experiments:
+	python -m repro.bench all
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

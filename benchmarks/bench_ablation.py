@@ -1,0 +1,69 @@
+"""E10 — ablations of design choices called out in DESIGN.md.
+
+Three knobs, each measured against the same workload and asserted to
+leave the answers unchanged:
+
+* **Star fusion** — the fused ``DS(l*)`` transducer versus the paper's
+  literal ``SP -> CL -> JO`` translation of Fig. 11;
+* **Fragment collection** — buffering result fragments in the output
+  transducer versus positions-only matching;
+* **Join deduplication** — identity-dedup of branch-replicated messages
+  at joins versus forwarding duplicates (correct but wasteful: the
+  duplicates are absorbed by downstream disjunction normalization and
+  first-wins determination).
+"""
+
+import pytest
+
+from repro import SpexEngine
+from repro.core.compiler import compile_network
+from repro.core.flow_transducers import JoinTransducer
+from repro.rpeq.parser import parse
+from repro.workloads import wordnet
+
+QUERY = "_*.Noun[wordForm].lexID"
+
+
+@pytest.fixture(scope="module")
+def events(wordnet_events):
+    return wordnet_events
+
+
+@pytest.mark.parametrize("optimize", [True, False], ids=["fused-star", "literal-fig11"])
+def test_star_fusion(benchmark, events, optimize):
+    engine = SpexEngine(QUERY, collect_events=False, optimize=optimize)
+    count = benchmark.pedantic(
+        lambda: engine.count(iter(events)), rounds=2, iterations=1
+    )
+    benchmark.extra_info["network_degree"] = engine.network_degree()
+    benchmark.extra_info["matches"] = count
+    assert count == SpexEngine(QUERY, collect_events=False).count(iter(events))
+
+
+@pytest.mark.parametrize("collect", [True, False], ids=["fragments", "positions-only"])
+def test_fragment_collection(benchmark, events, collect):
+    engine = SpexEngine(QUERY, collect_events=collect)
+    count = benchmark.pedantic(
+        lambda: sum(1 for _ in engine.run(iter(events))), rounds=2, iterations=1
+    )
+    benchmark.extra_info["matches"] = count
+    benchmark.extra_info[
+        "peak_buffered_events"
+    ] = engine.stats.output.peak_buffered_events
+
+
+@pytest.mark.parametrize("dedup", [True, False], ids=["join-dedup", "join-no-dedup"])
+def test_join_dedup(benchmark, events, dedup):
+    expr = parse(QUERY)
+
+    def evaluate():
+        network, _store = compile_network(expr, collect_events=False, optimize=False)
+        for node in network.nodes:
+            if isinstance(node, JoinTransducer):
+                node.dedup = dedup
+        return sum(len(network.process_event(e)) for e in iter(events))
+
+    count = benchmark.pedantic(evaluate, rounds=2, iterations=1)
+    benchmark.extra_info["matches"] = count
+    reference = SpexEngine(QUERY, collect_events=False).count(iter(events))
+    assert count == reference

@@ -1,0 +1,37 @@
+"""E7 — Lemma V.1: translation time and network degree linear in |query|.
+
+The paper: each rpeq construct adds a constant number of transducers in
+constant time, so both the degree of the network and the translation
+time are linear in the query length n.  We compile a deterministic query
+family of doubling length and assert both linearities.
+"""
+
+import pytest
+
+from repro.core.compiler import compile_network
+from repro.rpeq.analysis import analyze
+from repro.rpeq.generate import query_family
+
+LENGTHS = [8, 16, 32, 64]
+
+
+@pytest.mark.parametrize("steps", LENGTHS)
+def test_compile_time(benchmark, steps):
+    expr = query_family(steps, steps // 2)
+    network, _ = benchmark(compile_network, expr)
+    benchmark.extra_info["query_length"] = analyze(expr).length
+    benchmark.extra_info["network_degree"] = network.degree
+
+
+def test_degree_linear(benchmark):
+    def degrees():
+        return [
+            compile_network(query_family(n, n // 2))[0].degree for n in LENGTHS
+        ]
+
+    values = benchmark.pedantic(degrees, rounds=1, iterations=1)
+    benchmark.extra_info["degrees"] = dict(zip(LENGTHS, values))
+    deltas = [b - a for a, b in zip(values, values[1:])]
+    # Doubling the query doubles the added transducers: exact linearity.
+    assert deltas[1] == 2 * deltas[0]
+    assert deltas[2] == 2 * deltas[1]

@@ -1,0 +1,41 @@
+"""E1 — Fig. 14 (left): MONDIAL, query classes 1-4, three processors.
+
+Paper setup: the MONDIAL geography database (1.2 MB, 24 184 elements,
+depth 5), queries of the four classes of Sec. VI, SPEX vs. Saxon vs.
+Fxgrep.  Paper finding: "SPEX achieves a very competitive performance on
+the smaller MONDIAL database" — all three processors within a small
+factor of each other, with the materializing processors somewhat ahead
+on the nested-result class 3.
+
+Here: the seeded MONDIAL-like generator (scaled, see conftest), SPEX vs.
+the DOM evaluator (Saxon analog) vs. the tree automaton (Fxgrep analog).
+Every cell asserts that all processors report the same match count.
+"""
+
+import pytest
+
+from repro.bench.harness import make_processor
+from repro.workloads.mondial import QUERIES
+
+PROCESSORS = ["spex", "dom", "treegrep"]
+
+#: match counts per query class, computed once and shared for agreement
+_expected: dict[int, int] = {}
+
+
+@pytest.mark.parametrize("processor", PROCESSORS)
+@pytest.mark.parametrize("query_class", sorted(QUERIES))
+def test_mondial(benchmark, mondial_events, query_class, processor):
+    query = QUERIES[query_class]
+    evaluate = make_processor(processor, query)
+    count = benchmark.pedantic(
+        lambda: evaluate(iter(mondial_events)), rounds=3, iterations=1
+    )
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["class"] = query_class
+    benchmark.extra_info["matches"] = count
+    benchmark.extra_info["messages"] = len(mondial_events)
+    expected = _expected.setdefault(query_class, count)
+    assert count == expected, (
+        f"{processor} disagrees on class {query_class}: {count} != {expected}"
+    )

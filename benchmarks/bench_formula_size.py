@@ -1,0 +1,79 @@
+"""E6 — Sec. V: condition formula size sigma across language fragments.
+
+The paper's analysis:
+
+* ``rpeq*``  (no qualifiers)        -> sigma == 1 (the constant 'true');
+* ``rpeq[]`` (qualifiers, no closure) -> sigma <= min(n, d);
+* ``rpeq*[]`` (wildcard closure + qualifiers) -> formulas accumulate
+  disjunctions across nested closure scopes — sigma grows with the
+  nesting depth (up to d^n in the adversarial case; Remark V.1's
+  sequential case is Theta(sum n_i) <= d).
+
+We reproduce the regimes on the nested-closure workload and record the
+measured sigma per nesting depth.
+"""
+
+import pytest
+
+from repro import SpexEngine
+from repro.workloads.generators import deep_chain, nested_closure_workload
+
+NEST_DEPTHS = [4, 8, 16]
+
+
+@pytest.mark.parametrize("nest", NEST_DEPTHS)
+def test_sigma_qualifier_free(benchmark, nest):
+    engine = SpexEngine("_*.b", collect_events=False)
+    events = list(nested_closure_workload(repetitions=4, nest_depth=nest))
+    benchmark.pedantic(lambda: engine.count(iter(events)), rounds=2, iterations=1)
+    sigma = engine.stats.network.max_formula_size
+    benchmark.extra_info["nest_depth"] = nest
+    benchmark.extra_info["sigma"] = sigma
+    assert sigma == 1  # the rpeq* fragment needs no condition stacks
+
+
+@pytest.mark.parametrize("nest", NEST_DEPTHS)
+def test_sigma_qualifiers_without_closure(benchmark, nest):
+    # Three child-step qualifiers: sigma bounded by n == 3, whatever the
+    # document looks like.
+    engine = SpexEngine("root.a[b].a[b].a[b]", collect_events=False)
+    events = list(nested_closure_workload(repetitions=4, nest_depth=max(nest, 4)))
+    benchmark.pedantic(lambda: engine.count(iter(events)), rounds=2, iterations=1)
+    sigma = engine.stats.network.max_formula_size
+    benchmark.extra_info["sigma"] = sigma
+    assert sigma <= 3
+
+
+@pytest.mark.parametrize("nest", NEST_DEPTHS)
+def test_sigma_closure_with_qualifier_grows_with_depth(benchmark, nest):
+    engine = SpexEngine("_*.a[b]._*.b", collect_events=False)
+    events = list(nested_closure_workload(repetitions=2, nest_depth=nest))
+    benchmark.pedantic(lambda: engine.count(iter(events)), rounds=2, iterations=1)
+    sigma = engine.stats.network.max_formula_size
+    benchmark.extra_info["nest_depth"] = nest
+    benchmark.extra_info["sigma"] = sigma
+    # One instance per nested <a>: disjunctions of up to ~nest variables.
+    assert nest // 2 <= sigma <= 4 * nest + 4
+
+
+def test_sigma_growth_series(benchmark):
+    """The growth curve itself: sigma as a function of nesting depth.
+
+    Per Sec. V, large formulas need a closure step *downstream* of a
+    qualifier (the closure's nested scopes accumulate disjunctions of
+    the qualifier's instance variables), hence the second ``_*``.
+    """
+    engine = SpexEngine("_*.a[b]._*.b", collect_events=False)
+
+    def series():
+        sigmas = []
+        for nest in NEST_DEPTHS:
+            events = nested_closure_workload(repetitions=1, nest_depth=nest)
+            engine.count(events)
+            sigmas.append(engine.stats.network.max_formula_size)
+        return sigmas
+
+    sigmas = benchmark.pedantic(series, rounds=1, iterations=1)
+    benchmark.extra_info["sigma_series"] = dict(zip(NEST_DEPTHS, sigmas))
+    assert sigmas == sorted(sigmas)  # monotone in depth
+    assert sigmas[-1] > sigmas[0]

@@ -1,0 +1,67 @@
+"""E8 — the paper's headline memory claim, quantified.
+
+Sec. VI: "the memory consumption of both Saxon and Fxgrep was beyond the
+limitations of the system used [on DMOZ]. In contrast, the SPEX prototype
+uses a constant amount of memory (between 8.5 and 11 MB ...) for all of
+the given queries and documents."
+
+We trace peak Python allocation for SPEX versus the materializing
+baselines on a DMOZ-like stream, and check the two shapes:
+
+* the baselines' peak grows linearly with the stream;
+* SPEX's peak is (a) far below the baselines and (b) essentially flat as
+  the stream grows.
+"""
+
+import pytest
+
+from repro.bench.harness import make_processor
+from repro.bench.memory import traced
+from repro.workloads import dmoz_structure
+
+QUERY = "_*.Topic[editor].Title"
+SIZES = [2_000, 8_000]
+
+
+def _run_traced(processor, topics):
+    evaluate = make_processor(processor, QUERY)
+    events = dmoz_structure(seed=7, topics=topics)  # lazy: not prebuilt
+    return traced(lambda: evaluate(events))
+
+
+@pytest.mark.parametrize("topics", SIZES)
+@pytest.mark.parametrize("processor", ["spex", "dom", "buffer-dom"])
+def test_peak_memory(benchmark, processor, topics):
+    run = benchmark.pedantic(
+        lambda: _run_traced(processor, topics), rounds=1, iterations=1
+    )
+    benchmark.extra_info["topics"] = topics
+    benchmark.extra_info["peak_mib"] = round(run.peak_mib, 2)
+    benchmark.extra_info["matches"] = run.result
+
+
+def test_memory_shape(benchmark):
+    """The qualitative claim, asserted in one place."""
+
+    def shape():
+        spex_small = _run_traced("spex", SIZES[0]).peak_bytes
+        spex_large = _run_traced("spex", SIZES[1]).peak_bytes
+        dom_small = _run_traced("dom", SIZES[0]).peak_bytes
+        dom_large = _run_traced("dom", SIZES[1]).peak_bytes
+        return spex_small, spex_large, dom_small, dom_large
+
+    spex_small, spex_large, dom_small, dom_large = benchmark.pedantic(
+        shape, rounds=1, iterations=1
+    )
+    benchmark.extra_info["spex_mib"] = [
+        round(spex_small / 2**20, 3), round(spex_large / 2**20, 3)
+    ]
+    benchmark.extra_info["dom_mib"] = [
+        round(dom_small / 2**20, 3), round(dom_large / 2**20, 3)
+    ]
+    # The materializing baseline grows roughly linearly (4x data -> >2x).
+    assert dom_large > 2 * dom_small
+    # SPEX stays flat: 4x the data costs at most 50% more peak memory.
+    assert spex_large < 1.5 * spex_small + 65_536
+    # And SPEX is far below the materializer at the larger size.
+    assert spex_large * 10 < dom_large

@@ -1,0 +1,49 @@
+"""E5 — Sec. V: per-transducer memory bounded by the stream depth d.
+
+The paper: a depth stack holds at most d entries; condition stacks at
+most d formulas of size sigma — so transducer memory is O(d x sigma),
+*independent of the stream length*.  We stream degenerate single-chain
+documents of growing depth and assert the measured stack peak equals
+d + 1 (the envelope) exactly, while time per message stays flat.
+"""
+
+import pytest
+
+from repro import SpexEngine
+from repro.workloads.generators import deep_chain
+
+DEPTHS = [64, 256, 1024]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_stack_tracks_depth(benchmark, depth):
+    engine = SpexEngine("_*.a[z]", collect_events=False)
+    events = list(deep_chain(depth=depth, label="a", leaf_label="z"))
+
+    count = benchmark.pedantic(
+        lambda: engine.count(iter(events)), rounds=2, iterations=1
+    )
+    stats = engine.stats
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["max_stack"] = stats.network.max_stack
+    benchmark.extra_info["matches"] = count
+    # Exactly the bound of Sec. V: d (+1 envelope, +1 leaf level).
+    assert stats.network.max_stack == depth + 2
+    # The whole chain matches the qualifier (z is a descendant of every
+    # a in the chain?  No: z is the direct child of the innermost a
+    # only) — exactly one match.
+    assert count == 1
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_live_variables_bounded_by_depth(benchmark, depth):
+    """One qualifier instance per nested activation: <= d live at once."""
+    engine = SpexEngine("_*._[z]", collect_events=False)
+    events = list(deep_chain(depth=depth, label="a", leaf_label="z"))
+    benchmark.pedantic(lambda: engine.count(iter(events)), rounds=1, iterations=1)
+    store = engine._last_store
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["peak_live_variables"] = store.peak_live_variables
+    benchmark.extra_info["variables_created"] = store.total_variables
+    assert store.peak_live_variables <= depth + 2
+    assert len(store._states) == 0  # all released at document end

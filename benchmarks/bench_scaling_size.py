@@ -1,0 +1,61 @@
+"""E4 — Theorem V.1: evaluation time linear in the stream size s.
+
+The paper's complexity result: for fixed query and bounded depth,
+``T_net = O(sigma * s)`` — doubling the stream doubles the time.  We run
+one query of each fragment over random trees of doubling size and assert
+the growth factor stays close to 2 (well below the 4x a quadratic
+evaluator would show).
+"""
+
+import time
+
+import pytest
+
+from repro import SpexEngine
+from repro.workloads.generators import random_tree
+
+SIZES = [8_000, 16_000, 32_000]
+
+QUERIES = {
+    "plain": "_*.b.c",
+    "qualifier": "_*.b[c].a",
+    "union": "_*.(b|c).a",
+}
+
+
+def _events(size):
+    return list(random_tree(seed=11, elements=size, max_depth=6))
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("fragment", sorted(QUERIES))
+def test_time_vs_size(benchmark, fragment, size):
+    events = _events(size)
+    engine = SpexEngine(QUERIES[fragment], collect_events=False)
+    count = benchmark.pedantic(
+        lambda: engine.count(iter(events)), rounds=2, iterations=1
+    )
+    benchmark.extra_info["elements"] = size
+    benchmark.extra_info["matches"] = count
+
+
+def test_linearity_shape(benchmark):
+    """Direct assertion on the scaling exponent."""
+    engine = SpexEngine(QUERIES["qualifier"], collect_events=False)
+    small = _events(8_000)
+    large = _events(32_000)
+    engine.count(iter(small))  # warm-up
+
+    def measure() -> float:
+        start = time.perf_counter()
+        engine.count(iter(small))
+        small_time = time.perf_counter() - start
+        start = time.perf_counter()
+        engine.count(iter(large))
+        large_time = time.perf_counter() - start
+        return large_time / small_time
+
+    factor = benchmark.pedantic(measure, rounds=2, iterations=1)
+    benchmark.extra_info["growth_factor_for_4x_data"] = round(factor, 2)
+    # 4x the data: linear -> ~4, quadratic -> ~16.  Allow generous slack.
+    assert factor < 8, f"super-linear scaling: 4x data took {factor:.1f}x time"

@@ -1,0 +1,49 @@
+"""E13 (extension) — Treebank-like deep recursion.
+
+The Sec. V complexity story under realistic *deep* structure: depth
+stacks track nesting (not stream length), recursive-clause closure
+queries accumulate nested scopes, and qualifier formulas stay within
+the σ ≤ d bound of Remark V.1.
+"""
+
+import pytest
+
+from repro import SpexEngine
+from repro.bench.harness import make_processor
+from repro.workloads.treebank import QUERIES, treebank
+from repro.xmlstream.stats import measure
+
+
+@pytest.fixture(scope="module")
+def treebank_events():
+    return list(treebank(seed=7, sentences=400, max_depth=24))
+
+
+@pytest.mark.parametrize("processor", ["spex", "dom", "treegrep"])
+@pytest.mark.parametrize("query_id", [1, 2, 3, 4, "chains", "recursive"])
+def test_treebank(benchmark, treebank_events, query_id, processor):
+    query = QUERIES[query_id]
+    evaluate = make_processor(processor, query)
+    count = benchmark.pedantic(
+        lambda: evaluate(iter(treebank_events)), rounds=2, iterations=1
+    )
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["matches"] = count
+
+
+def test_depth_behaviour(benchmark, treebank_events):
+    """σ and stack peaks stay within the Sec. V bounds at real depth."""
+    depth = measure(iter(treebank_events)).max_depth
+    engine = SpexEngine("_*.S[VP]._*.NP", collect_events=False)
+
+    def run():
+        return engine.count(iter(treebank_events))
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = engine.stats
+    benchmark.extra_info["document_depth"] = depth
+    benchmark.extra_info["max_stack"] = stats.network.max_stack
+    benchmark.extra_info["sigma"] = stats.network.max_formula_size
+    benchmark.extra_info["matches"] = count
+    assert stats.network.max_stack <= depth + 1
+    assert stats.network.max_formula_size <= depth  # Remark V.1: σ ≤ d

@@ -1,0 +1,87 @@
+"""E12 (extension) — streaming DTD validation (Segoufin/Vianu, Sec. VIII).
+
+Measures (a) standalone validation throughput, (b) the overhead of
+validating *while* querying (the composed pipeline of
+``examples/schema_pipeline.py``), and (c) that validator state is
+bounded by the DTD, not the stream (lazy-DFA subset states stay
+constant as the stream grows).
+"""
+
+import pytest
+
+from repro import SpexEngine
+from repro.dtd import DocumentGenerator, DtdValidator, parse_dtd
+
+FEED_DTD = """
+<!DOCTYPE feed [
+  <!ELEMENT feed (order+)>
+  <!ELEMENT order (customer, item+, rush?)>
+  <!ELEMENT customer (name, region?)>
+  <!ELEMENT item (sku, quantity)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT region (#PCDATA)>
+  <!ELEMENT sku (#PCDATA)>
+  <!ELEMENT quantity (#PCDATA)>
+  <!ELEMENT rush EMPTY>
+]>
+"""
+
+QUERY = "_*.order[rush].item.sku"
+
+
+@pytest.fixture(scope="module")
+def feed_events():
+    dtd = parse_dtd(FEED_DTD)
+    generator = DocumentGenerator(dtd, seed=42, max_repeat=8)
+    # One large valid document (~tens of thousands of events).
+    events = []
+    for seed in range(400):
+        document = list(generator.events(seed=seed))
+        if not events:
+            events.extend(document[:2])  # <$> <feed>
+        events.extend(document[2:-2])    # orders only
+    events.extend(document[-2:])         # </feed> </$>
+    return events
+
+
+def test_validation_throughput(benchmark, feed_events):
+    validator = DtdValidator(parse_dtd(FEED_DTD))
+    count = benchmark.pedantic(
+        lambda: sum(1 for _ in validator.stream(iter(feed_events))),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["messages"] = count
+
+
+@pytest.mark.parametrize("validate", [False, True], ids=["query-only", "validate+query"])
+def test_composed_pipeline_overhead(benchmark, feed_events, validate):
+    engine = SpexEngine(QUERY, collect_events=False)
+    validator = DtdValidator(parse_dtd(FEED_DTD))
+
+    def run():
+        source = iter(feed_events)
+        if validate:
+            source = validator.stream(source)
+        return engine.count(source)
+
+    matches = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["matches"] = matches
+    benchmark.extra_info["messages"] = len(feed_events)
+
+
+def test_validator_state_bounded(benchmark, feed_events):
+    """Lazy-DFA subset states depend on the DTD, not the stream length."""
+    validator = DtdValidator(parse_dtd(FEED_DTD))
+
+    def run():
+        for _ in validator.stream(iter(feed_events)):
+            pass
+        return sum(
+            len(automaton._step_cache)
+            for automaton in validator._automata.values()
+        )
+
+    subset_states = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dfa_transitions_built"] = subset_states
+    assert subset_states < 40

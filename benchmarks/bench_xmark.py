@@ -1,0 +1,57 @@
+"""E11 (extension) — XMark-like auction workload.
+
+Not in the paper: XMark was the community benchmark of the era, deeper
+(depth 7) and more heterogeneous than the paper's three datasets, so it
+stresses nested closure scopes and multi-level qualifiers harder.  We
+run the four Sec. VI query classes plus two stress queries (a deep
+closure-inside-closure and a doubly nested qualifier) on SPEX and the
+materializing baselines.
+"""
+
+import pytest
+
+from repro.bench.harness import make_processor
+from repro.workloads.xmark import QUERIES, xmark
+
+PROCESSORS = ["spex", "dom", "treegrep"]
+
+_expected: dict[object, int] = {}
+
+
+@pytest.fixture(scope="module")
+def xmark_events():
+    return list(xmark(seed=7, scale=400))
+
+
+@pytest.mark.parametrize("processor", PROCESSORS)
+@pytest.mark.parametrize("query_id", list(QUERIES))
+def test_xmark(benchmark, xmark_events, query_id, processor):
+    query = QUERIES[query_id]
+    evaluate = make_processor(processor, query)
+    count = benchmark.pedantic(
+        lambda: evaluate(iter(xmark_events)), rounds=2, iterations=1
+    )
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["matches"] = count
+    benchmark.extra_info["messages"] = len(xmark_events)
+    expected = _expected.setdefault(query_id, count)
+    assert count == expected, (
+        f"{processor} disagrees on {query_id!r}: {count} != {expected}"
+    )
+
+
+def test_axis_queries_stream(benchmark, xmark_events):
+    """Axis extension on a realistic workload (SPEX only — the
+    automaton baselines cannot express axes)."""
+    from repro import SpexEngine
+
+    engine = SpexEngine(
+        "_*.open_auction[bidder].following::closed_auction", collect_events=False
+    )
+    count = benchmark.pedantic(
+        lambda: engine.count(iter(xmark_events)), rounds=2, iterations=1
+    )
+    benchmark.extra_info["matches"] = count
+    stats = engine.stats
+    benchmark.extra_info["peak_stack"] = stats.network.max_stack
+    assert stats.network.max_stack <= 8  # depth 7 + envelope

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Workloads are materialized once per session (so timing measures the
+evaluators, not the generators) at scales chosen to keep the full suite
+around a couple of minutes.  Every bench prints/records the paper-shape
+data via ``benchmark.extra_info`` and asserts the qualitative claims the
+paper's narrative makes, so a silent regression in *shape* fails the
+suite even when absolute numbers drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import dmoz_content, dmoz_structure, mondial, wordnet
+
+#: Scale factors versus the paper's datasets (documented in EXPERIMENTS.md).
+MONDIAL_COUNTRIES = 200      # ≈ 10k elements   (paper: 24k)
+WORDNET_NOUNS = 5_000        # ≈ 21k elements   (paper: 208k)
+DMOZ_STRUCTURE_TOPICS = 12_000   # ≈ 42k elements (paper: 3.9M)
+DMOZ_CONTENT_TOPICS = 24_000     # ≈ 140k elements (paper: 13.2M)
+
+
+@pytest.fixture(scope="session")
+def mondial_events():
+    return list(mondial(seed=7, countries=MONDIAL_COUNTRIES))
+
+
+@pytest.fixture(scope="session")
+def wordnet_events():
+    return list(wordnet(seed=7, nouns=WORDNET_NOUNS))
+
+
+@pytest.fixture(scope="session")
+def dmoz_structure_events():
+    return list(dmoz_structure(seed=7, topics=DMOZ_STRUCTURE_TOPICS))
+
+
+@pytest.fixture(scope="session")
+def dmoz_content_events():
+    return list(dmoz_content(seed=7, topics=DMOZ_CONTENT_TOPICS))

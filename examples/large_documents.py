@@ -1,0 +1,61 @@
+"""Streaming through documents too large to materialize (paper, Fig. 15).
+
+The paper's headline demonstration: on the DMOZ files (300 MB / 1 GB),
+Saxon and Fxgrep exhaust memory while SPEX streams through with a flat
+footprint.  This example runs the four DMOZ query classes over a scaled
+synthetic DMOZ structure file and contrasts SPEX's internal buffering
+(constant) against what a materializing processor must hold (every
+element).
+
+Run with::
+
+    python examples/large_documents.py [topics]
+
+The default (20 000 topics ≈ 70k elements) keeps the demo under a
+minute; pass a larger count to watch memory stay flat while runtime
+scales linearly.
+"""
+
+import sys
+import time
+
+from repro import SpexEngine
+from repro.bench import traced
+from repro.workloads import dmoz_structure
+from repro.workloads.dmoz import QUERIES
+from repro.xmlstream import StreamStats, observed
+
+
+def main() -> None:
+    topics = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    print(f"DMOZ-like structure stream, {topics} topics")
+    print()
+    for class_id, query in QUERIES.items():
+        engine = SpexEngine(query, collect_events=False)
+        stats = StreamStats()
+        stream = observed(dmoz_structure(seed=7, topics=topics), stats)
+        start = time.perf_counter()
+        run = traced(lambda: sum(1 for _ in engine.run(stream)))
+        elapsed = time.perf_counter() - start
+        engine_stats = engine.stats
+        print(f"class {class_id}: {query}")
+        print(
+            f"  {run.result:>8d} matches over {stats.messages} messages "
+            f"in {elapsed:.2f}s"
+        )
+        print(
+            f"  peak python allocation {run.peak_mib:6.1f} MiB | "
+            f"buffered events peak {engine_stats.output.peak_buffered_events} | "
+            f"stack peak {engine_stats.network.max_stack}"
+        )
+    print()
+    print(
+        "A materializing processor must hold all "
+        f"{stats.elements} elements (plus the tree overhead) before it can "
+        "answer anything; SPEX's buffers above are bounded by the stream "
+        "depth and the undecided candidates only."
+    )
+
+
+if __name__ == "__main__":
+    main()

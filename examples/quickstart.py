@@ -1,0 +1,52 @@
+"""Quickstart: evaluate regular path expressions against XML streams.
+
+Runs the paper's running example (Sec. III.10): the query ``_*.a[b].c``
+against the document of Fig. 1, then shows the XPath front-end and the
+compiled transducer network.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SpexEngine, xpath_to_rpeq
+from repro.rpeq import unparse
+
+DOCUMENT = "<a><a><c/></a><b/><c/></a>"
+
+
+def main() -> None:
+    print("document:", DOCUMENT)
+    print()
+
+    # --- the paper's running example --------------------------------
+    query = "_*.a[b].c"
+    print(f"query: {query}")
+    print("  (c elements below an a element that has a b child)")
+    engine = SpexEngine(query)
+    for match in engine.run(DOCUMENT):
+        print(f"  match at position {match.position}: {match.to_xml()}")
+    print()
+
+    # --- results stream progressively --------------------------------
+    # run() is a generator: each match is delivered as soon as the
+    # stream prefix read so far decides it — no full-document buffering.
+    print("progressive evaluation of '_*.c':")
+    for match in SpexEngine("_*.c").run(DOCUMENT):
+        print(f"  -> <{match.label}> at position {match.position}")
+    print()
+
+    # --- the XPath front-end ------------------------------------------
+    xpath = "//a[b]/c"
+    expr = xpath_to_rpeq(xpath)
+    print(f"XPath {xpath!r} translates to rpeq {unparse(expr)!r}")
+    print("  same results:", [m.position for m in SpexEngine(expr).run(DOCUMENT)])
+    print()
+
+    # --- what the query compiles to -----------------------------------
+    print("compiled transducer network for '_*.a[b].c':")
+    print(SpexEngine(query).describe_network())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""SPEX — streamed and progressive evaluation of regular path expressions
+with qualifiers (rpeq) against XML streams.
+
+Reproduction of: D. Olteanu, T. Kiesling, F. Bry, *An Evaluation of
+Regular Path Expressions with Qualifiers against XML Streams*
+(PMS-FB-2002-12 / ICDE 2003).
+
+Quickstart::
+
+    import repro
+
+    for match in repro.SpexEngine("_*.a[b].c").run("<doc>...</doc>"):
+        print(match.position, match.to_xml())
+
+Public surface:
+
+* :class:`SpexEngine` / :func:`evaluate` — the streaming engine.
+* :func:`parse` / :func:`xpath_to_rpeq` — query front-ends.
+* :mod:`repro.xmlstream` — event model, SAX parsing, serialization.
+* :mod:`repro.baselines` — the in-memory comparison processors.
+* :mod:`repro.workloads` — synthetic MONDIAL / WordNet / DMOZ generators.
+* :mod:`repro.cq` — conjunctive queries over rpeq (paper Sec. VII).
+"""
+
+from .core.engine import SpexEngine, evaluate
+from .core.output_tx import Match
+from .errors import (
+    CompilationError,
+    EngineError,
+    QuerySyntaxError,
+    ReproError,
+    StreamError,
+    UnsupportedFeatureError,
+)
+from .rpeq.parser import parse
+from .rpeq.xpath import xpath_to_rpeq
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationError",
+    "EngineError",
+    "Match",
+    "QuerySyntaxError",
+    "ReproError",
+    "SpexEngine",
+    "StreamError",
+    "UnsupportedFeatureError",
+    "__version__",
+    "evaluate",
+    "parse",
+    "xpath_to_rpeq",
+]

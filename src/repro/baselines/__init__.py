@@ -1,0 +1,23 @@
+"""Baseline rpeq evaluators the paper compares against (or relates to).
+
+* :class:`DomEvaluator` — materialize the tree, evaluate declaratively
+  (the Saxon analog; also the semantics oracle for differential tests).
+* :class:`TreeAutomatonEvaluator` — NFA state-set evaluation over the
+  materialized tree (the Fxgrep analog).
+* :class:`XScanEvaluator` — lazy-DFA streaming evaluation of the
+  qualifier-free fragment (the X-Scan / Green et al. analog).
+* :class:`NaiveStreamEvaluator` — buffer the stream, then DOM-evaluate
+  (what a system without a streaming evaluator must do).
+"""
+
+from .dom_eval import DomEvaluator
+from .naive_stream import NaiveStreamEvaluator
+from .tree_automaton import TreeAutomatonEvaluator
+from .xscan import XScanEvaluator
+
+__all__ = [
+    "DomEvaluator",
+    "NaiveStreamEvaluator",
+    "TreeAutomatonEvaluator",
+    "XScanEvaluator",
+]

@@ -1,0 +1,204 @@
+"""In-memory (DOM) rpeq evaluation — the Saxon-analog baseline and oracle.
+
+This evaluator does exactly what the paper's comparison processors do:
+materialize the whole document tree, then evaluate the query over it.  It
+is a direct transcription of the declarative rpeq semantics (see
+:mod:`repro.rpeq.ast`), which makes it the *semantics oracle* for
+differential testing of the streaming engine — slow and memory-hungry by
+design, correct by construction.
+
+Memory cost: the entire tree (``O(s)``) — the cost SPEX's transducer
+network avoids (Fig. 14/15 and experiment E8 quantify this).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..rpeq.ast import (
+    Concat,
+    Empty,
+    Following,
+    Label,
+    OptionalExpr,
+    Plus,
+    Preceding,
+    Qualifier,
+    Rpeq,
+    Star,
+    Union,
+)
+from ..xmlstream.events import Event
+from ..xmlstream.tree import Document, Node, build_document
+
+
+class DomEvaluator:
+    """Materializing evaluator: build the tree, then walk it.
+
+    Plays the role of Saxon in the paper's Fig. 14 comparison — a
+    processor that "constructs in-memory representations of the streams".
+    """
+
+    name = "dom"
+
+    def __init__(self, query: Rpeq) -> None:
+        self._query = query
+
+    def evaluate_document(self, document: Document) -> list[Node]:
+        """Nodes selected by the query, in document order, no duplicates."""
+        result = _eval(self._query, [document.root], _Memo())
+        return sorted(result, key=lambda node: node.position)
+
+    def evaluate(self, events: Iterable[Event]) -> list[Node]:
+        """Materialize an event stream, then evaluate (the baseline cost)."""
+        return self.evaluate_document(build_document(events))
+
+
+class _Memo:
+    """Memoization tables keyed by (sub-expression, context node).
+
+    ``select`` caches full result sets; ``exists`` caches the cheaper
+    non-emptiness checks used for qualifier conditions.  Sub-expressions
+    are keyed by identity: hashing a deep AST would recurse once per
+    level, and within one evaluation every sub-expression is a single
+    object anyway (the query outlives the memo, so ids are stable).
+    """
+
+    def __init__(self) -> None:
+        self.select: dict[tuple[int, int], frozenset[Node]] = {}
+        self.exists: dict[tuple[int, int], bool] = {}
+
+
+def _eval(expr: Rpeq, contexts: Iterable[Node], memo: _Memo) -> set[Node]:
+    result: set[Node] = set()
+    for context in contexts:
+        result |= _eval_one(expr, context, memo)
+    return result
+
+
+def _eval_one(expr: Rpeq, context: Node, memo: _Memo) -> frozenset[Node]:
+    key = (id(expr), context.position)
+    cached = memo.select.get(key)
+    if cached is not None:
+        return cached
+    result: frozenset[Node]
+    if isinstance(expr, Empty):
+        result = frozenset((context,))
+    elif isinstance(expr, Label):
+        result = frozenset(
+            child for child in context.children if expr.matches(child.label)
+        )
+    elif isinstance(expr, Plus):
+        result = frozenset(_closure(expr.label, context))
+    elif isinstance(expr, Star):
+        result = frozenset(_closure(expr.label, context)) | {context}
+    elif isinstance(expr, Concat):
+        # Fold the left spine iteratively (long chains would otherwise
+        # recurse once per step).
+        parts: list[Rpeq] = []
+        node: Rpeq = expr
+        while isinstance(node, Concat):
+            parts.append(node.right)
+            node = node.left
+        parts.append(node)
+        contexts: set[Node] = {context}
+        for part in reversed(parts):
+            contexts = _eval(part, contexts, memo)
+        result = frozenset(contexts)
+    elif isinstance(expr, Union):
+        result = _eval_one(expr.left, context, memo) | _eval_one(
+            expr.right, context, memo
+        )
+    elif isinstance(expr, OptionalExpr):
+        result = _eval_one(expr.inner, context, memo) | {context}
+    elif isinstance(expr, Qualifier):
+        base = _eval_one(expr.base, context, memo)
+        result = frozenset(
+            node for node in base if _exists(expr.condition, node, memo)
+        )
+    elif isinstance(expr, Following):
+        result = frozenset(_following(expr.label, context))
+    elif isinstance(expr, Preceding):
+        result = frozenset(_preceding(expr.label, context))
+    else:  # pragma: no cover - exhaustive over AST types
+        raise TypeError(f"not an rpeq node: {expr!r}")
+    memo.select[key] = result
+    return result
+
+
+def _document_root(context: Node) -> Node:
+    node = context
+    while node.parent is not None:
+        node = node.parent
+    return node
+
+
+def _following(label: Label, context: Node) -> Iterable[Node]:
+    """Elements starting after ``context``'s subtree ends (XPath following)."""
+    in_subtree = {id(node) for node in context.iter_subtree()}
+    return [
+        node
+        for node in _document_root(context).iter_descendants()
+        if node.position > context.position
+        and id(node) not in in_subtree
+        and label.matches(node.label)
+    ]
+
+
+def _preceding(label: Label, context: Node) -> Iterable[Node]:
+    """Elements ending before ``context`` starts (XPath preceding)."""
+    ancestors = set()
+    node = context.parent
+    while node is not None:
+        ancestors.add(id(node))
+        node = node.parent
+    return [
+        node
+        for node in _document_root(context).iter_descendants()
+        if node.position < context.position
+        and id(node) not in ancestors
+        and label.matches(node.label)
+    ]
+
+
+def _closure(label: Label, context: Node) -> Iterable[Node]:
+    """Nodes reachable by one or more child steps all matching ``label``."""
+    stack = [child for child in context.children if label.matches(child.label)]
+    seen: list[Node] = []
+    while stack:
+        node = stack.pop()
+        seen.append(node)
+        stack.extend(
+            child for child in node.children if label.matches(child.label)
+        )
+    return seen
+
+
+def _exists(expr: Rpeq, context: Node, memo: _Memo) -> bool:
+    """Short-circuiting non-emptiness test for qualifier conditions."""
+    key = (id(expr), context.position)
+    cached = memo.exists.get(key)
+    if cached is not None:
+        return cached
+    if isinstance(expr, (Empty, Star, OptionalExpr)):
+        result = True  # these always select at least the context node
+    elif isinstance(expr, Label):
+        result = any(expr.matches(child.label) for child in context.children)
+    elif isinstance(expr, Plus):
+        result = any(expr.label.matches(child.label) for child in context.children)
+    elif isinstance(expr, Union):
+        result = _exists(expr.left, context, memo) or _exists(
+            expr.right, context, memo
+        )
+    elif isinstance(expr, Concat):
+        first = _eval_one(expr.left, context, memo)
+        result = any(_exists(expr.right, node, memo) for node in first)
+    elif isinstance(expr, Qualifier):
+        base = _eval_one(expr.base, context, memo)
+        result = any(_exists(expr.condition, node, memo) for node in base)
+    elif isinstance(expr, (Following, Preceding)):
+        result = bool(_eval_one(expr, context, memo))
+    else:  # pragma: no cover - exhaustive over AST types
+        raise TypeError(f"not an rpeq node: {expr!r}")
+    memo.exists[key] = result
+    return result

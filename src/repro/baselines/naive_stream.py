@@ -1,0 +1,35 @@
+"""Buffer-everything streaming — the no-streaming-evaluator strawman.
+
+Any system without a streamed evaluator must buffer the stream, build the
+tree and only then evaluate.  This evaluator does exactly that (buffer
+``list(events)`` first, explicitly, then delegate to the DOM evaluator),
+so the memory experiments can report the full cost SPEX avoids — including
+the buffered event list itself, which the `evaluate(events)` shortcut of
+the other baselines would hide.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..rpeq.ast import Rpeq
+from ..xmlstream.events import Event
+from ..xmlstream.tree import build_document
+from .dom_eval import DomEvaluator
+
+
+class NaiveStreamEvaluator:
+    """Buffer the whole stream, then evaluate in memory."""
+
+    name = "buffer-dom"
+
+    def __init__(self, query: Rpeq) -> None:
+        self._inner = DomEvaluator(query)
+        #: events buffered by the last run, exposed for memory accounting
+        self.buffered_events: int = 0
+
+    def evaluate(self, events: Iterable[Event]) -> list:
+        """Consume and buffer the stream, then evaluate the query."""
+        buffered: list[Event] = list(events)
+        self.buffered_events = len(buffered)
+        return self._inner.evaluate_document(build_document(buffered))

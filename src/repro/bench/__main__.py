@@ -1,0 +1,36 @@
+"""``python -m repro.bench`` — run the paper's experiments standalone."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import EXPERIMENTS, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (default 1.0; shapes are scale-invariant)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        run_all(scale=args.scale)
+    else:
+        EXPERIMENTS[args.experiment](scale=args.scale)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""ASCII bar charts for terminal reports.
+
+The paper's Figs. 14-15 are grouped bar charts; the experiment drivers
+render the same shape in plain text so a benchmark run visually
+regenerates the figure:
+
+    Figure 14 — WordNet, seconds
+    1 spex      |############                     0.27
+    1 dom       |#####                            0.12
+    1 treegrep  |####                             0.09
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def bar_chart(
+    title: str,
+    rows: Iterable[tuple[str, float]],
+    width: int = 42,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars scaled to the largest value.
+
+    Args:
+        title: chart caption.
+        rows: ``(label, value)`` pairs, rendered in the given order.
+        width: bar width (characters) of the largest value.
+        unit: suffix shown after each value (e.g. ``"s"``).
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no data)"
+    label_width = max(len(label) for label, _ in rows)
+    peak = max(value for _, value in rows) or 1.0
+    lines = [title, "-" * len(title)]
+    for label, value in rows:
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)} {value:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 42,
+    unit: str = "",
+) -> str:
+    """Grouped bars, one block per group — the paper's Fig. 14 layout.
+
+    Args:
+        groups: group labels (e.g. query classes ``["1", "2", ...]``).
+        series: per-series values, one per group (e.g. per processor).
+    """
+    rows: list[tuple[str, float]] = []
+    for index, group in enumerate(groups):
+        for name, values in series.items():
+            rows.append((f"{group} {name}", values[index]))
+    return bar_chart(title, rows, width=width, unit=unit)

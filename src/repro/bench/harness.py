@@ -1,0 +1,137 @@
+"""Experiment harness: uniform processor interface, timing, result rows.
+
+Every experiment in :mod:`benchmarks` is phrased as: a *workload* (a
+factory producing a fresh event stream), a set of *queries*, and a set of
+*processors*.  The harness runs each combination, collects wall time,
+match count and (optionally) peak memory, and hands rows to
+:mod:`repro.bench.report` for paper-style output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from ..baselines import (
+    DomEvaluator,
+    NaiveStreamEvaluator,
+    TreeAutomatonEvaluator,
+    XScanEvaluator,
+)
+from ..core.engine import SpexEngine
+from ..rpeq.ast import Rpeq
+from ..rpeq.parser import parse
+from ..xmlstream.events import Event
+from .memory import traced
+
+#: Factory producing a fresh event stream per run (streams are one-shot).
+StreamFactory = Callable[[], Iterator[Event]]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (processor, query) measurement.
+
+    Attributes:
+        processor: processor name (``spex``, ``dom``, ``treegrep``, ...).
+        query_id: caller-chosen label (e.g. the paper's class number).
+        query: the query text.
+        seconds: wall-clock evaluation time (compilation included, as in
+            the paper's SPEX timings).
+        matches: number of result nodes.
+        peak_memory_bytes: traced peak, when memory measurement was on.
+    """
+
+    processor: str
+    query_id: str
+    query: str
+    seconds: float
+    matches: int
+    peak_memory_bytes: int | None = None
+
+
+def make_processor(name: str, query: str | Rpeq) -> Callable[[Iterable[Event]], int]:
+    """Build a ``events -> match_count`` callable for a named processor.
+
+    Known processors:
+
+    * ``spex`` — the streaming engine (results consumed on the fly);
+    * ``dom`` — Saxon analog (materialize, declarative evaluation);
+    * ``treegrep`` — Fxgrep analog (materialize, NFA state sets);
+    * ``xscan`` — lazy-DFA streaming (qualifier-free fragment only);
+    * ``buffer-dom`` — buffer the stream first, then ``dom``.
+    """
+    expr = parse(query) if isinstance(query, str) else query
+    if name == "spex":
+        engine = SpexEngine(expr, collect_events=True)
+        return lambda events: sum(1 for _ in engine.run(events))
+    if name == "dom":
+        dom = DomEvaluator(expr)
+        return lambda events: len(dom.evaluate(events))
+    if name == "treegrep":
+        automaton = TreeAutomatonEvaluator(expr)
+        return lambda events: len(automaton.evaluate(events))
+    if name == "xscan":
+        # Constructed eagerly so unsupported queries fail here, not at
+        # evaluation time inside a timing loop.
+        matcher = XScanEvaluator(expr)
+        return lambda events: len(matcher.evaluate(events))
+    if name == "buffer-dom":
+        naive = NaiveStreamEvaluator(expr)
+        return lambda events: len(naive.evaluate(events))
+    raise ValueError(f"unknown processor {name!r}")
+
+
+def run_one(
+    processor: str,
+    query_id: str,
+    query: str,
+    workload: StreamFactory,
+    measure_memory: bool = False,
+) -> RunResult:
+    """Execute one (processor, query, workload) cell and time it."""
+    evaluate = make_processor(processor, query)
+    if measure_memory:
+        start = time.perf_counter()
+        run = traced(lambda: evaluate(workload()))
+        elapsed = time.perf_counter() - start
+        return RunResult(
+            processor, query_id, query, elapsed, run.result, run.peak_bytes
+        )
+    start = time.perf_counter()
+    matches = evaluate(workload())
+    elapsed = time.perf_counter() - start
+    return RunResult(processor, query_id, query, elapsed, matches)
+
+
+def run_grid(
+    processors: Iterable[str],
+    queries: dict[str, str],
+    workload: StreamFactory,
+    measure_memory: bool = False,
+    skip_unsupported: bool = True,
+) -> list[RunResult]:
+    """Run all (processor, query) combinations of one experiment.
+
+    Args:
+        processors: processor names (see :func:`make_processor`).
+        queries: ``query_id -> query text``.
+        workload: fresh-stream factory, re-invoked per run.
+        measure_memory: trace peak memory per run (slower).
+        skip_unsupported: silently skip combinations a processor cannot
+            express (e.g. qualifiers on ``xscan``).
+    """
+    from ..errors import UnsupportedFeatureError
+
+    results: list[RunResult] = []
+    for query_id, query in queries.items():
+        for processor in processors:
+            try:
+                results.append(
+                    run_one(processor, query_id, query, workload, measure_memory)
+                )
+            except UnsupportedFeatureError:
+                if not skip_unsupported:
+                    raise
+    return results

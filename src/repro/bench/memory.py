@@ -1,0 +1,63 @@
+"""Memory measurement utilities.
+
+The paper reports JVM-level memory (8.5–11 MB constant for SPEX; Saxon
+and Fxgrep exceeding 512 MB on DMOZ).  We measure the Python analog two
+ways:
+
+* :func:`traced` — ``tracemalloc`` peak during a callable, the honest
+  end-to-end number (includes the evaluator's own structures *and*
+  whatever the workload forces it to materialize);
+* engine-internal accounting (stack peaks, buffered events, live
+  condition variables) exposed by :class:`repro.core.EngineStats`, which
+  isolates the algorithmic memory the complexity theorems bound.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class TracedRun:
+    """Result and peak memory of one traced invocation.
+
+    Attributes:
+        result: the callable's return value.
+        peak_bytes: peak traced allocation during the call, relative to
+            the baseline at entry.
+    """
+
+    result: Any
+    peak_bytes: int
+
+    @property
+    def peak_kib(self) -> float:
+        return self.peak_bytes / 1024.0
+
+    @property
+    def peak_mib(self) -> float:
+        return self.peak_bytes / (1024.0 * 1024.0)
+
+
+def traced(fn: Callable[[], Any]) -> TracedRun:
+    """Run ``fn`` under tracemalloc and report its peak allocation.
+
+    Tracing is stopped and restored around the call, so nested use inside
+    an already-tracing process still yields a per-call peak.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if was_tracing:
+        tracemalloc.stop()
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        baseline, _ = tracemalloc.get_traced_memory()
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+        if was_tracing:
+            tracemalloc.start()
+    return TracedRun(result=result, peak_bytes=max(0, peak - baseline))

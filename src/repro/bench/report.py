@@ -1,0 +1,119 @@
+"""Paper-style result tables.
+
+The benchmarks print, for every reproduced table/figure, rows shaped like
+the paper's: one row per query class, one column per processor, plus the
+derived quantities the paper's narrative rests on (who wins, speedup
+factors, scaling slopes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .harness import RunResult
+
+
+def _format_cell(value: float | int | str | None, width: int) -> str:
+    if value is None:
+        text = "-"
+    elif isinstance(value, float):
+        text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[float | int | str | None]],
+    widths: int = 12,
+) -> str:
+    """Render a fixed-width table with a title and a rule."""
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.rjust(widths) for h in headers))
+    lines.append("-+-".join("-" * widths for _ in headers))
+    for row in rows:
+        lines.append(" | ".join(_format_cell(cell, widths) for cell in row))
+    return "\n".join(lines)
+
+
+def grid_table(
+    title: str,
+    results: list[RunResult],
+    processors: Sequence[str],
+    value: str = "seconds",
+) -> str:
+    """Pivot grid results into a query-class × processor table.
+
+    Args:
+        title: table caption.
+        results: output of :func:`repro.bench.harness.run_grid`.
+        processors: column order.
+        value: ``"seconds"``, ``"matches"`` or ``"peak_memory_mib"``.
+    """
+    by_cell: dict[tuple[str, str], RunResult] = {
+        (r.query_id, r.processor): r for r in results
+    }
+    query_ids = sorted({r.query_id for r in results})
+    rows: list[list[float | int | str | None]] = []
+    for query_id in query_ids:
+        row: list[float | int | str | None] = [query_id]
+        for processor in processors:
+            cell = by_cell.get((query_id, processor))
+            if cell is None:
+                row.append(None)
+            elif value == "seconds":
+                row.append(cell.seconds)
+            elif value == "matches":
+                row.append(cell.matches)
+            elif value == "peak_memory_mib":
+                row.append(
+                    None
+                    if cell.peak_memory_bytes is None
+                    else round(cell.peak_memory_bytes / 2**20, 2)
+                )
+            else:
+                raise ValueError(f"unknown value column {value!r}")
+        rows.append(row)
+    return format_table(title, ["query", *processors], rows)
+
+
+def speedup_summary(results: list[RunResult], baseline: str, subject: str = "spex") -> str:
+    """One line per query: how much faster/slower the subject is.
+
+    Mirrors the paper's narrative ("SPEX ... outperforms the other
+    processors on the medium-sized WordNet database").
+    """
+    by_cell = {(r.query_id, r.processor): r for r in results}
+    lines = []
+    for query_id in sorted({r.query_id for r in results}):
+        ours = by_cell.get((query_id, subject))
+        theirs = by_cell.get((query_id, baseline))
+        if ours is None or theirs is None or ours.seconds == 0:
+            continue
+        factor = theirs.seconds / ours.seconds
+        verdict = "faster" if factor >= 1 else "slower"
+        lines.append(
+            f"query {query_id}: {subject} is {max(factor, 1 / factor):.2f}x "
+            f"{verdict} than {baseline} "
+            f"({ours.seconds:.3f}s vs {theirs.seconds:.3f}s)"
+        )
+    return "\n".join(lines)
+
+
+def check_match_agreement(results: list[RunResult]) -> list[str]:
+    """Sanity check: all processors agree on match counts per query.
+
+    Returns a list of human-readable discrepancy descriptions (empty when
+    everything agrees) — benchmarks assert on this, so a performance run
+    can never silently compare processors computing different answers.
+    """
+    by_query: dict[str, set[int]] = {}
+    for result in results:
+        by_query.setdefault(result.query_id, set()).add(result.matches)
+    return [
+        f"query {query_id}: processors disagree on match counts {sorted(counts)}"
+        for query_id, counts in sorted(by_query.items())
+        if len(counts) > 1
+    ]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``spex`` (or ``python -m repro``).
+
+Subcommands::
+
+    spex query QUERY [FILE]          evaluate an rpeq against a file/stdin
+    spex xpath XPATH [FILE]          same, with an XPath front-end
+    spex cq CQ [FILE]                evaluate a conjunctive query
+    spex explain QUERY               show the compiled transducer network
+    spex stats FILE                  stream statistics (size, depth, labels)
+
+With no FILE, the XML document is read from stdin — so the tool composes
+with pipes the way a stream processor should::
+
+    generate_feed | spex query '_*.trade[alert].price'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterator
+
+from .core.engine import SpexEngine
+from .cq.engine import CqEngine
+from .errors import ReproError
+from .rpeq.xpath import xpath_to_rpeq
+from .xmlstream.events import Event
+from .xmlstream.parser import parse_stream
+from .xmlstream.stats import measure
+
+
+def _events_from(path: str | None) -> Iterator[Event]:
+    if path is None:
+        return parse_stream(sys.stdin.buffer)
+    with open(path, "rb") as handle:
+        # Materialize lazily via a generator bound to the handle's life.
+        def generate() -> Iterator[Event]:
+            with open(path, "rb") as inner:
+                yield from parse_stream(inner)
+
+        handle.close()
+        return generate()
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = SpexEngine(args.query, collect_events=not args.count)
+    matched = 0
+    for match in engine.run(_events_from(args.file)):
+        matched += 1
+        if not args.count:
+            print(f"-- match {matched} (position {match.position}, <{match.label}>)")
+            print(match.to_xml())
+    if args.count:
+        print(matched)
+    else:
+        print(f"-- {matched} match(es)")
+    if getattr(args, "stats", False):
+        print("-- engine statistics")
+        print(engine.stats.summary())
+    return 0
+
+
+def _cmd_xpath(args: argparse.Namespace) -> int:
+    expr = xpath_to_rpeq(args.xpath)
+    args.query = expr
+    return _cmd_query(args)
+
+
+def _cmd_cq(args: argparse.Namespace) -> int:
+    engine = CqEngine(args.cq, collect_events=not args.count)
+    counts: dict[str, int] = {}
+    for variable, match in engine.run(_events_from(args.file)):
+        counts[variable] = counts.get(variable, 0) + 1
+        if not args.count:
+            print(f"-- {variable} (position {match.position}, <{match.label}>)")
+            print(match.to_xml())
+    for variable in engine.query.head:
+        print(f"-- {variable}: {counts.get(variable, 0)} binding(s)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    engine = SpexEngine(args.query)
+    print(engine.describe_network())
+    print(f"-- network degree: {engine.network_degree()}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.trace import trace_run
+
+    print(trace_run(args.query, _events_from(args.file)))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = measure(_events_from(args.file))
+    print(f"messages        : {stats.messages}")
+    print(f"elements        : {stats.elements}")
+    print(f"max depth       : {stats.max_depth}")
+    print(f"distinct labels : {stats.distinct_labels}")
+    print(f"text bytes      : {stats.text_bytes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spex",
+        description="Streamed evaluation of regular path expressions "
+        "with qualifiers against XML streams (SPEX reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="evaluate an rpeq query")
+    query.add_argument("query", help="rpeq, e.g. '_*.a[b].c'")
+    query.add_argument("file", nargs="?", help="XML file (default: stdin)")
+    query.add_argument("--count", action="store_true", help="print only the match count")
+    query.add_argument(
+        "--stats", action="store_true", help="print the engine's resource profile"
+    )
+    query.set_defaults(func=_cmd_query)
+
+    xpath = sub.add_parser("xpath", help="evaluate a forward-fragment XPath")
+    xpath.add_argument("xpath", help="XPath, e.g. '//country[province]/name'")
+    xpath.add_argument("file", nargs="?", help="XML file (default: stdin)")
+    xpath.add_argument("--count", action="store_true", help="print only the match count")
+    xpath.set_defaults(func=_cmd_xpath)
+
+    cq = sub.add_parser("cq", help="evaluate a conjunctive query")
+    cq.add_argument("cq", help="e.g. 'q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3'")
+    cq.add_argument("file", nargs="?", help="XML file (default: stdin)")
+    cq.add_argument("--count", action="store_true", help="print only binding counts")
+    cq.set_defaults(func=_cmd_cq)
+
+    explain = sub.add_parser("explain", help="show the compiled network")
+    explain.add_argument("query", help="rpeq query")
+    explain.set_defaults(func=_cmd_explain)
+
+    trace = sub.add_parser(
+        "trace", help="show the per-transducer transition table (Fig. 4/5/13 style)"
+    )
+    trace.add_argument("query", help="rpeq query")
+    trace.add_argument("file", nargs="?", help="XML file (default: stdin)")
+    trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser("stats", help="stream statistics")
+    stats.add_argument("file", nargs="?", help="XML file (default: stdin)")
+    stats.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``spex`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Condition variables and boolean formulas for qualifier tracking."""
+
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Formula,
+    Or,
+    Var,
+    conj,
+    disj,
+    dnf,
+    evaluate,
+    fresh_var,
+    restrict,
+    substitute,
+)
+from .store import ConditionStore, VariableAllocator
+
+__all__ = [
+    "And",
+    "ConditionStore",
+    "FALSE",
+    "Formula",
+    "Or",
+    "TRUE",
+    "Var",
+    "VariableAllocator",
+    "conj",
+    "disj",
+    "dnf",
+    "evaluate",
+    "fresh_var",
+    "restrict",
+    "substitute",
+]

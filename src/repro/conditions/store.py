@@ -1,0 +1,327 @@
+"""Condition-variable state tracking.
+
+The output transducer must decide candidate formulas as qualifier
+instances resolve.  A :class:`ConditionStore` records, per variable:
+
+* *contributions* — formulas implying the variable, sent by the
+  variable-determinant transducer each time the qualifier path matches
+  (``{c, true}`` in the paper's simple protocol; a residual formula over
+  inner-qualifier variables in the nested-qualifier generalization);
+* whether the variable's scope is *closed* — sent by the variable-creator
+  transducer when the element that created the instance ends (the paper's
+  ``{c, false}`` message): no further contributions can arrive.
+
+A variable's value is::
+
+    true     as soon as any contribution evaluates true,
+    false    once closed with every contribution evaluated false,
+    unknown  otherwise.
+
+Contribution formulas may reference variables of *inner* qualifiers.  The
+store propagates determinations eagerly along a reverse-dependency index,
+so :meth:`contribute` and :meth:`close` return every variable that became
+determined as a consequence — the output transducer uses that list to
+re-evaluate exactly the candidates that could have changed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import EngineError
+from .formula import FALSE, TRUE, Formula, Var, evaluate, substitute
+
+
+class VariableAllocator:
+    """Deterministic per-engine allocator of condition variables.
+
+    Each engine owns one allocator so variable uids are reproducible run
+    to run (uid order equals activation order, i.e. document order).
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def fresh(self, qualifier: str) -> Var:
+        """Allocate the next variable for a qualifier instance."""
+        return Var(next(self._counter), qualifier)
+
+
+@dataclass
+class _VarState:
+    contributions: list[Formula] = field(default_factory=list)
+    closed: bool = False
+    value: bool | None = None
+
+
+class ConditionStore:
+    """Tracks determination state for every live condition variable.
+
+    The store is also a memory-accounting hook: :attr:`peak_live_variables`
+    feeds the depth-memory experiment (E5).
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[Var, _VarState] = {}
+        self._dependents: dict[Var, set[Var]] = {}
+        self._listeners: list = []
+        self._retainers: list = []
+        self._release_pending: set[Var] = set()
+        self._live = 0
+        self.peak_live_variables = 0
+        self.total_variables = 0
+        self.total_contributions = 0
+
+    def subscribe(self, listener) -> None:
+        """Register a callback invoked with every newly-determined batch.
+
+        Multi-sink networks (conjunctive queries, shared multi-query
+        networks) share one store; the *first* sink processing a
+        determination message resolves the variable globally, so the
+        return values of :meth:`contribute`/:meth:`close` reach only that
+        sink.  Listeners broadcast the batch to every sink instead.
+        """
+        self._listeners.append(listener)
+
+    def add_retainer(self, retainer) -> None:
+        """Register a predicate blocking release of variables in use.
+
+        ``retainer(var) -> bool`` returns ``True`` while some consumer
+        (e.g. another sink's candidate watchers) still needs the
+        variable's state.
+        """
+        self._retainers.append(retainer)
+
+    def defer_release(self, var: Var) -> None:
+        """Schedule a release attempt for the end of the current event.
+
+        A sink seeing a ``Close`` may not release immediately: other
+        nodes later in the topological order still process the same
+        batch and may create candidates referencing the variable.  At
+        end-of-event (:meth:`end_of_event`, called by the network) every
+        node has seen the batch, so release is safe.
+        """
+        self._release_pending.add(var)
+
+    def end_of_event(self) -> None:
+        """Release every deferred variable that became releasable."""
+        if not self._release_pending:
+            return
+        released = [var for var in self._release_pending if self.maybe_release(var)]
+        self._release_pending.difference_update(released)
+
+    @property
+    def live_variables(self) -> int:
+        """Number of variables currently undetermined."""
+        return self._live
+
+    def register(self, var: Var) -> None:
+        """Declare a freshly created variable (undetermined, open)."""
+        if var in self._states:
+            raise EngineError(f"variable {var} registered twice")
+        self._states[var] = _VarState()
+        self.total_variables += 1
+        self._live += 1
+        if self._live > self.peak_live_variables:
+            self.peak_live_variables = self._live
+
+    def contribute(self, var: Var, formula: Formula) -> list[Var]:
+        """Record evidence: ``formula`` implies ``var``.
+
+        In the paper's non-nested protocol the formula is always ``TRUE``
+        (the message ``{c, true}``).
+
+        Returns:
+            Variables that became determined, in cascade order.
+        """
+        state = self._states.get(var)
+        if state is None:
+            # Late duplicate (a join without dedup can replay messages
+            # for an already-released variable): semantically a no-op.
+            return []
+        if state.value is not None:
+            # First determination wins; late evidence (a second match
+            # after the instance is already proven) is a no-op.
+            return []
+        self.total_contributions += 1
+        # Substitute already-determined variables away immediately, so a
+        # stored contribution only ever references undetermined variables
+        # (this is what makes releasing determined variables safe).
+        residual = substitute(formula, self.value)
+        if residual is TRUE:
+            return self._determine(var, True)
+        if residual is FALSE:
+            # Evidence already dead (its inner variables resolved false);
+            # only a close can still decide the variable.
+            return []
+        state.contributions.append(residual)
+        for dependency in residual.variables():
+            self._dependents.setdefault(dependency, set()).add(var)
+        return []
+
+    def close(self, var: Var) -> list[Var]:
+        """Mark a variable's scope ended: no further contributions.
+
+        The paper's ``{c, false}`` message.
+
+        Returns:
+            Variables that became determined, in cascade order.
+        """
+        state = self._states.get(var)
+        if state is None:
+            # Late duplicate close of a released variable: no-op.
+            return []
+        if state.closed:
+            return []
+        state.closed = True
+        if state.value is not None:
+            return []
+        return self._refresh(var)
+
+    def is_closed(self, var: Var) -> bool:
+        """Whether the variable's scope has ended (state may be released)."""
+        state = self._states.get(var)
+        return state is None or state.closed
+
+    def maybe_release(self, var: Var) -> bool:
+        """Drop a variable's state once nothing can reference it again.
+
+        Safe when the variable is determined, its scope is closed (its
+        ``Close`` message has traversed the whole network, so no message
+        still in flight and no transducer stack entry can mention it) and
+        no pending contribution formula depends on it.  The output
+        transducer calls this after clearing its own candidate watchers,
+        which keeps the store's footprint bounded on unbounded streams.
+        """
+        state = self._states.get(var)
+        if state is None:
+            return True
+        if state.value is None or not state.closed:
+            return False
+        if self._dependents.get(var):
+            return False
+        if any(retainer(var) for retainer in self._retainers):
+            return False
+        del self._states[var]
+        self._dependents.pop(var, None)
+        return True
+
+    def value(self, var: Var) -> bool | None:
+        """Current three-valued knowledge about a variable."""
+        state = self._states.get(var)
+        if state is None:
+            raise EngineError(f"unknown condition variable {var}")
+        return state.value
+
+    def evaluate(self, formula: Formula) -> bool | None:
+        """Three-valued evaluation of a formula under current knowledge."""
+        return evaluate(formula, self.value)
+
+    def _require(self, var: Var) -> _VarState:
+        state = self._states.get(var)
+        if state is None:
+            raise EngineError(f"unknown condition variable {var}")
+        return state
+
+    def _determine(self, var: Var, value: bool) -> list[Var]:
+        """Fix a variable's value and cascade through dependents."""
+        determined: list[Var] = []
+        queue: deque[tuple[Var, bool]] = deque([(var, value)])
+        while queue:
+            current, current_value = queue.popleft()
+            state = self._states[current]
+            if state.value is not None:
+                continue
+            state.value = current_value
+            self._deregister(current, state)
+            self._live -= 1
+            determined.append(current)
+            for dependent in self._dependents.pop(current, ()):
+                dependent_state = self._states.get(dependent)
+                if dependent_state is None or dependent_state.value is not None:
+                    continue
+                # Rewrite the dependent's contributions so they stop
+                # referencing the just-determined variable.
+                new_value = self._rewrite(dependent, dependent_state)
+                if new_value is not None:
+                    queue.append((dependent, new_value))
+        if determined:
+            for listener in self._listeners:
+                listener(determined)
+        return determined
+
+    def _deregister(self, var: Var, state: _VarState) -> None:
+        """Remove ``var`` from the dependent sets of everything its
+        contributions reference, then drop the contributions."""
+        for contribution in state.contributions:
+            for reference in contribution.variables():
+                dependents = self._dependents.get(reference)
+                if dependents is not None:
+                    dependents.discard(var)
+                    if not dependents:
+                        del self._dependents[reference]
+        state.contributions.clear()
+
+    def _rewrite(self, var: Var, state: _VarState) -> bool | None:
+        """Substitute determined variables out of stored contributions.
+
+        Returns a value when the rewrite decides the variable (some
+        contribution became ``TRUE``, or the variable is closed with all
+        contributions dead), else ``None``.  Dependent-set registrations
+        are kept in sync with the rewritten formulas.
+        """
+        old_refs: set[Var] = set()
+        new_refs: set[Var] = set()
+        remaining: list[Formula] = []
+        decided: bool | None = None
+        for contribution in state.contributions:
+            old_refs |= contribution.variables()
+            if decided is not None:
+                continue
+            residual = substitute(contribution, self.value)
+            if residual is TRUE:
+                decided = True
+                continue
+            if residual is FALSE:
+                continue
+            remaining.append(residual)
+            new_refs |= residual.variables()
+        if decided is True:
+            remaining = []
+            new_refs = set()
+        state.contributions = remaining
+        for reference in old_refs - new_refs:
+            dependents = self._dependents.get(reference)
+            if dependents is not None:
+                dependents.discard(var)
+                if not dependents:
+                    del self._dependents[reference]
+        for reference in new_refs - old_refs:
+            self._dependents.setdefault(reference, set()).add(var)
+        if decided is not None:
+            return decided
+        if state.closed and not remaining:
+            return False
+        return None
+
+    def _refresh(self, var: Var) -> list[Var]:
+        state = self._states[var]
+        value = self._derive(state)
+        if value is None:
+            return []
+        return self._determine(var, value)
+
+    def _derive(self, state: _VarState) -> bool | None:
+        """Derive a value from contributions + closed flag, or ``None``."""
+        any_unknown = False
+        for contribution in state.contributions:
+            value = evaluate(contribution, self.value)
+            if value is True:
+                return True
+            if value is None:
+                any_unknown = True
+        if state.closed and not any_unknown:
+            return False
+        return None

@@ -1,0 +1,62 @@
+"""SPEX core: messages, transducers, networks, compiler, engine.
+
+This package is the paper's primary contribution — the streamed and
+progressive evaluation model of Sec. III.
+"""
+
+from .compiler import compile_network
+from .engine import EngineStats, SpexEngine, evaluate
+from .flow_transducers import JoinTransducer, SplitTransducer, UnionTransducer
+from .messages import Activation, Close, Contribute, Doc, Message
+from .network import Network, NetworkStats
+from .dispatch import Dispatcher, DispatchReport
+from .multiquery import MultiQueryEngine, SharedNetworkEngine
+from .output_tx import Match, OutputStats, OutputTransducer
+from .trace import Tracer, trace_run
+from .path_transducers import (
+    ChildTransducer,
+    ClosureTransducer,
+    InputTransducer,
+    StarTransducer,
+)
+from .qualifier_transducers import (
+    VariableCreator,
+    VariableDeterminant,
+    VariableFilter,
+)
+from .transducer import Transducer, TransducerStats
+
+__all__ = [
+    "Activation",
+    "ChildTransducer",
+    "Close",
+    "ClosureTransducer",
+    "Contribute",
+    "DispatchReport",
+    "Dispatcher",
+    "Doc",
+    "EngineStats",
+    "InputTransducer",
+    "JoinTransducer",
+    "Match",
+    "Message",
+    "MultiQueryEngine",
+    "Network",
+    "NetworkStats",
+    "OutputStats",
+    "OutputTransducer",
+    "SharedNetworkEngine",
+    "SpexEngine",
+    "SplitTransducer",
+    "StarTransducer",
+    "Tracer",
+    "Transducer",
+    "TransducerStats",
+    "UnionTransducer",
+    "VariableCreator",
+    "VariableDeterminant",
+    "VariableFilter",
+    "compile_network",
+    "evaluate",
+    "trace_run",
+]

@@ -1,0 +1,219 @@
+"""Translation of rpeq into SPEX networks — the function ``C`` of Fig. 11.
+
+The translation is compositional and linear-time (Lemma V.1): every rpeq
+construct contributes a constant number of transducers::
+
+    C[label]        ->  CH(label)
+    C[label+]       ->  CL(label)
+    C[label*]       ->  SP --+-> CL(label) -+-> JO          (epsilon bypass)
+                              +-------------+
+    C[E?]           ->  SP --+-> C[E] ------+-> JO
+                              +-------------+
+    C[(E1|E2)]      ->  SP --+-> C[E1] -----+-> JO -> UN
+                              +-> C[E2] -----+
+    C[E1.E2]        ->  C[E2] after C[E1]
+    C[E[F]]         ->  C[E] -> VC(q) -> SP --+-> (main) ------------+-> JO
+                                               +-> C[F] -> VF(q+) -> VD(q) -+
+
+The input transducer is prepended and the output transducer appended
+afterwards, exactly as in Sec. III.9.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..conditions.store import ConditionStore, VariableAllocator
+from ..errors import CompilationError
+from ..rpeq.ast import (
+    Concat,
+    Empty,
+    Following,
+    Label,
+    OptionalExpr,
+    Plus,
+    Preceding,
+    Qualifier,
+    Rpeq,
+    Star,
+    Union,
+)
+from .axis_transducers import FollowingTransducer, PrecedingTransducer
+from .flow_transducers import JoinTransducer, SplitTransducer, UnionTransducer
+from .network import Network
+from .output_tx import OutputTransducer
+from .path_transducers import (
+    ChildTransducer,
+    ClosureTransducer,
+    InputTransducer,
+    StarTransducer,
+)
+from .qualifier_transducers import VariableCreator, VariableDeterminant, VariableFilter
+from .transducer import Transducer
+
+
+class _Compiler:
+    """Stateful helper threading the network through the recursion."""
+
+    def __init__(
+        self,
+        network: Network,
+        allocator: VariableAllocator,
+        store: ConditionStore,
+        optimize: bool = True,
+    ) -> None:
+        self.network = network
+        self.allocator = allocator
+        self.store = store
+        self.optimize = optimize
+        self._qualifier_ids = itertools.count()
+        #: pseudo-qualifier ids of preceding-axis speculations; shared
+        #: (live) with the determinant/preceding transducers for the
+        #: chained-axis pairing fallback
+        self.speculation_ids: set[str] = set()
+
+    def compile(
+        self,
+        expr: Rpeq,
+        tape: Transducer,
+        branch_head: str | None = None,
+    ) -> tuple[Transducer, frozenset[str]]:
+        """Extend the network with ``C[expr]`` starting from ``tape``.
+
+        Args:
+            branch_head: enclosing qualifier id when compiling inside a
+                qualifier condition (``None`` on the main path); the
+                preceding-axis transducer switches semantics on it.
+
+        Returns:
+            The transducer whose output tape carries the sub-expression's
+            results, and the set of qualifier ids allocated inside the
+            sub-expression (needed by enclosing qualifier filters).
+        """
+        net = self.network
+        if isinstance(expr, Empty):
+            return tape, frozenset()
+        if isinstance(expr, Label):
+            return net.add(ChildTransducer(expr), tape), frozenset()
+        if isinstance(expr, Plus):
+            return net.add(ClosureTransducer(expr.label), tape), frozenset()
+        if isinstance(expr, Following):
+            transducer = FollowingTransducer(
+                expr.label, self.store, branch=branch_head is not None
+            )
+            return net.add(transducer, tape), frozenset()
+        if isinstance(expr, Preceding):
+            # The preceding transducer speculates with condition
+            # variables; their pseudo-qualifier id must be owned by any
+            # enclosing qualifier so variable-filters keep them.
+            qualifier_id = f"q{next(self._qualifier_ids)}"
+            self.speculation_ids.add(qualifier_id)
+            transducer = PrecedingTransducer(
+                expr.label,
+                qualifier_id,
+                self.allocator,
+                self.store,
+                branch_head=branch_head,
+                speculation_ids=self.speculation_ids,
+            )
+            return net.add(transducer, tape), frozenset((qualifier_id,))
+        if isinstance(expr, Star):
+            if self.optimize:
+                # Fused descendant-or-self node; semantically identical
+                # to the literal split/closure/join of Fig. 11 (the E10
+                # ablation measures the difference).
+                return net.add(StarTransducer(expr.label), tape), frozenset()
+            split = net.add(SplitTransducer(), tape)
+            closure = net.add(ClosureTransducer(expr.label), split)
+            join = net.add(JoinTransducer(), closure, split)
+            return join, frozenset()
+        if isinstance(expr, OptionalExpr):
+            split = net.add(SplitTransducer(), tape)
+            inner, owned = self.compile(expr.inner, split, branch_head)
+            join = net.add(JoinTransducer(), inner, split)
+            return join, owned
+        if isinstance(expr, Union):
+            split = net.add(SplitTransducer(), tape)
+            left, left_owned = self.compile(expr.left, split, branch_head)
+            right, right_owned = self.compile(expr.right, split, branch_head)
+            join = net.add(JoinTransducer(), left, right)
+            union = net.add(UnionTransducer(), join)
+            return union, left_owned | right_owned
+        if isinstance(expr, Concat):
+            # Flatten iteratively: concatenation chains grow with the
+            # query length (Lemma V.1 workloads reach thousands of
+            # steps), so recursing per step would exhaust the stack.
+            parts: list[Rpeq] = []
+            stack: list[Rpeq] = [expr]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, Concat):
+                    stack.append(node.right)
+                    stack.append(node.left)
+                else:
+                    parts.append(node)
+            owned: frozenset[str] = frozenset()
+            for part in parts:
+                tape, part_owned = self.compile(part, tape, branch_head)
+                owned |= part_owned
+            return tape, owned
+        if isinstance(expr, Qualifier):
+            base, base_owned = self.compile(expr.base, tape, branch_head)
+            qualifier_id = f"q{next(self._qualifier_ids)}"
+            # Following-axis evidence can arrive after the qualified
+            # element closes; defer the instance close to </$> then.
+            defer_close = any(
+                isinstance(node, Following) for node in expr.condition.walk()
+            )
+            creator = net.add(
+                VariableCreator(
+                    qualifier_id,
+                    self.allocator,
+                    self.store,
+                    close_at_document_end=defer_close,
+                ),
+                base,
+            )
+            split = net.add(SplitTransducer(), creator)
+            branch, inner_owned = self.compile(
+                expr.condition, split, branch_head=qualifier_id
+            )
+            owned = frozenset((qualifier_id,)) | inner_owned
+            fltr = net.add(VariableFilter(owned, positive=True), branch)
+            determinant = net.add(
+                VariableDeterminant(qualifier_id, self.speculation_ids), fltr
+            )
+            join = net.add(JoinTransducer(), split, determinant)
+            return join, owned | base_owned
+        raise CompilationError(f"cannot compile {type(expr).__name__}")
+
+
+def compile_network(
+    expr: Rpeq, collect_events: bool = True, optimize: bool = True
+) -> tuple[Network, ConditionStore]:
+    """Build a fresh SPEX network for an rpeq query.
+
+    Args:
+        expr: the query AST.
+        collect_events: whether the output transducer buffers result
+            fragments (off: positions only).
+        optimize: use the fused ``DS(l*)`` node for Kleene closures;
+            ``False`` gives the literal Fig. 11 translation (used by the
+            differential tests and the E10 ablation).
+
+    Returns the finalized network and its condition store.  The network
+    carries evaluation state, so one network evaluates one stream; the
+    engine builds a new network per run (compilation is linear in the
+    query, Lemma V.1, so this is cheap).
+    """
+    store = ConditionStore()
+    allocator = VariableAllocator()
+    source = InputTransducer()
+    sink = OutputTransducer(store, collect_events=collect_events)
+    network = Network(source, sink)
+    compiler = _Compiler(network, allocator, store, optimize=optimize)
+    tape, _owned = compiler.compile(expr, source)
+    network.add(sink, tape)
+    network.condition_store = store
+    network.finalize()
+    return network, store

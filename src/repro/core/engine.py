@@ -1,0 +1,208 @@
+"""The SPEX engine facade — the library's main entry point.
+
+Typical use::
+
+    from repro import SpexEngine
+
+    engine = SpexEngine("_*.country[province].name")
+    for match in engine.run("mondial.xml"):
+        print(match.position, match.to_xml())
+
+An engine holds the *query* (parsed once); each :meth:`run` compiles a
+fresh transducer network (linear time, Lemma V.1) so engines are reusable
+and runs are independent.  Results are yielded progressively, in document
+order, as soon as their membership is decided — the defining property of
+the paper's evaluation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..rpeq.analysis import QueryProfile, analyze
+from ..rpeq.ast import Rpeq
+from ..rpeq.parser import parse
+from ..xmlstream.events import Event
+from ..xmlstream.parser import iter_events
+from ..xmlstream.validate import checked
+from .compiler import compile_network
+from .network import Network, NetworkStats
+from .output_tx import Match, OutputStats
+
+
+@dataclass
+class EngineStats:
+    """Everything the complexity experiments measure, for one run.
+
+    Attributes:
+        network: per-transducer instrumentation roll-up.
+        output: candidate buffering metrics of the output transducer.
+        condition_variables: total qualifier instances created.
+        peak_live_variables: worst-case undetermined instances (≤ d per
+            qualifier in the paper's analysis).
+        query: structural metrics of the evaluated query.
+    """
+
+    network: NetworkStats = field(default_factory=NetworkStats)
+    output: OutputStats = field(default_factory=OutputStats)
+    condition_variables: int = 0
+    peak_live_variables: int = 0
+    query: QueryProfile | None = None
+
+    def summary(self) -> str:
+        """Human-readable one-screen digest of a run's resource profile."""
+        lines = [
+            f"events processed      : {self.network.events}",
+            f"network degree        : {self.network.degree}",
+            f"peak stack height     : {self.network.max_stack}",
+            f"max formula size (σ)  : {self.network.max_formula_size}",
+            f"condition variables   : {self.condition_variables}"
+            f" (peak live {self.peak_live_variables})",
+            f"candidates            : {self.output.candidates_created}"
+            f" created, {self.output.candidates_dropped} dropped",
+            f"peak buffered events  : {self.output.peak_buffered_events}",
+            f"peak pending results  : {self.output.peak_pending_candidates}",
+        ]
+        if self.query is not None:
+            lines.insert(
+                0,
+                f"query fragment        : {self.query.fragment} "
+                f"({self.query.steps} steps, {self.query.qualifiers} "
+                f"qualifiers, {self.query.closures} closures)",
+            )
+        return "\n".join(lines)
+
+
+class SpexEngine:
+    """Streamed, progressive rpeq evaluation (the paper's contribution)."""
+
+    name = "spex"
+
+    def __init__(
+        self,
+        query: str | Rpeq,
+        collect_events: bool = True,
+        optimize: bool = True,
+        simplify_query: bool = False,
+    ) -> None:
+        """Create an engine for a query.
+
+        Args:
+            query: rpeq source text or an already-parsed AST.
+            collect_events: when ``False``, matches carry positions only
+                and the output transducer never buffers events — useful
+                for benchmarking the matching machinery in isolation.
+            optimize: fuse Kleene closures into single ``DS`` transducers;
+                ``False`` compiles the literal Fig. 11 network.
+            simplify_query: apply the semantics-preserving rewriter
+                (:func:`repro.rpeq.simplify`) before compilation, so
+                redundant constructs never become transducers.
+        """
+        self.query: Rpeq = parse(query) if isinstance(query, str) else query
+        if simplify_query:
+            from ..rpeq.rewrite import simplify
+
+            self.query = simplify(self.query)
+        self.collect_events = collect_events
+        self.optimize = optimize
+        self._last_network: Network | None = None
+        self._last_store = None
+
+    # ------------------------------------------------------------------
+    # evaluation
+
+    def run(
+        self, source: str | Iterable[Event], validate: bool = True
+    ) -> Iterator[Match]:
+        """Evaluate the query against a stream, yielding matches lazily.
+
+        Args:
+            source: XML text, a file path, or an iterable of events
+                (see :func:`repro.xmlstream.iter_events`), possibly
+                unbounded.
+            validate: check stream well-formedness on the fly (a single
+                O(depth) stack); malformed input raises
+                :class:`~repro.errors.StreamError` instead of silently
+                confusing the transducer stacks.  Note the end-of-stream
+                check is skipped — unbounded streams never end.
+
+        Yields:
+            :class:`Match` objects in document order, each as soon as the
+            stream prefix read so far decides it.
+        """
+        network, store = compile_network(
+            self.query,
+            collect_events=self.collect_events,
+            optimize=self.optimize,
+        )
+        self._last_network = network
+        self._last_store = store
+        events = iter_events(source)
+        if validate:
+            events = checked(events, require_end=False)
+        for event in events:
+            yield from network.process_event(event)
+
+    def evaluate(self, source: str | Iterable[Event]) -> list[Match]:
+        """Evaluate eagerly and return all matches."""
+        return list(self.run(source))
+
+    def positions(self, source: str | Iterable[Event]) -> list[int]:
+        """Document-order positions of all matched elements.
+
+        Positions align with :attr:`repro.xmlstream.Node.position`, which
+        makes results directly comparable with the DOM oracle.
+        """
+        return [match.position for match in self.run(source)]
+
+    def count(self, source: str | Iterable[Event]) -> int:
+        """Number of matches, without keeping them."""
+        return sum(1 for _ in self.run(source))
+
+    def first(self, source: str | Iterable[Event]) -> Match | None:
+        """The first match, stopping the stream pass as soon as it is
+        decided — or ``None`` when the (finite) stream has none."""
+        return next(self.run(source), None)
+
+    def exists(self, source: str | Iterable[Event]) -> bool:
+        """Whether the stream matches at all (XFilter-style boolean).
+
+        Short-circuits at the first match, reading as little of the
+        stream as the decision requires.
+        """
+        return self.first(source) is not None
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def stats(self) -> EngineStats:
+        """Instrumentation for the most recent (possibly ongoing) run."""
+        stats = EngineStats(query=analyze(self.query))
+        if self._last_network is not None:
+            stats.network = self._last_network.stats()
+            stats.output = self._last_network.sink.output_stats
+        if self._last_store is not None:
+            stats.condition_variables = self._last_store.total_variables
+            stats.peak_live_variables = self._last_store.peak_live_variables
+        return stats
+
+    def describe_network(self) -> str:
+        """Wiring of a freshly compiled network for this query."""
+        network, _store = compile_network(
+            self.query, collect_events=False, optimize=self.optimize
+        )
+        return network.describe()
+
+    def network_degree(self) -> int:
+        """Number of transducers the query compiles to (Lemma V.1)."""
+        network, _store = compile_network(
+            self.query, collect_events=False, optimize=self.optimize
+        )
+        return network.degree
+
+
+def evaluate(query: str | Rpeq, source: str | Iterable[Event]) -> list[Match]:
+    """One-shot convenience: evaluate ``query`` against ``source``."""
+    return SpexEngine(query).evaluate(source)

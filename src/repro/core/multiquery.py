@@ -1,0 +1,220 @@
+"""Evaluating many queries against one stream — the SDI scenario.
+
+Selective dissemination of information (the paper's motivating use case
+and the setting of the XFilter/YFilter related work, Sec. VIII) evaluates
+thousands of subscription queries against each incoming document.  The
+paper's conclusion names multi-query processing as the natural next step
+for SPEX; this module provides the straightforward shared-pass variant:
+every query keeps its own network, the stream is read **once**, and each
+event is pushed through all networks.
+
+Two consumption styles:
+
+* :meth:`MultiQueryEngine.run` — full evaluation; yields
+  ``(query_id, match)`` pairs progressively.
+* :meth:`MultiQueryEngine.filter_documents` — XFilter-style boolean
+  matching: report, per query, whether the document matches at all.
+  Networks whose query has matched are skipped for the rest of the
+  document (first-match short-circuit).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..conditions.store import ConditionStore, VariableAllocator
+from ..rpeq.ast import Concat, Rpeq
+from ..rpeq.parser import parse
+from ..xmlstream.events import Event
+from ..xmlstream.parser import iter_events
+from .compiler import _Compiler, compile_network
+from .network import Network
+from .output_tx import Match, OutputTransducer
+from .path_transducers import InputTransducer
+
+
+class MultiQueryEngine:
+    """One stream pass, many rpeq queries."""
+
+    def __init__(
+        self,
+        queries: Mapping[str, str | Rpeq] | Iterable[str],
+        collect_events: bool = False,
+    ) -> None:
+        """Register subscription queries.
+
+        Args:
+            queries: either a mapping ``query_id -> query`` or a plain
+                iterable of query strings (ids are then the strings
+                themselves).
+            collect_events: whether matches should carry event fragments;
+                off by default, as SDI workloads usually need match
+                notifications, not reconstructed fragments.
+        """
+        if isinstance(queries, Mapping):
+            items = list(queries.items())
+        else:
+            items = [(text, text) for text in queries]
+        self.queries: dict[str, Rpeq] = {
+            query_id: parse(query) if isinstance(query, str) else query
+            for query_id, query in items
+        }
+        self.collect_events = collect_events
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def run(self, source: str | Iterable[Event]) -> Iterator[tuple[str, Match]]:
+        """Evaluate all queries in one pass; yield matches progressively."""
+        networks = {
+            query_id: compile_network(query, collect_events=self.collect_events)[0]
+            for query_id, query in self.queries.items()
+        }
+        for event in iter_events(source):
+            for query_id, network in networks.items():
+                for match in network.process_event(event):
+                    yield query_id, match
+
+    def evaluate(self, source: str | Iterable[Event]) -> dict[str, list[Match]]:
+        """All matches per query, eagerly."""
+        results: dict[str, list[Match]] = {query_id: [] for query_id in self.queries}
+        for query_id, match in self.run(source):
+            results[query_id].append(match)
+        return results
+
+    def filter_documents(self, source: str | Iterable[Event]) -> dict[str, bool]:
+        """Boolean matching: which subscriptions does the document match?
+
+        Networks are dropped from the hot loop as soon as their query
+        produces a first match, so highly selective subscription sets get
+        cheaper as the document streams by.
+        """
+        networks = {
+            query_id: compile_network(query, collect_events=False)[0]
+            for query_id, query in self.queries.items()
+        }
+        matched: dict[str, bool] = {query_id: False for query_id in self.queries}
+        live = dict(networks)
+        for event in iter_events(source):
+            if not live:
+                break
+            done: list[str] = []
+            for query_id, network in live.items():
+                if network.process_event(event):
+                    matched[query_id] = True
+                    done.append(query_id)
+            for query_id in done:
+                del live[query_id]
+        return matched
+
+    def filter_stream(
+        self, source: Iterable[Event]
+    ) -> Iterator[dict[str, bool]]:
+        """SDI over a *sequence* of documents on one connection.
+
+        Splits a concatenated multi-document stream (see
+        :func:`repro.xmlstream.split_documents`) and yields, per
+        document, the boolean match verdict of every subscription — the
+        routing decision the paper's Sec. I scenario needs.
+        """
+        from ..xmlstream.documents import split_documents
+
+        for document in split_documents(iter_events(source)):
+            yield self.filter_documents(document)
+
+
+def _spine(expr: Rpeq) -> list[Rpeq]:
+    """Flatten the left spine of concatenations into a step list.
+
+    ``(a.b).c`` becomes ``[a, b, c]`` — the granularity at which the
+    shared network deduplicates work across queries.
+    """
+    if isinstance(expr, Concat):
+        return _spine(expr.left) + _spine(expr.right)
+    return [expr]
+
+
+class SharedNetworkEngine:
+    """Many queries in ONE transducer network with shared prefixes.
+
+    The paper's conclusion: "A single transducer network can be used for
+    processing several queries having common subparts. Such a multi-query
+    processor could be a corner stone of efficient XSLT and XQuery
+    implementations."  This engine implements the prefix variant of that
+    idea: queries are flattened into step sequences and inserted into a
+    trie; each trie node is compiled once, so queries sharing a prefix
+    (``_*.country.name`` / ``_*.country.population`` share ``_*`` and
+    ``country``) share the corresponding transducers, and every query
+    gets its own output sink hanging off its last trie node.
+
+    Correctness across sinks relies on the condition store's broadcast/
+    retain/deferred-release protocol (see
+    :class:`repro.conditions.store.ConditionStore`).
+    """
+
+    def __init__(
+        self,
+        queries: Mapping[str, str | Rpeq] | Iterable[str],
+        collect_events: bool = False,
+    ) -> None:
+        if isinstance(queries, Mapping):
+            items = list(queries.items())
+        else:
+            items = [(text, text) for text in queries]
+        self.queries: dict[str, Rpeq] = {
+            query_id: parse(query) if isinstance(query, str) else query
+            for query_id, query in items
+        }
+        self.collect_events = collect_events
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def compile(self) -> tuple[Network, dict[str, OutputTransducer]]:
+        """Build the shared network; one sink per query."""
+        store = ConditionStore()
+        allocator = VariableAllocator()
+        source = InputTransducer()
+        network = Network(source, sink=None)
+        compiler = _Compiler(network, allocator, store)
+        # Trie of compiled step prefixes: maps (id of tape transducer,
+        # step AST) -> tape after that step.
+        compiled: dict[tuple[int, Rpeq], object] = {}
+        sinks: dict[str, OutputTransducer] = {}
+        for query_id, expr in self.queries.items():
+            tape = source
+            for step in _spine(expr):
+                key = (id(tape), step)
+                next_tape = compiled.get(key)
+                if next_tape is None:
+                    next_tape, _owned = compiler.compile(step, tape)
+                    compiled[key] = next_tape
+                tape = next_tape
+            sink = OutputTransducer(store, collect_events=self.collect_events)
+            sink.name = f"OU({query_id})"
+            network.add(sink, tape)
+            sinks[query_id] = sink
+        network.condition_store = store
+        network.finalize()
+        return network, sinks
+
+    def run(self, source: str | Iterable[Event]) -> Iterator[tuple[str, Match]]:
+        """One stream pass; yields ``(query_id, match)`` progressively."""
+        network, sinks = self.compile()
+        for event in iter_events(source):
+            network.process_event(event)
+            for query_id, sink in sinks.items():
+                while sink.results:
+                    yield query_id, sink.results.popleft()
+
+    def evaluate(self, source: str | Iterable[Event]) -> dict[str, list[Match]]:
+        """All matches per query, eagerly."""
+        results: dict[str, list[Match]] = {query_id: [] for query_id in self.queries}
+        for query_id, match in self.run(source):
+            results[query_id].append(match)
+        return results
+
+    def network_degree(self) -> int:
+        """Transducer count of the shared network (vs. sum of singles)."""
+        network, _sinks = self.compile()
+        return network.degree

@@ -1,0 +1,197 @@
+"""SPEX transducer networks (paper, Definition 3).
+
+A network is a DAG of transducers with one source (the input transducer)
+and one sink (the output transducer).  Because the input transducer
+forwards only one stream message at a time, evaluation is a simple pass
+over the DAG in topological order once per stream event: each node maps
+the concatenated output of its predecessors to its own output list, join
+nodes merge two predecessor lists.
+
+The network object also centralizes instrumentation: per-transducer stack
+peaks and formula sizes roll up into :class:`NetworkStats` for the
+complexity experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import EngineError
+from ..xmlstream.events import Event
+from .flow_transducers import JoinTransducer
+from .messages import Doc, Message
+from .output_tx import Match, OutputTransducer
+from .path_transducers import InputTransducer
+from .transducer import Transducer
+
+
+@dataclass
+class NetworkStats:
+    """Aggregated instrumentation over a whole network.
+
+    Attributes:
+        degree: number of transducers (Lemma V.1: linear in query size).
+        events: stream events processed.
+        messages: total messages processed across all transducers.
+        max_stack: deepest per-transducer stack (≤ stream depth + 1).
+        max_formula_size: largest condition formula observed (σ).
+    """
+
+    degree: int = 0
+    events: int = 0
+    messages: int = 0
+    max_stack: int = 0
+    max_formula_size: int = 0
+    per_transducer: dict[str, dict[str, int]] = field(default_factory=dict)
+
+
+class Network:
+    """A wired SPEX network, ready to consume one stream."""
+
+    def __init__(self, source: InputTransducer, sink: OutputTransducer | None = None) -> None:
+        """Create a network rooted at ``source``.
+
+        ``sink`` is the network's primary output transducer; multi-sink
+        networks (conjunctive queries, Sec. VII) pass ``None`` and drain
+        their output transducers directly.
+        """
+        self.source = source
+        self.sink = sink
+        #: set by the compiler; drives deferred variable release at the
+        #: end of every event (see ConditionStore.end_of_event)
+        self.condition_store = None
+        self._nodes: list[Transducer] = [source]
+        self._predecessors: dict[int, list[Transducer]] = {id(source): []}
+        self._finalized = False
+        self._events = 0
+        # Execution plan compiled by finalize(): per node, its index and
+        # the indices of its predecessors' output slots.
+        self._plan: list[tuple[Transducer, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add(self, transducer: Transducer, *predecessors: Transducer) -> Transducer:
+        """Insert a transducer downstream of ``predecessors``.
+
+        Nodes must be added in topological order (the compiler does this
+        naturally); join transducers take exactly two predecessors, all
+        others exactly one.
+        """
+        if self._finalized:
+            raise EngineError("network already finalized")
+        expected = 2 if isinstance(transducer, JoinTransducer) else 1
+        if len(predecessors) != expected:
+            raise EngineError(
+                f"{transducer.name} needs {expected} predecessor(s), got "
+                f"{len(predecessors)}"
+            )
+        known = {id(node) for node in self._nodes}
+        for predecessor in predecessors:
+            if id(predecessor) not in known:
+                raise EngineError(
+                    f"predecessor {predecessor.name} not in network (nodes "
+                    f"must be added in topological order)"
+                )
+        self._nodes.append(transducer)
+        self._predecessors[id(transducer)] = list(predecessors)
+        return transducer
+
+    def finalize(self) -> None:
+        """Wire the sink and freeze the topology."""
+        if self._finalized:
+            raise EngineError("network already finalized")
+        if self.sink is not None and self.sink not in self._nodes:
+            raise EngineError("finalize() requires the sink to be added")
+        self._finalized = True
+        # Give every node a unique display name for traces.
+        counts: dict[str, int] = {}
+        for node in self._nodes:
+            counts[node.name] = counts.get(node.name, 0) + 1
+            if counts[node.name] > 1:
+                node.name = f"{node.name}#{counts[node.name]}"
+        # Compile the per-event execution plan: (node, left_slot,
+        # right_slot) with slot -1 meaning "no predecessor" (the source)
+        # and right_slot -1 meaning "single input".
+        index_of = {id(node): index for index, node in enumerate(self._nodes)}
+        self._plan = []
+        for node in self._nodes[1:]:
+            predecessors = self._predecessors[id(node)]
+            left = index_of[id(predecessors[0])]
+            right = index_of[id(predecessors[1])] if len(predecessors) == 2 else -1
+            self._plan.append((node, left, right))
+
+    @property
+    def nodes(self) -> list[Transducer]:
+        return list(self._nodes)
+
+    @property
+    def degree(self) -> int:
+        """Number of transducers — the paper's network degree."""
+        return len(self._nodes)
+
+    @property
+    def sinks(self) -> list[OutputTransducer]:
+        """All output transducers (one per head variable for CQs)."""
+        return [node for node in self._nodes if isinstance(node, OutputTransducer)]
+
+    def predecessors_of(self, node: Transducer) -> list[Transducer]:
+        return list(self._predecessors[id(node)])
+
+    def describe(self) -> str:
+        """Human-readable wiring, one node per line (used by the CLI)."""
+        lines = []
+        for node in self._nodes:
+            preds = self._predecessors[id(node)]
+            arrow = ", ".join(p.name for p in preds) or "(source)"
+            lines.append(f"{node.name} <- {arrow}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def process_event(self, event: Event) -> list[Match]:
+        """Push one stream event through the network; return new matches."""
+        if not self._finalized:
+            raise EngineError("network not finalized")
+        self._events += 1
+        outputs: list[list[Message]] = [None] * len(self._nodes)  # type: ignore[list-item]
+        outputs[0] = self.source.feed([Doc(event)])
+        slot = 1
+        for node, left, right in self._plan:
+            if right >= 0:
+                outputs[slot] = node.feed2(outputs[left], outputs[right])
+            else:
+                outputs[slot] = node.feed(outputs[left])
+            slot += 1
+        if self.condition_store is not None:
+            self.condition_store.end_of_event()
+        sink = self.sink
+        if sink is None or not sink.results:
+            return []
+        matches = list(sink.results)
+        sink.results.clear()
+        return matches
+
+    def run(self, events: Iterable[Event]) -> Iterator[Match]:
+        """Evaluate a whole stream, yielding matches as they complete."""
+        for event in events:
+            yield from self.process_event(event)
+
+    def stats(self) -> NetworkStats:
+        """Roll up per-transducer instrumentation."""
+        stats = NetworkStats(degree=self.degree, events=self._events)
+        for node in self._nodes:
+            stats.messages += node.stats.messages
+            stats.max_stack = max(stats.max_stack, node.stats.max_stack)
+            stats.max_formula_size = max(
+                stats.max_formula_size, node.stats.max_formula_size
+            )
+            stats.per_transducer[node.name] = {
+                "messages": node.stats.messages,
+                "max_stack": node.stats.max_stack,
+                "max_formula_size": node.stats.max_formula_size,
+                "activations_emitted": node.stats.activations_emitted,
+            }
+        return stats

@@ -1,0 +1,165 @@
+"""Qualifier transducers: variable-creator, variable-filter, determinant.
+
+A qualifier ``E[F]`` compiles (Fig. 11) into::
+
+    ... C[E] -> VC(q) -> SP -+-> (main path continues) ----------+-> JO -> ...
+                             +-> C[F] -> VF(q+) -> VD(q) --------+
+
+* ``VC(q)`` creates one fresh condition variable per activation — one
+  per *qualifier instance* — conjoins it onto the activation formula, and
+  closes the variable when the activated element's scope ends (the
+  paper's ``{c, false}`` message, our :class:`~repro.core.messages.Close`).
+* ``VF(q+)`` projects activation formulas onto the variables owned by
+  this qualifier's sub-network (its own instances plus nested
+  qualifiers'), discarding foreign variables.
+* ``VD(q)`` turns each arriving activation into determination evidence:
+  for every DNF conjunct of the (filtered) formula it emits
+  ``Contribute(c, residue)`` where ``c`` is the conjunct's instance of
+  ``q`` and ``residue`` the remaining (inner-qualifier) variables.  With
+  no nested qualifiers the residue is ``true`` and this is exactly the
+  paper's ``{c, true}`` message of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from ..conditions.formula import TRUE, Var, conj, dnf, restrict
+from ..conditions.store import ConditionStore, VariableAllocator
+from ..xmlstream.events import EndDocument, EndElement, StartDocument, StartElement
+from .messages import Activation, Close, Contribute, Doc, Message
+from .transducer import Transducer
+
+
+class VariableCreator(Transducer):
+    """``VC(q)`` (Sec. III.5.1, Fig. 6)."""
+
+    kind = "VC"
+
+    def __init__(
+        self,
+        qualifier: str,
+        allocator: VariableAllocator,
+        store: ConditionStore,
+        close_at_document_end: bool = False,
+        name: str | None = None,
+    ) -> None:
+        """Create a variable-creator for one qualifier.
+
+        Args:
+            close_at_document_end: defer the ``{c, false}`` close from
+                the instance's scope end to ``</$>``.  Needed when the
+                qualifier condition contains a ``following`` step, whose
+                evidence can arrive arbitrarily long after the qualified
+                element closed.
+        """
+        super().__init__(name or f"VC({qualifier})")
+        self.qualifier = qualifier
+        self._allocator = allocator
+        self._store = store
+        self._close_at_document_end = close_at_document_end
+        self._deferred: list[Var] = []
+
+    def on_activation(self, message: Activation) -> list[Message]:
+        self.absorb_activation(message.formula)
+        return []
+
+    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
+        out: list[Message] = []
+        pending = self.take_pending()
+        var: Var | None = None
+        if pending is not None:
+            var = self._allocator.fresh(self.qualifier)
+            self._store.register(var)
+            out.append(Activation(conj(pending, var)))
+        self.stack.append(var)
+        out.append(message)
+        return out
+
+    def on_end(self, message: Doc, event: EndDocument | EndElement) -> list[Message]:
+        var = self.pop_entry()
+        out: list[Message] = []
+        if var is not None:
+            if self._close_at_document_end:
+                self._deferred.append(var)
+            else:
+                # Scope left: no more evidence can arrive for this
+                # instance (paper: {c, false} before the end tag).
+                out.append(Close(var))
+        if event.__class__ is EndDocument and self._deferred:
+            out.extend(Close(deferred) for deferred in self._deferred)
+            self._deferred = []
+        out.append(message)
+        return out
+
+
+class VariableFilter(Transducer):
+    """``VF(q+)`` / ``VF(q-)`` (Sec. III.5.2).
+
+    The positive filter keeps only the qualifier's own variables in
+    activation formulas; the negative filter drops exactly those.  Both
+    forward everything else unchanged and use no stack (FST class).
+    """
+
+    kind = "VF"
+
+    def __init__(self, owned: frozenset[str], positive: bool = True, name: str | None = None) -> None:
+        sign = "+" if positive else "-"
+        super().__init__(name or f"VF({'|'.join(sorted(owned))}{sign})")
+        self.owned = owned
+        self.positive = positive
+
+    def _keep(self, var: Var) -> bool:
+        inside = var.qualifier in self.owned
+        return inside if self.positive else not inside
+
+    def on_activation(self, message: Activation) -> list[Message]:
+        return [Activation(restrict(message.formula, self._keep))]
+
+
+class VariableDeterminant(Transducer):
+    """``VD(q)`` (Sec. III.5.3, Fig. 7), generalized for nesting.
+
+    Consumes activations (they carry proof that the qualifier path
+    matched) and emits determination evidence.  Document and condition
+    messages pass through so they reach the join.
+    """
+
+    kind = "VD"
+
+    def __init__(
+        self,
+        qualifier: str,
+        speculation_ids: set[str] | frozenset[str] = frozenset(),
+        name: str | None = None,
+    ) -> None:
+        """Create a determinant for one qualifier.
+
+        Args:
+            speculation_ids: pseudo-qualifier ids of preceding-axis
+                speculation variables (a live set shared with the
+                compiler).  A conjunct without a head instance but with
+                speculation variables determines *those* instead — the
+                speculation means "the branch path from that past
+                element onward succeeds", and a match arriving here is
+                exactly that success.
+        """
+        super().__init__(name or f"VD({qualifier})")
+        self.qualifier = qualifier
+        self.speculation_ids = speculation_ids
+
+    def on_activation(self, message: Activation) -> list[Message]:
+        out: list[Message] = []
+        for conjunct in dnf(message.formula):
+            heads = [var for var in conjunct if var.qualifier == self.qualifier]
+            if not heads:
+                heads = [
+                    var for var in conjunct if var.qualifier in self.speculation_ids
+                ]
+            if not heads:
+                # The filtered formula can degenerate to TRUE when the
+                # qualifier path matched unconditionally relative to an
+                # already-determined instance; nothing to determine.
+                continue
+            for head in heads:
+                residue = conj(*(var for var in conjunct if var != head))
+                out.append(Contribute(head, residue if residue is not TRUE else TRUE))
+        return out

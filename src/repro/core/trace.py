@@ -1,0 +1,145 @@
+"""Tracing network runs — the paper's transition-sequence figures.
+
+The paper explains its examples with tables showing, for each transducer,
+what it did on each document message (Figs. 4, 5 and 13).  This module
+reproduces those tables for any query and stream: a :class:`Tracer` wraps
+every transducer in a network and records, per stream event, the messages
+each transducer consumed and produced, summarized into compact action
+codes:
+
+    .        forwarded without processing
+    M        matched (emitted an activation)
+    A        absorbed an activation (scope opened at the next tag)
+    V        created a condition variable
+    T/F      emitted determination evidence / closed a variable
+    C        created a result candidate
+    R        emitted a result
+
+Use :func:`trace_run` for a one-shot table::
+
+    print(trace_run("_*.a[b].c", "<a><a><c/></a><b/><c/></a>"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..rpeq.ast import Rpeq
+from ..rpeq.parser import parse
+from ..xmlstream.events import Event
+from ..xmlstream.parser import iter_events
+from .compiler import compile_network
+from .flow_transducers import JoinTransducer
+from .messages import Activation, Close, Contribute, Doc, Message
+from .output_tx import OutputTransducer
+from .qualifier_transducers import VariableCreator
+from .transducer import Transducer
+
+
+@dataclass
+class TraceRow:
+    """Per-transducer action codes, one cell per stream event."""
+
+    name: str
+    cells: list[str] = field(default_factory=list)
+
+
+def _summarize(node: Transducer, consumed: list[Message], produced: list[Message], emitted_match: bool) -> str:
+    codes: list[str] = []
+    in_activations = sum(1 for m in consumed if isinstance(m, Activation))
+    out_activations = sum(1 for m in produced if isinstance(m, Activation))
+    if isinstance(node, VariableCreator) and out_activations:
+        codes.append("V")
+    elif out_activations > in_activations or (
+        out_activations and not isinstance(node, (JoinTransducer,))
+        and in_activations == 0
+    ):
+        codes.append("M")
+    if in_activations and not out_activations:
+        codes.append("A")
+    if any(isinstance(m, Contribute) for m in produced if m not in consumed):
+        codes.append("T")
+    if any(isinstance(m, Close) for m in produced if m not in consumed):
+        codes.append("F")
+    if isinstance(node, OutputTransducer):
+        if in_activations:
+            codes.append("C")
+        if emitted_match:
+            codes.append("R")
+    return "".join(codes) or "."
+
+
+class Tracer:
+    """Wraps a compiled network and records a Fig. 4/5/13-style table."""
+
+    def __init__(self, query: str | Rpeq, optimize: bool = False) -> None:
+        expr = parse(query) if isinstance(query, str) else query
+        self.network, self.store = compile_network(expr, optimize=optimize)
+        self.headers: list[str] = []
+        self.rows = [TraceRow(node.name) for node in self.network.nodes]
+        self.matches: list = []
+
+    def feed(self, events: Iterable[Event]) -> None:
+        """Process a stream, recording one table column per event."""
+        nodes = self.network.nodes
+        for event in events:
+            self.headers.append(str(event))
+            inputs: dict[int, list[Message]] = {}
+            # Re-implement the network pass so per-node inputs/outputs
+            # are observable.
+            outputs: dict[int, list[Message]] = {}
+            for node in nodes:
+                predecessors = self.network.predecessors_of(node)
+                if not predecessors:
+                    consumed = [Doc(event)]
+                    produced = node.feed(consumed)
+                elif isinstance(node, JoinTransducer):
+                    left, right = predecessors
+                    consumed = outputs[id(left)] + outputs[id(right)]
+                    produced = node.feed2(outputs[id(left)], outputs[id(right)])
+                else:
+                    consumed = outputs[id(predecessors[0])]
+                    produced = node.feed(consumed)
+                inputs[id(node)] = consumed
+                outputs[id(node)] = produced
+            sink = self.network.sink
+            new_matches = list(sink.results)
+            sink.results.clear()
+            self.matches.extend(new_matches)
+            for row, node in zip(self.rows, nodes):
+                row.cells.append(
+                    _summarize(
+                        node,
+                        inputs[id(node)],
+                        outputs[id(node)],
+                        bool(new_matches) and node is sink,
+                    )
+                )
+
+    def table(self) -> str:
+        """Render the transition table in the paper's layout."""
+        name_width = max((len(row.name) for row in self.rows), default=4)
+        cell_width = max((len(h) for h in self.headers), default=4)
+        cell_width = max(
+            cell_width,
+            max((len(c) for row in self.rows for c in row.cells), default=1),
+        )
+        header = " " * name_width + " | " + " ".join(
+            h.rjust(cell_width) for h in self.headers
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                row.name.ljust(name_width)
+                + " | "
+                + " ".join(cell.rjust(cell_width) for cell in row.cells)
+            )
+        return "\n".join(lines)
+
+
+def trace_run(query: str | Rpeq, source, optimize: bool = False) -> str:
+    """Evaluate ``query`` over ``source`` and return the transition table."""
+    tracer = Tracer(query, optimize=optimize)
+    tracer.feed(iter_events(source))
+    return tracer.table()

@@ -1,0 +1,163 @@
+"""Transducer base class and shared machinery.
+
+Every SPEX transducer consumes a list of messages (everything its
+predecessor produced for the current stream event) and produces the list
+it passes on.  The paper's input transducer guarantees only one document
+message is in the network at a time; our network exploits that by
+evaluating the DAG in topological order once per stream event (see
+:mod:`repro.core.network`), which makes each transducer a simple
+``list -> list`` function with internal state.
+
+The paper's two per-transducer pushdown stores — the *depth stack* and
+the *condition stack* — are fused here into one stack with one entry per
+open element.  Theorem IV.2 licenses exactly this fusion ("both stacks
+can be simulated by one stack, where an entry is ... composed of two
+entries"), which is also what keeps these transducers within the 1-DPDT
+class.  Entries are whatever the subclass needs (a scope formula for
+child/closure, a condition variable for the variable-creator); the base
+class only manages the pushes/pops and the instrumentation.
+
+Dispatch is written against ``message.__class__`` rather than
+``isinstance`` — this module is the innermost loop of the engine, and
+the message/event class hierarchies are closed by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..conditions.formula import Formula, disj
+from ..errors import EngineError
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from .messages import Activation, Close, Contribute, Doc, Message
+
+
+@dataclass
+class TransducerStats:
+    """Instrumentation counters, fed into the complexity experiments.
+
+    Attributes:
+        messages: total messages processed.
+        max_stack: peak stack height (bounded by stream depth + 1;
+            asserted by property tests).
+        max_formula_size: largest condition formula observed in an
+            activation (the paper's σ).
+        activations_emitted: number of activation messages produced.
+    """
+
+    messages: int = 0
+    max_stack: int = 0
+    max_formula_size: int = 0
+    activations_emitted: int = 0
+
+
+class Transducer:
+    """Base class: forwards everything, manages a per-element stack.
+
+    Subclasses override the ``on_*`` hooks.  The default behaviour of
+    each hook is the paper's implicit transition: "forward document
+    messages along the SPEX network without processing them, in case no
+    other transition applies".
+    """
+
+    #: short name used in network diagrams and traces
+    kind = "id"
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or self.kind
+        #: one entry per open element; payload meaning is subclass-defined
+        self.stack: list = []
+        self.pending: Formula | None = None
+        self.stats = TransducerStats()
+
+    # ------------------------------------------------------------------
+    # message dispatch
+
+    def feed(self, messages: Iterable[Message]) -> list[Message]:
+        """Process the batch of messages for the current stream event."""
+        out: list[Message] = []
+        stats = self.stats
+        for message in messages:
+            stats.messages += 1
+            cls = message.__class__
+            if cls is Doc:
+                event = message.event
+                ecls = event.__class__
+                if ecls is StartElement or ecls is StartDocument:
+                    produced = self.on_start(message, event)
+                    depth = len(self.stack)
+                    if depth > stats.max_stack:
+                        stats.max_stack = depth
+                elif ecls is EndElement or ecls is EndDocument:
+                    produced = self.on_end(message, event)
+                else:
+                    produced = self.on_text(message, event)
+            elif cls is Activation:
+                size = message.formula.size
+                if size > stats.max_formula_size:
+                    stats.max_formula_size = size
+                produced = self.on_activation(message)
+            elif cls is Contribute or cls is Close:
+                produced = self.on_condition(message)
+            else:  # pragma: no cover - exhaustive over message types
+                raise EngineError(f"unknown message {message!r}")
+            out.extend(produced)
+        for message in out:
+            if message.__class__ is Activation:
+                stats.activations_emitted += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # hooks (defaults: forward unchanged)
+
+    def on_activation(self, message: Activation) -> list[Message]:
+        """Default: forward the activation unchanged (stateless pass)."""
+        return [message]
+
+    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
+        return [message]
+
+    def on_end(self, message: Doc, event: EndDocument | EndElement) -> list[Message]:
+        return [message]
+
+    def on_text(self, message: Doc, event: Text) -> list[Message]:
+        return [message]
+
+    def on_condition(self, message: Contribute | Close) -> list[Message]:
+        return [message]
+
+    # ------------------------------------------------------------------
+    # shared state helpers
+
+    def absorb_activation(self, formula: Formula) -> None:
+        """Accumulate an activation formula for the next start tag.
+
+        Multiple activations before one tag (possible after a join)
+        merge by disjunction — the normalization the paper delegates to
+        the union transducer.
+        """
+        if self.pending is None:
+            self.pending = formula
+        else:
+            self.pending = disj(self.pending, formula)
+
+    def take_pending(self) -> Formula | None:
+        """Consume the buffered activation formula, if any."""
+        formula, self.pending = self.pending, None
+        return formula
+
+    def pop_entry(self):
+        """Pop the entry of the element that just closed."""
+        if not self.stack:
+            raise EngineError(f"{self.name}: end tag with empty stack")
+        return self.stack.pop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,16 @@
+"""Conjunctive queries with regular path expressions (paper, Sec. VII)."""
+
+from .ast import ROOT, Atom, ConjunctiveQuery
+from .engine import CqEngine, compile_cq
+from .parser import parse_cq
+from .unparse import unparse_cq
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "CqEngine",
+    "ROOT",
+    "compile_cq",
+    "parse_cq",
+    "unparse_cq",
+]

@@ -1,0 +1,119 @@
+"""Data model for conjunctive queries over rpeq (paper, Definition 4).
+
+A conjunctive query has the form::
+
+    q(X) :- Y1 r1 Z1, ..., Yn rn Zn        (n >= 1)
+
+where the ``ri`` are regular path expressions, the ``Yi``/``Zi`` are
+query variables (``Root`` is pre-bound to the document root), and
+``X ⊆ vars`` are the head variables whose bindings the query returns.
+
+The fragment supported here is the one the paper's translation ``T``
+(Fig. 16) covers: *tree-shaped* queries — every variable is defined by at
+most one atom and every atom's source is ``Root`` or an already-defined
+variable.  Node-identity joins (a variable reachable via two distinct
+paths) are the paper's explicit future work and raise
+:class:`~repro.errors.UnsupportedFeatureError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UnsupportedFeatureError
+from ..rpeq.ast import Rpeq
+
+#: The pre-bound variable naming the document root.
+ROOT = "Root"
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """One body atom ``Y (r) Z``: ``Z`` ranges over ``r``-paths from ``Y``."""
+
+    source: str
+    path: Rpeq
+    target: str
+
+
+@dataclass(frozen=True, slots=True)
+class ConjunctiveQuery:
+    """A parsed conjunctive query.
+
+    Attributes:
+        name: predicate name (``q`` in the paper's examples).
+        head: head variables, in declaration order.
+        body: atoms, in declaration order.
+    """
+
+    name: str
+    head: tuple[str, ...]
+    body: tuple[Atom, ...]
+
+    def variables(self) -> set[str]:
+        """All variables occurring in the query (including ``Root``)."""
+        names = {ROOT}
+        for atom in self.body:
+            names.add(atom.source)
+            names.add(atom.target)
+        return names
+
+    def join_variables(self) -> set[str]:
+        """Variables defined by more than one atom (node-identity joins)."""
+        seen: set[str] = set()
+        joins: set[str] = set()
+        for atom in self.body:
+            if atom.target in seen:
+                joins.add(atom.target)
+            seen.add(atom.target)
+        return joins
+
+    def validate(self) -> None:
+        """Check the shape restrictions of the supported fragment.
+
+        Tree-shaped queries are fully supported.  Node-identity joins —
+        the paper's declared future work — are supported in the one form
+        the streaming intersection can realize: a variable defined by
+        several atoms must be the query's *sole* head variable and must
+        have no outgoing atoms (each defining path is evaluated
+        independently; bindings are intersected by node identity).
+
+        Raises:
+            UnsupportedFeatureError: outside the supported shapes.
+        """
+        joins = self.join_variables()
+        for join in joins:
+            if self.head != (join,):
+                raise UnsupportedFeatureError(
+                    f"join variable {join!r} must be the sole head "
+                    f"variable (general node-identity joins are the "
+                    f"paper's future work)"
+                )
+            if any(atom.source == join for atom in self.body):
+                raise UnsupportedFeatureError(
+                    f"join variable {join!r} must not have outgoing atoms"
+                )
+        defined = {ROOT}
+        for atom in self.body:
+            if atom.source not in defined:
+                raise UnsupportedFeatureError(
+                    f"atom source {atom.source!r} is not defined by an "
+                    f"earlier atom (forward references are unsupported)"
+                )
+            defined.add(atom.target)
+        for variable in self.head:
+            if variable not in defined:
+                raise UnsupportedFeatureError(
+                    f"head variable {variable!r} is never defined"
+                )
+
+    def reaches_head(self, variable: str) -> bool:
+        """The paper's ``reach(Z, X)``: does ``variable`` lie on a path
+        leading to a head variable?"""
+        if variable in self.head:
+            return True
+        return any(
+            self.reaches_head(atom.target)
+            for atom in self.body
+            if atom.source == variable
+        )

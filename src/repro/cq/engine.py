@@ -1,0 +1,164 @@
+"""Translation and evaluation of conjunctive queries — Sec. VII, Fig. 16.
+
+The paper's function ``T`` maps a conjunctive query to a SPEX network
+with one output transducer per head variable; a body atom whose target
+does not lead to a head variable becomes a *qualifier* on its source.
+
+Three details are reconstructed where the paper is terse (it notes "some
+issues are left out"):
+
+* a chain of non-head atoms folds into a nested rpeq qualifier
+  (``X1(b) X2, X2(c) X3`` with ``X2``/``X3`` non-head becomes the
+  condition ``b[c]`` on ``X1``);
+* head variables get **projection semantics**: a binding of head variable
+  ``Y`` is an answer iff the *entire* body is satisfiable with ``Y``
+  fixed, so every sibling subtree of an atom is applied as an existence
+  qualifier on the other branches, and a head variable's own sink sits
+  behind qualifiers for all of its subtrees;
+* atoms are grouped by source variable (conjunction is commutative), so
+  textual order never changes the result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..core.compiler import _Compiler
+from ..core.network import Network
+from ..core.output_tx import Match, OutputTransducer
+from ..core.path_transducers import InputTransducer
+from ..conditions.store import ConditionStore, VariableAllocator
+from ..errors import CompilationError
+from ..rpeq.ast import Empty, Qualifier, Rpeq
+from ..xmlstream.events import Event
+from ..xmlstream.parser import iter_events
+from .ast import ROOT, Atom, ConjunctiveQuery
+from .parser import parse_cq
+
+
+def _condition_expression(query: ConjunctiveQuery, atom: Atom) -> Rpeq:
+    """Fold a non-head atom and its dependent subtree into one rpeq.
+
+    The subtree below ``atom.target`` (necessarily all non-head, since
+    reachability is transitive) becomes nested qualifiers on the path.
+    """
+    expr = atom.path
+    for child in query.body:
+        if child.source == atom.target:
+            expr = Qualifier(expr, _condition_expression(query, child))
+    return expr
+
+
+def compile_cq(
+    query: ConjunctiveQuery, collect_events: bool = True
+) -> tuple[Network, ConditionStore, dict[str, list[OutputTransducer]]]:
+    """Build the multi-sink SPEX network for a conjunctive query.
+
+    Returns:
+        The finalized network, its condition store, and the mapping from
+        head variable to its output transducers — one per defining atom,
+        so a node-identity join variable gets one sink per path and the
+        engine intersects their outputs.
+    """
+    query.validate()
+    store = ConditionStore()
+    allocator = VariableAllocator()
+    source = InputTransducer()
+    network = Network(source, sink=None)
+    compiler = _Compiler(network, allocator, store)
+    sinks: dict[str, list[OutputTransducer]] = {}
+
+    children: dict[str, list[Atom]] = {}
+    for atom in query.body:
+        children.setdefault(atom.source, []).append(atom)
+
+    def qualify(tape, condition: Rpeq):
+        new_tape, _owned = compiler.compile(Qualifier(Empty(), condition), tape)
+        return new_tape
+
+    def extend(variable: str, tape) -> None:
+        atoms = children.get(variable, ())
+        conditions = [_condition_expression(query, atom) for atom in atoms]
+        if variable in query.head:
+            # Projection semantics: this variable's bindings require the
+            # whole remaining body, i.e. every subtree hanging off it.
+            sink_tape = tape
+            for condition in conditions:
+                sink_tape = qualify(sink_tape, condition)
+            attached = sinks.setdefault(variable, [])
+            sink = OutputTransducer(store, collect_events=collect_events)
+            sink.name = f"OU({variable}#{len(attached) + 1})"
+            network.add(sink, sink_tape)
+            attached.append(sink)
+        for index, atom in enumerate(atoms):
+            if not query.reaches_head(atom.target):
+                # Pure condition subtree: consumed as a qualifier by the
+                # sibling branches and the sink above; no continuation.
+                continue
+            branch_tape = tape
+            for other, condition in enumerate(conditions):
+                if other != index:
+                    branch_tape = qualify(branch_tape, condition)
+            out_tape, _owned = compiler.compile(atom.path, branch_tape)
+            extend(atom.target, out_tape)
+
+    extend(ROOT, source)
+    missing = [variable for variable in query.head if variable not in sinks]
+    if missing:
+        raise CompilationError(f"head variables never bound: {missing}")
+    network.condition_store = store
+    network.finalize()
+    return network, store, sinks
+
+
+class CqEngine:
+    """Streamed, progressive evaluation of conjunctive queries."""
+
+    def __init__(self, query: str | ConjunctiveQuery, collect_events: bool = True) -> None:
+        self.query: ConjunctiveQuery = (
+            parse_cq(query) if isinstance(query, str) else query
+        )
+        self.query.validate()
+        self.collect_events = collect_events
+
+    def run(self, source: str | Iterable[Event]) -> Iterator[tuple[str, Match]]:
+        """Yield ``(head_variable, match)`` pairs progressively.
+
+        A node-identity join variable has one sink per defining path; a
+        binding is an answer once *every* path has delivered the same
+        node (intersection by document position), and is yielded the
+        moment the last path confirms it.
+        """
+        network, _store, sinks = compile_cq(
+            self.query, collect_events=self.collect_events
+        )
+        # position -> number of sinks that have delivered it (join vars)
+        join_counts: dict[str, dict[int, tuple[int, Match]]] = {
+            variable: {} for variable, attached in sinks.items() if len(attached) > 1
+        }
+        for event in iter_events(source):
+            network.process_event(event)
+            for variable, attached in sinks.items():
+                if len(attached) == 1:
+                    sink = attached[0]
+                    while sink.results:
+                        yield variable, sink.results.popleft()
+                    continue
+                pending = join_counts[variable]
+                for sink in attached:
+                    while sink.results:
+                        match = sink.results.popleft()
+                        count, kept = pending.get(match.position, (0, match))
+                        count += 1
+                        if count == len(attached):
+                            pending.pop(match.position, None)
+                            yield variable, kept
+                        else:
+                            pending[match.position] = (count, kept)
+
+    def evaluate(self, source: str | Iterable[Event]) -> dict[str, list[Match]]:
+        """All bindings per head variable, eagerly."""
+        results: dict[str, list[Match]] = {variable: [] for variable in self.query.head}
+        for variable, match in self.run(source):
+            results[variable].append(match)
+        return results

@@ -1,0 +1,112 @@
+"""Parser for the conjunctive-query concrete syntax.
+
+Follows the paper's notation::
+
+    q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3
+
+Grammar::
+
+    cq      ::=  NAME '(' vars ')' ':-' atom (',' atom)*
+    atom    ::=  NAME '(' rpeq ')' NAME
+    vars    ::=  NAME (',' NAME)*
+
+Variable names are ordinary identifiers; ``Root`` is reserved for the
+document root.  The rpeq inside an atom is parsed by the rpeq parser, so
+parenthesis nesting is handled by bracket counting.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QuerySyntaxError
+from ..rpeq.parser import parse as parse_rpeq
+from .ast import Atom, ConjunctiveQuery
+
+_NAME = re.compile(r"\s*([A-Za-z_][\w]*)")
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def name(self) -> str:
+        match = _NAME.match(self.text, self.pos)
+        if not match:
+            raise QuerySyntaxError("expected an identifier", position=self.pos)
+        self.pos = match.end()
+        return match.group(1)
+
+    def expect(self, token: str) -> None:
+        self.skip_space()
+        if not self.text.startswith(token, self.pos):
+            raise QuerySyntaxError(f"expected {token!r}", position=self.pos)
+        self.pos += len(token)
+
+    def peek(self, token: str) -> bool:
+        self.skip_space()
+        return self.text.startswith(token, self.pos)
+
+    def skip_space(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def balanced_parens(self) -> str:
+        """Consume '(' ... ')' with nesting; return the inner text."""
+        self.expect("(")
+        depth = 1
+        start = self.pos
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0:
+                    inner = self.text[start : self.pos]
+                    self.pos += 1
+                    return inner
+            self.pos += 1
+        raise QuerySyntaxError("unbalanced parentheses", position=start)
+
+    def at_end(self) -> bool:
+        self.skip_space()
+        return self.pos == len(self.text)
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query and validate its tree shape.
+
+    Raises:
+        QuerySyntaxError: on malformed syntax.
+        UnsupportedFeatureError: for joins / forward references (from
+            :meth:`~repro.cq.ast.ConjunctiveQuery.validate`).
+    """
+    scanner = _Scanner(text)
+    name = scanner.name()
+    scanner.expect("(")
+    head = [scanner.name()]
+    while scanner.peek(","):
+        scanner.expect(",")
+        head.append(scanner.name())
+    scanner.expect(")")
+    scanner.expect(":-")
+    atoms: list[Atom] = []
+    while True:
+        source = scanner.name()
+        path_text = scanner.balanced_parens()
+        target = scanner.name()
+        atoms.append(Atom(source, parse_rpeq(path_text), target))
+        if scanner.peek(","):
+            scanner.expect(",")
+            continue
+        break
+    if not scanner.at_end():
+        raise QuerySyntaxError(
+            f"trailing characters: {scanner.text[scanner.pos:]!r}",
+            position=scanner.pos,
+        )
+    query = ConjunctiveQuery(name, tuple(head), tuple(atoms))
+    query.validate()
+    return query

@@ -1,0 +1,25 @@
+"""Rendering conjunctive queries back to the paper's notation.
+
+``parse_cq(unparse_cq(q)) == q`` holds for every parseable query, which
+makes CQs round-trippable for logging, caching and test shrinking.
+"""
+
+from __future__ import annotations
+
+from ..rpeq.unparse import unparse as unparse_rpeq
+from .ast import ConjunctiveQuery
+
+
+def unparse_cq(query: ConjunctiveQuery) -> str:
+    """Concrete syntax for a conjunctive query.
+
+    Raises:
+        ReproError: if an atom's path contains a bare epsilon (which has
+            no concrete rpeq spelling) — parser-produced queries never do.
+    """
+    head = ", ".join(query.head)
+    body = ", ".join(
+        f"{atom.source}({unparse_rpeq(atom.path)}) {atom.target}"
+        for atom in query.body
+    )
+    return f"{query.name}({head}) :- {body}"

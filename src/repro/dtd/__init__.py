@@ -1,0 +1,33 @@
+"""Streaming DTD validation (the Segoufin/Vianu related work, Sec. VIII).
+
+Validation runs as a pass-through filter over event streams with memory
+bounded by the document depth, and composes with querying::
+
+    from repro.dtd import DtdValidator, parse_dtd
+
+    validator = DtdValidator(parse_dtd(DTD_TEXT))
+    engine.run(validator.stream(events))
+"""
+
+from .analysis import SchemaAnalyzer
+from .generate import DocumentGenerator, generate_document
+from .model import Choice, Dtd, ElementDecl, Model, Optional_, Repeat, Seq, Sym
+from .parser import parse_dtd
+from .validator import DtdValidationError, DtdValidator
+
+__all__ = [
+    "Choice",
+    "DocumentGenerator",
+    "Dtd",
+    "DtdValidationError",
+    "DtdValidator",
+    "ElementDecl",
+    "Model",
+    "Optional_",
+    "Repeat",
+    "SchemaAnalyzer",
+    "Seq",
+    "Sym",
+    "generate_document",
+    "parse_dtd",
+]

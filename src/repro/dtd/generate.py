@@ -1,0 +1,183 @@
+"""Random generation of DTD-valid documents.
+
+Closes the loop on the DTD substrate: documents sampled from a DTD are
+accepted by the validator (property-tested), and any workload can be
+described as a DTD instead of hand-writing a generator.  Generation is
+seeded and streaming — recursive DTDs produce unbounded-depth trees, so
+a depth budget caps recursion (repetitions and optional/recursive
+particles collapse to their shortest form once the budget is hit).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..errors import ReproError
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from .model import Choice, Dtd, ElementDecl, Model, Optional_, Repeat, Seq, Sym
+
+
+class DocumentGenerator:
+    """Samples valid documents from a DTD."""
+
+    def __init__(
+        self,
+        dtd: Dtd,
+        seed: int = 7,
+        max_depth: int = 12,
+        max_repeat: int = 3,
+        text_probability: float = 0.3,
+    ) -> None:
+        """Create a generator.
+
+        Args:
+            dtd: the schema to sample from; every referenced element must
+                be declared.
+            seed: RNG seed (same seed, same document).
+            max_depth: recursion budget; at the limit, repetitions emit
+                their minimum and choices prefer non-recursive options.
+            max_repeat: cap on ``*``/``+`` repetition counts.
+            text_probability: chance of emitting text in mixed content.
+        """
+        undeclared = {
+            name
+            for decl in dtd.elements.values()
+            if decl.model is not None
+            for name in decl.model.symbols()
+            if name not in dtd.elements
+        }
+        if undeclared:
+            raise ReproError(
+                f"cannot generate: DTD references undeclared elements "
+                f"{sorted(undeclared)}"
+            )
+        self._check_terminating(dtd)
+        self.dtd = dtd
+        self.seed = seed
+        self.max_depth = max_depth
+        self.max_repeat = max_repeat
+        self.text_probability = text_probability
+
+    @staticmethod
+    def _check_terminating(dtd: Dtd) -> None:
+        """Reject DTDs whose minimal document is infinite.
+
+        ``<!ELEMENT tree (tree)>`` admits no finite document at all; a
+        least-fixpoint over minimal subtree sizes detects this.
+        """
+        size: dict[str, float] = {name: float("inf") for name in dtd.elements}
+
+        def minimal(model: Model | None, empty: bool) -> float:
+            if empty or model is None:
+                return 0.0
+            if isinstance(model, Sym):
+                return 1.0 + size[model.name]
+            if isinstance(model, Seq):
+                return sum(minimal(part, False) for part in model.parts)
+            if isinstance(model, Choice):
+                return min(
+                    (minimal(option, False) for option in model.options),
+                    default=0.0,
+                )
+            if isinstance(model, Repeat):
+                return minimal(model.inner, False) if model.at_least_one else 0.0
+            if isinstance(model, Optional_):
+                return 0.0
+            raise TypeError(f"not a content model: {model!r}")
+
+        for _ in range(len(dtd.elements) + 1):
+            changed = False
+            for name, decl in dtd.elements.items():
+                new_size = minimal(decl.model, decl.empty)
+                if new_size < size[name]:
+                    size[name] = new_size
+                    changed = True
+            if not changed:
+                break
+        dead = sorted(name for name, value in size.items() if value == float("inf"))
+        if dtd.root in dead:
+            raise ReproError(
+                f"cannot generate: elements {dead} admit no finite "
+                f"content (mandatory recursion)"
+            )
+
+    def events(self, seed: int | None = None) -> Iterator[Event]:
+        """One random valid document as an event stream."""
+        rng = random.Random(self.seed if seed is None else seed)
+        yield StartDocument()
+        yield from self._element(rng, self.dtd.root, depth=1)
+        yield EndDocument()
+
+    # ------------------------------------------------------------------
+
+    def _element(self, rng: random.Random, name: str, depth: int) -> Iterator[Event]:
+        decl = self.dtd.elements[name]
+        yield StartElement(name)
+        if decl.mixed and rng.random() < self.text_probability:
+            yield Text(f"t{rng.randrange(1000)}")
+        if decl.model is not None and not decl.empty:
+            for child in self._expand(rng, decl.model, depth):
+                yield from self._element(rng, child, depth + 1)
+                if decl.mixed and rng.random() < self.text_probability:
+                    yield Text(f"t{rng.randrange(1000)}")
+        yield EndElement(name)
+
+    def _expand(self, rng: random.Random, model: Model, depth: int) -> list[str]:
+        """A child-label word in the content model's language."""
+        exhausted = depth >= self.max_depth
+        if isinstance(model, Sym):
+            return [model.name]
+        if isinstance(model, Seq):
+            word: list[str] = []
+            for part in model.parts:
+                word.extend(self._expand(rng, part, depth))
+            return word
+        if isinstance(model, Choice):
+            if not model.options:
+                return []
+            option = rng.choice(model.options)
+            if exhausted:
+                # Prefer the shallowest option to wind recursion down.
+                option = min(model.options, key=self._min_height)
+            return self._expand(rng, option, depth)
+        if isinstance(model, Repeat):
+            minimum = 1 if model.at_least_one else 0
+            count = minimum if exhausted else rng.randint(minimum, self.max_repeat)
+            word = []
+            for _ in range(count):
+                word.extend(self._expand(rng, model.inner, depth))
+            return word
+        if isinstance(model, Optional_):
+            if exhausted or rng.random() < 0.5:
+                return []
+            return self._expand(rng, model.inner, depth)
+        raise TypeError(f"not a content model: {model!r}")
+
+    def _min_height(self, model: Model) -> int:
+        """Rough height of the shortest word: used to break recursion."""
+        if isinstance(model, Sym):
+            return 1
+        if isinstance(model, Seq):
+            return sum(self._min_height(part) for part in model.parts)
+        if isinstance(model, Choice):
+            return min(
+                (self._min_height(option) for option in model.options), default=0
+            )
+        if isinstance(model, Repeat):
+            return self._min_height(model.inner) if model.at_least_one else 0
+        if isinstance(model, Optional_):
+            return 0
+        return 0
+
+
+def generate_document(dtd: Dtd, seed: int = 7, **options) -> Iterator[Event]:
+    """Convenience: one random valid document for ``dtd``."""
+    return DocumentGenerator(dtd, seed=seed, **options).events()

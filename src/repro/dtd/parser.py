@@ -1,0 +1,193 @@
+"""Parser for the classic DTD element-declaration syntax.
+
+Supported input — a sequence of declarations, with or without the
+``<!DOCTYPE root [ ... ]>`` wrapper::
+
+    <!DOCTYPE site [
+      <!ELEMENT site (regions, people)>
+      <!ELEMENT regions (item*)>
+      <!ELEMENT item (name, (payment | barter)?, description+)>
+      <!ELEMENT name (#PCDATA)>
+      <!ELEMENT description ANY>
+      <!ELEMENT payment EMPTY>
+      <!ATTLIST item id CDATA #REQUIRED>        <!-- skipped -->
+    ]>
+
+``<!ATTLIST>``, ``<!ENTITY>``, ``<!NOTATION>``, comments and parameter
+entities are skipped (attributes are transparent to this library).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QuerySyntaxError
+from .model import Choice, Dtd, ElementDecl, Model, Optional_, Repeat, Seq, Sym
+
+_NAME = re.compile(r"[^\W\d][\w.\-]*", re.UNICODE)
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_space_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            if self.text[self.pos].isspace():
+                self.pos += 1
+            elif self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end < 0:
+                    raise QuerySyntaxError("unterminated comment", position=self.pos)
+                self.pos = end + 3
+            else:
+                return
+
+    def eat(self, token: str) -> bool:
+        self.skip_space_and_comments()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.eat(token):
+            raise QuerySyntaxError(f"expected {token!r} in DTD", position=self.pos)
+
+    def name(self) -> str:
+        self.skip_space_and_comments()
+        match = _NAME.match(self.text, self.pos)
+        if not match:
+            raise QuerySyntaxError("expected a name in DTD", position=self.pos)
+        self.pos = match.end()
+        return match.group()
+
+    def skip_until(self, token: str) -> None:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise QuerySyntaxError(f"missing {token!r} in DTD", position=self.pos)
+        self.pos = end + len(token)
+
+    def at_end(self) -> bool:
+        self.skip_space_and_comments()
+        return self.pos >= len(self.text)
+
+
+#: group-nesting bound; mirrors repro.rpeq.parser.MAX_NESTING
+_MAX_NESTING = 200
+
+
+def _parse_particle(scanner: _Scanner, depth: int = 0) -> Model:
+    """One particle: name or parenthesized group, with ?/*/+ suffix."""
+    if depth > _MAX_NESTING:
+        raise QuerySyntaxError(
+            f"content-model nesting exceeds {_MAX_NESTING} levels",
+            position=scanner.pos,
+        )
+    if scanner.eat("("):
+        inner = _parse_group_body(scanner, depth + 1)
+        scanner.expect(")")
+        particle: Model = inner
+    else:
+        particle = Sym(scanner.name())
+    if scanner.eat("?"):
+        return Optional_(particle)
+    if scanner.eat("*"):
+        return Repeat(particle, at_least_one=False)
+    if scanner.eat("+"):
+        return Repeat(particle, at_least_one=True)
+    return particle
+
+
+def _parse_group_body(scanner: _Scanner, depth: int = 0) -> Model:
+    first = _parse_particle(scanner, depth)
+    if scanner.eat(","):
+        parts = [first, _parse_particle(scanner, depth)]
+        while scanner.eat(","):
+            parts.append(_parse_particle(scanner, depth))
+        return Seq(tuple(parts))
+    if scanner.eat("|"):
+        options = [first, _parse_particle(scanner, depth)]
+        while scanner.eat("|"):
+            options.append(_parse_particle(scanner, depth))
+        return Choice(tuple(options))
+    return first
+
+
+def _parse_element_decl(scanner: _Scanner) -> ElementDecl:
+    name = scanner.name()
+    scanner.skip_space_and_comments()
+    if scanner.eat("EMPTY"):
+        scanner.expect(">")
+        return ElementDecl(name, empty=True)
+    if scanner.eat("ANY"):
+        scanner.expect(">")
+        return ElementDecl(name, mixed=True)
+    scanner.expect("(")
+    if scanner.eat("#PCDATA"):
+        options: list[Model] = []
+        while scanner.eat("|"):
+            options.append(Sym(scanner.name()))
+        scanner.expect(")")
+        scanner.eat("*")  # mixed models end in ')*' (optional for pure text)
+        scanner.expect(">")
+        if not options:
+            # pure text: no child elements allowed (the empty sequence
+            # accepts exactly the empty child string)
+            return ElementDecl(name, model=Seq(()), mixed=True)
+        model = Repeat(Choice(tuple(options)), at_least_one=False)
+        return ElementDecl(name, model=model, mixed=True)
+    body = _parse_group_body(scanner)
+    scanner.expect(")")
+    if scanner.eat("?"):
+        body = Optional_(body)
+    elif scanner.eat("*"):
+        body = Repeat(body, at_least_one=False)
+    elif scanner.eat("+"):
+        body = Repeat(body, at_least_one=True)
+    scanner.expect(">")
+    return ElementDecl(name, model=body)
+
+
+def parse_dtd(text: str, root: str | None = None) -> Dtd:
+    """Parse a DTD (bare declarations or a full ``<!DOCTYPE``).
+
+    Args:
+        text: the DTD source.
+        root: root element name; defaults to the DOCTYPE name or, for
+            bare declarations, the first declared element.
+
+    Raises:
+        QuerySyntaxError: on malformed declarations.
+    """
+    scanner = _Scanner(text)
+    doctype_root: str | None = None
+    if scanner.eat("<!DOCTYPE"):
+        doctype_root = scanner.name()
+        scanner.expect("[")
+    declarations: list[ElementDecl] = []
+    while not scanner.at_end():
+        if scanner.eat("]"):
+            scanner.expect(">")
+            break
+        if scanner.eat("<!ELEMENT"):
+            declarations.append(_parse_element_decl(scanner))
+        elif scanner.eat("<!ATTLIST") or scanner.eat("<!ENTITY") or scanner.eat("<!NOTATION"):
+            scanner.skip_until(">")
+        else:
+            raise QuerySyntaxError(
+                f"unexpected DTD content at offset {scanner.pos}",
+                position=scanner.pos,
+            )
+    if not declarations:
+        raise QuerySyntaxError("DTD declares no elements")
+    chosen_root = root or doctype_root or declarations[0].name
+    dtd = Dtd(root=chosen_root)
+    for declaration in declarations:
+        if declaration.name in dtd.elements:
+            raise QuerySyntaxError(
+                f"element {declaration.name!r} declared twice"
+            )
+        dtd.elements[declaration.name] = declaration
+    return dtd

@@ -1,0 +1,261 @@
+"""Streaming DTD validation.
+
+The validator is the pushdown machine of the Segoufin/Vianu analysis:
+one stack entry per open element holding the state set of a lazily
+determinized automaton for that element's content model.  Memory is
+``O(depth x |DTD|)`` — independent of the stream length — and the pass
+is single and incremental, so validation composes with querying::
+
+    validator = DtdValidator(parse_dtd(DTD_TEXT))
+    for match in SpexEngine(query).run(validator.stream(events)):
+        ...
+
+Validation failures raise :class:`DtdValidationError` with the offending
+element and a description of what the content model expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import ReproError
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from .model import Choice, Dtd, ElementDecl, Model, Optional_, Repeat, Seq, Sym
+
+
+class DtdValidationError(ReproError):
+    """The stream violates the DTD."""
+
+
+@dataclass
+class _Nfa:
+    start: int
+    accept: int
+    transitions: dict[int, list[tuple[str, int]]] = field(default_factory=dict)
+    epsilon: dict[int, list[int]] = field(default_factory=dict)
+
+
+class _ModelAutomaton:
+    """Lazy-DFA matcher for one element's content model."""
+
+    def __init__(self, model: Model) -> None:
+        self._counter = 0
+        self._nfa = _Nfa(0, 0)
+        self._nfa.start, self._nfa.accept = self._build(model)
+        self._closure_cache: dict[frozenset[int], frozenset[int]] = {}
+        self._step_cache: dict[tuple[frozenset[int], str], frozenset[int]] = {}
+        self.initial = self._closure(frozenset((self._nfa.start,)))
+
+    def _fresh(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def _build(self, model: Model) -> tuple[int, int]:
+        if isinstance(model, Sym):
+            start, accept = self._fresh(), self._fresh()
+            self._nfa.transitions.setdefault(start, []).append((model.name, accept))
+            return start, accept
+        if isinstance(model, Seq):
+            start = current = self._fresh()
+            for part in model.parts:
+                part_start, part_accept = self._build(part)
+                self._nfa.epsilon.setdefault(current, []).append(part_start)
+                current = part_accept
+            return start, current
+        if isinstance(model, Choice):
+            start, accept = self._fresh(), self._fresh()
+            for option in model.options:
+                option_start, option_accept = self._build(option)
+                self._nfa.epsilon.setdefault(start, []).append(option_start)
+                self._nfa.epsilon.setdefault(option_accept, []).append(accept)
+            return start, accept
+        if isinstance(model, Repeat):
+            start, accept = self._fresh(), self._fresh()
+            inner_start, inner_accept = self._build(model.inner)
+            self._nfa.epsilon.setdefault(start, []).append(inner_start)
+            self._nfa.epsilon.setdefault(inner_accept, []).append(accept)
+            self._nfa.epsilon.setdefault(inner_accept, []).append(inner_start)
+            if not model.at_least_one:
+                self._nfa.epsilon.setdefault(start, []).append(accept)
+            return start, accept
+        if isinstance(model, Optional_):
+            start, accept = self._build(model.inner)
+            wrapped_start, wrapped_accept = self._fresh(), self._fresh()
+            self._nfa.epsilon.setdefault(wrapped_start, []).append(start)
+            self._nfa.epsilon.setdefault(accept, []).append(wrapped_accept)
+            self._nfa.epsilon.setdefault(wrapped_start, []).append(wrapped_accept)
+            return wrapped_start, wrapped_accept
+        raise TypeError(f"not a content model: {model!r}")
+
+    def _closure(self, states: frozenset[int]) -> frozenset[int]:
+        cached = self._closure_cache.get(states)
+        if cached is not None:
+            return cached
+        result = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for target in self._nfa.epsilon.get(state, ()):
+                if target not in result:
+                    result.add(target)
+                    stack.append(target)
+        frozen = frozenset(result)
+        self._closure_cache[states] = frozen
+        return frozen
+
+    def step(self, states: frozenset[int], label: str) -> frozenset[int]:
+        key = (states, label)
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            return cached
+        moved = frozenset(
+            target
+            for state in states
+            for symbol, target in self._nfa.transitions.get(state, ())
+            if symbol == label
+        )
+        result = self._closure(moved)
+        self._step_cache[key] = result
+        return result
+
+    def accepting(self, states: frozenset[int]) -> bool:
+        return self._nfa.accept in states
+
+
+@dataclass
+class _Frame:
+    label: str
+    decl: ElementDecl | None
+    states: frozenset[int] | None  # None for ANY / EMPTY / undeclared
+
+
+class DtdValidator:
+    """Validates event streams against a DTD, as a pass-through filter."""
+
+    def __init__(self, dtd: Dtd, strict_undeclared: bool = True) -> None:
+        """Create a validator.
+
+        Args:
+            dtd: the document type definition.
+            strict_undeclared: reject elements the DTD does not declare;
+                when ``False`` they are treated as ``ANY``.
+        """
+        self.dtd = dtd
+        self.strict_undeclared = strict_undeclared
+        self._automata: dict[str, _ModelAutomaton] = {}
+        for name, decl in dtd.elements.items():
+            if decl.model is not None:
+                self._automata[name] = _ModelAutomaton(decl.model)
+
+    # ------------------------------------------------------------------
+
+    def stream(self, events: Iterable[Event]) -> Iterator[Event]:
+        """Yield events unchanged, validating as they pass.
+
+        Raises:
+            DtdValidationError: at the first violation.
+        """
+        stack: list[_Frame] = []
+        saw_root = False
+        for event in events:
+            if isinstance(event, StartDocument):
+                pass
+            elif isinstance(event, StartElement):
+                if not stack:
+                    if saw_root:
+                        raise DtdValidationError(
+                            f"multiple root elements; second is <{event.label}>"
+                        )
+                    if event.label != self.dtd.root:
+                        raise DtdValidationError(
+                            f"root element is <{event.label}>, DTD expects "
+                            f"<{self.dtd.root}>"
+                        )
+                    saw_root = True
+                self._enter_child(stack, event.label)
+                stack.append(self._open_frame(event.label))
+            elif isinstance(event, EndElement):
+                frame = stack.pop()
+                self._check_complete(frame)
+            elif isinstance(event, Text):
+                if event.content.strip():
+                    self._check_text_allowed(stack)
+            elif isinstance(event, EndDocument):
+                if not saw_root:
+                    raise DtdValidationError("document has no root element")
+            yield event
+
+    def is_valid(self, events: Iterable[Event]) -> bool:
+        """Consume a stream and report validity without raising."""
+        try:
+            for _ in self.stream(events):
+                pass
+        except DtdValidationError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _open_frame(self, label: str) -> _Frame:
+        decl = self.dtd.declaration(label)
+        if decl is None:
+            if self.strict_undeclared:
+                raise DtdValidationError(f"element <{label}> is not declared")
+            return _Frame(label, None, None)
+        automaton = self._automata.get(label)
+        states = automaton.initial if automaton is not None else None
+        return _Frame(label, decl, states)
+
+    def _enter_child(self, stack: list[_Frame], label: str) -> None:
+        if not stack:
+            return
+        frame = stack[-1]
+        if frame.decl is None:
+            return  # undeclared (lenient mode) behaves like ANY
+        if frame.decl.empty:
+            raise DtdValidationError(
+                f"<{frame.label}> is declared EMPTY but contains <{label}>"
+            )
+        if frame.states is None:
+            return  # ANY
+        automaton = self._automata[frame.label]
+        next_states = automaton.step(frame.states, label)
+        if not next_states:
+            raise DtdValidationError(
+                f"<{label}> not allowed here inside <{frame.label}> "
+                f"(content model: {frame.decl.model})"
+            )
+        frame.states = next_states
+
+    def _check_complete(self, frame: _Frame) -> None:
+        if frame.decl is None or frame.states is None:
+            return
+        automaton = self._automata[frame.label]
+        if not automaton.accepting(frame.states):
+            raise DtdValidationError(
+                f"<{frame.label}> ended before its content model was "
+                f"satisfied (model: {frame.decl.model})"
+            )
+
+    def _check_text_allowed(self, stack: list[_Frame]) -> None:
+        if not stack:
+            raise DtdValidationError("text outside the root element")
+        frame = stack[-1]
+        if frame.decl is None:
+            return
+        if frame.decl.empty:
+            raise DtdValidationError(
+                f"<{frame.label}> is declared EMPTY but contains text"
+            )
+        if not frame.decl.mixed:
+            raise DtdValidationError(
+                f"<{frame.label}> has element content; text is not allowed"
+            )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the SPEX reproduction.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse errors from stream errors from engine errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class QuerySyntaxError(ReproError):
+    """An rpeq or conjunctive query could not be parsed.
+
+    Attributes:
+        position: character offset in the query text where parsing failed,
+            or ``None`` when the failure is not tied to a single position.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedFeatureError(ReproError):
+    """A query uses a construct outside the supported fragment.
+
+    Raised, for example, by the XPath translator for axes that the rpeq
+    fragment of the paper does not cover (reverse axes are rewritten where
+    possible; value comparisons are not supported).
+    """
+
+
+class StreamError(ReproError):
+    """An XML event stream is malformed.
+
+    Covers mismatched end tags, events outside the document envelope,
+    and premature end of stream.
+    """
+
+
+class EngineError(ReproError):
+    """Internal evaluation invariant violated.
+
+    This indicates a bug in the engine (or a hand-built network wired
+    incorrectly), never a user input problem.
+    """
+
+
+class CompilationError(ReproError):
+    """An rpeq or conjunctive query could not be compiled into a network."""

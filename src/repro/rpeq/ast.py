@@ -1,0 +1,191 @@
+"""Abstract syntax for regular path expressions with qualifiers (rpeq).
+
+The grammar (paper, Sec. II.2)::
+
+    rpeq ::= epsilon | label | label* | label+ | (rpeq|rpeq)
+           | (rpeq . rpeq) | rpeq? | rpeq [ rpeq ]
+
+where ``label`` is an element name or the wildcard ``_`` matching every
+label.  ``label*`` is sugar for ``(label+ | epsilon)`` and ``rpeq?`` for
+``(rpeq | epsilon)``; both are kept as AST nodes so compilers can choose
+whether to expand them.
+
+AST nodes are immutable, hashable dataclasses.  The declarative semantics
+(used by the DOM oracle in :mod:`repro.baselines.dom_eval`) evaluates an
+expression relative to a context node ``u`` to a set of nodes:
+
+* ``epsilon``       -> ``{u}``
+* ``l``             -> children of ``u`` labeled ``l``
+* ``l+``            -> nodes reachable from ``u`` by one or more child
+  steps, every step labeled ``l`` (for the wildcard: all descendants)
+* ``E1.E2``         -> image of ``E2`` over ``eval(E1, u)``
+* ``E1|E2``         -> union
+* ``E?``            -> ``{u} ∪ eval(E, u)``
+* ``E1[E2]``        -> ``{v ∈ eval(E1,u) : eval(E2,v) ≠ ∅}``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: The wildcard label ``_``; matches every element label.
+WILDCARD = "_"
+
+
+@dataclass(frozen=True, slots=True)
+class Rpeq:
+    """Base class of all rpeq AST nodes."""
+
+    def children(self) -> tuple["Rpeq", ...]:
+        """Immediate sub-expressions, for generic traversals."""
+        return ()
+
+    def walk(self) -> Iterator["Rpeq"]:
+        """Yield this node and all sub-expressions, pre-order.
+
+        Iterative, so arbitrarily long queries never exhaust the
+        interpreter stack.
+        """
+        stack: list[Rpeq] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Rpeq):
+    """The empty path ``epsilon`` — selects the context node itself."""
+
+
+@dataclass(frozen=True, slots=True)
+class Label(Rpeq):
+    """A single child step: ``a`` or the wildcard ``_``."""
+
+    name: str
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == WILDCARD
+
+    def matches(self, label: str) -> bool:
+        """Whether this step's label test accepts an element label."""
+        return self.is_wildcard or self.name == label
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(Rpeq):
+    """Positive closure of a label step: ``a+`` (one or more ``a`` steps)."""
+
+    label: Label
+
+    def children(self) -> tuple[Rpeq, ...]:
+        return (self.label,)
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Rpeq):
+    """Kleene closure of a label step: ``a*`` == ``(a+ | epsilon)``."""
+
+    label: Label
+
+    def children(self) -> tuple[Rpeq, ...]:
+        return (self.label,)
+
+
+@dataclass(frozen=True, slots=True)
+class Following(Rpeq):
+    """The ``following::label`` step (prototype extension, paper Sec. I).
+
+    Selects elements whose start tag appears after the context node's end
+    tag — i.e. everything later in document order outside the context's
+    subtree — filtered by the label test.
+    """
+
+    label: Label
+
+    def children(self) -> tuple[Rpeq, ...]:
+        return (self.label,)
+
+
+@dataclass(frozen=True, slots=True)
+class Preceding(Rpeq):
+    """The ``preceding::label`` step (prototype extension, paper Sec. I).
+
+    Selects elements whose end tag appears before the context node's
+    start tag — everything earlier in document order that is not an
+    ancestor — filtered by the label test.  Inherently non-progressive:
+    matches can only be confirmed once a later context node appears, so
+    candidates buffer until then (or until document end).
+    """
+
+    label: Label
+
+    def children(self) -> tuple[Rpeq, ...]:
+        return (self.label,)
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Rpeq):
+    """Path concatenation ``E1.E2``."""
+
+    left: Rpeq
+    right: Rpeq
+
+    def children(self) -> tuple[Rpeq, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Rpeq):
+    """Alternative paths ``(E1 | E2)``."""
+
+    left: Rpeq
+    right: Rpeq
+
+    def children(self) -> tuple[Rpeq, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, slots=True)
+class OptionalExpr(Rpeq):
+    """Optional path ``E?`` == ``(E | epsilon)``."""
+
+    inner: Rpeq
+
+    def children(self) -> tuple[Rpeq, ...]:
+        return (self.inner,)
+
+
+@dataclass(frozen=True, slots=True)
+class Qualifier(Rpeq):
+    """A qualified expression ``E[F]``.
+
+    Selects the nodes of ``E`` from which the qualifier path ``F`` reaches
+    at least one node (existential semantics, as in XPath predicates).
+    """
+
+    base: Rpeq
+    condition: Rpeq
+
+    def children(self) -> tuple[Rpeq, ...]:
+        return (self.base, self.condition)
+
+
+def descendant_or_self() -> Star:
+    """The ubiquitous ``_*`` prefix (any path, including the empty one)."""
+    return Star(Label(WILDCARD))
+
+
+def concat_all(parts: list[Rpeq]) -> Rpeq:
+    """Left-fold a list of expressions into nested :class:`Concat` nodes.
+
+    An empty list yields :class:`Empty`; a singleton is returned as-is.
+    """
+    if not parts:
+        return Empty()
+    expr = parts[0]
+    for part in parts[1:]:
+        expr = Concat(expr, part)
+    return expr

@@ -1,0 +1,122 @@
+"""Random rpeq generation for differential testing and benchmarks.
+
+The generator is seeded and size-bounded so failures shrink to small,
+reproducible queries.  Weights are biased toward the constructs that stress
+the engine most (wildcard closure, qualifiers); tests tune them per suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .ast import (
+    Concat,
+    Label,
+    OptionalExpr,
+    Plus,
+    Qualifier,
+    Rpeq,
+    Star,
+    Union,
+    WILDCARD,
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Tunable parameters for :func:`random_rpeq`.
+
+    Attributes:
+        labels: pool of element names to draw from (the wildcard is added
+            separately via ``wildcard_weight``).
+        max_depth: bound on AST nesting.
+        wildcard_weight: probability that a label step is the wildcard.
+        allow_qualifiers: include ``E[F]`` nodes.
+        allow_closures: include ``+``/``*`` steps.
+        allow_unions: include ``|`` nodes.
+        allow_optionals: include ``?`` nodes.
+    """
+
+    labels: tuple[str, ...] = ("a", "b", "c", "d")
+    max_depth: int = 4
+    wildcard_weight: float = 0.25
+    allow_qualifiers: bool = True
+    allow_closures: bool = True
+    allow_unions: bool = True
+    allow_optionals: bool = True
+    weights: dict[str, float] = field(default_factory=dict)
+
+
+_DEFAULT_WEIGHTS = {
+    "label": 4.0,
+    "closure": 2.0,
+    "concat": 3.0,
+    "union": 1.0,
+    "optional": 0.5,
+    "qualifier": 1.5,
+}
+
+
+def _pick_label(rng: random.Random, config: GeneratorConfig) -> Label:
+    if rng.random() < config.wildcard_weight:
+        return Label(WILDCARD)
+    return Label(rng.choice(config.labels))
+
+
+def random_rpeq(rng: random.Random, config: GeneratorConfig | None = None, depth: int = 0) -> Rpeq:
+    """Draw a random rpeq AST from a seeded :class:`random.Random`."""
+    config = config or GeneratorConfig()
+    weights = dict(_DEFAULT_WEIGHTS)
+    weights.update(config.weights)
+    choices: list[tuple[str, float]] = [("label", weights["label"])]
+    if config.allow_closures:
+        choices.append(("closure", weights["closure"]))
+    if depth < config.max_depth:
+        choices.append(("concat", weights["concat"]))
+        if config.allow_unions:
+            choices.append(("union", weights["union"]))
+        if config.allow_optionals:
+            choices.append(("optional", weights["optional"]))
+        if config.allow_qualifiers:
+            choices.append(("qualifier", weights["qualifier"]))
+    total = sum(weight for _, weight in choices)
+    roll = rng.random() * total
+    for kind, weight in choices:
+        roll -= weight
+        if roll <= 0:
+            break
+    if kind == "label":
+        return _pick_label(rng, config)
+    if kind == "closure":
+        label = _pick_label(rng, config)
+        return Plus(label) if rng.random() < 0.5 else Star(label)
+    if kind == "concat":
+        return Concat(
+            random_rpeq(rng, config, depth + 1), random_rpeq(rng, config, depth + 1)
+        )
+    if kind == "union":
+        return Union(
+            random_rpeq(rng, config, depth + 1), random_rpeq(rng, config, depth + 1)
+        )
+    if kind == "optional":
+        return OptionalExpr(random_rpeq(rng, config, depth + 1))
+    return Qualifier(
+        random_rpeq(rng, config, depth + 1), random_rpeq(rng, config, depth + 1)
+    )
+
+
+def query_family(prefix_steps: int, qualifiers: int) -> Rpeq:
+    """Deterministic query family used by the compile-time benchmark (E7).
+
+    Produces ``_*.a1[b].a2[b] ... an[b]`` with ``prefix_steps`` labeled
+    steps, the first ``qualifiers`` of which carry a ``[b]`` qualifier —
+    a family whose length grows linearly and predictably.
+    """
+    expr: Rpeq = Star(Label(WILDCARD))
+    for index in range(prefix_steps):
+        step: Rpeq = Label(f"s{index}")
+        if index < qualifiers:
+            step = Qualifier(step, Label("b"))
+        expr = Concat(expr, step)
+    return expr

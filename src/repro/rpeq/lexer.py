@@ -1,0 +1,89 @@
+"""Tokenizer for the rpeq concrete syntax.
+
+Token kinds::
+
+    NAME   element label (XML name characters) or the wildcard '_'
+    DOT    .      step separator (concatenation)
+    PIPE   |      union
+    STAR   *      Kleene closure (postfix on a label)
+    PLUS   +      positive closure (postfix on a label)
+    QMARK  ?      optional (postfix)
+    LPAR ( RPAR ) grouping
+    LBRK [ RBRK ] qualifier brackets
+    AXIS   ::     axis separator (following:: / preceding:: extension)
+    END           end of input
+
+Whitespace between tokens is ignored, so ``_* . a [ b ] . c`` and
+``_*.a[b].c`` tokenize identically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import QuerySyntaxError
+
+# NOTE: '.' is both the concatenation operator and a legal XML name
+# character.  Like the paper's examples we treat '.' exclusively as the
+# operator, so names are tokenized without dots.  The first character is
+# any unicode letter or '_' (never a digit); XML names are unicode.
+_NAME_RE = re.compile(r"[^\W\d][\w\-]*", re.UNICODE)
+
+_PUNCT = {
+    ".": "DOT",
+    "|": "PIPE",
+    "*": "STAR",
+    "+": "PLUS",
+    "?": "QMARK",
+    "(": "LPAR",
+    ")": "RPAR",
+    "[": "LBRK",
+    "]": "RBRK",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: one of the token kinds listed in the module docstring.
+        text: the matched source text (empty for ``END``).
+        position: character offset of the token in the query string.
+    """
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(query: str) -> Iterator[Token]:
+    """Yield the tokens of a query string, ending with an ``END`` token.
+
+    Raises:
+        QuerySyntaxError: on any character that starts no token.
+    """
+    index = 0
+    length = len(query)
+    while index < length:
+        char = query[index]
+        if char.isspace():
+            index += 1
+            continue
+        if query.startswith("::", index):
+            yield Token("AXIS", "::", index)
+            index += 2
+            continue
+        if char in _PUNCT:
+            yield Token(_PUNCT[char], char, index)
+            index += 1
+            continue
+        match = _NAME_RE.match(query, index)
+        if match:
+            yield Token("NAME", match.group(), index)
+            index = match.end()
+            continue
+        raise QuerySyntaxError(f"unexpected character {char!r}", position=index)
+    yield Token("END", "", length)

@@ -1,0 +1,191 @@
+"""Recursive-descent parser for rpeq.
+
+Operator precedence, loosest to tightest::
+
+    union          E | E
+    concatenation  E . E
+    postfix        E?   E[F]   and, on labels only, E* / E+
+
+The paper's grammar attaches ``*`` and ``+`` to labels only (general
+expression closure would take the language beyond what the child/closure
+transducer pair implements), and the parser enforces that: ``(a.b)+``
+raises :class:`~repro.errors.UnsupportedFeatureError`.
+
+The empty path ``epsilon`` has no concrete spelling; it arises from the
+desugaring of ``?`` and ``*``.  As a convenience, an entirely empty query
+string parses to :class:`~repro.rpeq.ast.Empty` (selecting the root).
+"""
+
+from __future__ import annotations
+
+from ..errors import QuerySyntaxError, UnsupportedFeatureError
+from .ast import (
+    WILDCARD,
+    Concat,
+    Empty,
+    Following,
+    Label,
+    OptionalExpr,
+    Plus,
+    Preceding,
+    Qualifier,
+    Rpeq,
+    Star,
+    Union,
+)
+from .lexer import Token, tokenize
+
+
+#: Nesting bound for parentheses/qualifiers — generous for real queries,
+#: small enough that pathological inputs fail with a clean syntax error
+#: instead of exhausting the interpreter stack.
+MAX_NESTING = 200
+
+
+class _Parser:
+    """Single-pass recursive-descent parser over a token list."""
+
+    def __init__(self, query: str) -> None:
+        self._tokens = list(tokenize(query))
+        self._index = 0
+        self._depth = 0
+
+    def _enter(self, position: int) -> None:
+        self._depth += 1
+        if self._depth > MAX_NESTING:
+            raise QuerySyntaxError(
+                f"query nesting exceeds {MAX_NESTING} levels",
+                position=position,
+            )
+
+    def _leave(self) -> None:
+        self._depth -= 1
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._current
+        if token.kind != kind:
+            raise QuerySyntaxError(
+                f"expected {kind}, found {token.text or 'end of query'!r}",
+                position=token.position,
+            )
+        return self._advance()
+
+    def parse(self) -> Rpeq:
+        if self._current.kind == "END":
+            return Empty()
+        expr = self._union()
+        if self._current.kind != "END":
+            token = self._current
+            raise QuerySyntaxError(
+                f"unexpected {token.text!r} after expression", position=token.position
+            )
+        return expr
+
+    def _union(self) -> Rpeq:
+        expr = self._concat()
+        while self._current.kind == "PIPE":
+            self._advance()
+            expr = Union(expr, self._concat())
+        return expr
+
+    def _concat(self) -> Rpeq:
+        expr = self._postfix()
+        while self._current.kind == "DOT":
+            self._advance()
+            expr = Concat(expr, self._postfix())
+        return expr
+
+    def _postfix(self) -> Rpeq:
+        expr = self._atom()
+        while True:
+            kind = self._current.kind
+            if kind == "QMARK":
+                self._advance()
+                expr = OptionalExpr(expr)
+            elif kind == "LBRK":
+                self._enter(self._current.position)
+                self._advance()
+                condition = self._union()
+                self._expect("RBRK")
+                self._leave()
+                expr = Qualifier(expr, condition)
+            elif kind in ("STAR", "PLUS"):
+                token = self._advance()
+                if not isinstance(expr, Label):
+                    raise UnsupportedFeatureError(
+                        f"closure '{token.text}' applies to labels only in the "
+                        f"rpeq grammar (offset {token.position}); use e.g. "
+                        f"'_*' or rewrite the query"
+                    )
+                expr = Plus(expr) if kind == "PLUS" else Star(expr)
+            else:
+                return expr
+
+    def _atom(self) -> Rpeq:
+        token = self._current
+        if token.kind == "NAME":
+            self._advance()
+            if self._current.kind == "AXIS":
+                return self._axis_step(token)
+            return Label(token.text)
+        if token.kind == "LPAR":
+            self._enter(token.position)
+            self._advance()
+            expr = self._union()
+            self._expect("RPAR")
+            self._leave()
+            return expr
+        raise QuerySyntaxError(
+            f"expected a label or '(', found {token.text or 'end of query'!r}",
+            position=token.position,
+        )
+
+    def _axis_step(self, axis_token) -> Rpeq:
+        """``axis::label`` steps — the XPath-style extended navigation.
+
+        ``following``/``preceding`` are the prototype extensions of the
+        paper's Sec. I; ``child`` and ``descendant`` are accepted as
+        explicit spellings of the core steps.
+        """
+        self._advance()  # the '::'
+        test_token = self._expect("NAME")
+        test = Label(test_token.text)
+        axis = axis_token.text
+        if axis == "following":
+            return Following(test)
+        if axis == "preceding":
+            return Preceding(test)
+        if axis == "child":
+            return test
+        if axis == "descendant":
+            return Concat(Star(Label(WILDCARD)), test)
+        raise QuerySyntaxError(
+            f"unknown axis {axis!r} (supported: child, descendant, "
+            f"following, preceding)",
+            position=axis_token.position,
+        )
+
+
+def parse(query: str) -> Rpeq:
+    """Parse an rpeq query string into its AST.
+
+    Examples::
+
+        parse("_*.a[b].c")
+        parse("a+.c+")
+        parse("(province|state).city")
+
+    Raises:
+        QuerySyntaxError: on malformed input.
+        UnsupportedFeatureError: for closure over non-label expressions.
+    """
+    return _Parser(query).parse()

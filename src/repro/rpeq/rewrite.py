@@ -1,0 +1,139 @@
+"""Semantics-preserving rpeq simplification.
+
+Since the network degree is linear in the query size (Lemma V.1), every
+construct removed before compilation is a transducer the stream never has
+to pass through.  :func:`simplify` applies a fixpoint of local rewrites,
+each justified by the declarative semantics (and property-tested against
+the DOM oracle on random documents):
+
+    epsilon . E            ->  E
+    E . epsilon            ->  E
+    (E | E)                ->  E              (set semantics)
+    (E | epsilon)          ->  E?
+    (E?)?                  ->  E?
+    epsilon?               ->  epsilon
+    (l*)? / (l+)?          ->  l*
+    l* . l*                ->  l*             (i+j >= 0)
+    l* . l+  /  l+ . l*    ->  l+             (i+j >= 1)
+    (x | _)                ->  _              (wildcard absorbs, per kind)
+    E[epsilon] / E[F?] / E[l*]  ->  E         (condition always true)
+    E[F][F]                ->  E[F]
+
+Qualifier conditions are simplified recursively; ``E[F]`` with ``F``
+unsatisfiable is *not* reduced to the empty query here — emptiness needs
+a schema (see :mod:`repro.dtd.analysis`).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Concat,
+    Empty,
+    Label,
+    OptionalExpr,
+    Plus,
+    Qualifier,
+    Rpeq,
+    Star,
+    Union,
+)
+
+
+def _always_nonempty(condition: Rpeq) -> bool:
+    """Conditions that select at least the context node on any input."""
+    if isinstance(condition, (Empty, Star, OptionalExpr)):
+        return True
+    if isinstance(condition, Union):
+        return _always_nonempty(condition.left) or _always_nonempty(condition.right)
+    if isinstance(condition, Qualifier):
+        # E[F] with both parts trivially non-empty stays non-empty.
+        return _always_nonempty(condition.base) and _always_nonempty(
+            condition.condition
+        )
+    return False
+
+
+def _simplify_once(expr: Rpeq) -> Rpeq:
+    """One bottom-up pass of the rewrite rules."""
+    if isinstance(expr, Concat):
+        left = _simplify_once(expr.left)
+        right = _simplify_once(expr.right)
+        if isinstance(left, Empty):
+            return right
+        if isinstance(right, Empty):
+            return left
+        # closure fusion over the same label test — but never Plus.Plus,
+        # which requires at least TWO steps and is not expressible as a
+        # single closure
+        if (
+            isinstance(left, (Star, Plus))
+            and isinstance(right, (Star, Plus))
+            and left.label == right.label
+            and not (isinstance(left, Plus) and isinstance(right, Plus))
+        ):
+            if isinstance(left, Star) and isinstance(right, Star):
+                return Star(left.label)
+            return Plus(left.label)
+        return Concat(left, right)
+    if isinstance(expr, Union):
+        left = _simplify_once(expr.left)
+        right = _simplify_once(expr.right)
+        if left == right:
+            return left
+        if isinstance(left, Empty):
+            return _simplify_once(OptionalExpr(right))
+        if isinstance(right, Empty):
+            return _simplify_once(OptionalExpr(left))
+        # wildcard absorption within the same step kind
+        for absorber, absorbed in ((left, right), (right, left)):
+            if (
+                isinstance(absorber, Label)
+                and absorber.is_wildcard
+                and isinstance(absorbed, Label)
+            ):
+                return absorber
+            if (
+                isinstance(absorber, Plus)
+                and absorber.label.is_wildcard
+                and isinstance(absorbed, Plus)
+            ):
+                return absorber
+            if (
+                isinstance(absorber, Star)
+                and absorber.label.is_wildcard
+                and isinstance(absorbed, Star)
+            ):
+                return absorber
+        return Union(left, right)
+    if isinstance(expr, OptionalExpr):
+        inner = _simplify_once(expr.inner)
+        if isinstance(inner, (Empty, OptionalExpr, Star)):
+            return inner
+        if isinstance(inner, Plus):
+            return Star(inner.label)
+        return OptionalExpr(inner)
+    if isinstance(expr, Qualifier):
+        base = _simplify_once(expr.base)
+        condition = _simplify_once(expr.condition)
+        if _always_nonempty(condition):
+            return base
+        if isinstance(base, Qualifier) and base.condition == condition:
+            return base
+        return Qualifier(base, condition)
+    # Labels, closures, axes, Empty: leaves (closure labels are atomic).
+    return expr
+
+
+def simplify(expr: Rpeq, max_passes: int = 10) -> Rpeq:
+    """Apply the rewrite rules to a fixpoint.
+
+    The rules strictly shrink the AST, so the fixpoint is reached within
+    a handful of passes; ``max_passes`` is a safety bound.
+    """
+    current = expr
+    for _ in range(max_passes):
+        simplified = _simplify_once(current)
+        if simplified == current:
+            return simplified
+        current = simplified
+    return current

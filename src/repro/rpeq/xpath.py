@@ -1,0 +1,348 @@
+"""Translating the XPath forward fragment into rpeq.
+
+The paper (Sec. II.2) notes that rpeq covers the XPath fragment with only
+the forward axes ``child`` and ``descendant`` and structural predicates.
+This module implements that translation so users can write familiar XPath:
+
+    //country[province]/name        ->  _*.country[province].name
+    /a/b//c                         ->  a.b._*.c
+    //a[.//b]/c                     ->  _*.a[_*.b].c
+
+Supported:
+
+* steps separated by ``/`` and ``//``;
+* name tests and ``*`` (mapped to the rpeq wildcard ``_``);
+* explicit ``child::`` and ``descendant::`` / ``descendant-or-self::``
+  axes, plus ``self::node()`` and the ``.`` abbreviation;
+* structural predicates ``[relative-path]``, nested arbitrarily, and
+  predicate disjunction via the XPath union ``|`` inside predicates.
+
+Anything else — reverse axes, attributes, functions, positional or value
+predicates — raises :class:`~repro.errors.UnsupportedFeatureError` with a
+message naming the offending construct.  (The rewriting of reverse axes
+into forward ones cited by the paper [Olteanu et al., "XPath: Looking
+Forward"] applies at the XPath level and is out of scope here.)
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QuerySyntaxError, UnsupportedFeatureError
+from .ast import (
+    WILDCARD,
+    Concat,
+    Empty,
+    Following,
+    Label,
+    Plus,
+    Preceding,
+    Qualifier,
+    Rpeq,
+    Star,
+    Union,
+)
+
+_NAME = re.compile(r"[A-Za-z_][\w.\-]*")
+
+_UNSUPPORTED_AXES = (
+    "ancestor-or-self::",
+    "preceding-sibling::",
+    "following-sibling::",
+    "attribute::",
+    "namespace::",
+)
+
+
+#: predicate-nesting bound; mirrors repro.rpeq.parser.MAX_NESTING
+_MAX_NESTING = 200
+
+
+class _XPathParser:
+    """Hand-rolled parser for the supported XPath fragment."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._depth = 0
+
+    def _peek(self, token: str) -> bool:
+        return self._text.startswith(token, self._pos)
+
+    def _eat(self, token: str) -> bool:
+        if self._peek(token):
+            self._pos += len(token)
+            return True
+        return False
+
+    def _skip_space(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1
+
+    def _fail_unsupported(self, what: str) -> None:
+        raise UnsupportedFeatureError(
+            f"XPath construct {what!r} is outside the forward child/"
+            f"descendant fragment with structural predicates "
+            f"(offset {self._pos} in {self._text!r})"
+        )
+
+    def parse(self) -> Rpeq:
+        expr = self.parse_path(absolute_ok=True)
+        self._skip_space()
+        if self._pos != len(self._text):
+            raise QuerySyntaxError(
+                f"trailing characters in XPath: {self._text[self._pos:]!r}",
+                position=self._pos,
+            )
+        return expr
+
+    def parse_path(self, absolute_ok: bool) -> Rpeq:
+        """Parse a location path into an rpeq expression."""
+        self._skip_space()
+        parts: list[Rpeq] = []
+        descend = False
+        if self._eat("//"):
+            descend = True
+        elif self._eat("/"):
+            if not absolute_ok:
+                # A leading '/' in a predicate would be an absolute path;
+                # the streamed model evaluates predicates relative to the
+                # candidate node only.
+                self._fail_unsupported("absolute path inside a predicate")
+        while True:
+            self._skip_space()
+            if self._peek("parent::") or self._peek("ancestor::"):
+                if descend:
+                    self._fail_unsupported("'//' before a reverse axis")
+                parts = self._rewrite_reverse_step(parts)
+            else:
+                parts.extend(self._parse_step(descend))
+            self._skip_space()
+            if self._eat("//"):
+                descend = True
+                continue
+            if self._eat("/"):
+                descend = False
+                continue
+            break
+        if not parts and descend:
+            # Bare '//' selects all descendants: '_*._' keeps it a step.
+            parts.extend((Star(Label(WILDCARD)), Label(WILDCARD)))
+        return _concat(parts)
+
+    def _parse_step(self, descend: bool) -> list[Rpeq]:
+        """One location step as a flat list of rpeq parts.
+
+        A descendant step contributes ``[_*,  label[preds]]`` so the
+        translation of ``/a//b`` is the idiomatic ``a._*.b`` (the XPath
+        semantics binds predicates to the step's node test, which is why
+        the qualifier wraps the label, not the ``_*`` prefix).
+        """
+        for axis in _UNSUPPORTED_AXES:
+            if self._peek(axis):
+                self._fail_unsupported(axis)
+        if self._eat("@"):
+            self._fail_unsupported("attribute step '@'")
+        if self._eat("descendant-or-self::node()"):
+            return [Star(Label(WILDCARD))]
+        for axis, node_type in (("following::", Following), ("preceding::", Preceding)):
+            if self._eat(axis):
+                if self._eat("*"):
+                    name = WILDCARD
+                else:
+                    match = _NAME.match(self._text, self._pos)
+                    if not match:
+                        raise QuerySyntaxError(
+                            f"expected a name after {axis}", position=self._pos
+                        )
+                    self._pos = match.end()
+                    name = match.group()
+                step = self._parse_predicates(node_type(Label(name)))
+                if descend:
+                    self._fail_unsupported(f"'//{axis}' (descendant {axis} step)")
+                return [step]
+        explicit_descendant = self._eat("descendant::")
+        if not explicit_descendant:
+            self._eat("child::")
+        if self._eat("self::node()") or self._eat("."):
+            if descend or explicit_descendant:
+                self._fail_unsupported("'//.' (descendant self step)")
+            qualified = self._parse_predicates(None)
+            return [] if qualified is None else [qualified]
+        if self._eat("*"):
+            name = WILDCARD
+        else:
+            match = _NAME.match(self._text, self._pos)
+            if not match:
+                raise QuerySyntaxError(
+                    "expected a step name in XPath", position=self._pos
+                )
+            self._pos = match.end()
+            name = match.group()
+            if self._peek("("):
+                self._fail_unsupported(f"function call {name}()")
+        step = self._parse_predicates(Label(name))
+        if descend or explicit_descendant:
+            return [Star(Label(WILDCARD)), step]
+        return [step]
+
+    def _rewrite_reverse_step(self, parts: list[Rpeq]) -> list[Rpeq]:
+        """Rewrite ``parent::``/``ancestor::`` into the forward fragment.
+
+        The paper (Sec. II.2) notes that backward steps are expressible
+        in the forward fragment, citing "XPath: Looking Forward".  The
+        front-end implements the two canonical rewritings:
+
+        * ``.../s/parent::l``   ->  ``...[s]``   — the parent of an
+          ``s``-child *is* the previous step's node; the name test ``l``
+          must be statically implied by that step (or be ``*``);
+        * ``//s/ancestor::l``   ->  ``//l[.//s]`` — ancestors of an
+          anywhere-``s`` are exactly the nodes with an ``s`` descendant.
+
+        Anything outside these patterns raises
+        :class:`~repro.errors.UnsupportedFeatureError` — the general
+        rewriting is whole-query and lives upstream of this library.
+        """
+        if self._eat("parent::"):
+            test = self._axis_name_test()
+            if not parts:
+                self._fail_unsupported("'parent::' with no preceding step")
+            last = parts.pop()
+            if parts:
+                base = parts.pop()
+            else:
+                base = Empty()
+            if test != WILDCARD and _core_label(base) != test:
+                self._fail_unsupported(
+                    f"'parent::{test}' where the parent step cannot be "
+                    f"statically proven to be <{test}>"
+                )
+            step: Rpeq = Qualifier(base, last)
+            step = self._parse_predicates(step)
+            parts.append(step)
+            return parts
+        self._eat("ancestor::")
+        test = self._axis_name_test()
+        if (
+            len(parts) != 2
+            or parts[0] != Star(Label(WILDCARD))
+            or isinstance(parts[1], Star)
+        ):
+            self._fail_unsupported(
+                "'ancestor::' is supported only in the '//s/ancestor::l' "
+                "form (general reverse-axis rewriting is whole-query)"
+            )
+        target = parts[1]
+        label = Label(WILDCARD) if test == WILDCARD else Label(test)
+        step = Qualifier(label, Concat(Star(Label(WILDCARD)), target))
+        step = self._parse_predicates(step)
+        return [Star(Label(WILDCARD)), step]
+
+    def _axis_name_test(self) -> str:
+        if self._eat("*"):
+            return WILDCARD
+        match = _NAME.match(self._text, self._pos)
+        if not match:
+            raise QuerySyntaxError(
+                "expected a name after the reverse axis", position=self._pos
+            )
+        self._pos = match.end()
+        return match.group()
+
+    def _parse_predicates(self, step: Rpeq | None) -> Rpeq | None:
+        while True:
+            self._skip_space()
+            if not self._eat("["):
+                return step
+            self._depth += 1
+            if self._depth > _MAX_NESTING:
+                raise QuerySyntaxError(
+                    f"predicate nesting exceeds {_MAX_NESTING} levels",
+                    position=self._pos,
+                )
+            conditions = self._parse_predicate_body()
+            self._depth -= 1
+            self._skip_space()
+            if not self._eat("]"):
+                raise QuerySyntaxError("missing ']' in XPath", position=self._pos)
+            base = step if step is not None else Empty()
+            for condition in conditions:
+                base = Qualifier(base, condition)
+            step = base
+
+    def _parse_predicate_body(self) -> list[Rpeq]:
+        """Structural boolean predicate.
+
+        ``or`` and ``|`` become rpeq union; ``and`` becomes stacked
+        qualifiers (``[p and q]`` == ``[p][q]``, hence the list return).
+        Mixing ``and`` with ``or`` in one predicate is rejected — rpeq
+        conditions are single paths, so ``(p and q) or r`` has no
+        faithful translation without parenthesized boolean grouping.
+        """
+        paths = [self.parse_path(absolute_ok=False)]
+        separators: list[str] = []
+        while True:
+            self._skip_space()
+            if self._eat("|"):
+                separators.append("or")
+            elif self._text.startswith(("or ", "or\t"), self._pos):
+                self._pos += 2
+                separators.append("or")
+            elif self._text.startswith(("and ", "and\t"), self._pos):
+                self._pos += 3
+                separators.append("and")
+            else:
+                break
+            paths.append(self.parse_path(absolute_ok=False))
+        for token in ("=", "<", ">", "not("):
+            if self._peek(token):
+                self._fail_unsupported(f"predicate operator {token.strip()!r}")
+        kinds = set(separators)
+        if kinds == {"or"}:
+            expr = paths[0]
+            for path in paths[1:]:
+                expr = Union(expr, path)
+            return [expr]
+        if kinds == {"and"}:
+            return paths
+        if not kinds:
+            return [paths[0]]
+        self._fail_unsupported("mixed 'and'/'or' in one predicate")
+        raise AssertionError("unreachable")
+
+
+def _core_label(step: Rpeq) -> str | None:
+    """The element label a step's results are guaranteed to carry.
+
+    ``None`` when no single label is statically implied (wildcards,
+    Kleene closures that may select the context node, unions, ...).
+    """
+    if isinstance(step, Label):
+        return None if step.is_wildcard else step.name
+    if isinstance(step, Qualifier):
+        return _core_label(step.base)
+    if isinstance(step, Plus):
+        return None if step.label.is_wildcard else step.label.name
+    if isinstance(step, (Following, Preceding)):
+        return None if step.label.is_wildcard else step.label.name
+    return None
+
+
+def _concat(parts: list[Rpeq]) -> Rpeq:
+    parts = [part for part in parts if not isinstance(part, Empty)]
+    if not parts:
+        return Empty()
+    expr = parts[0]
+    for part in parts[1:]:
+        expr = Concat(expr, part)
+    return expr
+
+
+def xpath_to_rpeq(xpath: str) -> Rpeq:
+    """Translate a forward-fragment XPath expression into an rpeq AST.
+
+    Raises:
+        UnsupportedFeatureError: for constructs outside the fragment.
+        QuerySyntaxError: for malformed XPath.
+    """
+    return _XPathParser(xpath).parse()

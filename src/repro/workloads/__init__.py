@@ -1,0 +1,51 @@
+"""Synthetic workloads reproducing the paper's datasets and query classes.
+
+Each dataset module exports a seeded generator and its ``QUERIES`` dict —
+the four query classes of Sec. VI:
+
+1. simple structural queries (no nesting in results);
+2. structural qualifiers creating *future conditions*;
+3. structural queries creating *nested results*;
+4. structural qualifiers creating *past conditions*.
+"""
+
+from .dmoz import dmoz_content, dmoz_structure
+from .dmoz import QUERIES as DMOZ_QUERIES
+from .generators import (
+    deep_chain,
+    nested_closure_workload,
+    random_tree,
+    text_document,
+    wide_flat,
+)
+from .infinite import TICKER_QUERIES, sensor_feed, stock_ticker
+from .mondial import QUERIES as MONDIAL_QUERIES
+from .mondial import mondial
+from .treebank import QUERIES as TREEBANK_QUERIES
+from .treebank import treebank
+from .wordnet import QUERIES as WORDNET_QUERIES
+from .wordnet import wordnet
+from .xmark import QUERIES as XMARK_QUERIES
+from .xmark import xmark
+
+__all__ = [
+    "DMOZ_QUERIES",
+    "MONDIAL_QUERIES",
+    "TICKER_QUERIES",
+    "TREEBANK_QUERIES",
+    "WORDNET_QUERIES",
+    "XMARK_QUERIES",
+    "deep_chain",
+    "dmoz_content",
+    "dmoz_structure",
+    "mondial",
+    "nested_closure_workload",
+    "random_tree",
+    "sensor_feed",
+    "stock_ticker",
+    "text_document",
+    "treebank",
+    "wide_flat",
+    "wordnet",
+    "xmark",
+]

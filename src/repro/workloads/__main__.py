@@ -1,0 +1,90 @@
+"""``python -m repro.workloads`` — materialize datasets to XML files.
+
+The generators are lazy event streams; this CLI serializes them so the
+datasets can be fed to other tools (or inspected)::
+
+    python -m repro.workloads mondial --countries 50 -o mondial.xml
+    python -m repro.workloads wordnet --nouns 1000          # to stdout
+    python -m repro.workloads dmoz-structure --topics 500
+    python -m repro.workloads xmark --scale 20
+    python -m repro.workloads random --elements 5000 --depth 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Iterator
+
+from ..xmlstream.events import Event
+from ..xmlstream.serializer import write_events
+from . import dmoz_content, dmoz_structure, mondial, wordnet, xmark
+from .generators import random_tree
+
+
+def _build_stream(args: argparse.Namespace) -> Iterator[Event]:
+    if args.dataset == "mondial":
+        return mondial(seed=args.seed, countries=args.countries)
+    if args.dataset == "wordnet":
+        return wordnet(seed=args.seed, nouns=args.nouns)
+    if args.dataset == "dmoz-structure":
+        return dmoz_structure(seed=args.seed, topics=args.topics)
+    if args.dataset == "dmoz-content":
+        return dmoz_content(seed=args.seed, topics=args.topics)
+    if args.dataset == "xmark":
+        return xmark(seed=args.seed, scale=args.scale)
+    return random_tree(seed=args.seed, elements=args.elements, max_depth=args.depth)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Materialize a synthetic dataset as an XML file.",
+    )
+    parser.add_argument("-o", "--output", help="output file (default: stdout)")
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+    parser.add_argument(
+        "--indent", action="store_true", help="pretty-print (larger output)"
+    )
+    sub = parser.add_subparsers(dest="dataset", required=True)
+
+    m = sub.add_parser("mondial", help="MONDIAL-like geography (depth 5)")
+    m.add_argument("--countries", type=int, default=500)
+
+    w = sub.add_parser("wordnet", help="WordNet-like lexical RDF (depth 3)")
+    w.add_argument("--nouns", type=int, default=48000)
+
+    ds = sub.add_parser("dmoz-structure", help="DMOZ-like structure RDF")
+    ds.add_argument("--topics", type=int, default=120_000)
+
+    dc = sub.add_parser("dmoz-content", help="DMOZ-like content RDF")
+    dc.add_argument("--topics", type=int, default=240_000)
+
+    x = sub.add_parser("xmark", help="XMark-like auction site (depth 7)")
+    x.add_argument("--scale", type=int, default=100)
+
+    r = sub.add_parser("random", help="random tree")
+    r.add_argument("--elements", type=int, default=10_000)
+    r.add_argument("--depth", type=int, default=6)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    stream = _build_stream(args)
+    indent = "  " if args.indent else None
+
+    def emit(out: IO[str]) -> None:
+        write_events(stream, out, indent=indent)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            emit(handle)
+    else:
+        emit(sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

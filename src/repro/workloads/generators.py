@@ -1,0 +1,133 @@
+"""Generic synthetic document generators.
+
+All generators are seeded and yield event streams lazily, so arbitrarily
+large (or unbounded) workloads never materialize in memory — the property
+the paper's experiments rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+
+def random_tree(
+    seed: int,
+    elements: int,
+    max_depth: int = 6,
+    labels: Sequence[str] = ("a", "b", "c", "d", "e"),
+    branch_up: float = 0.45,
+) -> Iterator[Event]:
+    """A random tree stream with approximately ``elements`` elements.
+
+    Generated as a random walk over the open-element stack: at each step,
+    either open a new child (if below ``max_depth``) or close the current
+    element.  ``branch_up`` tunes bushiness versus depth.
+
+    Args:
+        seed: RNG seed; identical arguments give identical streams.
+        elements: number of element nodes to emit.
+        max_depth: maximum tree level (the paper's ``d``).
+        labels: label vocabulary.
+        branch_up: probability of closing the current element when both
+            opening and closing are possible.
+    """
+    rng = random.Random(seed)
+    yield StartDocument()
+    depth = 0
+    stack: list[str] = []
+    emitted = 0
+    while emitted < elements:
+        can_open = depth < max_depth
+        can_close = depth > 0
+        if can_open and (not can_close or rng.random() > branch_up):
+            label = rng.choice(labels)
+            stack.append(label)
+            depth += 1
+            emitted += 1
+            yield StartElement(label)
+        else:
+            depth -= 1
+            yield EndElement(stack.pop())
+    while stack:
+        yield EndElement(stack.pop())
+    yield EndDocument()
+
+
+def deep_chain(depth: int, label: str = "a", leaf_label: str | None = None) -> Iterator[Event]:
+    """A single chain ``<a><a>...<leaf/>...</a></a>`` of the given depth.
+
+    The degenerate workload for the depth-memory experiment (E5): stream
+    size is ``2·depth`` messages while the depth equals ``depth``.
+    """
+    yield StartDocument()
+    for _ in range(depth):
+        yield StartElement(label)
+    if leaf_label is not None:
+        yield StartElement(leaf_label)
+        yield EndElement(leaf_label)
+    for _ in range(depth):
+        yield EndElement(label)
+    yield EndDocument()
+
+
+def wide_flat(elements: int, label: str = "item", child_label: str | None = "v") -> Iterator[Event]:
+    """A flat document: ``elements`` siblings, optionally one child each.
+
+    The shape of the RDF-style datasets (WordNet, DMOZ): huge, depth 2-3.
+    """
+    yield StartDocument()
+    yield StartElement("root")
+    for _ in range(elements):
+        yield StartElement(label)
+        if child_label is not None:
+            yield StartElement(child_label)
+            yield EndElement(child_label)
+        yield EndElement(label)
+    yield EndElement("root")
+    yield EndDocument()
+
+
+def nested_closure_workload(
+    repetitions: int, nest_depth: int, labels: Sequence[str] = ("a", "b")
+) -> Iterator[Event]:
+    """Nested same-label blocks that stress closure-scope disjunctions.
+
+    Produces ``repetitions`` top-level blocks, each a nest of
+    ``nest_depth`` ``a`` elements with one ``b`` leaf — the structure that
+    makes wildcard-closure qualifiers build the large formulas of the
+    paper's Sec. V analysis (experiment E6).
+    """
+    a_label, b_label = labels[0], labels[1]
+    yield StartDocument()
+    yield StartElement("root")
+    for _ in range(repetitions):
+        for _ in range(nest_depth):
+            yield StartElement(a_label)
+        yield StartElement(b_label)
+        yield EndElement(b_label)
+        for _ in range(nest_depth):
+            yield EndElement(a_label)
+    yield EndElement("root")
+    yield EndDocument()
+
+
+def text_document(
+    seed: int, elements: int, words: Sequence[str] = ("alpha", "beta", "gamma")
+) -> Iterator[Event]:
+    """A random tree interleaved with text content, for round-trip tests."""
+    rng = random.Random(seed)
+    base = random_tree(seed, elements)
+    for event in base:
+        yield event
+        if isinstance(event, StartElement) and rng.random() < 0.4:
+            yield Text(rng.choice(words))

@@ -1,0 +1,84 @@
+"""Unbounded, application-generated streams.
+
+The paper's prototype "was tested also against application-generated
+infinite streams and proved stable in cases where the depth of the tree
+conveyed in the stream is bounded."  These generators model such sources:
+a stock-exchange ticker and a sensor feed, both emitting well-formed
+message elements forever under one never-closing root.
+
+Because the root never closes, the document is never complete — which is
+exactly the regime where progressive output matters: results must be
+emitted from the infinite suffixless prefix alone.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator
+
+from ..xmlstream.events import EndElement, Event, StartDocument, StartElement, Text
+
+#: Queries used by the infinite-stream example and tests.
+TICKER_QUERIES = {
+    "all_trades": "_*.trade.price",
+    "flagged": "_*.trade[alert].price",
+}
+
+
+def stock_ticker(
+    seed: int = 7,
+    symbols: tuple[str, ...] = ("ACME", "GLOBEX", "INITECH"),
+    limit: int | None = None,
+) -> Iterator[Event]:
+    """An endless ``<feed>`` of ``<trade>`` messages.
+
+    Each trade carries symbol, price, and — for ≈10% of trades — an
+    ``<alert/>`` marker (exercising qualifiers on a live stream).
+
+    Args:
+        seed: RNG seed.
+        symbols: ticker symbols to rotate through.
+        limit: when given, stop after this many trades (the stream stays
+            *unterminated*: no closing ``</feed>`` or ``</$>`` is ever
+            emitted, like a cut network connection).
+    """
+    rng = random.Random(seed)
+    yield StartDocument()
+    yield StartElement("feed")
+    counter = itertools.count()
+    for index in counter:
+        if limit is not None and index >= limit:
+            return
+        yield StartElement("trade")
+        yield StartElement("symbol")
+        yield Text(rng.choice(symbols))
+        yield EndElement("symbol")
+        if rng.random() < 0.1:
+            yield StartElement("alert")
+            yield EndElement("alert")
+        yield StartElement("price")
+        yield Text(f"{rng.uniform(10, 500):.2f}")
+        yield EndElement("price")
+        yield EndElement("trade")
+
+
+def sensor_feed(seed: int = 7, sensors: int = 4, limit: int | None = None) -> Iterator[Event]:
+    """An endless measurement feed with per-sensor readings."""
+    rng = random.Random(seed)
+    yield StartDocument()
+    yield StartElement("measurements")
+    count = 0
+    while limit is None or count < limit:
+        count += 1
+        yield StartElement("reading")
+        yield StartElement("sensor")
+        yield Text(f"s{rng.randrange(sensors)}")
+        yield EndElement("sensor")
+        yield StartElement("value")
+        yield Text(f"{rng.gauss(20, 5):.3f}")
+        yield EndElement("value")
+        if rng.random() < 0.05:
+            yield StartElement("fault")
+            yield EndElement("fault")
+        yield EndElement("reading")

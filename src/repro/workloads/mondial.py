@@ -1,0 +1,79 @@
+"""MONDIAL-like geographic database generator.
+
+The paper's small, highly structured dataset: the MONDIAL world geography
+database (1.2 MB, 24 184 elements, maximum depth 5).  This generator
+reproduces its structural profile — the real content is irrelevant to the
+experiments, which only exercise structure:
+
+    mondial
+      country*                 (qualified by [province] in class-2/4 queries)
+        name
+        population
+        province?              (≈70% of countries)
+          name
+          city*
+            name
+            population
+        city*                  (city directly under country, no province)
+        religions*
+
+Element counts scale with the ``countries`` parameter; the defaults land
+close to the paper's 24k elements at depth 5.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..xmlstream.events import EndDocument, EndElement, Event, StartDocument, StartElement
+
+#: Query classes 1-4 of Sec. VI for this dataset (paper's own examples).
+QUERIES = {
+    1: "_*.province.city",
+    2: "_*.country[province].name",
+    3: "_*._",
+    4: "_*.country[province].religions",
+}
+
+
+def mondial(seed: int = 7, countries: int = 500) -> Iterator[Event]:
+    """Generate a MONDIAL-like stream.
+
+    Args:
+        seed: RNG seed (structure is deterministic per seed).
+        countries: number of country elements; the default approximates
+            the paper's element count (≈24k elements).
+    """
+    rng = random.Random(seed)
+
+    def leaf(label: str) -> Iterator[Event]:
+        yield StartElement(label)
+        yield EndElement(label)
+
+    yield StartDocument()
+    yield StartElement("mondial")
+    for _ in range(countries):
+        yield StartElement("country")
+        yield from leaf("name")
+        yield from leaf("population")
+        if rng.random() < 0.7:
+            for _ in range(rng.randint(1, 8)):
+                yield StartElement("province")
+                yield from leaf("name")
+                for _ in range(rng.randint(1, 6)):
+                    yield StartElement("city")
+                    yield from leaf("name")
+                    yield from leaf("population")
+                    yield EndElement("city")
+                yield EndElement("province")
+        for _ in range(rng.randint(0, 3)):
+            yield StartElement("city")
+            yield from leaf("name")
+            yield from leaf("population")
+            yield EndElement("city")
+        for _ in range(rng.randint(0, 4)):
+            yield from leaf("religions")
+        yield EndElement("country")
+    yield EndElement("mondial")
+    yield EndDocument()

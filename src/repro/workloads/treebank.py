@@ -1,0 +1,86 @@
+"""Treebank-like deeply recursive linguistic dataset.
+
+The Penn Treebank's XML rendering was the classic *deep* dataset of the
+paper's era: parse trees nest grammatical categories to depth ~36, which
+stresses exactly the resource the paper's analysis bounds — the depth
+stacks — and the closure-scope disjunctions of Sec. V.
+
+The generator emulates that shape with a small phrase-structure grammar
+(S -> NP VP, recursive clauses/PPs), seeded and scalable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..xmlstream.events import EndDocument, EndElement, Event, StartDocument, StartElement
+
+#: Queries probing depth behaviour (closure chains, deep qualifiers).
+QUERIES = {
+    1: "_*.NP.NN",
+    2: "_*.S[VP].NP",
+    3: "_*._",
+    4: "_*.VP[PP].VB",
+    "chains": "_*.S._*.S._*.NP",
+    "recursive": "S+",
+}
+
+
+def _terminal(rng: random.Random, label: str) -> Iterator[Event]:
+    yield StartElement(label)
+    yield EndElement(label)
+
+
+def _np(rng: random.Random, depth: int, budget: int) -> Iterator[Event]:
+    yield StartElement("NP")
+    if rng.random() < 0.3:
+        yield from _terminal(rng, "DT")
+    yield from _terminal(rng, "NN")
+    if depth < budget and rng.random() < 0.35:
+        yield from _pp(rng, depth + 1, budget)
+    yield EndElement("NP")
+
+
+def _pp(rng: random.Random, depth: int, budget: int) -> Iterator[Event]:
+    yield StartElement("PP")
+    yield from _terminal(rng, "IN")
+    yield from _np(rng, depth + 1, budget)
+    yield EndElement("PP")
+
+
+def _vp(rng: random.Random, depth: int, budget: int) -> Iterator[Event]:
+    yield StartElement("VP")
+    yield from _terminal(rng, "VB")
+    if rng.random() < 0.7:
+        yield from _np(rng, depth + 1, budget)
+    if depth < budget and rng.random() < 0.3:
+        yield from _pp(rng, depth + 1, budget)
+    if depth < budget and rng.random() < 0.25:
+        # recursive clausal complement: "said that S"
+        yield from _sentence(rng, depth + 1, budget)
+    yield EndElement("VP")
+
+
+def _sentence(rng: random.Random, depth: int, budget: int) -> Iterator[Event]:
+    yield StartElement("S")
+    yield from _np(rng, depth + 1, budget)
+    yield from _vp(rng, depth + 1, budget)
+    yield EndElement("S")
+
+
+def treebank(seed: int = 7, sentences: int = 500, max_depth: int = 30) -> Iterator[Event]:
+    """Generate a Treebank-like corpus.
+
+    Args:
+        seed: RNG seed.
+        sentences: number of top-level sentences.
+        max_depth: recursion budget (real Treebank reaches ~36).
+    """
+    rng = random.Random(seed)
+    yield StartDocument()
+    yield StartElement("corpus")
+    for _ in range(sentences):
+        yield from _sentence(rng, 2, max_depth)
+    yield EndElement("corpus")
+    yield EndDocument()

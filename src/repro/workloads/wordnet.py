@@ -1,0 +1,58 @@
+"""WordNet-like lexical database generator.
+
+The paper's medium-sized dataset: an excerpt of the WordNet RDF
+representation (9.5 MB, 207 899 elements, maximum depth 3) — flat and
+highly repetitive.  The structural profile:
+
+    rdf
+      Noun*          (synset records; ≈90% carry at least one wordForm)
+        wordForm*
+        lexID
+        gloss?
+
+Scales with ``nouns``; defaults approximate the paper's element count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..xmlstream.events import EndDocument, EndElement, Event, StartDocument, StartElement
+
+#: Query classes 1-4 of Sec. VI for this dataset.
+QUERIES = {
+    1: "_*.Noun.wordForm",
+    2: "_*.Noun[wordForm].lexID",
+    3: "_*._",
+    4: "_*.Noun[wordForm].gloss",
+}
+
+
+def wordnet(seed: int = 7, nouns: int = 48000) -> Iterator[Event]:
+    """Generate a WordNet-like stream (flat, repetitive, depth 3).
+
+    Args:
+        seed: RNG seed.
+        nouns: number of ``Noun`` records; the default yields roughly the
+            paper's 208k elements.
+    """
+    rng = random.Random(seed)
+
+    def leaf(label: str) -> Iterator[Event]:
+        yield StartElement(label)
+        yield EndElement(label)
+
+    yield StartDocument()
+    yield StartElement("rdf")
+    for _ in range(nouns):
+        yield StartElement("Noun")
+        if rng.random() < 0.9:
+            for _ in range(rng.randint(1, 3)):
+                yield from leaf("wordForm")
+        yield from leaf("lexID")
+        if rng.random() < 0.5:
+            yield from leaf("gloss")
+        yield EndElement("Noun")
+    yield EndElement("rdf")
+    yield EndDocument()

@@ -1,0 +1,136 @@
+"""XMark-like auction-site generator.
+
+XMark (Schmidt et al., VLDB 2002) was the standard XML benchmark of the
+paper's era: an auction site with regions, items, people and auctions —
+deeper and much more heterogeneous than the paper's three datasets.  The
+paper does not evaluate on XMark, but a deeper mixed-structure workload
+rounds out the benchmark suite (it exercises closure scopes and nested
+qualifiers harder than the flat RDF sets do).
+
+Structural profile (element depth up to 7):
+
+    site
+      regions > (africa|asia|europe|namerica)* > item*
+        item: location, name, payment?, description > text*,
+              mailbox > mail* > (from, to, text)
+      people > person*: name, emailaddress, watches > watch*
+      open_auctions > open_auction*: initial, bidder* > (date, increase),
+              current, itemref
+      closed_auctions > closed_auction*: price, date, itemref
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..xmlstream.events import EndDocument, EndElement, Event, StartDocument, StartElement
+
+#: Benchmark queries in the four Sec. VI classes, plus two stress
+#: queries exercising deep closure and nested qualifiers.
+QUERIES = {
+    1: "_*.item.name",
+    2: "_*.item[mailbox].name",
+    3: "_*._",
+    4: "_*.open_auction[bidder].current",
+    "deep": "_*.mailbox._*.text",
+    "nested": "_*.item[mailbox[mail[from]]].name",
+}
+
+_REGIONS = ("africa", "asia", "europe", "namerica")
+
+
+def _leaf(label: str) -> Iterator[Event]:
+    yield StartElement(label)
+    yield EndElement(label)
+
+
+def _item(rng: random.Random) -> Iterator[Event]:
+    yield StartElement("item")
+    yield from _leaf("location")
+    yield from _leaf("name")
+    if rng.random() < 0.5:
+        yield from _leaf("payment")
+    if rng.random() < 0.8:
+        yield StartElement("description")
+        for _ in range(rng.randint(1, 3)):
+            yield from _leaf("text")
+        yield EndElement("description")
+    if rng.random() < 0.4:
+        yield StartElement("mailbox")
+        for _ in range(rng.randint(1, 3)):
+            yield StartElement("mail")
+            yield from _leaf("from")
+            yield from _leaf("to")
+            yield from _leaf("text")
+            yield EndElement("mail")
+        yield EndElement("mailbox")
+    yield EndElement("item")
+
+
+def _person(rng: random.Random) -> Iterator[Event]:
+    yield StartElement("person")
+    yield from _leaf("name")
+    yield from _leaf("emailaddress")
+    if rng.random() < 0.6:
+        yield StartElement("watches")
+        for _ in range(rng.randint(1, 4)):
+            yield from _leaf("watch")
+        yield EndElement("watches")
+    yield EndElement("person")
+
+
+def _open_auction(rng: random.Random) -> Iterator[Event]:
+    yield StartElement("open_auction")
+    yield from _leaf("initial")
+    for _ in range(rng.randint(0, 5)):
+        yield StartElement("bidder")
+        yield from _leaf("date")
+        yield from _leaf("increase")
+        yield EndElement("bidder")
+    yield from _leaf("current")
+    yield from _leaf("itemref")
+    yield EndElement("open_auction")
+
+
+def _closed_auction(rng: random.Random) -> Iterator[Event]:
+    yield StartElement("closed_auction")
+    yield from _leaf("price")
+    yield from _leaf("date")
+    yield from _leaf("itemref")
+    yield EndElement("closed_auction")
+
+
+def xmark(seed: int = 7, scale: int = 100) -> Iterator[Event]:
+    """Generate an XMark-like auction document.
+
+    Args:
+        seed: RNG seed.
+        scale: number of items; people and auctions scale proportionally
+            (roughly 20 elements per unit of scale).
+    """
+    rng = random.Random(seed)
+    yield StartDocument()
+    yield StartElement("site")
+    yield StartElement("regions")
+    per_region = max(1, scale // len(_REGIONS))
+    for region in _REGIONS:
+        yield StartElement(region)
+        for _ in range(per_region):
+            yield from _item(rng)
+        yield EndElement(region)
+    yield EndElement("regions")
+    yield StartElement("people")
+    for _ in range(scale // 2):
+        yield from _person(rng)
+    yield EndElement("people")
+    yield StartElement("open_auctions")
+    for _ in range(scale // 2):
+        yield from _open_auction(rng)
+    yield EndElement("open_auctions")
+    yield StartElement("closed_auctions")
+    for _ in range(scale // 4):
+        yield from _closed_auction(rng)
+    yield EndElement("closed_auctions")
+    yield EndElement("site")
+    yield EndDocument()

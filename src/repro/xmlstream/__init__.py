@@ -1,0 +1,58 @@
+"""XML stream substrate: events, parsing, serialization, trees, statistics.
+
+This package implements the data model of Sec. II.1 of the paper — XML
+streams as sequences of document messages — together with everything the
+rest of the library needs to produce, consume, check and materialize such
+streams.
+"""
+
+from .events import (
+    DOCUMENT_LABEL,
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+    events_from_tags,
+    is_document_boundary,
+    label_of,
+    tags_from_events,
+)
+from .documents import concat_documents, count_documents, split_documents
+from .parser import iter_events, parse_file, parse_stream, parse_string
+from .serializer import serialize, write_events
+from .stats import StreamStats, measure, observed
+from .tree import Document, Node, build_document
+from .validate import checked, is_well_formed
+
+__all__ = [
+    "DOCUMENT_LABEL",
+    "Document",
+    "EndDocument",
+    "EndElement",
+    "Event",
+    "Node",
+    "StartDocument",
+    "StartElement",
+    "StreamStats",
+    "Text",
+    "build_document",
+    "checked",
+    "concat_documents",
+    "count_documents",
+    "events_from_tags",
+    "is_document_boundary",
+    "is_well_formed",
+    "iter_events",
+    "label_of",
+    "measure",
+    "observed",
+    "parse_file",
+    "parse_stream",
+    "parse_string",
+    "serialize",
+    "split_documents",
+    "tags_from_events",
+    "write_events",
+]

@@ -1,0 +1,136 @@
+"""XML stream event model.
+
+An *XML stream* in the sense of the paper (Sec. II.1) is a sequence of
+document messages produced by a depth-first left-to-right traversal of an
+XML document tree, wrapped in a start-document / end-document envelope:
+
+    <$> <a> <a> <c> </c> </a> <b> </b> <c> </c> </a> </$>
+
+This module defines the event classes used throughout the library.  Events
+are small immutable objects; streams are plain Python iterables of events,
+which lets every component work with generators, lists, files, sockets or
+unbounded synthetic sources interchangeably.
+
+The paper ignores attributes, namespaces, comments and processing
+instructions; we keep attributes and text as optional payload (they ride
+along unharmed and are reproduced in serialized results) but the query
+language never inspects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+#: Reserved label of the virtual document root.  The start-document message
+#: ``<$>`` behaves exactly like a start tag with this label.
+DOCUMENT_LABEL = "$"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class for stream events (document messages)."""
+
+
+@dataclass(frozen=True, slots=True)
+class StartDocument(Event):
+    """The ``<$>`` message opening a document."""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "<$>"
+
+
+@dataclass(frozen=True, slots=True)
+class EndDocument(Event):
+    """The ``</$>`` message closing a document."""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "</$>"
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement(Event):
+    """A ``<label>`` message opening an element.
+
+    Attributes:
+        label: the element's tag name.
+        attributes: attribute mapping carried along for round-tripping;
+            never inspected by rpeq queries.
+    """
+
+    label: str
+    attributes: Mapping[str, str] = field(default_factory=dict, compare=False)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.label}>"
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement(Event):
+    """A ``</label>`` message closing an element."""
+
+    label: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"</{self.label}>"
+
+
+@dataclass(frozen=True, slots=True)
+class Text(Event):
+    """Character data between tags.
+
+    Text is transparent to the rpeq semantics: queries never match it, but
+    it is buffered and reproduced inside result fragments.
+    """
+
+    content: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.content
+
+
+def is_document_boundary(event: Event) -> bool:
+    """Return ``True`` for the ``<$>`` / ``</$>`` envelope messages."""
+    return isinstance(event, (StartDocument, EndDocument))
+
+
+def label_of(event: Event) -> str | None:
+    """Return the label an event carries, treating the envelope as ``$``.
+
+    ``Text`` events carry no label and yield ``None``.
+    """
+    if isinstance(event, (StartElement, EndElement)):
+        return event.label
+    if is_document_boundary(event):
+        return DOCUMENT_LABEL
+    return None
+
+
+def events_from_tags(tags: Iterable[str]) -> Iterator[Event]:
+    """Build an event stream from a compact tag notation.
+
+    This mirrors the stream notation used by the paper's figures and makes
+    tests read like the paper::
+
+        events_from_tags(["<$>", "<a>", "</a>", "</$>"])
+
+    Tokens ``<$>`` and ``</$>`` become document boundaries; ``<x>`` /
+    ``</x>`` become element events; anything not shaped like a tag becomes
+    a :class:`Text` event.
+    """
+    for tag in tags:
+        if tag == "<$>":
+            yield StartDocument()
+        elif tag == "</$>":
+            yield EndDocument()
+        elif tag.startswith("</") and tag.endswith(">"):
+            yield EndElement(tag[2:-1])
+        elif tag.startswith("<") and tag.endswith(">"):
+            yield StartElement(tag[1:-1])
+        else:
+            yield Text(tag)
+
+
+def tags_from_events(events: Iterable[Event]) -> list[str]:
+    """Inverse of :func:`events_from_tags`, used by tests and debugging."""
+    return [str(event) for event in events]

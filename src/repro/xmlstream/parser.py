@@ -1,0 +1,126 @@
+"""Parsing XML text into event streams.
+
+Two entry points are provided:
+
+* :func:`parse_string` / :func:`parse_file` — built on :mod:`xml.sax`, the
+  very API the paper models its streams after.  The SAX callbacks are
+  bridged into a pull-style generator through an incremental feed loop so
+  that arbitrarily large files are processed with bounded memory.
+* :func:`iter_events` — convenience dispatcher accepting strings, paths or
+  already-iterable event sequences.
+
+All parsers emit the paper's envelope: a :class:`~repro.xmlstream.events.
+StartDocument` before the root element and an :class:`~repro.xmlstream.
+events.EndDocument` after it.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import xml.sax
+import xml.sax.handler
+from collections import deque
+from typing import IO, Iterable, Iterator
+
+from ..errors import StreamError
+from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
+
+#: Number of bytes handed to the SAX parser per feed step.
+_CHUNK_SIZE = 64 * 1024
+
+
+class _CollectingHandler(xml.sax.handler.ContentHandler):
+    """SAX handler that appends events to a deque drained by the caller."""
+
+    def __init__(self, sink: deque[Event], keep_text: bool) -> None:
+        super().__init__()
+        self._sink = sink
+        self._keep_text = keep_text
+
+    def startDocument(self) -> None:
+        self._sink.append(StartDocument())
+
+    def endDocument(self) -> None:
+        self._sink.append(EndDocument())
+
+    def startElement(self, name: str, attrs) -> None:
+        self._sink.append(StartElement(name, dict(attrs.items())))
+
+    def endElement(self, name: str) -> None:
+        self._sink.append(EndElement(name))
+
+    def characters(self, content: str) -> None:
+        if self._keep_text and content.strip():
+            self._sink.append(Text(content))
+
+
+def parse_stream(source: IO[bytes] | IO[str], keep_text: bool = True) -> Iterator[Event]:
+    """Incrementally parse an open XML file object into events.
+
+    The file is read in chunks and fed to an incremental SAX parser;
+    collected events are yielded between feed steps, so memory use is
+    bounded by the chunk size plus SAX's internal buffers, independent of
+    document size.
+
+    Args:
+        source: a binary or text file object containing one XML document.
+        keep_text: when ``False``, character data is dropped, which is the
+            pure paper model (structure-only streams).
+
+    Raises:
+        StreamError: if the document is not well-formed XML.
+    """
+    pending: deque[Event] = deque()
+    parser = xml.sax.make_parser()
+    parser.setFeature(xml.sax.handler.feature_namespaces, False)
+    parser.setFeature(xml.sax.handler.feature_external_ges, False)
+    parser.setContentHandler(_CollectingHandler(pending, keep_text))
+    try:
+        while True:
+            chunk = source.read(_CHUNK_SIZE)
+            if not chunk:
+                break
+            if isinstance(chunk, str):
+                chunk = chunk.encode("utf-8")
+            parser.feed(chunk)
+            while pending:
+                yield pending.popleft()
+        parser.close()
+    except xml.sax.SAXParseException as exc:
+        raise StreamError(f"malformed XML: {exc}") from exc
+    while pending:
+        yield pending.popleft()
+
+
+def parse_string(text: str, keep_text: bool = True) -> Iterator[Event]:
+    """Parse an XML document given as a string into an event stream."""
+    return parse_stream(io.BytesIO(text.encode("utf-8")), keep_text=keep_text)
+
+
+def parse_file(path: str | os.PathLike[str], keep_text: bool = True) -> Iterator[Event]:
+    """Parse an XML file into an event stream, reading it incrementally."""
+
+    def _generate() -> Iterator[Event]:
+        with open(path, "rb") as handle:
+            yield from parse_stream(handle, keep_text=keep_text)
+
+    return _generate()
+
+
+def iter_events(source: str | os.PathLike[str] | Iterable[Event], keep_text: bool = True) -> Iterator[Event]:
+    """Normalize heterogeneous inputs into an event iterator.
+
+    Accepts:
+
+    * a string starting with ``<`` — treated as XML text,
+    * any other string or a path object — treated as a file path,
+    * an iterable of :class:`Event` — passed through unchanged.
+    """
+    if isinstance(source, str):
+        if source.lstrip().startswith("<"):
+            return parse_string(source, keep_text=keep_text)
+        return parse_file(source, keep_text=keep_text)
+    if isinstance(source, os.PathLike):
+        return parse_file(source, keep_text=keep_text)
+    return iter(source)

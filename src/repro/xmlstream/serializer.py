@@ -1,0 +1,98 @@
+"""Serializing event streams back to XML text.
+
+The serializer is the inverse of :mod:`repro.xmlstream.parser`: it turns an
+event stream (or a result fragment emitted by the SPEX output transducer)
+back into markup.  It is deliberately minimal — attributes and text are
+escaped, the document envelope is dropped, and an optional indent mode
+exists for human inspection in examples.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable
+
+from ..errors import StreamError
+from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for inclusion in XML text content."""
+    for raw, cooked in _ESCAPES.items():
+        value = value.replace(raw, cooked)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape a value for inclusion in a double-quoted attribute."""
+    for raw, cooked in _ATTR_ESCAPES.items():
+        value = value.replace(raw, cooked)
+    return value
+
+
+def _start_tag(event: StartElement) -> str:
+    if not event.attributes:
+        return f"<{event.label}>"
+    rendered = " ".join(
+        f'{name}="{escape_attribute(value)}"' for name, value in event.attributes.items()
+    )
+    return f"<{event.label} {rendered}>"
+
+
+def write_events(events: Iterable[Event], out: IO[str], indent: str | None = None) -> None:
+    """Write an event stream as XML markup to a text file object.
+
+    Args:
+        events: the stream; document boundary events are skipped.
+        out: destination text stream.
+        indent: when given (e.g. ``"  "``), pretty-print with one line per
+            tag; when ``None``, produce compact markup with no whitespace.
+
+    Raises:
+        StreamError: on an end tag that does not match the open element.
+    """
+    depth = 0
+    open_labels: list[str] = []
+    for event in events:
+        if isinstance(event, (StartDocument, EndDocument)):
+            continue
+        if isinstance(event, StartElement):
+            if indent is not None:
+                out.write(indent * depth)
+            out.write(_start_tag(event))
+            if indent is not None:
+                out.write("\n")
+            open_labels.append(event.label)
+            depth += 1
+        elif isinstance(event, EndElement):
+            if not open_labels or open_labels[-1] != event.label:
+                raise StreamError(
+                    f"cannot serialize: </{event.label}> does not close "
+                    f"<{open_labels[-1] if open_labels else '?'}>"
+                )
+            open_labels.pop()
+            depth -= 1
+            if indent is not None:
+                out.write(indent * depth)
+            out.write(f"</{event.label}>")
+            if indent is not None:
+                out.write("\n")
+        elif isinstance(event, Text):
+            if indent is not None:
+                out.write(indent * depth)
+            out.write(escape_text(event.content))
+            if indent is not None:
+                out.write("\n")
+    if open_labels:
+        raise StreamError(f"cannot serialize: unclosed elements {open_labels}")
+
+
+def serialize(events: Iterable[Event], indent: str | None = None) -> str:
+    """Return the XML markup for an event stream as a string."""
+    import io
+
+    buffer = io.StringIO()
+    write_events(events, buffer, indent=indent)
+    return buffer.getvalue()

@@ -1,0 +1,74 @@
+"""Stream statistics.
+
+The complexity results of the paper are stated in terms of the stream size
+``s`` (number of messages) and the document depth ``d``.  The helpers here
+compute both — either over a finite stream or incrementally, so unbounded
+streams can be monitored while being queried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
+
+
+@dataclass
+class StreamStats:
+    """Aggregate statistics of an event stream.
+
+    Attributes:
+        messages: total number of events seen (the paper's ``s``).
+        elements: number of element nodes (start tags).
+        max_depth: deepest tree level reached (the paper's ``d``); the
+            virtual root counts as level 0.
+        distinct_labels: number of distinct element labels.
+        text_bytes: total character-data size.
+    """
+
+    messages: int = 0
+    elements: int = 0
+    max_depth: int = 0
+    distinct_labels: int = 0
+    text_bytes: int = 0
+
+    _labels: set[str] | None = None
+    _depth: int = 0
+
+    def observe(self, event: Event) -> None:
+        """Fold one event into the statistics."""
+        if self._labels is None:
+            self._labels = set()
+        self.messages += 1
+        if isinstance(event, StartElement):
+            self.elements += 1
+            self._depth += 1
+            self.max_depth = max(self.max_depth, self._depth)
+            self._labels.add(event.label)
+            self.distinct_labels = len(self._labels)
+        elif isinstance(event, EndElement):
+            self._depth -= 1
+        elif isinstance(event, Text):
+            self.text_bytes += len(event.content)
+        elif isinstance(event, (StartDocument, EndDocument)):
+            pass
+
+
+def measure(events: Iterable[Event]) -> StreamStats:
+    """Consume a finite stream and return its statistics."""
+    stats = StreamStats()
+    for event in events:
+        stats.observe(event)
+    return stats
+
+
+def observed(events: Iterable[Event], stats: StreamStats) -> Iterator[Event]:
+    """Tee a stream through a :class:`StreamStats` accumulator.
+
+    Useful to measure a stream while it is being queried, without a second
+    pass — essential for unbounded streams.
+    """
+    for event in events:
+        stats.observe(event)
+        yield event

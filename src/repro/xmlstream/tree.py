@@ -1,0 +1,149 @@
+"""In-memory XML trees.
+
+Materialized trees are what the *non*-streaming baselines (Saxon-like DOM
+evaluation, Fxgrep-like tree automata) operate on, and they double as the
+semantics oracle for differential testing: the declarative rpeq semantics
+is easiest to state — and trust — over an explicit tree.
+
+A :class:`Node` records its label, children, parent and two bookkeeping
+fields used everywhere in the library:
+
+* ``position`` — index of the node's start tag in document order, used to
+  report results in the order the output transducer must produce them;
+* ``depth`` — tree level (root ``$`` is at depth 0), used by complexity
+  experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import StreamError
+from .events import (
+    DOCUMENT_LABEL,
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+
+@dataclass(eq=False)
+class Node:
+    """One element of a materialized XML tree.
+
+    Nodes compare by identity: two distinct ``<a/>`` elements are distinct
+    result nodes even if structurally equal, exactly as in the XPath data
+    model.
+    """
+
+    label: str
+    position: int
+    depth: int
+    parent: "Node | None" = None
+    children: list["Node"] = field(default_factory=list)
+    text: str = ""
+
+    def iter_descendants(self) -> Iterator["Node"]:
+        """Yield all descendants (excluding ``self``) in document order."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Yield ``self`` and all descendants in document order."""
+        yield self
+        yield from self.iter_descendants()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(<{self.label}> @{self.position}, depth={self.depth})"
+
+
+class Document:
+    """A fully materialized XML document.
+
+    Attributes:
+        root: the virtual ``$`` node; its children are the document's
+            top-level elements (exactly one for well-formed XML, but the
+            data model tolerates forests for testing convenience).
+    """
+
+    def __init__(self, root: Node) -> None:
+        if root.label != DOCUMENT_LABEL:
+            raise ValueError("document root must carry the '$' label")
+        self.root = root
+
+    @property
+    def size(self) -> int:
+        """Number of element nodes, excluding the virtual root."""
+        return sum(1 for _ in self.root.iter_descendants())
+
+    @property
+    def depth(self) -> int:
+        """Maximum node depth (the virtual root is depth 0)."""
+        return max((node.depth for node in self.root.iter_subtree()), default=0)
+
+    def nodes(self) -> list[Node]:
+        """All element nodes in document order (excluding the root)."""
+        return list(self.root.iter_descendants())
+
+    def events(self) -> Iterator[Event]:
+        """Re-stream the document in document tree order (Sec. II.1)."""
+
+        def walk(node: Node) -> Iterator[Event]:
+            yield StartElement(node.label)
+            if node.text:
+                yield Text(node.text)
+            for child in node.children:
+                yield from walk(child)
+            yield EndElement(node.label)
+
+        yield StartDocument()
+        for child in self.root.children:
+            yield from walk(child)
+        yield EndDocument()
+
+
+def build_document(events: Iterable[Event]) -> Document:
+    """Materialize an event stream into a :class:`Document`.
+
+    This is what the buffering baselines must do before evaluating — the
+    cost SPEX avoids.
+
+    Raises:
+        StreamError: if the stream is not well-formed.
+    """
+    root = Node(DOCUMENT_LABEL, position=0, depth=0)
+    stack = [root]
+    position = 0
+    saw_start = False
+    saw_end = False
+    for event in events:
+        if isinstance(event, StartDocument):
+            saw_start = True
+        elif isinstance(event, EndDocument):
+            if len(stack) != 1:
+                raise StreamError("</$> with unclosed elements")
+            saw_end = True
+        elif isinstance(event, StartElement):
+            if not saw_start or saw_end:
+                raise StreamError("element outside document envelope")
+            position += 1
+            node = Node(event.label, position=position, depth=len(stack), parent=stack[-1])
+            stack[-1].children.append(node)
+            stack.append(node)
+        elif isinstance(event, EndElement):
+            if len(stack) == 1 or stack[-1].label != event.label:
+                raise StreamError(f"mismatched </{event.label}>")
+            stack.pop()
+        elif isinstance(event, Text):
+            if len(stack) > 1:
+                stack[-1].text += event.content
+    if saw_start and not saw_end:
+        raise StreamError("stream ended before </$>")
+    return Document(root)

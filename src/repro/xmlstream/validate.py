@@ -1,0 +1,75 @@
+"""Stream well-formedness checking.
+
+The paper's transducers assume well-formed input (matched tags inside a
+single ``<$>``/``</$>`` envelope).  :func:`checked` wraps any event stream
+and raises :class:`~repro.errors.StreamError` the moment an invariant is
+violated, so engine bugs are never silently blamed on bad input.  The check
+itself is the textbook 1-PDA the paper's Theorem IV.1 alludes to: a single
+stack of open labels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import StreamError
+from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
+
+
+def checked(events: Iterable[Event], require_end: bool = True) -> Iterator[Event]:
+    """Yield events unchanged while validating well-formedness.
+
+    Invariants enforced:
+
+    * the first event is ``<$>`` and the last is ``</$>``;
+    * element events occur only inside the envelope;
+    * every end tag matches the most recent open start tag;
+    * no events follow ``</$>``.
+
+    Args:
+        require_end: raise when the stream ends before ``</$>``.  Pass
+            ``False`` for live/unbounded sources, where every finite
+            read is a prefix.
+    """
+    stack: list[str] = []
+    seen_start = False
+    seen_end = False
+    for event in events:
+        if seen_end:
+            raise StreamError(f"event {event} after </$>")
+        if isinstance(event, StartDocument):
+            if seen_start:
+                raise StreamError("duplicate <$>")
+            seen_start = True
+        elif isinstance(event, EndDocument):
+            if not seen_start:
+                raise StreamError("</$> without <$>")
+            if stack:
+                raise StreamError(f"</$> with unclosed elements {stack}")
+            seen_end = True
+        elif isinstance(event, StartElement):
+            if not seen_start:
+                raise StreamError(f"<{event.label}> before <$>")
+            stack.append(event.label)
+        elif isinstance(event, EndElement):
+            if not stack:
+                raise StreamError(f"</{event.label}> with no open element")
+            if stack[-1] != event.label:
+                raise StreamError(f"</{event.label}> does not close <{stack[-1]}>")
+            stack.pop()
+        elif isinstance(event, Text):
+            if not seen_start:
+                raise StreamError("text before <$>")
+        yield event
+    if require_end and seen_start and not seen_end:
+        raise StreamError("stream ended before </$>")
+
+
+def is_well_formed(events: Iterable[Event]) -> bool:
+    """Return ``True`` when the stream satisfies all envelope invariants."""
+    try:
+        for _ in checked(events):
+            pass
+    except StreamError:
+        return False
+    return True

@@ -1,0 +1,97 @@
+"""Unit tests for the DOM oracle — the declarative rpeq semantics."""
+
+import pytest
+
+from repro.baselines.dom_eval import DomEvaluator
+from repro.rpeq.parser import parse
+from repro.xmlstream.parser import parse_string
+from repro.xmlstream.tree import build_document
+
+from ..conftest import PAPER_DOC
+
+
+def positions(query, doc=PAPER_DOC):
+    document = build_document(parse_string(doc))
+    return [n.position for n in DomEvaluator(parse(query)).evaluate_document(document)]
+
+
+class TestSteps:
+    def test_child_step(self):
+        assert positions("a") == [1]
+
+    def test_child_chain(self):
+        assert positions("a.c") == [5]
+
+    def test_wildcard(self):
+        assert positions("_") == [1]
+
+    def test_no_match(self):
+        assert positions("x") == []
+
+
+class TestClosures:
+    def test_plus_requires_one_step(self):
+        assert positions("a+") == [1, 2]
+
+    def test_plus_chain_semantics(self):
+        # a+ follows chains of a-labelled steps only.
+        assert positions("a+", "<a><b><a/></b></a>") == [1]
+
+    def test_wildcard_plus_is_descendants(self):
+        assert positions("_+") == [1, 2, 3, 4, 5]
+
+    def test_star_includes_context(self):
+        assert positions("_*") == [0, 1, 2, 3, 4, 5]
+
+    def test_star_then_step(self):
+        assert positions("_*.c") == [3, 5]
+
+
+class TestCombinators:
+    def test_union(self):
+        assert positions("(b|c)", "<r><b/><c/><d/></r>") == []
+        assert positions("r.(b|c)", "<r><b/><c/><d/></r>") == [2, 3]
+
+    def test_union_deduplicates(self):
+        assert positions("(a|_)") == [1]
+
+    def test_optional(self):
+        assert positions("a?.c") == [5]
+
+    def test_optional_includes_context_path(self):
+        # a?.a matches both 'a' (epsilon branch) and 'a.a'.
+        assert positions("a?.a") == [1, 2]
+
+
+class TestQualifiers:
+    def test_paper_running_example(self):
+        assert positions("_*.a[b].c") == [5]
+
+    def test_qualifier_filters(self):
+        assert positions("_*.a[b]") == [1]
+
+    def test_qualifier_with_path_condition(self):
+        assert positions("_*.a[a.c]") == [1]
+
+    def test_nested_qualifier(self):
+        assert positions("_*.a[a[c]]") == [1]
+
+    def test_stacked_qualifiers(self):
+        assert positions("_*.a[b][c]") == [1]
+
+    def test_qualifier_never_satisfied(self):
+        assert positions("_*.a[x]") == []
+
+    def test_epsilon_condition_always_true(self):
+        assert positions("a[_*]") == [1]
+
+
+class TestInterfaces:
+    def test_evaluate_from_events(self):
+        nodes = DomEvaluator(parse("a.c")).evaluate(parse_string(PAPER_DOC))
+        assert [n.position for n in nodes] == [5]
+
+    def test_results_sorted_and_unique(self):
+        nodes = DomEvaluator(parse("(_+|_*._)")).evaluate(parse_string(PAPER_DOC))
+        order = [n.position for n in nodes]
+        assert order == sorted(set(order))

@@ -1,0 +1,24 @@
+"""Unit tests for the buffer-everything baseline."""
+
+from repro.baselines.naive_stream import NaiveStreamEvaluator
+from repro.rpeq.parser import parse
+from repro.xmlstream.parser import parse_string
+
+from ..conftest import PAPER_DOC
+
+
+class TestNaiveStream:
+    def test_same_answers_as_dom(self):
+        evaluator = NaiveStreamEvaluator(parse("_*.a[b].c"))
+        nodes = evaluator.evaluate(parse_string(PAPER_DOC))
+        assert [n.position for n in nodes] == [5]
+
+    def test_buffers_whole_stream(self):
+        evaluator = NaiveStreamEvaluator(parse("a"))
+        evaluator.evaluate(parse_string(PAPER_DOC))
+        assert evaluator.buffered_events == 12
+
+    def test_buffer_count_tracks_last_run(self):
+        evaluator = NaiveStreamEvaluator(parse("a"))
+        evaluator.evaluate(parse_string("<a/>"))
+        assert evaluator.buffered_events == 4

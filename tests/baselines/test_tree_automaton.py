@@ -1,0 +1,62 @@
+"""Unit tests for the tree-automaton (Fxgrep analog) evaluator."""
+
+from repro.baselines.tree_automaton import TreeAutomatonEvaluator
+from repro.rpeq.parser import parse
+from repro.xmlstream.parser import parse_string
+from repro.xmlstream.tree import build_document
+
+from ..conftest import PAPER_DOC
+
+
+def positions(query, doc=PAPER_DOC):
+    document = build_document(parse_string(doc))
+    evaluator = TreeAutomatonEvaluator(parse(query))
+    return [n.position for n in evaluator.evaluate_document(document)]
+
+
+class TestBasics:
+    def test_child_chain(self):
+        assert positions("a.c") == [5]
+
+    def test_closure(self):
+        assert positions("a+.c+") == [3, 5]
+
+    def test_descendants(self):
+        assert positions("_*._") == [1, 2, 3, 4, 5]
+
+    def test_root_matched_by_epsilon_component(self):
+        assert positions("_*") == [0, 1, 2, 3, 4, 5]
+
+    def test_union(self):
+        assert positions("(a|b)") == [1]
+
+
+class TestQualifiers:
+    def test_paper_running_example(self):
+        assert positions("_*.a[b].c") == [5]
+
+    def test_guard_does_not_block_closure_chains(self):
+        """Regression: b*[d] must let chains pass through unqualified b's."""
+        doc = "<b><b><d/></b></b>"
+        # Outer b has no direct d child... wait: outer has b child; inner
+        # has d child.  b*[d] selects b-chain nodes with a d child.
+        assert positions("b+[d]", doc) == [2]
+
+    def test_intermediate_nodes_need_not_satisfy_guard(self):
+        # Chain through a node failing the qualifier must still extend.
+        doc = "<b><b><b><d/></b></b></b>"
+        assert positions("b+[d]", doc) == [3]
+
+    def test_nested_qualifiers(self):
+        assert positions("_*.a[a[c]]") == [1]
+
+
+class TestPruning:
+    def test_empty_state_sets_prune_subtrees(self):
+        # Matching is still correct when whole subtrees are skipped.
+        doc = "<r><x><y><z/></y></x><a><c/></a></r>"
+        assert positions("r.a.c", doc) == [6]
+
+    def test_events_interface(self):
+        nodes = TreeAutomatonEvaluator(parse("a.c")).evaluate(parse_string(PAPER_DOC))
+        assert [n.position for n in nodes] == [5]

@@ -1,0 +1,64 @@
+"""Unit tests for the lazy-DFA streaming (X-Scan analog) evaluator."""
+
+import pytest
+
+from repro.baselines.xscan import XScanEvaluator
+from repro.errors import UnsupportedFeatureError
+from repro.rpeq.parser import parse
+from repro.xmlstream.parser import parse_string
+
+from ..conftest import PAPER_DOC
+
+
+def positions(query, doc=PAPER_DOC):
+    return XScanEvaluator(parse(query)).evaluate(parse_string(doc))
+
+
+class TestMatching:
+    def test_child_chain(self):
+        assert positions("a.c") == [5]
+
+    def test_closures(self):
+        assert positions("a+.c+") == [3, 5]
+
+    def test_all_elements(self):
+        assert positions("_*._") == [1, 2, 3, 4, 5]
+
+    def test_root_via_epsilon(self):
+        assert positions("_*") == [0, 1, 2, 3, 4, 5]
+
+    def test_union_and_optional(self):
+        # (a|b) matches the top-level <a>; c? adds its c child (pos 5).
+        assert positions("(a|b).c?") == [1, 5]
+        assert positions("a.(a|b).c?") == [2, 3, 4]
+
+
+class TestStreaming:
+    def test_results_in_document_order(self):
+        order = positions("_+")
+        assert order == sorted(order)
+
+    def test_matches_is_lazy(self):
+        matcher = XScanEvaluator(parse("_*.c"))
+        stream = parse_string(PAPER_DOC)
+        iterator = matcher.matches(stream)
+        assert next(iterator) == 3  # yielded before the stream is done
+
+    def test_qualifiers_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            XScanEvaluator(parse("a[b]"))
+
+
+class TestLazyDfa:
+    def test_transitions_memoized(self):
+        matcher = XScanEvaluator(parse("_*.c"))
+        matcher.evaluate(parse_string(PAPER_DOC))
+        built_once = matcher.dfa_states_built
+        matcher.evaluate(parse_string(PAPER_DOC))
+        assert matcher.dfa_states_built == built_once
+
+    def test_only_occurring_labels_materialized(self):
+        matcher = XScanEvaluator(parse("a.b.c.d.e.f"))
+        matcher.evaluate(parse_string("<a><x/></a>"))
+        # Only (initial, 'a') and descendant combinations that occurred.
+        assert matcher.dfa_states_built <= 3

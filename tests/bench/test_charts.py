@@ -1,0 +1,41 @@
+"""Unit tests for ASCII chart rendering."""
+
+from repro.bench.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_scaling_to_peak(self):
+        chart = bar_chart("T", [("a", 1.0), ("b", 2.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[2].count("#") == 5
+        assert lines[3].count("#") == 10
+
+    def test_values_printed(self):
+        chart = bar_chart("T", [("a", 0.25)], unit="s")
+        assert "0.250s" in chart
+
+    def test_zero_values(self):
+        chart = bar_chart("T", [("a", 0.0), ("b", 1.0)])
+        assert "|" in chart.splitlines()[2]
+
+    def test_empty(self):
+        assert "no data" in bar_chart("T", [])
+
+    def test_labels_aligned(self):
+        chart = bar_chart("T", [("short", 1.0), ("a-longer-label", 1.0)])
+        bars = [line.index("|") for line in chart.splitlines()[2:]]
+        assert len(set(bars)) == 1
+
+
+class TestGroupedBarChart:
+    def test_group_by_series_rows(self):
+        chart = grouped_bar_chart(
+            "G", ["1", "2"], {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+        )
+        lines = chart.splitlines()
+        assert any(line.startswith("1 x") for line in lines)
+        assert any(line.startswith("2 y") for line in lines)
+
+    def test_row_count(self):
+        chart = grouped_bar_chart("G", ["1", "2", "3"], {"x": [1, 2, 3], "y": [1, 2, 3]})
+        assert len(chart.splitlines()) == 2 + 6

@@ -1,0 +1,60 @@
+"""Unit tests for the standalone experiment drivers."""
+
+from repro.bench.experiments import EXPERIMENTS, figure14, figure15, memory, scaling
+
+
+def collect():
+    lines: list[str] = []
+    return lines, lines.append
+
+
+class TestDrivers:
+    def test_figure14_report_shape(self):
+        lines, sink = collect()
+        report = figure14(scale=0.05, out=sink)
+        assert "MONDIAL" in report and "WordNet" in report
+        assert "spex" in report and "dom" in report and "treegrep" in report
+        assert lines  # printed through the sink
+
+    def test_figure15_report_shape(self):
+        report = figure15(scale=0.02, out=lambda s: None)
+        assert "structure/1" in report and "content/4" in report
+        assert "peak stack" in report
+
+    def test_memory_report_shape(self):
+        report = memory(scale=0.05, out=lambda s: None)
+        assert "spex" in report and "buffer-dom" in report
+
+    def test_scaling_report_shape(self):
+        report = scaling(scale=0.05, out=lambda s: None)
+        assert "depth" in report and "size" in report
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "figure14",
+            "figure15",
+            "memory",
+            "scaling",
+            "multiquery",
+            "xmark",
+        }
+
+    def test_multiquery_report(self):
+        from repro.bench.experiments import multiquery
+
+        report = multiquery(scale=0.2, out=lambda s: None)
+        assert "shared-prefix" in report
+
+    def test_xmark_report(self):
+        from repro.bench.experiments import xmark_experiment
+
+        report = xmark_experiment(scale=0.05, out=lambda s: None)
+        assert "spex" in report and "treegrep" in report
+
+
+class TestCli:
+    def test_main_runs_experiment(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["scaling", "--scale", "0.05"]) == 0
+        assert "peak stack" in capsys.readouterr().out

@@ -1,0 +1,62 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import make_processor, run_grid, run_one
+from repro.errors import UnsupportedFeatureError
+from repro.xmlstream.parser import parse_string
+
+from ..conftest import PAPER_DOC
+
+
+def workload():
+    return parse_string(PAPER_DOC)
+
+
+ALL_PROCESSORS = ["spex", "dom", "treegrep", "xscan", "buffer-dom"]
+
+
+class TestMakeProcessor:
+    @pytest.mark.parametrize("name", ALL_PROCESSORS)
+    def test_processors_agree_on_counts(self, name):
+        evaluate = make_processor(name, "a.c")
+        assert evaluate(workload()) == 1
+
+    def test_unknown_processor(self):
+        with pytest.raises(ValueError):
+            make_processor("saxon", "a")
+
+    def test_xscan_rejects_qualifiers(self):
+        with pytest.raises(UnsupportedFeatureError):
+            make_processor("xscan", "a[b]")
+
+
+class TestRunOne:
+    def test_result_fields(self):
+        result = run_one("spex", "1", "a.c", workload)
+        assert result.processor == "spex"
+        assert result.matches == 1
+        assert result.seconds >= 0
+        assert result.peak_memory_bytes is None
+
+    def test_memory_measurement(self):
+        result = run_one("dom", "1", "_*._", workload, measure_memory=True)
+        assert result.peak_memory_bytes is not None
+        assert result.peak_memory_bytes > 0
+
+
+class TestRunGrid:
+    def test_full_grid(self):
+        results = run_grid(["spex", "dom"], {"1": "a.c", "2": "_*._"}, workload)
+        assert len(results) == 4
+        counts = {(r.query_id, r.processor): r.matches for r in results}
+        assert counts[("1", "spex")] == counts[("1", "dom")] == 1
+        assert counts[("2", "spex")] == counts[("2", "dom")] == 5
+
+    def test_unsupported_combinations_skipped(self):
+        results = run_grid(["spex", "xscan"], {"q": "a[b]"}, workload)
+        assert [r.processor for r in results] == ["spex"]
+
+    def test_unsupported_raises_when_strict(self):
+        with pytest.raises(UnsupportedFeatureError):
+            run_grid(["xscan"], {"q": "a[b]"}, workload, skip_unsupported=False)

@@ -1,0 +1,22 @@
+"""Unit tests for memory tracing."""
+
+from repro.bench.memory import traced
+
+
+class TestTraced:
+    def test_result_passthrough(self):
+        assert traced(lambda: 42).result == 42
+
+    def test_allocation_measured(self):
+        run = traced(lambda: [0] * 500_000)
+        assert run.peak_bytes > 1_000_000
+
+    def test_small_allocations_smaller_than_big(self):
+        small = traced(lambda: [0] * 1_000).peak_bytes
+        big = traced(lambda: [0] * 1_000_000).peak_bytes
+        assert big > small * 10
+
+    def test_units(self):
+        run = traced(lambda: bytearray(2 * 1024 * 1024))
+        assert 1.5 < run.peak_mib < 3.0
+        assert run.peak_kib == run.peak_bytes / 1024

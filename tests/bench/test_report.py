@@ -1,0 +1,66 @@
+"""Unit tests for report formatting."""
+
+from repro.bench.harness import RunResult
+from repro.bench.report import (
+    check_match_agreement,
+    format_table,
+    grid_table,
+    speedup_summary,
+)
+
+
+def results():
+    return [
+        RunResult("spex", "1", "a", 0.5, 10, 1024),
+        RunResult("dom", "1", "a", 1.0, 10, 2048 * 1024),
+        RunResult("spex", "2", "b", 2.0, 3, None),
+        RunResult("dom", "2", "b", 1.0, 3, None),
+    ]
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table("T", ["x", "y"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "x" in lines[2] and "y" in lines[2]
+        assert "2.500" in lines[4]
+
+    def test_none_renders_dash(self):
+        text = format_table("T", ["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestGridTable:
+    def test_seconds_pivot(self):
+        text = grid_table("G", results(), ["spex", "dom"])
+        assert "0.500" in text and "1.000" in text
+
+    def test_matches_pivot(self):
+        text = grid_table("G", results(), ["spex", "dom"], value="matches")
+        assert "10" in text
+
+    def test_memory_pivot(self):
+        text = grid_table("G", results(), ["spex", "dom"], value="peak_memory_mib")
+        assert "2.0" in text
+
+    def test_missing_cells_dash(self):
+        text = grid_table("G", results(), ["spex", "dom", "xscan"])
+        assert text.count("-") > 0
+
+
+class TestSpeedupSummary:
+    def test_direction_reported(self):
+        text = speedup_summary(results(), baseline="dom")
+        assert "query 1" in text and "2.00x faster" in text
+        assert "query 2" in text and "2.00x slower" in text
+
+
+class TestAgreement:
+    def test_agreeing_counts_pass(self):
+        assert check_match_agreement(results()) == []
+
+    def test_disagreement_reported(self):
+        rows = results() + [RunResult("treegrep", "1", "a", 0.1, 11)]
+        problems = check_match_agreement(rows)
+        assert len(problems) == 1 and "query 1" in problems[0]

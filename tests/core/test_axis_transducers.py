@@ -1,0 +1,134 @@
+"""Unit tests for the following/preceding transducers in isolation."""
+
+import pytest
+
+from repro.conditions.formula import TRUE, Var
+from repro.conditions.store import ConditionStore, VariableAllocator
+from repro.core.axis_transducers import FollowingTransducer, PrecedingTransducer
+from repro.core.messages import Activation, Close, Contribute, Doc
+from repro.rpeq.ast import WILDCARD, Label
+from repro.xmlstream.events import events_from_tags
+
+
+def docs(*tags):
+    return [Doc(event) for event in events_from_tags(tags)]
+
+
+@pytest.fixture
+def store():
+    return ConditionStore()
+
+
+class TestFollowingStandalone:
+    def test_matches_only_after_context_closes(self, store):
+        fo = FollowingTransducer(Label("b"), store)
+        d = docs("<$>", "<a>", "<b>", "</b>", "</a>", "<b>", "</b>", "</$>")
+        # Activate the <a> element as context.
+        fo.feed([Activation(TRUE), d[1]])       # <a> (context opens)
+        inside = fo.feed([d[2]])                # <b> inside the context
+        assert not any(isinstance(m, Activation) for m in inside)
+        fo.feed([d[3]])
+        fo.feed([d[4]])                          # </a>: context closed
+        after = fo.feed([d[5]])                  # <b> after the context
+        assert any(isinstance(m, Activation) for m in after)
+
+    def test_label_test_applies(self, store):
+        fo = FollowingTransducer(Label("x"), store)
+        d = docs("<$>", "<a>", "</a>", "<b>", "</b>", "</$>")
+        fo.feed([d[0]])
+        fo.feed([Activation(TRUE), d[1]])
+        fo.feed([d[2]])
+        out = fo.feed([d[3]])  # <b> does not pass the x test
+        assert not any(isinstance(m, Activation) for m in out)
+
+    def test_wildcard_matches_everything_after(self, store):
+        fo = FollowingTransducer(Label(WILDCARD), store)
+        d = docs("<$>", "<a>", "</a>", "<b>", "</b>", "</$>")
+        fo.feed([d[0]])
+        fo.feed([Activation(TRUE), d[1]])
+        fo.feed([d[2]])
+        out = fo.feed([d[3]])
+        assert any(isinstance(m, Activation) for m in out)
+
+    def test_branch_retainer_blocks_release_of_conjunct_var(self, store):
+        from repro.conditions.formula import conj
+
+        head, inner = Var(1, "q0"), Var(2, "q1")
+        store.register(head)
+        store.register(inner)
+        fo = FollowingTransducer(Label("b"), store, branch=True)
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        fo.feed([d[0]])
+        fo.feed([Activation(conj(head, inner)), d[1]])
+        fo.feed([d[2]])  # after == head ^ inner
+        store.contribute(head, TRUE)  # head determined; inner unknown
+        store.close(head)
+        # Branch mode keeps the partially-determined conjunct whole, so
+        # the determined head stays referenced and must not be released.
+        assert not store.maybe_release(head)
+
+    def test_main_mode_substitutes_determined_vars(self, store):
+        var = Var(1, "q0")
+        store.register(var)
+        fo = FollowingTransducer(Label("b"), store)
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        fo.feed([d[0]])
+        fo.feed([Activation(var), d[1]])
+        fo.feed([d[2]])
+        store.contribute(var, TRUE)  # broadcast substitutes: after == TRUE
+        assert fo._after is TRUE
+        assert store.maybe_release(var) or not store.is_closed(var)
+
+
+class TestPrecedingStandalone:
+    def _make(self, store, branch_head=None):
+        return PrecedingTransducer(
+            Label("x"),
+            "spec",
+            VariableAllocator(),
+            store,
+            branch_head=branch_head,
+        )
+
+    def test_speculation_activation_emitted_per_match(self, store):
+        pr = self._make(store)
+        d = docs("<$>", "<x>", "</x>", "</$>")
+        pr.feed([d[0]])
+        out = pr.feed([d[1]])
+        activations = [m for m in out if isinstance(m, Activation)]
+        assert len(activations) == 1
+        assert isinstance(activations[0].formula, Var)
+        assert activations[0].formula.qualifier == "spec"
+
+    def test_context_confirms_closed_elements_only(self, store):
+        pr = self._make(store)
+        d = docs("<$>", "<x>", "</x>", "<x>", "<a>", "</a>", "</x>", "</$>")
+        pr.feed([d[0]])
+        pr.feed([d[1]])       # first x opens
+        pr.feed([d[2]])       # first x closes
+        pr.feed([d[3]])       # second x opens (still open!)
+        out = pr.feed([Activation(TRUE)])  # a context arrives
+        contributions = [m for m in out if isinstance(m, Contribute)]
+        assert len(contributions) == 1  # only the closed first x
+
+    def test_all_unconfirmed_closed_at_document_end(self, store):
+        pr = self._make(store)
+        d = docs("<$>", "<x>", "</x>", "</$>")
+        pr.feed([d[0]])
+        pr.feed([d[1]])
+        pr.feed([d[2]])
+        out = pr.feed([d[3]])  # </$>
+        assert any(isinstance(m, Close) for m in out)
+
+    def test_branch_mode_pairs_head_with_speculations(self, store):
+        head = Var(99, "qh")
+        store.register(head)
+        pr = self._make(store, branch_head="qh")
+        d = docs("<$>", "<x>", "</x>", "</$>")
+        pr.feed([d[0]])
+        pr.feed([d[1]])
+        pr.feed([d[2]])
+        out = pr.feed([Activation(head)])
+        contributions = [m for m in out if isinstance(m, Contribute)]
+        assert len(contributions) == 1
+        assert contributions[0].var == head  # evidence FOR the head

@@ -1,0 +1,79 @@
+"""Unit tests for the SDI dispatcher."""
+
+import pytest
+
+from repro.core.dispatch import Dispatcher
+
+from ..conftest import PAPER_DOC
+
+
+class TestSubscriptions:
+    def test_deliveries_counted(self):
+        dispatcher = Dispatcher()
+        received = []
+        dispatcher.subscribe("cs", "_*.c", received.append)
+        report = dispatcher.dispatch(PAPER_DOC)
+        assert report.delivered == {"cs": 2}
+        assert [m.position for m in received] == [3, 5]
+
+    def test_multiple_callbacks_per_subscription(self):
+        dispatcher = Dispatcher()
+        first, second = [], []
+        dispatcher.subscribe("b", "_*.b", first.append)
+        dispatcher.subscribe("b", "_*.b", second.append)
+        dispatcher.dispatch(PAPER_DOC)
+        assert len(first) == len(second) == 1
+
+    def test_conflicting_requery_rejected(self):
+        dispatcher = Dispatcher()
+        dispatcher.subscribe("x", "_*.a", lambda m: None)
+        with pytest.raises(ValueError):
+            dispatcher.subscribe("x", "_*.b", lambda m: None)
+
+    def test_unsubscribe(self):
+        dispatcher = Dispatcher()
+        dispatcher.subscribe("x", "_*.a", lambda m: None)
+        dispatcher.unsubscribe("x")
+        assert len(dispatcher) == 0
+        assert dispatcher.dispatch(PAPER_DOC).total_delivered == 0
+
+    def test_empty_dispatcher(self):
+        assert Dispatcher().dispatch(PAPER_DOC).total_delivered == 0
+
+
+class TestIsolation:
+    def test_failing_callback_does_not_stall_others(self):
+        dispatcher = Dispatcher()
+        received = []
+
+        def broken(match):
+            raise RuntimeError("subscriber bug")
+
+        dispatcher.subscribe("broken", "_*.c", broken)
+        dispatcher.subscribe("ok", "_*.c", received.append)
+        report = dispatcher.dispatch(PAPER_DOC)
+        assert len(received) == 2
+        assert report.delivered == {"broken": 2, "ok": 2}
+        assert len(report.failures["broken"]) == 2
+
+    def test_failure_recorded_with_exception(self):
+        dispatcher = Dispatcher()
+        dispatcher.subscribe("x", "_*.b", lambda m: 1 / 0)
+        report = dispatcher.dispatch(PAPER_DOC)
+        assert isinstance(report.failures["x"][0], ZeroDivisionError)
+
+
+class TestFragments:
+    def test_matches_carry_fragments_by_default(self):
+        dispatcher = Dispatcher()
+        seen = []
+        dispatcher.subscribe("a", "a.c", seen.append)
+        dispatcher.dispatch(PAPER_DOC)
+        assert seen[0].to_xml() == "<c></c>"
+
+    def test_positions_only_mode(self):
+        dispatcher = Dispatcher(collect_events=False)
+        seen = []
+        dispatcher.subscribe("a", "a.c", seen.append)
+        dispatcher.dispatch(PAPER_DOC)
+        assert seen[0].events is None

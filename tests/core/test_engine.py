@@ -1,0 +1,154 @@
+"""Unit tests for the SpexEngine facade."""
+
+import pytest
+
+from repro import SpexEngine, evaluate
+from repro.errors import QuerySyntaxError
+from repro.rpeq.parser import parse
+
+from ..conftest import PAPER_DOC
+
+
+class TestEvaluation:
+    def test_accepts_query_string(self):
+        assert SpexEngine("a.c").positions(PAPER_DOC) == [5]
+
+    def test_accepts_ast(self):
+        assert SpexEngine(parse("a.c")).positions(PAPER_DOC) == [5]
+
+    def test_bad_query_raises_at_construction(self):
+        with pytest.raises(QuerySyntaxError):
+            SpexEngine("a..b")
+
+    def test_evaluate_returns_matches(self):
+        matches = SpexEngine("_*.c").evaluate(PAPER_DOC)
+        assert [m.label for m in matches] == ["c", "c"]
+
+    def test_count(self):
+        assert SpexEngine("_*._").count(PAPER_DOC) == 5
+
+    def test_module_level_convenience(self):
+        assert [m.position for m in evaluate("a.c", PAPER_DOC)] == [5]
+
+    def test_engine_reusable_across_runs(self):
+        engine = SpexEngine("a.c")
+        assert engine.positions(PAPER_DOC) == engine.positions(PAPER_DOC)
+
+    def test_accepts_event_iterable(self):
+        from repro.xmlstream.parser import parse_string
+
+        assert SpexEngine("a.c").positions(parse_string(PAPER_DOC)) == [5]
+
+    def test_run_is_lazy(self):
+        """No stream consumption before the first next()."""
+        consumed = []
+
+        def stream():
+            from repro.xmlstream.parser import parse_string
+
+            for event in parse_string(PAPER_DOC):
+                consumed.append(event)
+                yield event
+
+        iterator = SpexEngine("_*._").run(stream())
+        assert consumed == []
+        next(iterator)
+        assert 0 < len(consumed) < 12
+
+
+class TestPositionsOnlyMode:
+    def test_matches_carry_no_events(self):
+        engine = SpexEngine("a.c", collect_events=False)
+        (match,) = engine.evaluate(PAPER_DOC)
+        assert match.events is None
+        assert match.position == 5
+
+
+class TestStats:
+    def test_stats_populated_after_run(self):
+        engine = SpexEngine("_*.a[b].c")
+        engine.evaluate(PAPER_DOC)
+        stats = engine.stats
+        assert stats.network.events == 12
+        assert stats.network.degree == engine.network_degree()
+        assert stats.condition_variables == 2  # two a-elements qualified
+        assert stats.query.qualifiers == 1
+
+    def test_network_degree_without_run(self):
+        assert SpexEngine("a").network_degree() == 3
+
+    def test_describe_network(self):
+        text = SpexEngine("a[b]").describe_network()
+        assert "VC(q0)" in text and "VD(q0)" in text
+
+
+class TestDocumentsWithText:
+    def test_text_preserved_in_fragments(self):
+        doc = "<r><a><b>hello</b></a></r>"
+        (match,) = SpexEngine("_*.a").evaluate(doc)
+        assert match.to_xml() == "<a><b>hello</b></a>"
+
+    def test_text_does_not_affect_matching(self):
+        doc = "<r>x<a>y</a>z</r>"
+        assert SpexEngine("r.a").positions(doc) == [2]
+
+
+class TestConveniences:
+    def test_first(self):
+        match = SpexEngine("_*.c").first(PAPER_DOC)
+        assert match is not None and match.position == 3
+
+    def test_first_none_when_empty(self):
+        assert SpexEngine("x").first(PAPER_DOC) is None
+
+    def test_first_short_circuits(self):
+        consumed = []
+
+        def stream():
+            from repro.xmlstream.parser import parse_string
+
+            for event in parse_string(PAPER_DOC):
+                consumed.append(event)
+                yield event
+
+        SpexEngine("_*.a", collect_events=False).first(stream())
+        assert len(consumed) < 12
+
+    def test_exists(self):
+        assert SpexEngine("_*.b").exists(PAPER_DOC)
+        assert not SpexEngine("_*.x").exists(PAPER_DOC)
+
+
+class TestMatchHelpers:
+    def test_text(self):
+        doc = "<r><a>hello <b>wor</b>ld</a></r>"
+        (match,) = SpexEngine("r.a").evaluate(doc)
+        assert match.text() == "hello world"
+
+    def test_size(self):
+        doc = "<r><a><b/><c><d/></c></a></r>"
+        (match,) = SpexEngine("r.a").evaluate(doc)
+        assert match.size() == 4
+
+    def test_helpers_require_events(self):
+        import pytest as _pytest
+
+        (match,) = SpexEngine("a", collect_events=False).evaluate("<a/>")
+        with _pytest.raises(ValueError):
+            match.text()
+        with _pytest.raises(ValueError):
+            match.size()
+
+
+class TestStatsSummary:
+    def test_summary_lines(self):
+        engine = SpexEngine("_*.a[b].c")
+        engine.evaluate(PAPER_DOC)
+        summary = engine.stats.summary()
+        assert "rpeq*[]" in summary
+        assert "events processed      : 12" in summary
+        assert "condition variables   : 2" in summary
+
+    def test_summary_without_run(self):
+        summary = SpexEngine("a").stats.summary()
+        assert "events processed      : 0" in summary

@@ -1,0 +1,102 @@
+"""Unit tests for split, join and union transducers."""
+
+import pytest
+
+from repro.conditions.formula import TRUE, Var, disj
+from repro.core.flow_transducers import JoinTransducer, SplitTransducer, UnionTransducer
+from repro.core.messages import Activation, Close, Contribute, Doc
+from repro.errors import EngineError
+from repro.xmlstream.events import events_from_tags
+
+V1, V2 = Var(1, "q0"), Var(2, "q0")
+
+
+def doc(tag):
+    return Doc(next(events_from_tags([tag])))
+
+
+class TestSplit:
+    def test_identity(self):
+        split = SplitTransducer()
+        messages = [Activation(V1), doc("<a>")]
+        assert split.feed(messages) == messages
+
+
+class TestJoin:
+    def test_document_emitted_once(self):
+        join = JoinTransducer()
+        left, right = [doc("<a>")], [doc("<a>")]
+        out = join.feed2(left, right)
+        assert out == [doc("<a>")]
+
+    def test_branch_extras_collected_before_document(self):
+        join = JoinTransducer()
+        left = [Activation(V1), doc("<a>")]
+        right = [Contribute(V2, TRUE), doc("<a>")]
+        out = join.feed2(left, right)
+        assert out == [Activation(V1), Contribute(V2, TRUE), doc("<a>")]
+
+    def test_upstream_duplicates_eliminated(self):
+        # Messages replicated by the split appear in both inputs exactly
+        # once after the join (Sec. III.7: the join removes duplicates).
+        join = JoinTransducer()
+        shared = Close(V1)
+        out = join.feed2([shared, doc("<a>")], [shared, doc("<a>")])
+        assert out == [shared, doc("<a>")]
+
+    def test_shared_activation_object_forwarded_once(self):
+        join = JoinTransducer()
+        shared = Activation(V1)
+        out = join.feed2([shared, doc("<a>")], [shared, doc("<a>")])
+        assert out == [shared, doc("<a>")]
+
+    def test_equal_but_distinct_activations_both_kept(self):
+        # Identity dedup only: downstream disjunction (f v f == f)
+        # absorbs equal formulas, so forwarding both is harmless.
+        join = JoinTransducer()
+        out = join.feed2([Activation(V1), doc("<a>")], [Activation(V1), doc("<a>")])
+        assert out == [Activation(V1), Activation(V1), doc("<a>")]
+
+    def test_dedup_ablation_toggle(self):
+        join = JoinTransducer(dedup=False)
+        shared = Close(V1)
+        out = join.feed2([shared, doc("<a>")], [shared, doc("<a>")])
+        assert out == [shared, shared, doc("<a>")]
+
+    def test_distinct_activations_both_kept(self):
+        join = JoinTransducer()
+        out = join.feed2([Activation(V1), doc("<a>")], [Activation(V2), doc("<a>")])
+        assert out == [Activation(V1), Activation(V2), doc("<a>")]
+
+    def test_disagreeing_documents_raise(self):
+        join = JoinTransducer()
+        with pytest.raises(EngineError):
+            join.feed2([doc("<a>")], [doc("<b>")])
+
+    def test_single_input_feed_rejected(self):
+        with pytest.raises(EngineError):
+            JoinTransducer().feed([doc("<a>")])
+
+
+class TestUnion:
+    def test_two_activations_become_disjunction(self):
+        union = UnionTransducer()
+        assert union.feed([Activation(V1)]) == []
+        assert union.feed([Activation(V2)]) == []
+        out = union.feed([doc("<a>")])
+        assert out == [Activation(disj(V1, V2)), doc("<a>")]
+
+    def test_single_activation_forwarded_on_tag(self):
+        union = UnionTransducer()
+        union.feed([Activation(V1)])
+        out = union.feed([doc("<a>")])
+        assert out == [Activation(V1), doc("<a>")]
+
+    def test_no_activation_plain_forward(self):
+        union = UnionTransducer()
+        assert union.feed([doc("<a>")]) == [doc("<a>")]
+
+    def test_condition_messages_pass(self):
+        union = UnionTransducer()
+        message = Contribute(V1, TRUE)
+        assert union.feed([message]) == [message]

@@ -1,0 +1,165 @@
+"""Unit tests for the output transducer: candidates, ordering, buffering."""
+
+import pytest
+
+from repro.conditions.formula import TRUE, Var, conj
+from repro.conditions.store import ConditionStore
+from repro.core.messages import Activation, Close, Contribute, Doc
+from repro.core.output_tx import OutputTransducer
+from repro.xmlstream.events import StartElement, events_from_tags
+
+
+@pytest.fixture
+def store():
+    return ConditionStore()
+
+
+@pytest.fixture
+def sink(store):
+    return OutputTransducer(store)
+
+
+def docs(*tags):
+    return [Doc(event) for event in events_from_tags(tags)]
+
+
+def var(store, uid, qualifier="q0"):
+    v = Var(uid, qualifier)
+    store.register(v)
+    return v
+
+
+def run(sink, messages):
+    for message in messages:
+        sink.feed([message])
+    return list(sink.results)
+
+
+class TestUnconditionalCandidates:
+    def test_match_emitted_at_end_tag(self, sink):
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        run(sink, [d[0], Activation(TRUE), d[1]])
+        assert not sink.results  # span not complete yet
+        matches = run(sink, [d[2], d[3]])
+        assert [m.position for m in matches] == [1]
+        assert matches[0].label == "a"
+
+    def test_fragment_events_captured(self, sink):
+        d = docs("<$>", "<a>", "<b>", "</b>", "</a>", "</$>")
+        run(sink, [d[0], Activation(TRUE), d[1], d[2], d[3], d[4], d[5]])
+        (match,) = sink.results
+        assert [str(e) for e in match.events] == ["<a>", "<b>", "</b>", "</a>"]
+
+    def test_positions_count_start_tags(self, sink):
+        d = docs("<$>", "<a>", "</a>", "<b>", "</b>", "</$>")
+        matches = run(sink, [d[0], d[1], d[2], Activation(TRUE), d[3], d[4], d[5]])
+        assert [m.position for m in matches] == [2]
+
+    def test_root_candidate(self, sink):
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        matches = run(sink, [Activation(TRUE), d[0], d[1], d[2], d[3]])
+        assert [m.position for m in matches] == [0]
+        assert matches[0].label == "$"
+
+    def test_nested_candidates_in_document_order(self, sink):
+        d = docs("<$>", "<a>", "<b>", "</b>", "</a>", "</$>")
+        matches = run(
+            sink,
+            [d[0], Activation(TRUE), d[1], Activation(TRUE), d[2], d[3], d[4], d[5]],
+        )
+        # inner completes first, but output is document order (a then b)
+        assert [m.position for m in matches] == [1, 2]
+
+
+class TestConditionalCandidates:
+    def test_future_condition_buffers_then_emits(self, sink, store):
+        c = var(store, 1)
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        run(sink, [d[0], Activation(c), d[1], d[2]])
+        assert not sink.results  # undecided: buffered
+        matches = run(sink, [Contribute(c, TRUE)])
+        assert [m.position for m in matches] == [1]
+
+    def test_future_condition_false_drops(self, sink, store):
+        c = var(store, 1)
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        matches = run(sink, [d[0], Activation(c), d[1], d[2], Close(c), d[3]])
+        assert matches == []
+        assert sink.output_stats.candidates_dropped == 1
+
+    def test_past_condition_streams_immediately(self, sink, store):
+        # Class-4 behaviour: variable already true when candidate appears.
+        c = var(store, 1)
+        store.contribute(c, TRUE)
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        matches = run(sink, [d[0], Activation(c), d[1], d[2]])
+        assert [m.position for m in matches] == [1]
+
+    def test_decided_false_at_birth_never_buffered(self, sink, store):
+        c = var(store, 1)
+        store.close(c)
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        matches = run(sink, [d[0], Activation(c), d[1], d[2]])
+        assert matches == []
+        assert sink.output_stats.peak_buffered_events == 0
+
+    def test_order_preserved_across_decisions(self, sink, store):
+        """A later candidate decided early must wait for an earlier one."""
+        c1, c2 = var(store, 1), var(store, 2)
+        d = docs("<$>", "<a>", "</a>", "<b>", "</b>", "</$>")
+        run(sink, [d[0], Activation(c1), d[1], d[2]])
+        run(sink, [Activation(c2), d[3], Contribute(c2, TRUE), d[4]])
+        assert not sink.results  # b is ready but a is still undecided
+        matches = run(sink, [Contribute(c1, TRUE)])
+        assert [m.position for m in matches] == [1, 2]
+
+    def test_sec_III_10_candidate_scenario(self, sink, store):
+        """candidate1 dropped via {co2,false}; candidate2 emitted directly."""
+        co1, co2 = var(store, 1), var(store, 2)
+        d = docs("<$>", "<c>", "</c>", "<c>", "</c>", "</$>")
+        run(sink, [d[0], Activation(co2), d[1], d[2]])
+        matches = run(sink, [Close(co2)])
+        assert matches == []  # candidate1 discarded
+        run(sink, [Contribute(co1, TRUE)])
+        matches = run(sink, [Activation(co1), d[3], d[4]])
+        assert [m.position for m in matches] == [2]
+
+
+class TestBufferAccounting:
+    def test_no_candidates_no_buffering(self, sink):
+        d = docs("<$>", "<a>", "<b>", "</b>", "</a>", "</$>")
+        run(sink, d)
+        assert sink.output_stats.peak_buffered_events == 0
+
+    def test_log_trimmed_after_emission(self, sink):
+        d = docs("<$>", "<a>", "</a>", "<b>", "</b>", "</$>")
+        run(sink, [d[0], Activation(TRUE), d[1], d[2], d[3], d[4], d[5]])
+        assert len(sink._log) == 0
+
+    def test_positions_only_mode_skips_buffering(self, store):
+        sink = OutputTransducer(store, collect_events=False)
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        matches = run(sink, [d[0], Activation(TRUE), d[1], d[2], d[3]])
+        assert matches[0].events is None
+        assert sink.output_stats.peak_buffered_events == 0
+        with pytest.raises(ValueError):
+            matches[0].to_xml()
+
+    def test_undecided_candidate_forces_buffering(self, sink, store):
+        c = var(store, 1)
+        d = docs("<$>", "<a>", "<b>", "</b>", "</a>", "</$>")
+        run(sink, [d[0], Activation(c), d[1], d[2], d[3], d[4]])
+        assert sink.output_stats.peak_buffered_events == 4
+
+
+class TestMatchObject:
+    def test_to_xml(self, sink):
+        d = docs("<$>", "<a>", "<b>", "</b>", "</a>", "</$>")
+        matches = run(sink, [d[0], Activation(TRUE), d[1], d[2], d[3], d[4], d[5]])
+        assert matches[0].to_xml() == "<a><b></b></a>"
+
+    def test_match_is_frozen(self, sink):
+        d = docs("<$>", "<a>", "</a>", "</$>")
+        (match,) = run(sink, [d[0], Activation(TRUE), d[1], d[2], d[3]])
+        with pytest.raises(AttributeError):
+            match.position = 9

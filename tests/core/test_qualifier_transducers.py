@@ -1,0 +1,129 @@
+"""Unit tests for variable-creator, -filter and -determinant transducers."""
+
+import pytest
+
+from repro.conditions.formula import TRUE, And, Var, conj, disj
+from repro.conditions.store import ConditionStore, VariableAllocator
+from repro.core.messages import Activation, Close, Contribute, Doc
+from repro.core.qualifier_transducers import (
+    VariableCreator,
+    VariableDeterminant,
+    VariableFilter,
+)
+from repro.xmlstream.events import events_from_tags
+
+
+@pytest.fixture
+def store():
+    return ConditionStore()
+
+
+@pytest.fixture
+def creator(store):
+    return VariableCreator("q0", VariableAllocator(), store)
+
+
+def doc(tag):
+    return Doc(next(events_from_tags([tag])))
+
+
+class TestVariableCreator:
+    def test_creates_one_variable_per_activation(self, creator, store):
+        out = creator.feed([Activation(TRUE), doc("<a>")])
+        activations = [m for m in out if isinstance(m, Activation)]
+        assert len(activations) == 1
+        created = activations[0].formula
+        assert isinstance(created, Var) and created.qualifier == "q0"
+        assert store.total_variables == 1
+
+    def test_conjoins_variable_onto_formula(self, creator):
+        outer = Var(99, "outer")
+        out = creator.feed([Activation(outer), doc("<a>")])
+        formula = next(m.formula for m in out if isinstance(m, Activation))
+        assert isinstance(formula, And)
+        assert outer in formula.terms
+
+    def test_close_emitted_at_scope_end(self, creator):
+        out_open = creator.feed([Activation(TRUE), doc("<a>")])
+        created = next(m.formula for m in out_open if isinstance(m, Activation))
+        out_close = creator.feed([doc("</a>")])
+        assert out_close[0] == Close(created)
+        assert isinstance(out_close[1], Doc)
+
+    def test_unactivated_elements_pass_silently(self, creator, store):
+        creator.feed([doc("<a>")])
+        out = creator.feed([doc("</a>")])
+        assert not any(isinstance(m, Close) for m in out)
+        assert store.total_variables == 0
+
+    def test_nested_activations_get_distinct_variables(self, creator):
+        out1 = creator.feed([Activation(TRUE), doc("<a>")])
+        out2 = creator.feed([Activation(TRUE), doc("<a>")])
+        v1 = next(m.formula for m in out1 if isinstance(m, Activation))
+        v2 = next(m.formula for m in out2 if isinstance(m, Activation))
+        assert v1 != v2
+        # closes come innermost-first
+        assert creator.feed([doc("</a>")])[0] == Close(v2)
+        assert creator.feed([doc("</a>")])[0] == Close(v1)
+
+
+class TestVariableFilter:
+    def test_positive_keeps_own_variables(self):
+        own, foreign = Var(1, "q0"), Var(2, "q9")
+        fltr = VariableFilter(frozenset(("q0",)), positive=True)
+        out = fltr.feed([Activation(conj(own, foreign))])
+        assert out == [Activation(own)]
+
+    def test_negative_drops_own_variables(self):
+        own, foreign = Var(1, "q0"), Var(2, "q9")
+        fltr = VariableFilter(frozenset(("q0",)), positive=False)
+        out = fltr.feed([Activation(conj(own, foreign))])
+        assert out == [Activation(foreign)]
+
+    def test_keeps_nested_qualifier_variables(self):
+        own, nested = Var(1, "q0"), Var(2, "q1")
+        fltr = VariableFilter(frozenset(("q0", "q1")), positive=True)
+        out = fltr.feed([Activation(conj(own, nested))])
+        assert out == [Activation(conj(own, nested))]
+
+    def test_documents_and_conditions_pass(self):
+        fltr = VariableFilter(frozenset(("q0",)))
+        message = doc("<a>")
+        assert fltr.feed([message]) == [message]
+        contribution = Contribute(Var(1, "q0"), TRUE)
+        assert fltr.feed([contribution]) == [contribution]
+
+
+class TestVariableDeterminant:
+    def test_plain_instance_yields_paper_protocol(self):
+        c = Var(1, "q0")
+        vd = VariableDeterminant("q0")
+        assert vd.feed([Activation(c)]) == [Contribute(c, TRUE)]
+
+    def test_disjunction_determines_every_instance(self):
+        # A b-descendant inside two nested closure scopes satisfies both
+        # qualifier instances at once.
+        c1, c2 = Var(1, "q0"), Var(2, "q0")
+        vd = VariableDeterminant("q0")
+        out = vd.feed([Activation(disj(c1, c2))])
+        assert set(out) == {Contribute(c1, TRUE), Contribute(c2, TRUE)}
+
+    def test_nested_residue_forwarded_as_evidence(self):
+        outer, inner = Var(1, "q0"), Var(2, "q1")
+        vd = VariableDeterminant("q0")
+        out = vd.feed([Activation(conj(outer, inner))])
+        assert out == [Contribute(outer, inner)]
+
+    def test_true_formula_contributes_nothing(self):
+        vd = VariableDeterminant("q0")
+        assert vd.feed([Activation(TRUE)]) == []
+
+    def test_documents_pass_through(self):
+        vd = VariableDeterminant("q0")
+        message = doc("<a>")
+        assert vd.feed([message]) == [message]
+
+    def test_condition_messages_pass_through(self):
+        vd = VariableDeterminant("q0")
+        message = Close(Var(1, "q0"))
+        assert vd.feed([message]) == [message]

@@ -1,0 +1,54 @@
+"""Unit tests for the transition tracer (Figs. 4/5/13 reproduction)."""
+
+from repro.core.trace import Tracer, trace_run
+from repro.xmlstream.parser import parse_string
+
+from ..conftest import PAPER_DOC
+
+
+class TestTraceRun:
+    def test_example_III_1_table_shape(self):
+        table = trace_run("a.c", PAPER_DOC)
+        lines = table.splitlines()
+        # Header lists the 12 stream messages of Fig. 1.
+        assert lines[0].count("<") == 12
+        # One row per transducer: IN, CH(a), CH(c), OU.
+        assert len(lines) == 2 + 4
+
+    def test_matches_recorded(self):
+        tracer = Tracer("a.c")
+        tracer.feed(parse_string(PAPER_DOC))
+        assert [m.position for m in tracer.matches] == [5]
+
+    def test_child_match_marked(self):
+        table = trace_run("a.c", PAPER_DOC)
+        ch_c = next(line for line in table.splitlines() if line.startswith("CH(c)"))
+        assert "M" in ch_c  # the second <c> matches
+
+    def test_variable_lifecycle_marked(self):
+        table = trace_run("_*.a[b].c", PAPER_DOC)
+        vc = next(line for line in table.splitlines() if line.startswith("VC(q0)"))
+        cells = vc.split("|", 1)[1]
+        # Two instances created (the two <a>), two scope closes.
+        assert cells.count("V") == 2
+        assert cells.count("F") == 2
+
+    def test_determination_marked(self):
+        table = trace_run("_*.a[b].c", PAPER_DOC)
+        vd = next(line for line in table.splitlines() if line.startswith("VD(q0)"))
+        assert "T" in vd  # the <b> satisfies the outer instance
+
+    def test_candidates_and_result_marked(self):
+        table = trace_run("_*.a[b].c", PAPER_DOC)
+        ou = next(line for line in table.splitlines() if line.startswith("OU"))
+        assert ou.count("C") == 2  # candidate1 (dropped) and candidate2
+        assert ou.count("R") == 1  # only candidate2 emitted
+
+    def test_literal_and_optimized_traces_agree_on_matches(self):
+        fused = Tracer("_*.c", optimize=True)
+        fused.feed(parse_string(PAPER_DOC))
+        literal = Tracer("_*.c", optimize=False)
+        literal.feed(parse_string(PAPER_DOC))
+        assert [m.position for m in fused.matches] == [
+            m.position for m in literal.matches
+        ]

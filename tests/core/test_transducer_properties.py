@@ -1,0 +1,122 @@
+"""Property tests for individual path transducers.
+
+Each transducer is run standalone (IN -> T) on random streams and its
+emitted activations are compared against a reference oracle computed on
+the materialized tree:
+
+* ``CH(l)`` activates exactly the ``l``-children of the root;
+* ``CL(l)`` activates exactly the nodes reachable from the root by
+  non-empty ``l``-chains;
+* ``DS(l*)`` activates the root plus exactly ``CL(l)``'s nodes;
+* all of them emit the activation immediately before the matched start
+  tag, and their stacks empty out at ``</$>``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import Activation, Doc
+from repro.core.path_transducers import (
+    ChildTransducer,
+    ClosureTransducer,
+    InputTransducer,
+    StarTransducer,
+)
+from repro.rpeq.ast import WILDCARD, Label
+from repro.xmlstream.events import StartElement
+from repro.xmlstream.tree import build_document
+
+from ..conftest import LABELS, event_streams
+
+SETTINGS = dict(
+    max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_tests = st.sampled_from([Label(name) for name in (*LABELS, WILDCARD)])
+
+
+def activated_positions(transducer, events):
+    """Positions whose start tag is immediately preceded by an activation."""
+    source = InputTransducer()
+    positions = []
+    counter = 0
+    for event in events:
+        batch = transducer.feed(source.feed([Doc(event)]))
+        if isinstance(event, StartElement):
+            counter += 1
+            pending = any(isinstance(m, Activation) for m in batch[:-1])
+            if pending:
+                positions.append(counter)
+    return positions, transducer
+
+
+def child_oracle(test, events):
+    document = build_document(events)
+    return [
+        child.position
+        for child in document.root.children
+        if test.matches(child.label)
+    ]
+
+
+def chain_oracle(test, events):
+    document = build_document(events)
+    result = []
+
+    def descend(node):
+        for child in node.children:
+            if test.matches(child.label):
+                result.append(child.position)
+                descend(child)
+
+    descend(document.root)
+    return sorted(result)
+
+
+class TestChildTransducer:
+    @settings(**SETTINGS)
+    @given(_tests, event_streams())
+    def test_matches_root_children(self, test, events):
+        positions, _ = activated_positions(ChildTransducer(test), events)
+        assert positions == child_oracle(test, events)
+
+    @settings(**SETTINGS)
+    @given(_tests, event_streams())
+    def test_stack_empty_at_end(self, test, events):
+        _, transducer = activated_positions(ChildTransducer(test), events)
+        assert transducer.stack == []
+        assert transducer.pending is None
+
+
+class TestClosureTransducer:
+    @settings(**SETTINGS)
+    @given(_tests, event_streams())
+    def test_matches_label_chains(self, test, events):
+        positions, _ = activated_positions(ClosureTransducer(test), events)
+        assert sorted(positions) == chain_oracle(test, events)
+
+    @settings(**SETTINGS)
+    @given(_tests, event_streams())
+    def test_stack_empty_at_end(self, test, events):
+        _, transducer = activated_positions(ClosureTransducer(test), events)
+        assert transducer.stack == []
+
+
+class TestStarTransducer:
+    @settings(**SETTINGS)
+    @given(_tests, event_streams())
+    def test_equals_closure_plus_context(self, test, events):
+        positions, _ = activated_positions(StarTransducer(test), events)
+        # The context here is the document root, which has no start tag
+        # counted by activated_positions — elements only.
+        assert sorted(positions) == chain_oracle(test, events)
+
+    @settings(**SETTINGS)
+    @given(_tests, event_streams())
+    def test_emits_activation_for_context_itself(self, test, events):
+        """The epsilon component: the root activation passes through."""
+        source = InputTransducer()
+        transducer = StarTransducer(test)
+        first = events[0]  # <$>
+        batch = transducer.feed(source.feed([Doc(first)]))
+        assert any(isinstance(m, Activation) for m in batch)

@@ -1,0 +1,171 @@
+"""Unit tests for the conjunctive-query translation and engine."""
+
+import pytest
+
+from repro import SpexEngine
+from repro.cq.engine import CqEngine, compile_cq
+from repro.cq.parser import parse_cq
+from repro.errors import UnsupportedFeatureError
+
+from ..conftest import PAPER_DOC
+
+
+def bindings(cq, doc=PAPER_DOC):
+    return {
+        variable: [m.position for m in matches]
+        for variable, matches in CqEngine(cq).evaluate(doc).items()
+    }
+
+
+class TestPaperEquivalences:
+    def test_sec_vii_example(self):
+        """q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3  ==  _*.a[b].c"""
+        cq = "q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3"
+        assert bindings(cq) == {"X3": SpexEngine("_*.a[b].c").positions(PAPER_DOC)}
+
+    def test_pure_path_query(self):
+        assert bindings("q(X2) :- Root(a) X1, X1(c) X2") == {"X2": [5]}
+
+    def test_condition_chain_folds_to_nested_qualifier(self):
+        # X2, X3 never reach the head: b[c] as qualifier on X1.
+        cq = "q(X1) :- Root(_*.a) X1, X1(a) X2, X2(c) X3"
+        assert bindings(cq) == {"X1": SpexEngine("_*.a[a[c]]").positions(PAPER_DOC)}
+
+
+class TestProjectionSemantics:
+    def test_head_requires_whole_body(self):
+        cq = "q(X1, X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3"
+        result = bindings(cq)
+        assert result["X1"] == SpexEngine("_*.a[b][c]").positions(PAPER_DOC)
+        assert result["X3"] == SpexEngine("_*.a[b].c").positions(PAPER_DOC)
+
+    def test_sibling_constraint_applies_to_branch(self):
+        # X2 must come from an a that also has a c child.
+        cq = "q(X2) :- Root(_*) X1, X1(a) X2, X2(c) X3"
+        assert bindings(cq) == {"X2": SpexEngine("_*.a[c]").positions(PAPER_DOC)}
+
+    def test_root_head(self):
+        assert bindings("q(Root) :- Root(_*.b) X") == {"Root": [0]}
+        assert bindings("q(Root) :- Root(_*.x) X") == {"Root": []}
+
+    def test_atom_order_irrelevant(self):
+        a = bindings("q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3")
+        b = bindings("q(X3) :- Root(_*.a) X1, X1(c) X3, X1(b) X2")
+        assert a == b
+
+
+class TestCompileCq:
+    def test_one_sink_per_head_variable(self):
+        query = parse_cq("q(X1, X2) :- Root(a) X1, X1(b) X2")
+        network, _store, sinks = compile_cq(query)
+        assert set(sinks) == {"X1", "X2"}
+        assert len(network.sinks) == 2
+
+    def test_qualifier_branch_created_for_non_head_path(self):
+        from repro.core.qualifier_transducers import VariableCreator
+
+        query = parse_cq("q(X1) :- Root(a) X1, X1(b) X2")
+        network, _store, _sinks = compile_cq(query)
+        assert any(isinstance(node, VariableCreator) for node in network.nodes)
+
+
+class TestStreaming:
+    def test_progressive_pairs(self):
+        engine = CqEngine("q(X1) :- Root(_*.c) X1", collect_events=False)
+        pairs = list(engine.run(PAPER_DOC))
+        assert [(v, m.position) for v, m in pairs] == [("X1", 3), ("X1", 5)]
+
+    def test_fragments_available_by_default(self):
+        engine = CqEngine("q(X1) :- Root(a.c) X1")
+        ((_, match),) = list(engine.run(PAPER_DOC))
+        assert match.to_xml() == "<c></c>"
+
+
+class TestRandomizedEquivalence:
+    """Tree-shaped CQs are rpeq-expressible; both engines must agree."""
+
+    def test_chain_queries_equal_rpeq(self, rng):
+        from repro.rpeq.unparse import unparse
+        from repro.rpeq.generate import GeneratorConfig, random_rpeq
+
+        from ..conftest import make_random_events
+
+        config = GeneratorConfig(allow_qualifiers=False, max_depth=2)
+        for _ in range(20):
+            # Build a 3-atom chain Root -> X1 -> X2 -> X3 from random
+            # qualifier-free paths; the rpeq equivalent is their
+            # concatenation.
+            paths = [random_rpeq(rng, config) for _ in range(3)]
+            texts = []
+            for path in paths:
+                try:
+                    texts.append(unparse(path))
+                except Exception:
+                    break
+            if len(texts) < 3:
+                continue
+            cq_text = (
+                f"q(X3) :- Root({texts[0]}) X1, X1({texts[1]}) X2, "
+                f"X2({texts[2]}) X3"
+            )
+            rpeq_text = f"({texts[0]}).({texts[1]}).({texts[2]})"
+            events = make_random_events(rng, max_depth=4)
+            via_cq = [
+                m.position
+                for m in CqEngine(cq_text, collect_events=False).evaluate(iter(events))["X3"]
+            ]
+            via_rpeq = SpexEngine(rpeq_text, collect_events=False).positions(iter(events))
+            assert via_cq == via_rpeq, cq_text
+
+    def test_branching_queries_equal_qualified_rpeq(self, rng):
+        from ..conftest import make_random_events
+
+        for _ in range(20):
+            events = make_random_events(rng, max_depth=4)
+            # Root(_*.a) X1 with two leaf branches: qualifier semantics.
+            cq_text = "q(X2) :- Root(_*.a) X1, X1(b) Xb, X1(c) X2"
+            via_cq = [
+                m.position
+                for m in CqEngine(cq_text, collect_events=False).evaluate(iter(events))["X2"]
+            ]
+            via_rpeq = SpexEngine("_*.a[b].c", collect_events=False).positions(iter(events))
+            assert via_cq == via_rpeq
+
+
+class TestNodeIdentityJoins:
+    """The paper's future work, in the sole-head-variable form."""
+
+    DOC = "<r><a><c/><b/></a><d><c/></d></r>"
+    # positions: r=1 a=2 c=3 b=4 d=5 c=6
+
+    def test_intersection_semantics(self):
+        result = bindings("q(X) :- Root(_*.c) X, Root(_*.a._) X", self.DOC)
+        assert result == {"X": [3]}  # the c that is also under an a
+
+    def test_empty_intersection(self):
+        result = bindings("q(X) :- Root(_*.a.c) X, Root(_*.d.c) X", self.DOC)
+        assert result == {"X": []}
+
+    def test_three_way_join(self):
+        cq = "q(X) :- Root(_*._) X, Root(r._) X, Root(_*.d) X"
+        assert bindings(cq, self.DOC) == {"X": [5]}
+
+    def test_join_agrees_with_rpeq_conjunction_on_same_step(self):
+        # Both paths end in the same label: join == qualifier stacking.
+        cq = "q(X) :- Root(_*.a[b].c) X, Root(_*.a[c].c) X"
+        via_join = bindings(cq, self.DOC)
+        via_rpeq = SpexEngine("_*.a[b][c].c").positions(self.DOC)
+        assert via_join == {"X": via_rpeq}
+
+    def test_document_order_preserved(self):
+        doc = "<r><a><x/></a><x/><a><x/></a></r>"
+        result = bindings("q(X) :- Root(_*.x) X, Root(_*.a.x) X", doc)
+        assert result["X"] == sorted(result["X"])
+
+    def test_one_sink_per_defining_path(self):
+        from repro.cq.engine import compile_cq
+        from repro.cq.parser import parse_cq
+
+        query = parse_cq("q(X) :- Root(a) X, Root(b) X")
+        _network, _store, sinks = compile_cq(query)
+        assert len(sinks["X"]) == 2

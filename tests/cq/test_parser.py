@@ -1,0 +1,108 @@
+"""Unit tests for the conjunctive-query parser and data model."""
+
+import pytest
+
+from repro.cq.ast import ROOT, Atom, ConjunctiveQuery
+from repro.cq.parser import parse_cq
+from repro.errors import QuerySyntaxError, UnsupportedFeatureError
+from repro.rpeq.parser import parse as parse_rpeq
+
+
+class TestParse:
+    def test_paper_example(self):
+        query = parse_cq("q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3")
+        assert query.name == "q"
+        assert query.head == ("X3",)
+        assert query.body == (
+            Atom("Root", parse_rpeq("_*.a"), "X1"),
+            Atom("X1", parse_rpeq("b"), "X2"),
+            Atom("X1", parse_rpeq("c"), "X3"),
+        )
+
+    def test_multiple_head_variables(self):
+        query = parse_cq("q(X1, X2) :- Root(a) X1, X1(b) X2")
+        assert query.head == ("X1", "X2")
+
+    def test_nested_parens_in_path(self):
+        query = parse_cq("q(X) :- Root((a|b).c) X")
+        assert query.body[0].path == parse_rpeq("(a|b).c")
+
+    def test_whitespace_flexible(self):
+        assert parse_cq("q( X ) :- Root( a )  X") == parse_cq("q(X):-Root(a)X")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "q(X)",                       # no body
+            "q(X) :- Root(a)",            # missing target
+            "q(X) : Root(a) X",           # bad separator
+            "q(X) :- Root(a X",           # unbalanced parens
+            "q(X) :- Root(a) X trailing", # trailing junk
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_cq(bad)
+
+
+class TestValidation:
+    def test_undefined_source_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_cq("q(X2) :- Y(a) X2")
+
+    def test_sole_head_join_accepted(self):
+        query = parse_cq("q(X) :- Root(a) X, Root(b) X")
+        assert query.join_variables() == {"X"}
+
+    def test_join_with_other_head_rejected(self):
+        with pytest.raises(UnsupportedFeatureError, match="sole head"):
+            parse_cq("q(X, Y) :- Root(a) X, Root(b) X, X(c) Y")
+
+    def test_non_head_join_rejected(self):
+        with pytest.raises(UnsupportedFeatureError, match="sole head"):
+            parse_cq("q(Y) :- Root(a) X, Root(b) X, Root(c) Y")
+
+    def test_join_with_outgoing_atoms_rejected(self):
+        with pytest.raises(UnsupportedFeatureError, match="outgoing"):
+            parse_cq("q(X) :- Root(a) X, Root(b) X, X(c) Z")
+
+    def test_undefined_head_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_cq("q(Z) :- Root(a) X")
+
+    def test_root_head_allowed(self):
+        parse_cq("q(Root) :- Root(a) X")
+
+
+class TestReachability:
+    def test_reaches_head(self):
+        query = parse_cq("q(X3) :- Root(a) X1, X1(b) X2, X1(c) X3")
+        assert query.reaches_head("X3")
+        assert query.reaches_head("X1")
+        assert not query.reaches_head("X2")
+
+    def test_variables(self):
+        query = parse_cq("q(X2) :- Root(a) X1, X1(b) X2")
+        assert query.variables() == {ROOT, "X1", "X2"}
+
+
+class TestUnparse:
+    def test_round_trip(self):
+        from repro.cq import unparse_cq
+
+        text = "q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3"
+        query = parse_cq(text)
+        assert parse_cq(unparse_cq(query)) == query
+
+    def test_multi_head_round_trip(self):
+        from repro.cq import unparse_cq
+
+        text = "geo(A, B) :- Root(_*.x) A, A(y|z) B"
+        query = parse_cq(text)
+        assert parse_cq(unparse_cq(query)) == query
+
+    def test_readable_output(self):
+        from repro.cq import unparse_cq
+
+        query = parse_cq("q(X):-Root(a)X")
+        assert unparse_cq(query) == "q(X) :- Root(a) X"

@@ -1,0 +1,176 @@
+"""Unit and property tests for schema-aware query satisfiability."""
+
+import random
+
+import pytest
+
+from repro.dtd import SchemaAnalyzer, parse_dtd
+from repro.rpeq.parser import parse
+
+SITE_DTD = """
+<!DOCTYPE site [
+  <!ELEMENT site (regions, people?)>
+  <!ELEMENT regions (item*)>
+  <!ELEMENT item (name, mailbox?)>
+  <!ELEMENT mailbox (mail*)>
+  <!ELEMENT mail (#PCDATA)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT people EMPTY>
+]>
+"""
+
+
+@pytest.fixture
+def analyzer():
+    return SchemaAnalyzer(parse_dtd(SITE_DTD))
+
+
+def sat(analyzer, query):
+    return analyzer.query_is_satisfiable(parse(query))
+
+
+class TestSatisfiability:
+    def test_valid_paths_live(self, analyzer):
+        assert sat(analyzer, "site.regions.item.name")
+        assert sat(analyzer, "_*.item")
+        assert sat(analyzer, "_*.mail")
+
+    def test_wrong_root_dead(self, analyzer):
+        assert not sat(analyzer, "regions.item")
+
+    def test_undeclared_label_dead(self, analyzer):
+        assert not sat(analyzer, "_*.auction")
+
+    def test_impossible_nesting_dead(self, analyzer):
+        # name can never contain item, whatever the document.
+        assert not sat(analyzer, "_*.name.item")
+        # people is EMPTY: nothing below it.
+        assert not sat(analyzer, "_*.people._")
+
+    def test_closure_through_hierarchy(self, analyzer):
+        assert sat(analyzer, "site._+")
+        assert not sat(analyzer, "mail+")
+
+    def test_union_live_if_any_branch_lives(self, analyzer):
+        assert sat(analyzer, "site.(regions|bogus)")
+        assert not sat(analyzer, "site.(nope|bogus)")
+
+    def test_optional_step(self, analyzer):
+        assert sat(analyzer, "site.people?")
+
+
+class TestQualifierConditions:
+    def test_satisfiable_qualifier_live(self, analyzer):
+        assert sat(analyzer, "_*.item[mailbox].name")
+
+    def test_dead_qualifier_kills_query(self, analyzer):
+        assert not sat(analyzer, "_*.item[auction].name")
+
+    def test_qualifier_checked_at_right_type(self, analyzer):
+        # mailbox exists under item, but regions never has one.
+        assert not sat(analyzer, "_*.regions[mailbox]")
+
+    def test_nested_qualifiers(self, analyzer):
+        assert sat(analyzer, "_*.item[mailbox[mail]]")
+        assert not sat(analyzer, "_*.item[mailbox[name]]")
+
+
+class TestConservativeness:
+    def test_axes_assumed_satisfiable(self, analyzer):
+        assert sat(analyzer, "_*.name.following::item")
+
+    def test_ordering_overapproximation(self):
+        # (a, b) forbids b before a; the label graph cannot see that, so
+        # the analysis (soundly) keeps this query alive.
+        analyzer = SchemaAnalyzer(parse_dtd(
+            "<!ELEMENT r (a, b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>"
+        ))
+        assert analyzer.query_is_satisfiable(parse("r.b"))
+
+    def test_recursive_dtd_terminates(self):
+        analyzer = SchemaAnalyzer(parse_dtd(
+            "<!ELEMENT tree (leaf | tree)*> <!ELEMENT leaf EMPTY>"
+        ))
+        assert analyzer.query_is_satisfiable(parse("tree.tree.tree.leaf"))
+        assert not analyzer.query_is_satisfiable(parse("tree.leaf.tree"))
+
+    def test_recursive_qualifier_terminates(self):
+        analyzer = SchemaAnalyzer(parse_dtd(
+            "<!ELEMENT tree (tree*)>"
+        ))
+        assert analyzer.query_is_satisfiable(parse("tree[tree]"))
+
+
+class TestPrune:
+    def test_prune_mapping(self, analyzer):
+        verdicts = analyzer.prune(
+            {"live": "_*.item.name", "dead": "_*.people.name"}
+        )
+        assert verdicts == {"live": True, "dead": False}
+
+
+class TestSoundness:
+    """Property: 'unsatisfiable' verdicts are never wrong.
+
+    Generate random DTD-valid documents and random queries; whenever the
+    analyzer says dead, the evaluator must find nothing.
+    """
+
+    def test_never_false_negative(self, analyzer, rng):
+        from repro import SpexEngine
+        from repro.rpeq import GeneratorConfig, random_rpeq
+        from repro.xmlstream.events import (
+            EndDocument,
+            EndElement,
+            StartDocument,
+            StartElement,
+        )
+
+        def random_site(rng: random.Random):
+            events = [StartDocument(), StartElement("site"), StartElement("regions")]
+            for _ in range(rng.randint(0, 4)):
+                events.append(StartElement("item"))
+                events += [StartElement("name"), EndElement("name")]
+                if rng.random() < 0.5:
+                    events.append(StartElement("mailbox"))
+                    for _ in range(rng.randint(0, 2)):
+                        events += [StartElement("mail"), EndElement("mail")]
+                    events.append(EndElement("mailbox"))
+                events.append(EndElement("item"))
+            events.append(EndElement("regions"))
+            if rng.random() < 0.5:
+                events += [StartElement("people"), EndElement("people")]
+            events += [EndElement("site"), EndDocument()]
+            return events
+
+        config = GeneratorConfig(
+            labels=("site", "regions", "item", "name", "mailbox", "mail", "x"),
+            max_depth=3,
+        )
+        for _ in range(60):
+            expr = random_rpeq(rng, config)
+            events = random_site(rng)
+            if not analyzer.query_is_satisfiable(expr):
+                matches = SpexEngine(expr, collect_events=False).positions(
+                    iter(events)
+                )
+                assert matches == [], expr
+
+
+class TestReachability:
+    def test_all_reachable_in_site_dtd(self, analyzer):
+        assert analyzer.dead_types() == set()
+
+    def test_orphan_declaration_detected(self):
+        analyzer = SchemaAnalyzer(parse_dtd(
+            "<!ELEMENT root (a*)> <!ELEMENT a EMPTY> <!ELEMENT orphan (a)>"
+        ))
+        assert analyzer.dead_types() == {"orphan"}
+        assert analyzer.reachable_types() == {"root", "a"}
+
+    def test_queries_on_dead_types_unsatisfiable(self):
+        analyzer = SchemaAnalyzer(parse_dtd(
+            "<!ELEMENT root (a*)> <!ELEMENT a EMPTY> <!ELEMENT orphan (a)>"
+        ))
+        assert not analyzer.query_is_satisfiable(parse("_*.orphan"))
+        assert not analyzer.query_is_satisfiable(parse("_*.orphan.a"))

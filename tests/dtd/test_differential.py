@@ -1,0 +1,156 @@
+"""Differential test: streaming validator vs. an re-based reference.
+
+The reference validator materializes the tree and checks every node's
+child-label word against the content model compiled to a ``re`` pattern
+— a completely independent mechanism from the streaming lazy-DFA stack.
+Random mutations of schema-generated documents exercise both accept and
+reject paths.
+"""
+
+import random
+import re
+
+import pytest
+
+from repro.dtd import DocumentGenerator, DtdValidator, parse_dtd
+from repro.dtd.model import Choice, Dtd, Model, Optional_, Repeat, Seq, Sym
+from repro.xmlstream.events import EndElement, StartElement
+from repro.xmlstream.tree import build_document
+
+SITE_DTD = parse_dtd(
+    """
+    <!DOCTYPE site [
+      <!ELEMENT site (regions, people?)>
+      <!ELEMENT regions (item*)>
+      <!ELEMENT item (name, (payment | barter)?)>
+      <!ELEMENT name (#PCDATA)>
+      <!ELEMENT payment EMPTY>
+      <!ELEMENT barter EMPTY>
+      <!ELEMENT people (name+)>
+    ]>
+    """
+)
+
+
+def _model_regex(model: Model) -> str:
+    """Compile a content model to a regex over ' '-terminated labels."""
+    if isinstance(model, Sym):
+        return f"(?:{re.escape(model.name)} )"
+    if isinstance(model, Seq):
+        return "".join(_model_regex(part) for part in model.parts)
+    if isinstance(model, Choice):
+        if not model.options:
+            return "(?!x)x"  # matches nothing
+        return "(?:" + "|".join(_model_regex(o) for o in model.options) + ")"
+    if isinstance(model, Repeat):
+        suffix = "+" if model.at_least_one else "*"
+        return f"(?:{_model_regex(model.inner)}){suffix}"
+    if isinstance(model, Optional_):
+        return f"(?:{_model_regex(model.inner)})?"
+    raise TypeError(model)
+
+
+def reference_is_valid(dtd: Dtd, events) -> bool:
+    """Tree-walking validator using compiled ``re`` patterns."""
+    try:
+        document = build_document(iter(events))
+    except Exception:
+        return False
+    if len(document.root.children) != 1:
+        return False
+    if document.root.children[0].label != dtd.root:
+        return False
+    patterns = {
+        name: re.compile(_model_regex(decl.model) + r"\Z")
+        for name, decl in dtd.elements.items()
+        if decl.model is not None
+    }
+
+    def check(node) -> bool:
+        decl = dtd.elements.get(node.label)
+        if decl is None:
+            return False
+        if decl.empty and (node.children or node.text.strip()):
+            return False
+        if not decl.mixed and not decl.empty and node.text.strip():
+            return False
+        if decl.model is not None:
+            word = "".join(child.label + " " for child in node.children)
+            if not patterns[node.label].match(word):
+                return False
+        elif decl.empty:
+            pass
+        else:  # ANY: any declared children
+            if any(child.label not in dtd.elements for child in node.children):
+                return False
+        return all(check(child) for child in node.children)
+
+    return check(document.root.children[0])
+
+
+def _mutate(rng: random.Random, events: list) -> list:
+    """Randomly perturb a document (may or may not remain valid)."""
+    events = list(events)
+    choice = rng.randrange(4)
+    element_indices = [
+        i for i, e in enumerate(events) if isinstance(e, StartElement)
+    ]
+    if not element_indices:
+        return events
+    if choice == 0:
+        # Rename an element (start+matching end).
+        index = rng.choice(element_indices)
+        old = events[index].label
+        new = rng.choice(["name", "payment", "item", "bogus"])
+        depth = 0
+        events[index] = StartElement(new)
+        for j in range(index + 1, len(events)):
+            if isinstance(events[j], StartElement):
+                depth += 1
+            elif isinstance(events[j], EndElement):
+                if depth == 0 and events[j].label == old:
+                    events[j] = EndElement(new)
+                    break
+                depth -= 1
+        return events
+    if choice == 1:
+        # Duplicate a leaf element.
+        index = rng.choice(element_indices)
+        if index + 1 < len(events) and isinstance(events[index + 1], EndElement):
+            events[index:index] = [events[index], events[index + 1]]
+        return events
+    if choice == 2:
+        # Delete a leaf element.
+        index = rng.choice(element_indices)
+        if index + 1 < len(events) and isinstance(events[index + 1], EndElement):
+            del events[index : index + 2]
+        return events
+    return events  # no-op mutation
+
+
+class TestDifferentialValidation:
+    def test_generated_and_mutated_documents(self):
+        rng = random.Random(20020513)
+        validator = DtdValidator(SITE_DTD)
+        generator = DocumentGenerator(SITE_DTD, seed=0, max_repeat=3)
+        disagreements = []
+        for trial in range(150):
+            events = list(generator.events(seed=trial))
+            if trial % 2:
+                events = _mutate(rng, events)
+            streaming = validator.is_valid(iter(events))
+            reference = reference_is_valid(SITE_DTD, events)
+            if streaming != reference:
+                disagreements.append((trial, streaming, reference))
+        assert not disagreements
+
+    def test_mutations_produce_both_verdicts(self):
+        """Sanity: the mutation fuzzer actually exercises reject paths."""
+        rng = random.Random(7)
+        validator = DtdValidator(SITE_DTD)
+        generator = DocumentGenerator(SITE_DTD, seed=0, max_repeat=3)
+        verdicts = set()
+        for trial in range(100):
+            events = _mutate(rng, list(generator.events(seed=trial)))
+            verdicts.add(validator.is_valid(iter(events)))
+        assert verdicts == {True, False}

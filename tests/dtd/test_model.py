@@ -1,0 +1,50 @@
+"""Unit tests for DTD content models and DTD-level analysis."""
+
+from repro.dtd.model import Choice, Dtd, ElementDecl, Optional_, Repeat, Seq, Sym
+
+
+class TestModelBasics:
+    def test_symbols_collected(self):
+        model = Seq((Sym("a"), Choice((Sym("b"), Repeat(Sym("c")))), Optional_(Sym("d"))))
+        assert model.symbols() == {"a", "b", "c", "d"}
+
+    def test_str_round_readable(self):
+        model = Seq((Sym("a"), Optional_(Sym("b"))))
+        assert str(model) == "(a, b?)"
+
+
+def _dtd(**models):
+    dtd = Dtd(root=next(iter(models)))
+    for name, model in models.items():
+        dtd.elements[name] = ElementDecl(name, model=model)
+    return dtd
+
+
+class TestRecursionAnalysis:
+    def test_non_recursive(self):
+        dtd = _dtd(a=Seq((Sym("b"),)), b=Seq((Sym("c"),)), c=Seq(()))
+        assert not dtd.is_recursive()
+        assert dtd.depth_bound() == 3
+
+    def test_direct_recursion(self):
+        dtd = _dtd(tree=Repeat(Sym("tree")))
+        assert dtd.is_recursive()
+        assert dtd.depth_bound() is None
+
+    def test_mutual_recursion(self):
+        dtd = _dtd(a=Seq((Sym("b"),)), b=Optional_(Sym("a")))
+        assert dtd.is_recursive()
+
+    def test_diamond_is_not_recursion(self):
+        dtd = _dtd(
+            a=Seq((Sym("b"), Sym("c"))),
+            b=Seq((Sym("d"),)),
+            c=Seq((Sym("d"),)),
+            d=Seq(()),
+        )
+        assert not dtd.is_recursive()
+        assert dtd.depth_bound() == 3
+
+    def test_depth_bound_single_element(self):
+        dtd = _dtd(a=Seq(()))
+        assert dtd.depth_bound() == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the DTD parser."""
+
+import pytest
+
+from repro.dtd.model import Choice, Optional_, Repeat, Seq, Sym
+from repro.dtd.parser import parse_dtd
+from repro.errors import QuerySyntaxError
+
+
+class TestElementDeclarations:
+    def test_sequence(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c)>")
+        assert dtd.elements["a"].model == Seq((Sym("b"), Sym("c")))
+
+    def test_choice(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)>")
+        assert dtd.elements["a"].model == Choice((Sym("b"), Sym("c")))
+
+    def test_repetitions(self):
+        dtd = parse_dtd("<!ELEMENT a (b*, c+, d?)>")
+        model = dtd.elements["a"].model
+        assert model == Seq(
+            (Repeat(Sym("b")), Repeat(Sym("c"), at_least_one=True), Optional_(Sym("d")))
+        )
+
+    def test_nested_groups(self):
+        dtd = parse_dtd("<!ELEMENT a ((b | c)*, d)>")
+        model = dtd.elements["a"].model
+        assert model == Seq((Repeat(Choice((Sym("b"), Sym("c")))), Sym("d")))
+
+    def test_group_suffix_on_whole_model(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c)+>")
+        assert dtd.elements["a"].model == Repeat(
+            Seq((Sym("b"), Sym("c"))), at_least_one=True
+        )
+
+    def test_empty(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        decl = dtd.elements["a"]
+        assert decl.empty and not decl.mixed and decl.model is None
+
+    def test_any(self):
+        decl = parse_dtd("<!ELEMENT a ANY>").elements["a"]
+        assert decl.mixed and decl.model is None and not decl.empty
+
+    def test_pcdata(self):
+        decl = parse_dtd("<!ELEMENT a (#PCDATA)>").elements["a"]
+        assert decl.mixed and decl.model == Seq(())
+
+    def test_mixed_content(self):
+        decl = parse_dtd("<!ELEMENT a (#PCDATA | b | c)*>").elements["a"]
+        assert decl.mixed
+        assert decl.model == Repeat(Choice((Sym("b"), Sym("c"))))
+
+
+class TestDoctypeWrapper:
+    DTD = """
+    <!DOCTYPE root [
+      <!-- a comment -->
+      <!ELEMENT root (child*)>
+      <!ELEMENT child EMPTY>
+      <!ATTLIST child id CDATA #REQUIRED>
+      <!ENTITY junk "ignored">
+    ]>
+    """
+
+    def test_root_from_doctype(self):
+        assert parse_dtd(self.DTD).root == "root"
+
+    def test_attlist_and_entity_skipped(self):
+        dtd = parse_dtd(self.DTD)
+        assert set(dtd.elements) == {"root", "child"}
+
+    def test_explicit_root_override(self):
+        assert parse_dtd(self.DTD, root="child").root == "child"
+
+    def test_bare_declarations_default_root(self):
+        dtd = parse_dtd("<!ELEMENT top (x?)> <!ELEMENT x EMPTY>")
+        assert dtd.root == "top"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",                                  # nothing declared
+            "<!ELEMENT a (b,>",                  # malformed group
+            "<!ELEMENT a>",                      # no model
+            "<!ELEMENT a (b)> <!ELEMENT a (c)>", # duplicate
+            "<!WRONG a (b)>",                    # unknown declaration
+            "<!-- unterminated",                 # comment
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_dtd(bad)

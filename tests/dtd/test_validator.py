@@ -1,0 +1,163 @@
+"""Unit and integration tests for the streaming DTD validator."""
+
+import pytest
+
+from repro.dtd import DtdValidationError, DtdValidator, parse_dtd
+from repro.xmlstream.parser import parse_string
+
+SITE_DTD = """
+<!DOCTYPE site [
+  <!ELEMENT site (regions, people?)>
+  <!ELEMENT regions (item*)>
+  <!ELEMENT item (name, (payment | barter)?)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT payment EMPTY>
+  <!ELEMENT barter EMPTY>
+  <!ELEMENT people ANY>
+]>
+"""
+
+
+@pytest.fixture
+def validator():
+    return DtdValidator(parse_dtd(SITE_DTD))
+
+
+def check(validator, xml):
+    return validator.is_valid(parse_string(xml))
+
+
+class TestAcceptance:
+    def test_minimal_valid(self, validator):
+        assert check(validator, "<site><regions/></site>")
+
+    def test_full_valid(self, validator):
+        assert check(
+            validator,
+            "<site><regions><item><name>x</name><payment/></item>"
+            "<item><name>y</name><barter/></item></regions>"
+            "<people><name>p</name>text</people></site>",
+        )
+
+    def test_optional_group_absent(self, validator):
+        assert check(validator, "<site><regions><item><name>n</name></item></regions></site>")
+
+    def test_any_allows_declared_children_and_text(self, validator):
+        # XML's ANY: character data plus any *declared* element type.
+        assert check(validator, "<site><regions/><people>t<payment/><name>n</name></people></site>")
+
+    def test_any_still_requires_declared_children(self, validator):
+        assert not check(validator, "<site><regions/><people><x/></people></site>")
+
+
+class TestRejection:
+    def test_wrong_root(self, validator):
+        assert not check(validator, "<regions/>")
+
+    def test_missing_required_child(self, validator):
+        assert not check(validator, "<site><regions><item/></regions></site>")
+
+    def test_wrong_order(self, validator):
+        assert not check(
+            validator,
+            "<site><regions><item><payment/><name>n</name></item></regions></site>",
+        )
+
+    def test_both_choice_branches(self, validator):
+        assert not check(
+            validator,
+            "<site><regions><item><name>n</name><payment/><barter/></item></regions></site>",
+        )
+
+    def test_empty_with_children(self, validator):
+        assert not check(
+            validator,
+            "<site><regions><item><name>n</name><payment><x/></payment></item></regions></site>",
+        )
+
+    def test_empty_with_text(self, validator):
+        assert not check(
+            validator,
+            "<site><regions><item><name>n</name><payment>hi</payment></item></regions></site>",
+        )
+
+    def test_text_in_element_content(self, validator):
+        assert not check(validator, "<site><regions>words</regions></site>")
+
+    def test_undeclared_element_strict(self, validator):
+        assert not check(validator, "<site><regions><weird/></regions></site>")
+
+    def test_pcdata_element_with_child(self, validator):
+        assert not check(
+            validator,
+            "<site><regions><item><name><b/></name></item></regions></site>",
+        )
+
+
+class TestLenientMode:
+    def test_undeclared_tolerated(self):
+        validator = DtdValidator(parse_dtd(SITE_DTD), strict_undeclared=False)
+        assert validator.is_valid(
+            parse_string("<site><regions><item><name>n</name></item></regions></site>")
+        )
+        # Undeclared children still fail inside declared element content.
+        assert not validator.is_valid(
+            parse_string("<site><regions><weird/></regions></site>")
+        )
+
+
+class TestStreamingBehaviour:
+    def test_error_carries_explanation(self, validator):
+        with pytest.raises(DtdValidationError, match="content model"):
+            for _ in validator.stream(
+                parse_string("<site><regions><item><payment/></item></regions></site>")
+            ):
+                pass
+
+    def test_failure_is_incremental(self, validator):
+        """The error is raised at the offending event, not at the end."""
+        events = parse_string(
+            "<site><bogus/>" + "<regions/>" * 1 + "</site>"
+        )
+        stream = validator.stream(events)
+        consumed = 0
+        with pytest.raises(DtdValidationError):
+            for _ in stream:
+                consumed += 1
+        assert consumed <= 2  # <$>, <site> — fails at <bogus>
+
+    def test_composes_with_engine(self, validator):
+        from repro import SpexEngine
+
+        xml = (
+            "<site><regions><item><name>n</name><payment/></item>"
+            "<item><name>m</name></item></regions></site>"
+        )
+        engine = SpexEngine("_*.item[payment].name", collect_events=False)
+        matches = list(engine.run(validator.stream(parse_string(xml))))
+        assert [m.position for m in matches] == [4]
+
+    def test_repeated_use(self, validator):
+        assert check(validator, "<site><regions/></site>")
+        assert check(validator, "<site><regions/></site>")
+        assert not check(validator, "<nope/>")
+        assert check(validator, "<site><regions/></site>")
+
+
+class TestDepthBoundedMemory:
+    def test_recursive_dtd_deep_document(self):
+        """Recursive DTDs validate arbitrarily deep documents — the PDA
+        case of the Segoufin/Vianu analysis."""
+        validator = DtdValidator(parse_dtd("<!ELEMENT tree (tree*)>"))
+        depth = 500
+        xml = "<tree>" * depth + "</tree>" * depth
+        assert validator.is_valid(parse_string(xml))
+
+    def test_dfa_cache_is_per_element_model(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)> <!ELEMENT b EMPTY>")
+        validator = DtdValidator(dtd)
+        big = "<a>" + "<b/>" * 1000 + "</a>"
+        assert validator.is_valid(parse_string(big))
+        # Lazy DFA: only a constant number of subset states materialized.
+        automaton = validator._automata["a"]
+        assert len(automaton._step_cache) <= 3

@@ -1,0 +1,185 @@
+"""Tests for the following/preceding extension (paper Sec. I prototype).
+
+The paper's core language has only forward child/descendant steps; its
+prototype "supports also other XPath navigational capabilities, i.e.
+following and preceding".  These tests cover the reproduction of that
+capability: parsing, declarative semantics, the streaming transducers,
+axis steps inside qualifiers, and differential agreement with the DOM
+oracle on randomized documents.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SpexEngine
+from repro.baselines import DomEvaluator, XScanEvaluator
+from repro.errors import UnsupportedFeatureError
+from repro.rpeq.ast import Following, Label, Preceding
+from repro.rpeq.parser import parse
+from repro.rpeq.unparse import unparse
+from repro.rpeq.xpath import xpath_to_rpeq
+from repro.xmlstream.tree import build_document
+
+from ..conftest import PAPER_DOC, event_streams
+
+
+class TestParsing:
+    def test_following_step(self):
+        assert parse("following::b") == Following(Label("b"))
+
+    def test_preceding_step(self):
+        assert parse("preceding::b") == Preceding(Label("b"))
+
+    def test_in_path(self):
+        expr = parse("_*.a.following::b")
+        assert any(isinstance(n, Following) for n in expr.walk())
+
+    def test_explicit_child_descendant_axes(self):
+        assert parse("child::a") == parse("a")
+        assert parse("descendant::a") == parse("_*.a")
+
+    def test_unknown_axis_rejected(self):
+        from repro.errors import QuerySyntaxError
+
+        with pytest.raises(QuerySyntaxError, match="unknown axis"):
+            parse("ancestor::a")
+
+    def test_unparse_round_trip(self):
+        for query in ("following::b", "_*.a.preceding::c", "a[following::b]"):
+            assert parse(unparse(parse(query))) == parse(query)
+
+    def test_xpath_front_end(self):
+        assert xpath_to_rpeq("//a/following::b") == parse("_*.a.following::b")
+        assert xpath_to_rpeq("//a[preceding::b]") == parse("_*.a[preceding::b]")
+
+
+class TestDeclarativeSemantics:
+    """Against the paper's Fig. 1 document: a(a(c) b c)."""
+
+    def doc(self, query):
+        from repro.xmlstream.parser import parse_string
+
+        document = build_document(parse_string(PAPER_DOC))
+        return sorted(
+            n.position for n in DomEvaluator(parse(query)).evaluate_document(document)
+        )
+
+    def test_following_excludes_own_subtree(self):
+        # following of the inner <a> (pos 2): b (4) and c (5); its own
+        # child c (3) is inside the subtree.
+        assert self.doc("a.a.following::_") == [4, 5]
+
+    def test_preceding_excludes_ancestors(self):
+        # preceding of <b> (pos 4): the inner a (2) and its c (3), but
+        # not the ancestor a (1).
+        assert self.doc("_*.b.preceding::_") == [2, 3]
+
+    def test_following_of_root_is_empty(self):
+        assert self.doc("following::_") == []
+
+    def test_preceding_of_first_element_is_empty(self):
+        assert self.doc("a.preceding::_") == []
+
+
+class TestStreamingAgreement:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "_*.a.following::c",
+            "_*.b.preceding::c",
+            "_*.c[following::b]",
+            "_*.a[preceding::c].c",
+            "_*._[following::c]",
+            "_*.following::a.preceding::b",
+        ],
+    )
+    def test_paper_document(self, query):
+        from repro.xmlstream.parser import parse_string
+
+        document = build_document(parse_string(PAPER_DOC))
+        oracle = sorted(
+            n.position for n in DomEvaluator(parse(query)).evaluate_document(document)
+        )
+        assert sorted(SpexEngine(query).positions(PAPER_DOC)) == oracle
+
+    AXIS_QUERIES = [
+        "_*.a.following::b",
+        "_*.a.preceding::b",
+        "_*.a[following::b].c",
+        "_*.a[preceding::b].c",
+        "a.following::_.c",
+        "_*.preceding::a[b]",
+        "(a|b).following::c?",
+        "_*.a[preceding::b.c]",
+        "_*.a[b.preceding::c]",
+        "_*.a[following::b[c]]",
+        "_*.a[preceding::b][c]",
+        "_*._[following::a].b",
+    ]
+
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.sampled_from(AXIS_QUERIES), event_streams())
+    def test_differential_with_oracle(self, query, events):
+        expr = parse(query)
+        oracle = sorted(
+            n.position
+            for n in DomEvaluator(expr).evaluate_document(build_document(events))
+        )
+        spex = sorted(
+            SpexEngine(expr, collect_events=False).positions(iter(events))
+        )
+        assert spex == oracle
+
+
+class TestAutomatonBaselinesReject:
+    def test_xscan_rejects_axes(self):
+        with pytest.raises(UnsupportedFeatureError):
+            XScanEvaluator(parse("a.following::b"))
+
+    def test_tree_automaton_rejects_axes(self):
+        from repro.baselines import TreeAutomatonEvaluator
+
+        with pytest.raises(UnsupportedFeatureError):
+            TreeAutomatonEvaluator(parse("a.preceding::b"))
+
+
+class TestProgressiveness:
+    def test_following_matches_stream_progressively(self):
+        """following:: results are emitted as the later elements close."""
+        from repro.core.compiler import compile_network
+        from repro.xmlstream.parser import parse_string
+
+        events = list(parse_string("<r><a/><x/><y/></r>"))
+        network, _ = compile_network(parse("_*.a.following::_"))
+        emitted_at = [
+            index
+            for index, event in enumerate(events)
+            for _match in network.process_event(event)
+        ]
+        # x closes at index 5, y at 7 — both well before </$> (index 9).
+        assert emitted_at == [5, 7]
+
+    def test_preceding_buffers_until_context(self):
+        """preceding:: candidates wait for a later context node."""
+        from repro.core.compiler import compile_network
+        from repro.xmlstream.parser import parse_string
+
+        events = list(parse_string("<r><x/><a/></r>"))
+        network, _ = compile_network(parse("_*.a.preceding::x"))
+        emitted_at = [
+            index
+            for index, event in enumerate(events)
+            for _match in network.process_event(event)
+        ]
+        # x (indices 2/3) resolves only once <a> appears (index 4).
+        assert emitted_at == [4]
+
+    def test_preceding_unmatched_dropped_at_document_end(self):
+        engine = SpexEngine("_*.a.preceding::x", collect_events=False)
+        assert engine.positions("<r><x/><b/></r>") == []
+        # The speculation variable is closed and released.
+        assert len(engine._last_store._states) == 0

@@ -1,0 +1,89 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+from ..conftest import PAPER_DOC
+
+
+@pytest.fixture
+def doc_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(PAPER_DOC)
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_matches_printed(self, doc_file, capsys):
+        assert main(["query", "_*.a[b].c", doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "<c></c>" in out
+        assert "1 match(es)" in out
+
+    def test_count_mode(self, doc_file, capsys):
+        assert main(["query", "--count", "_*._", doc_file]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            type("S", (), {"buffer": io.BytesIO(PAPER_DOC.encode())})(),
+        )
+        assert main(["query", "--count", "a.c"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_bad_query_reports_error(self, doc_file, capsys):
+        assert main(["query", "a..b", doc_file]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestXPathCommand:
+    def test_translation_and_evaluation(self, doc_file, capsys):
+        assert main(["xpath", "--count", "//a[b]/c", doc_file]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_unsupported_axis_reported(self, doc_file, capsys):
+        assert main(["xpath", "//a/parent::b", doc_file]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCqCommand:
+    def test_bindings_reported(self, doc_file, capsys):
+        cq = "q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3"
+        assert main(["cq", cq, doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "X3: 1 binding(s)" in out
+
+
+class TestExplainCommand:
+    def test_network_printed(self, capsys):
+        assert main(["explain", "_*.a[b].c"]) == 0
+        out = capsys.readouterr().out
+        assert "VC(q0)" in out and "network degree" in out
+
+
+class TestStatsCommand:
+    def test_stream_statistics(self, doc_file, capsys):
+        assert main(["stats", doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "elements        : 5" in out
+        assert "max depth       : 3" in out
+
+
+class TestTraceCommand:
+    def test_table_printed(self, doc_file, capsys):
+        assert main(["trace", "a.c", doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "CH(a)" in out and "OU" in out
+        assert "<$>" in out  # header column per stream message
+
+
+class TestStatsFlag:
+    def test_engine_statistics_printed(self, doc_file, capsys):
+        assert main(["query", "--stats", "_*.a[b].c", doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "engine statistics" in out
+        assert "peak stack height" in out

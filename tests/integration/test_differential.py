@@ -1,0 +1,92 @@
+"""Differential testing: four independent evaluators must agree.
+
+This is the backbone of the reproduction's correctness argument: the
+streaming transducer network (SPEX), the declarative DOM oracle, the
+tree-automaton evaluator and (on the qualifier-free fragment) the
+lazy-DFA streamer are algorithmically unrelated implementations of the
+same semantics — hypothesis hunts for any query/document pair where they
+diverge.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import SpexEngine
+from repro.baselines import DomEvaluator, TreeAutomatonEvaluator, XScanEvaluator
+from repro.rpeq.analysis import analyze
+from repro.xmlstream.tree import build_document
+
+from ..conftest import event_streams, rpeq_queries
+
+COMMON = dict(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**COMMON)
+@given(rpeq_queries(), event_streams())
+def test_spex_agrees_with_dom_oracle(query, events):
+    document = build_document(events)
+    oracle = sorted(n.position for n in DomEvaluator(query).evaluate_document(document))
+    spex = sorted(SpexEngine(query, collect_events=False).positions(iter(events)))
+    assert spex == oracle
+
+
+@settings(**COMMON)
+@given(rpeq_queries(), event_streams())
+def test_literal_fig11_compiler_agrees_with_dom_oracle(query, events):
+    """The unoptimized split/closure/join translation is also correct."""
+    document = build_document(events)
+    oracle = sorted(n.position for n in DomEvaluator(query).evaluate_document(document))
+    literal = sorted(
+        SpexEngine(query, collect_events=False, optimize=False).positions(iter(events))
+    )
+    assert literal == oracle
+
+
+@settings(**COMMON)
+@given(rpeq_queries(), event_streams())
+def test_tree_automaton_agrees_with_dom_oracle(query, events):
+    document = build_document(events)
+    oracle = sorted(n.position for n in DomEvaluator(query).evaluate_document(document))
+    automaton = sorted(
+        n.position for n in TreeAutomatonEvaluator(query).evaluate_document(document)
+    )
+    assert automaton == oracle
+
+
+@settings(**COMMON)
+@given(rpeq_queries(allow_qualifiers=False), event_streams())
+def test_xscan_agrees_on_qualifier_free_fragment(query, events):
+    assert analyze(query).qualifiers == 0
+    document = build_document(events)
+    oracle = sorted(n.position for n in DomEvaluator(query).evaluate_document(document))
+    xscan = sorted(XScanEvaluator(query).evaluate(iter(events)))
+    assert xscan == oracle
+
+
+@settings(**COMMON)
+@given(rpeq_queries(), event_streams())
+def test_spex_output_in_document_order_without_duplicates(query, events):
+    positions = SpexEngine(query, collect_events=False).positions(iter(events))
+    assert positions == sorted(positions)
+    assert len(positions) == len(set(positions))
+
+
+@settings(**COMMON)
+@given(rpeq_queries(), event_streams())
+def test_spex_fragments_match_subtrees(query, events):
+    """Every emitted fragment is exactly the matched element's subtree."""
+    document = build_document(events)
+    by_position = {node.position: node for node in document.root.iter_subtree()}
+    for match in SpexEngine(query).run(iter(events)):
+        node = by_position[match.position]
+        assert match.label == node.label
+        if match.position == 0:
+            continue  # root fragment includes the envelope; skip
+        start_tags = sum(
+            1 for e in match.events if type(e).__name__ == "StartElement"
+        )
+        subtree_size = sum(1 for _ in node.iter_subtree())
+        assert start_tags == subtree_size

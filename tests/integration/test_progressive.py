@@ -1,0 +1,105 @@
+"""Tests of the *progressive* and *streamed* properties themselves.
+
+The paper's defining claims: results are delivered on the fly, the
+stream is never buffered wholesale, and the evaluator is stable on
+unbounded streams of bounded depth.
+"""
+
+import itertools
+
+from repro import SpexEngine
+from repro.core.compiler import compile_network
+from repro.rpeq.parser import parse
+from repro.workloads import stock_ticker, wide_flat
+from repro.xmlstream.events import events_from_tags
+from repro.xmlstream.parser import parse_string
+
+
+def emission_indices(query, events):
+    """For each match, the stream index at which it was emitted."""
+    network, _ = compile_network(parse(query))
+    indices = []
+    for index, event in enumerate(events):
+        for _match in network.process_event(event):
+            indices.append(index)
+    return indices
+
+
+class TestProgressiveEmission:
+    def test_class1_emits_at_end_tag(self):
+        """No-qualifier matches are emitted exactly at their end tag."""
+        tags = ["<$>", "<a>", "<c>", "</c>", "</a>", "</$>"]
+        events = list(events_from_tags(tags))
+        assert emission_indices("a.c", events) == [3]  # </c>
+
+    def test_class2_future_condition_waits_for_evidence(self):
+        """<a><c/><b/></a> with _*.a[b].c: the c candidate must wait for
+        the later <b> sibling, and is emitted right then — not at </$>."""
+        tags = ["<$>", "<a>", "<c>", "</c>", "<b>", "</b>", "</a>", "</$>"]
+        events = list(events_from_tags(tags))
+        assert emission_indices("_*.a[b].c", events) == [4]  # at <b>
+
+    def test_class2_unsatisfied_never_emits(self):
+        tags = ["<$>", "<a>", "<c>", "</c>", "</a>", "</$>"]
+        events = list(events_from_tags(tags))
+        assert emission_indices("_*.a[b].c", events) == []
+
+    def test_class4_past_condition_immediate(self):
+        """<a><b/><c/></a>: evidence precedes the candidate, which is
+        therefore emitted at its own end tag."""
+        tags = ["<$>", "<a>", "<b>", "</b>", "<c>", "</c>", "</a>", "</$>"]
+        events = list(events_from_tags(tags))
+        assert emission_indices("_*.a[b].c", events) == [5]  # </c>
+
+    def test_first_match_before_stream_ends(self):
+        events = list(wide_flat(elements=100))
+        indices = emission_indices("root.item", events)
+        assert indices[0] < len(events) // 10
+
+
+class TestUnboundedStreams:
+    def test_matches_flow_from_endless_stream(self):
+        engine = SpexEngine("_*.trade.price", collect_events=False)
+        stream = stock_ticker(seed=3)  # no limit: endless
+        first_ten = list(itertools.islice(engine.run(stream), 10))
+        assert len(first_ten) == 10
+
+    def test_memory_flat_over_long_stream(self):
+        engine = SpexEngine("_*.trade[alert].price", collect_events=False)
+        checkpoints = []
+        run = engine.run(stock_ticker(seed=3, limit=6000))
+        for count, _match in enumerate(run):
+            if count in (50, 300):
+                checkpoints.append(
+                    (
+                        engine.stats.output.peak_pending_candidates,
+                        engine.stats.network.max_stack,
+                        engine._last_store.live_variables,
+                    )
+                )
+        # Peaks reached early do not grow with stream length.
+        assert checkpoints[0] == checkpoints[1]
+
+    def test_store_fully_released_on_long_stream(self):
+        engine = SpexEngine("_*.trade[alert].symbol", collect_events=False)
+        list(engine.run(stock_ticker(seed=5, limit=3000)))
+        # Only the never-closed feed/root scopes may remain undetermined.
+        assert len(engine._last_store._states) <= 2
+
+
+class TestTruncatedStreams:
+    def test_undecided_candidates_withheld(self):
+        """A truncated stream must not emit candidates whose qualifier
+        was still undecided at the cut."""
+        text = "<a><c/><b/></a>"
+        events = list(parse_string(text))
+        truncated = events[:3]  # <$> <a> <c>  (cut before </c>)
+        engine = SpexEngine("_*.a[b].c", collect_events=False)
+        assert list(engine.run(iter(truncated))) == []
+
+    def test_decided_prefix_still_delivered(self):
+        text = "<a><b/><c/><x/></a>"
+        events = list(parse_string(text))
+        truncated = events[:6]  # up to and including </c>
+        engine = SpexEngine("_*.a[b].c", collect_events=False)
+        assert [m.position for m in engine.run(iter(truncated))] == [3]

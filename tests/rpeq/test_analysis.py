@@ -1,0 +1,54 @@
+"""Unit tests for query analysis."""
+
+from repro.rpeq.analysis import analyze, labels_used, uses_wildcard
+from repro.rpeq.parser import parse
+
+
+class TestAnalyze:
+    def test_simple_chain(self):
+        profile = analyze(parse("a.b.c"))
+        assert profile.steps == 3
+        assert profile.qualifiers == 0
+        assert profile.closures == 0
+        assert profile.fragment == "rpeq*"
+
+    def test_paper_running_example(self):
+        profile = analyze(parse("_*.a[b].c"))
+        assert profile.steps == 4
+        assert profile.qualifiers == 1
+        assert profile.closures == 1
+        assert profile.wildcard_closures == 1
+        assert profile.fragment == "rpeq*[]"
+
+    def test_qualifier_only_fragment(self):
+        assert analyze(parse("a[b].c")).fragment == "rpeq[]"
+
+    def test_unions_and_optionals_counted(self):
+        profile = analyze(parse("(a|b).c?"))
+        assert profile.unions == 1
+        assert profile.optionals == 1
+
+    def test_qualifier_nesting_depth(self):
+        assert analyze(parse("a[b]")).max_qualifier_nesting == 1
+        assert analyze(parse("a[b[c]]")).max_qualifier_nesting == 2
+        assert analyze(parse("a[b][c]")).max_qualifier_nesting == 1
+        assert analyze(parse("a.b")).max_qualifier_nesting == 0
+
+    def test_closure_under_qualifier_flag(self):
+        assert analyze(parse("a[_*.b]")).has_closure_under_qualifier
+        assert not analyze(parse("_*.a[b]")).has_closure_under_qualifier
+
+    def test_length_grows_with_query(self):
+        assert analyze(parse("a.b.c")).length > analyze(parse("a.b")).length
+
+
+class TestHelpers:
+    def test_labels_used(self):
+        assert labels_used(parse("_*.a[b].c")) == {"a", "b", "c"}
+
+    def test_wildcard_excluded_from_labels(self):
+        assert labels_used(parse("_._")) == set()
+
+    def test_uses_wildcard(self):
+        assert uses_wildcard(parse("_*.a"))
+        assert not uses_wildcard(parse("a.b"))

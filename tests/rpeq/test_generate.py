@@ -1,0 +1,56 @@
+"""Unit tests for the random query generator."""
+
+import random
+
+from repro.rpeq.analysis import analyze
+from repro.rpeq.ast import Rpeq
+from repro.rpeq.generate import GeneratorConfig, query_family, random_rpeq
+
+
+class TestRandomRpeq:
+    def test_deterministic_per_seed(self):
+        assert random_rpeq(random.Random(5)) == random_rpeq(random.Random(5))
+
+    def test_different_seeds_vary(self):
+        samples = {random_rpeq(random.Random(seed)) for seed in range(40)}
+        assert len(samples) > 10
+
+    def test_produces_rpeq(self):
+        assert isinstance(random_rpeq(random.Random(1)), Rpeq)
+
+    def test_qualifier_free_config(self):
+        config = GeneratorConfig(allow_qualifiers=False)
+        for seed in range(60):
+            expr = random_rpeq(random.Random(seed), config)
+            assert analyze(expr).qualifiers == 0
+
+    def test_closure_free_config(self):
+        config = GeneratorConfig(allow_closures=False)
+        for seed in range(60):
+            expr = random_rpeq(random.Random(seed), config)
+            assert analyze(expr).closures == 0
+
+    def test_label_pool_respected(self):
+        from repro.rpeq.analysis import labels_used
+
+        config = GeneratorConfig(labels=("x", "y"))
+        for seed in range(40):
+            expr = random_rpeq(random.Random(seed), config)
+            assert labels_used(expr) <= {"x", "y"}
+
+
+class TestQueryFamily:
+    def test_length_grows_linearly(self):
+        lengths = [analyze(query_family(n, 0)).length for n in (2, 4, 8)]
+        deltas = [b - a for a, b in zip(lengths, lengths[1:])]
+        assert deltas[1] == 2 * deltas[0]
+
+    def test_qualifier_count(self):
+        assert analyze(query_family(6, 3)).qualifiers == 3
+
+    def test_always_parses_back(self):
+        from repro.rpeq.parser import parse
+        from repro.rpeq.unparse import unparse
+
+        expr = query_family(5, 2)
+        assert parse(unparse(expr)) == expr

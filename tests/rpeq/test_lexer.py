@@ -1,0 +1,49 @@
+"""Unit tests for the rpeq tokenizer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.rpeq.lexer import tokenize
+
+
+def kinds(query):
+    return [token.kind for token in tokenize(query)]
+
+
+def texts(query):
+    return [token.text for token in tokenize(query) if token.kind != "END"]
+
+
+class TestTokenize:
+    def test_paper_example(self):
+        assert kinds("_*.a[b].c") == [
+            "NAME", "STAR", "DOT", "NAME", "LBRK", "NAME", "RBRK",
+            "DOT", "NAME", "END",
+        ]
+
+    def test_names_and_wildcard(self):
+        assert texts("_.abc.x1-y_z") == ["_", ".", "abc", ".", "x1-y_z"]
+
+    def test_whitespace_ignored(self):
+        assert kinds(" a . b ") == kinds("a.b")
+
+    def test_all_punctuation(self):
+        assert kinds("(a|b)+*?") == [
+            "LPAR", "NAME", "PIPE", "NAME", "RPAR", "PLUS", "STAR", "QMARK", "END",
+        ]
+
+    def test_positions(self):
+        tokens = list(tokenize("a.b"))
+        assert [t.position for t in tokens] == [0, 1, 2, 3]
+
+    def test_empty_query_yields_end_only(self):
+        assert kinds("") == ["END"]
+
+    def test_invalid_character(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            list(tokenize("a.#b"))
+        assert exc.value.position == 2
+
+    def test_name_cannot_start_with_digit(self):
+        with pytest.raises(QuerySyntaxError):
+            list(tokenize("1abc"))

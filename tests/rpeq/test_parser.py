@@ -1,0 +1,128 @@
+"""Unit tests for the rpeq parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError, UnsupportedFeatureError
+from repro.rpeq.ast import (
+    WILDCARD,
+    Concat,
+    Empty,
+    Label,
+    OptionalExpr,
+    Plus,
+    Qualifier,
+    Star,
+    Union,
+)
+from repro.rpeq.parser import parse
+
+
+class TestAtoms:
+    def test_label(self):
+        assert parse("a") == Label("a")
+
+    def test_wildcard(self):
+        assert parse("_") == Label(WILDCARD)
+        assert parse("_").is_wildcard
+
+    def test_empty_query(self):
+        assert parse("") == Empty()
+
+    def test_parenthesized(self):
+        assert parse("(a)") == Label("a")
+
+
+class TestPostfix:
+    def test_plus(self):
+        assert parse("a+") == Plus(Label("a"))
+
+    def test_star(self):
+        assert parse("a*") == Star(Label("a"))
+
+    def test_wildcard_closure(self):
+        assert parse("_*") == Star(Label(WILDCARD))
+
+    def test_optional(self):
+        assert parse("a?") == OptionalExpr(Label("a"))
+
+    def test_optional_of_group(self):
+        assert parse("(a.b)?") == OptionalExpr(Concat(Label("a"), Label("b")))
+
+    def test_qualifier(self):
+        assert parse("a[b]") == Qualifier(Label("a"), Label("b"))
+
+    def test_stacked_qualifiers(self):
+        assert parse("a[b][c]") == Qualifier(Qualifier(Label("a"), Label("b")), Label("c"))
+
+    def test_nested_qualifier(self):
+        assert parse("a[b[c]]") == Qualifier(Label("a"), Qualifier(Label("b"), Label("c")))
+
+    def test_qualifier_with_path(self):
+        assert parse("a[b.c]") == Qualifier(Label("a"), Concat(Label("b"), Label("c")))
+
+    def test_closure_on_expression_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("(a.b)+")
+
+    def test_star_on_expression_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("(a|b)*")
+
+
+class TestPrecedence:
+    def test_concat_left_associative(self):
+        assert parse("a.b.c") == Concat(Concat(Label("a"), Label("b")), Label("c"))
+
+    def test_union_binds_loosest(self):
+        assert parse("a.b|c") == Union(Concat(Label("a"), Label("b")), Label("c"))
+
+    def test_parens_override(self):
+        assert parse("a.(b|c)") == Concat(Label("a"), Union(Label("b"), Label("c")))
+
+    def test_postfix_binds_tightest(self):
+        assert parse("a.b?") == Concat(Label("a"), OptionalExpr(Label("b")))
+
+    def test_qualifier_applies_to_step(self):
+        assert parse("a.b[c]") == Concat(Label("a"), Qualifier(Label("b"), Label("c")))
+
+    def test_paper_running_example(self):
+        assert parse("_*.a[b].c") == Concat(
+            Concat(Star(Label(WILDCARD)), Qualifier(Label("a"), Label("b"))),
+            Label("c"),
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad", ["a.", ".a", "a|", "a[", "a[b", "a)", "(a", "a b", "[b]", "a[]"]
+    )
+    def test_malformed_queries(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            parse("a.(b|)")
+        assert exc.value.position == 5
+
+
+class TestNestingLimits:
+    """Pathological nesting fails cleanly, never with RecursionError."""
+
+    def test_deep_parens_rejected(self):
+        deep = "(" * 1000 + "a" + ")" * 1000
+        with pytest.raises(QuerySyntaxError, match="nesting"):
+            parse(deep)
+
+    def test_deep_qualifiers_rejected(self):
+        deep = "a" + "[b" * 1000 + "]" * 1000
+        with pytest.raises(QuerySyntaxError, match="nesting"):
+            parse(deep)
+
+    def test_reasonable_nesting_accepted(self):
+        moderate = "(" * 50 + "a" + ")" * 50
+        assert parse(moderate) == parse("a")
+
+    def test_long_flat_query_fine(self):
+        flat = ".".join(["a"] * 2000)
+        parse(flat)  # concatenation is iterative: no depth issue

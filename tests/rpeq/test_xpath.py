@@ -1,0 +1,146 @@
+"""Unit tests for the XPath front-end."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError, UnsupportedFeatureError
+from repro.rpeq.parser import parse
+from repro.rpeq.xpath import xpath_to_rpeq
+
+
+def same(xpath, rpeq):
+    assert xpath_to_rpeq(xpath) == parse(rpeq)
+
+
+class TestTranslation:
+    def test_child_steps(self):
+        same("/a/b", "a.b")
+
+    def test_descendant_prefix(self):
+        same("//a", "_*.a")
+
+    def test_descendant_inside(self):
+        same("/a//b", "a._*.b")
+
+    def test_star_is_wildcard(self):
+        same("/a/*", "a._")
+
+    def test_predicate(self):
+        same("//country[province]/name", "_*.country[province].name")
+
+    def test_nested_predicates(self):
+        same("//a[b[c]]", "_*.a[b[c]]")
+
+    def test_predicate_with_descendant(self):
+        same("//a[.//b]/c", "_*.a[_*.b].c")
+
+    def test_predicate_union(self):
+        same("//a[b|c]", "_*.a[b|c]")
+
+    def test_explicit_axes(self):
+        same("/child::a/descendant::b", "a._*.b")
+
+    def test_stacked_predicates(self):
+        same("//a[b][c]", "_*.a[b][c]")
+
+    def test_relative_path(self):
+        same("a/b", "a.b")
+
+    def test_bare_descendant_all(self):
+        same("//*", "_*._")
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "xpath",
+        [
+            "//a/parent::b",            # parent label not statically provable
+            "/a//b/ancestor::c",        # ancestor outside the //s form
+            "//a/preceding-sibling::b",
+            "//a/@id",
+            "//a[@id]",
+            "//a[text()]",
+            "//a[b=1]",
+            "//a[position()]",
+        ],
+    )
+    def test_unsupported_constructs(self, xpath):
+        with pytest.raises(UnsupportedFeatureError):
+            xpath_to_rpeq(xpath)
+
+
+class TestReverseAxisRewriting:
+    """The 'XPath: Looking Forward' rewritings the paper cites."""
+
+    def test_parent_after_named_step(self):
+        same("//a/x/parent::a", "_*.a[x]")
+
+    def test_parent_wildcard(self):
+        assert xpath_to_rpeq("//x/parent::*") is not None
+
+    def test_parent_keeps_following_steps(self):
+        same("//a/x/parent::a/y", "_*.a[x].y")
+
+    def test_parent_with_predicate(self):
+        same("//item/name/parent::item[payment]", "_*.item[name][payment]")
+
+    def test_ancestor_canonical_form(self):
+        same("//x/ancestor::l", "_*.l[_*.x]")
+
+    def test_ancestor_wildcard(self):
+        same("//x/ancestor::*", "_*._[_*.x]")
+
+    def test_parent_semantics(self):
+        from repro import SpexEngine
+
+        doc = "<r><a><x/></a><b><x/></b></r>"
+        # parents of any x: the a (2) and the b (4)
+        assert SpexEngine(xpath_to_rpeq("//x/parent::*")).positions(doc) == [2, 4]
+
+    def test_ancestor_semantics(self):
+        from repro import SpexEngine
+
+        doc = "<r><a><x/></a><b/></r>"
+        assert SpexEngine(xpath_to_rpeq("//x/ancestor::*")).positions(doc) == [1, 2]
+
+    def test_absolute_path_in_predicate(self):
+        with pytest.raises(UnsupportedFeatureError):
+            xpath_to_rpeq("//a[/b]")
+
+    @pytest.mark.parametrize("xpath", ["//a[", "//a]", "//"])
+    def test_malformed(self, xpath):
+        with pytest.raises((QuerySyntaxError, UnsupportedFeatureError)):
+            xpath_to_rpeq(xpath)
+
+
+class TestSemanticAgreement:
+    def test_results_match_direct_rpeq(self):
+        from repro import SpexEngine
+
+        doc = "<lib><a><b/><c/></a><a><c/></a></lib>"
+        via_xpath = SpexEngine(xpath_to_rpeq("//a[b]/c")).positions(doc)
+        via_rpeq = SpexEngine("_*.a[b].c").positions(doc)
+        assert via_xpath == via_rpeq
+
+
+class TestBooleanPredicates:
+    def test_and_becomes_stacked_qualifiers(self):
+        same("//a[b and c]", "_*.a[b][c]")
+
+    def test_or_becomes_union(self):
+        same("//a[b or c]", "_*.a[b|c]")
+
+    def test_chained_and(self):
+        same("//a[b and c and d]", "_*.a[b][c][d]")
+
+    def test_chained_or(self):
+        same("//a[b or c or d]", "_*.a[b|c|d]")
+
+    def test_pipe_and_or_equivalent(self):
+        assert xpath_to_rpeq("//a[b | c]") == xpath_to_rpeq("//a[b or c]")
+
+    def test_mixed_and_or_rejected(self):
+        with pytest.raises(UnsupportedFeatureError, match="mixed"):
+            xpath_to_rpeq("//a[b and c or d]")
+
+    def test_and_with_paths(self):
+        same("//a[b/c and .//d]", "_*.a[b.c][_*.d]")

@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example runs green.
+
+Examples are executed as subprocesses (their own ``__main__``), with
+scaled-down arguments where they accept any, so the suite stays fast.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: example -> extra argv (scaled down for test runtime)
+EXAMPLES = {
+    "quickstart.py": [],
+    "sdi_filtering.py": [],
+    "conjunctive_queries.py": [],
+    "extended_navigation.py": [],
+    "schema_pipeline.py": [],
+    "infinite_monitoring.py": [],
+    "large_documents.py": ["2000"],
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples on disk and in the smoke-test table diverged"
+    )
+
+
+@pytest.mark.parametrize("example", sorted(EXAMPLES))
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example), *EXAMPLES[example]],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{example} produced no output"

@@ -1,0 +1,71 @@
+"""API hygiene: every public name exists, is importable and documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.xmlstream",
+    "repro.rpeq",
+    "repro.conditions",
+    "repro.core",
+    "repro.cq",
+    "repro.dtd",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted(package):
+    module = importlib.import_module(package)
+    exported = list(module.__all__)
+    assert exported == sorted(exported), f"{package}.__all__ not sorted"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_callables_documented(package):
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if callable(obj) and not inspect.isclass(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        elif inspect.isclass(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+    assert not undocumented, f"{package}: undocumented exports {undocumented}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_docstrings(package):
+    module = importlib.import_module(package)
+    assert (module.__doc__ or "").strip(), f"{package} has no module docstring"
+
+
+def test_no_accidental_cross_exports():
+    """Top-level ``repro`` exposes only its curated surface."""
+    import repro
+
+    assert "SpexEngine" in repro.__all__
+    assert "Network" not in repro.__all__  # internals stay in repro.core
+
+
+def test_version_is_pep440ish():
+    import re
+
+    import repro
+
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)

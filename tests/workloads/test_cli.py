@@ -1,0 +1,42 @@
+"""Tests for the dataset-materialization CLI."""
+
+import pytest
+
+from repro.workloads.__main__ import main
+
+
+class TestWorkloadsCli:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "mondial.xml"
+        assert main(["-o", str(path), "mondial", "--countries", "3"]) == 0
+        text = path.read_text()
+        assert text.startswith("<mondial>")
+        assert "<country>" in text
+
+    def test_stdout(self, capsys):
+        assert main(["random", "--elements", "20"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("<") >= 20
+
+    def test_file_round_trips_through_engine(self, tmp_path):
+        from repro import SpexEngine
+
+        path = tmp_path / "xmark.xml"
+        main(["-o", str(path), "xmark", "--scale", "4"])
+        count = SpexEngine("_*.item.name", collect_events=False).count(str(path))
+        assert count > 0
+
+    def test_seed_changes_output(self, capsys):
+        main(["--seed", "1", "random", "--elements", "30"])
+        first = capsys.readouterr().out
+        main(["--seed", "2", "random", "--elements", "30"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_indent_mode(self, capsys):
+        assert main(["--indent", "wordnet", "--nouns", "2"]) == 0
+        assert "\n" in capsys.readouterr().out
+
+    def test_dataset_required(self):
+        with pytest.raises(SystemExit):
+            main([])

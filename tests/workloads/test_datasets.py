@@ -1,0 +1,184 @@
+"""Unit tests for the paper-analog datasets (MONDIAL, WordNet, DMOZ)."""
+
+import itertools
+
+import pytest
+
+from repro import SpexEngine
+from repro.rpeq.parser import parse
+from repro.workloads import (
+    DMOZ_QUERIES,
+    MONDIAL_QUERIES,
+    TICKER_QUERIES,
+    WORDNET_QUERIES,
+    dmoz_content,
+    dmoz_structure,
+    mondial,
+    sensor_feed,
+    stock_ticker,
+    wordnet,
+)
+from repro.xmlstream.events import EndDocument
+from repro.xmlstream.stats import measure
+from repro.xmlstream.validate import is_well_formed
+
+
+class TestMondial:
+    def test_well_formed(self):
+        assert is_well_formed(mondial(seed=7, countries=30))
+
+    def test_depth_matches_paper(self):
+        # Paper: MONDIAL has maximum depth 5 (mondial > country >
+        # province > city > leaf).
+        stats = measure(mondial(seed=7, countries=50))
+        assert stats.max_depth == 5
+
+    def test_default_scale_close_to_paper(self):
+        stats = measure(mondial())
+        assert 15_000 < stats.elements < 40_000  # paper: 24,184
+
+    def test_queries_parse_and_run(self):
+        events = list(mondial(seed=7, countries=10))
+        for query in MONDIAL_QUERIES.values():
+            SpexEngine(parse(query), collect_events=False).count(iter(events))
+
+
+class TestWordnet:
+    def test_well_formed(self):
+        assert is_well_formed(wordnet(seed=7, nouns=50))
+
+    def test_flat_depth(self):
+        assert measure(wordnet(seed=7, nouns=50)).max_depth == 3
+
+    def test_queries_have_expected_selectivity(self):
+        events = list(wordnet(seed=7, nouns=300))
+        class1 = SpexEngine(WORDNET_QUERIES[1], collect_events=False).count(iter(events))
+        class2 = SpexEngine(WORDNET_QUERIES[2], collect_events=False).count(iter(events))
+        assert class1 > 0 and class2 > 0
+        assert class2 <= 300  # one lexID per qualified noun
+
+
+class TestDmoz:
+    def test_structure_well_formed(self):
+        assert is_well_formed(dmoz_structure(seed=7, topics=100))
+
+    def test_content_richer_than_structure(self):
+        structure = measure(dmoz_structure(seed=7, topics=200)).elements
+        content = measure(dmoz_content(seed=7, topics=200)).elements
+        assert content > structure
+
+    def test_flat_depth(self):
+        assert measure(dmoz_structure(seed=7, topics=100)).max_depth == 3
+
+    def test_queries_run(self):
+        events = list(dmoz_structure(seed=7, topics=50))
+        for query in DMOZ_QUERIES.values():
+            SpexEngine(query, collect_events=False).count(iter(events))
+
+
+class TestInfiniteStreams:
+    def test_ticker_never_terminates_document(self):
+        events = list(itertools.islice(stock_ticker(seed=1), 5000))
+        assert not any(isinstance(e, EndDocument) for e in events)
+
+    def test_ticker_limit_stops_generation(self):
+        events = list(stock_ticker(seed=1, limit=10))
+        trades = sum(1 for e in events if getattr(e, "label", None) == "trade") // 2
+        assert trades == 10
+
+    def test_ticker_queries_match_progressively(self):
+        engine = SpexEngine(TICKER_QUERIES["all_trades"], collect_events=False)
+        count = sum(1 for _ in engine.run(stock_ticker(seed=1, limit=50)))
+        assert 0 < count <= 50
+
+    def test_sensor_feed_bounded_depth(self):
+        events = list(sensor_feed(seed=1, limit=100))
+        depth = 0
+        max_depth = 0
+        for event in events:
+            label = getattr(event, "label", None)
+            if label is not None:
+                if event.__class__.__name__ == "StartElement":
+                    depth += 1
+                    max_depth = max(max_depth, depth)
+                elif event.__class__.__name__ == "EndElement":
+                    depth -= 1
+        assert max_depth <= 3
+
+
+class TestXmark:
+    def test_well_formed(self):
+        from repro.workloads import xmark
+        from repro.xmlstream.validate import is_well_formed
+
+        assert is_well_formed(xmark(seed=7, scale=20))
+
+    def test_depth_profile(self):
+        from repro.workloads import xmark
+
+        stats = measure(xmark(seed=7, scale=40))
+        assert 6 <= stats.max_depth <= 7
+        assert stats.distinct_labels > 15
+
+    def test_deterministic(self):
+        from repro.workloads import xmark
+
+        assert list(xmark(seed=3, scale=10)) == list(xmark(seed=3, scale=10))
+
+    def test_queries_agree_across_evaluators(self):
+        from repro.baselines import DomEvaluator
+        from repro.rpeq import parse
+        from repro.workloads import XMARK_QUERIES, xmark
+
+        events = list(xmark(seed=7, scale=15))
+        from repro.xmlstream.tree import build_document
+
+        document = build_document(iter(events))
+        for query in XMARK_QUERIES.values():
+            expr = parse(query)
+            oracle = sorted(
+                n.position for n in DomEvaluator(expr).evaluate_document(document)
+            )
+            spex = sorted(
+                SpexEngine(expr, collect_events=False).positions(iter(events))
+            )
+            assert spex == oracle, query
+
+
+class TestTreebank:
+    def test_well_formed(self):
+        from repro.workloads import treebank
+        from repro.xmlstream.validate import is_well_formed
+
+        assert is_well_formed(treebank(seed=7, sentences=30))
+
+    def test_deep_recursion_profile(self):
+        from repro.workloads import treebank
+
+        stats = measure(treebank(seed=7, sentences=300, max_depth=30))
+        assert stats.max_depth >= 12  # genuinely deep
+        assert stats.distinct_labels >= 7
+
+    def test_depth_budget_respected(self):
+        from repro.workloads import treebank
+
+        stats = measure(treebank(seed=7, sentences=300, max_depth=10))
+        assert stats.max_depth <= 14  # budget + bounded overshoot of leaves
+
+    def test_queries_agree_with_oracle(self):
+        from repro.baselines import DomEvaluator
+        from repro.rpeq import parse
+        from repro.workloads import TREEBANK_QUERIES, treebank
+        from repro.xmlstream.tree import build_document
+
+        events = list(treebank(seed=7, sentences=25))
+        document = build_document(iter(events))
+        for query in TREEBANK_QUERIES.values():
+            expr = parse(query)
+            oracle = sorted(
+                n.position for n in DomEvaluator(expr).evaluate_document(document)
+            )
+            spex = sorted(
+                SpexEngine(expr, collect_events=False).positions(iter(events))
+            )
+            assert spex == oracle, query

@@ -1,0 +1,80 @@
+"""Unit tests for synthetic workload generators."""
+
+from repro.workloads.generators import (
+    deep_chain,
+    nested_closure_workload,
+    random_tree,
+    text_document,
+    wide_flat,
+)
+from repro.xmlstream.stats import measure
+from repro.xmlstream.validate import is_well_formed
+
+
+class TestRandomTree:
+    def test_well_formed(self):
+        assert is_well_formed(random_tree(seed=1, elements=500))
+
+    def test_deterministic_per_seed(self):
+        assert list(random_tree(seed=3, elements=100)) == list(
+            random_tree(seed=3, elements=100)
+        )
+
+    def test_seeds_differ(self):
+        assert list(random_tree(seed=1, elements=100)) != list(
+            random_tree(seed=2, elements=100)
+        )
+
+    def test_element_count_exact(self):
+        assert measure(random_tree(seed=5, elements=321)).elements == 321
+
+    def test_depth_bound_respected(self):
+        stats = measure(random_tree(seed=5, elements=2000, max_depth=4))
+        assert stats.max_depth <= 4
+
+    def test_label_pool(self):
+        stats = measure(random_tree(seed=5, elements=500, labels=("x", "y")))
+        assert stats.distinct_labels <= 2
+
+
+class TestDeepChain:
+    def test_shape(self):
+        stats = measure(deep_chain(depth=50))
+        assert stats.max_depth == 50
+        assert stats.elements == 50
+
+    def test_leaf_label(self):
+        stats = measure(deep_chain(depth=10, leaf_label="z"))
+        assert stats.max_depth == 11
+        assert stats.elements == 11
+
+    def test_well_formed(self):
+        assert is_well_formed(deep_chain(depth=100, leaf_label="z"))
+
+
+class TestWideFlat:
+    def test_shape(self):
+        stats = measure(wide_flat(elements=200))
+        assert stats.max_depth == 3
+        assert stats.elements == 1 + 200 * 2
+
+    def test_no_children(self):
+        stats = measure(wide_flat(elements=100, child_label=None))
+        assert stats.max_depth == 2
+
+
+class TestNestedClosureWorkload:
+    def test_shape(self):
+        stats = measure(nested_closure_workload(repetitions=5, nest_depth=6))
+        assert stats.max_depth == 8  # root + 6 a's + b
+        assert stats.elements == 1 + 5 * 7
+
+    def test_well_formed(self):
+        assert is_well_formed(nested_closure_workload(repetitions=3, nest_depth=4))
+
+
+class TestTextDocument:
+    def test_well_formed_with_text(self):
+        events = list(text_document(seed=2, elements=100))
+        assert is_well_formed(iter(events))
+        assert measure(iter(events)).text_bytes > 0

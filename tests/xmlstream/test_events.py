@@ -1,0 +1,68 @@
+"""Unit tests for the event model."""
+
+import pytest
+
+from repro.xmlstream.events import (
+    DOCUMENT_LABEL,
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+    events_from_tags,
+    is_document_boundary,
+    label_of,
+    tags_from_events,
+)
+
+
+class TestEventBasics:
+    def test_start_element_carries_label(self):
+        assert StartElement("a").label == "a"
+
+    def test_start_element_default_attributes_empty(self):
+        assert dict(StartElement("a").attributes) == {}
+
+    def test_attributes_do_not_affect_equality(self):
+        assert StartElement("a", {"x": "1"}) == StartElement("a", {"x": "2"})
+
+    def test_events_are_hashable(self):
+        assert len({StartElement("a"), StartElement("a"), EndElement("a")}) == 2
+
+    def test_document_boundaries(self):
+        assert is_document_boundary(StartDocument())
+        assert is_document_boundary(EndDocument())
+        assert not is_document_boundary(StartElement("a"))
+        assert not is_document_boundary(Text("x"))
+
+    def test_str_forms_match_paper_notation(self):
+        assert str(StartDocument()) == "<$>"
+        assert str(EndDocument()) == "</$>"
+        assert str(StartElement("a")) == "<a>"
+        assert str(EndElement("a")) == "</a>"
+
+
+class TestLabelOf:
+    def test_elements(self):
+        assert label_of(StartElement("x")) == "x"
+        assert label_of(EndElement("x")) == "x"
+
+    def test_boundaries_are_document_label(self):
+        assert label_of(StartDocument()) == DOCUMENT_LABEL
+        assert label_of(EndDocument()) == DOCUMENT_LABEL
+
+    def test_text_has_no_label(self):
+        assert label_of(Text("hello")) is None
+
+
+class TestTagNotation:
+    def test_round_trip_paper_stream(self):
+        tags = ["<$>", "<a>", "<c>", "</c>", "</a>", "</$>"]
+        assert tags_from_events(events_from_tags(tags)) == tags
+
+    def test_plain_strings_become_text(self):
+        events = list(events_from_tags(["<$>", "<a>", "hello", "</a>", "</$>"]))
+        assert events[2] == Text("hello")
+
+    def test_empty_input(self):
+        assert list(events_from_tags([])) == []

@@ -1,0 +1,131 @@
+"""Unit tests for SAX-based stream parsing."""
+
+import io
+
+import pytest
+
+from repro.errors import StreamError
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlstream.parser import iter_events, parse_stream, parse_string
+
+
+class TestParseString:
+    def test_envelope_wraps_document(self):
+        events = list(parse_string("<a/>"))
+        assert isinstance(events[0], StartDocument)
+        assert isinstance(events[-1], EndDocument)
+
+    def test_simple_document(self):
+        events = list(parse_string("<a><b/></a>"))
+        assert events == [
+            StartDocument(),
+            StartElement("a"),
+            StartElement("b"),
+            EndElement("b"),
+            EndElement("a"),
+            EndDocument(),
+        ]
+
+    def test_text_kept_by_default(self):
+        events = list(parse_string("<a>hi</a>"))
+        assert Text("hi") in events
+
+    def test_text_dropped_when_disabled(self):
+        events = list(parse_string("<a>hi</a>", keep_text=False))
+        assert not any(isinstance(e, Text) for e in events)
+
+    def test_whitespace_only_text_dropped(self):
+        events = list(parse_string("<a>\n  <b/>\n</a>"))
+        assert not any(isinstance(e, Text) for e in events)
+
+    def test_attributes_preserved(self):
+        events = list(parse_string('<a x="1" y="2"/>'))
+        start = next(e for e in events if isinstance(e, StartElement))
+        assert dict(start.attributes) == {"x": "1", "y": "2"}
+
+    def test_malformed_raises_stream_error(self):
+        with pytest.raises(StreamError):
+            list(parse_string("<a><b></a>"))
+
+    def test_unclosed_raises_stream_error(self):
+        with pytest.raises(StreamError):
+            list(parse_string("<a>"))
+
+    def test_entities_resolved(self):
+        events = list(parse_string("<a>&lt;x&gt;</a>"))
+        text = "".join(e.content for e in events if isinstance(e, Text))
+        assert text == "<x>"
+
+
+class TestIncrementalParsing:
+    def test_large_document_streams_in_chunks(self):
+        # Build a document far larger than the internal chunk size and
+        # verify the parser yields events before reading it all.
+        body = "<item/>" * 50_000
+        stream = io.BytesIO(f"<root>{body}</root>".encode())
+        events = parse_stream(stream)
+        assert isinstance(next(events), StartDocument)
+        assert next(events) == StartElement("root")
+        # The file position must be far from the end at this point.
+        assert stream.tell() < stream.getbuffer().nbytes
+
+    def test_text_file_object(self):
+        events = list(parse_stream(io.StringIO("<a><b/></a>")))
+        assert StartElement("b") in events
+
+
+class TestIterEvents:
+    def test_xml_text_dispatch(self):
+        assert StartElement("a") in list(iter_events("<a/>"))
+
+    def test_path_dispatch(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b/></a>")
+        assert StartElement("b") in list(iter_events(str(path)))
+
+    def test_pathlike_dispatch(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a/>")
+        assert StartElement("a") in list(iter_events(path))
+
+    def test_event_iterable_passthrough(self):
+        events = [StartDocument(), StartElement("a"), EndElement("a"), EndDocument()]
+        assert list(iter_events(iter(events))) == events
+
+
+class TestXmlSpecifics:
+    """XML constructs the paper abstracts away must pass harmlessly."""
+
+    def test_comments_ignored(self):
+        events = list(parse_string("<a><!-- note --><b/></a>"))
+        assert StartElement("b") in events
+        assert len([e for e in events if isinstance(e, StartElement)]) == 2
+
+    def test_processing_instructions_ignored(self):
+        events = list(parse_string("<a><?php echo ?><b/></a>"))
+        assert StartElement("b") in events
+
+    def test_cdata_becomes_text(self):
+        events = list(parse_string("<a><![CDATA[1 < 2]]></a>"))
+        assert Text("1 < 2") in events
+
+    def test_xml_declaration(self):
+        events = list(parse_string('<?xml version="1.0" encoding="UTF-8"?><a/>'))
+        assert StartElement("a") in events
+
+    def test_namespaced_tags_kept_verbatim(self):
+        # Namespace processing is off: prefixed names are plain labels.
+        events = list(parse_string('<rdf:RDF xmlns:rdf="urn:x"><rdf:li/></rdf:RDF>'))
+        labels = [e.label for e in events if isinstance(e, StartElement)]
+        assert labels == ["rdf:RDF", "rdf:li"]
+
+    def test_unicode_content(self):
+        events = list(parse_string("<a>héllo wörld</a>"))
+        text = "".join(e.content for e in events if isinstance(e, Text))
+        assert text == "héllo wörld"

@@ -1,0 +1,79 @@
+"""Unit and property tests for serialization."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import StreamError
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlstream.parser import parse_string
+from repro.xmlstream.serializer import escape_attribute, escape_text, serialize
+
+from ..conftest import event_streams
+
+
+class TestSerialize:
+    def test_simple(self):
+        events = [
+            StartDocument(),
+            StartElement("a"),
+            StartElement("b"),
+            EndElement("b"),
+            EndElement("a"),
+            EndDocument(),
+        ]
+        assert serialize(events) == "<a><b></b></a>"
+
+    def test_boundaries_dropped(self):
+        assert serialize([StartDocument(), EndDocument()]) == ""
+
+    def test_text_escaped(self):
+        events = [StartElement("a"), Text("1 < 2 & 3"), EndElement("a")]
+        assert serialize(events) == "<a>1 &lt; 2 &amp; 3</a>"
+
+    def test_attributes_rendered_and_escaped(self):
+        events = [StartElement("a", {"t": 'x"y<'}), EndElement("a")]
+        assert serialize(events) == '<a t="x&quot;y&lt;"></a>'
+
+    def test_indent_mode(self):
+        events = [StartElement("a"), StartElement("b"), EndElement("b"), EndElement("a")]
+        assert serialize(events, indent="  ") == "<a>\n  <b>\n  </b>\n</a>\n"
+
+    def test_mismatched_end_tag_raises(self):
+        with pytest.raises(StreamError):
+            serialize([StartElement("a"), EndElement("b")])
+
+    def test_unclosed_raises(self):
+        with pytest.raises(StreamError):
+            serialize([StartElement("a")])
+
+
+class TestEscaping:
+    @pytest.mark.parametrize(
+        "raw,cooked",
+        [("a&b", "a&amp;b"), ("<", "&lt;"), (">", "&gt;"), ("plain", "plain")],
+    )
+    def test_escape_text(self, raw, cooked):
+        assert escape_text(raw) == cooked
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('a"b') == "a&quot;b"
+
+
+class TestRoundTrip:
+    @given(event_streams())
+    def test_parse_serialize_round_trip(self, events):
+        """serialize -> parse reproduces the structural event sequence."""
+        text = serialize(events)
+        if not text:
+            return  # empty forest: nothing to re-parse
+        reparsed = list(parse_string(f"<root>{text}</root>"))
+        # Strip the synthetic wrapper and envelope before comparing.
+        inner = reparsed[2:-2]
+        original = events[1:-1]
+        assert inner == original

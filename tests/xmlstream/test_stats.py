@@ -1,0 +1,53 @@
+"""Unit tests for stream statistics."""
+
+from hypothesis import given
+
+from repro.xmlstream.events import Text
+from repro.xmlstream.parser import parse_string
+from repro.xmlstream.stats import StreamStats, measure, observed
+from repro.xmlstream.tree import build_document
+
+from ..conftest import PAPER_DOC, event_streams
+
+
+class TestMeasure:
+    def test_paper_document(self):
+        stats = measure(parse_string(PAPER_DOC))
+        assert stats.messages == 12
+        assert stats.elements == 5
+        assert stats.max_depth == 3
+        assert stats.distinct_labels == 3
+
+    def test_text_bytes(self):
+        stats = measure(parse_string("<a>hello</a>"))
+        assert stats.text_bytes == 5
+
+    def test_empty_document(self):
+        stats = measure(parse_string("<a/>"))
+        assert stats.elements == 1
+        assert stats.max_depth == 1
+
+    @given(event_streams())
+    def test_depth_matches_tree_depth(self, events):
+        assert measure(events).max_depth == build_document(events).depth
+
+    @given(event_streams())
+    def test_elements_match_tree_size(self, events):
+        assert measure(events).elements == build_document(events).size
+
+
+class TestObserved:
+    def test_passthrough_and_accumulate(self):
+        stats = StreamStats()
+        events = list(parse_string(PAPER_DOC))
+        passed = list(observed(iter(events), stats))
+        assert passed == events
+        assert stats.messages == len(events)
+
+    def test_incremental_reading(self):
+        stats = StreamStats()
+        stream = observed(parse_string(PAPER_DOC), stats)
+        next(stream)  # <$>
+        next(stream)  # <a>
+        assert stats.messages == 2
+        assert stats.elements == 1

@@ -1,0 +1,92 @@
+"""Unit and property tests for tree materialization."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import StreamError
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlstream.parser import parse_string
+from repro.xmlstream.tree import Document, Node, build_document
+
+from ..conftest import PAPER_DOC, event_streams
+
+
+class TestBuildDocument:
+    def test_paper_document_shape(self):
+        doc = build_document(parse_string(PAPER_DOC))
+        assert doc.size == 5
+        assert doc.depth == 3
+        labels = [node.label for node in doc.nodes()]
+        assert labels == ["a", "a", "c", "b", "c"]
+
+    def test_positions_are_document_order(self):
+        doc = build_document(parse_string(PAPER_DOC))
+        assert [node.position for node in doc.nodes()] == [1, 2, 3, 4, 5]
+
+    def test_depths(self):
+        doc = build_document(parse_string(PAPER_DOC))
+        assert [node.depth for node in doc.nodes()] == [1, 2, 3, 2, 2]
+
+    def test_parent_links(self):
+        doc = build_document(parse_string("<a><b/></a>"))
+        a = doc.root.children[0]
+        b = a.children[0]
+        assert b.parent is a
+        assert a.parent is doc.root
+
+    def test_text_accumulated(self):
+        doc = build_document(parse_string("<a>x<b/>y</a>"))
+        assert doc.root.children[0].text == "xy"
+
+    def test_root_label_enforced(self):
+        with pytest.raises(ValueError):
+            Document(Node("a", position=0, depth=0))
+
+    def test_mismatched_raises(self):
+        with pytest.raises(StreamError):
+            build_document(
+                [StartDocument(), StartElement("a"), EndElement("b"), EndDocument()]
+            )
+
+    def test_truncated_raises(self):
+        with pytest.raises(StreamError):
+            build_document([StartDocument(), StartElement("a")])
+
+    def test_element_outside_envelope_raises(self):
+        with pytest.raises(StreamError):
+            build_document([StartElement("a"), EndElement("a")])
+
+
+class TestTraversal:
+    def test_iter_descendants_document_order(self):
+        doc = build_document(parse_string(PAPER_DOC))
+        order = [node.position for node in doc.root.iter_descendants()]
+        assert order == sorted(order)
+
+    def test_iter_subtree_includes_self(self):
+        doc = build_document(parse_string("<a><b/></a>"))
+        a = doc.root.children[0]
+        assert [n.label for n in a.iter_subtree()] == ["a", "b"]
+
+
+class TestEventsRoundTrip:
+    @given(event_streams())
+    def test_stream_to_tree_to_stream(self, events):
+        doc = build_document(events)
+        assert list(doc.events()) == events
+
+    def test_text_round_trip(self):
+        events = [
+            StartDocument(),
+            StartElement("a"),
+            Text("hello"),
+            EndElement("a"),
+            EndDocument(),
+        ]
+        assert list(build_document(events).events()) == events

@@ -1,0 +1,84 @@
+"""Unit and property tests for stream well-formedness checking."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import StreamError
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlstream.validate import checked, is_well_formed
+
+from ..conftest import event_streams
+
+
+def _consume(events):
+    for _ in checked(events):
+        pass
+
+
+class TestChecked:
+    def test_valid_stream_passes_through_unchanged(self):
+        events = [StartDocument(), StartElement("a"), EndElement("a"), EndDocument()]
+        assert list(checked(events)) == events
+
+    def test_mismatched_end_tag(self):
+        with pytest.raises(StreamError, match="does not close"):
+            _consume([StartDocument(), StartElement("a"), EndElement("b")])
+
+    def test_end_without_open(self):
+        with pytest.raises(StreamError, match="no open element"):
+            _consume([StartDocument(), EndElement("a")])
+
+    def test_element_before_start_document(self):
+        with pytest.raises(StreamError, match="before"):
+            _consume([StartElement("a")])
+
+    def test_duplicate_start_document(self):
+        with pytest.raises(StreamError, match="duplicate"):
+            _consume([StartDocument(), StartDocument()])
+
+    def test_end_document_with_open_elements(self):
+        with pytest.raises(StreamError, match="unclosed"):
+            _consume([StartDocument(), StartElement("a"), EndDocument()])
+
+    def test_events_after_end_document(self):
+        with pytest.raises(StreamError, match="after"):
+            _consume([StartDocument(), EndDocument(), StartElement("a")])
+
+    def test_truncated_stream(self):
+        with pytest.raises(StreamError, match="ended before"):
+            _consume([StartDocument(), StartElement("a"), EndElement("a")])
+
+    def test_text_allowed_inside(self):
+        _consume([StartDocument(), StartElement("a"), Text("x"), EndElement("a"), EndDocument()])
+
+    def test_text_before_document_rejected(self):
+        with pytest.raises(StreamError):
+            _consume([Text("x"), StartDocument(), EndDocument()])
+
+
+class TestIsWellFormed:
+    def test_true_for_valid(self):
+        assert is_well_formed([StartDocument(), EndDocument()])
+
+    def test_false_for_invalid(self):
+        assert not is_well_formed([StartDocument(), EndElement("a")])
+
+    @given(event_streams())
+    def test_generated_streams_are_well_formed(self, events):
+        assert is_well_formed(events)
+
+    @given(event_streams())
+    def test_dropping_one_end_tag_breaks_well_formedness(self, events):
+        index = next(
+            (i for i, e in enumerate(events) if isinstance(e, EndElement)), None
+        )
+        if index is None:
+            return
+        mutated = events[:index] + events[index + 1 :]
+        assert not is_well_formed(mutated)
