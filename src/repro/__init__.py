@@ -29,20 +29,28 @@ from .errors import (
     EngineError,
     QuerySyntaxError,
     ReproError,
+    ResourceLimitError,
     StreamError,
     UnsupportedFeatureError,
 )
+from .limits import ResourceLimits
 from .rpeq.parser import parse
 from .rpeq.xpath import xpath_to_rpeq
+from .xmlstream.recovery import ErrorRecord, ErrorReport, RecoveryPolicy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompilationError",
     "EngineError",
+    "ErrorRecord",
+    "ErrorReport",
     "Match",
     "QuerySyntaxError",
+    "RecoveryPolicy",
     "ReproError",
+    "ResourceLimitError",
+    "ResourceLimits",
     "SpexEngine",
     "StreamError",
     "UnsupportedFeatureError",

@@ -23,9 +23,11 @@ from typing import Iterator
 from .core.engine import SpexEngine
 from .cq.engine import CqEngine
 from .errors import ReproError
+from .limits import ResourceLimits
 from .rpeq.xpath import xpath_to_rpeq
 from .xmlstream.events import Event
 from .xmlstream.parser import parse_stream
+from .xmlstream.recovery import ErrorReport
 from .xmlstream.stats import measure
 
 
@@ -42,10 +44,29 @@ def _events_from(path: str | None) -> Iterator[Event]:
         return generate()
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _limits_from(args: argparse.Namespace) -> ResourceLimits | None:
+    max_depth = getattr(args, "max_depth", None)
+    max_buffered = getattr(args, "max_buffered", None)
+    if max_depth is None and max_buffered is None:
+        return None
+    return ResourceLimits(max_depth=max_depth, max_buffered_events=max_buffered)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = SpexEngine(args.query, collect_events=not args.count)
+    on_error = getattr(args, "on_error", "strict")
+    engine = SpexEngine(
+        args.query, collect_events=not args.count, limits=_limits_from(args)
+    )
+    report = ErrorReport()
     matched = 0
-    for match in engine.run(_events_from(args.file)):
+    for match in engine.run(_events_from(args.file), on_error=on_error, report=report):
         matched += 1
         if not args.count:
             print(f"-- match {matched} (position {match.position}, <{match.label}>)")
@@ -57,6 +78,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if getattr(args, "stats", False):
         print("-- engine statistics")
         print(engine.stats.summary())
+    if not report.ok:
+        print(f"-- recovered: {report.summary()}", file=sys.stderr)
     return 0
 
 
@@ -117,6 +140,30 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--count", action="store_true", help="print only the match count")
     query.add_argument(
         "--stats", action="store_true", help="print the engine's resource profile"
+    )
+    query.add_argument(
+        "--on-error",
+        choices=["strict", "skip", "repair"],
+        default="strict",
+        dest="on_error",
+        help="recovery policy for malformed documents: strict aborts "
+        "with a nonzero exit (default), skip quarantines the bad "
+        "document, repair fixes the stream in flight",
+    )
+    query.add_argument(
+        "--max-depth",
+        type=_positive_int,
+        metavar="N",
+        dest="max_depth",
+        help="abort (strict) or skip the document when stream nesting "
+        "exceeds N (depth-bomb guard)",
+    )
+    query.add_argument(
+        "--max-buffered",
+        type=_positive_int,
+        metavar="N",
+        dest="max_buffered",
+        help="cap the output transducer's event buffer at N events",
     )
     query.set_defaults(func=_cmd_query)
 

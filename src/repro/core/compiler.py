@@ -189,7 +189,10 @@ class _Compiler:
 
 
 def compile_network(
-    expr: Rpeq, collect_events: bool = True, optimize: bool = True
+    expr: Rpeq,
+    collect_events: bool = True,
+    optimize: bool = True,
+    limits=None,
 ) -> tuple[Network, ConditionStore]:
     """Build a fresh SPEX network for an rpeq query.
 
@@ -200,6 +203,9 @@ def compile_network(
         optimize: use the fused ``DS(l*)`` node for Kleene closures;
             ``False`` gives the literal Fig. 11 translation (used by the
             differential tests and the E10 ablation).
+        limits: optional :class:`repro.limits.ResourceLimits`; arms the
+            network's depth/σ/event-budget guards and the output
+            transducer's buffer ceilings.
 
     Returns the finalized network and its condition store.  The network
     carries evaluation state, so one network evaluates one stream; the
@@ -209,8 +215,8 @@ def compile_network(
     store = ConditionStore()
     allocator = VariableAllocator()
     source = InputTransducer()
-    sink = OutputTransducer(store, collect_events=collect_events)
-    network = Network(source, sink)
+    sink = OutputTransducer(store, collect_events=collect_events, limits=limits)
+    network = Network(source, sink, limits=limits)
     compiler = _Compiler(network, allocator, store, optimize=optimize)
     tape, _owned = compiler.compile(expr, source)
     network.add(sink, tape)

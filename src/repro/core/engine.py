@@ -17,14 +17,23 @@ the paper's evaluation model.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from ..errors import ResourceLimitError
+from ..limits import ResourceLimits
 from ..rpeq.analysis import QueryProfile, analyze
 from ..rpeq.ast import Rpeq
 from ..rpeq.parser import parse
 from ..xmlstream.events import Event
 from ..xmlstream.parser import iter_events
+from ..xmlstream.recovery import (
+    ErrorReport,
+    RecoveryPolicy,
+    as_policy,
+    recovered_documents,
+)
 from ..xmlstream.validate import checked
 from .compiler import compile_network
 from .network import Network, NetworkStats
@@ -42,6 +51,13 @@ class EngineStats:
         peak_live_variables: worst-case undetermined instances (≤ d per
             qualifier in the paper's analysis).
         query: structural metrics of the evaluated query.
+        documents_skipped: documents quarantined by the recovery layer
+            (``on_error="skip"``) or abandoned after a resource limit.
+        events_repaired: events synthesized/rewritten by
+            ``on_error="repair"``.
+        limit_hits: resource-guard firings — raised
+            :class:`~repro.errors.ResourceLimitError` occurrences plus
+            candidates evicted by the ``drop_oldest`` overflow policy.
     """
 
     network: NetworkStats = field(default_factory=NetworkStats)
@@ -49,6 +65,9 @@ class EngineStats:
     condition_variables: int = 0
     peak_live_variables: int = 0
     query: QueryProfile | None = None
+    documents_skipped: int = 0
+    events_repaired: int = 0
+    limit_hits: int = 0
 
     def summary(self) -> str:
         """Human-readable one-screen digest of a run's resource profile."""
@@ -63,6 +82,9 @@ class EngineStats:
             f" created, {self.output.candidates_dropped} dropped",
             f"peak buffered events  : {self.output.peak_buffered_events}",
             f"peak pending results  : {self.output.peak_pending_candidates}",
+            f"documents skipped     : {self.documents_skipped}",
+            f"events repaired       : {self.events_repaired}",
+            f"limit hits            : {self.limit_hits}",
         ]
         if self.query is not None:
             lines.insert(
@@ -85,6 +107,7 @@ class SpexEngine:
         collect_events: bool = True,
         optimize: bool = True,
         simplify_query: bool = False,
+        limits: ResourceLimits | None = None,
     ) -> None:
         """Create an engine for a query.
 
@@ -98,6 +121,9 @@ class SpexEngine:
             simplify_query: apply the semantics-preserving rewriter
                 (:func:`repro.rpeq.simplify`) before compilation, so
                 redundant constructs never become transducers.
+            limits: resource guards applied to every run (see
+                :class:`repro.limits.ResourceLimits`); ``None`` means
+                unbounded, the paper's trusting default.
         """
         self.query: Rpeq = parse(query) if isinstance(query, str) else query
         if simplify_query:
@@ -106,14 +132,21 @@ class SpexEngine:
             self.query = simplify(self.query)
         self.collect_events = collect_events
         self.optimize = optimize
+        self.limits = limits
         self._last_network: Network | None = None
         self._last_store = None
+        self._last_report: ErrorReport | None = None
 
     # ------------------------------------------------------------------
     # evaluation
 
     def run(
-        self, source: str | Iterable[Event], validate: bool = True
+        self,
+        source: str | Iterable[Event],
+        validate: bool = True,
+        on_error: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+        report: ErrorReport | None = None,
+        require_end: bool | None = None,
     ) -> Iterator[Match]:
         """Evaluate the query against a stream, yielding matches lazily.
 
@@ -124,25 +157,98 @@ class SpexEngine:
             validate: check stream well-formedness on the fly (a single
                 O(depth) stack); malformed input raises
                 :class:`~repro.errors.StreamError` instead of silently
-                confusing the transducer stacks.  Note the end-of-stream
-                check is skipped — unbounded streams never end.
+                confusing the transducer stacks.
+            on_error: recovery policy (see
+                :class:`repro.xmlstream.RecoveryPolicy`).  ``"strict"``
+                (default) raises at the first violation.  ``"skip"`` and
+                ``"repair"`` treat the source as a sequence of
+                documents, evaluate each with a fresh network, and
+                survive malformed documents and resource-limit hits: the
+                poisoned document yields an error record in ``report``
+                instead of killing the run.  Under these policies
+                matches are delivered per document (positions restart at
+                each ``<$>``) and a document's matches are withheld
+                until the whole document is known good — the
+                quarantine guarantee costs within-document
+                progressiveness.
+            report: receives per-document
+                :class:`~repro.xmlstream.ErrorRecord` entries and
+                recovery counters; also readable afterwards via
+                :attr:`stats`.
+            require_end: raise when the stream ends mid-document.
+                ``None`` (default) auto-detects: finite sources (XML
+                text, file paths) require a proper end — a truncated
+                file no longer passes silently — while live event
+                iterables keep prefix semantics.
 
         Yields:
             :class:`Match` objects in document order, each as soon as the
-            stream prefix read so far decides it.
+            stream prefix read so far decides it (strict mode) or as
+            soon as its document is known good (skip/repair).
         """
+        policy = as_policy(on_error)
+        if require_end is None:
+            # Finite sources (text/files) end; every truncation there is
+            # an error.  Event iterables may be live/unbounded, where a
+            # finite read is just a prefix.
+            require_end = isinstance(source, (str, os.PathLike))
+        self._last_report = report if report is not None else ErrorReport()
+        if policy is not RecoveryPolicy.STRICT:
+            yield from self._run_recovering(
+                source, policy, self._last_report, require_end
+            )
+            return
         network, store = compile_network(
             self.query,
             collect_events=self.collect_events,
             optimize=self.optimize,
+            limits=self.limits,
         )
         self._last_network = network
         self._last_store = store
         events = iter_events(source)
         if validate:
-            events = checked(events, require_end=False)
+            events = checked(events, require_end=require_end)
         for event in events:
             yield from network.process_event(event)
+
+    def _run_recovering(
+        self,
+        source: str | Iterable[Event],
+        policy: RecoveryPolicy,
+        report: ErrorReport,
+        require_end: bool,
+    ) -> Iterator[Match]:
+        """Document-wise evaluation behind a recovery policy.
+
+        Every recovered document gets a fresh network (so a poisoned
+        document cannot corrupt transducer state for its successors) and
+        its matches are buffered until the document completes; a
+        :class:`~repro.errors.ResourceLimitError` mid-document discards
+        that document's matches and files a ``"limit"`` record.
+        """
+        events = iter_events(source)
+        for document in recovered_documents(
+            events, policy, report, require_end=require_end
+        ):
+            network, store = compile_network(
+                self.query,
+                collect_events=self.collect_events,
+                optimize=self.optimize,
+                limits=self.limits,
+            )
+            self._last_network = network
+            self._last_store = store
+            matches: list[Match] = []
+            doc_index = report.documents_seen - 1
+            try:
+                for event in document:
+                    matches.extend(network.process_event(event))
+            except ResourceLimitError as exc:
+                report.add(doc_index, str(exc), "limit")
+                report.documents_skipped += 1
+                continue
+            yield from matches
 
     def evaluate(self, source: str | Iterable[Event]) -> list[Match]:
         """Evaluate eagerly and return all matches."""
@@ -186,6 +292,11 @@ class SpexEngine:
         if self._last_store is not None:
             stats.condition_variables = self._last_store.total_variables
             stats.peak_live_variables = self._last_store.peak_live_variables
+        if self._last_report is not None:
+            stats.documents_skipped = self._last_report.documents_skipped
+            stats.events_repaired = self._last_report.events_repaired
+            stats.limit_hits = self._last_report.limit_hits
+        stats.limit_hits += stats.output.candidates_evicted
         return stats
 
     def describe_network(self) -> str:

@@ -23,10 +23,19 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping
 
 from ..conditions.store import ConditionStore, VariableAllocator
+from ..errors import ResourceLimitError
+from ..limits import ResourceLimits
 from ..rpeq.ast import Concat, Rpeq
 from ..rpeq.parser import parse
 from ..xmlstream.events import Event
 from ..xmlstream.parser import iter_events
+from ..xmlstream.recovery import (
+    ErrorReport,
+    RecoveryPolicy,
+    as_policy,
+    recovered_documents,
+    recovering,
+)
 from .compiler import _Compiler, compile_network
 from .network import Network
 from .output_tx import Match, OutputTransducer
@@ -40,6 +49,7 @@ class MultiQueryEngine:
         self,
         queries: Mapping[str, str | Rpeq] | Iterable[str],
         collect_events: bool = False,
+        limits: ResourceLimits | None = None,
     ) -> None:
         """Register subscription queries.
 
@@ -50,6 +60,10 @@ class MultiQueryEngine:
             collect_events: whether matches should carry event fragments;
                 off by default, as SDI workloads usually need match
                 notifications, not reconstructed fragments.
+            limits: resource guards applied to every network (see
+                :class:`repro.limits.ResourceLimits`) — on a shared
+                SDI pass, the defense that keeps one depth-bomb document
+                from taking every subscription down with it.
         """
         if isinstance(queries, Mapping):
             items = list(queries.items())
@@ -60,42 +74,138 @@ class MultiQueryEngine:
             for query_id, query in items
         }
         self.collect_events = collect_events
+        self.limits = limits
 
     def __len__(self) -> int:
         return len(self.queries)
 
-    def run(self, source: str | Iterable[Event]) -> Iterator[tuple[str, Match]]:
-        """Evaluate all queries in one pass; yield matches progressively."""
-        networks = {
-            query_id: compile_network(query, collect_events=self.collect_events)[0]
+    def _compile_all(self) -> dict[str, Network]:
+        return {
+            query_id: compile_network(
+                query, collect_events=self.collect_events, limits=self.limits
+            )[0]
             for query_id, query in self.queries.items()
         }
-        for event in iter_events(source):
+
+    def run(
+        self,
+        source: str | Iterable[Event],
+        on_error: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+        report: ErrorReport | None = None,
+    ) -> Iterator[tuple[str, Match]]:
+        """Evaluate all queries in one pass; yield matches progressively.
+
+        With ``on_error="skip"``/``"repair"`` the source is treated as a
+        sequence of documents; a malformed document (or one that trips a
+        resource limit) files a per-document record in ``report`` and
+        the pass continues with the next document, fresh networks and
+        all — one poisoned subscriber document no longer kills the
+        shared pipeline.
+        """
+        policy = as_policy(on_error)
+        if policy is not RecoveryPolicy.STRICT:
+            yield from self._run_recovering(source, policy, report)
+            return
+        networks = self._compile_all()
+        # Strict runs validate on the fly, so malformed input raises the
+        # documented StreamError instead of silently confusing every
+        # subscription's transducer stacks at once.
+        events = recovering(
+            iter_events(source), RecoveryPolicy.STRICT, require_end=False
+        )
+        for event in events:
             for query_id, network in networks.items():
                 for match in network.process_event(event):
                     yield query_id, match
 
-    def evaluate(self, source: str | Iterable[Event]) -> dict[str, list[Match]]:
+    def _run_recovering(
+        self,
+        source: str | Iterable[Event],
+        policy: RecoveryPolicy,
+        report: ErrorReport | None,
+    ) -> Iterator[tuple[str, Match]]:
+        report = report if report is not None else ErrorReport()
+        for document in recovered_documents(iter_events(source), policy, report):
+            networks = self._compile_all()
+            matches: list[tuple[str, Match]] = []
+            doc_index = report.documents_seen - 1
+            try:
+                for event in document:
+                    for query_id, network in networks.items():
+                        for match in network.process_event(event):
+                            matches.append((query_id, match))
+            except ResourceLimitError as exc:
+                report.add(doc_index, str(exc), "limit")
+                report.documents_skipped += 1
+                continue
+            yield from matches
+
+    def evaluate(
+        self,
+        source: str | Iterable[Event],
+        on_error: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+        report: ErrorReport | None = None,
+    ) -> dict[str, list[Match]]:
         """All matches per query, eagerly."""
         results: dict[str, list[Match]] = {query_id: [] for query_id in self.queries}
-        for query_id, match in self.run(source):
+        for query_id, match in self.run(source, on_error=on_error, report=report):
             results[query_id].append(match)
         return results
 
-    def filter_documents(self, source: str | Iterable[Event]) -> dict[str, bool]:
-        """Boolean matching: which subscriptions does the document match?
+    def filter_documents(
+        self,
+        source: str | Iterable[Event],
+        on_error: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+        report: ErrorReport | None = None,
+    ) -> dict[str, bool]:
+        """Boolean matching: which subscriptions does the stream match?
 
         Networks are dropped from the hot loop as soon as their query
         produces a first match, so highly selective subscription sets get
         cheaper as the document streams by.
+
+        Under ``on_error="skip"``/``"repair"`` a multi-document source
+        is evaluated document by document: malformed or limit-tripping
+        documents are recorded in ``report`` and excluded, and each
+        query's verdict is ``True`` iff it matched any *surviving*
+        document.
         """
+        policy = as_policy(on_error)
+        if policy is not RecoveryPolicy.STRICT:
+            report = report if report is not None else ErrorReport()
+            matched = {query_id: False for query_id in self.queries}
+            for document in recovered_documents(
+                iter_events(source), policy, report
+            ):
+                doc_index = report.documents_seen - 1
+                try:
+                    verdicts = self._filter_one(document)
+                except ResourceLimitError as exc:
+                    report.add(doc_index, str(exc), "limit")
+                    report.documents_skipped += 1
+                    continue
+                for query_id, hit in verdicts.items():
+                    matched[query_id] = matched[query_id] or hit
+                if all(matched.values()):
+                    break
+            return matched
+        return self._filter_one(
+            recovering(
+                iter_events(source), RecoveryPolicy.STRICT, require_end=False
+            )
+        )
+
+    def _filter_one(self, events: Iterable[Event]) -> dict[str, bool]:
+        """One first-match-short-circuit boolean pass over ``events``."""
         networks = {
-            query_id: compile_network(query, collect_events=False)[0]
+            query_id: compile_network(
+                query, collect_events=False, limits=self.limits
+            )[0]
             for query_id, query in self.queries.items()
         }
         matched: dict[str, bool] = {query_id: False for query_id in self.queries}
         live = dict(networks)
-        for event in iter_events(source):
+        for event in events:
             if not live:
                 break
             done: list[str] = []
@@ -108,7 +218,10 @@ class MultiQueryEngine:
         return matched
 
     def filter_stream(
-        self, source: Iterable[Event]
+        self,
+        source: Iterable[Event],
+        on_error: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+        report: ErrorReport | None = None,
     ) -> Iterator[dict[str, bool]]:
         """SDI over a *sequence* of documents on one connection.
 
@@ -116,11 +229,29 @@ class MultiQueryEngine:
         :func:`repro.xmlstream.split_documents`) and yields, per
         document, the boolean match verdict of every subscription — the
         routing decision the paper's Sec. I scenario needs.
-        """
-        from ..xmlstream.documents import split_documents
 
-        for document in split_documents(iter_events(source)):
-            yield self.filter_documents(document)
+        With a non-strict ``on_error`` policy, documents the recovery
+        layer quarantines (and documents that trip a resource limit)
+        yield no verdict; their error records land in ``report`` and the
+        connection keeps flowing.
+        """
+        policy = as_policy(on_error)
+        if policy is RecoveryPolicy.STRICT:
+            from ..xmlstream.documents import split_documents
+
+            for document in split_documents(iter_events(source)):
+                yield self._filter_one(document)
+            return
+        report = report if report is not None else ErrorReport()
+        for document in recovered_documents(
+            iter_events(source), policy, report, require_end=False
+        ):
+            doc_index = report.documents_seen - 1
+            try:
+                yield self._filter_one(document)
+            except ResourceLimitError as exc:
+                report.add(doc_index, str(exc), "limit")
+                report.documents_skipped += 1
 
 
 def _spine(expr: Rpeq) -> list[Rpeq]:
@@ -156,6 +287,7 @@ class SharedNetworkEngine:
         self,
         queries: Mapping[str, str | Rpeq] | Iterable[str],
         collect_events: bool = False,
+        limits: ResourceLimits | None = None,
     ) -> None:
         if isinstance(queries, Mapping):
             items = list(queries.items())
@@ -166,6 +298,7 @@ class SharedNetworkEngine:
             for query_id, query in items
         }
         self.collect_events = collect_events
+        self.limits = limits
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -175,7 +308,7 @@ class SharedNetworkEngine:
         store = ConditionStore()
         allocator = VariableAllocator()
         source = InputTransducer()
-        network = Network(source, sink=None)
+        network = Network(source, sink=None, limits=self.limits)
         compiler = _Compiler(network, allocator, store)
         # Trie of compiled step prefixes: maps (id of tape transducer,
         # step AST) -> tape after that step.
@@ -190,7 +323,9 @@ class SharedNetworkEngine:
                     next_tape, _owned = compiler.compile(step, tape)
                     compiled[key] = next_tape
                 tape = next_tape
-            sink = OutputTransducer(store, collect_events=self.collect_events)
+            sink = OutputTransducer(
+                store, collect_events=self.collect_events, limits=self.limits
+            )
             sink.name = f"OU({query_id})"
             network.add(sink, tape)
             sinks[query_id] = sink

@@ -14,11 +14,19 @@ complexity experiments.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from ..errors import EngineError
-from ..xmlstream.events import Event
+from ..errors import EngineError, ResourceLimitError
+from ..limits import ResourceLimits
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+)
 from .flow_transducers import JoinTransducer
 from .messages import Doc, Message
 from .output_tx import Match, OutputTransducer
@@ -49,15 +57,26 @@ class NetworkStats:
 class Network:
     """A wired SPEX network, ready to consume one stream."""
 
-    def __init__(self, source: InputTransducer, sink: OutputTransducer | None = None) -> None:
+    def __init__(
+        self,
+        source: InputTransducer,
+        sink: OutputTransducer | None = None,
+        limits: ResourceLimits | None = None,
+    ) -> None:
         """Create a network rooted at ``source``.
 
         ``sink`` is the network's primary output transducer; multi-sink
         networks (conjunctive queries, Sec. VII) pass ``None`` and drain
-        their output transducers directly.
+        their output transducers directly.  ``limits`` (when set and not
+        unbounded) arms the per-event resource guards — depth, formula
+        size and per-document event/time budgets.
         """
         self.source = source
         self.sink = sink
+        self.limits = limits if limits is not None and not limits.unbounded else None
+        self._depth = 0
+        self._doc_events = 0
+        self._doc_deadline: float | None = None
         #: set by the compiler; drives deferred variable release at the
         #: end of every event (see ConditionStore.end_of_event)
         self.condition_store = None
@@ -152,10 +171,18 @@ class Network:
     # execution
 
     def process_event(self, event: Event) -> list[Match]:
-        """Push one stream event through the network; return new matches."""
+        """Push one stream event through the network; return new matches.
+
+        Raises:
+            ResourceLimitError: a configured :class:`ResourceLimits`
+                bound (depth, per-document events/time, formula size)
+                was exceeded by this event.
+        """
         if not self._finalized:
             raise EngineError("network not finalized")
         self._events += 1
+        if self.limits is not None:
+            self._guard(event)
         outputs: list[list[Message]] = [None] * len(self._nodes)  # type: ignore[list-item]
         outputs[0] = self.source.feed([Doc(event)])
         slot = 1
@@ -165,6 +192,8 @@ class Network:
             else:
                 outputs[slot] = node.feed(outputs[left])
             slot += 1
+        if self.limits is not None and self.limits.max_formula_size is not None:
+            self._guard_formula_size()
         if self.condition_store is not None:
             self.condition_store.end_of_event()
         sink = self.sink
@@ -173,6 +202,63 @@ class Network:
         matches = list(sink.results)
         sink.results.clear()
         return matches
+
+    def _guard(self, event: Event) -> None:
+        """Enforce depth and per-document budgets before the event runs.
+
+        Rejecting the event *before* it reaches any transducer keeps
+        every per-transducer stack within ``max_depth`` — the defense
+        against billion-laughs-style depth bombs the paper's ``d``-bound
+        memory analysis makes predictable.
+        """
+        limits = self.limits
+        cls = event.__class__
+        if cls is StartDocument:
+            self._doc_events = 0
+            if limits.max_seconds_per_document is not None:
+                self._doc_deadline = (
+                    time.monotonic() + limits.max_seconds_per_document
+                )
+        self._doc_events += 1
+        if (
+            limits.max_events_per_document is not None
+            and self._doc_events > limits.max_events_per_document
+        ):
+            raise ResourceLimitError(
+                f"document exceeded {limits.max_events_per_document} events",
+                limit="max_events_per_document",
+                observed=self._doc_events,
+            )
+        if cls is StartElement or cls is StartDocument:
+            self._depth += 1
+            if limits.max_depth is not None and self._depth > limits.max_depth:
+                raise ResourceLimitError(
+                    f"stream depth {self._depth} exceeds limit {limits.max_depth}",
+                    limit="max_depth",
+                    observed=self._depth,
+                )
+        elif cls is EndElement or cls is EndDocument:
+            if self._depth > 0:
+                self._depth -= 1
+        if self._doc_deadline is not None and time.monotonic() > self._doc_deadline:
+            raise ResourceLimitError(
+                f"document exceeded {limits.max_seconds_per_document}s wall clock",
+                limit="max_seconds_per_document",
+                observed=limits.max_seconds_per_document,
+            )
+
+    def _guard_formula_size(self) -> None:
+        """Enforce the σ ceiling after the event's message batch settled."""
+        ceiling = self.limits.max_formula_size
+        for node in self._nodes:
+            size = node.stats.max_formula_size
+            if size > ceiling:
+                raise ResourceLimitError(
+                    f"{node.name}: condition formula size {size} exceeds "
+                    f"limit {ceiling}",
+                    limit="max_formula_size",
+                    observed=size,
+                )
 
     def run(self, events: Iterable[Event]) -> Iterator[Match]:
         """Evaluate a whole stream, yielding matches as they complete."""

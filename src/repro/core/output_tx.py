@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 from ..conditions.formula import FALSE, TRUE, Formula, Var, substitute
 from ..conditions.store import ConditionStore
+from ..errors import ResourceLimitError
+from ..limits import DROP_OLDEST, ResourceLimits
 from ..xmlstream.events import (
     DOCUMENT_LABEL,
     EndDocument,
@@ -112,6 +114,10 @@ class OutputStats:
     Attributes:
         candidates_created: total result candidates seen.
         candidates_dropped: candidates whose formula resolved false.
+        candidates_evicted: candidates sacrificed by the
+            ``drop_oldest`` overflow policy (each is a potential match
+            lost to the buffer ceiling; see :class:`repro.limits.
+            ResourceLimits`).
         peak_buffered_events: worst-case size of the shared event log —
             the paper's ``S_OU`` (linear in the stream only when
             undetermined candidates force buffering).
@@ -120,6 +126,7 @@ class OutputStats:
 
     candidates_created: int = 0
     candidates_dropped: int = 0
+    candidates_evicted: int = 0
     peak_buffered_events: int = 0
     peak_pending_candidates: int = 0
 
@@ -129,9 +136,23 @@ class OutputTransducer(Transducer):
 
     kind = "OU"
 
-    def __init__(self, store: ConditionStore, collect_events: bool = True) -> None:
+    def __init__(
+        self,
+        store: ConditionStore,
+        collect_events: bool = True,
+        limits: ResourceLimits | None = None,
+    ) -> None:
         super().__init__("OU")
         self._store = store
+        self._limits = (
+            limits
+            if limits is not None
+            and (
+                limits.max_buffered_events is not None
+                or limits.max_pending_candidates is not None
+            )
+            else None
+        )
         # Determinations are broadcast by the store so every sink of a
         # multi-sink network reacts, no matter which sink's message
         # triggered the resolution; the retainer blocks variable release
@@ -240,6 +261,12 @@ class OutputTransducer(Transducer):
         if candidate.state != "dropped":
             self._queue.append(candidate)
             self._live += 1
+            if (
+                self._limits is not None
+                and self._limits.max_pending_candidates is not None
+                and self._live > self._limits.max_pending_candidates
+            ):
+                self._enforce_buffer_limits()
             if self._live > self.output_stats.peak_pending_candidates:
                 self.output_stats.peak_pending_candidates = self._live
         return candidate
@@ -307,8 +334,93 @@ class OutputTransducer(Transducer):
             self._log.clear()
             return
         self._log.append(event)
+        if (
+            self._limits is not None
+            and self._limits.max_buffered_events is not None
+            and len(self._log) > self._limits.max_buffered_events
+        ):
+            self._enforce_buffer_limits()
         if len(self._log) > self.output_stats.peak_buffered_events:
             self.output_stats.peak_buffered_events = len(self._log)
+
+    # ------------------------------------------------------------------
+    # resource guards
+
+    def _enforce_buffer_limits(self) -> None:
+        """React to a buffer ceiling: raise, or evict oldest candidates.
+
+        Under ``drop_oldest`` the oldest undecided candidate is
+        sacrificed (a potential match lost, counted in
+        ``candidates_evicted``) and the log prefix only it needed is
+        reclaimed, until both buffers are back under their ceilings.
+        """
+        limits = self._limits
+        if limits.on_buffer_overflow != DROP_OLDEST:
+            if (
+                limits.max_buffered_events is not None
+                and len(self._log) > limits.max_buffered_events
+            ):
+                raise ResourceLimitError(
+                    f"buffered events {len(self._log)} exceed limit "
+                    f"{limits.max_buffered_events}",
+                    limit="max_buffered_events",
+                    observed=len(self._log),
+                )
+            raise ResourceLimitError(
+                f"pending candidates {self._live} exceed limit "
+                f"{limits.max_pending_candidates}",
+                limit="max_pending_candidates",
+                observed=self._live,
+            )
+        while True:
+            over_events = (
+                limits.max_buffered_events is not None
+                and len(self._log) > limits.max_buffered_events
+            )
+            over_candidates = (
+                limits.max_pending_candidates is not None
+                and self._live > limits.max_pending_candidates
+            )
+            if not (over_events or over_candidates):
+                return
+            if not self._evict_oldest():
+                return
+
+    def _evict_oldest(self) -> bool:
+        """Drop the oldest live candidate; ``False`` when none remain."""
+        evicted = False
+        while self._queue:
+            candidate = self._queue.popleft()
+            if candidate.state == "dropped":
+                continue  # regular drop, already accounted
+            candidate.state = "dropped"
+            self._live -= 1
+            self.output_stats.candidates_evicted += 1
+            for var in candidate.formula.variables():
+                watchers = self._watchers.get(var)
+                if watchers is not None:
+                    watchers.discard(candidate)
+                    if not watchers:
+                        del self._watchers[var]
+            evicted = True
+            break
+        self._resync_log()
+        return evicted
+
+    def _resync_log(self) -> None:
+        """Reclaim the log prefix no surviving candidate references."""
+        if not self._collect_events:
+            return
+        while self._queue and self._queue[0].state == "dropped":
+            self._queue.popleft()
+        if not self._queue:
+            self._log.clear()
+            self._log_start = self._gidx + 1
+            return
+        dead = self._queue[0].start_gidx - self._log_start
+        if dead > 0:
+            del self._log[:dead]
+            self._log_start += dead
 
     def _trim_log(self) -> None:
         if not self._collect_events or not self._log:

@@ -44,6 +44,22 @@ class StreamError(ReproError):
     """
 
 
+class ResourceLimitError(ReproError):
+    """A configured :class:`~repro.limits.ResourceLimits` bound was exceeded.
+
+    Raised by the network (stream depth, per-document event/time budgets,
+    formula size σ) and by the output transducer (buffered events, pending
+    candidates) when the limits policy is ``"raise"``.  The ``limit`` and
+    ``observed`` attributes identify which guard fired and the value that
+    tripped it, so callers can log actionable per-document error records.
+    """
+
+    def __init__(self, message: str, limit: str | None = None, observed: int | float | None = None) -> None:
+        super().__init__(message)
+        self.limit = limit
+        self.observed = observed
+
+
 class EngineError(ReproError):
     """Internal evaluation invariant violated.
 

@@ -1,0 +1,103 @@
+"""Resource guards for evaluation over untrusted streams.
+
+The paper's complexity results (Theorems VI.1/VI.2) make SPEX's resource
+profile *predictable*: memory is bounded by stream depth ``d`` times
+formula size ``σ`` plus whatever the output transducer must buffer.  On a
+shared service those same quantities are attack surface — a
+billion-laughs-style depth bomb inflates every per-transducer stack, a
+qualifier-heavy query over adversarial input inflates σ, and a stream
+that never determines its conditions forces the output transducer to
+buffer without end.  :class:`ResourceLimits` turns each predictable
+quantity into an enforceable ceiling.
+
+Enforcement points:
+
+* :meth:`repro.core.network.Network.process_event` — ``max_depth``,
+  ``max_events_per_document``, ``max_seconds_per_document`` and
+  ``max_formula_size``;
+* :class:`repro.core.output_tx.OutputTransducer` —
+  ``max_buffered_events`` and ``max_pending_candidates``, either raising
+  :class:`~repro.errors.ResourceLimitError` or, under the
+  ``"drop_oldest"`` overflow policy, evicting the oldest undecided
+  candidate so the run degrades (loses the oldest potential match)
+  instead of dying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Overflow policies for the output transducer's buffers.
+RAISE = "raise"
+DROP_OLDEST = "drop_oldest"
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Ceilings on every unbounded resource of a streaming run.
+
+    All limits default to ``None`` (unlimited), so ``ResourceLimits()``
+    is a no-op and the hot path pays nothing unless a bound is set.
+
+    Attributes:
+        max_depth: maximum open-element nesting depth of the stream
+            (``d`` in the paper's analysis); guards every per-transducer
+            stack at once.
+        max_formula_size: maximum condition-formula size (the paper's σ)
+            observed by any transducer.
+        max_buffered_events: ceiling on the output transducer's shared
+            event log (the paper's ``S_OU``).
+        max_pending_candidates: ceiling on undecided result candidates.
+        max_events_per_document: per-document event budget; reset at
+            every ``<$>``.
+        max_seconds_per_document: per-document wall-clock budget; reset
+            at every ``<$>``.
+        on_buffer_overflow: ``"raise"`` (default) aborts the run with
+            :class:`~repro.errors.ResourceLimitError`; ``"drop_oldest"``
+            evicts the oldest pending candidate (and the log prefix only
+            it needed), trading the oldest potential match for bounded
+            memory.
+    """
+
+    max_depth: int | None = None
+    max_formula_size: int | None = None
+    max_buffered_events: int | None = None
+    max_pending_candidates: int | None = None
+    max_events_per_document: int | None = None
+    max_seconds_per_document: float | None = None
+    on_buffer_overflow: str = RAISE
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_depth",
+            "max_formula_size",
+            "max_buffered_events",
+            "max_pending_candidates",
+            "max_events_per_document",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if (
+            self.max_seconds_per_document is not None
+            and self.max_seconds_per_document <= 0
+        ):
+            raise ValueError("max_seconds_per_document must be positive")
+        if self.on_buffer_overflow not in (RAISE, DROP_OLDEST):
+            raise ValueError(
+                f"on_buffer_overflow must be {RAISE!r} or {DROP_OLDEST!r}, "
+                f"got {self.on_buffer_overflow!r}"
+            )
+
+    @property
+    def unbounded(self) -> bool:
+        """``True`` when no limit is set (the hot path can skip checks)."""
+        return (
+            self.max_depth is None
+            and self.max_formula_size is None
+            and self.max_buffered_events is None
+            and self.max_pending_candidates is None
+            and self.max_events_per_document is None
+            and self.max_seconds_per_document is None
+        )

@@ -20,7 +20,16 @@ from .events import (
     tags_from_events,
 )
 from .documents import concat_documents, count_documents, split_documents
+from .faults import FAULT_KINDS, Fault, FaultInjector
 from .parser import iter_events, parse_file, parse_stream, parse_string
+from .recovery import (
+    ErrorRecord,
+    ErrorReport,
+    RecoveryPolicy,
+    as_policy,
+    recovered_documents,
+    recovering,
+)
 from .serializer import serialize, write_events
 from .stats import StreamStats, measure, observed
 from .tree import Document, Node, build_document
@@ -31,12 +40,19 @@ __all__ = [
     "Document",
     "EndDocument",
     "EndElement",
+    "ErrorRecord",
+    "ErrorReport",
     "Event",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
     "Node",
+    "RecoveryPolicy",
     "StartDocument",
     "StartElement",
     "StreamStats",
     "Text",
+    "as_policy",
     "build_document",
     "checked",
     "concat_documents",
@@ -51,6 +67,8 @@ __all__ = [
     "parse_file",
     "parse_stream",
     "parse_string",
+    "recovered_documents",
+    "recovering",
     "serialize",
     "split_documents",
     "tags_from_events",

@@ -1,0 +1,200 @@
+"""Seeded fault injection for robustness testing.
+
+The recovery layer (:mod:`repro.xmlstream.recovery`) and the resource
+guards (:mod:`repro.limits`) claim that no corrupted stream can hang the
+engine, crash it with anything but the documented errors, or silently
+change results on clean documents.  :class:`FaultInjector` manufactures
+the corrupted streams those claims are tested against: every corruption
+is seeded and therefore reproducible from its ``(seed, kind)`` pair, so
+a failing soak trial can be replayed exactly.
+
+All injectors are pure — they take an event list and return a new one,
+annotated with a :class:`Fault` describing what was done where.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
+
+#: Every corruption kind :meth:`FaultInjector.corrupt` can pick from.
+FAULT_KINDS = (
+    "truncate",
+    "drop_tag",
+    "duplicate_tag",
+    "swap_tags",
+    "interleave_garbage",
+    "flip_label",
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Provenance of one injected corruption.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        index: event offset at which the corruption was applied.
+        detail: human-readable description (for soak-failure replay).
+    """
+
+    kind: str
+    index: int
+    detail: str
+
+
+class FaultInjector:
+    """Deterministic stream corrupter.
+
+    Args:
+        seed: seeds the private :class:`random.Random`; two injectors
+            with the same seed apply identical corruptions.
+        labels: label pool for garbage tags and label flips.
+    """
+
+    def __init__(self, seed: int = 0, labels: Sequence[str] = ("a", "b", "c", "zz")) -> None:
+        self.rng = random.Random(seed)
+        self.labels = tuple(labels)
+
+    # ------------------------------------------------------------------
+    # individual faults
+
+    def truncate(self, events: Iterable[Event]) -> tuple[list[Event], Fault]:
+        """Cut the stream mid-document (a dropped connection)."""
+        stream = list(events)
+        if len(stream) < 2:
+            return stream, Fault("truncate", len(stream), "stream too short to cut")
+        cut = self.rng.randrange(1, len(stream))
+        return stream[:cut], Fault("truncate", cut, f"cut after {cut} of {len(stream)} events")
+
+    def drop_tag(self, events: Iterable[Event]) -> tuple[list[Event], Fault]:
+        """Delete one structural event (lost packet)."""
+        stream = list(events)
+        index = self._pick_structural(stream)
+        if index is None:
+            return self.truncate(stream)
+        dropped = stream[index]
+        return (
+            stream[:index] + stream[index + 1 :],
+            Fault("drop_tag", index, f"dropped {dropped} at {index}"),
+        )
+
+    def duplicate_tag(self, events: Iterable[Event]) -> tuple[list[Event], Fault]:
+        """Replay one structural event (retransmission bug)."""
+        stream = list(events)
+        index = self._pick_structural(stream)
+        if index is None:
+            return self.truncate(stream)
+        duplicated = stream[index]
+        return (
+            stream[: index + 1] + [duplicated] + stream[index + 1 :],
+            Fault("duplicate_tag", index, f"duplicated {duplicated} at {index}"),
+        )
+
+    def swap_tags(self, events: Iterable[Event]) -> tuple[list[Event], Fault]:
+        """Swap two adjacent events (reordered delivery)."""
+        stream = list(events)
+        if len(stream) < 2:
+            return self.truncate(stream)
+        index = self.rng.randrange(0, len(stream) - 1)
+        stream[index], stream[index + 1] = stream[index + 1], stream[index]
+        return stream, Fault(
+            "swap_tags", index, f"swapped events {index} and {index + 1}"
+        )
+
+    def interleave_garbage(self, events: Iterable[Event]) -> tuple[list[Event], Fault]:
+        """Insert orphan tags or stray text (cross-talk on the wire)."""
+        stream = list(events)
+        index = self.rng.randrange(0, len(stream) + 1)
+        label = self.rng.choice(self.labels)
+        garbage: list[Event] = self.rng.choice(
+            [
+                [EndElement(label)],
+                [StartElement(label)],
+                [Text("\x00garbage\x00")],
+                [EndDocument()],
+                [StartElement(label), EndElement(label), EndElement(label)],
+            ]
+        )
+        return (
+            stream[:index] + garbage + stream[index:],
+            Fault(
+                "interleave_garbage",
+                index,
+                f"inserted {[str(g) for g in garbage]} at {index}",
+            ),
+        )
+
+    def flip_label(self, events: Iterable[Event]) -> tuple[list[Event], Fault]:
+        """Rename one tag (bit-flip / encoding corruption)."""
+        stream = list(events)
+        index = self._pick_structural(stream)
+        if index is None:
+            return self.truncate(stream)
+        event = stream[index]
+        assert isinstance(event, (StartElement, EndElement))
+        others = [l for l in self.labels if l != event.label] or [event.label + "x"]
+        new_label = self.rng.choice(others)
+        flipped: Event = (
+            StartElement(new_label, event.attributes)
+            if isinstance(event, StartElement)
+            else EndElement(new_label)
+        )
+        stream[index] = flipped
+        return stream, Fault(
+            "flip_label", index, f"{event} -> {flipped} at {index}"
+        )
+
+    # ------------------------------------------------------------------
+    # driver
+
+    def corrupt(
+        self, events: Iterable[Event], kind: str | None = None
+    ) -> tuple[list[Event], Fault]:
+        """Apply one corruption, randomly chosen unless ``kind`` is given.
+
+        Note that a corruption does not always break well-formedness
+        (dropping a :class:`Text` event, or swapping two independent
+        events, leaves a valid stream) — soak tests must branch on
+        :func:`~repro.xmlstream.validate.is_well_formed` rather than
+        assume every corrupted stream is rejected.
+        """
+        kind = kind if kind is not None else self.rng.choice(FAULT_KINDS)
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} (expected one of {FAULT_KINDS})")
+        return getattr(self, kind)(events)
+
+    def corrupt_document(
+        self,
+        documents: Sequence[Sequence[Event]],
+        victim: int,
+        kind: str | None = None,
+    ) -> tuple[list[Event], Fault]:
+        """Corrupt one document of a multi-document stream.
+
+        Returns the concatenated stream with only ``documents[victim]``
+        corrupted — the canonical SDI robustness scenario: one bad
+        subscriber document inside an otherwise healthy feed.
+        """
+        corrupted, fault = self.corrupt(list(documents[victim]), kind)
+        stream: list[Event] = []
+        for i, document in enumerate(documents):
+            stream.extend(corrupted if i == victim else document)
+        return stream, fault
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _pick_structural(self, stream: list[Event]) -> int | None:
+        """Index of a random element tag (not envelope, not text)."""
+        candidates = [
+            i
+            for i, event in enumerate(stream)
+            if isinstance(event, (StartElement, EndElement))
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)

@@ -88,6 +88,11 @@ def parse_stream(source: IO[bytes] | IO[str], keep_text: bool = True) -> Iterato
                 yield pending.popleft()
         parser.close()
     except xml.sax.SAXParseException as exc:
+        # Flush events parsed before the failure point first: a recovery
+        # layer downstream can then repair the readable prefix instead of
+        # losing the whole chunk.
+        while pending:
+            yield pending.popleft()
         raise StreamError(f"malformed XML: {exc}") from exc
     while pending:
         yield pending.popleft()

@@ -1,0 +1,378 @@
+"""Recovery policies for malformed multi-document streams.
+
+:func:`~repro.xmlstream.validate.checked` implements the paper's model:
+input is well-formed by assumption, and the first violation kills the
+run.  A dissemination service (paper Sec. I) cannot afford that — one
+truncated connection or one bad subscriber document must not poison a
+stream carrying thousands of other documents.  This module adds the
+production behaviours:
+
+* :data:`RecoveryPolicy.STRICT` — today's contract: raise
+  :class:`~repro.errors.StreamError` at the first violation (but, unlike
+  ``checked``, understands *multi-document* streams: a new ``<$>`` may
+  follow a ``</$>``).
+* :data:`RecoveryPolicy.SKIP_DOCUMENT` — quarantine the malformed
+  document: its events are withheld, an :class:`ErrorRecord` is filed,
+  and the stream resumes at the next ``<$>``.  Documents are buffered
+  until their ``</$>`` validates, so a bad document is never partially
+  emitted (memory: one document, not the stream).
+* :data:`RecoveryPolicy.REPAIR` — fix the stream in flight, without
+  buffering: unclosed tags are auto-closed on truncation (including a
+  :class:`~repro.errors.StreamError` raised by the underlying parser —
+  a truncated file repairs into its readable prefix), orphan and
+  mismatched end tags are dropped or resolved by closing the elements
+  above the matching open tag, and garbage between documents is
+  discarded.
+
+Every deviation is reported through an :class:`ErrorReport`, giving the
+caller the per-document error records the SDI scenario needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Iterator
+
+from ..errors import StreamError
+from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
+
+
+class RecoveryPolicy(Enum):
+    """What to do when a stream violates well-formedness."""
+
+    STRICT = "strict"
+    SKIP_DOCUMENT = "skip"
+    REPAIR = "repair"
+
+
+def as_policy(value: RecoveryPolicy | str) -> RecoveryPolicy:
+    """Coerce a policy name (``"strict"``/``"skip"``/``"repair"``)."""
+    if isinstance(value, RecoveryPolicy):
+        return value
+    try:
+        return RecoveryPolicy(value)
+    except ValueError:
+        names = ", ".join(p.value for p in RecoveryPolicy)
+        raise ValueError(f"unknown recovery policy {value!r} (expected one of {names})") from None
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One recovery event: what went wrong, where, and what was done.
+
+    Attributes:
+        document: 0-based index of the affected document in the stream
+            (``-1`` for garbage between documents).
+        message: human-readable description of the violation.
+        action: ``"skipped"`` (document quarantined), ``"repaired"``
+            (events synthesized/dropped in place), ``"dropped"``
+            (inter-document garbage discarded), or ``"limit"``
+            (a resource guard fired; filed by the engines).
+    """
+
+    document: int
+    message: str
+    action: str
+
+
+@dataclass
+class ErrorReport:
+    """Accumulating sink for recovery and resource-guard records.
+
+    Pass one instance to :func:`recovering` or to an engine's
+    ``on_error``-aware entry point; inspect it afterwards (or live,
+    through ``callback``) to learn what the run survived.
+    """
+
+    records: list[ErrorRecord] = field(default_factory=list)
+    documents_seen: int = 0
+    documents_skipped: int = 0
+    events_repaired: int = 0
+    events_dropped: int = 0
+    limit_hits: int = 0
+    callback: Callable[[ErrorRecord], None] | None = None
+
+    def add(self, document: int, message: str, action: str) -> ErrorRecord:
+        record = ErrorRecord(document, message, action)
+        self.records.append(record)
+        if action == "skipped":
+            self.documents_skipped += 1
+        elif action == "limit":
+            self.limit_hits += 1
+        if self.callback is not None:
+            self.callback(record)
+        return record
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the stream needed no intervention."""
+        return not self.records
+
+    def summary(self) -> str:
+        """One line suitable for a log or the CLI's stderr."""
+        return (
+            f"{self.documents_seen} document(s): "
+            f"{self.documents_skipped} skipped, "
+            f"{self.events_repaired} event(s) repaired, "
+            f"{self.events_dropped} dropped, "
+            f"{self.limit_hits} limit hit(s), "
+            f"{len(self.records)} error record(s)"
+        )
+
+
+_END_OF_STREAM = object()
+
+
+def recovering(
+    events: Iterable[Event],
+    policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+    report: ErrorReport | None = None,
+    require_end: bool = True,
+) -> Iterator[Event]:
+    """Yield a well-formed multi-document stream, per the chosen policy.
+
+    The output is guaranteed well-formed under ``SKIP_DOCUMENT`` and
+    ``REPAIR`` (every yielded document validates); under ``STRICT`` the
+    first violation raises :class:`~repro.errors.StreamError` exactly as
+    :func:`~repro.xmlstream.validate.checked` would, except that a
+    sequence of ``<$>…</$>`` envelopes is accepted.
+
+    A :class:`~repro.errors.StreamError` raised *by the source iterator
+    itself* (e.g. the SAX parser hitting a truncated file) is treated as
+    truncation: re-raised under ``STRICT``, quarantined under
+    ``SKIP_DOCUMENT``, auto-closed under ``REPAIR``.
+
+    Args:
+        events: the (possibly malformed, possibly multi-document) input.
+        policy: a :class:`RecoveryPolicy` or its string name.
+        report: receives :class:`ErrorRecord` entries and counters;
+            a throwaway report is used when ``None``.
+        require_end: treat end-of-input inside a document as an error.
+            Pass ``False`` for live sources, where every finite read is
+            a prefix; the trailing incomplete document is then silently
+            withheld (``SKIP_DOCUMENT``) or left unclosed (``REPAIR``
+            yields the open prefix unrepaired, mirroring ``checked``).
+    """
+    policy = as_policy(policy)
+    report = report if report is not None else ErrorReport()
+    source = iter(events)
+    strict = policy is RecoveryPolicy.STRICT
+    skip = policy is RecoveryPolicy.SKIP_DOCUMENT
+
+    pushback: list[Event] = []
+
+    def pull() -> object:
+        """Next source event, ``_END_OF_STREAM``, or a StreamError marker."""
+        if pushback:
+            return pushback.pop()
+        try:
+            return next(source)
+        except StopIteration:
+            return _END_OF_STREAM
+        except StreamError as exc:
+            if strict:
+                raise
+            return exc
+
+    doc = -1  # index of the current document
+    in_doc = False
+    stack: list[str] = []
+    buffer: list[Event] | None = None  # SKIP: events of the current document
+    garbage_reported = False  # one record per run of inter-document garbage
+
+    def emit(event: Event) -> Iterator[Event]:
+        if skip:
+            assert buffer is not None
+            buffer.append(event)
+            return iter(())
+        return iter((event,))
+
+    def quarantine(message: str) -> None:
+        """SKIP: discard the current document and resync to the next <$>."""
+        nonlocal in_doc, buffer
+        report.add(doc, message, "skipped")
+        buffer = None
+        in_doc = False
+        while True:
+            event = pull()
+            if event is _END_OF_STREAM:
+                return
+            if isinstance(event, StreamError):
+                return  # source is dead; nothing left to resync to
+            if isinstance(event, StartDocument):
+                pushback.append(event)
+                return
+            report.events_dropped += 1
+
+    while True:
+        event = pull()
+
+        if event is _END_OF_STREAM or isinstance(event, StreamError):
+            truncated_by_source = isinstance(event, StreamError)
+            if not in_doc:
+                if truncated_by_source:
+                    # The source died between documents (e.g. input that
+                    # is not XML at all): nothing to recover, but the
+                    # report must not read "ok".
+                    report.add(-1, f"source failed: {event}", "dropped")
+                return
+            if not require_end and not truncated_by_source:
+                # Prefix semantics: an open document on a live source is
+                # not an error — but a SKIP buffer is withheld (it never
+                # validated) while REPAIR has already yielded the prefix.
+                return
+            message = (
+                f"source failed mid-document: {event}"
+                if truncated_by_source
+                else f"stream ended before </$> ({len(stack)} unclosed element(s))"
+            )
+            if strict:
+                raise StreamError(message)
+            if skip:
+                report.add(doc, message, "skipped")
+                return
+            # REPAIR: auto-close the truncation.
+            report.add(doc, message, "repaired")
+            while stack:
+                report.events_repaired += 1
+                yield EndElement(stack.pop())
+            report.events_repaired += 1
+            yield EndDocument()
+            return
+
+        if not in_doc:
+            if isinstance(event, StartDocument):
+                doc += 1
+                report.documents_seen += 1
+                in_doc = True
+                stack = []
+                garbage_reported = False
+                if skip:
+                    buffer = [event]
+                else:
+                    yield event
+                continue
+            # Garbage between documents (or a missing <$>).
+            if strict:
+                raise StreamError(f"expected <$> between documents, got {event}")
+            if policy is RecoveryPolicy.REPAIR and isinstance(
+                event, (StartElement, Text)
+            ):
+                # Missing envelope open: synthesize it and re-process the
+                # event inside the new document.
+                doc += 1
+                report.documents_seen += 1
+                report.events_repaired += 1
+                report.add(doc, f"missing <$> before {event}", "repaired")
+                in_doc = True
+                stack = []
+                pushback.append(event)
+                yield StartDocument()
+                continue
+            report.events_dropped += 1
+            if not garbage_reported:
+                garbage_reported = True
+                report.add(-1, f"event {event} between documents", "dropped")
+            continue
+
+        # Inside a document.
+        if isinstance(event, StartElement):
+            stack.append(event.label)
+            yield from emit(event)
+        elif isinstance(event, Text):
+            yield from emit(event)
+        elif isinstance(event, EndElement):
+            if stack and stack[-1] == event.label:
+                stack.pop()
+                yield from emit(event)
+            elif event.label in stack:
+                message = f"</{event.label}> does not close <{stack[-1]}>"
+                if strict:
+                    raise StreamError(message)
+                if skip:
+                    quarantine(message)
+                    continue
+                # REPAIR: close the elements above the matching open tag.
+                report.add(doc, message, "repaired")
+                while stack[-1] != event.label:
+                    report.events_repaired += 1
+                    yield EndElement(stack.pop())
+                stack.pop()
+                yield event
+            else:
+                message = (
+                    f"</{event.label}> with no open element"
+                    if not stack
+                    else f"</{event.label}> matches no open element"
+                )
+                if strict:
+                    raise StreamError(message)
+                if skip:
+                    quarantine(message)
+                    continue
+                report.events_dropped += 1
+                report.add(doc, f"{message}; dropped", "repaired")
+        elif isinstance(event, EndDocument):
+            if stack:
+                message = f"</$> with unclosed elements {stack}"
+                if strict:
+                    raise StreamError(message)
+                if skip:
+                    quarantine(message)
+                    continue
+                report.add(doc, message, "repaired")
+                while stack:
+                    report.events_repaired += 1
+                    yield EndElement(stack.pop())
+            in_doc = False
+            if skip:
+                assert buffer is not None
+                buffer.append(event)
+                yield from buffer
+                buffer = None
+            else:
+                yield event
+        elif isinstance(event, StartDocument):
+            message = "duplicate <$>"
+            if strict:
+                raise StreamError(message)
+            if skip:
+                # The malformed document ends here; this <$> opens the
+                # next one.
+                report.add(doc, message, "skipped")
+                buffer = None
+                in_doc = False
+                pushback.append(event)
+                continue
+            report.events_dropped += 1
+            report.add(doc, f"{message}; dropped", "repaired")
+        else:  # pragma: no cover - event hierarchy is closed
+            raise StreamError(f"unknown event {event!r}")
+
+
+def recovered_documents(
+    events: Iterable[Event],
+    policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+    report: ErrorReport | None = None,
+    require_end: bool = True,
+) -> Iterator[Iterator[Event]]:
+    """Split a recovering stream into per-document event iterators.
+
+    Every yielded document is guaranteed well-formed under
+    ``SKIP_DOCUMENT``/``REPAIR``, so downstream per-document evaluation
+    cannot trip over the input.  The split is single-pass and buffers
+    one document at a time (memory: one document, not the stream), so
+    an unbounded multi-document feed is processed incrementally.  With
+    ``require_end=False`` a trailing incomplete document — a prefix of
+    a live stream — is withheld rather than yielded half-open.
+    """
+    recovered = recovering(events, policy, report, require_end=require_end)
+    document: list[Event] = []
+    for event in recovered:
+        document.append(event)
+        if isinstance(event, EndDocument):
+            yield iter(document)
+            document = []
+    # Anything left is an unterminated prefix (only possible with
+    # require_end=False): withheld, per prefix semantics.
