@@ -22,9 +22,18 @@ Public surface:
 * :mod:`repro.cq` — conjunctive queries over rpeq (paper Sec. VII).
 """
 
+from .core.checkpoint import Checkpoint
 from .core.engine import SpexEngine, evaluate
 from .core.output_tx import Match
+from .core.supervisor import (
+    StallError,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorReport,
+    supervise,
+)
 from .errors import (
+    CheckpointError,
     CompilationError,
     EngineError,
     QuerySyntaxError,
@@ -36,11 +45,14 @@ from .errors import (
 from .limits import ResourceLimits
 from .rpeq.parser import parse
 from .rpeq.xpath import xpath_to_rpeq
+from .xmlstream.offsets import StreamCursor
 from .xmlstream.recovery import ErrorRecord, ErrorReport, RecoveryPolicy
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointError",
     "CompilationError",
     "EngineError",
     "ErrorRecord",
@@ -52,10 +64,16 @@ __all__ = [
     "ResourceLimitError",
     "ResourceLimits",
     "SpexEngine",
+    "StallError",
+    "StreamCursor",
     "StreamError",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorReport",
     "UnsupportedFeatureError",
     "__version__",
     "evaluate",
     "parse",
+    "supervise",
     "xpath_to_rpeq",
 ]

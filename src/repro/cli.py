@@ -61,12 +61,70 @@ def _limits_from(args: argparse.Namespace) -> ResourceLimits | None:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     on_error = getattr(args, "on_error", "strict")
-    engine = SpexEngine(
-        args.query, collect_events=not args.count, limits=_limits_from(args)
-    )
-    report = ErrorReport()
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume = getattr(args, "resume", False)
+    supervisor = None
+    if checkpoint_dir is not None or resume:
+        import os
+
+        from .core.checkpoint import Checkpoint
+        from .core.supervisor import (
+            CHECKPOINT_FILENAME,
+            Supervisor,
+            SupervisorConfig,
+        )
+
+        if args.file is None:
+            print(
+                "error: --checkpoint-dir/--resume need a FILE argument "
+                "(stdin cannot be re-read on resume)",
+                file=sys.stderr,
+            )
+            return 2
+        if on_error != "strict":
+            print(
+                "error: checkpointing requires --on-error strict",
+                file=sys.stderr,
+            )
+            return 2
+        if resume and checkpoint_dir is None:
+            print(
+                "error: --resume needs --checkpoint-dir to find the "
+                "checkpoint file",
+                file=sys.stderr,
+            )
+            return 2
+        checkpoint = None
+        if resume:
+            checkpoint = Checkpoint.load(
+                os.path.join(checkpoint_dir, CHECKPOINT_FILENAME)
+            )
+            # Rebuild the engine exactly as the checkpoint requires, so
+            # resume compatibility is guaranteed.
+            engine = SpexEngine.from_checkpoint(
+                checkpoint, limits=_limits_from(args)
+            )
+        else:
+            engine = SpexEngine(
+                args.query, collect_events=not args.count, limits=_limits_from(args)
+            )
+        config = SupervisorConfig(
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_events=getattr(args, "checkpoint_every", None),
+        )
+        supervisor = Supervisor(engine, lambda: args.file, config=config)
+        matches = supervisor.run(checkpoint)
+        report = ErrorReport()
+    else:
+        engine = SpexEngine(
+            args.query, collect_events=not args.count, limits=_limits_from(args)
+        )
+        report = ErrorReport()
+        matches = engine.run(
+            _events_from(args.file), on_error=on_error, report=report
+        )
     matched = 0
-    for match in engine.run(_events_from(args.file), on_error=on_error, report=report):
+    for match in matches:
         matched += 1
         if not args.count:
             print(f"-- match {matched} (position {match.position}, <{match.label}>)")
@@ -80,6 +138,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(engine.stats.summary())
     if not report.ok:
         print(f"-- recovered: {report.summary()}", file=sys.stderr)
+    if supervisor is not None:
+        counters = engine.robustness
+        summary = supervisor.report
+        print(
+            f"-- recovery: {summary.connects} connect(s), "
+            f"{counters.retries} retr(y/ies), "
+            f"{counters.stalls_detected} stall(s), "
+            f"{counters.checkpoints_written} checkpoint(s) written, "
+            f"{counters.restores} restore(s)",
+            file=sys.stderr,
+        )
+        if summary.last_checkpoint_path is not None:
+            print(
+                f"-- checkpoint: {summary.last_checkpoint_path} "
+                f"(position {supervisor._checkpointed_position})",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -164,6 +239,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         dest="max_buffered",
         help="cap the output transducer's event buffer at N events",
+    )
+    query.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        dest="checkpoint_dir",
+        help="run supervised and keep a rolling, atomically-replaced "
+        "checkpoint file in DIR (requires FILE; strict mode only)",
+    )
+    query.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        metavar="N",
+        dest="checkpoint_every",
+        help="checkpoint every N processed events (with --checkpoint-dir)",
+    )
+    query.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir instead of "
+        "re-reading the stream from the start; the query and options "
+        "are restored from the checkpoint",
     )
     query.set_defaults(func=_cmd_query)
 

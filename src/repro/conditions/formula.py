@@ -176,6 +176,50 @@ def disj(*terms: Formula) -> Formula:
     return Or(unique)
 
 
+def formula_to_obj(formula: Formula) -> object:
+    """Stable, JSON-serializable form of a formula (checkpoint codec).
+
+    The encoding is positional and versioned implicitly by the checkpoint
+    format: constants become bare strings, a variable becomes
+    ``["v", uid, qualifier]``, connectives become ``["^"| "v-or", ...]``
+    with their terms in construction order (term order is semantically
+    irrelevant but keeping it makes round-trips byte-identical).
+    """
+    if formula is TRUE:
+        return "t"
+    if formula is FALSE:
+        return "f"
+    if isinstance(formula, Var):
+        return ["v", formula.uid, formula.qualifier]
+    if isinstance(formula, And):
+        return ["and", *(formula_to_obj(term) for term in formula.terms)]
+    if isinstance(formula, Or):
+        return ["or", *(formula_to_obj(term) for term in formula.terms)]
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def formula_from_obj(obj: object) -> Formula:
+    """Inverse of :func:`formula_to_obj`.
+
+    Constants decode to the :data:`TRUE`/:data:`FALSE` singletons so
+    downstream identity checks (``f is TRUE``) keep working after a
+    checkpoint round-trip.
+    """
+    if obj == "t":
+        return TRUE
+    if obj == "f":
+        return FALSE
+    if isinstance(obj, (list, tuple)) and obj:
+        tag = obj[0]
+        if tag == "v":
+            return Var(int(obj[1]), str(obj[2]))
+        if tag == "and":
+            return And(tuple(formula_from_obj(term) for term in obj[1:]))
+        if tag == "or":
+            return Or(tuple(formula_from_obj(term) for term in obj[1:]))
+    raise ValueError(f"not an encoded formula: {obj!r}")
+
+
 def evaluate(formula: Formula, lookup: Callable[[Var], bool | None]) -> bool | None:
     """Three-valued evaluation under partial variable knowledge.
 

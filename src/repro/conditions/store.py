@@ -26,12 +26,20 @@ re-evaluate exactly the candidates that could have changed.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import EngineError
-from .formula import FALSE, TRUE, Formula, Var, evaluate, substitute
+from .formula import (
+    FALSE,
+    TRUE,
+    Formula,
+    Var,
+    evaluate,
+    formula_from_obj,
+    formula_to_obj,
+    substitute,
+)
 
 
 class VariableAllocator:
@@ -42,11 +50,21 @@ class VariableAllocator:
     """
 
     def __init__(self) -> None:
-        self._counter = itertools.count(1)
+        self._next = 1
 
     def fresh(self, qualifier: str) -> Var:
         """Allocate the next variable for a qualifier instance."""
-        return Var(next(self._counter), qualifier)
+        var = Var(self._next, qualifier)
+        self._next += 1
+        return var
+
+    def snapshot(self) -> int:
+        """Next uid to allocate — resuming must not reuse earlier uids."""
+        return self._next
+
+    def restore(self, state: int) -> None:
+        """Continue allocating from a checkpointed counter."""
+        self._next = int(state)
 
 
 @dataclass
@@ -325,3 +343,60 @@ class ConditionStore:
         if state.closed and not any_unknown:
             return False
         return None
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def snapshot(self) -> dict:
+        """JSON-serializable snapshot of all determination state.
+
+        Listeners and retainers are *not* captured: they are runtime
+        wiring re-established when the network is compiled, not data.
+        The reverse-dependency index is derivable from the contribution
+        formulas and is rebuilt on :meth:`restore`.
+        """
+        return {
+            "states": [
+                [
+                    formula_to_obj(var),
+                    [formula_to_obj(c) for c in state.contributions],
+                    state.closed,
+                    state.value,
+                ]
+                for var, state in self._states.items()
+            ],
+            "release_pending": [
+                formula_to_obj(var) for var in self._release_pending
+            ],
+            "live": self._live,
+            "peak_live_variables": self.peak_live_variables,
+            "total_variables": self.total_variables,
+            "total_contributions": self.total_contributions,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Replace all determination state with a checkpointed snapshot.
+
+        Keeps the listener/retainer wiring installed at compile time
+        untouched — restore only swaps the data underneath it.
+        """
+        self._states = {}
+        self._dependents = {}
+        for var_obj, contributions, closed, value in data["states"]:
+            var = formula_from_obj(var_obj)
+            state = _VarState(
+                contributions=[formula_from_obj(c) for c in contributions],
+                closed=bool(closed),
+                value=value,
+            )
+            self._states[var] = state
+            for contribution in state.contributions:
+                for reference in contribution.variables():
+                    self._dependents.setdefault(reference, set()).add(var)
+        self._release_pending = {
+            formula_from_obj(obj) for obj in data["release_pending"]
+        }
+        self._live = int(data["live"])
+        self.peak_live_variables = int(data["peak_live_variables"])
+        self.total_variables = int(data["total_variables"])
+        self.total_contributions = int(data["total_contributions"])

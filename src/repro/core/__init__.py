@@ -4,8 +4,16 @@ This package is the paper's primary contribution — the streamed and
 progressive evaluation model of Sec. III.
 """
 
+from .checkpoint import CHECKPOINT_VERSION, Checkpoint
 from .compiler import compile_network
-from .engine import EngineStats, SpexEngine, evaluate
+from .engine import EngineStats, RobustnessCounters, SpexEngine, evaluate
+from .supervisor import (
+    StallError,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorReport,
+    supervise,
+)
 from .flow_transducers import JoinTransducer, SplitTransducer, UnionTransducer
 from .messages import Activation, Close, Contribute, Doc, Message
 from .network import Network, NetworkStats
@@ -28,6 +36,8 @@ from .transducer import Transducer, TransducerStats
 
 __all__ = [
     "Activation",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
     "ChildTransducer",
     "Close",
     "ClosureTransducer",
@@ -45,10 +55,15 @@ __all__ = [
     "NetworkStats",
     "OutputStats",
     "OutputTransducer",
+    "RobustnessCounters",
     "SharedNetworkEngine",
     "SpexEngine",
     "SplitTransducer",
+    "StallError",
     "StarTransducer",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorReport",
     "Tracer",
     "Transducer",
     "TransducerStats",
@@ -58,5 +73,6 @@ __all__ = [
     "VariableFilter",
     "compile_network",
     "evaluate",
+    "supervise",
     "trace_run",
 ]

@@ -21,7 +21,18 @@ reproduces them inside the transducer-network model:
 
 from __future__ import annotations
 
-from ..conditions.formula import FALSE, TRUE, Formula, Var, conj, disj, dnf, substitute
+from ..conditions.formula import (
+    FALSE,
+    TRUE,
+    Formula,
+    Var,
+    conj,
+    disj,
+    dnf,
+    formula_from_obj,
+    formula_to_obj,
+    substitute,
+)
 from ..conditions.store import ConditionStore, VariableAllocator
 from ..rpeq.ast import Label
 from ..xmlstream.events import EndDocument, EndElement, StartDocument, StartElement
@@ -117,6 +128,15 @@ class FollowingTransducer(Transducer):
                 formula if self._after is None else disj(self._after, formula)
             )
         return [message]
+
+    def _snapshot_extra(self) -> dict:
+        if self._after is None:
+            return {}
+        return {"after": formula_to_obj(self._after)}
+
+    def _restore_extra(self, extra: dict) -> None:
+        after = extra.get("after")
+        self._after = None if after is None else formula_from_obj(after)
 
 
 class PrecedingTransducer(Transducer):
@@ -242,3 +262,19 @@ class PrecedingTransducer(Transducer):
             self._closed_vars = []
         out.append(message)
         return out
+
+    def _snapshot_extra(self) -> dict:
+        extra: dict = {}
+        if self._closed_vars:
+            extra["closed_vars"] = [formula_to_obj(v) for v in self._closed_vars]
+        if self._unresolved:
+            extra["unresolved"] = [formula_to_obj(v) for v in self._unresolved]
+        return extra
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._closed_vars = [
+            formula_from_obj(obj) for obj in extra.get("closed_vars", [])
+        ]
+        self._unresolved = [
+            formula_from_obj(obj) for obj in extra.get("unresolved", [])
+        ]

@@ -1,0 +1,165 @@
+"""Durable, verifiable snapshots of in-flight streaming runs.
+
+The paper's complexity results are what make this layer cheap: per
+Theorems IV.2/VI.1 a SPEX run's state is a set of per-transducer stacks
+bounded by stream depth times formula size, plus the output transducer's
+candidate buffer — kilobytes for realistic queries, not the stream read
+so far.  A :class:`Checkpoint` captures exactly that state (every
+transducer stack, the condition store, the output candidates) together
+with the source position it corresponds to, so a crashed or deliberately
+stopped run can continue from the cut instead of re-reading from byte
+zero.
+
+Format: a single JSON document::
+
+    {
+      "version": 1,            # format version, checked on load
+      "kind": "spex",          # which engine wrote it ("spex"/"multiquery")
+      "payload": {...},        # engine-specific state (stable dict forms)
+      "checksum": "sha256:..." # over the canonical encoding of the rest
+    }
+
+The checksum makes corruption (truncated writes, disk errors, manual
+edits) a loud :class:`~repro.errors.CheckpointError` instead of silently
+wrong matches after resume.  :meth:`Checkpoint.save` writes atomically —
+temp file in the target directory, flush+fsync, ``os.replace`` — so a
+crash *during* checkpointing leaves the previous checkpoint intact, never
+a half-written one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from ..errors import CheckpointError
+
+#: Current checkpoint format version.  Bump on any payload shape change;
+#: loading a different version raises (no silent cross-version reads).
+CHECKPOINT_VERSION = 1
+
+
+def _canonical(body: dict) -> bytes:
+    """Deterministic encoding the checksum is computed over."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _checksum(body: dict) -> str:
+    return "sha256:" + hashlib.sha256(_canonical(body)).hexdigest()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One resumable cut of a streaming run.
+
+    Attributes:
+        kind: the engine family that wrote it (``"spex"`` for
+            :class:`~repro.core.engine.SpexEngine`, ``"multiquery"`` for
+            :class:`~repro.core.multiquery.MultiQueryEngine`).
+        payload: engine-specific state in stable dict form.  Always
+            contains a ``"cursor"`` entry with the source position.
+    """
+
+    kind: str
+    payload: dict = field(repr=False)
+    version: int = CHECKPOINT_VERSION
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+
+    @property
+    def position(self) -> int:
+        """Number of source events the checkpointed run had consumed."""
+        return int(self.payload["cursor"]["events_read"])
+
+    @property
+    def cursor_state(self) -> dict:
+        """The source-position record (see ``StreamCursor.state``)."""
+        return self.payload["cursor"]
+
+    def require(self, kind: str) -> dict:
+        """Payload, after asserting the checkpoint came from ``kind``."""
+        if self.kind != kind:
+            raise CheckpointError(
+                f"checkpoint was written by a {self.kind!r} engine, "
+                f"cannot resume it with a {kind!r} engine"
+            )
+        return self.payload
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+
+    def to_dict(self) -> dict:
+        """Stable dict form, with the integrity checksum filled in."""
+        body = {"version": self.version, "kind": self.kind, "payload": self.payload}
+        return {**body, "checksum": _checksum(body)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Checkpoint":
+        """Decode and verify a checkpoint dict.
+
+        Raises:
+            CheckpointError: missing fields, unsupported version, or a
+                checksum mismatch (the bytes were altered since
+                :meth:`to_dict`).
+        """
+        try:
+            version = data["version"]
+            kind = data["kind"]
+            payload = data["payload"]
+            checksum = data["checksum"]
+        except (TypeError, KeyError) as exc:
+            raise CheckpointError(f"malformed checkpoint: missing {exc}") from None
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        body = {"version": version, "kind": kind, "payload": payload}
+        expected = _checksum(body)
+        if checksum != expected:
+            raise CheckpointError(
+                "checkpoint integrity check failed: stored checksum "
+                f"{checksum!r} != computed {expected!r}"
+            )
+        return cls(kind=kind, payload=payload, version=version)
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Write the checkpoint to ``path`` atomically.
+
+        The bytes land in a temp file in the same directory and are
+        fsynced before an ``os.replace`` — so the file at ``path`` is
+        always either the previous checkpoint or this one, never a
+        torn write.
+        """
+        path = os.fspath(path)
+        directory = os.path.dirname(path) or "."
+        data = json.dumps(self.to_dict(), sort_keys=True, indent=1)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".checkpoint-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "Checkpoint":
+        """Read and verify a checkpoint file written by :meth:`save`."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        return cls.from_dict(data)

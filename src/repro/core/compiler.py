@@ -221,5 +221,8 @@ def compile_network(
     tape, _owned = compiler.compile(expr, source)
     network.add(sink, tape)
     network.condition_store = store
+    #: exposed for checkpointing — resuming a run must continue the
+    #: variable uid sequence, not restart it
+    network.allocator = allocator
     network.finalize()
     return network, store

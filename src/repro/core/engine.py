@@ -21,12 +21,14 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from ..errors import ResourceLimitError
+from ..errors import CheckpointError, EngineError, ResourceLimitError
 from ..limits import ResourceLimits
 from ..rpeq.analysis import QueryProfile, analyze
 from ..rpeq.ast import Rpeq
 from ..rpeq.parser import parse
+from ..rpeq.unparse import unparse
 from ..xmlstream.events import Event
+from ..xmlstream.offsets import StreamCursor, skip_events
 from ..xmlstream.parser import iter_events
 from ..xmlstream.recovery import (
     ErrorReport,
@@ -35,9 +37,26 @@ from ..xmlstream.recovery import (
     recovered_documents,
 )
 from ..xmlstream.validate import checked
+from .checkpoint import Checkpoint
 from .compiler import compile_network
 from .network import Network, NetworkStats
 from .output_tx import Match, OutputStats
+
+
+@dataclass
+class RobustnessCounters:
+    """Recovery-machinery odometer for one engine (across runs).
+
+    Incremented by :meth:`SpexEngine.checkpoint`/:meth:`SpexEngine.resume`
+    and by the supervisor (:mod:`repro.core.supervisor`) as it retries
+    sources and detects stalls; surfaced through
+    :attr:`EngineStats <SpexEngine.stats>` and the CLI recovery summary.
+    """
+
+    checkpoints_written: int = 0
+    restores: int = 0
+    retries: int = 0
+    stalls_detected: int = 0
 
 
 @dataclass
@@ -58,6 +77,10 @@ class EngineStats:
         limit_hits: resource-guard firings — raised
             :class:`~repro.errors.ResourceLimitError` occurrences plus
             candidates evicted by the ``drop_oldest`` overflow policy.
+        checkpoints_written: checkpoints taken from this engine.
+        restores: runs started from a checkpoint.
+        retries: source reconnects performed by the supervisor.
+        stalls_detected: heartbeat-timeout firings in the supervisor.
     """
 
     network: NetworkStats = field(default_factory=NetworkStats)
@@ -68,6 +91,10 @@ class EngineStats:
     documents_skipped: int = 0
     events_repaired: int = 0
     limit_hits: int = 0
+    checkpoints_written: int = 0
+    restores: int = 0
+    retries: int = 0
+    stalls_detected: int = 0
 
     def summary(self) -> str:
         """Human-readable one-screen digest of a run's resource profile."""
@@ -85,6 +112,10 @@ class EngineStats:
             f"documents skipped     : {self.documents_skipped}",
             f"events repaired       : {self.events_repaired}",
             f"limit hits            : {self.limit_hits}",
+            f"checkpoints written   : {self.checkpoints_written}",
+            f"restores              : {self.restores}",
+            f"retries               : {self.retries}",
+            f"stalls detected       : {self.stalls_detected}",
         ]
         if self.query is not None:
             lines.insert(
@@ -133,9 +164,13 @@ class SpexEngine:
         self.collect_events = collect_events
         self.optimize = optimize
         self.limits = limits
+        #: lifetime recovery counters (checkpoints, restores, retries,
+        #: stalls); the supervisor increments the latter two
+        self.robustness = RobustnessCounters()
         self._last_network: Network | None = None
         self._last_store = None
         self._last_report: ErrorReport | None = None
+        self._last_cursor: StreamCursor | None = None
 
     # ------------------------------------------------------------------
     # evaluation
@@ -147,6 +182,7 @@ class SpexEngine:
         on_error: RecoveryPolicy | str = RecoveryPolicy.STRICT,
         report: ErrorReport | None = None,
         require_end: bool | None = None,
+        cursor: StreamCursor | None = None,
     ) -> Iterator[Match]:
         """Evaluate the query against a stream, yielding matches lazily.
 
@@ -180,6 +216,13 @@ class SpexEngine:
                 text, file paths) require a proper end — a truncated
                 file no longer passes silently — while live event
                 iterables keep prefix semantics.
+            cursor: a :class:`~repro.xmlstream.StreamCursor` to track the
+                source position, which makes the run *checkpointable*:
+                while the run is in flight, :meth:`checkpoint` captures
+                engine state tagged with the cursor's position.  Only
+                strict runs can be checkpointed (recovery policies
+                re-segment the source per document, so a single stream
+                position does not determine their state).
 
         Yields:
             :class:`Match` objects in document order, each as soon as the
@@ -194,6 +237,12 @@ class SpexEngine:
             require_end = isinstance(source, (str, os.PathLike))
         self._last_report = report if report is not None else ErrorReport()
         if policy is not RecoveryPolicy.STRICT:
+            if cursor is not None:
+                raise EngineError(
+                    "checkpoint cursors require on_error='strict' (recovery "
+                    "policies re-segment the source per document)"
+                )
+            self._last_cursor = None
             yield from self._run_recovering(
                 source, policy, self._last_report, require_end
             )
@@ -206,9 +255,14 @@ class SpexEngine:
         )
         self._last_network = network
         self._last_store = store
+        self._last_cursor = cursor
         events = iter_events(source)
         if validate:
             events = checked(events, require_end=require_end)
+        if cursor is not None:
+            # Attach *after* validation so the cursor counts only events
+            # that actually reached the network.
+            events = cursor.attach(events)
         for event in events:
             yield from network.process_event(event)
 
@@ -268,8 +322,18 @@ class SpexEngine:
 
     def first(self, source: str | Iterable[Event]) -> Match | None:
         """The first match, stopping the stream pass as soon as it is
-        decided — or ``None`` when the (finite) stream has none."""
-        return next(self.run(source), None)
+        decided — or ``None`` when the (finite) stream has none.
+
+        The run generator is closed explicitly on early exit, so the
+        stream pass stops *now* — not at some later garbage collection —
+        and any file handle or live source behind it is released.  This
+        is what makes ``first``/``exists`` safe on unbounded sources.
+        """
+        run = self.run(source)
+        try:
+            return next(run, None)
+        finally:
+            run.close()
 
     def exists(self, source: str | Iterable[Event]) -> bool:
         """Whether the stream matches at all (XFilter-style boolean).
@@ -278,6 +342,136 @@ class SpexEngine:
         stream as the decision requires.
         """
         return self.first(source) is not None
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+
+    def checkpoint(self) -> Checkpoint:
+        """Capture the in-flight run as a :class:`Checkpoint`.
+
+        Valid between events of a strict :meth:`run` that was given a
+        ``cursor`` (and immediately after it finishes).  Take the
+        checkpoint only when the matches yielded so far have been
+        consumed: the cursor points just past the last event the network
+        processed, so a resumed run continues with the next event —
+        no event is evaluated twice and no match is duplicated.
+
+        Raises:
+            CheckpointError: no cursor-tracked strict run to capture.
+        """
+        if self._last_cursor is None or self._last_network is None:
+            raise CheckpointError(
+                "nothing to checkpoint: pass a StreamCursor to run() "
+                "(strict mode) and start consuming it first"
+            )
+        payload = {
+            "query": unparse(self.query),
+            "collect_events": self.collect_events,
+            "optimize": self.optimize,
+            "cursor": self._last_cursor.state(),
+            "allocator": self._last_network.allocator.snapshot(),
+            "store": self._last_store.snapshot(),
+            "network": self._last_network.snapshot(),
+        }
+        self.robustness.checkpoints_written += 1
+        return Checkpoint(kind="spex", payload=payload)
+
+    def resume(
+        self,
+        checkpoint: Checkpoint,
+        source: str | Iterable[Event],
+        validate: bool = True,
+    ) -> Iterator[Match]:
+        """Continue a checkpointed run against ``source``.
+
+        The source must replay the *same* stream the checkpoint was taken
+        from (same file, a reconnected feed replaying from the start, …).
+        Resume seeks by re-parsing and discarding the prefix — SAX keeps
+        no restartable parse state, and the skipped events never touch
+        the transducer network — then continues evaluation with restored
+        state.  The concatenation of matches yielded before the
+        checkpoint and after this resume equals an uninterrupted run:
+        no duplicates, no drops.
+
+        All compatibility checks happen eagerly, in this call — not at
+        first iteration — so a mismatched checkpoint fails fast.
+
+        Raises:
+            CheckpointError: the checkpoint came from a different engine
+                kind, query, or compiler settings.
+            StreamError: ``source`` is shorter than the checkpointed
+                position (it is not the same stream).
+        """
+        payload = checkpoint.require(self.name)
+        query_text = unparse(self.query)
+        if payload["query"] != query_text:
+            raise CheckpointError(
+                f"checkpoint is for query {payload['query']!r}, this engine "
+                f"evaluates {query_text!r}"
+            )
+        for option in ("collect_events", "optimize"):
+            if bool(payload[option]) != bool(getattr(self, option)):
+                raise CheckpointError(
+                    f"checkpoint was taken with {option}="
+                    f"{bool(payload[option])}, engine has "
+                    f"{option}={bool(getattr(self, option))}"
+                )
+        network, store = compile_network(
+            self.query,
+            collect_events=self.collect_events,
+            optimize=self.optimize,
+            limits=self.limits,
+        )
+        network.restore(payload["network"])
+        store.restore(payload["store"])
+        network.allocator.restore(payload["allocator"])
+        cursor = StreamCursor.from_state(payload["cursor"])
+        self._last_network = network
+        self._last_store = store
+        self._last_cursor = cursor
+        self._last_report = ErrorReport()
+        self.robustness.restores += 1
+        events = skip_events(iter_events(source), cursor.events_read)
+        if validate:
+            # Prime the validator with the envelope state at the cut, so
+            # the resumed tail is checked exactly as the original run
+            # would have checked it.
+            events = checked(
+                events,
+                require_end=isinstance(source, (str, os.PathLike)),
+                open_labels=cursor.open_labels,
+                started=cursor.in_document,
+            )
+        events = cursor.attach(events)
+        return self._pump(network, events)
+
+    @staticmethod
+    def _pump(network: Network, events: Iterable[Event]) -> Iterator[Match]:
+        """Generator tail of :meth:`resume` (kept separate so the eager
+        verification in ``resume`` runs at call time, not first ``next``)."""
+        for event in events:
+            yield from network.process_event(event)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint: Checkpoint,
+        limits: ResourceLimits | None = None,
+    ) -> "SpexEngine":
+        """Build an engine configured exactly as the checkpoint requires.
+
+        Convenience for cold restarts where only the checkpoint file
+        survives: the query and compiler settings are read back from the
+        payload, so ``engine.resume(checkpoint, source)`` is guaranteed
+        compatible.
+        """
+        payload = checkpoint.require(cls.name)
+        return cls(
+            payload["query"],
+            collect_events=bool(payload["collect_events"]),
+            optimize=bool(payload["optimize"]),
+            limits=limits,
+        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -297,6 +491,10 @@ class SpexEngine:
             stats.events_repaired = self._last_report.events_repaired
             stats.limit_hits = self._last_report.limit_hits
         stats.limit_hits += stats.output.candidates_evicted
+        stats.checkpoints_written = self.robustness.checkpoints_written
+        stats.restores = self.robustness.restores
+        stats.retries = self.robustness.retries
+        stats.stalls_detected = self.robustness.stalls_detected
         return stats
 
     def describe_network(self) -> str:

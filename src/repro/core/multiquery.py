@@ -23,11 +23,13 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping
 
 from ..conditions.store import ConditionStore, VariableAllocator
-from ..errors import ResourceLimitError
+from ..errors import CheckpointError, EngineError, ResourceLimitError
 from ..limits import ResourceLimits
 from ..rpeq.ast import Concat, Rpeq
 from ..rpeq.parser import parse
+from ..rpeq.unparse import unparse
 from ..xmlstream.events import Event
+from ..xmlstream.offsets import StreamCursor, skip_events
 from ..xmlstream.parser import iter_events
 from ..xmlstream.recovery import (
     ErrorReport,
@@ -36,7 +38,9 @@ from ..xmlstream.recovery import (
     recovered_documents,
     recovering,
 )
+from .checkpoint import Checkpoint
 from .compiler import _Compiler, compile_network
+from .engine import RobustnessCounters
 from .network import Network
 from .output_tx import Match, OutputTransducer
 from .path_transducers import InputTransducer
@@ -75,6 +79,10 @@ class MultiQueryEngine:
         }
         self.collect_events = collect_events
         self.limits = limits
+        #: lifetime recovery counters, mirroring ``SpexEngine.robustness``
+        self.robustness = RobustnessCounters()
+        self._last_networks: dict[str, Network] | None = None
+        self._last_cursor: StreamCursor | None = None
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -92,6 +100,7 @@ class MultiQueryEngine:
         source: str | Iterable[Event],
         on_error: RecoveryPolicy | str = RecoveryPolicy.STRICT,
         report: ErrorReport | None = None,
+        cursor: StreamCursor | None = None,
     ) -> Iterator[tuple[str, Match]]:
         """Evaluate all queries in one pass; yield matches progressively.
 
@@ -101,18 +110,32 @@ class MultiQueryEngine:
         the pass continues with the next document, fresh networks and
         all — one poisoned subscriber document no longer kills the
         shared pipeline.
+
+        Passing a ``cursor`` (strict mode only) makes the pass
+        checkpointable via :meth:`checkpoint`, as for
+        :meth:`SpexEngine.run <repro.core.engine.SpexEngine.run>`.
         """
         policy = as_policy(on_error)
         if policy is not RecoveryPolicy.STRICT:
+            if cursor is not None:
+                raise EngineError(
+                    "checkpoint cursors require on_error='strict' (recovery "
+                    "policies re-segment the source per document)"
+                )
+            self._last_cursor = None
             yield from self._run_recovering(source, policy, report)
             return
         networks = self._compile_all()
+        self._last_networks = networks
+        self._last_cursor = cursor
         # Strict runs validate on the fly, so malformed input raises the
         # documented StreamError instead of silently confusing every
         # subscription's transducer stacks at once.
         events = recovering(
             iter_events(source), RecoveryPolicy.STRICT, require_end=False
         )
+        if cursor is not None:
+            events = cursor.attach(events)
         for event in events:
             for query_id, network in networks.items():
                 for match in network.process_event(event):
@@ -139,6 +162,124 @@ class MultiQueryEngine:
                 report.documents_skipped += 1
                 continue
             yield from matches
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+
+    def checkpoint(self) -> Checkpoint:
+        """Capture the in-flight shared pass as a :class:`Checkpoint`.
+
+        Valid between events of a strict :meth:`run` that was given a
+        ``cursor``; every subscription's network, condition store and
+        variable allocator is snapshotted against the one shared source
+        position.
+
+        Raises:
+            CheckpointError: no cursor-tracked strict pass to capture.
+        """
+        if self._last_cursor is None or self._last_networks is None:
+            raise CheckpointError(
+                "nothing to checkpoint: pass a StreamCursor to run() "
+                "(strict mode) and start consuming it first"
+            )
+        payload = {
+            "queries": {
+                query_id: unparse(query)
+                for query_id, query in self.queries.items()
+            },
+            "collect_events": self.collect_events,
+            "cursor": self._last_cursor.state(),
+            "networks": {
+                query_id: {
+                    "network": network.snapshot(),
+                    "store": network.condition_store.snapshot(),
+                    "allocator": network.allocator.snapshot(),
+                }
+                for query_id, network in self._last_networks.items()
+            },
+        }
+        self.robustness.checkpoints_written += 1
+        return Checkpoint(kind="multiquery", payload=payload)
+
+    def resume(
+        self,
+        checkpoint: Checkpoint,
+        source: str | Iterable[Event],
+    ) -> Iterator[tuple[str, Match]]:
+        """Continue a checkpointed shared pass against ``source``.
+
+        Same contract as :meth:`SpexEngine.resume
+        <repro.core.engine.SpexEngine.resume>`: the source must replay
+        the stream the checkpoint was taken from; matches before the
+        checkpoint plus matches after this resume equal an uninterrupted
+        pass.  Compatibility checks are eager.
+
+        Raises:
+            CheckpointError: the checkpoint came from a different engine
+                kind, a different subscription set, or different options.
+            StreamError: ``source`` is shorter than the checkpointed
+                position.
+        """
+        payload = checkpoint.require("multiquery")
+        have = {
+            query_id: unparse(query) for query_id, query in self.queries.items()
+        }
+        if payload["queries"] != have:
+            raise CheckpointError(
+                "checkpoint subscription set does not match this engine's "
+                "queries"
+            )
+        if bool(payload["collect_events"]) != self.collect_events:
+            raise CheckpointError(
+                f"checkpoint was taken with collect_events="
+                f"{bool(payload['collect_events'])}, engine has "
+                f"collect_events={self.collect_events}"
+            )
+        networks = self._compile_all()
+        for query_id, network in networks.items():
+            states = payload["networks"][query_id]
+            network.restore(states["network"])
+            network.condition_store.restore(states["store"])
+            network.allocator.restore(states["allocator"])
+        cursor = StreamCursor.from_state(payload["cursor"])
+        self._last_networks = networks
+        self._last_cursor = cursor
+        self.robustness.restores += 1
+        events = skip_events(iter_events(source), cursor.events_read)
+        # The strict validator is primed with the envelope state at the
+        # cut, exactly as the uninterrupted pass would have reached it.
+        events = recovering(
+            events,
+            RecoveryPolicy.STRICT,
+            require_end=False,
+            resume=payload["cursor"],
+        )
+        events = cursor.attach(events)
+        return self._pump(networks, events)
+
+    @staticmethod
+    def _pump(
+        networks: dict[str, Network], events: Iterable[Event]
+    ) -> Iterator[tuple[str, Match]]:
+        """Generator tail of :meth:`resume` (verification stays eager)."""
+        for event in events:
+            for query_id, network in networks.items():
+                for match in network.process_event(event):
+                    yield query_id, match
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint: Checkpoint,
+        limits: ResourceLimits | None = None,
+    ) -> "MultiQueryEngine":
+        """Build an engine matching the checkpoint's subscription set."""
+        payload = checkpoint.require("multiquery")
+        return cls(
+            dict(payload["queries"]),
+            collect_events=bool(payload["collect_events"]),
+            limits=limits,
+        )
 
     def evaluate(
         self,
@@ -330,6 +471,7 @@ class SharedNetworkEngine:
             network.add(sink, tape)
             sinks[query_id] = sink
         network.condition_store = store
+        network.allocator = allocator
         network.finalize()
         return network, sinks
 

@@ -80,6 +80,9 @@ class Network:
         #: set by the compiler; drives deferred variable release at the
         #: end of every event (see ConditionStore.end_of_event)
         self.condition_store = None
+        #: set by the compiler; checkpointed so resuming continues the
+        #: condition-variable uid sequence instead of restarting it
+        self.allocator = None
         self._nodes: list[Transducer] = [source]
         self._predecessors: dict[int, list[Transducer]] = {id(source): []}
         self._finalized = False
@@ -264,6 +267,51 @@ class Network:
         """Evaluate a whole stream, yielding matches as they complete."""
         for event in events:
             yield from self.process_event(event)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def snapshot(self) -> dict:
+        """JSON-serializable snapshot of all evaluation state.
+
+        Node states are keyed by the unique display names assigned in
+        :meth:`finalize`; since compilation is deterministic for a given
+        (query, optimize) pair, the same query always produces the same
+        name set — which doubles as an integrity check on restore.
+        """
+        if not self._finalized:
+            raise EngineError("cannot snapshot an unfinalized network")
+        return {
+            "nodes": {node.name: node.snapshot() for node in self._nodes},
+            "depth": self._depth,
+            "doc_events": self._doc_events,
+            "events": self._events,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot into this (freshly compiled) network.
+
+        The per-document wall-clock deadline is deliberately *not*
+        restored: wall time spent before a crash is gone, so the budget
+        restarts when the resumed document's next event arrives.
+        """
+        if not self._finalized:
+            raise EngineError("cannot restore into an unfinalized network")
+        nodes = state["nodes"]
+        have = {node.name for node in self._nodes}
+        if set(nodes) != have:
+            missing = set(nodes) ^ have
+            raise EngineError(
+                f"checkpoint topology mismatch (differing nodes: "
+                f"{sorted(missing)}); was the checkpoint taken from the "
+                f"same query and compiler settings?"
+            )
+        for node in self._nodes:
+            node.restore(nodes[node.name])
+        self._depth = int(state["depth"])
+        self._doc_events = int(state["doc_events"])
+        self._events = int(state["events"])
+        self._doc_deadline = None
 
     def stats(self) -> NetworkStats:
         """Roll up per-transducer instrumentation."""

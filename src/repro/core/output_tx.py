@@ -29,7 +29,15 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from ..conditions.formula import FALSE, TRUE, Formula, Var, substitute
+from ..conditions.formula import (
+    FALSE,
+    TRUE,
+    Formula,
+    Var,
+    formula_from_obj,
+    formula_to_obj,
+    substitute,
+)
 from ..conditions.store import ConditionStore
 from ..errors import ResourceLimitError
 from ..limits import DROP_OLDEST, ResourceLimits
@@ -41,6 +49,8 @@ from ..xmlstream.events import (
     StartDocument,
     StartElement,
     Text,
+    event_from_obj,
+    event_to_obj,
 )
 from .messages import Activation, Close, Contribute, Doc, Message
 from .transducer import Transducer
@@ -421,6 +431,127 @@ class OutputTransducer(Transducer):
         if dead > 0:
             del self._log[:dead]
             self._log_start += dead
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def _snapshot_extra(self) -> dict:
+        """Capture candidate/log/result state (see base ``snapshot``).
+
+        The watcher index is derivable from the pending candidates'
+        formulas and is rebuilt on restore.  ``_open`` entries reference
+        candidate *objects*; shared identity with the queue is preserved
+        by encoding queue members as their index and already-dropped
+        strays (popped from the queue but their end tag still pending)
+        inline.
+        """
+        queue = list(self._queue)
+        index_of = {id(candidate): i for i, candidate in enumerate(queue)}
+
+        def encode_open(candidate: _Candidate | None) -> object:
+            if candidate is None:
+                return None
+            index = index_of.get(id(candidate))
+            if index is not None:
+                return ["q", index]
+            return ["c", self._encode_candidate(candidate)]
+
+        stats = self.output_stats
+        return {
+            "gidx": self._gidx,
+            "element_count": self._element_count,
+            "log_start": self._log_start,
+            "log": [event_to_obj(event) for event in self._log],
+            "queue": [self._encode_candidate(c) for c in queue],
+            "open": [encode_open(c) for c in self._open],
+            "results": [self._encode_match(m) for m in self.results],
+            "output_stats": [
+                stats.candidates_created,
+                stats.candidates_dropped,
+                stats.candidates_evicted,
+                stats.peak_buffered_events,
+                stats.peak_pending_candidates,
+            ],
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._gidx = int(extra["gidx"])
+        self._element_count = int(extra["element_count"])
+        self._log_start = int(extra["log_start"])
+        self._log = [event_from_obj(obj) for obj in extra["log"]]
+        queue = [self._decode_candidate(obj) for obj in extra["queue"]]
+        self._queue = deque(queue)
+        self._live = sum(1 for c in queue if c.state != "dropped")
+
+        def decode_open(obj: object) -> _Candidate | None:
+            if obj is None:
+                return None
+            tag, payload = obj
+            if tag == "q":
+                return queue[int(payload)]
+            return self._decode_candidate(payload)
+
+        self._open = [decode_open(obj) for obj in extra["open"]]
+        self._watchers = {}
+        for candidate in queue:
+            if candidate.state != "pending":
+                continue
+            for var in candidate.formula.variables():
+                self._watchers.setdefault(var, set()).add(candidate)
+        self.results = deque(self._decode_match(obj) for obj in extra["results"])
+        created, dropped, evicted, peak_events, peak_candidates = extra[
+            "output_stats"
+        ]
+        self.output_stats = OutputStats(
+            candidates_created=created,
+            candidates_dropped=dropped,
+            candidates_evicted=evicted,
+            peak_buffered_events=peak_events,
+            peak_pending_candidates=peak_candidates,
+        )
+
+    @staticmethod
+    def _encode_candidate(candidate: _Candidate) -> list:
+        return [
+            candidate.position,
+            candidate.label,
+            candidate.start_gidx,
+            formula_to_obj(candidate.formula),
+            candidate.end_gidx,
+            candidate.state,
+        ]
+
+    @staticmethod
+    def _decode_candidate(obj: list) -> _Candidate:
+        position, label, start_gidx, formula, end_gidx, state = obj
+        return _Candidate(
+            position=int(position),
+            label=label,
+            start_gidx=int(start_gidx),
+            formula=formula_from_obj(formula),
+            end_gidx=None if end_gidx is None else int(end_gidx),
+            state=state,
+        )
+
+    @staticmethod
+    def _encode_match(match: Match) -> list:
+        events = (
+            None
+            if match.events is None
+            else [event_to_obj(event) for event in match.events]
+        )
+        return [match.position, match.label, events]
+
+    @staticmethod
+    def _decode_match(obj: list) -> Match:
+        position, label, events = obj
+        return Match(
+            int(position),
+            label,
+            None
+            if events is None
+            else tuple(event_from_obj(entry) for entry in events),
+        )
 
     def _trim_log(self) -> None:
         if not self._collect_events or not self._log:

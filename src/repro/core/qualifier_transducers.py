@@ -22,7 +22,15 @@ A qualifier ``E[F]`` compiles (Fig. 11) into::
 
 from __future__ import annotations
 
-from ..conditions.formula import TRUE, Var, conj, dnf, restrict
+from ..conditions.formula import (
+    TRUE,
+    Var,
+    conj,
+    dnf,
+    formula_from_obj,
+    formula_to_obj,
+    restrict,
+)
 from ..conditions.store import ConditionStore, VariableAllocator
 from ..xmlstream.events import EndDocument, EndElement, StartDocument, StartElement
 from .messages import Activation, Close, Contribute, Doc, Message
@@ -89,6 +97,14 @@ class VariableCreator(Transducer):
             self._deferred = []
         out.append(message)
         return out
+
+    def _snapshot_extra(self) -> dict:
+        if not self._deferred:
+            return {}
+        return {"deferred": [formula_to_obj(var) for var in self._deferred]}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._deferred = [formula_from_obj(obj) for obj in extra.get("deferred", [])]
 
 
 class VariableFilter(Transducer):

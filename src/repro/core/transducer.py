@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..conditions.formula import Formula, disj
+from ..conditions.formula import Formula, disj, formula_from_obj, formula_to_obj
 from ..errors import EngineError
 from ..xmlstream.events import (
     EndDocument,
@@ -158,6 +158,61 @@ class Transducer:
         if not self.stack:
             raise EngineError(f"{self.name}: end tag with empty stack")
         return self.stack.pop()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def snapshot(self) -> dict:
+        """JSON-serializable snapshot of this transducer's state.
+
+        The base capture — stack, pending activation, instrumentation —
+        covers every transducer whose stack entries are condition
+        formulas (or ``None``); subclasses with extra state extend the
+        dict through :meth:`_snapshot_extra`.
+        """
+        state = {
+            "stack": [self._snapshot_entry(entry) for entry in self.stack],
+            "pending": None if self.pending is None else formula_to_obj(self.pending),
+            "stats": [
+                self.stats.messages,
+                self.stats.max_stack,
+                self.stats.max_formula_size,
+                self.stats.activations_emitted,
+            ],
+        }
+        extra = self._snapshot_extra()
+        if extra:
+            state["extra"] = extra
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Replace this transducer's state with a checkpointed snapshot."""
+        self.stack = [self._restore_entry(entry) for entry in state["stack"]]
+        pending = state["pending"]
+        self.pending = None if pending is None else formula_from_obj(pending)
+        messages, max_stack, max_formula_size, activations = state["stats"]
+        self.stats = TransducerStats(
+            messages=messages,
+            max_stack=max_stack,
+            max_formula_size=max_formula_size,
+            activations_emitted=activations,
+        )
+        self._restore_extra(state.get("extra", {}))
+
+    def _snapshot_entry(self, entry) -> object:
+        """Encode one stack entry (default: a formula or ``None``)."""
+        return None if entry is None else formula_to_obj(entry)
+
+    def _restore_entry(self, obj: object):
+        """Decode one stack entry (inverse of :meth:`_snapshot_entry`)."""
+        return None if obj is None else formula_from_obj(obj)
+
+    def _snapshot_extra(self) -> dict:
+        """Subclass hook: additional state beyond stack/pending/stats."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Subclass hook: inverse of :meth:`_snapshot_extra`."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"

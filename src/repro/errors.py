@@ -60,6 +60,16 @@ class ResourceLimitError(ReproError):
         self.observed = observed
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be created, verified, or resumed.
+
+    Raised for integrity failures (checksum mismatch, truncated or
+    hand-edited checkpoint files), version skew, and resume-time
+    incompatibilities (different query, different compiler settings, a
+    source shorter than the checkpointed position).
+    """
+
+
 class EngineError(ReproError):
     """Internal evaluation invariant violated.
 

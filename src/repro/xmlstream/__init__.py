@@ -20,7 +20,14 @@ from .events import (
     tags_from_events,
 )
 from .documents import concat_documents, count_documents, split_documents
-from .faults import FAULT_KINDS, Fault, FaultInjector
+from .faults import (
+    FAULT_KINDS,
+    RUNTIME_FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FlakySource,
+)
+from .offsets import CountingReader, StreamCursor, skip_events
 from .parser import iter_events, parse_file, parse_stream, parse_string
 from .recovery import (
     ErrorRecord,
@@ -36,6 +43,7 @@ from .tree import Document, Node, build_document
 from .validate import checked, is_well_formed
 
 __all__ = [
+    "CountingReader",
     "DOCUMENT_LABEL",
     "Document",
     "EndDocument",
@@ -46,10 +54,13 @@ __all__ = [
     "FAULT_KINDS",
     "Fault",
     "FaultInjector",
+    "FlakySource",
     "Node",
+    "RUNTIME_FAULT_KINDS",
     "RecoveryPolicy",
     "StartDocument",
     "StartElement",
+    "StreamCursor",
     "StreamStats",
     "Text",
     "as_policy",
@@ -70,6 +81,7 @@ __all__ = [
     "recovered_documents",
     "recovering",
     "serialize",
+    "skip_events",
     "split_documents",
     "tags_from_events",
     "write_events",

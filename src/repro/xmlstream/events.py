@@ -106,6 +106,41 @@ def label_of(event: Event) -> str | None:
     return None
 
 
+def event_to_obj(event: Event) -> object:
+    """Stable, JSON-serializable form of one event (checkpoint codec)."""
+    cls = event.__class__
+    if cls is StartDocument:
+        return ["sd"]
+    if cls is EndDocument:
+        return ["ed"]
+    if cls is StartElement:
+        if event.attributes:
+            return ["se", event.label, dict(event.attributes)]
+        return ["se", event.label]
+    if cls is EndElement:
+        return ["ee", event.label]
+    if cls is Text:
+        return ["tx", event.content]
+    raise TypeError(f"not an event: {event!r}")
+
+
+def event_from_obj(obj: object) -> Event:
+    """Inverse of :func:`event_to_obj`."""
+    if isinstance(obj, (list, tuple)) and obj:
+        tag = obj[0]
+        if tag == "sd":
+            return StartDocument()
+        if tag == "ed":
+            return EndDocument()
+        if tag == "se":
+            return StartElement(obj[1], dict(obj[2]) if len(obj) > 2 else {})
+        if tag == "ee":
+            return EndElement(obj[1])
+        if tag == "tx":
+            return Text(obj[1])
+    raise ValueError(f"not an encoded event: {obj!r}")
+
+
 def events_from_tags(tags: Iterable[str]) -> Iterator[Event]:
     """Build an event stream from a compact tag notation.
 

@@ -15,8 +15,9 @@ annotated with a :class:`Fault` describing what was done where.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
 
@@ -29,6 +30,12 @@ FAULT_KINDS = (
     "interleave_garbage",
     "flip_label",
 )
+
+#: Runtime (transport-level) fault kinds.  Unlike :data:`FAULT_KINDS`
+#: these do not corrupt event *content* — they break the *delivery*:
+#: the stream raises or hangs mid-flight, which is what the supervisor
+#: (:mod:`repro.core.supervisor`) exists to survive.
+RUNTIME_FAULT_KINDS = ("transient_error", "stall")
 
 
 @dataclass(frozen=True)
@@ -149,6 +156,65 @@ class FaultInjector:
         )
 
     # ------------------------------------------------------------------
+    # runtime faults (delivery breaks, not content corruption)
+
+    def transient_error(
+        self, events: Iterable[Event], fail_after: int | None = None
+    ) -> tuple[Iterator[Event], Fault]:
+        """Stream that raises :class:`IOError` after ``fail_after`` events.
+
+        Models a dropped connection at the transport layer: the events
+        delivered before the break are perfectly well-formed, then the
+        iterator raises mid-document.  ``fail_after`` defaults to a
+        seeded mid-stream position.
+        """
+        stream = list(events)
+        k = (
+            fail_after
+            if fail_after is not None
+            else self.rng.randrange(1, max(2, len(stream)))
+        )
+        fault = Fault("transient_error", k, f"IOError after {k} events")
+
+        def generate() -> Iterator[Event]:
+            for index, event in enumerate(stream):
+                if index == k:
+                    raise IOError(f"injected transient error after {k} events")
+                yield event
+            if k >= len(stream):
+                raise IOError(f"injected transient error after {len(stream)} events")
+
+        return generate(), fault
+
+    def stall(
+        self,
+        events: Iterable[Event],
+        stall_after: int | None = None,
+        stall_seconds: float = 3600.0,
+    ) -> tuple[Iterator[Event], Fault]:
+        """Stream that hangs after ``stall_after`` events.
+
+        Models a silent peer: no error, no data — the iterator just
+        stops returning for ``stall_seconds`` (effectively forever at the
+        default), which only a heartbeat watchdog can detect.
+        """
+        stream = list(events)
+        k = (
+            stall_after
+            if stall_after is not None
+            else self.rng.randrange(1, max(2, len(stream)))
+        )
+        fault = Fault("stall", k, f"hang {stall_seconds}s after {k} events")
+
+        def generate() -> Iterator[Event]:
+            for index, event in enumerate(stream):
+                if index == k:
+                    time.sleep(stall_seconds)
+                yield event
+
+        return generate(), fault
+
+    # ------------------------------------------------------------------
     # driver
 
     def corrupt(
@@ -198,3 +264,71 @@ class FaultInjector:
         if not candidates:
             return None
         return self.rng.choice(candidates)
+
+
+class FlakySource:
+    """Reconnectable event source with a scripted failure schedule.
+
+    The supervisor's contract is "survive transient source failures";
+    this is the deterministic source those tests run against.  Each
+    :meth:`connect` returns a fresh replay of the same event sequence —
+    the reconnect semantics :meth:`SpexEngine.resume
+    <repro.core.engine.SpexEngine.resume>` requires — and connection
+    ``i`` follows ``script[i]``:
+
+    * ``None`` — clean replay;
+    * ``("error", k)`` — raise :class:`IOError` after ``k`` events;
+    * ``("stall", k)`` — hang (sleep ``stall_seconds``) after ``k``
+      events, then continue.
+
+    Connections beyond the end of the script are clean, so a finite
+    script models "flaky for a while, then healthy".  The instance is
+    callable, so it can be passed directly as a supervisor
+    ``source_factory``.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Event],
+        script: Sequence[tuple[str, int] | None] = (),
+        stall_seconds: float = 3600.0,
+    ) -> None:
+        self.events = list(events)
+        self.script = list(script)
+        self.stall_seconds = stall_seconds
+        #: number of connections opened so far
+        self.connects = 0
+
+    def connect(self) -> Iterator[Event]:
+        """Open a fresh replay, applying this connection's script entry."""
+        index = self.connects
+        self.connects += 1
+        entry = self.script[index] if index < len(self.script) else None
+        return self._replay(entry, index)
+
+    def __call__(self) -> Iterator[Event]:
+        return self.connect()
+
+    def _replay(
+        self, entry: tuple[str, int] | None, connection: int
+    ) -> Iterator[Event]:
+        if entry is None:
+            yield from self.events
+            return
+        mode, k = entry
+        if mode not in ("error", "stall"):
+            raise ValueError(f"unknown flaky-source mode {mode!r}")
+        for index, event in enumerate(self.events):
+            if index == k:
+                if mode == "error":
+                    raise IOError(
+                        f"injected transient error on connection {connection} "
+                        f"after {k} events"
+                    )
+                time.sleep(self.stall_seconds)
+            yield event
+        if mode == "error" and k >= len(self.events):
+            raise IOError(
+                f"injected transient error on connection {connection} "
+                f"after {len(self.events)} events"
+            )

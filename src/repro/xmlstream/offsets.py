@@ -1,0 +1,149 @@
+"""Offset tracking and resumable positioning for event streams.
+
+Checkpointing a streaming run (see :mod:`repro.core.checkpoint`) needs to
+tag engine state with the *source position* it corresponds to, and
+resuming needs to reposition a fresh source at exactly that point.  Both
+halves live here:
+
+* :class:`StreamCursor` — wraps any event iterable and counts events
+  while tracking the envelope state a validator would need at that point
+  (open-element label stack, whether a document is open, documents
+  seen).  The cursor advances *before* the event is handed downstream,
+  so whenever the consumer holds event ``n`` the cursor reads ``n`` —
+  the invariant that makes "checkpoint after the last fully-processed
+  event" exact.
+* :func:`skip_events` — discard a prefix of a stream.  Re-reading a file
+  and skipping is how resume "seeks": SAX keeps no restartable parse
+  state, so the honest repositioning primitive is a cheap re-parse of
+  the prefix with no engine work attached (the transducer network never
+  sees the skipped events).
+* :class:`CountingReader` — byte-level accounting for file-like
+  sources, so operational dashboards can report progress in bytes as
+  well as events.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator
+
+from ..errors import StreamError
+from .events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+)
+
+
+class StreamCursor:
+    """Counts events and mirrors the envelope state of a stream position.
+
+    Attributes:
+        events_read: number of events that have passed the cursor.
+        open_labels: labels of the currently open elements (innermost
+            last) — exactly the stack a well-formedness validator holds.
+        in_document: whether a ``<$>`` is open at this position.
+        documents_seen: number of ``<$>`` events that have passed.
+    """
+
+    def __init__(self) -> None:
+        self.events_read = 0
+        self.open_labels: list[str] = []
+        self.in_document = False
+        self.documents_seen = 0
+
+    def attach(self, events: Iterable[Event]) -> Iterator[Event]:
+        """Yield ``events`` unchanged, updating the cursor *first*.
+
+        The update-then-yield order guarantees that when the consumer is
+        processing (or has just finished processing) event ``n``, the
+        cursor already reflects position ``n`` — so a checkpoint taken
+        between events never over- or under-counts.
+        """
+        for event in events:
+            self.advance(event)
+            yield event
+
+    def advance(self, event: Event) -> None:
+        """Account for one event (exposed for callers with own loops)."""
+        self.events_read += 1
+        cls = event.__class__
+        if cls is StartElement:
+            self.open_labels.append(event.label)
+        elif cls is EndElement:
+            if self.open_labels:
+                self.open_labels.pop()
+        elif cls is StartDocument:
+            self.in_document = True
+            self.documents_seen += 1
+        elif cls is EndDocument:
+            self.in_document = False
+
+    def state(self) -> dict:
+        """JSON-serializable snapshot of the position."""
+        return {
+            "events_read": self.events_read,
+            "open_labels": list(self.open_labels),
+            "in_document": self.in_document,
+            "documents_seen": self.documents_seen,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamCursor":
+        """Rebuild a cursor at a checkpointed position."""
+        cursor = cls()
+        cursor.events_read = int(state["events_read"])
+        cursor.open_labels = [str(label) for label in state["open_labels"]]
+        cursor.in_document = bool(state["in_document"])
+        cursor.documents_seen = int(state["documents_seen"])
+        return cursor
+
+
+def skip_events(events: Iterable[Event], count: int) -> Iterator[Event]:
+    """Discard the first ``count`` events; yield the rest.
+
+    Raises:
+        StreamError: the stream ended before ``count`` events — the
+            source a resume is pointed at is shorter than the stream the
+            checkpoint was taken from, which means it is *not* the same
+            stream; continuing would silently corrupt results.
+    """
+    iterator = iter(events)
+    for index in range(count):
+        try:
+            next(iterator)
+        except StopIteration:
+            raise StreamError(
+                f"cannot resume: source ended after {index} event(s), "
+                f"checkpoint position is {count}"
+            ) from None
+    yield from iterator
+
+
+class CountingReader:
+    """File-object wrapper counting the bytes handed to the parser.
+
+    Wrap the handle given to :func:`repro.xmlstream.parse_stream` and
+    read :attr:`bytes_read` at any time — e.g. to log checkpoint
+    positions in bytes for operational dashboards, or to estimate
+    progress against a known file size.
+    """
+
+    def __init__(self, handle: IO[bytes] | IO[str]) -> None:
+        self._handle = handle
+        self.bytes_read = 0
+
+    def read(self, size: int = -1):
+        chunk = self._handle.read(size)
+        self.bytes_read += len(chunk)
+        return chunk
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CountingReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -129,6 +129,7 @@ def recovering(
     policy: RecoveryPolicy | str = RecoveryPolicy.STRICT,
     report: ErrorReport | None = None,
     require_end: bool = True,
+    resume: dict | None = None,
 ) -> Iterator[Event]:
     """Yield a well-formed multi-document stream, per the chosen policy.
 
@@ -153,12 +154,21 @@ def recovering(
             a prefix; the trailing incomplete document is then silently
             withheld (``SKIP_DOCUMENT``) or left unclosed (``REPAIR``
             yields the open prefix unrepaired, mirroring ``checked``).
+        resume: prime the validator at a mid-stream position (a
+            :meth:`repro.xmlstream.StreamCursor.state` dict with
+            ``documents_seen``, ``in_document`` and ``open_labels``).
+            Only meaningful under ``STRICT``, where the events before
+            the cut were already validated on the original pass; the
+            recovering policies rewrite the stream, so a checkpoint
+            position would not line up with their output.
     """
     policy = as_policy(policy)
     report = report if report is not None else ErrorReport()
     source = iter(events)
     strict = policy is RecoveryPolicy.STRICT
     skip = policy is RecoveryPolicy.SKIP_DOCUMENT
+    if resume is not None and not strict:
+        raise ValueError("resume priming requires the strict policy")
 
     pushback: list[Event] = []
 
@@ -178,6 +188,10 @@ def recovering(
     doc = -1  # index of the current document
     in_doc = False
     stack: list[str] = []
+    if resume is not None:
+        doc = int(resume.get("documents_seen", 0)) - 1
+        in_doc = bool(resume.get("in_document"))
+        stack = [str(label) for label in resume.get("open_labels", [])]
     buffer: list[Event] | None = None  # SKIP: events of the current document
     garbage_reported = False  # one record per run of inter-document garbage
 

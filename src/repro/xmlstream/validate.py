@@ -16,7 +16,12 @@ from ..errors import StreamError
 from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
 
 
-def checked(events: Iterable[Event], require_end: bool = True) -> Iterator[Event]:
+def checked(
+    events: Iterable[Event],
+    require_end: bool = True,
+    open_labels: Iterable[str] | None = None,
+    started: bool = False,
+) -> Iterator[Event]:
     """Yield events unchanged while validating well-formedness.
 
     Invariants enforced:
@@ -30,9 +35,15 @@ def checked(events: Iterable[Event], require_end: bool = True) -> Iterator[Event
         require_end: raise when the stream ends before ``</$>``.  Pass
             ``False`` for live/unbounded sources, where every finite
             read is a prefix.
+        open_labels: prime the validator mid-document: labels of the
+            elements already open at this stream position (outermost
+            first).  Used when resuming from a checkpoint, where the
+            events before the cut have already been validated.
+        started: prime the validator as if ``<$>`` has already passed
+            (implied by a non-empty ``open_labels``).
     """
-    stack: list[str] = []
-    seen_start = False
+    stack: list[str] = list(open_labels) if open_labels is not None else []
+    seen_start = started or bool(stack)
     seen_end = False
     for event in events:
         if seen_end:

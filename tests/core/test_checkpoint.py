@@ -1,0 +1,294 @@
+"""Unit tests for the checkpoint layer.
+
+Covers the :class:`~repro.core.checkpoint.Checkpoint` container (format,
+integrity, atomic persistence), the source-position primitives
+(:class:`~repro.xmlstream.StreamCursor`, :func:`~repro.xmlstream.skip_events`)
+and the engine-level ``checkpoint()``/``resume()`` contract including its
+failure modes.  The lossless round-trip property across *every* cut point
+is exercised end to end in ``tests/integration/test_checkpoint_resume.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import (
+    Checkpoint,
+    CheckpointError,
+    SpexEngine,
+    StreamCursor,
+    StreamError,
+)
+from repro.core.checkpoint import CHECKPOINT_VERSION
+from repro.core.multiquery import MultiQueryEngine
+from repro.errors import EngineError
+from repro.xmlstream import iter_events, skip_events
+
+DOC = "<a><a><c/></a><b/><c/><d><b><c/></b></d></a>"
+
+
+def run_with_cursor(engine, source, prefix_events):
+    """Drive a cursor-tracked strict run over the first ``prefix_events``."""
+    import itertools
+
+    cursor = StreamCursor()
+    prefix = list(itertools.islice(iter_events(source), prefix_events))
+    matches = list(engine.run(iter(prefix), cursor=cursor, require_end=False))
+    return cursor, matches
+
+
+# ----------------------------------------------------------------------
+# Checkpoint container
+
+
+class TestCheckpointContainer:
+    def make(self):
+        engine = SpexEngine("_*.a")
+        run_with_cursor(engine, DOC, 5)
+        return engine.checkpoint()
+
+    def test_dict_round_trip(self):
+        checkpoint = self.make()
+        data = checkpoint.to_dict()
+        again = Checkpoint.from_dict(json.loads(json.dumps(data)))
+        assert again.kind == checkpoint.kind
+        assert again.payload == checkpoint.payload
+        assert again.version == CHECKPOINT_VERSION
+
+    def test_position_reads_cursor(self):
+        assert self.make().position == 5
+
+    def test_checksum_detects_tampering(self):
+        data = self.make().to_dict()
+        data["payload"]["cursor"]["events_read"] = 1
+        with pytest.raises(CheckpointError, match="integrity"):
+            Checkpoint.from_dict(data)
+
+    def test_version_skew_rejected(self):
+        data = self.make().to_dict()
+        data["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointError, match="version"):
+            Checkpoint.from_dict(data)
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(CheckpointError, match="malformed"):
+            Checkpoint.from_dict({"kind": "spex"})
+        with pytest.raises(CheckpointError, match="malformed"):
+            Checkpoint.from_dict(None)
+
+    def test_save_load_round_trip(self, tmp_path):
+        checkpoint = self.make()
+        path = tmp_path / "checkpoint.json"
+        checkpoint.save(path)
+        loaded = Checkpoint.load(path)
+        assert loaded.payload == checkpoint.payload
+        # no temp files left behind
+        assert os.listdir(tmp_path) == ["checkpoint.json"]
+
+    def test_save_replaces_atomically(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        first = self.make()
+        first.save(path)
+        engine = SpexEngine("_*.a")
+        run_with_cursor(engine, DOC, 9)
+        engine.checkpoint().save(path)
+        assert Checkpoint.load(path).position == 9
+
+    def test_load_missing_or_garbage(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            Checkpoint.load(tmp_path / "nope.json")
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            Checkpoint.load(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        self.make().save(path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(path)
+
+    def test_require_kind(self):
+        checkpoint = self.make()
+        assert checkpoint.require("spex") is checkpoint.payload
+        with pytest.raises(CheckpointError, match="multiquery"):
+            checkpoint.require("multiquery")
+
+
+# ----------------------------------------------------------------------
+# cursor and skip primitives
+
+
+class TestStreamCursor:
+    def test_counts_and_envelope(self):
+        cursor = StreamCursor()
+        events = list(cursor.attach(iter_events(DOC)))
+        assert cursor.events_read == len(events)
+        assert cursor.open_labels == []
+        assert not cursor.in_document
+        assert cursor.documents_seen == 1
+
+    def test_advances_before_yield(self):
+        cursor = StreamCursor()
+        stream = cursor.attach(iter_events(DOC))
+        next(stream)  # <$>
+        assert cursor.events_read == 1
+        next(stream)  # <a>
+        assert cursor.events_read == 2
+        assert cursor.open_labels == ["a"]
+        assert cursor.in_document
+
+    def test_state_round_trip(self):
+        cursor = StreamCursor()
+        stream = cursor.attach(iter_events(DOC))
+        for _ in range(4):
+            next(stream)
+        again = StreamCursor.from_state(
+            json.loads(json.dumps(cursor.state()))
+        )
+        assert again.state() == cursor.state()
+
+
+class TestSkipEvents:
+    def test_skips_exact_prefix(self):
+        full = list(iter_events(DOC))
+        assert list(skip_events(iter_events(DOC), 4)) == full[4:]
+
+    def test_short_source_raises(self):
+        with pytest.raises(StreamError, match="cannot resume"):
+            list(skip_events(iter_events("<a/>"), 100))
+
+
+# ----------------------------------------------------------------------
+# engine-level contract
+
+
+class TestEngineCheckpointContract:
+    def test_checkpoint_without_run_raises(self):
+        with pytest.raises(CheckpointError, match="nothing to checkpoint"):
+            SpexEngine("_*.a").checkpoint()
+
+    def test_checkpoint_without_cursor_raises(self):
+        engine = SpexEngine("_*.a")
+        list(engine.run(DOC))  # no cursor -> not checkpointable
+        with pytest.raises(CheckpointError):
+            engine.checkpoint()
+
+    def test_cursor_rejected_under_recovery_policies(self):
+        engine = SpexEngine("_*.a")
+        with pytest.raises(EngineError, match="strict"):
+            list(engine.run(DOC, on_error="skip", cursor=StreamCursor()))
+
+    def test_resume_checks_query(self):
+        engine = SpexEngine("_*.a")
+        run_with_cursor(engine, DOC, 5)
+        checkpoint = engine.checkpoint()
+        other = SpexEngine("_*.b")
+        with pytest.raises(CheckpointError, match="query"):
+            other.resume(checkpoint, DOC)
+
+    def test_resume_checks_options(self):
+        engine = SpexEngine("_*.a", collect_events=True)
+        run_with_cursor(engine, DOC, 5)
+        checkpoint = engine.checkpoint()
+        mismatched = SpexEngine("_*.a", collect_events=False)
+        with pytest.raises(CheckpointError, match="collect_events"):
+            mismatched.resume(checkpoint, DOC)
+
+    def test_resume_checks_kind(self):
+        multi = MultiQueryEngine({"q": "_*.a"})
+        cursor = StreamCursor()
+        list(multi.run(DOC, cursor=cursor))
+        checkpoint = multi.checkpoint()
+        with pytest.raises(CheckpointError, match="multiquery"):
+            SpexEngine("_*.a").resume(checkpoint, DOC)
+
+    def test_resume_verification_is_eager(self):
+        engine = SpexEngine("_*.a")
+        run_with_cursor(engine, DOC, 5)
+        checkpoint = engine.checkpoint()
+        with pytest.raises(CheckpointError):
+            # note: no iteration — the mismatch must surface at call time
+            SpexEngine("_*.b").resume(checkpoint, DOC)
+
+    def test_resume_rejects_short_source(self):
+        engine = SpexEngine("_*.a")
+        run_with_cursor(engine, DOC, 5)
+        checkpoint = engine.checkpoint()
+        with pytest.raises(StreamError, match="cannot resume"):
+            list(engine.resume(checkpoint, "<a/>"))
+
+    def test_from_checkpoint_matches_settings(self):
+        engine = SpexEngine("_*.a[b].c", collect_events=False, optimize=False)
+        run_with_cursor(engine, DOC, 5)
+        checkpoint = engine.checkpoint()
+        rebuilt = SpexEngine.from_checkpoint(checkpoint)
+        assert rebuilt.collect_events is False
+        assert rebuilt.optimize is False
+        # and therefore resume is accepted
+        list(rebuilt.resume(checkpoint, DOC))
+
+    def test_counters_and_summary(self):
+        engine = SpexEngine("_*.a")
+        run_with_cursor(engine, DOC, 5)
+        checkpoint = engine.checkpoint()
+        list(engine.resume(checkpoint, DOC))
+        stats = engine.stats
+        assert stats.checkpoints_written == 1
+        assert stats.restores == 1
+        summary = stats.summary()
+        assert "checkpoints written   : 1" in summary
+        assert "restores              : 1" in summary
+        assert "retries               : 0" in summary
+        assert "stalls detected       : 0" in summary
+
+    def test_resume_completes_resumed_run(self):
+        baseline = [m.position for m in SpexEngine("_*.a[b].c").run(DOC)]
+        engine = SpexEngine("_*.a[b].c")
+        cursor, matches = run_with_cursor(engine, DOC, 7)
+        checkpoint = engine.checkpoint()
+        positions = [m.position for m in matches]
+        positions += [
+            m.position for m in engine.resume(checkpoint, DOC)
+        ]
+        assert positions == baseline
+
+
+class TestMultiQueryCheckpointContract:
+    QUERIES = {"plain": "_*.a", "qualified": "_*.a[b].c"}
+
+    def test_round_trip_through_disk(self, tmp_path):
+        import itertools
+
+        baseline = [
+            (query_id, match.position)
+            for query_id, match in MultiQueryEngine(self.QUERIES).run(DOC)
+        ]
+        engine = MultiQueryEngine(self.QUERIES)
+        cursor = StreamCursor()
+        prefix = list(itertools.islice(iter_events(DOC), 6))
+        got = [
+            (query_id, match.position)
+            for query_id, match in engine.run(iter(prefix), cursor=cursor)
+        ]
+        path = tmp_path / "checkpoint.json"
+        engine.checkpoint().save(path)
+        loaded = Checkpoint.load(path)
+        fresh = MultiQueryEngine.from_checkpoint(loaded)
+        got += [
+            (query_id, match.position)
+            for query_id, match in fresh.resume(loaded, DOC)
+        ]
+        assert got == baseline
+
+    def test_resume_checks_subscription_set(self):
+        engine = MultiQueryEngine(self.QUERIES)
+        cursor = StreamCursor()
+        list(engine.run(DOC, cursor=cursor))
+        checkpoint = engine.checkpoint()
+        other = MultiQueryEngine({"plain": "_*.a"})
+        with pytest.raises(CheckpointError, match="subscription"):
+            other.resume(checkpoint, DOC)

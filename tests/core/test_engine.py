@@ -152,3 +152,45 @@ class TestStatsSummary:
     def test_summary_without_run(self):
         summary = SpexEngine("a").stats.summary()
         assert "events processed      : 0" in summary
+
+
+class TestEarlyExitOnInfiniteStreams:
+    """first()/exists() must close the run generator on early exit, so a
+    match decision on an unbounded source stops reading immediately."""
+
+    def test_first_on_infinite_ticker(self):
+        from repro.workloads import stock_ticker
+
+        pulled = {"events": 0}
+
+        def metered():
+            for event in stock_ticker(seed=7):  # no limit: endless
+                pulled["events"] += 1
+                yield event
+
+        match = SpexEngine("_*.trade.price").first(metered())
+        assert match is not None and match.label == "price"
+        # the decision needed only the first trade's worth of events
+        assert pulled["events"] < 20
+
+    def test_exists_on_infinite_ticker(self):
+        from repro.workloads import stock_ticker
+
+        assert SpexEngine("_*.trade[alert]").exists(stock_ticker(seed=7))
+
+    def test_first_closes_the_source_generator(self):
+        from repro.workloads import stock_ticker
+
+        closed = {"flag": False}
+
+        def tracked():
+            try:
+                yield from stock_ticker(seed=7)
+            finally:
+                closed["flag"] = True
+
+        SpexEngine("_*.trade").first(tracked())
+        assert closed["flag"], "early exit must close the source, not leak it"
+
+    def test_first_none_on_finite_miss(self):
+        assert SpexEngine("_*.zz").first("<a><b/></a>") is None

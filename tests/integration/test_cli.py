@@ -87,3 +87,90 @@ class TestStatsFlag:
         out = capsys.readouterr().out
         assert "engine statistics" in out
         assert "peak stack height" in out
+
+
+class TestCheckpointFlags:
+    def test_supervised_run_writes_checkpoint_and_summary(
+        self, doc_file, tmp_path, capsys
+    ):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        assert (
+            main(
+                [
+                    "query",
+                    "_*.a[b].c",
+                    doc_file,
+                    "--checkpoint-dir",
+                    checkpoint_dir,
+                    "--checkpoint-every",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "1 match(es)" in captured.out
+        assert "-- recovery:" in captured.err
+        assert "checkpoint(s) written" in captured.err
+        import os
+
+        assert os.path.exists(os.path.join(checkpoint_dir, "checkpoint.json"))
+
+    def test_resume_from_checkpoint(self, doc_file, tmp_path, capsys):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        assert (
+            main(
+                [
+                    "query",
+                    "_*.a[b].c",
+                    doc_file,
+                    "--checkpoint-dir",
+                    checkpoint_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # the final checkpoint is at end-of-stream; resuming completes
+        # instantly with zero duplicate matches
+        assert (
+            main(
+                [
+                    "query",
+                    "_*.a[b].c",
+                    doc_file,
+                    "--checkpoint-dir",
+                    checkpoint_dir,
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "0 match(es)" in captured.out
+        assert "restore(s)" in captured.err
+
+    def test_checkpoint_requires_file(self, capsys):
+        assert main(["query", "a", "--checkpoint-dir", "/tmp/x"]) == 2
+        assert "FILE" in capsys.readouterr().err
+
+    def test_checkpoint_requires_strict(self, doc_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "a",
+                    doc_file,
+                    "--checkpoint-dir",
+                    "/tmp/x",
+                    "--on-error",
+                    "skip",
+                ]
+            )
+            == 2
+        )
+        assert "strict" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, doc_file, capsys):
+        assert main(["query", "a", doc_file, "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err

@@ -20,6 +20,7 @@ EXAMPLES = {
     "extended_navigation.py": [],
     "schema_pipeline.py": [],
     "infinite_monitoring.py": [],
+    "checkpoint_resume.py": [],
     "large_documents.py": ["2000"],
 }
 

@@ -99,3 +99,54 @@ class TestCorruptDocument:
         corrupted, fault = FaultInjector(0).drop_tag(tiny)
         assert fault.kind == "truncate"
         assert len(corrupted) <= len(tiny)
+
+
+class TestRuntimeFaults:
+    def test_transient_error_raises_after_k(self):
+        stream, fault = FaultInjector(5).transient_error(base(), fail_after=3)
+        assert fault.kind == "transient_error" and fault.index == 3
+        delivered = []
+        with pytest.raises(IOError, match="transient"):
+            for event in stream:
+                delivered.append(event)
+        assert delivered == base()[:3]
+
+    def test_transient_error_seeded_position(self):
+        one, fault_one = FaultInjector(seed=9).transient_error(base())
+        two, fault_two = FaultInjector(seed=9).transient_error(base())
+        assert fault_one == fault_two
+        with pytest.raises(IOError):
+            list(one)
+
+    def test_transient_error_past_end_still_raises(self):
+        stream, _fault = FaultInjector(0).transient_error(
+            base(), fail_after=10_000
+        )
+        delivered = []
+        with pytest.raises(IOError):
+            for event in stream:
+                delivered.append(event)
+        assert delivered == base()  # everything delivered, then the break
+
+    def test_stall_delays_then_continues(self):
+        import time
+
+        stream, fault = FaultInjector(0).stall(
+            base(), stall_after=2, stall_seconds=0.05
+        )
+        assert fault.kind == "stall" and fault.index == 2
+        started = time.monotonic()
+        assert list(stream) == base()
+        assert time.monotonic() - started >= 0.05
+
+
+class TestFlakySource:
+    def test_script_then_clean(self):
+        from repro.xmlstream import FlakySource
+
+        source = FlakySource(base(), script=[("error", 2), None])
+        with pytest.raises(IOError):
+            list(source.connect())
+        assert list(source.connect()) == base()
+        assert list(source.connect()) == base()  # beyond script: clean
+        assert source.connects == 3
