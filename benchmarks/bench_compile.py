@@ -9,7 +9,7 @@ family of doubling length and assert both linearities.
 import pytest
 
 from repro.core.compiler import compile_network
-from repro.rpeq.analysis import analyze
+from repro.analysis import analyze
 from repro.rpeq.generate import query_family
 
 LENGTHS = [8, 16, 32, 64]

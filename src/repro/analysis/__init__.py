@@ -1,0 +1,64 @@
+"""Static analysis of rpeq queries and compiled SPEX networks.
+
+A multi-pass analyzer with a shared diagnostics framework (stable codes,
+severities, source spans, text + JSON output — see ``docs/analysis.md``
+for the full catalogue):
+
+* :func:`lint_query` — the rpeq linter (``RPQ0xx``): trivially-true or
+  contradictory qualifiers, redundant closures, dead union branches,
+  and DTD-based satisfiability.
+* :func:`verify_network` — structural invariants of the compiled
+  transducer DAG (``NET001``–``NET010``): acyclicity, single
+  input/output, split/join and creator/filter/determinant pairing,
+  condition-variable scope, reachability.
+* :func:`certify_cost` — the paper's ``d·σ`` worst-case memory bound,
+  cross-checked against :class:`~repro.limits.ResourceLimits`
+  (``COST0xx``).
+* :func:`check_snapshot_coverage` — behavioral meta-check that
+  checkpoint snapshots capture all mutated transducer state
+  (``NET020``/``NET021``).
+* :func:`preflight` / :func:`ensure_preflight` — the chain the engines
+  run before consuming a stream (opt-out via ``preflight=False``).
+
+The structural query metrics that historically lived in
+``repro.rpeq.analysis`` are now :mod:`repro.analysis.metrics`.
+"""
+
+from .cost import CostCertificate, certify_cost
+from .diagnostics import (
+    CODES,
+    AnalysisReport,
+    CodeInfo,
+    Diagnostic,
+    Severity,
+    Span,
+    all_codes,
+    register_code,
+)
+from .lint import lint_query
+from .metrics import QueryProfile, analyze, labels_used, uses_wildcard
+from .netcheck import verify_network
+from .preflight import ensure_preflight, preflight
+from .snapshot_check import check_snapshot_coverage
+
+__all__ = [
+    "AnalysisReport",
+    "CODES",
+    "CodeInfo",
+    "CostCertificate",
+    "Diagnostic",
+    "QueryProfile",
+    "Severity",
+    "Span",
+    "all_codes",
+    "analyze",
+    "certify_cost",
+    "check_snapshot_coverage",
+    "ensure_preflight",
+    "labels_used",
+    "lint_query",
+    "preflight",
+    "register_code",
+    "uses_wildcard",
+    "verify_network",
+]

@@ -1,0 +1,314 @@
+"""The cost certifier: static `d·σ` memory bounds checked against limits.
+
+Theorem IV.2 bounds each transducer's memory by the stream depth ``d``
+times the size ``σ`` of the condition formulas it stores.  ``d`` can be
+known statically — from a configured ``ResourceLimits.max_depth`` or a
+non-recursive DTD's depth bound — and ``σ`` admits a syntactic upper
+bound computed from the query alone: formulas start as ``true`` (size
+1), each qualifier conjoins one fresh variable, a closure step below a
+qualifier can accumulate one disjunct per open ancestor (``× d``, the
+Sec. V blow-up), and union/optional joins add their branches' bounds.
+
+When both bounds are known, :func:`certify_cost` cross-checks the
+certified ``σ̂`` against ``ResourceLimits.max_formula_size`` — turning a
+guaranteed runtime :class:`~repro.errors.ResourceLimitError` into the
+compile-time diagnostic ``COST002``.  ``following``/``preceding`` steps
+buffer evidence whose size depends on stream *content*, not depth, so
+queries using them are reported uncertifiable (``COST001``) rather than
+given a wrong certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtd.model import Dtd
+from ..limits import ResourceLimits
+from ..rpeq.ast import (
+    Concat,
+    Empty,
+    Following,
+    Label,
+    OptionalExpr,
+    Plus,
+    Preceding,
+    Qualifier,
+    Rpeq,
+    Star,
+    Union,
+)
+from .diagnostics import AnalysisReport, Severity, register_code
+from .metrics import analyze
+
+COST000 = register_code(
+    "COST000", Severity.INFO, "cost", "Cost certificate"
+)
+COST001 = register_code(
+    "COST001", Severity.WARNING, "cost", "Memory bound not certifiable"
+)
+COST002 = register_code(
+    "COST002", Severity.ERROR, "cost", "Certified σ bound exceeds ResourceLimits"
+)
+COST003 = register_code(
+    "COST003", Severity.WARNING, "cost", "Pending-candidate ceiling is dynamic"
+)
+COST004 = register_code(
+    "COST004", Severity.WARNING, "cost", "Buffered-event ceiling is dynamic"
+)
+
+
+@dataclass(frozen=True)
+class CostCertificate:
+    """The static worst-case memory bound of one query.
+
+    Attributes:
+        depth_bound: certified maximum stream depth ``d``, or ``None``
+            when neither limits nor a (non-recursive) DTD provide one.
+        depth_source: where ``d`` came from (``"limits"``, ``"dtd"``) or
+            ``None``.
+        sigma_bound: certified maximum condition-formula size ``σ̂``, or
+            ``None`` when the query is uncertifiable (axis steps) or
+            unbounded (closure under qualifier with unknown ``d``).
+        degree: network degree (number of transducers), when known.
+        per_transducer_bound: ``(d + 1) · σ̂`` — worst-case stack cells
+            times cell size per transducer — or ``None``.
+        network_bound: ``degree`` times the per-transducer bound, or
+            ``None``.
+    """
+
+    depth_bound: int | None
+    depth_source: str | None
+    sigma_bound: int | None
+    degree: int | None
+    per_transducer_bound: int | None
+    network_bound: int | None
+
+
+def _mul(a: int | None, b: int | None) -> int | None:
+    return None if a is None or b is None else a * b
+
+
+def _add(a: int | None, b: int | None) -> int | None:
+    return None if a is None or b is None else a + b
+
+
+def _max(a: int | None, b: int | None) -> int | None:
+    return None if a is None or b is None else max(a, b)
+
+
+def _flatten_concat(node: Concat) -> list[Rpeq]:
+    """Left-to-right parts of a concatenation chain, iteratively."""
+    parts: list[Rpeq] = []
+    stack: list[Rpeq] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Concat):
+            stack.append(current.right)
+            stack.append(current.left)
+        else:
+            parts.append(current)
+    return parts
+
+
+def _sigma(expr: Rpeq, s_init: int | None, d: int | None) -> tuple[int | None, int | None]:
+    """Bound formula sizes through ``expr``.
+
+    ``s_init`` bounds the size of activation formulas entering the
+    sub-network; returns ``(s_out, s_peak)`` — the bound on formulas
+    leaving it and the largest bound anywhere inside it.  ``None`` means
+    unbounded/uncertifiable and is absorbing.
+
+    Driven by an explicit work stack: Lemma V.1 workloads are
+    concatenation chains thousands of steps long, so recursing per node
+    would exhaust the interpreter stack (as in the compiler and the
+    metrics walk).
+    """
+    results: list[tuple[int | None, int | None]] = []
+    work: list[tuple] = [("eval", expr, s_init)]
+    while work:
+        frame = work.pop()
+        tag = frame[0]
+        if tag == "eval":
+            node, s = frame[1], frame[2]
+            if isinstance(node, (Empty, Label)):
+                results.append((s, s))
+            elif isinstance(node, (Plus, Star)):
+                # Closure stacks hold one scope formula per open ancestor
+                # and emit their disjunction: with all-true formulas
+                # (s == 1) the disjunction stays true; otherwise up to d
+                # disjuncts of size s.
+                if s == 1:
+                    results.append((1, 1))
+                else:
+                    grown = _mul(s, d)
+                    results.append((grown, grown))
+            elif isinstance(node, (Following, Preceding)):
+                # Evidence buffers grow with matching elements, not
+                # depth — the d·σ certificate does not apply.
+                results.append((None, None))
+            elif isinstance(node, Concat):
+                parts = _flatten_concat(node)
+                work.append(("concat", parts, 1, s))
+                work.append(("eval", parts[0], s))
+            elif isinstance(node, Union):
+                # Both branches start from the same incoming bound; the
+                # join merges their activations for one tag and the
+                # union transducer disjoins them.
+                work.append(("union",))
+                work.append(("eval", node.right, s))
+                work.append(("eval", node.left, s))
+            elif isinstance(node, OptionalExpr):
+                work.append(("optional", s))
+                work.append(("eval", node.inner, s))
+            elif isinstance(node, Qualifier):
+                work.append(("qualifier-base", node))
+                work.append(("eval", node.base, s))
+            else:  # pragma: no cover - exhaustive over rpeq nodes
+                raise TypeError(f"unknown rpeq node {type(node).__name__}")
+        elif tag == "concat":
+            parts, index, peak_in = frame[1], frame[2], frame[3]
+            prev_out, prev_peak = results.pop()
+            peak = _max(peak_in, prev_peak)
+            if index == len(parts):
+                results.append((prev_out, peak))
+            else:
+                work.append(("concat", parts, index + 1, peak))
+                work.append(("eval", parts[index], prev_out))
+        elif tag == "union":
+            right_out, right_peak = results.pop()
+            left_out, left_peak = results.pop()
+            merged = _add(left_out, right_out)
+            results.append((merged, _max(merged, _max(left_peak, right_peak))))
+        elif tag == "optional":
+            s = frame[1]
+            inner_out, inner_peak = results.pop()
+            merged = _add(s, inner_out)
+            results.append((merged, _max(merged, inner_peak)))
+        elif tag == "qualifier-base":
+            node = frame[1]
+            base_out, base_peak = results.pop()
+            # VC conjoins one fresh variable per activation.
+            main = _add(base_out, 1)
+            work.append(("qualifier-cond", main, base_peak))
+            work.append(("eval", node.condition, main))
+        else:  # tag == "qualifier-cond"
+            main, base_peak = frame[1], frame[2]
+            _cond_out, cond_peak = results.pop()
+            # Contributions carry residues of filtered condition
+            # formulas, bounded inside cond_peak; the main path
+            # continues at `main`.
+            results.append((main, _max(main, _max(base_peak, cond_peak))))
+    return results.pop()
+
+
+def certify_cost(
+    expr: Rpeq,
+    *,
+    limits: ResourceLimits | None = None,
+    dtd: Dtd | None = None,
+    degree: int | None = None,
+    collect_events: bool = True,
+    report: AnalysisReport | None = None,
+) -> tuple[CostCertificate, AnalysisReport]:
+    """Compute the query's static memory certificate and check limits.
+
+    Returns the certificate and the findings.  ``COST002`` (an error) is
+    reported only when *both* bounds are known and the certified ``σ̂``
+    exceeds ``limits.max_formula_size`` — the evaluation would be killed
+    by the runtime guard in the worst case, so it should not start.
+    """
+    out = report if report is not None else AnalysisReport()
+
+    depth_bound: int | None = None
+    depth_source: str | None = None
+    if limits is not None and limits.max_depth is not None:
+        depth_bound = limits.max_depth
+        depth_source = "limits"
+    elif dtd is not None:
+        dtd_depth = dtd.depth_bound()
+        if dtd_depth is not None:
+            depth_bound = dtd_depth
+            depth_source = "dtd"
+
+    profile = analyze(expr)
+    _, sigma_bound = _sigma(expr, 1, depth_bound)
+
+    per_transducer = (
+        _mul(_add(depth_bound, 1), sigma_bound) if depth_bound is not None else None
+    )
+    network_bound = _mul(degree, per_transducer)
+    certificate = CostCertificate(
+        depth_bound=depth_bound,
+        depth_source=depth_source,
+        sigma_bound=sigma_bound,
+        degree=degree,
+        per_transducer_bound=per_transducer,
+        network_bound=network_bound,
+    )
+
+    if sigma_bound is None:
+        if any(isinstance(node, (Following, Preceding)) for node in expr.walk()):
+            reason = (
+                "following/preceding evidence buffers grow with stream "
+                "content, not depth"
+            )
+        else:
+            reason = (
+                "closure under a qualifier with no depth bound: formula "
+                "size grows with stream depth (paper Sec. V); set "
+                "ResourceLimits.max_depth or supply a non-recursive DTD"
+            )
+        out.add(
+            COST001,
+            f"cannot certify the d·σ memory bound: {reason}",
+            fragment=profile.fragment,
+        )
+    else:
+        ceiling = limits.max_formula_size if limits is not None else None
+        if ceiling is not None and sigma_bound > ceiling:
+            out.add(
+                COST002,
+                f"certified worst-case formula size {sigma_bound} exceeds "
+                f"ResourceLimits.max_formula_size={ceiling}; evaluation "
+                "would be rejected by the runtime σ guard on adversarial "
+                "input",
+                sigma_bound=sigma_bound,
+                max_formula_size=ceiling,
+            )
+    if limits is not None:
+        if limits.max_pending_candidates is not None and profile.qualifiers > 0:
+            out.add(
+                COST003,
+                "pending-candidate count depends on how many elements "
+                "match before their qualifiers determine; the ceiling of "
+                f"{limits.max_pending_candidates} cannot be certified "
+                "statically",
+                max_pending_candidates=limits.max_pending_candidates,
+            )
+        if limits.max_buffered_events is not None and collect_events:
+            out.add(
+                COST004,
+                "buffered-event count depends on the size of matched "
+                f"fragments; the ceiling of {limits.max_buffered_events} "
+                "cannot be certified statically (collect_events is on)",
+                max_buffered_events=limits.max_buffered_events,
+            )
+    out.add(
+        COST000,
+        "cost certificate: "
+        f"d={_fmt(depth_bound)} ({depth_source or 'unknown'}), "
+        f"σ̂={_fmt(sigma_bound)}, degree={_fmt(degree)}, "
+        f"per-transducer ≤ {_fmt(per_transducer)}, "
+        f"network ≤ {_fmt(network_bound)}",
+        depth_bound=depth_bound,
+        depth_source=depth_source,
+        sigma_bound=sigma_bound,
+        degree=degree,
+        per_transducer_bound=per_transducer,
+        network_bound=network_bound,
+    )
+    return certificate, out
+
+
+def _fmt(value: int | None) -> str:
+    return "∞" if value is None else str(value)

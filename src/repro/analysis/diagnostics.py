@@ -1,0 +1,251 @@
+"""Shared diagnostics framework for the static analyzer.
+
+Every analysis pass (the rpeq linter, the network verifier, the cost
+certifier, the snapshot-coverage meta-check) reports its findings as
+:class:`Diagnostic` values collected into an :class:`AnalysisReport`.
+Diagnostics carry a *stable code* (``RPQ001``, ``NET007``, ``COST002``,
+…) so tests, CI gates and downstream tooling can key on findings without
+parsing prose; codes are declared once in the :data:`CODES` registry,
+which also drives the documentation catalogue (``docs/analysis.md``) and
+the ``--list-codes`` CLI flag.
+
+Reports render to aligned text (for humans) and to JSON (for CI); both
+renderings are deterministic: diagnostics are ordered by severity, then
+code, then span, then message, and the JSON contains no timestamps,
+memory addresses or other run-varying data.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; higher values are more severe."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used in text and JSON renderings."""
+        return self.name.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A half-open character range ``[start, end)`` in the query text.
+
+    Spans are best-effort: AST nodes do not carry source offsets, so
+    passes locate sub-expressions by searching the original text for
+    their unparsed rendering.  A diagnostic without a span applies to
+    the query (or network) as a whole.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    def to_obj(self) -> list[int]:
+        """JSON encoding (a two-element list)."""
+        return [self.start, self.end]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass.
+
+    Attributes:
+        code: stable identifier from the :data:`CODES` registry.
+        severity: :class:`Severity` of the finding.
+        message: human-readable, single-line description.
+        span: best-effort location in the query text, or ``None``.
+        source: the pass that produced the finding (``"lint"``,
+            ``"network"``, ``"cost"``, ``"snapshot"``).
+        details: JSON-serializable supporting data (the offending
+            sub-expression, transducer name, computed bound, …).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span | None = None
+    source: str = ""
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering: severity desc, code, span, message."""
+        span = (self.span.start, self.span.end) if self.span else (-1, -1)
+        return (-int(self.severity), self.code, span, self.message)
+
+    def to_obj(self) -> dict:
+        """JSON-serializable encoding, deterministic across runs."""
+        obj: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "source": self.source,
+        }
+        if self.span is not None:
+            obj["span"] = self.span.to_obj()
+        if self.details:
+            obj["details"] = {key: self.details[key] for key in sorted(self.details)}
+        return obj
+
+    def render(self) -> str:
+        """One-line text rendering: ``CODE severity: message [@span]``."""
+        where = f" @{self.span.start}..{self.span.end}" if self.span else ""
+        return f"{self.code} {self.severity.label}: {self.message}{where}"
+
+
+class AnalysisReport:
+    """An ordered collection of diagnostics from one or more passes."""
+
+    def __init__(self, diagnostics: list[Diagnostic] | None = None) -> None:
+        self._diagnostics: list[Diagnostic] = list(diagnostics or ())
+
+    # ------------------------------------------------------------------
+    # collection
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: Severity | None = None,
+        span: Span | None = None,
+        source: str | None = None,
+        **details: object,
+    ) -> Diagnostic:
+        """Append a diagnostic; defaults come from the code registry."""
+        declared = CODES[code]
+        diagnostic = Diagnostic(
+            code=code,
+            severity=severity if severity is not None else declared.severity,
+            message=message,
+            span=span,
+            source=source if source is not None else declared.source,
+            details=details,
+        )
+        self._diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "AnalysisReport") -> "AnalysisReport":
+        """Merge another report's diagnostics into this one."""
+        self._diagnostics.extend(other._diagnostics)
+        return self
+
+    # ------------------------------------------------------------------
+    # inspection
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.sorted())
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics in deterministic order (most severe first)."""
+        return sorted(self._diagnostics, key=Diagnostic.sort_key)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Error-severity diagnostics only."""
+        return [d for d in self.sorted() if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Warning-severity diagnostics only."""
+        return [d for d in self.sorted() if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no error-severity diagnostic was reported."""
+        return not self.errors
+
+    def codes(self) -> set[str]:
+        """The set of codes present in the report."""
+        return {d.code for d in self._diagnostics}
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        """All diagnostics with a given code, in deterministic order."""
+        return [d for d in self.sorted() if d.code == code]
+
+    # ------------------------------------------------------------------
+    # rendering
+
+    def to_obj(self) -> dict:
+        """JSON-serializable encoding of the whole report."""
+        counts = {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self._diagnostics) - len(self.errors) - len(self.warnings),
+        }
+        return {
+            "ok": self.ok,
+            "counts": counts,
+            "diagnostics": [d.to_obj() for d in self.sorted()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Stable JSON rendering (sorted keys, deterministic order)."""
+        return json.dumps(self.to_obj(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Multi-line text rendering, one diagnostic per line."""
+        if not self._diagnostics:
+            return "no findings"
+        return "\n".join(d.render() for d in self.sorted())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AnalysisReport {len(self._diagnostics)} finding(s), "
+            f"{len(self.errors)} error(s)>"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code.
+
+    Attributes:
+        severity: the code's default severity.
+        source: the pass that owns the code.
+        title: short summary used by documentation and ``--list-codes``.
+    """
+
+    severity: Severity
+    source: str
+    title: str
+
+
+#: Registry of every diagnostic code the analyzer can emit.  Codes are
+#: append-only and stable across releases: tests, CI configuration and
+#: user tooling key on them.
+CODES: dict[str, CodeInfo] = {}
+
+
+def register_code(code: str, severity: Severity, source: str, title: str) -> str:
+    """Declare a diagnostic code (idempotent for identical declarations)."""
+    info = CodeInfo(severity=severity, source=source, title=title)
+    existing = CODES.get(code)
+    if existing is not None and existing != info:
+        raise ValueError(f"diagnostic code {code} already registered as {existing}")
+    CODES[code] = info
+    return code
+
+
+def all_codes() -> dict[str, CodeInfo]:
+    """A copy of the full registry (code -> :class:`CodeInfo`)."""
+    return dict(sorted(CODES.items()))

@@ -1,0 +1,511 @@
+"""The network verifier: structural invariants of compiled SPEX networks.
+
+The paper's Definition 3 and the Fig. 11 translation pin down what a
+well-formed network looks like: a single-source DAG evaluated in
+topological order, with every split eventually re-joined, every
+qualifier's variable-determinant fed through its own positive variable
+filter, and every transducer sharing the network's one condition store.
+A compiler or rewrite bug that violates any of these produces silently
+wrong answers (or unbounded buffering) at runtime; :func:`verify_network`
+turns them into deterministic ``NET0xx`` diagnostics instead.
+
+The checks intentionally reach into :class:`~repro.core.network.Network`
+internals (``_predecessors``, ``_plan``): the verifier's whole job is to
+re-derive the invariants those structures are supposed to satisfy, so it
+must look at them directly rather than through accessors that already
+assume them.
+"""
+
+from __future__ import annotations
+
+from ..core.flow_transducers import JoinTransducer, SplitTransducer
+from ..core.network import Network
+from ..core.output_tx import OutputTransducer
+from ..core.path_transducers import InputTransducer
+from ..core.qualifier_transducers import (
+    VariableCreator,
+    VariableDeterminant,
+    VariableFilter,
+)
+from ..core.transducer import Transducer
+from .diagnostics import AnalysisReport, Severity, register_code
+
+NET001 = register_code(
+    "NET001", Severity.ERROR, "network", "Network not finalized"
+)
+NET002 = register_code(
+    "NET002", Severity.ERROR, "network", "Wrong predecessor count"
+)
+NET003 = register_code(
+    "NET003", Severity.ERROR, "network", "Cycle or topological-order violation"
+)
+NET004 = register_code(
+    "NET004", Severity.ERROR, "network", "Source invariant violated"
+)
+NET005 = register_code(
+    "NET005", Severity.ERROR, "network", "Sink invariant violated"
+)
+NET006 = register_code(
+    "NET006", Severity.ERROR, "network", "Transducer unreachable from source"
+)
+NET007 = register_code(
+    "NET007", Severity.ERROR, "network", "Unbalanced split/join"
+)
+NET008 = register_code(
+    "NET008", Severity.ERROR, "network", "Unpaired determinant/creator/filter"
+)
+NET009 = register_code(
+    "NET009", Severity.ERROR, "network", "Condition-variable scope violation"
+)
+NET010 = register_code(
+    "NET010", Severity.ERROR, "network", "Execution plan inconsistent"
+)
+
+
+def verify_network(
+    network: Network, *, report: AnalysisReport | None = None
+) -> AnalysisReport:
+    """Check every structural invariant of a compiled network.
+
+    Returns the findings; a clean report (``report.ok``) certifies the
+    network is a well-formed single-source DAG with paired split/join and
+    creator/filter/determinant structure and consistent condition-store
+    wiring.  Never raises on a malformed network — malformation is the
+    thing being reported.
+    """
+    out = report if report is not None else AnalysisReport()
+    if not network.finalized:
+        out.add(NET001, "network is not finalized; no execution plan exists")
+        return out
+
+    nodes = network._nodes
+    predecessors = network._predecessors
+    index_of = {id(node): index for index, node in enumerate(nodes)}
+
+    _check_shape(network, nodes, predecessors, index_of, out)
+    successors = _successor_map(nodes, predecessors, index_of)
+    _check_reachability(network, nodes, predecessors, successors, out)
+    _check_split_join(nodes, predecessors, successors, index_of, out)
+    _check_qualifier_wiring(nodes, predecessors, index_of, out)
+    _check_store_discipline(network, nodes, out)
+    _check_plan(network, nodes, predecessors, index_of, out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# shape: predecessor counts, topological order, source/sink counts
+
+
+def _check_shape(
+    network: Network,
+    nodes: list[Transducer],
+    predecessors: dict[int, list[Transducer]],
+    index_of: dict[int, int],
+    out: AnalysisReport,
+) -> None:
+    if not nodes or nodes[0] is not network.source:
+        out.add(NET004, "node 0 is not the network's source transducer")
+    sources = [node for node in nodes if isinstance(node, InputTransducer)]
+    if len(sources) != 1:
+        out.add(
+            NET004,
+            f"expected exactly one input transducer, found {len(sources)}",
+            inputs=[node.name for node in sources],
+        )
+    sinks = [node for node in nodes if isinstance(node, OutputTransducer)]
+    if not sinks:
+        out.add(NET005, "network has no output transducer")
+    if network.sink is not None and id(network.sink) not in index_of:
+        out.add(NET005, "the designated sink is not a node of the network")
+
+    for index, node in enumerate(nodes):
+        preds = predecessors.get(id(node))
+        if preds is None:
+            out.add(
+                NET002,
+                f"{node.name}: node has no predecessor record",
+                node=node.name,
+            )
+            continue
+        expected = (
+            0
+            if index == 0
+            else 2
+            if isinstance(node, JoinTransducer)
+            else 1
+        )
+        if len(preds) != expected:
+            out.add(
+                NET002,
+                f"{node.name}: expected {expected} predecessor(s), "
+                f"found {len(preds)}",
+                node=node.name,
+                expected=expected,
+                found=len(preds),
+            )
+        if index > 0 and not preds:
+            out.add(
+                NET004,
+                f"{node.name}: non-source node with no predecessors",
+                node=node.name,
+            )
+        if len(preds) == 2 and preds[0] is preds[1]:
+            out.add(
+                NET007,
+                f"{node.name}: join takes both inputs from the same "
+                f"transducer {preds[0].name}",
+                node=node.name,
+            )
+        for pred in preds:
+            pred_index = index_of.get(id(pred))
+            if pred_index is None:
+                out.add(
+                    NET003,
+                    f"{node.name}: predecessor {pred.name} is not a "
+                    "node of this network",
+                    node=node.name,
+                )
+            elif pred_index >= index:
+                out.add(
+                    NET003,
+                    f"{node.name}: predecessor {pred.name} does not "
+                    "precede it in topological order (cycle or "
+                    "corrupted wiring)",
+                    node=node.name,
+                    predecessor=pred.name,
+                )
+
+
+def _successor_map(
+    nodes: list[Transducer],
+    predecessors: dict[int, list[Transducer]],
+    index_of: dict[int, int],
+) -> dict[int, list[Transducer]]:
+    successors: dict[int, list[Transducer]] = {id(node): [] for node in nodes}
+    for node in nodes:
+        for pred in predecessors.get(id(node), ()):  # corrupt entries skipped
+            if id(pred) in successors:
+                successors[id(pred)].append(node)
+    return successors
+
+
+def _check_reachability(
+    network: Network,
+    nodes: list[Transducer],
+    predecessors: dict[int, list[Transducer]],
+    successors: dict[int, list[Transducer]],
+    out: AnalysisReport,
+) -> None:
+    # Forward reachability from the source.
+    reached: set[int] = set()
+    frontier: list[Transducer] = [network.source]
+    while frontier:
+        node = frontier.pop()
+        if id(node) in reached:
+            continue
+        reached.add(id(node))
+        frontier.extend(successors.get(id(node), ()))
+    for node in nodes:
+        if id(node) not in reached:
+            out.add(
+                NET006,
+                f"{node.name}: unreachable from the input transducer; "
+                "it can never see a stream event",
+                node=node.name,
+            )
+    # Backward reachability from the sinks: every transducer's output
+    # must matter to some output transducer.
+    drains: set[int] = set()
+    frontier = [node for node in nodes if isinstance(node, OutputTransducer)]
+    while frontier:
+        node = frontier.pop()
+        if id(node) in drains:
+            continue
+        drains.add(id(node))
+        frontier.extend(predecessors.get(id(node), ()))
+    for node in nodes:
+        if id(node) not in drains:
+            out.add(
+                NET005,
+                f"{node.name}: no path to any output transducer; its "
+                "output is discarded",
+                node=node.name,
+            )
+
+
+# ----------------------------------------------------------------------
+# split/join balance
+
+
+def _ancestors_or_self(
+    node: Transducer, predecessors: dict[int, list[Transducer]]
+) -> set[int]:
+    seen: set[int] = set()
+    frontier = [node]
+    while frontier:
+        current = frontier.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        frontier.extend(predecessors.get(id(current), ()))
+    return seen
+
+
+def _check_split_join(
+    nodes: list[Transducer],
+    predecessors: dict[int, list[Transducer]],
+    successors: dict[int, list[Transducer]],
+    index_of: dict[int, int],
+    out: AnalysisReport,
+) -> None:
+    for node in nodes:
+        if isinstance(node, SplitTransducer):
+            distinct = {id(s) for s in successors.get(id(node), ())}
+            if len(distinct) < 2:
+                out.add(
+                    NET007,
+                    f"{node.name}: split has {len(distinct)} distinct "
+                    "successor(s); a split must fan out to two branches",
+                    node=node.name,
+                )
+        if isinstance(node, JoinTransducer):
+            preds = predecessors.get(id(node), ())
+            if len(preds) != 2 or preds[0] is preds[1]:
+                continue  # already reported by the shape/NET002 checks
+            # The two branches must re-converge on a common fork: the
+            # latest common ancestor of both inputs has to fan out to at
+            # least two distinct successors (the Fig. 11 split — or the
+            # fused star's implicit one).  A join whose inputs never
+            # diverged merges a branch with itself, which double-counts
+            # activations.
+            common = _ancestors_or_self(preds[0], predecessors) & _ancestors_or_self(
+                preds[1], predecessors
+            )
+            meet_index = max(
+                (index_of[c] for c in common if c in index_of), default=None
+            )
+            meet = nodes[meet_index] if meet_index is not None else None
+            if meet is None:
+                out.add(
+                    NET007,
+                    f"{node.name}: join inputs share no common ancestor",
+                    node=node.name,
+                )
+                continue
+            fanout = {id(s) for s in successors.get(id(meet), ())}
+            if len(fanout) < 2:
+                out.add(
+                    NET007,
+                    f"{node.name}: join inputs converge at {meet.name}, "
+                    "which never forks — the join merges a branch with "
+                    "itself",
+                    node=node.name,
+                    meet=meet.name,
+                )
+
+
+# ----------------------------------------------------------------------
+# qualifier wiring: VC / VF / VD pairing and variable scope
+
+
+def _speculation_ids(nodes: list[Transducer]) -> set[str]:
+    ids: set[str] = set()
+    for node in nodes:
+        if isinstance(node, VariableDeterminant):
+            ids |= set(node.speculation_ids)
+        qualifier = getattr(node, "qualifier", None)
+        if qualifier is not None and not isinstance(
+            node, (VariableCreator, VariableDeterminant)
+        ):
+            # preceding-axis transducers own a pseudo-qualifier id
+            ids.add(qualifier)
+    return ids
+
+
+def _check_qualifier_wiring(
+    nodes: list[Transducer],
+    predecessors: dict[int, list[Transducer]],
+    index_of: dict[int, int],
+    out: AnalysisReport,
+) -> None:
+    creators: dict[str, list[Transducer]] = {}
+    determinants: dict[str, list[Transducer]] = {}
+    for node in nodes:
+        if isinstance(node, VariableCreator):
+            creators.setdefault(node.qualifier, []).append(node)
+        elif isinstance(node, VariableDeterminant):
+            determinants.setdefault(node.qualifier, []).append(node)
+    speculation = _speculation_ids(nodes)
+
+    for qualifier, created in sorted(creators.items()):
+        if len(created) > 1:
+            out.add(
+                NET008,
+                f"qualifier '{qualifier}' has {len(created)} variable "
+                "creators; instances would be double-allocated",
+                qualifier=qualifier,
+            )
+        if qualifier not in determinants:
+            out.add(
+                NET008,
+                f"qualifier '{qualifier}' has a variable creator but no "
+                "determinant; its variables can never be proven true",
+                qualifier=qualifier,
+                creator=created[0].name,
+            )
+
+    for qualifier, found in sorted(determinants.items()):
+        if len(found) > 1:
+            out.add(
+                NET008,
+                f"qualifier '{qualifier}' has {len(found)} determinants",
+                qualifier=qualifier,
+            )
+        determinant = found[0]
+        created = creators.get(qualifier)
+        if created is None:
+            if qualifier not in speculation:
+                out.add(
+                    NET008,
+                    f"{determinant.name}: no variable creator exists for "
+                    f"qualifier '{qualifier}'",
+                    qualifier=qualifier,
+                    node=determinant.name,
+                )
+        else:
+            ancestors = _ancestors_or_self(determinant, predecessors)
+            if id(created[0]) not in ancestors:
+                out.add(
+                    NET009,
+                    f"{determinant.name}: variable creator "
+                    f"{created[0].name} is not upstream of its "
+                    "determinant — condition variables are determined "
+                    "out of their creation scope",
+                    qualifier=qualifier,
+                    node=determinant.name,
+                )
+        # Fig. 11: the determinant consumes the condition branch through
+        # the qualifier's own positive variable filter.
+        preds = predecessors.get(id(determinant), ())
+        fltr = preds[0] if len(preds) == 1 else None
+        if not (
+            isinstance(fltr, VariableFilter)
+            and fltr.positive
+            and qualifier in fltr.owned
+        ):
+            out.add(
+                NET008,
+                f"{determinant.name}: expected a positive variable "
+                f"filter owning '{qualifier}' immediately upstream, "
+                f"found {fltr.name if fltr is not None else 'nothing'}",
+                qualifier=qualifier,
+                node=determinant.name,
+            )
+
+    # Positive filters must only own qualifier ids that actually exist.
+    for node in nodes:
+        if isinstance(node, VariableFilter) and node.positive:
+            unknown = sorted(
+                owned
+                for owned in node.owned
+                if owned not in creators and owned not in speculation
+            )
+            if unknown:
+                out.add(
+                    NET009,
+                    f"{node.name}: filter owns unknown qualifier id(s) "
+                    f"{unknown}; no creator or speculation allocates them",
+                    node=node.name,
+                    unknown=unknown,
+                )
+
+
+# ----------------------------------------------------------------------
+# condition-store identity and execution plan
+
+
+def _check_store_discipline(
+    network: Network, nodes: list[Transducer], out: AnalysisReport
+) -> None:
+    store = network.condition_store
+    allocator = network.allocator
+    for node in nodes:
+        node_store = getattr(node, "_store", None)
+        if node_store is not None and store is not None and node_store is not store:
+            out.add(
+                NET009,
+                f"{node.name}: wired to a different condition store than "
+                "the network's; contributions would never release "
+                "candidates",
+                node=node.name,
+            )
+        node_alloc = getattr(node, "_allocator", None)
+        if (
+            node_alloc is not None
+            and allocator is not None
+            and node_alloc is not allocator
+        ):
+            out.add(
+                NET009,
+                f"{node.name}: wired to a different variable allocator "
+                "than the network's; variable uids would collide",
+                node=node.name,
+            )
+    if store is None and any(
+        getattr(node, "_store", None) is not None for node in nodes
+    ):
+        out.add(
+            NET009,
+            "network has no condition store but contains transducers "
+            "that require one",
+        )
+
+
+def _check_plan(
+    network: Network,
+    nodes: list[Transducer],
+    predecessors: dict[int, list[Transducer]],
+    index_of: dict[int, int],
+    out: AnalysisReport,
+) -> None:
+    names = [node.name for node in nodes]
+    if len(set(names)) != len(names):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        out.add(
+            NET010,
+            f"display names are not unique: {duplicates}; snapshots "
+            "keyed by name would collide",
+            duplicates=duplicates,
+        )
+    plan = network._plan
+    if len(plan) != len(nodes) - 1:
+        out.add(
+            NET010,
+            f"execution plan covers {len(plan)} node(s) for a network "
+            f"of degree {len(nodes)}",
+            plan=len(plan),
+            degree=len(nodes),
+        )
+        return
+    for row, node in zip(plan, nodes[1:]):
+        planned, left, right = row
+        if planned is not node:
+            out.add(
+                NET010,
+                f"execution plan order diverges from node order at "
+                f"{node.name}",
+                node=node.name,
+            )
+            return
+        preds = predecessors.get(id(node), ())
+        want_left = index_of.get(id(preds[0])) if preds else None
+        want_right = (
+            index_of.get(id(preds[1])) if len(preds) == 2 else -1
+        )
+        if left != want_left or right != want_right:
+            out.add(
+                NET010,
+                f"{node.name}: plan slots ({left}, {right}) disagree "
+                f"with wiring ({want_left}, {want_right})",
+                node=node.name,
+            )

@@ -1,0 +1,93 @@
+"""Pre-flight analysis: everything checkable before a stream is consumed.
+
+:func:`preflight` chains the three static passes — lint the query,
+compile a probe network and verify its structure, certify the ``d·σ``
+memory bound against the configured limits — into one report.  The
+engines run it at construction (opt-out via ``preflight=False``) and
+raise :class:`~repro.errors.StaticAnalysisError` on any error-severity
+finding, so a query that cannot work never starts consuming events.
+
+The probe network compiled here is thrown away: networks carry
+evaluation state, so the engine compiles a fresh one per run anyway
+(compilation is linear in the query, Lemma V.1 — the probe is cheap).
+"""
+
+from __future__ import annotations
+
+from ..dtd.model import Dtd
+from ..errors import StaticAnalysisError
+from ..limits import ResourceLimits
+from ..rpeq.ast import Rpeq
+from ..rpeq.parser import parse
+from .diagnostics import AnalysisReport
+from .cost import certify_cost
+from .lint import lint_query
+from .netcheck import verify_network
+
+
+def preflight(
+    query: str | Rpeq,
+    *,
+    limits: ResourceLimits | None = None,
+    dtd: Dtd | None = None,
+    optimize: bool = True,
+    collect_events: bool = True,
+) -> AnalysisReport:
+    """Run all static passes over one query; returns the merged report."""
+    report = AnalysisReport()
+    if isinstance(query, str):
+        expr = parse(query)
+        lint_query(query, dtd=dtd, report=report)
+    else:
+        expr = query
+        lint_query(expr, dtd=dtd, report=report)
+
+    # Import here, not at module top: the compiler pulls in the full
+    # transducer zoo, and this module is imported by the engine during
+    # package initialization.
+    from ..core.compiler import compile_network
+
+    network, _store = compile_network(
+        expr, collect_events=collect_events, optimize=optimize, limits=limits
+    )
+    verify_network(network, report=report)
+    certify_cost(
+        expr,
+        limits=limits,
+        dtd=dtd,
+        degree=network.degree,
+        collect_events=collect_events,
+        report=report,
+    )
+    return report
+
+
+def ensure_preflight(
+    query: str | Rpeq,
+    *,
+    limits: ResourceLimits | None = None,
+    dtd: Dtd | None = None,
+    optimize: bool = True,
+    collect_events: bool = True,
+) -> AnalysisReport:
+    """Run :func:`preflight`; raise on error-severity findings.
+
+    Raises:
+        StaticAnalysisError: the report contains at least one error.
+            The exception carries the full report as ``.report``.
+    """
+    report = preflight(
+        query,
+        limits=limits,
+        dtd=dtd,
+        optimize=optimize,
+        collect_events=collect_events,
+    )
+    if not report.ok:
+        first = report.errors[0]
+        raise StaticAnalysisError(
+            f"pre-flight analysis failed: {first.render()} "
+            f"({len(report.errors)} error(s) total)",
+            report=report,
+        )
+    return report

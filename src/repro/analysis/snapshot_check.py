@@ -1,0 +1,192 @@
+"""Snapshot-coverage meta-check: does checkpoint/resume capture all state?
+
+The checkpoint protocol (PR 2) relies on every transducer's
+``snapshot()``/``restore()`` round-tripping *all* of its mutable
+evaluation state.  A new attribute added to a transducer but forgotten
+in ``_snapshot_extra`` silently breaks resume: the restored network
+diverges from the original only on inputs that exercise the missing
+state.
+
+Rather than trying to enumerate "mutable attributes" by static
+inspection (slots, dataclasses and service references make that guess
+unreliable), this pass finds them *behaviorally*: it compiles three
+identical networks, drives one with real events, and diffs instance
+state — anything that changed relative to a fresh network was mutated by
+evaluation and must therefore survive a snapshot/restore round-trip
+(``NET020``) and be reset when restoring a pre-run snapshot into the
+dirty network (``NET021``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import fields, is_dataclass
+from typing import Callable, Iterable
+
+from ..conditions.formula import Formula, formula_to_obj
+from ..conditions.store import ConditionStore, VariableAllocator
+from ..core.network import Network
+from ..core.transducer import Transducer
+from ..limits import ResourceLimits
+from ..rpeq.ast import Rpeq
+from ..rpeq.parser import parse
+from ..xmlstream.events import Event
+from .diagnostics import AnalysisReport, Severity, register_code
+
+NET020 = register_code(
+    "NET020", Severity.ERROR, "snapshot", "State mutated but not snapshotted"
+)
+NET021 = register_code(
+    "NET021", Severity.ERROR, "snapshot", "Restore leaves stale state behind"
+)
+
+#: sentinel for attributes the diff ignores (service references)
+_SKIP = object()
+
+
+def _normalize(value: object, _path: tuple[int, ...] = ()) -> object:
+    """Reduce a runtime value to a comparable, deterministic structure.
+
+    Service references (stores, allocators, transducers, callables) are
+    excluded — they are wiring, not evaluation state, and are compared
+    by the network verifier instead.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, (ConditionStore, VariableAllocator, Transducer)):
+        return _SKIP
+    if callable(value):
+        return _SKIP
+    if id(value) in _path:
+        return "<cycle>"
+    path = _path + (id(value),)
+    if isinstance(value, Formula):
+        return ("formula", formula_to_obj(value))
+    if is_dataclass(value) and not isinstance(value, type):
+        normalized = {
+            f.name: _normalize(getattr(value, f.name), path) for f in fields(value)
+        }
+        return (
+            type(value).__name__,
+            {k: v for k, v in normalized.items() if v is not _SKIP},
+        )
+    if isinstance(value, dict):
+        items = [
+            (_normalize(k, path), _normalize(v, path)) for k, v in value.items()
+        ]
+        items = [(k, v) for k, v in items if k is not _SKIP and v is not _SKIP]
+        return ("dict", sorted(items, key=repr))
+    if isinstance(value, (set, frozenset)):
+        members = [_normalize(member, path) for member in value]
+        return ("set", sorted((m for m in members if m is not _SKIP), key=repr))
+    if isinstance(value, (list, tuple, deque)):
+        members = [_normalize(member, path) for member in value]
+        return [m for m in members if m is not _SKIP]
+    return repr(value)
+
+
+def _state_of(node: Transducer) -> dict[str, object]:
+    """Normalized instance state of one transducer, keyed by attribute."""
+    state: dict[str, object] = {}
+    for attr, value in vars(node).items():
+        if attr == "name":
+            continue
+        normalized = _normalize(value)
+        if normalized is not _SKIP:
+            state[attr] = normalized
+    return state
+
+
+def check_snapshot_coverage(
+    query: str | Rpeq | None,
+    events: Iterable[Event],
+    *,
+    optimize: bool = True,
+    collect_events: bool = True,
+    limits: ResourceLimits | None = None,
+    network_factory: Callable[[], Network] | None = None,
+    report: AnalysisReport | None = None,
+) -> AnalysisReport:
+    """Verify snapshot coverage of every transducer compiled for ``query``.
+
+    Drives one network with ``events`` (normally a complete document so
+    every transducer kind sees traffic), then checks that each attribute
+    evaluation mutated (a) reappears when the snapshot is restored into a
+    fresh network and (b) is rolled back when the pre-run snapshot is
+    restored into the dirty network.  ``network_factory`` substitutes a
+    custom deterministic builder (used by the meta-check's own tests to
+    plant a deliberately leaky transducer).
+    """
+
+    def build() -> Network:
+        if network_factory is not None:
+            return network_factory()
+        expr = parse(query) if isinstance(query, str) else query
+        if expr is None:
+            raise ValueError("check_snapshot_coverage needs a query or factory")
+        # Deferred: this module loads during package initialization,
+        # potentially while the compiler module itself is mid-import.
+        from ..core.compiler import compile_network
+
+        network, _store = compile_network(
+            expr, collect_events=collect_events, optimize=optimize, limits=limits
+        )
+        return network
+
+    out = report if report is not None else AnalysisReport()
+    run_net = build()
+    fresh_net = build()
+    target_net = build()
+
+    pre_snapshot = run_net.snapshot()
+    for event in events:
+        run_net.process_event(event)
+    post_snapshot = run_net.snapshot()
+    target_net.restore(post_snapshot)
+
+    fresh_by_name = {node.name: node for node in fresh_net.nodes}
+    target_by_name = {node.name: node for node in target_net.nodes}
+    for node in run_net.nodes:
+        fresh_node = fresh_by_name.get(node.name)
+        target_node = target_by_name.get(node.name)
+        if fresh_node is None or target_node is None:
+            # Non-deterministic factory; the verifier reports naming
+            # problems, nothing to diff here.
+            continue
+        dirty = _state_of(node)
+        fresh = _state_of(fresh_node)
+        restored = _state_of(target_node)
+        for attr in sorted(dirty):
+            if dirty[attr] == fresh.get(attr):
+                continue  # not mutated by this run
+            if restored.get(attr) != dirty[attr]:
+                out.add(
+                    NET020,
+                    f"{node.name}.{attr} was mutated during evaluation "
+                    "but a snapshot/restore round-trip does not "
+                    "reproduce it — resume would silently diverge",
+                    node=node.name,
+                    attribute=attr,
+                )
+
+    # Restoring the pre-run snapshot must fully roll the dirty network
+    # back to fresh state — leftovers mean restore() overwrites less
+    # than evaluation mutates.
+    run_net.restore(pre_snapshot)
+    for node in run_net.nodes:
+        fresh_node = fresh_by_name.get(node.name)
+        if fresh_node is None:
+            continue
+        rolled_back = _state_of(node)
+        fresh = _state_of(fresh_node)
+        for attr in sorted(rolled_back):
+            if rolled_back[attr] != fresh.get(attr):
+                out.add(
+                    NET021,
+                    f"{node.name}.{attr} still holds post-run state "
+                    "after restoring the pre-run snapshot — restore() "
+                    "does not reset it",
+                    node=node.name,
+                    attribute=attr,
+                )
+    return out

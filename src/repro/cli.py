@@ -6,6 +6,7 @@ Subcommands::
     spex xpath XPATH [FILE]          same, with an XPath front-end
     spex cq CQ [FILE]                evaluate a conjunctive query
     spex explain QUERY               show the compiled transducer network
+    spex analyze [QUERY]             static analysis: lint, verify, certify
     spex stats FILE                  stream statistics (size, depth, labels)
 
 With no FILE, the XML document is read from stdin — so the tool composes
@@ -191,6 +192,58 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import all_codes, preflight
+
+    if args.list_codes:
+        for code, info in all_codes().items():
+            print(f"{code}  {info.severity.label:<7}  [{info.source}]  {info.title}")
+        return 0
+
+    if args.workloads:
+        from .workloads import query_corpus
+
+        targets = list(query_corpus().items())
+    elif args.query is not None:
+        targets = [("query", args.query)]
+    else:
+        print("error: give a QUERY, --workloads, or --list-codes", file=sys.stderr)
+        return 2
+
+    dtd = None
+    if args.dtd is not None:
+        from .dtd import parse_dtd
+
+        with open(args.dtd, "r", encoding="utf-8") as handle:
+            dtd = parse_dtd(handle.read())
+
+    limits = None
+    if args.max_depth is not None or args.max_formula_size is not None:
+        limits = ResourceLimits(
+            max_depth=args.max_depth, max_formula_size=args.max_formula_size
+        )
+
+    reports = {
+        name: preflight(text, limits=limits, dtd=dtd) for name, text in targets
+    }
+    failed = any(not report.ok for report in reports.values())
+
+    if args.json:
+        payload = {name: report.to_obj() for name, report in reports.items()}
+        print(json.dumps(payload, indent=2, sort_keys=True, ensure_ascii=False))
+    else:
+        for name, report in reports.items():
+            if len(targets) > 1 and (len(report) or not report.ok):
+                print(f"== {name}")
+            if len(targets) == 1 or len(report) or not report.ok:
+                print(report.render())
+        clean = sum(1 for report in reports.values() if report.ok)
+        print(f"-- {clean}/{len(reports)} quer(y/ies) clean")
+    return 1 if failed else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     stats = measure(_events_from(args.file))
     print(f"messages        : {stats.messages}")
@@ -285,6 +338,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("query", help="rpeq query")
     trace.add_argument("file", nargs="?", help="XML file (default: stdin)")
     trace.set_defaults(func=_cmd_trace)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: lint the query, verify the compiled "
+        "network, certify the d·σ memory bound (no stream needed)",
+    )
+    analyze.add_argument("query", nargs="?", help="rpeq query")
+    analyze.add_argument(
+        "--workloads",
+        action="store_true",
+        help="analyze the whole built-in workload query corpus instead "
+        "of a single query (the CI gate)",
+    )
+    analyze.add_argument(
+        "--dtd", metavar="FILE", help="DTD file to check satisfiability against"
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report(s) as deterministic JSON",
+    )
+    analyze.add_argument(
+        "--list-codes",
+        action="store_true",
+        dest="list_codes",
+        help="print every registered diagnostic code and exit",
+    )
+    analyze.add_argument(
+        "--max-depth",
+        type=_positive_int,
+        metavar="N",
+        dest="max_depth",
+        help="certify against a stream-depth bound of N",
+    )
+    analyze.add_argument(
+        "--max-formula-size",
+        type=_positive_int,
+        metavar="N",
+        dest="max_formula_size",
+        help="fail if the certified σ bound exceeds N",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     stats = sub.add_parser("stats", help="stream statistics")
     stats.add_argument("file", nargs="?", help="XML file (default: stdin)")

@@ -21,9 +21,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from ..analysis.metrics import QueryProfile, analyze
 from ..errors import CheckpointError, EngineError, ResourceLimitError
 from ..limits import ResourceLimits
-from ..rpeq.analysis import QueryProfile, analyze
 from ..rpeq.ast import Rpeq
 from ..rpeq.parser import parse
 from ..rpeq.unparse import unparse
@@ -139,6 +139,7 @@ class SpexEngine:
         optimize: bool = True,
         simplify_query: bool = False,
         limits: ResourceLimits | None = None,
+        preflight: bool = True,
     ) -> None:
         """Create an engine for a query.
 
@@ -155,6 +156,16 @@ class SpexEngine:
             limits: resource guards applied to every run (see
                 :class:`repro.limits.ResourceLimits`); ``None`` means
                 unbounded, the paper's trusting default.
+            preflight: run the static analyzer (:mod:`repro.analysis`)
+                over the query, a probe network, and the limits before
+                accepting the engine; the report is kept as
+                :attr:`analysis`.
+
+        Raises:
+            StaticAnalysisError: pre-flight analysis found an
+                error-severity problem (e.g. the certified worst-case
+                memory bound already exceeds ``limits``); disable with
+                ``preflight=False`` to force evaluation anyway.
         """
         self.query: Rpeq = parse(query) if isinstance(query, str) else query
         if simplify_query:
@@ -164,6 +175,18 @@ class SpexEngine:
         self.collect_events = collect_events
         self.optimize = optimize
         self.limits = limits
+        #: pre-flight :class:`~repro.analysis.AnalysisReport` (``None``
+        #: when constructed with ``preflight=False``)
+        self.analysis = None
+        if preflight:
+            from ..analysis.preflight import ensure_preflight
+
+            self.analysis = ensure_preflight(
+                self.query,
+                limits=limits,
+                optimize=optimize,
+                collect_events=collect_events,
+            )
         #: lifetime recovery counters (checkpoints, restores, retries,
         #: stalls); the supervisor increments the latter two
         self.robustness = RobustnessCounters()

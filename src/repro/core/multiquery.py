@@ -54,6 +54,7 @@ class MultiQueryEngine:
         queries: Mapping[str, str | Rpeq] | Iterable[str],
         collect_events: bool = False,
         limits: ResourceLimits | None = None,
+        preflight: bool = True,
     ) -> None:
         """Register subscription queries.
 
@@ -68,6 +69,13 @@ class MultiQueryEngine:
                 :class:`repro.limits.ResourceLimits`) — on a shared
                 SDI pass, the defense that keeps one depth-bomb document
                 from taking every subscription down with it.
+            preflight: statically analyze every registered query before
+                accepting the engine; per-query reports are kept in
+                :attr:`analysis`.
+
+        Raises:
+            StaticAnalysisError: pre-flight analysis rejected one of the
+                queries (the exception names the offending query id).
         """
         if isinstance(queries, Mapping):
             items = list(queries.items())
@@ -79,6 +87,25 @@ class MultiQueryEngine:
         }
         self.collect_events = collect_events
         self.limits = limits
+        #: per-query pre-flight reports (``None`` with ``preflight=False``)
+        self.analysis = None
+        if preflight:
+            from ..analysis.preflight import ensure_preflight
+            from ..errors import StaticAnalysisError
+
+            reports = {}
+            for query_id, query in self.queries.items():
+                try:
+                    reports[query_id] = ensure_preflight(
+                        query,
+                        limits=limits,
+                        collect_events=collect_events,
+                    )
+                except StaticAnalysisError as exc:
+                    raise StaticAnalysisError(
+                        f"query {query_id!r}: {exc}", report=exc.report
+                    ) from exc
+            self.analysis = reports
         #: lifetime recovery counters, mirroring ``SpexEngine.robustness``
         self.robustness = RobustnessCounters()
         self._last_networks: dict[str, Network] | None = None

@@ -149,6 +149,11 @@ class Network:
         return list(self._nodes)
 
     @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has frozen the topology."""
+        return self._finalized
+
+    @property
     def degree(self) -> int:
         """Number of transducers — the paper's network degree."""
         return len(self._nodes)

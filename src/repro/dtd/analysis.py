@@ -90,6 +90,19 @@ class SchemaAnalyzer:
         """
         return set(self.dtd.elements) - self.reachable_types()
 
+    def condition_satisfiable_somewhere(self, condition: Rpeq) -> bool:
+        """Whether a qualifier condition can match from *any* reachable type.
+
+        ``False`` means the condition is contradictory under the DTD: no
+        element of any valid document satisfies it, so an enclosing
+        ``E[F]`` is statically dead.  Used by the rpeq linter (``RPQ011``).
+        """
+        candidates = sorted(self.reachable_types()) + [_ROOT_TYPE]
+        return any(
+            self._condition_satisfiable(condition, element_type)
+            for element_type in candidates
+        )
+
     # ------------------------------------------------------------------
 
     def _satisfiable_from(self, nfa: Nfa, element_type: str) -> bool:

@@ -80,3 +80,20 @@ class EngineError(ReproError):
 
 class CompilationError(ReproError):
     """An rpeq or conjunctive query could not be compiled into a network."""
+
+
+class StaticAnalysisError(ReproError):
+    """The pre-flight static analyzer rejected a query or network.
+
+    Raised by :class:`~repro.core.engine.SpexEngine` (and the CLI) when
+    an error-severity diagnostic is found before any stream is consumed
+    — e.g. a statically unsatisfiable query under a DTD, a malformed
+    transducer network, or a certified worst-case memory bound that
+    already exceeds the configured :class:`~repro.limits.ResourceLimits`.
+    The full :class:`~repro.analysis.AnalysisReport` is attached as
+    ``report``.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report

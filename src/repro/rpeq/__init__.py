@@ -4,7 +4,7 @@ The query language of the paper's Sec. II.2, with an XPath forward-fragment
 front-end and tooling for analysis and random generation.
 """
 
-from .analysis import QueryProfile, analyze, labels_used, uses_wildcard
+from ..analysis.metrics import QueryProfile, analyze, labels_used, uses_wildcard
 from .ast import (
     WILDCARD,
     Concat,
@@ -24,7 +24,7 @@ from .ast import (
 from .generate import GeneratorConfig, query_family, random_rpeq
 from .lexer import Token, tokenize
 from .parser import parse
-from .rewrite import simplify
+from .rewrite import always_nonempty, simplify
 from .unparse import unparse
 from .xpath import xpath_to_rpeq
 
@@ -44,6 +44,7 @@ __all__ = [
     "Token",
     "Union",
     "WILDCARD",
+    "always_nonempty",
     "analyze",
     "concat_all",
     "descendant_or_self",

@@ -1,150 +1,47 @@
-"""Static analysis of rpeq queries.
+"""Deprecated alias for :mod:`repro.analysis.metrics`.
 
-The complexity results of Sec. V are parameterized by properties of the
-query: its length ``n``, the number of qualifiers, the number of closure
-steps, and in particular the number of *wildcard closure steps carrying
-qualifiers downstream* — the configuration that can make condition
-formulas grow to ``O(d^n)``.  :func:`analyze` computes all of these, and
-the benchmark harness uses them to label experiments.
+The structural query metrics historically lived here; they are now part
+of the static-analysis subsystem in :mod:`repro.analysis`.  This module
+remains so existing imports keep working, but the function entry points
+emit :class:`DeprecationWarning` — import :func:`repro.analysis.analyze`
+(or :mod:`repro.analysis.metrics`) instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from .ast import (
-    Concat,
-    Empty,
-    Following,
-    Label,
-    OptionalExpr,
-    Plus,
-    Preceding,
-    Qualifier,
-    Rpeq,
-    Star,
-    Union,
-)
+from ..analysis.metrics import QueryProfile
+from ..analysis.metrics import analyze as _analyze
+from ..analysis.metrics import labels_used as _labels_used
+from ..analysis.metrics import uses_wildcard as _uses_wildcard
+from .ast import Rpeq
+
+__all__ = ["QueryProfile", "analyze", "labels_used", "uses_wildcard"]
 
 
-@dataclass(frozen=True)
-class QueryProfile:
-    """Structural metrics of an rpeq query.
-
-    Attributes:
-        length: total number of AST nodes (the paper's ``n`` up to a
-            constant factor; network degree is linear in this).
-        steps: number of label/closure steps.
-        qualifiers: number of qualifier brackets.
-        closures: number of ``+``/``*`` steps.
-        wildcard_closures: number of closure steps over the wildcard.
-        unions: number of ``|`` operators.
-        optionals: number of ``?`` operators.
-        max_qualifier_nesting: deepest nesting of qualifiers inside
-            qualifiers (0 when there are none).
-        has_closure_under_qualifier: whether any qualifier condition
-            contains a closure step — relevant to formula-size growth.
-    """
-
-    length: int
-    steps: int
-    qualifiers: int
-    closures: int
-    wildcard_closures: int
-    unions: int
-    optionals: int
-    max_qualifier_nesting: int
-    has_closure_under_qualifier: bool
-
-    @property
-    def fragment(self) -> str:
-        """The paper's fragment name this query falls into.
-
-        ``rpeq*`` — no qualifiers; ``rpeq[]`` — qualifiers but no closure;
-        ``rpeq*[]`` — both (the formula-size worst case).
-        """
-        if self.qualifiers == 0:
-            return "rpeq*"
-        if self.closures == 0:
-            return "rpeq[]"
-        return "rpeq*[]"
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.rpeq.analysis.{name} is deprecated; "
+        f"use repro.analysis.{name} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def analyze(expr: Rpeq) -> QueryProfile:
-    """Compute the :class:`QueryProfile` of a query AST."""
-    length = 0
-    steps = 0
-    qualifiers = 0
-    closures = 0
-    wildcard_closures = 0
-    unions = 0
-    optionals = 0
-    closure_under_qualifier = False
-
-    max_nesting = 0
-
-    # Iterative walk tracking (a) whether we are inside a qualifier
-    # condition and (b) the qualifier-nesting level — iterative so that
-    # arbitrarily long queries (Lemma V.1 workloads reach thousands of
-    # steps) never exhaust the interpreter stack.
-    work: list[tuple[Rpeq, bool, int]] = [(expr, False, 0)]
-    while work:
-        node, inside, nesting = work.pop()
-        length += 1
-        if isinstance(node, Label):
-            steps += 1
-            continue
-        if isinstance(node, (Following, Preceding)):
-            steps += 1
-            length += 1
-            continue
-        if isinstance(node, (Plus, Star)):
-            steps += 1
-            closures += 1
-            if node.label.is_wildcard:
-                wildcard_closures += 1
-            if inside:
-                closure_under_qualifier = True
-            # The label is counted as part of this step.
-            length += 1
-            continue
-        if isinstance(node, Qualifier):
-            qualifiers += 1
-            if nesting + 1 > max_nesting:
-                max_nesting = nesting + 1
-            work.append((node.condition, True, nesting + 1))
-            work.append((node.base, inside, nesting))
-            continue
-        if isinstance(node, Union):
-            unions += 1
-        elif isinstance(node, OptionalExpr):
-            optionals += 1
-        work.extend((child, inside, nesting) for child in node.children())
-
-    return QueryProfile(
-        length=length,
-        steps=steps,
-        qualifiers=qualifiers,
-        closures=closures,
-        wildcard_closures=wildcard_closures,
-        unions=unions,
-        optionals=optionals,
-        max_qualifier_nesting=max_nesting,
-        has_closure_under_qualifier=closure_under_qualifier,
-    )
+    """Deprecated alias for :func:`repro.analysis.metrics.analyze`."""
+    _deprecated("analyze")
+    return _analyze(expr)
 
 
 def labels_used(expr: Rpeq) -> set[str]:
-    """All concrete labels mentioned by a query (excluding the wildcard)."""
-    return {
-        node.name
-        for node in expr.walk()
-        if isinstance(node, Label) and not node.is_wildcard
-    }
+    """Deprecated alias for :func:`repro.analysis.metrics.labels_used`."""
+    _deprecated("labels_used")
+    return _labels_used(expr)
 
 
 def uses_wildcard(expr: Rpeq) -> bool:
-    """Whether the query contains any wildcard step."""
-    return any(
-        isinstance(node, Label) and node.is_wildcard for node in expr.walk()
-    )
+    """Deprecated alias for :func:`repro.analysis.metrics.uses_wildcard`."""
+    _deprecated("uses_wildcard")
+    return _uses_wildcard(expr)

@@ -39,6 +39,18 @@ from .ast import (
 )
 
 
+def always_nonempty(condition: Rpeq) -> bool:
+    """Whether a qualifier condition is trivially true.
+
+    Returns ``True`` for conditions that select at least the context node
+    on *any* input document — e.g. ``epsilon``, ``l*``, ``E?`` — which
+    makes the enclosing ``E[F]`` equivalent to plain ``E``.  Shared by
+    :func:`simplify` (which removes such qualifiers) and the linter's
+    ``RPQ001`` check, so the two can never disagree.
+    """
+    return _always_nonempty(condition)
+
+
 def _always_nonempty(condition: Rpeq) -> bool:
     """Conditions that select at least the context node on any input."""
     if isinstance(condition, (Empty, Star, OptionalExpr)):

@@ -28,6 +28,29 @@ from .wordnet import wordnet
 from .xmark import QUERIES as XMARK_QUERIES
 from .xmark import xmark
 
+
+def query_corpus() -> dict[str, str]:
+    """The full workload query corpus, keyed ``dataset/number``.
+
+    Aggregates every dataset's ``QUERIES`` dict into one deterministic
+    mapping — the corpus the static analyzer (and the CI ``spex analyze``
+    gate) must pass cleanly.
+    """
+    datasets = {
+        "dmoz": DMOZ_QUERIES,
+        "mondial": MONDIAL_QUERIES,
+        "ticker": TICKER_QUERIES,
+        "treebank": TREEBANK_QUERIES,
+        "wordnet": WORDNET_QUERIES,
+        "xmark": XMARK_QUERIES,
+    }
+    return {
+        f"{dataset}/{number}": text
+        for dataset, queries in sorted(datasets.items())
+        for number, text in sorted(queries.items(), key=lambda kv: str(kv[0]))
+    }
+
+
 __all__ = [
     "DMOZ_QUERIES",
     "MONDIAL_QUERIES",
@@ -40,6 +63,7 @@ __all__ = [
     "dmoz_structure",
     "mondial",
     "nested_closure_workload",
+    "query_corpus",
     "random_tree",
     "sensor_feed",
     "stock_ticker",

@@ -1,0 +1,127 @@
+"""Unit tests for the d·σ cost certifier (COST00x diagnostics)."""
+
+from repro.analysis import certify_cost
+from repro.dtd import parse_dtd
+from repro.limits import ResourceLimits
+from repro.rpeq.parser import parse
+
+FLAT_DTD = parse_dtd(
+    """
+    <!DOCTYPE a [
+      <!ELEMENT a (b*)>
+      <!ELEMENT b (#PCDATA)>
+    ]>
+    """
+)
+
+
+class TestCertificate:
+    def test_simple_path_certifies_at_sigma_one(self):
+        cert, report = certify_cost(
+            parse("a.b"), limits=ResourceLimits(max_depth=8), degree=4
+        )
+        assert cert.sigma_bound == 1
+        assert cert.depth_bound == 8 and cert.depth_source == "limits"
+        assert cert.per_transducer_bound == (8 + 1) * 1
+        assert cert.network_bound == 4 * cert.per_transducer_bound
+        assert report.ok
+
+    def test_qualifier_adds_one_variable(self):
+        cert, _ = certify_cost(parse("a[b]"), limits=ResourceLimits(max_depth=8))
+        assert cert.sigma_bound == 2
+
+    def test_closure_under_qualifier_multiplies_by_depth(self):
+        cert, _ = certify_cost(
+            parse("_*.a[_*.b]"), limits=ResourceLimits(max_depth=50)
+        )
+        # VC conjoins one variable (sigma 2), the inner closure can
+        # accumulate one disjunct per open ancestor: 2 * 50.
+        assert cert.sigma_bound == 100
+
+    def test_depth_bound_from_nonrecursive_dtd(self):
+        cert, _ = certify_cost(parse("a.b"), dtd=FLAT_DTD)
+        assert cert.depth_source == "dtd"
+        assert cert.depth_bound is not None
+
+    def test_limits_take_precedence_over_dtd(self):
+        cert, _ = certify_cost(
+            parse("a.b"), limits=ResourceLimits(max_depth=3), dtd=FLAT_DTD
+        )
+        assert cert.depth_source == "limits" and cert.depth_bound == 3
+
+
+class TestDiagnostics:
+    def test_cost000_always_emitted(self):
+        _, report = certify_cost(parse("a"))
+        assert "COST000" in report.codes()
+        (cert,) = report.by_code("COST000")
+        assert cert.details["sigma_bound"] == 1
+
+    def test_cost001_unbounded_closure_growth(self):
+        _, report = certify_cost(parse("_*.a[_*.b]"))
+        assert "COST001" in report.codes()
+        assert report.ok  # a warning, not an error
+
+    def test_cost001_axis_steps_uncertifiable(self):
+        _, report = certify_cost(
+            parse("following::a"), limits=ResourceLimits(max_depth=10)
+        )
+        assert "COST001" in report.codes()
+        (diag,) = report.by_code("COST001")
+        assert "evidence buffers" in diag.message
+
+    def test_cost002_bound_exceeds_limits(self):
+        _, report = certify_cost(
+            parse("_*.a[_*.b]"),
+            limits=ResourceLimits(max_depth=50, max_formula_size=10),
+        )
+        assert "COST002" in report.codes()
+        assert not report.ok
+        (diag,) = report.by_code("COST002")
+        assert diag.details["sigma_bound"] == 100
+        assert diag.details["max_formula_size"] == 10
+
+    def test_cost002_silent_when_within_budget(self):
+        _, report = certify_cost(
+            parse("a[b]"), limits=ResourceLimits(max_depth=5, max_formula_size=64)
+        )
+        assert "COST002" not in report.codes()
+        assert report.ok
+
+    def test_cost002_not_reported_without_depth_bound(self):
+        # Matches the runtime guard's contract: without d the bound is
+        # unknown, so only the uncertifiability warning fires.
+        _, report = certify_cost(
+            parse("_*.a[_*.b]"), limits=ResourceLimits(max_formula_size=10)
+        )
+        assert "COST002" not in report.codes()
+        assert "COST001" in report.codes()
+
+    def test_cost003_pending_candidates_dynamic(self):
+        _, report = certify_cost(
+            parse("a[b]"), limits=ResourceLimits(max_pending_candidates=100)
+        )
+        assert "COST003" in report.codes()
+
+    def test_cost004_buffered_events_dynamic(self):
+        _, report = certify_cost(
+            parse("a"), limits=ResourceLimits(max_buffered_events=100)
+        )
+        assert "COST004" in report.codes()
+        _, report = certify_cost(
+            parse("a"),
+            limits=ResourceLimits(max_buffered_events=100),
+            collect_events=False,
+        )
+        assert "COST004" not in report.codes()
+
+
+class TestScalability:
+    def test_long_concat_chain_does_not_recurse(self):
+        from repro.rpeq.generate import query_family
+
+        cert, report = certify_cost(
+            query_family(3000, 0), limits=ResourceLimits(max_depth=10)
+        )
+        assert cert.sigma_bound == 1
+        assert report.ok

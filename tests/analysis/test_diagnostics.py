@@ -1,0 +1,127 @@
+"""Unit tests for the shared diagnostics framework."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    Span,
+    all_codes,
+    register_code,
+)
+
+
+class TestSpan:
+    def test_valid(self):
+        assert Span(0, 4).to_obj() == [0, 4]
+
+    def test_empty_allowed(self):
+        assert Span(3, 3).to_obj() == [3, 3]
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Span(-1, 4)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Span(5, 2)
+
+
+class TestRegistry:
+    def test_known_codes_present(self):
+        codes = all_codes()
+        for code in ("RPQ001", "NET001", "NET007", "NET020", "COST002"):
+            assert code in codes
+
+    def test_registry_is_sorted_copy(self):
+        codes = all_codes()
+        assert list(codes) == sorted(codes)
+        codes.pop("RPQ001")
+        assert "RPQ001" in CODES  # mutating the copy leaves the registry alone
+
+    def test_reregistration_idempotent(self):
+        info = CODES["RPQ001"]
+        register_code("RPQ001", info.severity, info.source, info.title)
+
+    def test_conflicting_redeclaration_rejected(self):
+        try:
+            register_code("ZZZ999", Severity.INFO, "test", "scratch")
+            with pytest.raises(ValueError):
+                register_code("ZZZ999", Severity.ERROR, "test", "scratch")
+        finally:
+            CODES.pop("ZZZ999", None)
+
+    def test_unregistered_code_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="NOPE42", severity=Severity.INFO, message="x")
+
+
+class TestDocumentation:
+    def test_every_code_is_catalogued_in_docs(self):
+        from pathlib import Path
+
+        catalogue = (
+            Path(__file__).resolve().parents[2] / "docs" / "analysis.md"
+        ).read_text(encoding="utf-8")
+        missing = [code for code in all_codes() if code not in catalogue]
+        assert not missing, f"undocumented diagnostic codes: {missing}"
+
+
+class TestReport:
+    def test_defaults_come_from_registry(self):
+        report = AnalysisReport()
+        diag = report.add("NET007", "imbalance")
+        assert diag.severity is Severity.ERROR
+        assert diag.source == "network"
+
+    def test_ordering_severity_then_code(self):
+        report = AnalysisReport()
+        report.add("RPQ007", "note")
+        report.add("NET007", "bad join")
+        report.add("RPQ001", "trivial")
+        assert [d.code for d in report.sorted()] == ["NET007", "RPQ001", "RPQ007"]
+
+    def test_ok_and_error_partitions(self):
+        report = AnalysisReport()
+        assert report.ok
+        report.add("RPQ001", "warn")
+        assert report.ok and len(report.warnings) == 1
+        report.add("NET007", "err")
+        assert not report.ok and len(report.errors) == 1
+
+    def test_codes_and_by_code(self):
+        report = AnalysisReport()
+        report.add("RPQ001", "one")
+        report.add("RPQ001", "two")
+        assert report.codes() == {"RPQ001"}
+        assert [d.message for d in report.by_code("RPQ001")] == ["one", "two"]
+
+    def test_extend_merges(self):
+        left, right = AnalysisReport(), AnalysisReport()
+        left.add("RPQ001", "a")
+        right.add("NET007", "b")
+        left.extend(right)
+        assert left.codes() == {"RPQ001", "NET007"}
+
+    def test_render_lines(self):
+        report = AnalysisReport()
+        assert report.render() == "no findings"
+        report.add("RPQ001", "trivial qualifier", span=Span(2, 7))
+        assert report.render() == "RPQ001 warning: trivial qualifier @2..7"
+
+    def test_json_is_deterministic_and_parseable(self):
+        report = AnalysisReport()
+        report.add("NET007", "bad join", node="JO", zeta=1, alpha=2)
+        report.add("RPQ001", "trivial", span=Span(0, 3))
+        first, second = report.to_json(), report.to_json()
+        assert first == second
+        obj = json.loads(first)
+        assert obj["ok"] is False
+        assert obj["counts"] == {"error": 1, "warning": 1, "info": 0}
+        details = obj["diagnostics"][0]["details"]
+        assert list(details) == sorted(details)
+        assert obj["diagnostics"][1]["span"] == [0, 3]

@@ -1,0 +1,66 @@
+"""Unit tests for pre-flight analysis and its engine wiring."""
+
+import pytest
+
+from repro.analysis import ensure_preflight, preflight
+from repro.core.engine import SpexEngine
+from repro.core.multiquery import MultiQueryEngine
+from repro.errors import ReproError, StaticAnalysisError
+from repro.limits import ResourceLimits
+
+#: certifiably over budget: σ̂ = 2·50 = 100 > 10 (see test_cost.py)
+DOOMED = "_*.a[_*.b]"
+DOOMED_LIMITS = ResourceLimits(max_depth=50, max_formula_size=10)
+
+
+class TestPreflight:
+    def test_clean_query_passes_all_passes(self):
+        report = preflight("_*.a[b]", limits=ResourceLimits(max_depth=20))
+        assert report.ok
+        assert "COST000" in report.codes()
+
+    def test_over_budget_query_rejected(self):
+        report = preflight(DOOMED, limits=DOOMED_LIMITS)
+        assert not report.ok
+        assert "COST002" in report.codes()
+
+    def test_ensure_raises_with_report_attached(self):
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            ensure_preflight(DOOMED, limits=DOOMED_LIMITS)
+        assert "COST002" in str(excinfo.value)
+        assert excinfo.value.report is not None
+        assert "COST002" in excinfo.value.report.codes()
+
+    def test_static_analysis_error_is_a_repro_error(self):
+        assert issubclass(StaticAnalysisError, ReproError)
+
+
+class TestEngineWiring:
+    def test_engine_runs_preflight_by_default(self):
+        engine = SpexEngine("_*.a[b]")
+        assert engine.analysis is not None
+        assert engine.analysis.ok
+
+    def test_engine_rejects_doomed_query(self):
+        with pytest.raises(StaticAnalysisError):
+            SpexEngine(DOOMED, limits=DOOMED_LIMITS)
+
+    def test_engine_preflight_opt_out(self):
+        engine = SpexEngine(DOOMED, limits=DOOMED_LIMITS, preflight=False)
+        assert engine.analysis is None
+
+    def test_multiquery_reports_offending_query_id(self):
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            MultiQueryEngine(
+                {"good": "_*.a[b]", "bad": DOOMED}, limits=DOOMED_LIMITS
+            )
+        assert "bad" in str(excinfo.value)
+
+    def test_multiquery_collects_reports(self):
+        engine = MultiQueryEngine({"one": "_*.a[b]", "two": "a.b"})
+        assert set(engine.analysis) == {"one", "two"}
+        assert all(report.ok for report in engine.analysis.values())
+
+    def test_multiquery_opt_out(self):
+        engine = MultiQueryEngine({"bad": DOOMED}, limits=DOOMED_LIMITS, preflight=False)
+        assert engine.analysis is None

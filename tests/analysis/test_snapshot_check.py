@@ -1,0 +1,76 @@
+"""Unit tests for the snapshot-coverage meta-check (NET020/NET021)."""
+
+import pytest
+
+from repro.analysis import check_snapshot_coverage
+from repro.conditions.store import ConditionStore
+from repro.core.network import Network
+from repro.core.output_tx import OutputTransducer
+from repro.core.path_transducers import ChildTransducer, InputTransducer
+from repro.rpeq.ast import Label
+from repro.xmlstream import parse_string
+
+DOC = "<r><a><b>x</b><c/></a><a><b/></a></r>"
+
+
+def events():
+    return list(parse_string(DOC))
+
+
+class TestCleanQueries:
+    @pytest.mark.parametrize(
+        "query",
+        ["_*.a[b].c", "a.a[b]", "_*.b", "(a|b).c?", "following::b", "preceding::b"],
+    )
+    def test_compiled_networks_are_fully_covered(self, query):
+        report = check_snapshot_coverage(query, events())
+        assert report.ok, report.render()
+
+    def test_unoptimized_compiler_covered(self):
+        report = check_snapshot_coverage("_*.a[b]", events(), optimize=False)
+        assert report.ok, report.render()
+
+
+class LeakyChild(ChildTransducer):
+    """A child step with evaluation state missing from its snapshot.
+
+    ``seen_labels`` mutates during evaluation but ``_snapshot_extra`` is
+    not overridden, so snapshot/restore neither reproduces nor resets it
+    — exactly the regression the meta-check exists to catch.
+    """
+
+    def __init__(self, test, name=None):
+        super().__init__(test, name)
+        self.seen_labels = []
+
+    def on_start(self, message, event):
+        if event.__class__.__name__ == "StartElement":
+            self.seen_labels.append(event.label)
+        return super().on_start(message, event)
+
+
+def leaky_network():
+    store = ConditionStore()
+    network = Network(InputTransducer("IN"))
+    child = network.add(LeakyChild(Label("a"), "CH(a)"), network.source)
+    network.sink = network.add(OutputTransducer(store), child)
+    network.condition_store = store
+    network.finalize()
+    return network
+
+
+class TestLeakDetection:
+    def test_unsnapshotted_attribute_reported(self):
+        report = check_snapshot_coverage(
+            None, events(), network_factory=leaky_network
+        )
+        assert not report.ok
+        assert report.codes() == {"NET020", "NET021"}
+        for code in ("NET020", "NET021"):
+            (diag,) = report.by_code(code)
+            assert diag.details["node"] == "CH(a)"
+            assert diag.details["attribute"] == "seen_labels"
+
+    def test_needs_query_or_factory(self):
+        with pytest.raises(ValueError):
+            check_snapshot_coverage(None, events())

@@ -174,3 +174,62 @@ class TestCheckpointFlags:
     def test_resume_requires_checkpoint_dir(self, doc_file, capsys):
         assert main(["query", "a", doc_file, "--resume"]) == 2
         assert "--checkpoint-dir" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_clean_query_exits_zero(self, capsys):
+        assert main(["analyze", "_*.a[b].c"]) == 0
+        out = capsys.readouterr().out
+        assert "COST000" in out
+        assert "1/1" in out
+
+    def test_error_diagnostics_exit_nonzero(self, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    "_*.a[_*.b]",
+                    "--max-depth",
+                    "50",
+                    "--max-formula-size",
+                    "10",
+                ]
+            )
+            == 1
+        )
+        assert "COST002" in capsys.readouterr().out
+
+    def test_json_output_is_stable_across_runs(self, capsys):
+        import json
+
+        assert main(["analyze", "_*.a[b]", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["analyze", "_*.a[b]", "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["query"]["ok"] is True
+
+    def test_list_codes(self, capsys):
+        assert main(["analyze", "--list-codes"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPQ001", "NET007", "COST002"):
+            assert code in out
+
+    def test_requires_query_or_workloads(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "QUERY" in capsys.readouterr().err
+
+    def test_workload_corpus_is_clean(self, capsys):
+        from repro.workloads import query_corpus
+
+        total = len(query_corpus())
+        assert main(["analyze", "--workloads"]) == 0
+        assert f"{total}/{total}" in capsys.readouterr().out
+
+    def test_dtd_findings_surface(self, tmp_path, capsys):
+        dtd = tmp_path / "doc.dtd"
+        dtd.write_text("<!ELEMENT a (b*)>\n<!ELEMENT b EMPTY>")
+        assert main(["analyze", "a.c", "--dtd", str(dtd)]) == 1
+        out = capsys.readouterr().out
+        assert "RPQ010" in out and "RPQ012" in out

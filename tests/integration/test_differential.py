@@ -12,7 +12,7 @@ from hypothesis import HealthCheck, given, settings
 
 from repro import SpexEngine
 from repro.baselines import DomEvaluator, TreeAutomatonEvaluator, XScanEvaluator
-from repro.rpeq.analysis import analyze
+from repro.analysis import analyze
 from repro.xmlstream.tree import build_document
 
 from ..conftest import event_streams, rpeq_queries

@@ -4,7 +4,7 @@ from hypothesis import HealthCheck, given, settings
 
 from repro import SpexEngine
 from repro.core.compiler import compile_network
-from repro.rpeq.analysis import analyze
+from repro.analysis import analyze
 from repro.rpeq.generate import query_family
 from repro.workloads.generators import deep_chain, nested_closure_workload
 from repro.xmlstream.stats import measure

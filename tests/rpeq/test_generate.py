@@ -2,7 +2,7 @@
 
 import random
 
-from repro.rpeq.analysis import analyze
+from repro.analysis import analyze
 from repro.rpeq.ast import Rpeq
 from repro.rpeq.generate import GeneratorConfig, query_family, random_rpeq
 
@@ -31,7 +31,7 @@ class TestRandomRpeq:
             assert analyze(expr).closures == 0
 
     def test_label_pool_respected(self):
-        from repro.rpeq.analysis import labels_used
+        from repro.analysis import labels_used
 
         config = GeneratorConfig(labels=("x", "y"))
         for seed in range(40):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import HealthCheck, given, settings
 
-from repro.rpeq.analysis import analyze
+from repro.analysis import analyze
 from repro.rpeq.parser import parse
 from repro.rpeq.rewrite import simplify
 

@@ -7,6 +7,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.analysis",
     "repro.xmlstream",
     "repro.rpeq",
     "repro.conditions",
