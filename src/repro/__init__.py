@@ -15,6 +15,9 @@ Quickstart::
 Public surface:
 
 * :class:`SpexEngine` / :func:`evaluate` — the streaming engine.
+* :class:`MultiQueryEngine` — shared-pass SDI serving, with bulkhead
+  isolation, circuit breakers, deadlines and admission control
+  (:class:`ServingPolicy` / :class:`AdmissionPolicy`).
 * :func:`parse` / :func:`xpath_to_rpeq` — query front-ends.
 * :mod:`repro.xmlstream` — event model, SAX parsing, serialization.
 * :mod:`repro.baselines` — the in-memory comparison processors.
@@ -23,8 +26,21 @@ Public surface:
 """
 
 from .core.checkpoint import Checkpoint
+from .core.clock import SYSTEM_CLOCK, Clock, FakeClock, SystemClock
 from .core.engine import SpexEngine, evaluate
+from .core.multiquery import MultiQueryEngine
 from .core.output_tx import Match
+from .core.serving import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    QueryOutcome,
+    ServingPolicy,
+    ServingReport,
+    classify_admission,
+)
 from .core.supervisor import (
     StallError,
     Supervisor,
@@ -33,9 +49,12 @@ from .core.supervisor import (
     supervise,
 )
 from .errors import (
+    AdmissionError,
     CheckpointError,
     CompilationError,
+    DeadlineExceeded,
     EngineError,
+    InputLimitError,
     QuerySyntaxError,
     ReproError,
     ResourceLimitError,
@@ -46,23 +65,40 @@ from .limits import ResourceLimits
 from .rpeq.parser import parse
 from .rpeq.xpath import xpath_to_rpeq
 from .xmlstream.offsets import StreamCursor
+from .xmlstream.parser import ParserLimits
 from .xmlstream.recovery import ErrorRecord, ErrorReport, RecoveryPolicy
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionError",
+    "AdmissionPolicy",
+    "BreakerPolicy",
+    "BreakerState",
     "Checkpoint",
     "CheckpointError",
+    "CircuitBreaker",
+    "Clock",
     "CompilationError",
+    "DeadlineExceeded",
     "EngineError",
     "ErrorRecord",
     "ErrorReport",
+    "FakeClock",
+    "InputLimitError",
     "Match",
+    "MultiQueryEngine",
+    "ParserLimits",
+    "QueryOutcome",
     "QuerySyntaxError",
     "RecoveryPolicy",
     "ReproError",
     "ResourceLimitError",
     "ResourceLimits",
+    "SYSTEM_CLOCK",
+    "ServingPolicy",
+    "ServingReport",
     "SpexEngine",
     "StallError",
     "StreamCursor",
@@ -70,8 +106,10 @@ __all__ = [
     "Supervisor",
     "SupervisorConfig",
     "SupervisorReport",
+    "SystemClock",
     "UnsupportedFeatureError",
     "__version__",
+    "classify_admission",
     "evaluate",
     "parse",
     "supervise",

@@ -3,6 +3,8 @@
 Subcommands::
 
     spex query QUERY [FILE]          evaluate an rpeq against a file/stdin
+    spex serve QUERY... [--file F]   multi-query serving with bulkheads,
+                                     breakers, deadlines, admission
     spex xpath XPATH [FILE]          same, with an XPath front-end
     spex cq CQ [FILE]                evaluate a conjunctive query
     spex explain QUERY               show the compiled transducer network
@@ -157,6 +159,112 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core.multiquery import MultiQueryEngine
+    from .core.serving import AdmissionPolicy, ServingPolicy
+    from .xmlstream.parser import ParserLimits, iter_documents
+
+    queries: dict[str, str] = {}
+    for index, spec in enumerate(args.queries, 1):
+        if "=" in spec:
+            query_id, _, text = spec.partition("=")
+        else:
+            query_id, text = f"q{index}", spec
+        if query_id in queries:
+            print(f"error: duplicate query id {query_id!r}", file=sys.stderr)
+            return 2
+        queries[query_id] = text
+
+    admission = None
+    if args.admission is not None:
+        hard, _, soft = args.admission.partition(":")
+        try:
+            admission = AdmissionPolicy(
+                reject_sigma=int(hard),
+                degrade_sigma=int(soft) if soft else None,
+                depth_bound=getattr(args, "max_depth", None),
+            )
+        except ValueError as exc:
+            print(f"error: bad --admission value: {exc}", file=sys.stderr)
+            return 2
+
+    priorities: dict[str, int] = {}
+    for spec in args.priority or ():
+        query_id, _, value = spec.partition("=")
+        if not value or query_id not in queries:
+            print(f"error: bad --priority {spec!r} (want ID=N)", file=sys.stderr)
+            return 2
+        priorities[query_id] = int(value)
+
+    policy = ServingPolicy(
+        quarantine=args.quarantine != "off",
+        stream_deadline=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+        doc_deadline=(
+            args.doc_deadline_ms / 1000.0
+            if args.doc_deadline_ms is not None
+            else None
+        ),
+        shed_buffered_events=args.shed_buffered,
+        priorities=priorities,
+    )
+    parser_limits = ParserLimits.default() if args.harden else None
+    engine = MultiQueryEngine(
+        queries,
+        collect_events=not args.count,
+        limits=_limits_from(args),
+        admission=admission,
+    )
+    report = ErrorReport()
+    files = args.file or []
+    if not files:
+        source: object = parse_stream(sys.stdin.buffer, limits=parser_limits)
+    elif len(files) == 1:
+        source = files[0]
+    else:
+        source = iter_documents(files, limits=parser_limits, report=report)
+    matches = engine.serve(
+        source,
+        policy=policy,
+        on_error=args.on_error,
+        report=report,
+        parser_limits=parser_limits,
+    )
+    counts: dict[str, int] = {}
+    total = 0
+    for query_id, match in matches:
+        counts[query_id] = counts.get(query_id, 0) + 1
+        total += 1
+        if not args.count:
+            print(
+                f"-- {query_id}: match {counts[query_id]} "
+                f"(position {match.position}, <{match.label}>)"
+            )
+            print(match.to_xml())
+    if args.count:
+        for query_id in queries:
+            print(f"{query_id}\t{counts.get(query_id, 0)}")
+    else:
+        print(f"-- {total} match(es) across {len(queries)} quer(y/ies)")
+    serving = engine.serving
+    print(f"-- serving: {serving.summary()}", file=sys.stderr)
+    degraded_exit = False
+    for query_id, outcome in sorted(serving.outcomes.items()):
+        if outcome.healthy and not outcome.degraded:
+            continue
+        degraded_exit = True
+        detail = f"--   {query_id}: {outcome.status}"
+        if outcome.code is not None:
+            detail += f" [{outcome.code}]"
+        if outcome.reason is not None:
+            detail += f" {outcome.reason}"
+        print(detail, file=sys.stderr)
+    if not report.ok:
+        print(f"-- recovered: {report.summary()}", file=sys.stderr)
+    return 3 if degraded_exit else 0
 
 
 def _cmd_xpath(args: argparse.Namespace) -> int:
@@ -315,6 +423,105 @@ def build_parser() -> argparse.ArgumentParser:
         "are restored from the checkpoint",
     )
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="evaluate many queries in one pass with bulkhead isolation, "
+        "circuit breakers, deadlines and admission control",
+    )
+    serve.add_argument(
+        "queries",
+        nargs="+",
+        metavar="QUERY",
+        help="rpeq queries, optionally named as ID=RPEQ (default ids: "
+        "q1, q2, ...)",
+    )
+    serve.add_argument(
+        "--file",
+        action="append",
+        metavar="FILE",
+        help="XML document file; repeatable — several files form one "
+        "multi-document stream (default: stdin)",
+    )
+    serve.add_argument(
+        "--count", action="store_true", help="print one 'id<TAB>count' line per query"
+    )
+    serve.add_argument(
+        "--on-error",
+        choices=["strict", "skip", "repair"],
+        default="skip",
+        dest="on_error",
+        help="recovery policy for malformed documents (default: skip — "
+        "serving favours survival over strictness)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=_positive_int,
+        metavar="MS",
+        dest="deadline_ms",
+        help="wall-clock budget for the whole pass; expiry detaches every "
+        "query with a DEADLINE_STREAM outcome, never a global abort",
+    )
+    serve.add_argument(
+        "--doc-deadline-ms",
+        type=_positive_int,
+        metavar="MS",
+        dest="doc_deadline_ms",
+        help="wall-clock budget per document; expired queries rejoin at "
+        "the next document boundary",
+    )
+    serve.add_argument(
+        "--admission",
+        metavar="SIGMA[:SOFT]",
+        help="admission control: reject queries whose certified σ̂ bound "
+        "exceeds SIGMA; with :SOFT, queries between SOFT and SIGMA are "
+        "admitted with degraded buffer ceilings (uses --max-depth as "
+        "the certification depth bound)",
+    )
+    serve.add_argument(
+        "--quarantine",
+        choices=["on", "off"],
+        default="on",
+        help="bulkhead isolation: 'on' (default) quarantines a failing "
+        "query and keeps the rest streaming; 'off' lets the failure "
+        "propagate",
+    )
+    serve.add_argument(
+        "--shed-buffered",
+        type=_positive_int,
+        metavar="N",
+        dest="shed_buffered",
+        help="aggregate buffered-events high-water mark; crossing it "
+        "sheds the lowest-priority queries (never the stream)",
+    )
+    serve.add_argument(
+        "--priority",
+        action="append",
+        metavar="ID=N",
+        help="shedding priority for one query (lower is shed first; "
+        "default 0); repeatable",
+    )
+    serve.add_argument(
+        "--harden",
+        action="store_true",
+        help="arm the untrusted-input parser ceilings (entity "
+        "amplification, text/attribute/name lengths)",
+    )
+    serve.add_argument(
+        "--max-depth",
+        type=_positive_int,
+        metavar="N",
+        dest="max_depth",
+        help="per-query depth guard, and the admission depth bound",
+    )
+    serve.add_argument(
+        "--max-buffered",
+        type=_positive_int,
+        metavar="N",
+        dest="max_buffered",
+        help="cap each query's output buffer at N events",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     xpath = sub.add_parser("xpath", help="evaluate a forward-fragment XPath")
     xpath.add_argument("xpath", help="XPath, e.g. '//country[province]/name'")

@@ -5,8 +5,21 @@ progressive evaluation model of Sec. III.
 """
 
 from .checkpoint import CHECKPOINT_VERSION, Checkpoint
+from .clock import SYSTEM_CLOCK, Clock, FakeClock, SystemClock, as_clock
 from .compiler import compile_network
 from .engine import EngineStats, RobustnessCounters, SpexEngine, evaluate
+from .serving import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    QueryOutcome,
+    ServingPolicy,
+    ServingReport,
+    classify_admission,
+    ensure_admitted,
+)
 from .supervisor import (
     StallError,
     Supervisor,
@@ -36,9 +49,15 @@ from .transducer import Transducer, TransducerStats
 
 __all__ = [
     "Activation",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "BreakerPolicy",
+    "BreakerState",
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "ChildTransducer",
+    "CircuitBreaker",
+    "Clock",
     "Close",
     "ClosureTransducer",
     "Contribute",
@@ -46,6 +65,7 @@ __all__ = [
     "Dispatcher",
     "Doc",
     "EngineStats",
+    "FakeClock",
     "InputTransducer",
     "JoinTransducer",
     "Match",
@@ -55,7 +75,11 @@ __all__ = [
     "NetworkStats",
     "OutputStats",
     "OutputTransducer",
+    "QueryOutcome",
     "RobustnessCounters",
+    "SYSTEM_CLOCK",
+    "ServingPolicy",
+    "ServingReport",
     "SharedNetworkEngine",
     "SpexEngine",
     "SplitTransducer",
@@ -64,6 +88,7 @@ __all__ = [
     "Supervisor",
     "SupervisorConfig",
     "SupervisorReport",
+    "SystemClock",
     "Tracer",
     "Transducer",
     "TransducerStats",
@@ -71,7 +96,10 @@ __all__ = [
     "VariableCreator",
     "VariableDeterminant",
     "VariableFilter",
+    "as_clock",
+    "classify_admission",
     "compile_network",
+    "ensure_admitted",
     "evaluate",
     "supervise",
     "trace_run",

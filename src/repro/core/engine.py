@@ -57,6 +57,14 @@ class RobustnessCounters:
     restores: int = 0
     retries: int = 0
     stalls_detected: int = 0
+    # Serving-layer counters (bulkheads, breakers, admission, shedding);
+    # incremented by MultiQueryEngine.serve().
+    quarantines: int = 0
+    breaker_trips: int = 0
+    readmissions: int = 0
+    load_sheds: int = 0
+    deadline_hits: int = 0
+    admissions_rejected: int = 0
 
 
 @dataclass
@@ -81,6 +89,12 @@ class EngineStats:
         restores: runs started from a checkpoint.
         retries: source reconnects performed by the supervisor.
         stalls_detected: heartbeat-timeout firings in the supervisor.
+        quarantines: per-query bulkhead detachments in the serving layer.
+        breaker_trips: circuit-breaker openings (serving layer).
+        readmissions: breakers re-closed after a successful probe.
+        load_sheds: queries shed at the aggregate-buffer high-water mark.
+        deadline_hits: per-query deadline expiries (document + stream).
+        admissions_rejected: queries refused at admission control.
     """
 
     network: NetworkStats = field(default_factory=NetworkStats)
@@ -95,6 +109,12 @@ class EngineStats:
     restores: int = 0
     retries: int = 0
     stalls_detected: int = 0
+    quarantines: int = 0
+    breaker_trips: int = 0
+    readmissions: int = 0
+    load_sheds: int = 0
+    deadline_hits: int = 0
+    admissions_rejected: int = 0
 
     def summary(self) -> str:
         """Human-readable one-screen digest of a run's resource profile."""
@@ -116,6 +136,11 @@ class EngineStats:
             f"restores              : {self.restores}",
             f"retries               : {self.retries}",
             f"stalls detected       : {self.stalls_detected}",
+            f"quarantines           : {self.quarantines}"
+            f" ({self.breaker_trips} trip(s), {self.readmissions} readmission(s))",
+            f"load sheds            : {self.load_sheds}",
+            f"deadline hits         : {self.deadline_hits}",
+            f"admissions rejected   : {self.admissions_rejected}",
         ]
         if self.query is not None:
             lines.insert(
@@ -518,6 +543,12 @@ class SpexEngine:
         stats.restores = self.robustness.restores
         stats.retries = self.robustness.retries
         stats.stalls_detected = self.robustness.stalls_detected
+        stats.quarantines = self.robustness.quarantines
+        stats.breaker_trips = self.robustness.breaker_trips
+        stats.readmissions = self.robustness.readmissions
+        stats.load_sheds = self.robustness.load_sheds
+        stats.deadline_hits = self.robustness.deadline_hits
+        stats.admissions_rejected = self.robustness.admissions_rejected
         return stats
 
     def describe_network(self) -> str:

@@ -23,14 +23,14 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping
 
 from ..conditions.store import ConditionStore, VariableAllocator
-from ..errors import CheckpointError, EngineError, ResourceLimitError
+from ..errors import CheckpointError, DeadlineExceeded, EngineError, ResourceLimitError
 from ..limits import ResourceLimits
 from ..rpeq.ast import Concat, Rpeq
 from ..rpeq.parser import parse
 from ..rpeq.unparse import unparse
-from ..xmlstream.events import Event
+from ..xmlstream.events import EndDocument, Event, StartDocument
 from ..xmlstream.offsets import StreamCursor, skip_events
-from ..xmlstream.parser import iter_events
+from ..xmlstream.parser import ParserLimits, iter_events
 from ..xmlstream.recovery import (
     ErrorReport,
     RecoveryPolicy,
@@ -39,11 +39,23 @@ from ..xmlstream.recovery import (
     recovering,
 )
 from .checkpoint import Checkpoint
+from .clock import Clock, as_clock
 from .compiler import _Compiler, compile_network
 from .engine import RobustnessCounters
 from .network import Network
 from .output_tx import Match, OutputTransducer
 from .path_transducers import InputTransducer
+from .serving import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    BreakerState,
+    CircuitBreaker,
+    QueryOutcome,
+    ServingPolicy,
+    ServingReport,
+    classify_admission,
+    ensure_admitted,
+)
 
 
 class MultiQueryEngine:
@@ -55,6 +67,7 @@ class MultiQueryEngine:
         collect_events: bool = False,
         limits: ResourceLimits | None = None,
         preflight: bool = True,
+        admission: AdmissionPolicy | None = None,
     ) -> None:
         """Register subscription queries.
 
@@ -72,6 +85,12 @@ class MultiQueryEngine:
             preflight: statically analyze every registered query before
                 accepting the engine; per-query reports are kept in
                 :attr:`analysis`.
+            admission: cost-certified admission control
+                (:class:`~repro.core.serving.AdmissionPolicy`).  Each
+                query is classified at registration; rejected queries
+                never touch the stream and degraded admissions run under
+                tightened buffer ceilings.  Decisions are kept in
+                :attr:`admissions`.
 
         Raises:
             StaticAnalysisError: pre-flight analysis rejected one of the
@@ -87,40 +106,134 @@ class MultiQueryEngine:
         }
         self.collect_events = collect_events
         self.limits = limits
+        #: lifetime recovery counters, mirroring ``SpexEngine.robustness``
+        self.robustness = RobustnessCounters()
+        self.admission = admission
+        #: per-query :class:`~repro.core.serving.AdmissionDecision`
+        #: (empty without an admission policy)
+        self.admissions: dict[str, AdmissionDecision] = {}
+        if admission is not None:
+            for query_id, query in self.queries.items():
+                decision = classify_admission(query, admission, limits)
+                self.admissions[query_id] = decision
+                if not decision.admitted:
+                    self.robustness.admissions_rejected += 1
+        self._preflight = preflight
         #: per-query pre-flight reports (``None`` with ``preflight=False``)
         self.analysis = None
         if preflight:
-            from ..analysis.preflight import ensure_preflight
-            from ..errors import StaticAnalysisError
-
             reports = {}
             for query_id, query in self.queries.items():
-                try:
-                    reports[query_id] = ensure_preflight(
-                        query,
-                        limits=limits,
-                        collect_events=collect_events,
-                    )
-                except StaticAnalysisError as exc:
-                    raise StaticAnalysisError(
-                        f"query {query_id!r}: {exc}", report=exc.report
-                    ) from exc
+                if not self._is_admitted(query_id):
+                    continue
+                reports[query_id] = self._preflight_one(query_id, query)
             self.analysis = reports
-        #: lifetime recovery counters, mirroring ``SpexEngine.robustness``
-        self.robustness = RobustnessCounters()
+        #: :class:`~repro.core.serving.ServingReport` of the most recent
+        #: :meth:`serve` pass (``None`` before the first one)
+        self.serving: ServingReport | None = None
         self._last_networks: dict[str, Network] | None = None
         self._last_cursor: StreamCursor | None = None
+        self._breakers: dict[str, CircuitBreaker] | None = None
 
     def __len__(self) -> int:
         return len(self.queries)
 
-    def _compile_all(self) -> dict[str, Network]:
-        return {
-            query_id: compile_network(
-                query, collect_events=self.collect_events, limits=self.limits
+    # ------------------------------------------------------------------
+    # registration / admission
+
+    def _is_admitted(self, query_id: str) -> bool:
+        decision = self.admissions.get(query_id)
+        return decision is None or decision.admitted
+
+    def _effective_limits(self, query_id: str) -> ResourceLimits | None:
+        """The limits a query's network runs under (degraded or engine)."""
+        decision = self.admissions.get(query_id)
+        if decision is not None and decision.limits is not None:
+            return decision.limits
+        return self.limits
+
+    def _preflight_one(self, query_id: str, query: Rpeq):
+        from ..analysis.preflight import ensure_preflight
+        from ..errors import StaticAnalysisError
+
+        try:
+            return ensure_preflight(
+                query, limits=self.limits, collect_events=self.collect_events
+            )
+        except StaticAnalysisError as exc:
+            raise StaticAnalysisError(
+                f"query {query_id!r}: {exc}", report=exc.report
+            ) from exc
+
+    def add_query(
+        self,
+        query_id: str,
+        query: str | Rpeq,
+        require_admission: bool = False,
+    ) -> AdmissionDecision | None:
+        """Register one more subscription (effective from the next pass).
+
+        Runs the same admission classification and pre-flight analysis
+        as the constructor.  Returns the admission decision (``None``
+        without an admission policy); with ``require_admission=True`` a
+        rejection raises :class:`~repro.errors.AdmissionError` instead
+        of registering the query as rejected.
+        """
+        if query_id in self.queries:
+            raise EngineError(f"query {query_id!r} already registered")
+        expr = parse(query) if isinstance(query, str) else query
+        decision = None
+        if self.admission is not None:
+            decision = classify_admission(expr, self.admission, self.limits)
+            if require_admission:
+                ensure_admitted(query_id, decision)
+            if not decision.admitted:
+                self.robustness.admissions_rejected += 1
+        if self.analysis is not None and (decision is None or decision.admitted):
+            self.analysis[query_id] = self._preflight_one(query_id, expr)
+        self.queries[query_id] = expr
+        if decision is not None:
+            self.admissions[query_id] = decision
+        return decision
+
+    def remove_query(self, query_id: str) -> None:
+        """Drop a subscription (effective from the next pass)."""
+        if query_id not in self.queries:
+            raise EngineError(f"query {query_id!r} is not registered")
+        del self.queries[query_id]
+        self.admissions.pop(query_id, None)
+        if self.analysis is not None:
+            self.analysis.pop(query_id, None)
+
+    def _compile_one(self, query_id: str, clock: Clock | None = None) -> Network:
+        network = compile_network(
+            self.queries[query_id],
+            collect_events=self.collect_events,
+            limits=self._effective_limits(query_id),
+        )[0]
+        if clock is not None:
+            network.clock = clock
+        return network
+
+    def _compile_all(
+        self,
+        collect_events: bool | None = None,
+        clock: Clock | None = None,
+    ) -> dict[str, Network]:
+        collect = self.collect_events if collect_events is None else collect_events
+        networks: dict[str, Network] = {}
+        for query_id, query in self.queries.items():
+            if not self._is_admitted(query_id):
+                continue
+            network = compile_network(
+                query,
+                collect_events=collect,
+                limits=self._effective_limits(query_id),
             )[0]
-            for query_id, query in self.queries.items()
-        }
+            if clock is not None:
+                network.clock = clock
+            networks[query_id] = network
+        return networks
 
     def run(
         self,
@@ -155,6 +268,7 @@ class MultiQueryEngine:
         networks = self._compile_all()
         self._last_networks = networks
         self._last_cursor = cursor
+        self._breakers = None
         # Strict runs validate on the fly, so malformed input raises the
         # documented StreamError instead of silently confusing every
         # subscription's transducer stacks at once.
@@ -191,6 +305,452 @@ class MultiQueryEngine:
             yield from matches
 
     # ------------------------------------------------------------------
+    # serving: bulkheads, breakers, deadlines, shedding
+
+    def serve(
+        self,
+        source: str | Iterable[Event],
+        policy: ServingPolicy | None = None,
+        on_error: RecoveryPolicy | str = RecoveryPolicy.STRICT,
+        report: ErrorReport | None = None,
+        cursor: StreamCursor | None = None,
+        clock: Clock | None = None,
+        parser_limits: ParserLimits | None = None,
+    ) -> Iterator[tuple[str, Match]]:
+        """Evaluate all queries with per-query fault domains.
+
+        Like :meth:`run`, but each query is a *bulkhead*: a query that
+        raises, trips its resource limits, or blows a deadline is
+        quarantined — its sub-network detached mid-stream, its buffers
+        released, its already-decided results flushed, and its
+        :class:`~repro.core.serving.QueryOutcome` marked ``degraded`` —
+        while every healthy query keeps streaming, byte-identical to a
+        run without the poisoned neighbour.  A per-query circuit breaker
+        (closed → open → half-open) re-admits quarantined queries at
+        document boundaries; ``policy.stream_deadline`` /
+        ``policy.doc_deadline`` (measured on ``clock``) yield per-query
+        ``DEADLINE_*`` outcomes — never a global abort — and
+        ``policy.shed_buffered_events`` sheds the lowest-priority
+        queries (never the stream) under buffer pressure.
+
+        The pass's :class:`~repro.core.serving.ServingReport` is kept in
+        :attr:`serving`.  Strict passes given a ``cursor`` remain
+        checkpointable; breaker and quarantine state round-trip through
+        :meth:`checkpoint`/:meth:`resume`.  ``parser_limits`` arms the
+        untrusted-input hardening of the XML layer
+        (:class:`~repro.xmlstream.parser.ParserLimits`).
+        """
+        policy = policy if policy is not None else ServingPolicy()
+        clock = as_clock(clock)
+        serving = ServingReport()
+        self.serving = serving
+        for query_id in self.queries:
+            outcome = serving.outcome(query_id)
+            decision = self.admissions.get(query_id)
+            if decision is None:
+                serving.admitted += 1
+                continue
+            if not decision.admitted:
+                outcome.status = "rejected"
+                outcome.code = decision.code
+                outcome.reason = decision.reason
+                serving.rejected += 1
+            else:
+                serving.admitted += 1
+                if decision.degraded:
+                    outcome.degraded = True
+                    outcome.code = decision.code
+                    outcome.reason = decision.reason
+                    serving.admitted_degraded += 1
+        recovery = as_policy(on_error)
+        if recovery is not RecoveryPolicy.STRICT:
+            if cursor is not None:
+                raise EngineError(
+                    "checkpoint cursors require on_error='strict' (recovery "
+                    "policies re-segment the source per document)"
+                )
+            self._last_networks = None
+            self._last_cursor = None
+            breakers = {
+                query_id: CircuitBreaker(policy.breaker)
+                for query_id in self.queries
+                if self._is_admitted(query_id)
+            }
+            self._breakers = breakers
+            return self._serve_recovering(
+                source, recovery, policy, serving, breakers, clock, report,
+                parser_limits,
+            )
+        networks = self._compile_all(clock=clock)
+        breakers = {query_id: CircuitBreaker(policy.breaker) for query_id in networks}
+        self._last_networks = networks
+        self._last_cursor = cursor
+        self._breakers = breakers
+        events = recovering(
+            iter_events(source, limits=parser_limits),
+            RecoveryPolicy.STRICT,
+            require_end=False,
+        )
+        if cursor is not None:
+            events = cursor.attach(events)
+        return self._serve_pump(networks, events, policy, serving, breakers, clock)
+
+    def _detach(
+        self,
+        live: dict[str, Network],
+        serving: ServingReport,
+        query_id: str,
+        status: str,
+        code: str,
+        reason: str,
+    ) -> list[Match]:
+        """Drop a query from the pass; return its undelivered matches.
+
+        The sub-network is unlinked (its buffers go with it) and any
+        matches it had already decided but not yet delivered are
+        returned so the caller can flush them under the now-``degraded``
+        outcome.
+        """
+        network = live.pop(query_id)
+        outcome = serving.outcome(query_id)
+        outcome.status = status
+        outcome.code = code
+        outcome.reason = reason
+        outcome.document = serving.documents_seen - 1 if serving.documents_seen else None
+        outcome.degraded = True
+        flushed: list[Match] = []
+        for sink in network.sinks:
+            flushed.extend(sink.results)
+            sink.results.clear()
+        outcome.matches += len(flushed)
+        return flushed
+
+    def _readmit(
+        self,
+        live: dict[str, Network],
+        serving: ServingReport,
+        breakers: dict[str, CircuitBreaker],
+        query_id: str,
+        clock: Clock,
+    ) -> bool:
+        """Document boundary: rejoin a detached query if its breaker allows.
+
+        Shed and doc-deadline detachments carry no breaker penalty, so
+        their (closed) breakers re-admit immediately; quarantined queries
+        wait out the cooldown and come back as half-open probes.
+        """
+        outcome = serving.outcome(query_id)
+        if outcome.status == "rejected":
+            return False
+        breaker = breakers[query_id]
+        if not breaker.admits():
+            return False
+        live[query_id] = self._compile_one(query_id, clock)
+        if breaker.state is BreakerState.HALF_OPEN:
+            serving.probes += 1
+        outcome.status = "ok"
+        return True
+
+    def _quarantine(
+        self,
+        live: dict[str, Network],
+        serving: ServingReport,
+        breakers: dict[str, CircuitBreaker],
+        query_id: str,
+        exc: Exception,
+    ) -> list[Match]:
+        code = "LIMIT" if isinstance(exc, ResourceLimitError) else "ERROR"
+        flushed = self._detach(live, serving, query_id, "quarantined", code, str(exc))
+        breaker = breakers[query_id]
+        breaker.record_failure()
+        serving.outcome(query_id).trips = breaker.trips
+        serving.quarantines += 1
+        serving.breaker_trips += 1
+        self.robustness.quarantines += 1
+        self.robustness.breaker_trips += 1
+        return flushed
+
+    def _shed(
+        self,
+        live: dict[str, Network],
+        serving: ServingReport,
+        policy: ServingPolicy,
+        total: int,
+    ) -> Iterator[tuple[str, Match]]:
+        """Shed lowest-priority queries until the pass fits again."""
+        order = sorted(live, key=lambda q: (policy.priorities.get(q, 0), q))
+        for query_id in order:
+            if total <= policy.shed_buffered_events:
+                break
+            load = sum(s.buffered_events for s in live[query_id].sinks)
+            flushed = self._detach(
+                live,
+                serving,
+                query_id,
+                "shed",
+                "SHED001",
+                f"aggregate buffered events {total} over high-water mark "
+                f"{policy.shed_buffered_events}",
+            )
+            total -= load
+            serving.load_sheds += 1
+            self.robustness.load_sheds += 1
+            for match in flushed:
+                yield query_id, match
+
+    def _serve_pump(
+        self,
+        live: dict[str, Network],
+        events: Iterable[Event],
+        policy: ServingPolicy,
+        serving: ServingReport,
+        breakers: dict[str, CircuitBreaker],
+        clock: Clock,
+    ) -> Iterator[tuple[str, Match]]:
+        """Strict-mode bulkhead loop over a persistent network set.
+
+        ``live`` is mutated in place (detached queries leave it), so a
+        concurrent :meth:`checkpoint` snapshots exactly the still-live
+        sub-networks.
+        """
+        robustness = self.robustness
+        stream_deadline = (
+            clock.monotonic() + policy.stream_deadline
+            if policy.stream_deadline is not None
+            else None
+        )
+        doc_deadline: float | None = None
+        check_clock = stream_deadline is not None or policy.doc_deadline is not None
+        for event in events:
+            cls = event.__class__
+            if cls is StartDocument:
+                serving.documents_seen += 1
+                if policy.doc_deadline is not None:
+                    doc_deadline = clock.monotonic() + policy.doc_deadline
+                for query_id in breakers:
+                    if query_id not in live:
+                        self._readmit(live, serving, breakers, query_id, clock)
+            if check_clock:
+                now = clock.monotonic()
+                if stream_deadline is not None and now > stream_deadline:
+                    reason = str(
+                        DeadlineExceeded(
+                            f"stream deadline of {policy.stream_deadline}s "
+                            f"expired",
+                            scope="stream",
+                        )
+                    )
+                    for query_id in list(live):
+                        flushed = self._detach(
+                            live, serving, query_id, "deadline",
+                            "DEADLINE_STREAM", reason,
+                        )
+                        serving.deadline_hits += 1
+                        robustness.deadline_hits += 1
+                        for match in flushed:
+                            yield query_id, match
+                    return
+                if doc_deadline is not None and now > doc_deadline and live:
+                    reason = str(
+                        DeadlineExceeded(
+                            f"document deadline of {policy.doc_deadline}s "
+                            f"expired",
+                            scope="document",
+                        )
+                    )
+                    for query_id in list(live):
+                        flushed = self._detach(
+                            live, serving, query_id, "deadline",
+                            "DEADLINE_DOC", reason,
+                        )
+                        serving.deadline_hits += 1
+                        robustness.deadline_hits += 1
+                        for match in flushed:
+                            yield query_id, match
+                    doc_deadline = None
+            for query_id in list(live):
+                network = live[query_id]
+                try:
+                    matches = network.process_event(event)
+                except Exception as exc:
+                    if not policy.quarantine:
+                        raise
+                    flushed = self._quarantine(
+                        live, serving, breakers, query_id, exc
+                    )
+                    for match in flushed:
+                        yield query_id, match
+                    continue
+                if matches:
+                    serving.outcome(query_id).matches += len(matches)
+                    for match in matches:
+                        yield query_id, match
+            if cls is EndDocument:
+                doc_deadline = None
+                for query_id in live:
+                    if breakers[query_id].record_document_success():
+                        serving.outcome(query_id).readmissions += 1
+                        serving.readmissions += 1
+                        robustness.readmissions += 1
+            if policy.shed_buffered_events is not None and live:
+                total = sum(
+                    sum(s.buffered_events for s in network.sinks)
+                    for network in live.values()
+                )
+                if total > policy.shed_buffered_events:
+                    yield from self._shed(live, serving, policy, total)
+
+    def _serve_recovering(
+        self,
+        source: str | Iterable[Event],
+        recovery: RecoveryPolicy,
+        policy: ServingPolicy,
+        serving: ServingReport,
+        breakers: dict[str, CircuitBreaker],
+        clock: Clock,
+        report: ErrorReport | None,
+        parser_limits: ParserLimits | None,
+    ) -> Iterator[tuple[str, Match]]:
+        """Document-wise bulkhead loop under a recovery policy.
+
+        Malformed documents are quarantined by the recovery layer
+        exactly as in :meth:`run`; on top of that, each surviving
+        document runs with per-query bulkheads, and matches of queries
+        that survive the whole document are delivered at its end (so a
+        healthy query's delivered set is per-document identical to a
+        solo run).
+        """
+        report = report if report is not None else ErrorReport()
+        robustness = self.robustness
+        stream_deadline = (
+            clock.monotonic() + policy.stream_deadline
+            if policy.stream_deadline is not None
+            else None
+        )
+
+        def expire_stream() -> None:
+            reason = str(
+                DeadlineExceeded(
+                    f"stream deadline of {policy.stream_deadline}s expired",
+                    scope="stream",
+                )
+            )
+            for query_id in breakers:
+                outcome = serving.outcome(query_id)
+                if outcome.status == "rejected":
+                    continue
+                outcome.status = "deadline"
+                outcome.code = "DEADLINE_STREAM"
+                outcome.reason = reason
+                outcome.degraded = True
+                serving.deadline_hits += 1
+                robustness.deadline_hits += 1
+
+        for document in recovered_documents(
+            iter_events(source, limits=parser_limits),
+            recovery,
+            report,
+            require_end=False,
+        ):
+            if stream_deadline is not None and clock.monotonic() > stream_deadline:
+                expire_stream()
+                return
+            serving.documents_seen += 1
+            live: dict[str, Network] = {}
+            for query_id in breakers:
+                self._readmit(live, serving, breakers, query_id, clock)
+            doc_deadline = (
+                clock.monotonic() + policy.doc_deadline
+                if policy.doc_deadline is not None
+                else None
+            )
+            buffered: dict[str, list[Match]] = {query_id: [] for query_id in live}
+            doc_index = report.documents_seen - 1
+
+            def flush_buffered(query_id: str) -> list[Match]:
+                matches = buffered.pop(query_id, [])
+                serving.outcome(query_id).matches += len(matches)
+                return matches
+
+            try:
+                for event in document:
+                    if stream_deadline is not None and (
+                        clock.monotonic() > stream_deadline
+                    ):
+                        # flush this partial document's matches as degraded
+                        for query_id in list(live):
+                            del live[query_id]
+                            for match in flush_buffered(query_id):
+                                yield query_id, match
+                        expire_stream()
+                        return
+                    if doc_deadline is not None and (
+                        clock.monotonic() > doc_deadline and live
+                    ):
+                        reason = str(
+                            DeadlineExceeded(
+                                f"document deadline of {policy.doc_deadline}s "
+                                f"expired",
+                                scope="document",
+                            )
+                        )
+                        for query_id in list(live):
+                            flushed = self._detach(
+                                live, serving, query_id, "deadline",
+                                "DEADLINE_DOC", reason,
+                            )
+                            serving.deadline_hits += 1
+                            robustness.deadline_hits += 1
+                            for match in flush_buffered(query_id):
+                                yield query_id, match
+                            for match in flushed:
+                                yield query_id, match
+                        doc_deadline = None
+                    for query_id in list(live):
+                        network = live[query_id]
+                        try:
+                            matches = network.process_event(event)
+                        except Exception as exc:
+                            if not policy.quarantine:
+                                raise
+                            flushed = self._quarantine(
+                                live, serving, breakers, query_id, exc
+                            )
+                            for match in flush_buffered(query_id):
+                                yield query_id, match
+                            for match in flushed:
+                                yield query_id, match
+                            continue
+                        buffered[query_id].extend(matches)
+                    if policy.shed_buffered_events is not None and live:
+                        total = sum(
+                            sum(s.buffered_events for s in network.sinks)
+                            for network in live.values()
+                        )
+                        if total > policy.shed_buffered_events:
+                            shed_before = set(live)
+                            yield from self._shed(live, serving, policy, total)
+                            for query_id in shed_before - set(live):
+                                for match in flush_buffered(query_id):
+                                    yield query_id, match
+            except ResourceLimitError as exc:
+                # raised by the recovery layer's own re-segmentation, not
+                # a query network: the whole document is quarantined
+                report.add(doc_index, str(exc), "limit")
+                report.documents_skipped += 1
+                continue
+            for query_id, network in live.items():
+                outcome = serving.outcome(query_id)
+                count = len(buffered[query_id])
+                outcome.matches += count
+                for match in buffered[query_id]:
+                    yield query_id, match
+                if breakers[query_id].record_document_success():
+                    outcome.readmissions += 1
+                    serving.readmissions += 1
+                    robustness.readmissions += 1
+
+    # ------------------------------------------------------------------
     # checkpoint / resume
 
     def checkpoint(self) -> Checkpoint:
@@ -225,6 +785,39 @@ class MultiQueryEngine:
                 for query_id, network in self._last_networks.items()
             },
         }
+        if self._breakers is not None and self.serving is not None:
+            serving = self.serving
+            payload["serving"] = {
+                "breakers": {
+                    query_id: breaker.snapshot()
+                    for query_id, breaker in self._breakers.items()
+                },
+                "outcomes": {
+                    query_id: {
+                        "status": outcome.status,
+                        "code": outcome.code,
+                        "reason": outcome.reason,
+                        "document": outcome.document,
+                        "degraded": outcome.degraded,
+                        "matches": outcome.matches,
+                        "trips": outcome.trips,
+                        "readmissions": outcome.readmissions,
+                    }
+                    for query_id, outcome in serving.outcomes.items()
+                },
+                "report": {
+                    "documents_seen": serving.documents_seen,
+                    "quarantines": serving.quarantines,
+                    "breaker_trips": serving.breaker_trips,
+                    "probes": serving.probes,
+                    "readmissions": serving.readmissions,
+                    "load_sheds": serving.load_sheds,
+                    "deadline_hits": serving.deadline_hits,
+                    "admitted": serving.admitted,
+                    "admitted_degraded": serving.admitted_degraded,
+                    "rejected": serving.rejected,
+                },
+            }
         self.robustness.checkpoints_written += 1
         return Checkpoint(kind="multiquery", payload=payload)
 
@@ -232,6 +825,9 @@ class MultiQueryEngine:
         self,
         checkpoint: Checkpoint,
         source: str | Iterable[Event],
+        policy: ServingPolicy | None = None,
+        clock: Clock | None = None,
+        parser_limits: ParserLimits | None = None,
     ) -> Iterator[tuple[str, Match]]:
         """Continue a checkpointed shared pass against ``source``.
 
@@ -240,6 +836,14 @@ class MultiQueryEngine:
         the stream the checkpoint was taken from; matches before the
         checkpoint plus matches after this resume equal an uninterrupted
         pass.  Compatibility checks are eager.
+
+        Checkpoints taken from a :meth:`serve` pass carry quarantine and
+        breaker state: only the queries that were live at the cut are
+        restored, tripped queries stay out until their *restored*
+        breaker re-admits them at a document boundary (a latched breaker
+        never does), and the resumed pass continues under ``policy``
+        (defaults to a fresh :class:`~repro.core.serving.ServingPolicy`
+        — pass the original one to keep deadlines and shedding).
 
         Raises:
             CheckpointError: the checkpoint came from a different engine
@@ -262,17 +866,27 @@ class MultiQueryEngine:
                 f"{bool(payload['collect_events'])}, engine has "
                 f"collect_events={self.collect_events}"
             )
-        networks = self._compile_all()
-        for query_id, network in networks.items():
-            states = payload["networks"][query_id]
+        serving_state = payload.get("serving")
+        # Only the sub-networks present in the checkpoint are revived:
+        # queries that were quarantined, shed or rejected at the cut have
+        # no snapshot, and re-admitting them is the breaker's call, not
+        # the resume path's.
+        networks: dict[str, Network] = {}
+        for query_id, states in payload["networks"].items():
+            if not self._is_admitted(query_id):
+                continue
+            network = self._compile_one(query_id)
             network.restore(states["network"])
             network.condition_store.restore(states["store"])
             network.allocator.restore(states["allocator"])
+            networks[query_id] = network
         cursor = StreamCursor.from_state(payload["cursor"])
         self._last_networks = networks
         self._last_cursor = cursor
         self.robustness.restores += 1
-        events = skip_events(iter_events(source), cursor.events_read)
+        events = skip_events(
+            iter_events(source, limits=parser_limits), cursor.events_read
+        )
         # The strict validator is primed with the envelope state at the
         # cut, exactly as the uninterrupted pass would have reached it.
         events = recovering(
@@ -282,7 +896,39 @@ class MultiQueryEngine:
             resume=payload["cursor"],
         )
         events = cursor.attach(events)
-        return self._pump(networks, events)
+        if serving_state is None:
+            self._breakers = None
+            return self._pump(networks, events)
+        policy = policy if policy is not None else ServingPolicy()
+        clock = as_clock(clock)
+        serving = ServingReport()
+        report_state = serving_state["report"]
+        for name in (
+            "documents_seen", "quarantines", "breaker_trips", "probes",
+            "readmissions", "load_sheds", "deadline_hits", "admitted",
+            "admitted_degraded", "rejected",
+        ):
+            setattr(serving, name, int(report_state[name]))
+        for query_id, state in serving_state["outcomes"].items():
+            outcome = serving.outcome(query_id)
+            outcome.status = state["status"]
+            outcome.code = state["code"]
+            outcome.reason = state["reason"]
+            outcome.document = state["document"]
+            outcome.degraded = bool(state["degraded"])
+            outcome.matches = int(state["matches"])
+            outcome.trips = int(state["trips"])
+            outcome.readmissions = int(state["readmissions"])
+        breakers: dict[str, CircuitBreaker] = {}
+        for query_id, snap in serving_state["breakers"].items():
+            breaker = CircuitBreaker(policy.breaker)
+            breaker.restore(snap)
+            breakers[query_id] = breaker
+        for network in networks.values():
+            network.clock = clock
+        self.serving = serving
+        self._breakers = breakers
+        return self._serve_pump(networks, events, policy, serving, breakers, clock)
 
     @staticmethod
     def _pump(
@@ -299,6 +945,7 @@ class MultiQueryEngine:
         cls,
         checkpoint: Checkpoint,
         limits: ResourceLimits | None = None,
+        admission: AdmissionPolicy | None = None,
     ) -> "MultiQueryEngine":
         """Build an engine matching the checkpoint's subscription set."""
         payload = checkpoint.require("multiquery")
@@ -306,6 +953,7 @@ class MultiQueryEngine:
             dict(payload["queries"]),
             collect_events=bool(payload["collect_events"]),
             limits=limits,
+            admission=admission,
         )
 
     def evaluate(
@@ -365,12 +1013,7 @@ class MultiQueryEngine:
 
     def _filter_one(self, events: Iterable[Event]) -> dict[str, bool]:
         """One first-match-short-circuit boolean pass over ``events``."""
-        networks = {
-            query_id: compile_network(
-                query, collect_events=False, limits=self.limits
-            )[0]
-            for query_id, query in self.queries.items()
-        }
+        networks = self._compile_all(collect_events=False)
         matched: dict[str, bool] = {query_id: False for query_id in self.queries}
         live = dict(networks)
         for event in events:

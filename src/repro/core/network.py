@@ -14,12 +14,12 @@ complexity experiments.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..errors import EngineError, ResourceLimitError
 from ..limits import ResourceLimits
+from .clock import SYSTEM_CLOCK, Clock
 from ..xmlstream.events import (
     EndDocument,
     EndElement,
@@ -74,6 +74,10 @@ class Network:
         self.source = source
         self.sink = sink
         self.limits = limits if limits is not None and not limits.unbounded else None
+        #: time source for the per-document wall-clock budget; the
+        #: serving layer swaps in its (possibly fake) clock so all
+        #: deadline machinery shares one notion of "now"
+        self.clock: Clock = SYSTEM_CLOCK
         self._depth = 0
         self._doc_events = 0
         self._doc_deadline: float | None = None
@@ -225,7 +229,7 @@ class Network:
             self._doc_events = 0
             if limits.max_seconds_per_document is not None:
                 self._doc_deadline = (
-                    time.monotonic() + limits.max_seconds_per_document
+                    self.clock.monotonic() + limits.max_seconds_per_document
                 )
         self._doc_events += 1
         if (
@@ -248,7 +252,7 @@ class Network:
         elif cls is EndElement or cls is EndDocument:
             if self._depth > 0:
                 self._depth -= 1
-        if self._doc_deadline is not None and time.monotonic() > self._doc_deadline:
+        if self._doc_deadline is not None and self.clock.monotonic() > self._doc_deadline:
             raise ResourceLimitError(
                 f"document exceeded {limits.max_seconds_per_document}s wall clock",
                 limit="max_seconds_per_document",

@@ -185,6 +185,20 @@ class OutputTransducer(Transducer):
         self._open: list[_Candidate | None] = []
         self._element_count = 0
 
+    @property
+    def buffered_events(self) -> int:
+        """Current size of the shared event log (live buffer pressure).
+
+        The serving layer's load shedder aggregates this across all
+        queries of a pass to decide when the high-water mark is crossed.
+        """
+        return len(self._log)
+
+    @property
+    def pending_candidates(self) -> int:
+        """Currently undecided result candidates."""
+        return self._live
+
     # ------------------------------------------------------------------
     # message handling
 

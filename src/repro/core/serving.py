@@ -1,0 +1,447 @@
+"""Bulkheads, circuit breakers, deadlines, and admission control.
+
+The multi-query engine's shared stream pass is a shared-fate hot path:
+one pathological query or adversarial document degrades every query
+riding the pass.  This module provides the serving-robustness policy
+objects and state machines that :meth:`MultiQueryEngine.serve
+<repro.core.multiquery.MultiQueryEngine.serve>` enforces:
+
+* **Bulkheads** — each query is its own fault domain.  A query that
+  raises, trips its :class:`~repro.limits.ResourceLimits`, or blows a
+  deadline is *quarantined*: its sub-network is detached mid-stream,
+  its buffers released, and its already-decided results flushed with the
+  outcome marked ``degraded`` — while every healthy query keeps
+  streaming.
+* **Circuit breakers** — quarantine is not forever.  A per-query
+  breaker (closed → open → half-open) sits out
+  :attr:`BreakerPolicy.cooldown_documents` documents, then re-admits the
+  query as a *probe* at the next document boundary; surviving
+  :attr:`BreakerPolicy.probe_documents` documents closes the breaker,
+  failing the probe re-opens it.  :attr:`BreakerPolicy.max_trips` caps
+  how often a query may burn the service before it is out for good.
+* **Admission control** — at registration time the PR 3 cost certifier's
+  ``d·σ`` bound classifies each query *admit* / *admit-degraded*
+  (tighter buffer ceilings) / *reject* under an
+  :class:`AdmissionPolicy` budget, so a certifiably-over-budget query
+  never touches the stream at all.
+* **Load shedding** — when the aggregate buffered events across all live
+  queries cross a high-water mark, the lowest-priority queries are shed
+  (dropped from the pass, buffers released) until the pass fits — the
+  stream itself is never dropped.
+
+Every quarantine, trip, shed, re-admission and deadline expiry is
+counted in a :class:`ServingReport` and mirrored into the engine's
+robustness counters / CLI recovery summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Mapping
+
+from ..errors import AdmissionError
+from ..limits import ResourceLimits
+from ..rpeq.ast import Rpeq
+from .clock import Clock  # noqa: F401  (re-exported for serve() signatures)
+
+
+class BreakerState(str, Enum):
+    """Circuit-breaker states (the classic three-state machine)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Re-admission policy for quarantined queries.
+
+    Attributes:
+        cooldown_documents: document boundaries a tripped query sits out
+            before a probe is attempted (1 = probe at the very next
+            document).
+        probe_documents: consecutive clean documents a half-open probe
+            must survive before the breaker closes again.
+        max_trips: total failures after which the breaker latches open
+            permanently for this pass (``None`` = keep probing forever).
+    """
+
+    cooldown_documents: int = 1
+    probe_documents: int = 1
+    max_trips: int | None = 3
+
+    def __post_init__(self) -> None:
+        if self.cooldown_documents < 1:
+            raise ValueError("cooldown_documents must be positive")
+        if self.probe_documents < 1:
+            raise ValueError("probe_documents must be positive")
+        if self.max_trips is not None and self.max_trips < 1:
+            raise ValueError("max_trips must be positive")
+
+
+class CircuitBreaker:
+    """Per-query breaker governing quarantine re-admission.
+
+    The driver calls :meth:`record_failure` when the query's bulkhead
+    trips, :meth:`admits` at every document boundary to learn whether
+    the query may run the next document, and
+    :meth:`record_document_success` when a document completes cleanly.
+    """
+
+    def __init__(self, policy: BreakerPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.state = BreakerState.CLOSED
+        self.trips = 0
+        self._cooldown = 0
+        self._probe_successes = 0
+
+    @property
+    def latched(self) -> bool:
+        """Permanently open: the query exhausted ``max_trips``."""
+        return (
+            self.policy.max_trips is not None and self.trips >= self.policy.max_trips
+        )
+
+    def record_failure(self) -> None:
+        """The query failed (error, limit, deadline): open the breaker."""
+        self.trips += 1
+        self.state = BreakerState.OPEN
+        self._cooldown = self.policy.cooldown_documents
+        self._probe_successes = 0
+
+    def admits(self) -> bool:
+        """Document boundary: may the query run the next document?
+
+        An open breaker counts down its cooldown; reaching zero moves it
+        to half-open, which admits the query as a probe.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.latched:
+            return False
+        if self.state is BreakerState.OPEN:
+            self._cooldown -= 1
+            if self._cooldown > 0:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probe_successes = 0
+        return True  # HALF_OPEN: probing
+
+    def record_document_success(self) -> bool:
+        """A document completed cleanly; returns ``True`` on re-closure."""
+        if self.state is not BreakerState.HALF_OPEN:
+            return False
+        self._probe_successes += 1
+        if self._probe_successes >= self.policy.probe_documents:
+            self.state = BreakerState.CLOSED
+            self._probe_successes = 0
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # checkpointing (PR 2 protocol: plain JSON-able state)
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state.value,
+            "trips": self.trips,
+            "cooldown": self._cooldown,
+            "probe_successes": self._probe_successes,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.state = BreakerState(state["state"])
+        self.trips = int(state["trips"])
+        self._cooldown = int(state["cooldown"])
+        self._probe_successes = int(state["probe_successes"])
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Budget policy classifying queries before they touch the stream.
+
+    Classification uses the cost certifier's ``σ̂`` bound
+    (:func:`repro.analysis.cost.certify_cost`), computed against
+    ``depth_bound`` (or the engine's ``ResourceLimits.max_depth``):
+
+    * ``σ̂ ≤ degrade_sigma`` (or no soft ceiling) → **admit**;
+    * ``degrade_sigma < σ̂ ≤ reject_sigma`` → **admit degraded**: the
+      query runs under tightened buffer ceilings
+      (``degraded_max_buffered_events`` / ``degraded_max_pending``);
+    * ``σ̂ > reject_sigma`` → **reject** (coded ``ADMIT003``);
+    * uncertifiable queries (axis steps, unbounded closure-qualifier
+      growth with unknown depth) follow ``on_uncertifiable``.
+
+    Attributes:
+        reject_sigma: hard ceiling on the certified ``σ̂`` bound.
+        degrade_sigma: soft ceiling; between soft and hard the query is
+            admitted with degraded buffers.
+        on_uncertifiable: ``"admit"``, ``"degrade"`` (default) or
+            ``"reject"`` for queries whose bound cannot be certified.
+        depth_bound: stream depth ``d`` used for certification when the
+            engine's limits set none.
+        degraded_max_buffered_events / degraded_max_pending: the buffer
+            ceilings imposed on degraded admissions (combined with any
+            engine-level limits by taking the minimum).
+    """
+
+    reject_sigma: int | None = None
+    degrade_sigma: int | None = None
+    on_uncertifiable: str = "degrade"
+    depth_bound: int | None = None
+    degraded_max_buffered_events: int = 4096
+    degraded_max_pending: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.on_uncertifiable not in ("admit", "degrade", "reject"):
+            raise ValueError(
+                f"on_uncertifiable must be 'admit', 'degrade' or 'reject', "
+                f"got {self.on_uncertifiable!r}"
+            )
+        for name in ("reject_sigma", "degrade_sigma", "depth_bound"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if (
+            self.reject_sigma is not None
+            and self.degrade_sigma is not None
+            and self.degrade_sigma > self.reject_sigma
+        ):
+            raise ValueError("degrade_sigma must not exceed reject_sigma")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of classifying one query.
+
+    ``status`` is ``"admit"``, ``"degraded"`` or ``"rejected"``; ``code``
+    identifies the rule that fired (``ADMIT000`` clean admit,
+    ``ADMIT001`` σ̂ over the soft ceiling, ``ADMIT002`` uncertifiable
+    degraded, ``ADMIT003`` σ̂ over the hard ceiling, ``ADMIT004``
+    uncertifiable rejected).  ``limits`` is the effective
+    :class:`~repro.limits.ResourceLimits` the query's network runs
+    under (``None`` = the engine's own limits, unchanged).
+    """
+
+    status: str
+    code: str
+    reason: str
+    sigma_bound: int | None = None
+    limits: ResourceLimits | None = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.status != "rejected"
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
+
+
+def _degraded_limits(
+    base: ResourceLimits | None, policy: AdmissionPolicy
+) -> ResourceLimits:
+    """Tighten ``base`` to the policy's degraded buffer ceilings."""
+
+    def tighter(current: int | None, ceiling: int) -> int:
+        return ceiling if current is None else min(current, ceiling)
+
+    base = base if base is not None else ResourceLimits()
+    return replace(
+        base,
+        max_buffered_events=tighter(
+            base.max_buffered_events, policy.degraded_max_buffered_events
+        ),
+        max_pending_candidates=tighter(
+            base.max_pending_candidates, policy.degraded_max_pending
+        ),
+    )
+
+
+def classify_admission(
+    query: Rpeq,
+    policy: AdmissionPolicy,
+    limits: ResourceLimits | None = None,
+) -> AdmissionDecision:
+    """Classify one query against the budget policy (pure function)."""
+    from ..analysis.cost import certify_cost
+
+    depth = policy.depth_bound
+    effective = limits
+    if depth is not None and (limits is None or limits.max_depth is None):
+        effective = replace(
+            limits if limits is not None else ResourceLimits(), max_depth=depth
+        )
+    certificate, _report = certify_cost(query, limits=effective)
+    sigma = certificate.sigma_bound
+
+    if sigma is None:
+        if policy.on_uncertifiable == "reject":
+            return AdmissionDecision(
+                status="rejected",
+                code="ADMIT004",
+                reason="memory bound not certifiable (policy rejects "
+                "uncertifiable queries)",
+            )
+        if policy.on_uncertifiable == "degrade":
+            return AdmissionDecision(
+                status="degraded",
+                code="ADMIT002",
+                reason="memory bound not certifiable; admitted with "
+                "degraded buffer ceilings",
+                limits=_degraded_limits(limits, policy),
+            )
+        return AdmissionDecision(
+            status="admit",
+            code="ADMIT000",
+            reason="uncertifiable but policy admits",
+        )
+
+    if policy.reject_sigma is not None and sigma > policy.reject_sigma:
+        return AdmissionDecision(
+            status="rejected",
+            code="ADMIT003",
+            reason=f"certified σ̂={sigma} exceeds budget "
+            f"{policy.reject_sigma}",
+            sigma_bound=sigma,
+        )
+    if policy.degrade_sigma is not None and sigma > policy.degrade_sigma:
+        return AdmissionDecision(
+            status="degraded",
+            code="ADMIT001",
+            reason=f"certified σ̂={sigma} exceeds soft budget "
+            f"{policy.degrade_sigma}; admitted with degraded buffer "
+            f"ceilings",
+            sigma_bound=sigma,
+            limits=_degraded_limits(limits, policy),
+        )
+    return AdmissionDecision(
+        status="admit",
+        code="ADMIT000",
+        reason=f"certified σ̂={sigma} within budget",
+        sigma_bound=sigma,
+    )
+
+
+def ensure_admitted(query_id: str, decision: AdmissionDecision) -> None:
+    """Raise :class:`~repro.errors.AdmissionError` on a rejection."""
+    if not decision.admitted:
+        raise AdmissionError(
+            f"query {query_id!r} refused admission "
+            f"[{decision.code}]: {decision.reason}",
+            decision=decision,
+        )
+
+
+@dataclass(frozen=True)
+class ServingPolicy:
+    """Everything :meth:`MultiQueryEngine.serve` enforces per pass.
+
+    Attributes:
+        quarantine: bulkhead isolation on/off.  Off, a query failure
+            propagates and kills the pass (the pre-serving behaviour);
+            deadlines and shedding still apply.
+        breaker: re-admission policy for quarantined queries.
+        stream_deadline: wall-clock budget (seconds) for the whole pass;
+            expiry detaches every live query with a per-query
+            ``DEADLINE_STREAM`` outcome and ends the pass cleanly — no
+            global abort, no exception.
+        doc_deadline: wall-clock budget (seconds) per document; expiry
+            detaches the live queries for the *rest of that document*
+            (outcome ``DEADLINE_DOC``) and they rejoin at the next
+            document boundary.
+        shed_buffered_events: high-water mark on the *aggregate* buffered
+            events across all live queries; crossing it sheds the
+            lowest-priority queries (never the stream) until the pass
+            fits again.  Shed queries rejoin at the next document
+            boundary without a breaker penalty.
+        priorities: per-query priority for shedding order — *lower*
+            values are shed first; missing queries default to 0.
+    """
+
+    quarantine: bool = True
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    stream_deadline: float | None = None
+    doc_deadline: float | None = None
+    shed_buffered_events: int | None = None
+    priorities: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.stream_deadline is not None and self.stream_deadline <= 0:
+            raise ValueError("stream_deadline must be positive")
+        if self.doc_deadline is not None and self.doc_deadline <= 0:
+            raise ValueError("doc_deadline must be positive")
+        if self.shed_buffered_events is not None and self.shed_buffered_events < 1:
+            raise ValueError("shed_buffered_events must be positive")
+
+
+@dataclass
+class QueryOutcome:
+    """The serving fate of one query over one pass.
+
+    ``status``: ``"ok"``, ``"quarantined"``, ``"deadline"``, ``"shed"``
+    or ``"rejected"``.  ``degraded`` marks partial delivery — the query
+    was detached at some point, so its match stream is a prefix of what
+    an unperturbed run would have produced (or it ran under degraded
+    admission buffers).
+    """
+
+    query_id: str
+    status: str = "ok"
+    code: str | None = None
+    reason: str | None = None
+    document: int | None = None
+    degraded: bool = False
+    matches: int = 0
+    trips: int = 0
+    readmissions: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class ServingReport:
+    """Counters and per-query outcomes for one serving pass."""
+
+    outcomes: dict[str, QueryOutcome] = field(default_factory=dict)
+    documents_seen: int = 0
+    quarantines: int = 0
+    breaker_trips: int = 0
+    probes: int = 0
+    readmissions: int = 0
+    load_sheds: int = 0
+    deadline_hits: int = 0
+    admitted: int = 0
+    admitted_degraded: int = 0
+    rejected: int = 0
+
+    def outcome(self, query_id: str) -> QueryOutcome:
+        if query_id not in self.outcomes:
+            self.outcomes[query_id] = QueryOutcome(query_id)
+        return self.outcomes[query_id]
+
+    @property
+    def healthy(self) -> list[str]:
+        """Queries that finished the pass undisturbed."""
+        return sorted(
+            query_id
+            for query_id, outcome in self.outcomes.items()
+            if outcome.healthy and not outcome.degraded
+        )
+
+    def summary(self) -> str:
+        """One log-friendly line, mirroring ``ErrorReport.summary``."""
+        return (
+            f"{len(self.outcomes)} quer(y/ies) over "
+            f"{self.documents_seen} document(s): "
+            f"{self.quarantines} quarantine(s), "
+            f"{self.breaker_trips} breaker trip(s), "
+            f"{self.readmissions} readmission(s), "
+            f"{self.load_sheds} shed(s), "
+            f"{self.deadline_hits} deadline hit(s), "
+            f"{self.rejected} rejected at admission"
+        )

@@ -50,7 +50,6 @@ from __future__ import annotations
 
 import os
 import random
-import time
 from dataclasses import dataclass
 from queue import Empty, Queue
 from threading import Thread
@@ -61,6 +60,7 @@ from ..xmlstream.events import Event
 from ..xmlstream.offsets import StreamCursor
 from ..xmlstream.parser import iter_events
 from .checkpoint import Checkpoint
+from .clock import SYSTEM_CLOCK, Clock, _CallableClock
 
 #: File name the supervisor writes inside ``checkpoint_dir``.  A single
 #: rolling file — each save atomically replaces the previous one, so the
@@ -202,8 +202,11 @@ class Supervisor:
             the start (resume seeks past the already-processed prefix).
         config: policy knobs; defaults retry up to 5 times with
             exponential backoff and take no periodic checkpoints.
-        sleep: injectable backoff sleeper (tests pass a recorder).
-        clock: injectable monotonic clock for the time-based cadence.
+        sleep: injectable backoff sleeper (tests pass a recorder);
+            overrides the clock's sleeper when given.
+        clock: a :class:`~repro.core.clock.Clock` (pass a
+            :class:`~repro.core.clock.FakeClock` in tests) or, for
+            backward compatibility, a bare monotonic callable.
     """
 
     def __init__(
@@ -211,19 +214,27 @@ class Supervisor:
         engine,
         source_factory: Callable[[], object],
         config: SupervisorConfig | None = None,
-        sleep: Callable[[float], None] = time.sleep,
-        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] | None = None,
+        clock: Clock | Callable[[], float] | None = None,
     ) -> None:
         self.engine = engine
         self.source_factory = source_factory
         self.config = config if config is not None else SupervisorConfig()
         self.report = SupervisorReport()
-        self._sleep = sleep
-        self._clock = clock
+        if isinstance(clock, Clock):
+            self.clock: Clock = (
+                clock
+                if sleep is None
+                else _CallableClock(monotonic=clock.monotonic, sleep=sleep)
+            )
+        elif clock is None and sleep is None:
+            self.clock = SYSTEM_CLOCK
+        else:
+            self.clock = _CallableClock(monotonic=clock, sleep=sleep)
         self._rng = random.Random(self.config.seed)
         self._cursor: StreamCursor | None = None
         self._checkpointed_position = -1
-        self._last_checkpoint_time = clock()
+        self._last_checkpoint_time = self.clock.monotonic()
 
     # ------------------------------------------------------------------
     # main loop
@@ -273,7 +284,7 @@ class Supervisor:
                     raise
                 self.report.retries += 1
                 self.engine.robustness.retries += 1
-                self._sleep(self._backoff_delay(failures))
+                self.clock.sleep(self._backoff_delay(failures))
                 continue
             # Natural end of stream: bank a final checkpoint so a restart
             # is a no-op, and report success.
@@ -329,7 +340,7 @@ class Supervisor:
             >= config.checkpoint_every_events
         ) or (
             config.checkpoint_every_seconds is not None
-            and self._clock() - self._last_checkpoint_time
+            and self.clock.monotonic() - self._last_checkpoint_time
             >= config.checkpoint_every_seconds
         )
         if due:
@@ -342,7 +353,7 @@ class Supervisor:
         except CheckpointError:
             return None  # nothing ran yet; keep whatever we had
         self._checkpointed_position = checkpoint.position
-        self._last_checkpoint_time = self._clock()
+        self._last_checkpoint_time = self.clock.monotonic()
         self.report.checkpoints_written += 1
         if self.config.checkpoint_dir is not None:
             os.makedirs(self.config.checkpoint_dir, exist_ok=True)

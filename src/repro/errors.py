@@ -44,6 +44,67 @@ class StreamError(ReproError):
     """
 
 
+class InputLimitError(StreamError):
+    """An untrusted-input hardening ceiling was exceeded while parsing.
+
+    Subclasses :class:`StreamError` so the recovery policies
+    (:mod:`repro.xmlstream.recovery`) treat a hardening trip exactly like
+    any other malformed-input failure: fatal under ``strict``,
+    quarantined under ``skip``, auto-closed under ``repair``.  The
+    ``code`` attribute identifies which guard fired:
+
+    ========  =====================================================
+    code      guard
+    ========  =====================================================
+    INPUT001  entity amplification (billion-laughs expansion size)
+    INPUT002  entity nesting depth
+    INPUT003  text-node length
+    INPUT004  attribute value length / count
+    INPUT005  tag or attribute name length
+    INPUT006  parse-output amplification backstop
+    ========  =====================================================
+    """
+
+    def __init__(self, message: str, code: str, observed: int | float | None = None) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.observed = observed
+
+
+class DeadlineExceeded(ReproError):
+    """A per-document or per-stream wall-clock deadline expired.
+
+    In the serving layer (:meth:`MultiQueryEngine.serve
+    <repro.core.multiquery.MultiQueryEngine.serve>`) deadline expiry is
+    a per-query *outcome*, never a global abort: affected queries are
+    detached with this error recorded in their
+    :class:`~repro.core.serving.QueryOutcome` while the stream pass
+    continues (document deadline) or winds down cleanly (stream
+    deadline).  The ``scope`` attribute is ``"document"`` or
+    ``"stream"``.
+    """
+
+    def __init__(self, message: str, scope: str = "stream") -> None:
+        super().__init__(message)
+        self.scope = scope
+
+
+class AdmissionError(ReproError):
+    """A query was refused admission by the serving budget policy.
+
+    Raised by :meth:`MultiQueryEngine.add_query
+    <repro.core.multiquery.MultiQueryEngine.add_query>` with
+    ``strict=True``; otherwise rejection is recorded as a per-query
+    outcome and the query simply never joins the stream pass.  The
+    :class:`~repro.core.serving.AdmissionDecision` is attached as
+    ``decision``.
+    """
+
+    def __init__(self, message: str, decision: object | None = None) -> None:
+        super().__init__(message)
+        self.decision = decision
+
+
 class ResourceLimitError(ReproError):
     """A configured :class:`~repro.limits.ResourceLimits` bound was exceeded.
 

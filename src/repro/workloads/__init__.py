@@ -9,6 +9,13 @@ the four query classes of Sec. VI:
 4. structural qualifiers creating *past conditions*.
 """
 
+from .adversarial import (
+    adversarial_corpus,
+    billion_laughs,
+    giant_text,
+    pathological_nesting,
+    wide_fanout,
+)
 from .dmoz import dmoz_content, dmoz_structure
 from .dmoz import QUERIES as DMOZ_QUERIES
 from .generators import (
@@ -58,17 +65,22 @@ __all__ = [
     "TREEBANK_QUERIES",
     "WORDNET_QUERIES",
     "XMARK_QUERIES",
+    "adversarial_corpus",
+    "billion_laughs",
     "deep_chain",
     "dmoz_content",
     "dmoz_structure",
+    "giant_text",
     "mondial",
     "nested_closure_workload",
+    "pathological_nesting",
     "query_corpus",
     "random_tree",
     "sensor_feed",
     "stock_ticker",
     "text_document",
     "treebank",
+    "wide_fanout",
     "wide_flat",
     "wordnet",
     "xmark",

@@ -1,0 +1,144 @@
+"""Adversarial document generators for untrusted-stream hardening.
+
+These are the hostile counterparts of :mod:`repro.workloads.generators`:
+documents crafted to blow up a naive streaming evaluator — entity
+amplification, pathological nesting, enormous fan-out, giant text runs.
+Each generator is deterministic for its arguments, so soak failures
+replay exactly.  The event-level generators stay lazy (no adversarial
+corpus ever materializes a bomb in memory); the raw-text generators
+(:func:`billion_laughs`) return XML *source*, because entity expansion is
+a parser-level attack that cannot be expressed as events.
+
+The corresponding defenses:
+
+* :func:`billion_laughs` → :class:`~repro.xmlstream.parser.ParserLimits`
+  declaration-time amplification guard (``INPUT001``/``INPUT002``);
+* :func:`pathological_nesting` → ``ResourceLimits.max_depth``;
+* :func:`wide_fanout` → ``ResourceLimits.max_events_per_document`` and
+  the serving layer's deadlines;
+* :func:`giant_text` → ``ParserLimits.max_text_length`` (``INPUT003``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+
+def billion_laughs(depth: int = 8, fanout: int = 10, label: str = "lolz") -> str:
+    """Raw billion-laughs XML: ``fanout**depth`` entity amplification.
+
+    A few hundred input bytes whose single entity reference expands to
+    ``3 * fanout**depth`` characters.  Returns source text, to be fed to
+    the parser with :class:`~repro.xmlstream.parser.ParserLimits` armed.
+    """
+    if depth < 1 or fanout < 1:
+        raise ValueError("depth and fanout must be positive")
+    lines = ["<?xml version=\"1.0\"?>", f"<!DOCTYPE {label} ["]
+    lines.append("<!ENTITY e0 \"lol\">")
+    for level in range(1, depth + 1):
+        refs = f"&e{level - 1};" * fanout
+        lines.append(f"<!ENTITY e{level} \"{refs}\">")
+    lines.append("]>")
+    lines.append(f"<{label}>&e{depth};</{label}>")
+    return "\n".join(lines)
+
+
+def pathological_nesting(
+    depth: int = 100_000, label: str = "d", leaf_text: str | None = "x"
+) -> Iterator[Event]:
+    """One chain nested ``depth`` levels deep (a depth bomb).
+
+    ``2·depth`` events of stream, but per-transducer stacks — and any
+    recursive consumer — grow linearly with ``depth``; only
+    ``ResourceLimits.max_depth`` keeps the d-bound of Theorem IV.2
+    meaningful against it.
+    """
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    yield StartDocument()
+    for _ in range(depth):
+        yield StartElement(label)
+    if leaf_text is not None:
+        yield Text(leaf_text)
+    for _ in range(depth):
+        yield EndElement(label)
+    yield EndDocument()
+
+
+def wide_fanout(
+    children: int = 1_000_000,
+    label: str = "row",
+    root: str = "table",
+    text: str | None = None,
+) -> Iterator[Event]:
+    """One flat element with ``children`` children (an event flood).
+
+    Depth stays 2, so the ``d``-bound is useless here — the attack is on
+    *throughput* budgets: per-document event ceilings and wall-clock
+    deadlines are the defenses.
+    """
+    if children < 1:
+        raise ValueError("children must be positive")
+    yield StartDocument()
+    yield StartElement(root)
+    for _ in range(children):
+        yield StartElement(label)
+        if text is not None:
+            yield Text(text)
+        yield EndElement(label)
+    yield EndElement(root)
+    yield EndDocument()
+
+
+def giant_text(
+    length: int = 64 * 1024 * 1024,
+    chunk: int = 64 * 1024,
+    label: str = "blob",
+) -> Iterator[Event]:
+    """A single element holding one contiguous ``length``-character run.
+
+    Emitted in ``chunk``-sized :class:`~repro.xmlstream.events.Text`
+    events — exactly how a SAX parser would deliver it — so the
+    defense under test is the *contiguous-run* accounting of
+    ``ParserLimits.max_text_length``, not any single event's size.
+    """
+    if length < 1 or chunk < 1:
+        raise ValueError("length and chunk must be positive")
+    yield StartDocument()
+    yield StartElement(label)
+    remaining = length
+    block = "x" * min(chunk, length)
+    while remaining > 0:
+        take = min(chunk, remaining)
+        yield Text(block[:take])
+        remaining -= take
+    yield EndElement(label)
+    yield EndDocument()
+
+
+def adversarial_corpus(scale: int = 1) -> dict[str, object]:
+    """The named adversarial document set, sized by ``scale``.
+
+    Returns ``name -> document``, where a document is either raw XML
+    text (``billion_laughs``) or a *callable* returning a fresh lazy
+    event iterator — callables, so one corpus can feed many trials
+    without replaying exhausted generators.  Sized modestly by default
+    (CI-friendly); raise ``scale`` for stress runs.
+    """
+    if scale < 1:
+        raise ValueError("scale must be positive")
+    return {
+        "billion_laughs": billion_laughs(depth=6 + scale, fanout=10),
+        "pathological_nesting": lambda: pathological_nesting(depth=1000 * scale),
+        "wide_fanout": lambda: wide_fanout(children=5000 * scale),
+        "giant_text": lambda: giant_text(length=scale * 8 * 1024 * 1024),
+    }

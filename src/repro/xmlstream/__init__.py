@@ -21,6 +21,7 @@ from .events import (
 )
 from .documents import concat_documents, count_documents, split_documents
 from .faults import (
+    ADVERSARIAL_FAULT_KINDS,
     FAULT_KINDS,
     RUNTIME_FAULT_KINDS,
     Fault,
@@ -28,7 +29,14 @@ from .faults import (
     FlakySource,
 )
 from .offsets import CountingReader, StreamCursor, skip_events
-from .parser import iter_events, parse_file, parse_stream, parse_string
+from .parser import (
+    ParserLimits,
+    iter_documents,
+    iter_events,
+    parse_file,
+    parse_stream,
+    parse_string,
+)
 from .recovery import (
     ErrorRecord,
     ErrorReport,
@@ -43,6 +51,7 @@ from .tree import Document, Node, build_document
 from .validate import checked, is_well_formed
 
 __all__ = [
+    "ADVERSARIAL_FAULT_KINDS",
     "CountingReader",
     "DOCUMENT_LABEL",
     "Document",
@@ -56,6 +65,7 @@ __all__ = [
     "FaultInjector",
     "FlakySource",
     "Node",
+    "ParserLimits",
     "RUNTIME_FAULT_KINDS",
     "RecoveryPolicy",
     "StartDocument",
@@ -71,6 +81,7 @@ __all__ = [
     "events_from_tags",
     "is_document_boundary",
     "is_well_formed",
+    "iter_documents",
     "iter_events",
     "label_of",
     "measure",

@@ -15,10 +15,10 @@ annotated with a :class:`Fault` describing what was done where.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+from ..core.clock import Clock, as_clock
 from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
 
 #: Every corruption kind :meth:`FaultInjector.corrupt` can pick from.
@@ -33,9 +33,15 @@ FAULT_KINDS = (
 
 #: Runtime (transport-level) fault kinds.  Unlike :data:`FAULT_KINDS`
 #: these do not corrupt event *content* — they break the *delivery*:
-#: the stream raises or hangs mid-flight, which is what the supervisor
-#: (:mod:`repro.core.supervisor`) exists to survive.
-RUNTIME_FAULT_KINDS = ("transient_error", "stall")
+#: the stream raises, hangs, or crawls mid-flight, which is what the
+#: supervisor (:mod:`repro.core.supervisor`) and the serving deadlines
+#: (:mod:`repro.core.serving`) exist to survive.
+RUNTIME_FAULT_KINDS = ("transient_error", "stall", "slow_source")
+
+#: Adversarial *payload* fault kinds: well-formed but hostile input
+#: (amplification bombs) that only the parser hardening
+#: (:class:`~repro.xmlstream.parser.ParserLimits`) defends against.
+ADVERSARIAL_FAULT_KINDS = ("entity_bomb",)
 
 
 @dataclass(frozen=True)
@@ -60,11 +66,21 @@ class FaultInjector:
         seed: seeds the private :class:`random.Random`; two injectors
             with the same seed apply identical corruptions.
         labels: label pool for garbage tags and label flips.
+        clock: time source for the latency faults (``stall``,
+            ``slow_source``); tests pass a
+            :class:`~repro.core.clock.FakeClock` so injected latency is
+            simulated, not slept.
     """
 
-    def __init__(self, seed: int = 0, labels: Sequence[str] = ("a", "b", "c", "zz")) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        labels: Sequence[str] = ("a", "b", "c", "zz"),
+        clock: Clock | None = None,
+    ) -> None:
         self.rng = random.Random(seed)
         self.labels = tuple(labels)
+        self.clock = as_clock(clock)
 
     # ------------------------------------------------------------------
     # individual faults
@@ -205,14 +221,85 @@ class FaultInjector:
             else self.rng.randrange(1, max(2, len(stream)))
         )
         fault = Fault("stall", k, f"hang {stall_seconds}s after {k} events")
+        clock = self.clock
 
         def generate() -> Iterator[Event]:
             for index, event in enumerate(stream):
                 if index == k:
-                    time.sleep(stall_seconds)
+                    clock.sleep(stall_seconds)
                 yield event
 
         return generate(), fault
+
+    def slow_source(
+        self,
+        events: Iterable[Event],
+        delay: float = 0.1,
+        every: int = 1,
+    ) -> tuple[Iterator[Event], Fault]:
+        """Stream that crawls: ``delay`` seconds before every ``every``-th
+        event.
+
+        Models a congested or throttled peer.  Unlike :meth:`stall` the
+        stream keeps making progress, so only a *deadline*
+        (:class:`~repro.core.serving.ServingPolicy`) — not a heartbeat
+        watchdog — bounds the damage.  Latency is charged to the
+        injector's clock, so with a shared
+        :class:`~repro.core.clock.FakeClock` the serving deadlines see
+        the simulated time without any real sleeping.
+        """
+        if every < 1:
+            raise ValueError("every must be positive")
+        stream = list(events)
+        fault = Fault(
+            "slow_source", 0, f"{delay}s delay every {every} event(s)"
+        )
+        clock = self.clock
+
+        def generate() -> Iterator[Event]:
+            for index, event in enumerate(stream):
+                if index % every == 0:
+                    clock.sleep(delay)
+                yield event
+
+        return generate(), fault
+
+    # ------------------------------------------------------------------
+    # adversarial payloads (hostile but well-formed input)
+
+    def entity_bomb(
+        self,
+        depth: int = 8,
+        fanout: int = 10,
+        label: str = "bomb",
+    ) -> tuple[str, Fault]:
+        """Raw billion-laughs document: ``fanout**depth`` amplification.
+
+        Returns XML *text* (entity expansion happens at the parser, so
+        the bomb cannot be expressed as an event list).  The top entity
+        expands to ``3 * fanout**depth`` characters from a few hundred
+        bytes of input — feed it through
+        :func:`~repro.xmlstream.parser.parse_stream` with
+        :class:`~repro.xmlstream.parser.ParserLimits` armed and the
+        declaration-time guard rejects it before any expansion.
+        """
+        if depth < 1 or fanout < 1:
+            raise ValueError("depth and fanout must be positive")
+        lines = ["<?xml version=\"1.0\"?>", f"<!DOCTYPE {label} ["]
+        lines.append("<!ENTITY e0 \"lol\">")
+        for level in range(1, depth + 1):
+            refs = f"&e{level - 1};" * fanout
+            lines.append(f"<!ENTITY e{level} \"{refs}\">")
+        lines.append("]>")
+        lines.append(f"<{label}>&e{depth};</{label}>")
+        text = "\n".join(lines)
+        fault = Fault(
+            "entity_bomb",
+            0,
+            f"{len(text)} input bytes expanding to ~{3 * fanout ** depth} "
+            f"characters ({fanout}^{depth} amplification)",
+        )
+        return text, fault
 
     # ------------------------------------------------------------------
     # driver
@@ -292,10 +379,12 @@ class FlakySource:
         events: Iterable[Event],
         script: Sequence[tuple[str, int] | None] = (),
         stall_seconds: float = 3600.0,
+        clock: Clock | None = None,
     ) -> None:
         self.events = list(events)
         self.script = list(script)
         self.stall_seconds = stall_seconds
+        self.clock = as_clock(clock)
         #: number of connections opened so far
         self.connects = 0
 
@@ -325,7 +414,7 @@ class FlakySource:
                         f"injected transient error on connection {connection} "
                         f"after {k} events"
                     )
-                time.sleep(self.stall_seconds)
+                self.clock.sleep(self.stall_seconds)
             yield event
         if mode == "error" and k >= len(self.events):
             raise IOError(

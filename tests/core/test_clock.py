@@ -1,0 +1,123 @@
+"""The injectable clock abstraction (repro.core.clock)."""
+
+import pytest
+
+from repro.core.clock import (
+    SYSTEM_CLOCK,
+    Clock,
+    FakeClock,
+    SystemClock,
+    _CallableClock,
+    as_clock,
+)
+
+
+class TestFakeClock:
+    def test_starts_where_told(self):
+        assert FakeClock().monotonic() == 0.0
+        assert FakeClock(start=41.5).monotonic() == 41.5
+
+    def test_advance_moves_time(self):
+        clock = FakeClock()
+        clock.advance(2.5)
+        assert clock.monotonic() == 2.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+    def test_sleep_advances_and_records(self):
+        clock = FakeClock()
+        clock.sleep(0.25)
+        clock.sleep(0.75)
+        assert clock.monotonic() == 1.0
+        assert clock.sleeps == [0.25, 0.75]
+
+    def test_zero_sleep_recorded_but_time_still(self):
+        clock = FakeClock()
+        clock.sleep(0.0)
+        assert clock.monotonic() == 0.0
+        assert clock.sleeps == [0.0]
+
+
+class TestSystemClock:
+    def test_monotonic_is_monotonic(self):
+        first = SYSTEM_CLOCK.monotonic()
+        second = SYSTEM_CLOCK.monotonic()
+        assert second >= first
+
+    def test_singleton_is_a_system_clock(self):
+        assert isinstance(SYSTEM_CLOCK, SystemClock)
+        assert isinstance(SYSTEM_CLOCK, Clock)
+
+
+class TestAsClock:
+    def test_none_gives_system_clock(self):
+        assert as_clock(None) is SYSTEM_CLOCK
+
+    def test_clock_passes_through(self):
+        clock = FakeClock()
+        assert as_clock(clock) is clock
+
+    def test_callable_becomes_monotonic(self):
+        clock = as_clock(lambda: 123.0)
+        assert isinstance(clock, Clock)
+        assert clock.monotonic() == 123.0
+
+    def test_rejects_non_clock(self):
+        with pytest.raises(TypeError):
+            as_clock(42)
+
+
+class TestCallableClock:
+    def test_wraps_both_callables(self):
+        slept = []
+        clock = _CallableClock(monotonic=lambda: 7.0, sleep=slept.append)
+        assert clock.monotonic() == 7.0
+        clock.sleep(0.5)
+        assert slept == [0.5]
+
+    def test_defaults_fall_back_to_time_module(self):
+        clock = _CallableClock()
+        assert clock.monotonic() >= 0.0
+
+
+class TestSupervisorAdoption:
+    """The supervisor runs entirely on the injected clock."""
+
+    def test_fake_clock_drives_backoff(self):
+        from repro import SpexEngine, Supervisor, SupervisorConfig
+        from repro.xmlstream import FlakySource, iter_events
+
+        events = list(iter_events("<a><b>x</b></a>"))
+        source = FlakySource(events, script=[("error", 2)])
+        clock = FakeClock()
+        supervisor = Supervisor(
+            SpexEngine("_*.b"),
+            source,
+            config=SupervisorConfig(jitter=0.0, backoff_initial=0.5),
+            clock=clock,
+        )
+        matches = list(supervisor.run())
+        assert len(matches) == 1
+        assert supervisor.report.retries == 1
+        # the backoff slept on the fake clock, not the wall clock
+        assert clock.sleeps == [0.5]
+
+    def test_legacy_callable_signature_still_works(self):
+        from repro import SpexEngine, Supervisor, SupervisorConfig
+        from repro.xmlstream import FlakySource, iter_events
+
+        events = list(iter_events("<a><b>x</b></a>"))
+        source = FlakySource(events, script=[("error", 2)])
+        slept = []
+        now = {"t": 0.0}
+        supervisor = Supervisor(
+            SpexEngine("_*.b"),
+            source,
+            config=SupervisorConfig(jitter=0.0),
+            sleep=slept.append,
+            clock=lambda: now["t"],
+        )
+        assert len(list(supervisor.run())) == 1
+        assert slept  # backoff used the injected sleeper

@@ -1,0 +1,367 @@
+"""Serving robustness: breakers, admission, deadlines, shedding.
+
+Unit tests for :mod:`repro.core.serving` plus the
+:meth:`MultiQueryEngine.serve` behaviours that don't need a soak
+(the differential isolation soak lives in
+``tests/integration/test_bulkheads.py``).
+"""
+
+from itertools import chain
+
+import pytest
+
+from repro import ResourceLimits
+from repro.core.clock import FakeClock
+from repro.core.multiquery import MultiQueryEngine
+from repro.core.serving import (
+    AdmissionPolicy,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    ServingPolicy,
+    ServingReport,
+    classify_admission,
+    ensure_admitted,
+)
+from repro.errors import AdmissionError, EngineError
+from repro.rpeq.parser import parse
+from repro.xmlstream.parser import iter_events
+
+DOC = "<a><b>x</b><b>y</b></a>"
+DEEP = "<a>" + "<b>" * 5 + "x" + "</b>" * 5 + "</a>"
+
+
+def stream(*docs):
+    """Concatenate single-document XML strings into one event stream."""
+    return list(chain.from_iterable(list(iter_events(doc)) for doc in docs))
+
+
+def ticking(events, clock, step):
+    """Source that advances ``clock`` by ``step`` before each event."""
+    for event in events:
+        clock.advance(step)
+        yield event
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self):
+        breaker = CircuitBreaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.admits()
+
+    def test_failure_opens(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_cooldown_then_half_open_probe(self):
+        breaker = CircuitBreaker(BreakerPolicy(cooldown_documents=2, max_trips=None))
+        breaker.record_failure()
+        assert not breaker.admits()  # cooldown 2 -> 1
+        assert breaker.admits()  # cooldown exhausted: half-open probe
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(BreakerPolicy(probe_documents=2, max_trips=None))
+        breaker.record_failure()
+        assert breaker.admits()
+        assert not breaker.record_document_success()  # 1 of 2
+        assert breaker.record_document_success()  # closes
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(BreakerPolicy(max_trips=None))
+        breaker.record_failure()
+        assert breaker.admits()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+
+    def test_max_trips_latches(self):
+        breaker = CircuitBreaker(BreakerPolicy(max_trips=1))
+        breaker.record_failure()
+        assert breaker.latched
+        for _ in range(5):
+            assert not breaker.admits()
+
+    def test_success_while_closed_is_a_noop(self):
+        breaker = CircuitBreaker()
+        assert not breaker.record_document_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_snapshot_restore_round_trip(self):
+        breaker = CircuitBreaker(BreakerPolicy(cooldown_documents=3, max_trips=None))
+        breaker.record_failure()
+        breaker.admits()  # cooldown 3 -> 2
+        snap = breaker.snapshot()
+        clone = CircuitBreaker(breaker.policy)
+        clone.restore(snap)
+        assert clone.state is BreakerState.OPEN
+        assert clone.trips == 1
+        assert not clone.admits()  # 2 -> 1
+        assert clone.admits()  # half-open
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown_documents=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(probe_documents=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(max_trips=0)
+
+
+class TestAdmission:
+    def test_within_budget_admits(self):
+        decision = classify_admission(
+            parse("a.b"), AdmissionPolicy(reject_sigma=10, depth_bound=8)
+        )
+        assert decision.status == "admit" and decision.code == "ADMIT000"
+        assert decision.sigma_bound == 1
+        assert decision.limits is None
+
+    def test_over_soft_budget_degrades(self):
+        decision = classify_admission(
+            parse("a[b]"),
+            AdmissionPolicy(reject_sigma=10, degrade_sigma=1, depth_bound=8),
+        )
+        assert decision.status == "degraded" and decision.code == "ADMIT001"
+        assert decision.admitted and decision.degraded
+        assert decision.limits.max_buffered_events == 4096
+
+    def test_over_hard_budget_rejects(self):
+        decision = classify_admission(
+            parse("_*.a[_*.b]"),
+            AdmissionPolicy(reject_sigma=10, depth_bound=50),
+        )
+        assert decision.status == "rejected" and decision.code == "ADMIT003"
+        assert decision.sigma_bound == 100
+        assert not decision.admitted
+
+    def test_uncertifiable_follows_policy(self):
+        query = parse("following::a")
+        policy = AdmissionPolicy(depth_bound=10)
+        assert classify_admission(query, policy).code == "ADMIT002"
+        reject = AdmissionPolicy(depth_bound=10, on_uncertifiable="reject")
+        assert classify_admission(query, reject).code == "ADMIT004"
+        admit = AdmissionPolicy(depth_bound=10, on_uncertifiable="admit")
+        assert classify_admission(query, admit).code == "ADMIT000"
+
+    def test_degraded_limits_take_minimum(self):
+        decision = classify_admission(
+            parse("a[b]"),
+            AdmissionPolicy(
+                degrade_sigma=1, depth_bound=8, degraded_max_buffered_events=100
+            ),
+            limits=ResourceLimits(max_buffered_events=7),
+        )
+        assert decision.limits.max_buffered_events == 7
+
+    def test_ensure_admitted_raises_on_rejection(self):
+        decision = classify_admission(
+            parse("_*.a[_*.b]"), AdmissionPolicy(reject_sigma=1, depth_bound=50)
+        )
+        with pytest.raises(AdmissionError) as excinfo:
+            ensure_admitted("big", decision)
+        assert "ADMIT003" in str(excinfo.value)
+        assert excinfo.value.decision is decision
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(on_uncertifiable="explode")
+        with pytest.raises(ValueError):
+            AdmissionPolicy(reject_sigma=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(reject_sigma=1, degrade_sigma=2)
+
+
+class TestEngineAdmission:
+    def test_rejected_query_never_runs(self):
+        engine = MultiQueryEngine(
+            {"big": "_*.a[_*.b]", "small": "_*.b"},
+            admission=AdmissionPolicy(reject_sigma=10, depth_bound=50),
+        )
+        assert engine.admissions["big"].status == "rejected"
+        results = engine.evaluate(DOC)
+        assert results["big"] == []
+        assert len(results["small"]) == 2
+        assert engine.robustness.admissions_rejected == 1
+
+    def test_serve_reports_rejection(self):
+        engine = MultiQueryEngine(
+            {"big": "_*.a[_*.b]", "small": "_*.b"},
+            admission=AdmissionPolicy(reject_sigma=10, depth_bound=50),
+        )
+        matches = list(engine.serve(DOC))
+        assert {query_id for query_id, _ in matches} == {"small"}
+        outcome = engine.serving.outcomes["big"]
+        assert outcome.status == "rejected" and outcome.code == "ADMIT003"
+        assert engine.serving.rejected == 1 and engine.serving.admitted == 1
+
+    def test_add_query_classifies(self):
+        engine = MultiQueryEngine(
+            {"small": "a.b"},
+            admission=AdmissionPolicy(reject_sigma=10, depth_bound=50),
+        )
+        decision = engine.add_query("big", "_*.a[_*.b]")
+        assert decision.status == "rejected"
+        with pytest.raises(AdmissionError):
+            engine.add_query("big2", "_*.a[_*.b]", require_admission=True)
+        assert "big2" not in engine.queries
+
+    def test_add_and_remove_query(self):
+        engine = MultiQueryEngine({"one": "a.b"})
+        engine.add_query("two", "_*.b")
+        assert len(engine) == 2
+        with pytest.raises(EngineError):
+            engine.add_query("two", "a")
+        engine.remove_query("two")
+        assert len(engine) == 1
+        with pytest.raises(EngineError):
+            engine.remove_query("two")
+
+
+class TestServeBulkheads:
+    def test_healthy_pass_is_equivalent_to_run(self):
+        queries = {"q1": "_*.b", "q2": "_*.a"}
+        served = MultiQueryEngine(queries)
+        ran = MultiQueryEngine(queries)
+        events = stream(DOC, DOC)
+        assert [
+            (q, m.position) for q, m in served.serve(list(events))
+        ] == [(q, m.position) for q, m in ran.run(list(events))]
+        assert served.serving.documents_seen == 2
+        assert served.serving.healthy == ["q1", "q2"]
+
+    def test_quarantine_and_readmission_at_boundary(self):
+        engine = MultiQueryEngine(
+            {"q": "_*.b"}, limits=ResourceLimits(max_depth=3)
+        )
+        matches = list(engine.serve(stream(DEEP, DOC, DOC)))
+        # doc 1 tripped the guard; docs 2 and 3 served normally
+        assert len(matches) == 4
+        outcome = engine.serving.outcomes["q"]
+        assert outcome.status == "ok" and outcome.degraded
+        assert outcome.trips == 1 and outcome.readmissions == 1
+        assert engine.serving.quarantines == 1
+        assert engine.serving.probes == 1
+        assert engine.robustness.quarantines == 1
+
+    def test_latched_breaker_stays_out(self):
+        engine = MultiQueryEngine(
+            {"q": "_*.b"}, limits=ResourceLimits(max_depth=3)
+        )
+        policy = ServingPolicy(breaker=BreakerPolicy(max_trips=1))
+        matches = list(engine.serve(stream(DEEP, DOC, DOC), policy=policy))
+        assert matches == []
+        outcome = engine.serving.outcomes["q"]
+        assert outcome.status == "quarantined" and outcome.code == "LIMIT"
+
+    def test_quarantine_off_propagates(self):
+        from repro.errors import ResourceLimitError
+
+        engine = MultiQueryEngine(
+            {"q": "_*.b"}, limits=ResourceLimits(max_depth=3)
+        )
+        with pytest.raises(ResourceLimitError):
+            list(engine.serve(stream(DEEP), policy=ServingPolicy(quarantine=False)))
+
+    def test_document_wise_mode_quarantines_too(self):
+        engine = MultiQueryEngine(
+            {"q": "_*.b"}, limits=ResourceLimits(max_depth=3)
+        )
+        matches = list(engine.serve(stream(DEEP, DOC), on_error="skip"))
+        assert len(matches) == 2
+        assert engine.serving.quarantines == 1
+        assert engine.serving.outcomes["q"].readmissions == 1
+
+
+class TestServeDeadlines:
+    def test_stream_deadline_yields_per_query_outcome(self):
+        clock = FakeClock()
+        engine = MultiQueryEngine({"q1": "_*.b", "q2": "_*.a"})
+        matches = list(
+            engine.serve(
+                ticking(stream(DOC, DOC, DOC), clock, 0.05),
+                policy=ServingPolicy(stream_deadline=1.0),
+                clock=clock,
+            )
+        )
+        # the pass ended cleanly (no exception) with partial results
+        assert matches
+        for outcome in engine.serving.outcomes.values():
+            assert outcome.status == "deadline"
+            assert outcome.code == "DEADLINE_STREAM"
+            assert "deadline" in outcome.reason
+        assert engine.serving.deadline_hits == 2
+        assert engine.robustness.deadline_hits == 2
+
+    def test_doc_deadline_rejoins_next_document(self):
+        clock = FakeClock()
+        engine = MultiQueryEngine({"q": "_*.b"})
+        # 0.3s/event blows a 1.0s budget inside each 8-event document
+        list(
+            engine.serve(
+                ticking(stream(DOC, DOC), clock, 0.3),
+                policy=ServingPolicy(doc_deadline=1.0),
+                clock=clock,
+            )
+        )
+        assert engine.serving.deadline_hits == 2  # once per document
+        assert engine.serving.outcomes["q"].code == "DEADLINE_DOC"
+        # doc-deadline detachments carry no breaker penalty
+        assert engine.serving.breaker_trips == 0
+
+    def test_no_deadline_never_reads_clock(self):
+        class ExplodingClock(FakeClock):
+            def monotonic(self):
+                raise AssertionError("clock read without a deadline")
+
+        engine = MultiQueryEngine({"q": "_*.b"})
+        matches = list(engine.serve(stream(DOC), clock=ExplodingClock()))
+        assert len(matches) == 2
+
+
+class TestServeShedding:
+    def test_lowest_priority_is_shed_first(self):
+        engine = MultiQueryEngine(
+            {"hot": "_*.a[c].b", "cold": "_*.a[c].b"}, collect_events=True
+        )
+        policy = ServingPolicy(
+            shed_buffered_events=2, priorities={"hot": 1, "cold": 0}
+        )
+        list(engine.serve(stream(DOC), policy=policy))
+        assert engine.serving.outcomes["cold"].status == "shed"
+        assert engine.serving.outcomes["cold"].code == "SHED001"
+        assert engine.serving.load_sheds >= 1
+        assert engine.robustness.load_sheds >= 1
+
+    def test_shed_query_rejoins_next_document(self):
+        engine = MultiQueryEngine(
+            {"hot": "_*.a[c].b", "cold": "_*.b"}, collect_events=True
+        )
+        policy = ServingPolicy(shed_buffered_events=2, priorities={"hot": 0})
+        list(engine.serve(stream(DOC, DOC), policy=policy))
+        # shed in doc 0, rejoined at the boundary (no breaker penalty),
+        # then shed again in doc 1 — proof it was live in both documents
+        outcome = engine.serving.outcomes["hot"]
+        assert engine.serving.load_sheds >= 2
+        assert outcome.document == 1
+        assert outcome.degraded and engine.serving.breaker_trips == 0
+
+
+class TestServingReport:
+    def test_summary_mentions_everything(self):
+        report = ServingReport()
+        report.outcome("q")
+        text = report.summary()
+        for word in ("quarantine", "breaker", "readmission", "shed", "deadline"):
+            assert word in text
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ServingPolicy(stream_deadline=0)
+        with pytest.raises(ValueError):
+            ServingPolicy(doc_deadline=-1)
+        with pytest.raises(ValueError):
+            ServingPolicy(shed_buffered_events=0)

@@ -1,0 +1,238 @@
+"""Bulkhead isolation acceptance: the chaos-serving invariants.
+
+The load-bearing guarantee of the serving layer: a poisoned or
+over-budget query NEVER changes a healthy query's results.  The soak
+here is the CI chaos gate (``SOAK_TRIALS`` scales it up).
+"""
+
+import os
+import random
+from itertools import chain, islice
+
+import pytest
+
+from repro import Checkpoint, StreamCursor
+from repro.core.clock import FakeClock
+from repro.core.multiquery import MultiQueryEngine
+from repro.core.serving import AdmissionPolicy, BreakerPolicy, ServingPolicy
+from repro.xmlstream.parser import ParserLimits, iter_documents, iter_events
+from repro.xmlstream.recovery import ErrorReport
+from repro.workloads import billion_laughs
+
+from ..conftest import make_random_events
+
+TRIALS = int(os.environ.get("SOAK_TRIALS", "30"))
+
+HEALTHY_QUERIES = ["_*.b", "a.b", "_*.a[b].c", "_*[c].b", "_*.a._*.d"]
+
+# σ̂("_*[b].b") = 2 > degrade_sigma, so the poison query is admitted
+# degraded — and its tiny degraded buffer ceiling trips mid-document.
+POISON_ADMISSION = AdmissionPolicy(
+    degrade_sigma=1, depth_bound=16, degraded_max_buffered_events=2
+)
+POISON_QUERY = "_*[b].b"
+
+
+def stream(*docs):
+    """Concatenate single-document XML strings into one event stream."""
+    return list(chain.from_iterable(list(iter_events(doc)) for doc in docs))
+
+
+def random_stream(rng, documents=3):
+    events = []
+    for _ in range(documents):
+        events.extend(make_random_events(rng, max_children=3, max_depth=4))
+    return events
+
+
+def served(engine, events, **kw):
+    return [(qid, m.position) for qid, m in engine.serve(iter(events), **kw)]
+
+
+class TestDifferentialIsolation:
+    """Quarantining query A never changes query B's results."""
+
+    def test_poison_neighbour_soak(self):
+        # the solo baseline runs under the SAME admission policy — the
+        # one and only difference is the poison neighbour's presence
+        rng = random.Random(0xB01)
+        for trial in range(TRIALS):
+            events = random_stream(rng)
+            healthy_query = rng.choice(HEALTHY_QUERIES)
+            solo = MultiQueryEngine(
+                {"healthy": healthy_query},
+                collect_events=True,
+                admission=POISON_ADMISSION,
+            )
+            baseline = served(solo, events)
+            noisy = MultiQueryEngine(
+                {"healthy": healthy_query, "poison": POISON_QUERY},
+                collect_events=True,
+                admission=POISON_ADMISSION,
+            )
+            got = served(noisy, events)
+            healthy = [(q, p) for q, p in got if q == "healthy"]
+            assert healthy == baseline, (
+                f"trial {trial}: poison neighbour changed healthy results"
+            )
+            solo_outcome = solo.serving.outcomes["healthy"]
+            noisy_outcome = noisy.serving.outcomes["healthy"]
+            assert (solo_outcome.status, solo_outcome.code) == (
+                noisy_outcome.status,
+                noisy_outcome.code,
+            ), f"trial {trial}"
+
+    def test_poison_actually_trips(self):
+        # guard against the soak silently testing nothing: the poison
+        # query must really quarantine on these streams
+        rng = random.Random(0xB01)
+        engine = MultiQueryEngine(
+            {"healthy": "_*.b", "poison": POISON_QUERY},
+            collect_events=True,
+            admission=POISON_ADMISSION,
+        )
+        trips = 0
+        for _ in range(5):
+            list(engine.serve(iter(random_stream(rng))))
+            trips += engine.serving.quarantines
+        assert trips > 0
+
+    def test_document_wise_isolation(self):
+        rng = random.Random(0xB02)
+        for trial in range(max(3, TRIALS // 5)):
+            events = random_stream(rng)
+            solo = MultiQueryEngine({"healthy": "_*.b"}, collect_events=True)
+            baseline = served(solo, events, on_error="skip")
+            noisy = MultiQueryEngine(
+                {"healthy": "_*.b", "poison": POISON_QUERY},
+                collect_events=True,
+                admission=POISON_ADMISSION,
+            )
+            got = served(noisy, events, on_error="skip")
+            assert [(q, p) for q, p in got if q == "healthy"] == baseline
+
+
+class TestAdversarialAcceptance:
+    """Billion-laughs + an over-budget query: healthy queries complete."""
+
+    def test_entity_bomb_and_rejected_query(self):
+        report = ErrorReport()
+        sources = [
+            "<a><b>1</b></a>",
+            billion_laughs(),
+            "<a><b>2</b></a>",
+        ]
+        engine = MultiQueryEngine(
+            {
+                "healthy": "_*.b",
+                "over_budget": "_*.a[_*.b]",  # σ̂ = 2·d, over any sane budget
+            },
+            admission=AdmissionPolicy(reject_sigma=4, depth_bound=64),
+        )
+        assert engine.admissions["over_budget"].status == "rejected"
+        events = iter_documents(
+            sources, limits=ParserLimits.default(), report=report
+        )
+        matches = list(engine.serve(events, on_error="skip"))
+        # the bomb was refused at the parser, recorded, and skipped
+        assert [r.action for r in report.records] == ["parse_error"]
+        # the healthy query served both healthy documents
+        assert [q for q, _ in matches] == ["healthy", "healthy"]
+        assert engine.serving.outcomes["healthy"].healthy
+        assert engine.serving.outcomes["over_budget"].code == "ADMIT003"
+
+    def test_deadline_is_per_query_not_global(self):
+        clock = FakeClock()
+
+        def ticking(events):
+            for event in events:
+                clock.advance(0.2)
+                yield event
+
+        engine = MultiQueryEngine({"q1": "_*.b", "q2": "a.b"})
+        events = stream("<a><b>x</b></a>", "<a><b>y</b></a>")
+        # the generator must end cleanly with partial results — a
+        # deadline is a per-query outcome, never a raised global abort
+        matches = list(
+            engine.serve(
+                ticking(events),
+                policy=ServingPolicy(stream_deadline=1.0),
+                clock=clock,
+            )
+        )
+        assert matches  # the first document made it out
+        for outcome in engine.serving.outcomes.values():
+            assert outcome.status == "deadline"
+            assert outcome.code == "DEADLINE_STREAM"
+
+
+class TestCheckpointRoundTrip:
+    """Quarantine and breaker state survive checkpoint/resume."""
+
+    def test_latched_query_stays_out_after_resume(self):
+        doc = "<a><b>x</b><b>y</b><b>z</b></a>"
+        events = stream(doc, doc, doc)
+        policy = ServingPolicy(breaker=BreakerPolicy(max_trips=1))
+
+        solo = MultiQueryEngine({"healthy": "_*.b"}, collect_events=True)
+        baseline = served(solo, events)
+
+        engine = MultiQueryEngine(
+            {"healthy": "_*.b", "poison": POISON_QUERY},
+            collect_events=True,
+            admission=POISON_ADMISSION,
+        )
+        cursor = StreamCursor()
+        cut = len(events) // 2
+        got = served(
+            engine, list(islice(iter(events), cut)), policy=policy, cursor=cursor
+        )
+        assert engine.serving.outcomes["poison"].status == "quarantined"
+
+        restored = Checkpoint.from_dict(engine.checkpoint().to_dict())
+        fresh = MultiQueryEngine.from_checkpoint(
+            restored, admission=POISON_ADMISSION
+        )
+        got += [
+            (qid, m.position)
+            for qid, m in fresh.resume(restored, iter(events), policy=policy)
+        ]
+
+        # the latched poison query was never silently re-admitted
+        poison = fresh.serving.outcomes["poison"]
+        assert poison.status == "quarantined" and poison.readmissions == 0
+        assert not any(q == "poison" for q, _ in got[cut:])
+        # and the healthy query lost nothing across the interruption
+        assert [(q, p) for q, p in got if q == "healthy"] == baseline
+
+    def test_random_cut_soak(self):
+        rng = random.Random(0xB03)
+        policy = ServingPolicy(breaker=BreakerPolicy(max_trips=1))
+        for _trial in range(max(3, TRIALS // 5)):
+            events = random_stream(rng)
+            solo = MultiQueryEngine({"healthy": "_*.b"}, collect_events=True)
+            baseline = served(solo, events)
+            engine = MultiQueryEngine(
+                {"healthy": "_*.b", "poison": POISON_QUERY},
+                collect_events=True,
+                admission=POISON_ADMISSION,
+            )
+            cursor = StreamCursor()
+            cut = rng.randrange(0, len(events) + 1)
+            got = served(
+                engine,
+                list(islice(iter(events), cut)),
+                policy=policy,
+                cursor=cursor,
+            )
+            restored = Checkpoint.from_dict(engine.checkpoint().to_dict())
+            fresh = MultiQueryEngine.from_checkpoint(
+                restored, admission=POISON_ADMISSION
+            )
+            got += [
+                (qid, m.position)
+                for qid, m in fresh.resume(restored, iter(events), policy=policy)
+            ]
+            assert [(q, p) for q, p in got if q == "healthy"] == baseline, (
+                f"cut {cut}"
+            )

@@ -233,3 +233,84 @@ class TestAnalyzeCommand:
         assert main(["analyze", "a.c", "--dtd", str(dtd)]) == 1
         out = capsys.readouterr().out
         assert "RPQ010" in out and "RPQ012" in out
+
+
+class TestServeCommand:
+    def test_multi_query_counts(self, doc_file, capsys):
+        assert main(["serve", "--count", "b=_*.b", "c=_*.c", "--file", doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "b\t1" in out and "c\t2" in out
+
+    def test_auto_ids(self, doc_file, capsys):
+        assert main(["serve", "--count", "_*.b", "--file", doc_file]) == 0
+        assert "q1\t1" in capsys.readouterr().out
+
+    def test_duplicate_ids_rejected(self, doc_file, capsys):
+        assert main(["serve", "x=a", "x=b", "--file", doc_file]) == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_poisoned_file_among_healthy_ones(self, tmp_path, doc_file, capsys):
+        from repro.workloads import billion_laughs
+
+        bomb = tmp_path / "bomb.xml"
+        bomb.write_text(billion_laughs())
+        code = main(
+            [
+                "serve",
+                "--count",
+                "q=_*.b",
+                "--harden",
+                "--on-error",
+                "skip",
+                "--file",
+                doc_file,
+                "--file",
+                str(bomb),
+                "--file",
+                doc_file,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "q\t2" in captured.out  # both healthy documents served
+        assert "recovered:" in captured.err
+
+    def test_admission_rejection_sets_exit_code(self, doc_file, capsys):
+        code = main(
+            [
+                "serve",
+                "--count",
+                "big=_*.a[_*.b]",
+                "small=_*.b",
+                "--admission",
+                "4",
+                "--max-depth",
+                "64",
+                "--file",
+                doc_file,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "big\t0" in captured.out and "small\t1" in captured.out
+        assert "ADMIT003" in captured.err
+
+    def test_deadline_flag_accepted(self, doc_file, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--count",
+                    "q=_*.b",
+                    "--deadline-ms",
+                    "60000",
+                    "--file",
+                    doc_file,
+                ]
+            )
+            == 0
+        )
+
+    def test_bad_priority_rejected(self, doc_file, capsys):
+        assert main(["serve", "q=a", "--priority", "zz=1", "--file", doc_file]) == 2
+        assert "--priority" in capsys.readouterr().err

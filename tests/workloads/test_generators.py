@@ -78,3 +78,57 @@ class TestTextDocument:
         events = list(text_document(seed=2, elements=100))
         assert is_well_formed(iter(events))
         assert measure(iter(events)).text_bytes > 0
+
+
+class TestAdversarialGenerators:
+    def test_billion_laughs_is_text(self):
+        from repro.workloads import billion_laughs
+
+        text = billion_laughs(depth=4, fanout=3)
+        assert text.startswith("<?xml")
+        assert text.count("<!ENTITY") == 5  # e0 .. e4
+
+    def test_billion_laughs_blocked_by_default_limits(self):
+        import pytest
+
+        from repro.errors import InputLimitError
+        from repro.workloads import billion_laughs
+        from repro.xmlstream.parser import ParserLimits, parse_string
+
+        with pytest.raises(InputLimitError):
+            list(parse_string(billion_laughs(), limits=ParserLimits.default()))
+
+    def test_pathological_nesting_is_lazy_and_well_formed(self):
+        from repro.workloads import pathological_nesting
+
+        stream = pathological_nesting(depth=200)
+        assert iter(stream) is iter(stream)  # a generator, not a list
+        assert is_well_formed(pathological_nesting(depth=200))
+        assert measure(pathological_nesting(depth=200)).max_depth == 200
+
+    def test_wide_fanout_counts(self):
+        from repro.workloads import wide_fanout
+
+        stats = measure(wide_fanout(children=1_000))
+        assert stats.elements == 1_001  # root + children
+        assert stats.max_depth == 2
+
+    def test_giant_text_single_run(self):
+        from repro.workloads import giant_text
+        from repro.xmlstream.events import Text
+
+        total = sum(
+            len(e.content)
+            for e in giant_text(length=100_000, chunk=1_024)
+            if isinstance(e, Text)
+        )
+        assert total == 100_000
+
+    def test_corpus_is_replayable(self):
+        from repro.workloads import adversarial_corpus
+
+        corpus = adversarial_corpus(scale=1)
+        assert "billion_laughs" in corpus
+        nesting = corpus["pathological_nesting"]
+        # factories yield a fresh iterator per call
+        assert list(nesting()) == list(nesting())

@@ -150,3 +150,66 @@ class TestFlakySource:
         assert list(source.connect()) == base()
         assert list(source.connect()) == base()  # beyond script: clean
         assert source.connects == 3
+
+
+class TestSlowSource:
+    def test_delays_on_the_injected_clock(self):
+        from repro.core.clock import FakeClock
+
+        clock = FakeClock()
+        stream, fault = FaultInjector(0, clock=clock).slow_source(
+            base(), delay=0.5, every=2
+        )
+        assert fault.kind == "slow_source"
+        assert list(stream) == base()  # progress is made, just slowly
+        # 9 events, a sleep before indexes 0, 2, 4, 6, 8
+        assert clock.sleeps == [0.5] * 5
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultInjector(0).slow_source(base(), every=0)
+
+    def test_only_a_deadline_bounds_the_damage(self):
+        from repro.core.clock import FakeClock
+        from repro.core.multiquery import MultiQueryEngine
+        from repro.core.serving import ServingPolicy
+
+        clock = FakeClock()
+        stream, _fault = FaultInjector(0, clock=clock).slow_source(
+            base(), delay=1.0
+        )
+        engine = MultiQueryEngine({"q": "_*.b"})
+        list(
+            engine.serve(
+                stream, policy=ServingPolicy(stream_deadline=3.0), clock=clock
+            )
+        )
+        outcome = engine.serving.outcomes["q"]
+        assert outcome.code == "DEADLINE_STREAM"
+
+
+class TestEntityBomb:
+    def test_is_adversarial_not_runtime(self):
+        from repro.xmlstream import ADVERSARIAL_FAULT_KINDS
+
+        assert "entity_bomb" in ADVERSARIAL_FAULT_KINDS
+        assert "entity_bomb" not in FAULT_KINDS
+
+    def test_small_input_huge_amplification(self):
+        text, fault = FaultInjector(0).entity_bomb(depth=6, fanout=10)
+        assert fault.kind == "entity_bomb"
+        assert len(text) < 2_000
+        assert "10^6" in fault.detail
+
+    def test_blocked_by_parser_limits(self):
+        from repro.errors import InputLimitError
+        from repro.xmlstream.parser import ParserLimits, parse_string
+
+        text, _fault = FaultInjector(0).entity_bomb()
+        with pytest.raises(InputLimitError) as excinfo:
+            list(parse_string(text, limits=ParserLimits.default()))
+        assert excinfo.value.code == "INPUT001"
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            FaultInjector(0).entity_bomb(depth=0)

@@ -1,0 +1,141 @@
+"""Untrusted-input hardening: ParserLimits ceilings (INPUT001-006)."""
+
+import pytest
+
+from repro.errors import InputLimitError, StreamError
+from repro.xmlstream.events import EndDocument, StartDocument, Text
+from repro.xmlstream.parser import (
+    ParserLimits,
+    iter_documents,
+    iter_events,
+    parse_string,
+)
+from repro.xmlstream.recovery import ErrorReport
+
+
+def bomb(depth=8, fanout=10, label="lol"):
+    """A classic billion-laughs document (fanout**depth expansions)."""
+    entities = ['<!ENTITY e0 "ha">']
+    for level in range(1, depth + 1):
+        refs = f"&e{level - 1};" * fanout
+        entities.append(f'<!ENTITY e{level} "{refs}">')
+    return (
+        "<?xml version='1.0'?>\n"
+        f"<!DOCTYPE {label} [{''.join(entities)}]>\n"
+        f"<{label}>&e{depth};</{label}>"
+    )
+
+
+class TestParserLimits:
+    def test_default_profile_is_bounded(self):
+        limits = ParserLimits.default()
+        assert not limits.unbounded
+        assert limits.guards_entities
+        assert limits.max_entity_expansion == 64 * 1024
+
+    def test_empty_profile_is_unbounded(self):
+        assert ParserLimits().unbounded
+        assert not ParserLimits().guards_entities
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParserLimits(max_entity_depth=0)
+        with pytest.raises(ValueError):
+            ParserLimits(max_amplification=0)
+        with pytest.raises(ValueError):
+            ParserLimits(amplification_floor=-1)
+
+
+class TestEntityGuards:
+    def test_billion_laughs_blocked_before_expansion(self):
+        with pytest.raises(InputLimitError) as excinfo:
+            list(parse_string(bomb(), limits=ParserLimits.default()))
+        assert excinfo.value.code == "INPUT001"
+
+    def test_entity_depth_ceiling(self):
+        # tiny expansions (fanout=1) stay under the size ceiling but nest
+        # 20 levels of entity-in-entity references
+        with pytest.raises(InputLimitError) as excinfo:
+            list(parse_string(bomb(depth=20, fanout=1), limits=ParserLimits.default()))
+        assert excinfo.value.code == "INPUT002"
+
+    def test_unguarded_parse_expands_freely(self):
+        # a small bomb parses fine with no limits — proving the guard is
+        # what blocks it, not expat itself
+        events = list(parse_string(bomb(depth=3, fanout=4)))
+        text = "".join(e.content for e in events if isinstance(e, Text))
+        assert text == "ha" * 4**3
+
+    def test_innocent_entities_pass(self):
+        doc = (
+            "<?xml version='1.0'?>"
+            '<!DOCTYPE a [<!ENTITY greet "hello">]>'
+            "<a>&greet; &amp; goodbye</a>"
+        )
+        guarded = list(parse_string(doc, limits=ParserLimits.default()))
+        text = "".join(e.content for e in guarded if isinstance(e, Text))
+        assert "hello" in text and "&" in text and "goodbye" in text
+        # hardening must not change what an unguarded parse produces
+        assert guarded == list(parse_string(doc))
+
+
+class TestStructuralGuards:
+    def test_contiguous_text_run_ceiling(self):
+        doc = f"<a>{'x' * 100}</a>"
+        with pytest.raises(InputLimitError) as excinfo:
+            list(parse_string(doc, limits=ParserLimits(max_text_length=10)))
+        assert excinfo.value.code == "INPUT003"
+        # the same document is fine under a generous ceiling
+        assert list(parse_string(doc, limits=ParserLimits(max_text_length=1000)))
+
+    def test_attribute_value_ceiling(self):
+        doc = f"<a b='{'x' * 100}'/>"
+        with pytest.raises(InputLimitError) as excinfo:
+            list(parse_string(doc, limits=ParserLimits(max_attribute_length=10)))
+        assert excinfo.value.code == "INPUT004"
+
+    def test_attribute_count_ceiling(self):
+        attrs = " ".join(f"a{i}='v'" for i in range(20))
+        with pytest.raises(InputLimitError) as excinfo:
+            list(parse_string(f"<a {attrs}/>", limits=ParserLimits(max_attributes=5)))
+        assert excinfo.value.code == "INPUT004"
+
+    def test_name_length_ceiling(self):
+        name = "n" * 64
+        with pytest.raises(InputLimitError) as excinfo:
+            list(parse_string(f"<{name}/>", limits=ParserLimits(max_name_length=8)))
+        assert excinfo.value.code == "INPUT005"
+
+    def test_amplification_ratio_ceiling(self):
+        # many references to one modest entity: each is small, the sum is
+        # not — only the runtime amplification guard catches this shape
+        refs = "&e;" * 2000
+        doc = (
+            '<!DOCTYPE a [<!ENTITY e "0123456789">]>' f"<a>{refs}</a>"
+        )
+        limits = ParserLimits(max_amplification=2.0, amplification_floor=64)
+        with pytest.raises(InputLimitError) as excinfo:
+            list(parse_string(doc, limits=limits))
+        assert excinfo.value.code == "INPUT006"
+
+
+class TestHardeningIsRecoverable:
+    def test_input_limit_error_is_a_stream_error(self):
+        assert issubclass(InputLimitError, StreamError)
+
+    def test_iter_documents_survives_a_poisoned_source(self):
+        report = ErrorReport()
+        sources = ["<a><b>1</b></a>", bomb(), "<a><b>2</b></a>"]
+        events = list(
+            iter_documents(sources, limits=ParserLimits.default(), report=report)
+        )
+        # both healthy documents parsed in full
+        assert sum(1 for e in events if isinstance(e, StartDocument)) == 3
+        assert sum(1 for e in events if isinstance(e, EndDocument)) == 2
+        assert [r.document for r in report.records] == [1]
+        assert report.records[0].action == "parse_error"
+        assert "INPUT001" in report.records[0].message or "entity" in report.records[0].message
+
+    def test_iter_events_passes_limits_through(self):
+        with pytest.raises(InputLimitError):
+            list(iter_events(bomb(), limits=ParserLimits.default()))
