@@ -14,6 +14,7 @@ evaluation state, so the engine compiles a fresh one per run anyway
 
 from __future__ import annotations
 
+from ..core.optimize import OptimizationFlags
 from ..dtd.model import Dtd
 from ..errors import StaticAnalysisError
 from ..limits import ResourceLimits
@@ -30,7 +31,7 @@ def preflight(
     *,
     limits: ResourceLimits | None = None,
     dtd: Dtd | None = None,
-    optimize: bool = True,
+    optimize: "bool | OptimizationFlags" = True,
     collect_events: bool = True,
 ) -> AnalysisReport:
     """Run all static passes over one query; returns the merged report."""
@@ -67,7 +68,7 @@ def ensure_preflight(
     *,
     limits: ResourceLimits | None = None,
     dtd: Dtd | None = None,
-    optimize: bool = True,
+    optimize: "bool | OptimizationFlags" = True,
     collect_events: bool = True,
 ) -> AnalysisReport:
     """Run :func:`preflight`; raise on error-severity findings.

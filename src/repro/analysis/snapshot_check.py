@@ -26,6 +26,7 @@ from typing import Callable, Iterable
 from ..conditions.formula import Formula, formula_to_obj
 from ..conditions.store import ConditionStore, VariableAllocator
 from ..core.network import Network
+from ..core.optimize import OptimizationFlags
 from ..core.transducer import Transducer
 from ..limits import ResourceLimits
 from ..rpeq.ast import Rpeq
@@ -101,7 +102,7 @@ def check_snapshot_coverage(
     query: str | Rpeq | None,
     events: Iterable[Event],
     *,
-    optimize: bool = True,
+    optimize: "bool | OptimizationFlags" = True,
     collect_events: bool = True,
     limits: ResourceLimits | None = None,
     network_factory: Callable[[], Network] | None = None,

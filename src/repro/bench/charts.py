@@ -13,7 +13,7 @@ regenerates the figure:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 
 def bar_chart(

@@ -1,0 +1,267 @@
+"""The benchmark regression gate — diff a run against the baseline.
+
+CI runs the pinned smoke subset (``spex bench --smoke --json``) and
+feeds the result here together with the committed ``BENCH_<n>.json``
+baseline.  The comparison applies per-metric tolerance bands:
+
+* **match counts** — zero tolerance.  The smoke workloads are seeded and
+  pinned, so any drift means answers changed: that is a correctness bug,
+  never noise, and the gate fails regardless of any throughput win.
+* **event counts** — zero tolerance, for the same reason (drift means a
+  workload generator changed; refresh the baseline deliberately).
+* **events/sec** — a relative band (default −15%).  Throughput may only
+  regress within the band; improvements always pass (and should be
+  recorded by committing a new trajectory entry).
+* **peak memory** — a relative band (default +50%), loose because
+  allocator behaviour shifts across Python versions.
+
+Exit status of :func:`main` is nonzero on any violated band, which is
+what makes the CI job a gate.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from .trajectory import SCHEMA_VERSION, latest_baseline, load_result
+
+#: Maximum tolerated relative throughput loss (0.15 == −15%).
+DEFAULT_THROUGHPUT_TOLERANCE = 0.15
+#: Maximum tolerated relative peak-memory growth (0.50 == +50%).
+DEFAULT_MEMORY_TOLERANCE = 0.50
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric of one workload.
+
+    Attributes:
+        workload: workload id the metric belongs to.
+        metric: metric name (``matches``, ``events_per_second``, ...).
+        baseline: the committed value.
+        current: the fresh run's value.
+        ok: whether the value stays inside the metric's tolerance band.
+        note: human-readable verdict, rendered by the CLI.
+    """
+
+    workload: str
+    metric: str
+    baseline: float
+    current: float
+    ok: bool
+    note: str
+
+    def render(self) -> str:
+        mark = "ok  " if self.ok else "FAIL"
+        return (
+            f"{mark} {self.workload:14s} {self.metric:18s} "
+            f"{self.baseline:>14,.2f} -> {self.current:>14,.2f}  {self.note}"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All metric deltas of one baseline/current diff."""
+
+    deltas: tuple[MetricDelta, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(delta.ok for delta in self.deltas)
+
+    @property
+    def failures(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if not delta.ok]
+
+    def render(self) -> str:
+        lines = [delta.render() for delta in self.deltas]
+        verdict = (
+            "PASS: no regression outside tolerance"
+            if self.ok
+            else f"FAIL: {len(self.failures)} metric(s) outside tolerance"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _relative_change(baseline: float, current: float) -> float:
+    if baseline == 0:
+        return 0.0 if current == 0 else float("inf")
+    return (current - baseline) / baseline
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    throughput_tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
+    memory_tolerance: float = DEFAULT_MEMORY_TOLERANCE,
+) -> ComparisonReport:
+    """Diff two trajectory runs; see the module docstring for the bands.
+
+    Raises:
+        ValueError: the runs come from different schema versions, or the
+            current run is missing a workload the baseline records.
+    """
+    for name, run in (("baseline", baseline), ("current", current)):
+        schema = run.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"{name} run has schema {schema!r}; this gate understands "
+                f"schema {SCHEMA_VERSION} only — refresh the baseline"
+            )
+    deltas: list[MetricDelta] = []
+    for workload, base in baseline["workloads"].items():
+        cur = current["workloads"].get(workload)
+        if cur is None:
+            raise ValueError(
+                f"current run is missing workload {workload!r}; the smoke "
+                "subset must cover everything the baseline records"
+            )
+        deltas.append(
+            MetricDelta(
+                workload,
+                "matches",
+                base["matches"],
+                cur["matches"],
+                ok=cur["matches"] == base["matches"],
+                note="exact (answer drift is a bug)",
+            )
+        )
+        deltas.append(
+            MetricDelta(
+                workload,
+                "events",
+                base["events"],
+                cur["events"],
+                ok=cur["events"] == base["events"],
+                note="exact (workloads are pinned)",
+            )
+        )
+        if base["events_per_second"] > 0:
+            change = _relative_change(
+                base["events_per_second"], cur["events_per_second"]
+            )
+            deltas.append(
+                MetricDelta(
+                    workload,
+                    "events_per_second",
+                    base["events_per_second"],
+                    cur["events_per_second"],
+                    ok=change >= -throughput_tolerance,
+                    note=f"{change:+.1%} (band -{throughput_tolerance:.0%})",
+                )
+            )
+        base_peak = base.get("peak_memory_bytes")
+        cur_peak = cur.get("peak_memory_bytes")
+        if base_peak and cur_peak:
+            change = _relative_change(base_peak, cur_peak)
+            deltas.append(
+                MetricDelta(
+                    workload,
+                    "peak_memory_bytes",
+                    base_peak,
+                    cur_peak,
+                    ok=change <= memory_tolerance,
+                    note=f"{change:+.1%} (band +{memory_tolerance:.0%})",
+                )
+            )
+    return ComparisonReport(tuple(deltas))
+
+
+def compare_paths(
+    baseline_path: str | Path,
+    current_path: str | Path,
+    throughput_tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
+    memory_tolerance: float = DEFAULT_MEMORY_TOLERANCE,
+) -> ComparisonReport:
+    """File-level convenience over :func:`compare`.
+
+    ``baseline_path`` may be a directory, in which case the
+    highest-numbered committed ``BENCH_<n>.json`` inside it is used.
+    """
+    base = Path(baseline_path)
+    if base.is_dir():
+        entry = latest_baseline(base)
+        if entry is None:
+            raise ValueError(f"no BENCH_*.json baseline found in {base}")
+        base = entry
+    return compare(
+        load_result(base),
+        load_result(current_path),
+        throughput_tolerance=throughput_tolerance,
+        memory_tolerance=memory_tolerance,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.bench.compare BASELINE CURRENT`` — the CI gate."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.compare",
+        description="Compare a bench run against the committed baseline; "
+        "exit nonzero on regression outside tolerance.",
+    )
+    parser.add_argument(
+        "baseline",
+        help="baseline BENCH_<n>.json, or a directory holding the "
+        "committed trajectory (highest index wins)",
+    )
+    parser.add_argument("current", help="freshly emitted bench result JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_THROUGHPUT_TOLERANCE,
+        help="relative throughput-loss band (default %(default)s); CI "
+        "passes a wider band than the local default to absorb "
+        "runner-hardware variance",
+    )
+    parser.add_argument(
+        "--memory-tolerance",
+        type=float,
+        default=DEFAULT_MEMORY_TOLERANCE,
+        dest="memory_tolerance",
+        help="relative peak-memory growth band (default %(default)s)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = compare_paths(
+            args.baseline,
+            args.current,
+            throughput_tolerance=args.tolerance,
+            memory_tolerance=args.memory_tolerance,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {
+            "ok": report.ok,
+            "deltas": [
+                {
+                    "workload": delta.workload,
+                    "metric": delta.metric,
+                    "baseline": delta.baseline,
+                    "current": delta.current,
+                    "ok": delta.ok,
+                    "note": delta.note,
+                }
+                for delta in report.deltas
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

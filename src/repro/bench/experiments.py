@@ -17,7 +17,7 @@ invariant.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from collections.abc import Callable
 
 from ..core.engine import SpexEngine
 from ..workloads import (

@@ -10,8 +10,8 @@ match count and (optionally) peak memory, and hands rows to
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
 
 from ..baselines import (
     DomEvaluator,

@@ -15,8 +15,9 @@ ways:
 from __future__ import annotations
 
 import tracemalloc
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ factors, scaling slopes).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from .harness import RunResult
 

@@ -107,27 +107,32 @@ class FollowingTransducer(Transducer):
         self.absorb_activation(message.formula)
         return []
 
-    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
-        out: list[Message] = []
+    def on_start(
+        self, message: Doc, event: StartDocument | StartElement
+    ) -> list[Message] | None:
+        emit = None
         if (
             self._after is not None
             and event.__class__ is StartElement
             and self.test.matches(event.label)
         ):
-            out.append(Activation(self._after))
+            emit = self._after
         # Remember whether this element is a context: its subtree is NOT
         # in its own following set; the formula activates at its end tag.
         self.stack.append(self.take_pending())
-        out.append(message)
-        return out
+        if emit is not None:
+            return [self._activation(emit), message]
+        return None
 
-    def on_end(self, message: Doc, event: EndDocument | EndElement) -> list[Message]:
+    def on_end(
+        self, message: Doc, event: EndDocument | EndElement
+    ) -> list[Message] | None:
         formula = self.pop_entry()
         if formula is not None:
             self._after = (
                 formula if self._after is None else disj(self._after, formula)
             )
-        return [message]
+        return None
 
     def _snapshot_extra(self) -> dict:
         if self._after is None:
@@ -236,19 +241,22 @@ class PrecedingTransducer(Transducer):
                     )
         return out
 
-    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
-        out: list[Message] = []
+    def on_start(
+        self, message: Doc, event: StartDocument | StartElement
+    ) -> list[Message] | None:
         var = None
         if event.__class__ is StartElement and self.test.matches(event.label):
             var = self._allocator.fresh(self.qualifier)
             self._store.register(var)
             self._unresolved.append(var)
-            out.append(Activation(var))
         self.stack.append(var)
-        out.append(message)
-        return out
+        if var is not None:
+            return [self._activation(var), message]
+        return None
 
-    def on_end(self, message: Doc, event: EndDocument | EndElement) -> list[Message]:
+    def on_end(
+        self, message: Doc, event: EndDocument | EndElement
+    ) -> list[Message] | None:
         var = self.pop_entry()
         out: list[Message] = []
         if var is not None:
@@ -260,6 +268,8 @@ class PrecedingTransducer(Transducer):
                 out.append(Close(pending))
             self._unresolved = []
             self._closed_vars = []
+        if not out:
+            return None
         out.append(message)
         return out
 

@@ -41,6 +41,7 @@ from ..rpeq.ast import (
 from .axis_transducers import FollowingTransducer, PrecedingTransducer
 from .flow_transducers import JoinTransducer, SplitTransducer, UnionTransducer
 from .network import Network
+from .optimize import OptimizationFlags, as_flags
 from .output_tx import OutputTransducer
 from .path_transducers import (
     ChildTransducer,
@@ -191,7 +192,7 @@ class _Compiler:
 def compile_network(
     expr: Rpeq,
     collect_events: bool = True,
-    optimize: bool = True,
+    optimize: "bool | OptimizationFlags" = True,
     limits=None,
 ) -> tuple[Network, ConditionStore]:
     """Build a fresh SPEX network for an rpeq query.
@@ -200,9 +201,12 @@ def compile_network(
         expr: the query AST.
         collect_events: whether the output transducer buffers result
             fragments (off: positions only).
-        optimize: use the fused ``DS(l*)`` node for Kleene closures;
-            ``False`` gives the literal Fig. 11 translation (used by the
-            differential tests and the E10 ablation).
+        optimize: optimization knobs — ``True`` (every knob of
+            :class:`repro.core.optimize.OptimizationFlags` on),
+            ``False`` (the literal Fig. 11 translation and evaluation,
+            used by the differential tests and the E10 ablation), or an
+            explicit :class:`~repro.core.optimize.OptimizationFlags`
+            for per-knob control.
         limits: optional :class:`repro.limits.ResourceLimits`; arms the
             network's depth/σ/event-budget guards and the output
             transducer's buffer ceilings.
@@ -212,12 +216,13 @@ def compile_network(
     engine builds a new network per run (compilation is linear in the
     query, Lemma V.1, so this is cheap).
     """
+    flags = as_flags(optimize)
     store = ConditionStore()
     allocator = VariableAllocator()
     source = InputTransducer()
     sink = OutputTransducer(store, collect_events=collect_events, limits=limits)
-    network = Network(source, sink, limits=limits)
-    compiler = _Compiler(network, allocator, store, optimize=optimize)
+    network = Network(source, sink, limits=limits, flags=flags)
+    compiler = _Compiler(network, allocator, store, optimize=flags.star_fusion)
     tape, _owned = compiler.compile(expr, source)
     network.add(sink, tape)
     network.condition_store = store

@@ -11,8 +11,8 @@ callback never stalls the stream or the other subscribers).
 from __future__ import annotations
 
 import logging
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping
 
 from ..rpeq.ast import Rpeq
 from ..xmlstream.events import Event

@@ -40,6 +40,7 @@ from ..xmlstream.validate import checked
 from .checkpoint import Checkpoint
 from .compiler import compile_network
 from .network import Network, NetworkStats
+from .optimize import OptimizationFlags, as_flags
 from .output_tx import Match, OutputStats
 
 
@@ -161,7 +162,7 @@ class SpexEngine:
         self,
         query: str | Rpeq,
         collect_events: bool = True,
-        optimize: bool = True,
+        optimize: "bool | OptimizationFlags" = True,
         simplify_query: bool = False,
         limits: ResourceLimits | None = None,
         preflight: bool = True,
@@ -173,8 +174,10 @@ class SpexEngine:
             collect_events: when ``False``, matches carry positions only
                 and the output transducer never buffers events — useful
                 for benchmarking the matching machinery in isolation.
-            optimize: fuse Kleene closures into single ``DS`` transducers;
-                ``False`` compiles the literal Fig. 11 network.
+            optimize: optimization knobs — ``True`` (all), ``False``
+                (the literal Fig. 11 network and evaluation) or a
+                :class:`repro.core.optimize.OptimizationFlags` for
+                per-knob control.
             simplify_query: apply the semantics-preserving rewriter
                 (:func:`repro.rpeq.simplify`) before compilation, so
                 redundant constructs never become transducers.
@@ -415,7 +418,7 @@ class SpexEngine:
         payload = {
             "query": unparse(self.query),
             "collect_events": self.collect_events,
-            "optimize": self.optimize,
+            "optimize": as_flags(self.optimize).to_obj(),
             "cursor": self._last_cursor.state(),
             "allocator": self._last_network.allocator.snapshot(),
             "store": self._last_store.snapshot(),
@@ -457,13 +460,20 @@ class SpexEngine:
                 f"checkpoint is for query {payload['query']!r}, this engine "
                 f"evaluates {query_text!r}"
             )
-        for option in ("collect_events", "optimize"):
-            if bool(payload[option]) != bool(getattr(self, option)):
-                raise CheckpointError(
-                    f"checkpoint was taken with {option}="
-                    f"{bool(payload[option])}, engine has "
-                    f"{option}={bool(getattr(self, option))}"
-                )
+        if bool(payload["collect_events"]) != bool(self.collect_events):
+            raise CheckpointError(
+                f"checkpoint was taken with collect_events="
+                f"{bool(payload['collect_events'])}, engine has "
+                f"collect_events={bool(self.collect_events)}"
+            )
+        # Runtime-only knobs (routing, pooling, memoization) don't alter
+        # state layout, so only star_fusion — which changes the compiled
+        # topology and node names — must match the checkpoint.
+        if as_flags(payload["optimize"]).star_fusion != as_flags(self.optimize).star_fusion:
+            raise CheckpointError(
+                "checkpoint was taken with a different star_fusion "
+                "setting; the compiled topologies are incompatible"
+            )
         network, store = compile_network(
             self.query,
             collect_events=self.collect_events,
@@ -514,10 +524,13 @@ class SpexEngine:
         compatible.
         """
         payload = checkpoint.require(cls.name)
+        optimize = payload["optimize"]
         return cls(
             payload["query"],
             collect_events=bool(payload["collect_events"]),
-            optimize=bool(payload["optimize"]),
+            # Endpoint presets stay plain bools (old checkpoints and the
+            # documented engine API); dicts decode to per-knob flags.
+            optimize=optimize if isinstance(optimize, bool) else as_flags(optimize),
             limits=limits,
         )
 

@@ -18,7 +18,6 @@ transducer), so:
 
 from __future__ import annotations
 
-from ..conditions.formula import disj
 from ..errors import EngineError
 from .messages import Activation, Doc, Message
 from .transducer import Transducer
@@ -34,7 +33,7 @@ class SplitTransducer(Transducer):
     kind = "SP"
 
     def feed(self, messages) -> list[Message]:
-        batch = list(messages)
+        batch = messages if messages.__class__ is list else list(messages)
         self.stats.messages += len(batch)
         return batch
 
@@ -70,11 +69,18 @@ class JoinTransducer(Transducer):
         stream event exactly once per event.
         """
         self.stats.messages += len(left) + len(right)
+        if left is right and self.dedup:
+            # Both branches forwarded the identical batch object (the
+            # steady-state case with pass-through branches): every
+            # non-document message is its own duplicate, so the merged
+            # output is the batch itself — docs agree trivially and the
+            # doc-last invariant keeps the order exact.
+            return left
         # Fast path: both branches forwarded just the document message.
         if len(left) == 1 and len(right) == 1:
             lone, rone = left[0], right[0]
             if lone.__class__ is Doc and rone.__class__ is Doc:
-                if lone.event != rone.event:
+                if lone is not rone and lone.event != rone.event:
                     raise EngineError(
                         f"{self.name}: branches disagree on document "
                         f"messages ({lone} vs {rone})"
@@ -104,12 +110,24 @@ class UnionTransducer(Transducer):
 
     kind = "UN"
 
+    def feed(self, messages: list[Message]) -> list[Message]:
+        # Inlined fast path: with no buffered activation every hook
+        # forwards the lone document message unchanged.
+        if (
+            len(messages) == 1
+            and messages[0].__class__ is Doc
+            and self.pending is None
+        ):
+            self.stats.messages += 1
+            return messages
+        return Transducer.feed(self, messages)
+
     def on_activation(self, message: Activation) -> list[Message]:
         self.absorb_activation(message.formula)  # absorb merges via disj()
         return []
 
-    def on_start(self, message: Doc, event) -> list[Message]:
+    def on_start(self, message: Doc, event) -> list[Message] | None:
         pending = self.take_pending()
         if pending is not None:
-            return [Activation(pending), message]
-        return [message]
+            return [self._activation(pending), message]
+        return None

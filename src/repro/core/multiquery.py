@@ -277,10 +277,18 @@ class MultiQueryEngine:
         )
         if cursor is not None:
             events = cursor.attach(events)
+        # Hoisted out of the per-event loop: the dict iteration and the
+        # process_event attribute lookup are per-pass constants.
+        pairs = [
+            (query_id, network.process_event)
+            for query_id, network in networks.items()
+        ]
         for event in events:
-            for query_id, network in networks.items():
-                for match in network.process_event(event):
-                    yield query_id, match
+            for query_id, process_event in pairs:
+                matches = process_event(event)
+                if matches:
+                    for match in matches:
+                        yield query_id, match
 
     def _run_recovering(
         self,

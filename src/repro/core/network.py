@@ -27,8 +27,10 @@ from ..xmlstream.events import (
     StartDocument,
     StartElement,
 )
-from .flow_transducers import JoinTransducer
-from .messages import Doc, Message
+from ..conditions.formula import FormulaMemo
+from .flow_transducers import JoinTransducer, SplitTransducer
+from .messages import ActivationPool, Doc, Message
+from .optimize import ALL_OPTIMIZATIONS, OptimizationFlags, as_flags
 from .output_tx import Match, OutputTransducer
 from .path_transducers import InputTransducer
 from .transducer import Transducer
@@ -62,6 +64,7 @@ class Network:
         source: InputTransducer,
         sink: OutputTransducer | None = None,
         limits: ResourceLimits | None = None,
+        flags: OptimizationFlags | bool | None = None,
     ) -> None:
         """Create a network rooted at ``source``.
 
@@ -69,11 +72,14 @@ class Network:
         networks (conjunctive queries, Sec. VII) pass ``None`` and drain
         their output transducers directly.  ``limits`` (when set and not
         unbounded) arms the per-event resource guards — depth, formula
-        size and per-document event/time budgets.
+        size and per-document event/time budgets.  ``flags`` selects the
+        runtime optimization knobs (:mod:`repro.core.optimize`) applied
+        at :meth:`finalize` time; the default is every knob on.
         """
         self.source = source
         self.sink = sink
         self.limits = limits if limits is not None and not limits.unbounded else None
+        self.flags = ALL_OPTIMIZATIONS if flags is None else as_flags(flags)
         #: time source for the per-document wall-clock budget; the
         #: serving layer swaps in its (possibly fake) clock so all
         #: deadline machinery shares one notion of "now"
@@ -94,6 +100,18 @@ class Network:
         # Execution plan compiled by finalize(): per node, its index and
         # the indices of its predecessors' output slots.
         self._plan: list[tuple[Transducer, int, int]] = []
+        # Flat dispatch function compiled by finalize() under the
+        # `routing` knob: the whole topological pass as one generated
+        # straight-line function over pre-bound feed methods.  Unlike
+        # _plan (which mirrors the wiring 1:1 and is what the static
+        # verifier checks), it may bypass identity nodes by aliasing.
+        self._exec = None
+        self._src_batch: list[Message] = [None]  # type: ignore[list-item]
+        #: per-network normalization memo (``formula_memo`` knob)
+        self.formula_memo: FormulaMemo | None = None
+        #: per-network activation recycler (``message_pool`` knob)
+        self.activation_pool: ActivationPool | None = None
+        self._doc: Doc | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -147,6 +165,60 @@ class Network:
             left = index_of[id(predecessors[0])]
             right = index_of[id(predecessors[1])] if len(predecessors) == 2 else -1
             self._plan.append((node, left, right))
+        self._compile_exec()
+
+    def _compile_exec(self) -> None:
+        """Apply the runtime optimization knobs to the frozen topology.
+
+        ``formula_memo`` and ``message_pool`` rewire every node's
+        ``_disj``/``_conj``/``_activation`` to per-network shared
+        instances; ``routing`` flattens ``_plan`` into a dispatch table
+        of pre-bound feed methods, aliasing identity splits out of the
+        per-event loop entirely (the network fans out by handing the same
+        output list to both successors anyway).
+        """
+        flags = self.flags
+        if flags.formula_memo:
+            memo = FormulaMemo()
+            self.formula_memo = memo
+            for node in self._nodes:
+                node._disj = memo.disj
+                node._conj = memo.conj
+        if flags.message_pool:
+            pool = ActivationPool()
+            self.activation_pool = pool
+            for node in self._nodes:
+                node._activation = pool.acquire
+        if not flags.routing:
+            self._exec = None
+            return
+        # Flatten the plan into straight-line code: one generated
+        # function whose body is the topological pass with every feed
+        # method pre-bound and every slot a local variable.  This strips
+        # the interpreted loop (tuple unpacking, list indexing, arity
+        # branch) from the hottest few microseconds of the engine.
+        alias: dict[int, int] = {}
+        namespace: dict[str, object] = {}
+        lines = ["def _run(s0):"]
+        slot = 1
+        for node, left, right in self._plan:
+            lname = f"s{alias.get(left, left)}"
+            if right >= 0:
+                rname = f"s{alias.get(right, right)}"
+                namespace[f"f{slot}"] = node.feed2
+                lines.append(f"    s{slot} = f{slot}({lname}, {rname})")
+            elif node.__class__ is SplitTransducer:
+                # Identity node: downstream reads go straight to its
+                # input (the network fans one list out to both
+                # successors anyway).
+                alias[slot] = alias.get(left, left)
+            else:
+                namespace[f"f{slot}"] = node.feed
+                lines.append(f"    s{slot} = f{slot}({lname})")
+            slot += 1
+        lines.append("    return None")
+        exec("\n".join(lines), namespace)  # noqa: S102 - trusted codegen
+        self._exec = namespace["_run"]
 
     @property
     def nodes(self) -> list[Transducer]:
@@ -195,19 +267,46 @@ class Network:
         self._events += 1
         if self.limits is not None:
             self._guard(event)
-        outputs: list[list[Message]] = [None] * len(self._nodes)  # type: ignore[list-item]
-        outputs[0] = self.source.feed([Doc(event)])
-        slot = 1
-        for node, left, right in self._plan:
-            if right >= 0:
-                outputs[slot] = node.feed2(outputs[left], outputs[right])
+        pool = self.activation_pool
+        if pool is not None:
+            pool._used = 0  # inline pool.reset()
+            doc = self._doc
+            if doc is None:
+                doc = self._doc = Doc(event)
             else:
-                outputs[slot] = node.feed(outputs[left])
-            slot += 1
+                # One pooled document message per network; every slot
+                # read happens within this event (topological order), so
+                # in-place mutation is never observed across events.
+                object.__setattr__(doc, "event", event)
+        else:
+            doc = Doc(event)
+        batch = self._src_batch
+        batch[0] = doc
+        run = self._exec
+        if run is not None:
+            run(self.source.feed(batch))
+        else:
+            outputs: list[list[Message]] = [None] * len(self._nodes)  # type: ignore[list-item]
+            outputs[0] = self.source.feed(batch)
+            slot = 1
+            for node, left, right in self._plan:
+                if right >= 0:
+                    outputs[slot] = node.feed2(outputs[left], outputs[right])
+                else:
+                    outputs[slot] = node.feed(outputs[left])
+                slot += 1
         if self.limits is not None and self.limits.max_formula_size is not None:
             self._guard_formula_size()
-        if self.condition_store is not None:
-            self.condition_store.end_of_event()
+        store = self.condition_store
+        if store is not None and store._release_pending:
+            store.end_of_event()
+        if event.__class__ is EndDocument:
+            memo = self.formula_memo
+            if memo is not None:
+                # Nothing outlives the document that could replay these
+                # merges; dropping the strong operand refs frees the
+                # retained formula DAGs between documents.
+                memo.clear()
         sink = self.sink
         if sink is None or not sink.results:
             return []

@@ -55,6 +55,10 @@ from ..xmlstream.events import (
 from .messages import Activation, Close, Contribute, Doc, Message
 from .transducer import Transducer
 
+#: shared empty output batch — the sink forwards nothing, and no caller
+#: mutates a node's output list, so one constant serves every event
+_EMPTY_BATCH: list[Message] = []
+
 
 @dataclass(frozen=True, slots=True)
 class Match:
@@ -201,6 +205,49 @@ class OutputTransducer(Transducer):
 
     # ------------------------------------------------------------------
     # message handling
+
+    def feed(self, messages: list[Message]) -> list[Message]:
+        # Inlined single-document fast path mirroring on_start/on_end/
+        # on_text exactly (see path_transducers for the policy); every
+        # document event is consumed, so the shared empty batch suffices.
+        if len(messages) == 1 and messages[0].__class__ is Doc:
+            event = messages[0].event
+            ecls = event.__class__
+            stats = self.stats
+            if ecls is StartElement:
+                stats.messages += 1
+                self._gidx += 1
+                self._element_count += 1
+                candidate = None
+                if self.pending is not None:
+                    formula, self.pending = self.pending, None
+                    candidate = self._create_candidate(
+                        self._element_count, event.label, formula
+                    )
+                self._open.append(candidate)
+                stack = self.stack
+                stack.append(None)
+                depth = len(stack)
+                if depth > stats.max_stack:
+                    stats.max_stack = depth
+                self._log_event(event)
+                return _EMPTY_BATCH
+            if ecls is EndElement:
+                stats.messages += 1
+                self._gidx += 1
+                self._log_event(event)
+                self.pop_entry()
+                candidate = self._open.pop()
+                if candidate is not None:
+                    candidate.end_gidx = self._gidx
+                self._flush()
+                return _EMPTY_BATCH
+            if ecls is Text:
+                stats.messages += 1
+                self._gidx += 1
+                self._log_event(event)
+                return _EMPTY_BATCH
+        return Transducer.feed(self, messages)
 
     def on_activation(self, message: Activation) -> list[Message]:
         self.absorb_activation(message.formula)

@@ -24,12 +24,22 @@ replaying Examples III.1 and III.2 message by message.
 
 from __future__ import annotations
 
-from ..conditions.formula import TRUE, disj
+from ..conditions.formula import TRUE
 from ..errors import EngineError
 from ..rpeq.ast import Label
-from ..xmlstream.events import EndDocument, EndElement, StartDocument, StartElement
+from ..xmlstream.events import EndDocument, EndElement, StartDocument, StartElement, Text
 from .messages import Activation, Doc, Message
 from .transducer import Transducer
+
+# The classes here override feed() with a dispatch specialized to the
+# single-document-message batch (the steady-state case), inlining their
+# own on_start/on_end logic to skip the generic hook indirection — these
+# are the innermost calls of the engine.  Anything unusual (message
+# batches, document boundaries) falls back to the generic
+# Transducer.feed, which drives the on_* hooks; the hooks stay the
+# single source of truth for the transition semantics and the
+# specialized paths must match them exactly (the differential suite
+# compares both pipelines answer-for-answer).
 
 
 class InputTransducer(Transducer):
@@ -43,10 +53,24 @@ class InputTransducer(Transducer):
 
     kind = "IN"
 
-    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
+    def feed(self, messages: list[Message]) -> list[Message]:
+        # Inlined fast path: the source's batch is always one document
+        # message, and only the start-document event produces anything.
+        if len(messages) == 1 and messages[0].__class__ is Doc:
+            message = messages[0]
+            self.stats.messages += 1
+            if message.event.__class__ is StartDocument:
+                self.stats.activations_emitted += 1
+                return [self._activation(TRUE), message]
+            return messages
+        return Transducer.feed(self, messages)
+
+    def on_start(
+        self, message: Doc, event: StartDocument | StartElement
+    ) -> list[Message] | None:
         if event.__class__ is StartDocument:
-            return [Activation(TRUE), message]
-        return [message]
+            return [self._activation(TRUE), message]
+        return None
 
     def on_activation(self, message: Activation) -> list[Message]:
         raise EngineError("the input transducer is the network source; "
@@ -64,29 +88,71 @@ class ChildTransducer(Transducer):
         self._wildcard = test.is_wildcard
         self._label = test.name
 
+    def feed(self, messages: list[Message]) -> list[Message]:
+        # Inlined single-document fast path (see module comment).
+        if len(messages) == 1 and messages[0].__class__ is Doc:
+            message = messages[0]
+            event = message.event
+            ecls = event.__class__
+            stats = self.stats
+            stack = self.stack
+            if ecls is StartElement:
+                stats.messages += 1
+                emit = None
+                if stack:
+                    scope = stack[-1]
+                    if scope is not None and (
+                        self._wildcard or self._label == event.label
+                    ):
+                        emit = scope
+                pending, self.pending = self.pending, None
+                stack.append(pending)
+                depth = len(stack)
+                if depth > stats.max_stack:
+                    stats.max_stack = depth
+                if emit is None:
+                    return messages
+                stats.activations_emitted += 1
+                return [self._activation(emit), message]
+            if ecls is EndElement:
+                stats.messages += 1
+                if not stack:
+                    raise EngineError(f"{self.name}: end tag with empty stack")
+                stack.pop()
+                return messages
+            if ecls is Text:
+                stats.messages += 1
+                return messages
+        return Transducer.feed(self, messages)
+
     def on_activation(self, message: Activation) -> list[Message]:
         # Buffer until the activating start tag arrives; several
         # activations for one tag merge by disjunction.
         self.absorb_activation(message.formula)
         return []
 
-    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
+    def on_start(
+        self, message: Doc, event: StartDocument | StartElement
+    ) -> list[Message] | None:
         stack = self.stack
-        out: list[Message] = []
+        emit = None
         if stack and event.__class__ is StartElement:
             scope = stack[-1]
             if scope is not None and (self._wildcard or self._label == event.label):
-                out.append(Activation(scope))
+                emit = scope
         # The element's own children are in scope iff this tag was
         # activated (paper: transitions 5/7 push the received formula).
         pending, self.pending = self.pending, None
         stack.append(pending)
-        out.append(message)
-        return out
+        if emit is not None:
+            return [self._activation(emit), message]
+        return None
 
-    def on_end(self, message: Doc, event: EndDocument | EndElement) -> list[Message]:
+    def on_end(
+        self, message: Doc, event: EndDocument | EndElement
+    ) -> list[Message] | None:
         self.pop_entry()
-        return [message]
+        return None
 
 
 class StarTransducer(Transducer):
@@ -111,11 +177,58 @@ class StarTransducer(Transducer):
         self._wildcard = test.is_wildcard
         self._label = test.name
 
+    def feed(self, messages: list[Message]) -> list[Message]:
+        # Inlined single-document fast path (see module comment).
+        if len(messages) == 1 and messages[0].__class__ is Doc:
+            message = messages[0]
+            event = message.event
+            ecls = event.__class__
+            stats = self.stats
+            stack = self.stack
+            if ecls is StartElement:
+                stats.messages += 1
+                pending, self.pending = self.pending, None
+                emit = pending
+                scope = None
+                if stack:
+                    parent_scope = stack[-1]
+                    if parent_scope is not None and (
+                        self._wildcard or self._label == event.label
+                    ):
+                        emit = (
+                            parent_scope
+                            if emit is None
+                            else self._disj(emit, parent_scope)
+                        )
+                        scope = parent_scope
+                if pending is not None:
+                    scope = pending if scope is None else self._disj(scope, pending)
+                stack.append(scope)
+                depth = len(stack)
+                if depth > stats.max_stack:
+                    stats.max_stack = depth
+                if emit is None:
+                    return messages
+                stats.activations_emitted += 1
+                return [self._activation(emit), message]
+            if ecls is EndElement:
+                stats.messages += 1
+                if not stack:
+                    raise EngineError(f"{self.name}: end tag with empty stack")
+                stack.pop()
+                return messages
+            if ecls is Text:
+                stats.messages += 1
+                return messages
+        return Transducer.feed(self, messages)
+
     def on_activation(self, message: Activation) -> list[Message]:
         self.absorb_activation(message.formula)
         return []
 
-    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
+    def on_start(
+        self, message: Doc, event: StartDocument | StartElement
+    ) -> list[Message] | None:
         stack = self.stack
         pending, self.pending = self.pending, None
         emit = pending  # the epsilon case: the context node itself
@@ -126,20 +239,22 @@ class StarTransducer(Transducer):
                 self._wildcard or self._label == event.label
             ):
                 # Chain case: matched via one-or-more label steps.
-                emit = parent_scope if emit is None else disj(emit, parent_scope)
+                emit = parent_scope if emit is None else self._disj(emit, parent_scope)
                 scope = parent_scope
         if pending is not None:
             # This element is a fresh context: its label-children start
             # new chains under the received formula.
-            scope = pending if scope is None else disj(scope, pending)
+            scope = pending if scope is None else self._disj(scope, pending)
         stack.append(scope)
         if emit is not None:
-            return [Activation(emit), message]
-        return [message]
+            return [self._activation(emit), message]
+        return None
 
-    def on_end(self, message: Doc, event: EndDocument | EndElement) -> list[Message]:
+    def on_end(
+        self, message: Doc, event: EndDocument | EndElement
+    ) -> list[Message] | None:
         self.pop_entry()
-        return [message]
+        return None
 
 
 class ClosureTransducer(Transducer):
@@ -158,13 +273,56 @@ class ClosureTransducer(Transducer):
         self._wildcard = test.is_wildcard
         self._label = test.name
 
+    def feed(self, messages: list[Message]) -> list[Message]:
+        # Inlined single-document fast path (see module comment).
+        if len(messages) == 1 and messages[0].__class__ is Doc:
+            message = messages[0]
+            event = message.event
+            ecls = event.__class__
+            stats = self.stats
+            stack = self.stack
+            if ecls is StartElement:
+                stats.messages += 1
+                emit = None
+                scope = None
+                if stack:
+                    parent_scope = stack[-1]
+                    if parent_scope is not None and (
+                        self._wildcard or self._label == event.label
+                    ):
+                        emit = parent_scope
+                        scope = parent_scope
+                pending, self.pending = self.pending, None
+                if pending is not None:
+                    scope = pending if scope is None else self._disj(scope, pending)
+                stack.append(scope)
+                depth = len(stack)
+                if depth > stats.max_stack:
+                    stats.max_stack = depth
+                if emit is None:
+                    return messages
+                stats.activations_emitted += 1
+                return [self._activation(emit), message]
+            if ecls is EndElement:
+                stats.messages += 1
+                if not stack:
+                    raise EngineError(f"{self.name}: end tag with empty stack")
+                stack.pop()
+                return messages
+            if ecls is Text:
+                stats.messages += 1
+                return messages
+        return Transducer.feed(self, messages)
+
     def on_activation(self, message: Activation) -> list[Message]:
         self.absorb_activation(message.formula)
         return []
 
-    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
+    def on_start(
+        self, message: Doc, event: StartDocument | StartElement
+    ) -> list[Message] | None:
         stack = self.stack
-        out: list[Message] = []
+        emit = None
         scope = None
         if stack and event.__class__ is StartElement:
             parent_scope = stack[-1]
@@ -172,18 +330,21 @@ class ClosureTransducer(Transducer):
                 self._wildcard or self._label == event.label
             ):
                 # Matched: emit, and extend the chain into this element.
-                out.append(Activation(parent_scope))
+                emit = parent_scope
                 scope = parent_scope
         pending, self.pending = self.pending, None
         if pending is not None:
             # Freshly activated: children enter scope under the received
             # formula; a simultaneous chain extension merges by
             # disjunction (Fig. 3, transition 12 — nested scopes).
-            scope = pending if scope is None else disj(scope, pending)
+            scope = pending if scope is None else self._disj(scope, pending)
         stack.append(scope)
-        out.append(message)
-        return out
+        if emit is not None:
+            return [self._activation(emit), message]
+        return None
 
-    def on_end(self, message: Doc, event: EndDocument | EndElement) -> list[Message]:
+    def on_end(
+        self, message: Doc, event: EndDocument | EndElement
+    ) -> list[Message] | None:
         self.pop_entry()
-        return [message]
+        return None

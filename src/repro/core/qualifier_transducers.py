@@ -32,7 +32,7 @@ from ..conditions.formula import (
     restrict,
 )
 from ..conditions.store import ConditionStore, VariableAllocator
-from ..xmlstream.events import EndDocument, EndElement, StartDocument, StartElement
+from ..xmlstream.events import EndDocument, EndElement, StartDocument, StartElement, Text
 from .messages import Activation, Close, Contribute, Doc, Message
 from .transducer import Transducer
 
@@ -66,23 +66,52 @@ class VariableCreator(Transducer):
         self._close_at_document_end = close_at_document_end
         self._deferred: list[Var] = []
 
+    def feed(self, messages: list[Message]) -> list[Message]:
+        # Inlined fast path for elements outside any qualifier instance:
+        # no buffered activation on start (push None), a None entry on
+        # end (pop, nothing to close).  Everything else — fresh
+        # instances, closes, document boundaries — uses the hooks.
+        if len(messages) == 1 and messages[0].__class__ is Doc:
+            message = messages[0]
+            ecls = message.event.__class__
+            stats = self.stats
+            stack = self.stack
+            if ecls is StartElement and self.pending is None:
+                stats.messages += 1
+                stack.append(None)
+                depth = len(stack)
+                if depth > stats.max_stack:
+                    stats.max_stack = depth
+                return messages
+            if ecls is EndElement and stack and stack[-1] is None:
+                stats.messages += 1
+                stack.pop()
+                return messages
+            if ecls is Text:
+                stats.messages += 1
+                return messages
+        return Transducer.feed(self, messages)
+
     def on_activation(self, message: Activation) -> list[Message]:
         self.absorb_activation(message.formula)
         return []
 
-    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
-        out: list[Message] = []
+    def on_start(
+        self, message: Doc, event: StartDocument | StartElement
+    ) -> list[Message] | None:
         pending = self.take_pending()
         var: Var | None = None
         if pending is not None:
             var = self._allocator.fresh(self.qualifier)
             self._store.register(var)
-            out.append(Activation(conj(pending, var)))
+            self.stack.append(var)
+            return [self._activation(self._conj(pending, var)), message]
         self.stack.append(var)
-        out.append(message)
-        return out
+        return None
 
-    def on_end(self, message: Doc, event: EndDocument | EndElement) -> list[Message]:
+    def on_end(
+        self, message: Doc, event: EndDocument | EndElement
+    ) -> list[Message] | None:
         var = self.pop_entry()
         out: list[Message] = []
         if var is not None:
@@ -95,6 +124,8 @@ class VariableCreator(Transducer):
         if event.__class__ is EndDocument and self._deferred:
             out.extend(Close(deferred) for deferred in self._deferred)
             self._deferred = []
+        if not out:
+            return None
         out.append(message)
         return out
 
@@ -123,12 +154,19 @@ class VariableFilter(Transducer):
         self.owned = owned
         self.positive = positive
 
+    def feed(self, messages: list[Message]) -> list[Message]:
+        # Stateless for document messages: forward unchanged.
+        if len(messages) == 1 and messages[0].__class__ is Doc:
+            self.stats.messages += 1
+            return messages
+        return Transducer.feed(self, messages)
+
     def _keep(self, var: Var) -> bool:
         inside = var.qualifier in self.owned
         return inside if self.positive else not inside
 
     def on_activation(self, message: Activation) -> list[Message]:
-        return [Activation(restrict(message.formula, self._keep))]
+        return [self._activation(restrict(message.formula, self._keep))]
 
 
 class VariableDeterminant(Transducer):
@@ -161,6 +199,13 @@ class VariableDeterminant(Transducer):
         super().__init__(name or f"VD({qualifier})")
         self.qualifier = qualifier
         self.speculation_ids = speculation_ids
+
+    def feed(self, messages: list[Message]) -> list[Message]:
+        # Stateless for document messages: forward unchanged.
+        if len(messages) == 1 and messages[0].__class__ is Doc:
+            self.stats.messages += 1
+            return messages
+        return Transducer.feed(self, messages)
 
     def on_activation(self, message: Activation) -> list[Message]:
         out: list[Message] = []

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..conditions.formula import Formula, disj, formula_from_obj, formula_to_obj
+from ..conditions.formula import Formula, conj, disj, formula_from_obj, formula_to_obj
 from ..errors import EngineError
 from ..xmlstream.events import (
     EndDocument,
@@ -39,7 +39,7 @@ from ..xmlstream.events import (
 from .messages import Activation, Close, Contribute, Doc, Message
 
 
-@dataclass
+@dataclass(slots=True)
 class TransducerStats:
     """Instrumentation counters, fed into the complexity experiments.
 
@@ -70,18 +70,116 @@ class Transducer:
     #: short name used in network diagrams and traces
     kind = "id"
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # Hot transducers inline their hook logic into a specialized
+        # feed() (see path_transducers).  Such an inlined fast path is
+        # only valid for the exact class that defined it alongside its
+        # hooks: a subclass overriding a hook without bringing its own
+        # feed would be silently bypassed.  Restore the generic
+        # hook-driven dispatch for it.
+        if "feed" not in cls.__dict__ and any(
+            hook in cls.__dict__
+            for hook in (
+                "on_start",
+                "on_end",
+                "on_text",
+                "on_activation",
+                "on_condition",
+            )
+        ):
+            cls.feed = Transducer.feed
+
     def __init__(self, name: str | None = None) -> None:
         self.name = name or self.kind
         #: one entry per open element; payload meaning is subclass-defined
         self.stack: list = []
         self.pending: Formula | None = None
         self.stats = TransducerStats()
+        #: binary disjunction/conjunction used to combine activation
+        #: formulas; the network swaps in memoized variants
+        #: (``FormulaMemo.disj``/``conj``) when the ``formula_memo``
+        #: optimization knob is on
+        self._disj = disj
+        self._conj = conj
+        #: activation-message constructor; the network swaps in a pooled
+        #: acquirer when the ``message_pool`` knob is on
+        self._activation = Activation
 
     # ------------------------------------------------------------------
     # message dispatch
 
-    def feed(self, messages: Iterable[Message]) -> list[Message]:
-        """Process the batch of messages for the current stream event."""
+    def feed(self, messages: list[Message]) -> list[Message]:
+        """Process the batch of messages for the current stream event.
+
+        The overwhelmingly common batch is a single document message that
+        passes through unchanged (hooks signal that by returning
+        ``None``), so that case is a dedicated branch which returns the
+        *input list object* — zero allocations on the steady-state path.
+        The next-most-common batch — an activation directly before its
+        start tag — gets its own branch for the same reason.
+        """
+        stats = self.stats
+        n = len(messages)
+        if n == 1:
+            message = messages[0]
+            if message.__class__ is Doc:
+                stats.messages += 1
+                event = message.event
+                ecls = event.__class__
+                if ecls is StartElement or ecls is StartDocument:
+                    produced = self.on_start(message, event)
+                    depth = len(self.stack)
+                    if depth > stats.max_stack:
+                        stats.max_stack = depth
+                elif ecls is EndElement or ecls is EndDocument:
+                    produced = self.on_end(message, event)
+                else:
+                    produced = self.on_text(message, event)
+                if produced is None:
+                    return messages
+                for emitted in produced:
+                    if emitted.__class__ is Activation:
+                        stats.activations_emitted += 1
+                return produced
+        elif n == 2:
+            first, message = messages
+            if first.__class__ is Activation and message.__class__ is Doc:
+                stats.messages += 2
+                size = first.formula.size
+                if size > stats.max_formula_size:
+                    stats.max_formula_size = size
+                head = self.on_activation(first)
+                event = message.event
+                ecls = event.__class__
+                if ecls is StartElement or ecls is StartDocument:
+                    tail = self.on_start(message, event)
+                    depth = len(self.stack)
+                    if depth > stats.max_stack:
+                        stats.max_stack = depth
+                elif ecls is EndElement or ecls is EndDocument:
+                    tail = self.on_end(message, event)
+                else:
+                    tail = self.on_text(message, event)
+                if head is None:
+                    if tail is None:
+                        return messages
+                    out = [first]
+                    out.extend(tail)
+                else:
+                    out = list(head)
+                    if tail is None:
+                        out.append(message)
+                    else:
+                        out.extend(tail)
+                for emitted in out:
+                    if emitted.__class__ is Activation:
+                        stats.activations_emitted += 1
+                return out
+        return self._feed_slow(messages)
+
+    def _feed_slow(self, messages: Iterable[Message]) -> list[Message]:
+        """General dispatch over a mixed batch (the non-fast path)."""
         out: list[Message] = []
         stats = self.stats
         for message in messages:
@@ -108,7 +206,10 @@ class Transducer:
                 produced = self.on_condition(message)
             else:  # pragma: no cover - exhaustive over message types
                 raise EngineError(f"unknown message {message!r}")
-            out.extend(produced)
+            if produced is None:
+                out.append(message)
+            else:
+                out.extend(produced)
         for message in out:
             if message.__class__ is Activation:
                 stats.activations_emitted += 1
@@ -116,22 +217,30 @@ class Transducer:
 
     # ------------------------------------------------------------------
     # hooks (defaults: forward unchanged)
+    #
+    # A hook may return ``None`` instead of ``[message]`` to mean
+    # "forward the consumed message unchanged" — feed() then reuses the
+    # input list instead of allocating a fresh single-element one.
 
-    def on_activation(self, message: Activation) -> list[Message]:
+    def on_activation(self, message: Activation) -> list[Message] | None:
         """Default: forward the activation unchanged (stateless pass)."""
-        return [message]
+        return None
 
-    def on_start(self, message: Doc, event: StartDocument | StartElement) -> list[Message]:
-        return [message]
+    def on_start(
+        self, message: Doc, event: StartDocument | StartElement
+    ) -> list[Message] | None:
+        return None
 
-    def on_end(self, message: Doc, event: EndDocument | EndElement) -> list[Message]:
-        return [message]
+    def on_end(
+        self, message: Doc, event: EndDocument | EndElement
+    ) -> list[Message] | None:
+        return None
 
-    def on_text(self, message: Doc, event: Text) -> list[Message]:
-        return [message]
+    def on_text(self, message: Doc, event: Text) -> list[Message] | None:
+        return None
 
-    def on_condition(self, message: Contribute | Close) -> list[Message]:
-        return [message]
+    def on_condition(self, message: Contribute | Close) -> list[Message] | None:
+        return None
 
     # ------------------------------------------------------------------
     # shared state helpers
@@ -146,7 +255,7 @@ class Transducer:
         if self.pending is None:
             self.pending = formula
         else:
-            self.pending = disj(self.pending, formula)
+            self.pending = self._disj(self.pending, formula)
 
     def take_pending(self) -> Formula | None:
         """Consume the buffered activation formula, if any."""

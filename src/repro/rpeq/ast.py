@@ -26,6 +26,7 @@ expression relative to a context node ``u`` to a set of nodes:
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -64,6 +65,11 @@ class Label(Rpeq):
     """A single child step: ``a`` or the wildcard ``_``."""
 
     name: str
+
+    def __post_init__(self) -> None:
+        # Interned to match the parser's interned element labels, so the
+        # per-event label test is an identity hit, not a char compare.
+        object.__setattr__(self, "name", sys.intern(self.name))
 
     @property
     def is_wildcard(self) -> bool:

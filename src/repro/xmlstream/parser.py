@@ -37,6 +37,7 @@ from __future__ import annotations
 import io
 import os
 import re
+import sys
 import xml.sax
 import xml.sax.handler
 from collections import deque
@@ -175,6 +176,10 @@ class _CollectingHandler(xml.sax.handler.ContentHandler):
         self._sink.append(EndDocument())
 
     def startElement(self, name: str, attrs) -> None:
+        # Element names repeat massively in any real document; interning
+        # them makes every downstream label test (`self._label ==
+        # event.label`) an identity hit instead of a character compare.
+        name = sys.intern(name)
         limits = self._limits
         if limits is not None:
             self._text_run = 0
@@ -210,7 +215,7 @@ class _CollectingHandler(xml.sax.handler.ContentHandler):
 
     def endElement(self, name: str) -> None:
         self._text_run = 0
-        self._sink.append(EndElement(name))
+        self._sink.append(EndElement(sys.intern(name)))
 
     def characters(self, content: str) -> None:
         limits = self._limits
