@@ -18,6 +18,9 @@ Public surface:
 * :class:`MultiQueryEngine` — shared-pass SDI serving, with bulkhead
   isolation, circuit breakers, deadlines and admission control
   (:class:`ServingPolicy` / :class:`AdmissionPolicy`).
+* :class:`ShardCoordinator` / :func:`serve_sharded` — crash-isolated
+  multi-process serving: shard workers with supervised restart,
+  heartbeats and poison-pill quarantine (:class:`ShardConfig`).
 * :func:`parse` / :func:`xpath_to_rpeq` — query front-ends.
 * :mod:`repro.xmlstream` — event model, SAX parsing, serialization.
 * :mod:`repro.baselines` — the in-memory comparison processors.
@@ -40,6 +43,15 @@ from .core.serving import (
     ServingPolicy,
     ServingReport,
     classify_admission,
+)
+from .core.shards import (
+    HeartbeatMonitor,
+    ShardConfig,
+    ShardCoordinator,
+    ShardedResult,
+    ShardEvent,
+    partition_queries,
+    serve_sharded,
 )
 from .core.supervisor import (
     StallError,
@@ -86,6 +98,7 @@ __all__ = [
     "ErrorRecord",
     "ErrorReport",
     "FakeClock",
+    "HeartbeatMonitor",
     "InputLimitError",
     "Match",
     "MultiQueryEngine",
@@ -99,6 +112,10 @@ __all__ = [
     "SYSTEM_CLOCK",
     "ServingPolicy",
     "ServingReport",
+    "ShardConfig",
+    "ShardCoordinator",
+    "ShardEvent",
+    "ShardedResult",
     "SpexEngine",
     "StallError",
     "StreamCursor",
@@ -112,6 +129,8 @@ __all__ = [
     "classify_admission",
     "evaluate",
     "parse",
+    "partition_queries",
+    "serve_sharded",
     "supervise",
     "xpath_to_rpeq",
 ]

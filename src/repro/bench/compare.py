@@ -15,6 +15,13 @@ baseline.  The comparison applies per-metric tolerance bands:
 * **peak memory** — a relative band (default +50%), loose because
   allocator behaviour shifts across Python versions.
 
+A baseline entry may carry a per-workload ``gate`` dict mapping metric
+names to booleans; a metric mapped to ``false`` is reported (marked
+``skip``) but never fails the gate.  The shards workload uses this for
+its multi-process throughput, which is scheduler noise on shared
+runners.  A missing ``gate`` field means everything is gated, so older
+baselines keep their full strictness.
+
 Exit status of :func:`main` is nonzero on any violated band, which is
 what makes the CI job a gate.  See ``docs/performance.md``.
 """
@@ -93,6 +100,20 @@ def _relative_change(baseline: float, current: float) -> float:
     return (current - baseline) / baseline
 
 
+def _gated_delta(delta: MetricDelta, gated: bool) -> MetricDelta:
+    """Neutralize ``delta`` when the baseline ungates its metric."""
+    if gated:
+        return delta
+    return MetricDelta(
+        delta.workload,
+        delta.metric,
+        delta.baseline,
+        delta.current,
+        ok=True,
+        note=f"skip (ungated by baseline) [{delta.note}]",
+    )
+
+
 def compare(
     baseline: dict,
     current: dict,
@@ -120,24 +141,31 @@ def compare(
                 f"current run is missing workload {workload!r}; the smoke "
                 "subset must cover everything the baseline records"
             )
+        gate = base.get("gate", {})
         deltas.append(
-            MetricDelta(
-                workload,
-                "matches",
-                base["matches"],
-                cur["matches"],
-                ok=cur["matches"] == base["matches"],
-                note="exact (answer drift is a bug)",
+            _gated_delta(
+                MetricDelta(
+                    workload,
+                    "matches",
+                    base["matches"],
+                    cur["matches"],
+                    ok=cur["matches"] == base["matches"],
+                    note="exact (answer drift is a bug)",
+                ),
+                bool(gate.get("matches", True)),
             )
         )
         deltas.append(
-            MetricDelta(
-                workload,
-                "events",
-                base["events"],
-                cur["events"],
-                ok=cur["events"] == base["events"],
-                note="exact (workloads are pinned)",
+            _gated_delta(
+                MetricDelta(
+                    workload,
+                    "events",
+                    base["events"],
+                    cur["events"],
+                    ok=cur["events"] == base["events"],
+                    note="exact (workloads are pinned)",
+                ),
+                bool(gate.get("events", True)),
             )
         )
         if base["events_per_second"] > 0:
@@ -145,13 +173,16 @@ def compare(
                 base["events_per_second"], cur["events_per_second"]
             )
             deltas.append(
-                MetricDelta(
-                    workload,
-                    "events_per_second",
-                    base["events_per_second"],
-                    cur["events_per_second"],
-                    ok=change >= -throughput_tolerance,
-                    note=f"{change:+.1%} (band -{throughput_tolerance:.0%})",
+                _gated_delta(
+                    MetricDelta(
+                        workload,
+                        "events_per_second",
+                        base["events_per_second"],
+                        cur["events_per_second"],
+                        ok=change >= -throughput_tolerance,
+                        note=f"{change:+.1%} (band -{throughput_tolerance:.0%})",
+                    ),
+                    bool(gate.get("events_per_second", True)),
                 )
             )
         base_peak = base.get("peak_memory_bytes")
@@ -159,13 +190,16 @@ def compare(
         if base_peak and cur_peak:
             change = _relative_change(base_peak, cur_peak)
             deltas.append(
-                MetricDelta(
-                    workload,
-                    "peak_memory_bytes",
-                    base_peak,
-                    cur_peak,
-                    ok=change <= memory_tolerance,
-                    note=f"{change:+.1%} (band +{memory_tolerance:.0%})",
+                _gated_delta(
+                    MetricDelta(
+                        workload,
+                        "peak_memory_bytes",
+                        base_peak,
+                        cur_peak,
+                        ok=change <= memory_tolerance,
+                        note=f"{change:+.1%} (band +{memory_tolerance:.0%})",
+                    ),
+                    bool(gate.get("peak_memory_bytes", True)),
                 )
             )
     return ComparisonReport(tuple(deltas))

@@ -16,11 +16,20 @@ Four workloads cover the hot paths the paper's experiments exercise:
 * ``multiquery`` — the SDI shared pass of benchmarks/bench_multiquery.py
   (the headline events/sec number the CI gate defends);
 * ``figure14``  — the paper's Fig. 14 wordnet workload with the
-  qualifier query of benchmarks/bench_ablation.py.
+  qualifier query of benchmarks/bench_ablation.py;
+* ``shards``    — the crash-isolated multi-process serving layer
+  (:mod:`repro.core.shards`) over the multiquery stream, with a
+  subscriptions × throughput scaling series in its detail.  Its match
+  count is gated (it must stay bit-identical to the single-process
+  pass); its throughput is informational (``gate`` field) — multi-
+  process wall time on shared runners is dominated by scheduler noise.
 
 The emitted JSON is schema-versioned (:data:`SCHEMA_VERSION`); the
 regression gate (:mod:`repro.bench.compare`) refuses to diff files from
-different schemas.  See ``docs/performance.md``.
+different schemas.  Entries may carry a per-workload ``gate`` dict
+(``{"events_per_second": false}``) telling the comparator which bands
+to skip — absent means everything is gated, so old baselines keep their
+full strictness.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -69,17 +78,19 @@ SMOKE_MONDIAL = {"seed": 7, "countries": 40}
 SMOKE_WORDNET = {"seed": 7, "nouns": 2000}
 #: The Fig. 14 qualifier query (benchmarks/bench_ablation.py).
 FIGURE14_QUERY = "_*.Noun[wordForm].lexID"
+#: Worker-process count of the ``shards`` workload.
+SMOKE_SHARDS = 2
+#: Pinned subscription count of the measured ``shards`` pass.
+SMOKE_SHARD_SUBSCRIPTIONS = 32
+#: Subscription counts of the informational shard scaling series.
+SHARD_SERIES_SUBSCRIPTIONS = (8, 16, 32)
 
 
 def smoke_subscriptions(count: int = SMOKE_SUBSCRIPTIONS) -> dict[str, str]:
     """The deterministic SDI subscription family of E9 (seed 99)."""
-    rng = random.Random(99)
-    labels = ["country", "province", "city", "name", "population", "religions"]
-    queries: dict[str, str] = {}
-    for index in range(count):
-        a, b = rng.choice(labels), rng.choice(labels)
-        queries[f"s{index}"] = f"_*.{a}.{b}" if index % 2 else f"_*.{a}[{b}]"
-    return queries
+    from ..workloads import sdi_subscriptions
+
+    return sdi_subscriptions(count, seed=99)
 
 
 @dataclass(frozen=True)
@@ -97,6 +108,10 @@ class WorkloadResult:
         peak_memory_bytes: tracemalloc peak of the measured section
             (``None`` when memory tracing was disabled).
         detail: workload-specific extras (per-query match counts, ...).
+        gate: per-metric gating flags for the comparator — a metric
+            mapped to ``False`` is recorded but not regression-gated
+            (e.g. multi-process throughput).  Empty means everything is
+            gated, which is also how baselines without the field read.
     """
 
     workload: str
@@ -106,9 +121,10 @@ class WorkloadResult:
     matches: int
     peak_memory_bytes: int | None = None
     detail: dict = field(default_factory=dict)
+    gate: dict = field(default_factory=dict)
 
     def to_obj(self) -> dict:
-        return {
+        obj = {
             "seconds": round(self.seconds, 6),
             "events": self.events,
             "events_per_second": round(self.events_per_second, 2),
@@ -116,6 +132,9 @@ class WorkloadResult:
             "peak_memory_bytes": self.peak_memory_bytes,
             "detail": self.detail,
         }
+        if self.gate:
+            obj["gate"] = self.gate
+        return obj
 
 
 #: timing passes per workload; the fastest is recorded.  The minimum —
@@ -262,12 +281,69 @@ def _smoke_figure14(measure_memory: bool) -> WorkloadResult:
     )
 
 
+def _smoke_shards(measure_memory: bool) -> WorkloadResult:
+    from ..core.shards import ShardConfig, ShardCoordinator
+
+    events = list(mondial(**SMOKE_MONDIAL))
+
+    def serve_sharded_count(subscriptions: int) -> tuple[int, float]:
+        coordinator = ShardCoordinator(
+            smoke_subscriptions(subscriptions),
+            config=ShardConfig(shards=SMOKE_SHARDS),
+            preflight=False,
+        )
+        start = time.perf_counter()
+        result = coordinator.run(iter(events))
+        took = time.perf_counter() - start
+        total = sum(len(found) for found in result.matches.values())
+        return total, len(events) / took if took > 0 else 0.0
+
+    def evaluate(stream: Iterable[Event]) -> int:
+        coordinator = ShardCoordinator(
+            smoke_subscriptions(SMOKE_SHARD_SUBSCRIPTIONS),
+            config=ShardConfig(shards=SMOKE_SHARDS),
+            preflight=False,
+        )
+        result = coordinator.run(stream)
+        return sum(len(found) for found in result.matches.values())
+
+    result = _run_events(
+        "shards",
+        events,
+        evaluate,
+        measure_memory,
+        detail={
+            "shards": SMOKE_SHARDS,
+            "subscriptions": SMOKE_SHARD_SUBSCRIPTIONS,
+        },
+    )
+    # Informational scaling series: subscriptions × throughput under the
+    # pinned shard count (single pass each; never regression-gated).
+    series = []
+    for subscriptions in SHARD_SERIES_SUBSCRIPTIONS:
+        matches, throughput = serve_sharded_count(subscriptions)
+        series.append(
+            {
+                "subscriptions": subscriptions,
+                "matches": matches,
+                "events_per_second": round(throughput, 2),
+            }
+        )
+    result.detail["scaling_series"] = series
+    # Worker wall time rides process scheduling on shared runners —
+    # record throughput, gate only the match count and event totals.
+    result.gate["events_per_second"] = False
+    result.gate["peak_memory_bytes"] = False
+    return result
+
+
 #: The pinned smoke subset, in execution order.
 SMOKE_WORKLOADS: dict[str, Callable[[bool], WorkloadResult]] = {
     "compile": _smoke_compile,
     "scaling-depth": _smoke_scaling_depth,
     "multiquery": _smoke_multiquery,
     "figure14": _smoke_figure14,
+    "shards": _smoke_shards,
 }
 
 

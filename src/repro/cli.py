@@ -214,6 +214,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         priorities=priorities,
     )
     parser_limits = ParserLimits.default() if args.harden else None
+    if args.shards > 1:
+        return _serve_sharded(args, queries, policy, admission, parser_limits)
     engine = MultiQueryEngine(
         queries,
         collect_events=not args.count,
@@ -231,7 +233,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     matches = engine.serve(
         source,
         policy=policy,
-        on_error=args.on_error,
+        on_error=args.on_error if args.on_error is not None else "skip",
         report=report,
         parser_limits=parser_limits,
     )
@@ -266,6 +268,82 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(detail, file=sys.stderr)
     if not report.ok:
         print(f"-- recovered: {report.summary()}", file=sys.stderr)
+    return 3 if degraded_exit else 0
+
+
+def _serve_sharded(
+    args: argparse.Namespace,
+    queries: dict[str, str],
+    policy,
+    admission,
+    parser_limits,
+) -> int:
+    """``spex serve --shards N``: crash-isolated multi-process serving."""
+    from .core.shards import ShardCoordinator, ShardConfig
+    from .xmlstream.parser import iter_documents
+
+    if args.on_error not in (None, "strict"):
+        # Only warn when the user *asked* for a non-strict policy; the
+        # serve default (skip) silently becomes strict under shards.
+        print(
+            "-- shards: per-shard checkpoints require strict parsing; "
+            f"--on-error {args.on_error} ignored",
+            file=sys.stderr,
+        )
+    files = args.file or []
+    if not files:
+        source: object = parse_stream(sys.stdin.buffer, limits=parser_limits)
+    elif len(files) == 1:
+        source = files[0]
+    else:
+        source = iter_documents(files, limits=parser_limits)
+    coordinator = ShardCoordinator(
+        queries,
+        config=ShardConfig(
+            shards=args.shards,
+            partition=args.partition,
+            heartbeat_timeout=args.heartbeat_ms / 1000.0,
+        ),
+        policy=policy,
+        collect_events=not args.count,
+        limits=_limits_from(args),
+        admission=admission,
+        parser_limits=parser_limits,
+    )
+    result = coordinator.run(source)
+    total = 0
+    for query_id in queries:
+        for index, match in enumerate(result.matches[query_id], 1):
+            total += 1
+            if not args.count:
+                print(
+                    f"-- {query_id}: match {index} "
+                    f"(position {match.position}, <{match.label}>)"
+                )
+                print(match.to_xml())
+    if args.count:
+        for query_id in queries:
+            print(f"{query_id}\t{len(result.matches[query_id])}")
+    else:
+        print(f"-- {total} match(es) across {len(queries)} quer(y/ies)")
+    print(f"-- shards: {result.summary()}", file=sys.stderr)
+    for entry in result.shard_log:
+        print(
+            f"--   shard {entry.shard}#{entry.incarnation} "
+            f"[{entry.code}] {entry.detail}",
+            file=sys.stderr,
+        )
+    degraded_exit = False
+    for query_id, outcome in sorted(result.report.outcomes.items()):
+        if outcome.healthy and not outcome.degraded:
+            continue
+        degraded_exit = True
+        detail = f"--   {query_id}: {outcome.status}"
+        if outcome.code is not None:
+            detail += f" [{outcome.code}]"
+        if outcome.reason is not None:
+            detail += f" {outcome.reason}"
+        print(detail, file=sys.stderr)
     return 3 if degraded_exit else 0
 
 
@@ -514,10 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--on-error",
         choices=["strict", "skip", "repair"],
-        default="skip",
+        default=None,
         dest="on_error",
         help="recovery policy for malformed documents (default: skip — "
-        "serving favours survival over strictness)",
+        "serving favours survival over strictness; sharded serving "
+        "always runs strict)",
     )
     serve.add_argument(
         "--deadline-ms",
@@ -585,6 +664,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         dest="max_buffered",
         help="cap each query's output buffer at N events",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="partition the subscriptions across N crash-isolated worker "
+        "processes with supervised restart and poison-pill quarantine "
+        "(default: 1 = in-process serving)",
+    )
+    serve.add_argument(
+        "--heartbeat-ms",
+        type=_positive_int,
+        default=2000,
+        metavar="MS",
+        dest="heartbeat_ms",
+        help="worker silence budget before a shard is declared stalled "
+        "and restarted from its checkpoint (default: 2000; only with "
+        "--shards > 1)",
+    )
+    serve.add_argument(
+        "--partition",
+        choices=["hash", "prefix"],
+        default="hash",
+        help="shard assignment strategy: stable hash of the query id, or "
+        "prefix affinity (queries sharing their first path step "
+        "co-locate); only with --shards > 1",
     )
     serve.set_defaults(func=_cmd_serve)
 

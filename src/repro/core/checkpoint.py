@@ -133,13 +133,18 @@ class Checkpoint:
         The bytes land in a temp file in the same directory and are
         fsynced before an ``os.replace`` — so the file at ``path`` is
         always either the previous checkpoint or this one, never a
-        torn write.
+        torn write.  Safe under concurrent writers sharing one
+        checkpoint directory (the sharded engine runs one writer per
+        worker process): temp names embed the writer's pid on top of
+        ``mkstemp``'s own randomness, and the directory entry is fsynced
+        after the rename so a crashed host cannot resurrect a stale
+        name→inode mapping.
         """
         path = os.fspath(path)
         directory = os.path.dirname(path) or "."
         data = json.dumps(self.to_dict(), sort_keys=True, indent=1)
         descriptor, temp_path = tempfile.mkstemp(
-            prefix=".checkpoint-", suffix=".tmp", dir=directory
+            prefix=f".checkpoint-{os.getpid()}-", suffix=".tmp", dir=directory
         )
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
@@ -153,6 +158,16 @@ class Checkpoint:
             except OSError:
                 pass
             raise
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds: rename is still atomic
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     @classmethod
     def load(cls, path: str | os.PathLike[str]) -> "Checkpoint":

@@ -324,6 +324,7 @@ class MultiQueryEngine:
         cursor: StreamCursor | None = None,
         clock: Clock | None = None,
         parser_limits: ParserLimits | None = None,
+        quarantined: Iterable[str] = (),
     ) -> Iterator[tuple[str, Match]]:
         """Evaluate all queries with per-query fault domains.
 
@@ -347,6 +348,13 @@ class MultiQueryEngine:
         :meth:`checkpoint`/:meth:`resume`.  ``parser_limits`` arms the
         untrusted-input hardening of the XML layer
         (:class:`~repro.xmlstream.parser.ParserLimits`).
+
+        ``quarantined`` names queries that enter the pass already
+        poisoned: their breakers are latched open before the first event
+        (outcome ``POISON``), so they never run and never re-admit —
+        the shard layer uses this to keep convicted poison-pill queries
+        out of a freshly started worker without a checkpoint to carry
+        the latch.
         """
         policy = policy if policy is not None else ServingPolicy()
         clock = as_clock(clock)
@@ -385,6 +393,7 @@ class MultiQueryEngine:
                 if self._is_admitted(query_id)
             }
             self._breakers = breakers
+            self._latch_poisoned(None, serving, breakers, quarantined)
             return self._serve_recovering(
                 source, recovery, policy, serving, breakers, clock, report,
                 parser_limits,
@@ -394,6 +403,7 @@ class MultiQueryEngine:
         self._last_networks = networks
         self._last_cursor = cursor
         self._breakers = breakers
+        self._latch_poisoned(networks, serving, breakers, quarantined)
         events = recovering(
             iter_events(source, limits=parser_limits),
             RecoveryPolicy.STRICT,
@@ -458,6 +468,40 @@ class MultiQueryEngine:
             serving.probes += 1
         outcome.status = "ok"
         return True
+
+    def _latch_poisoned(
+        self,
+        live: dict[str, Network] | None,
+        serving: ServingReport,
+        breakers: dict[str, CircuitBreaker],
+        quarantined: Iterable[str],
+    ) -> None:
+        """Latch pre-convicted poison-pill queries before the first event.
+
+        Used by :meth:`serve` when the caller (the shard coordinator)
+        already knows certain queries crash the process: their breakers
+        latch open permanently, their networks (if compiled) are dropped,
+        and their outcomes read ``quarantined``/``POISON`` — the same
+        terminal state an in-pass ``max_trips`` exhaustion reaches.
+        """
+        for query_id in quarantined:
+            breaker = breakers.get(query_id)
+            if breaker is None or breaker.latched:
+                continue
+            breaker.latch()
+            if live is not None:
+                live.pop(query_id, None)
+            outcome = serving.outcome(query_id)
+            outcome.status = "quarantined"
+            outcome.code = "POISON"
+            outcome.reason = (
+                "pre-quarantined as a poison pill (crashed its shard "
+                "worker process)"
+            )
+            outcome.degraded = True
+            outcome.trips = breaker.trips
+            serving.quarantines += 1
+            self.robustness.quarantines += 1
 
     def _quarantine(
         self,
@@ -794,37 +838,12 @@ class MultiQueryEngine:
             },
         }
         if self._breakers is not None and self.serving is not None:
-            serving = self.serving
             payload["serving"] = {
                 "breakers": {
                     query_id: breaker.snapshot()
                     for query_id, breaker in self._breakers.items()
                 },
-                "outcomes": {
-                    query_id: {
-                        "status": outcome.status,
-                        "code": outcome.code,
-                        "reason": outcome.reason,
-                        "document": outcome.document,
-                        "degraded": outcome.degraded,
-                        "matches": outcome.matches,
-                        "trips": outcome.trips,
-                        "readmissions": outcome.readmissions,
-                    }
-                    for query_id, outcome in serving.outcomes.items()
-                },
-                "report": {
-                    "documents_seen": serving.documents_seen,
-                    "quarantines": serving.quarantines,
-                    "breaker_trips": serving.breaker_trips,
-                    "probes": serving.probes,
-                    "readmissions": serving.readmissions,
-                    "load_sheds": serving.load_sheds,
-                    "deadline_hits": serving.deadline_hits,
-                    "admitted": serving.admitted,
-                    "admitted_degraded": serving.admitted_degraded,
-                    "rejected": serving.rejected,
-                },
+                **self.serving.to_obj(),
             }
         self.robustness.checkpoints_written += 1
         return Checkpoint(kind="multiquery", payload=payload)
@@ -909,24 +928,7 @@ class MultiQueryEngine:
             return self._pump(networks, events)
         policy = policy if policy is not None else ServingPolicy()
         clock = as_clock(clock)
-        serving = ServingReport()
-        report_state = serving_state["report"]
-        for name in (
-            "documents_seen", "quarantines", "breaker_trips", "probes",
-            "readmissions", "load_sheds", "deadline_hits", "admitted",
-            "admitted_degraded", "rejected",
-        ):
-            setattr(serving, name, int(report_state[name]))
-        for query_id, state in serving_state["outcomes"].items():
-            outcome = serving.outcome(query_id)
-            outcome.status = state["status"]
-            outcome.code = state["code"]
-            outcome.reason = state["reason"]
-            outcome.document = state["document"]
-            outcome.degraded = bool(state["degraded"])
-            outcome.matches = int(state["matches"])
-            outcome.trips = int(state["trips"])
-            outcome.readmissions = int(state["readmissions"])
+        serving = ServingReport.from_obj(serving_state)
         breakers: dict[str, CircuitBreaker] = {}
         for query_id, snap in serving_state["breakers"].items():
             breaker = CircuitBreaker(policy.breaker)

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from ..errors import AdmissionError
 from ..limits import ResourceLimits
@@ -107,6 +107,24 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         """The query failed (error, limit, deadline): open the breaker."""
         self.trips += 1
+        self.state = BreakerState.OPEN
+        self._cooldown = self.policy.cooldown_documents
+        self._probe_successes = 0
+
+    def latch(self) -> None:
+        """Force the breaker permanently open (poison-pill quarantine).
+
+        Used by the shard layer (:mod:`repro.core.shards`) when a query
+        is convicted of crashing its worker process: the breaker jumps
+        straight to ``max_trips`` so :attr:`latched` holds — and keeps
+        holding across checkpoint/resume, exactly like an organically
+        exhausted breaker.  Requires a finite ``max_trips``.
+        """
+        if self.policy.max_trips is None:
+            raise ValueError(
+                "cannot latch a breaker whose policy has max_trips=None"
+            )
+        self.trips = max(self.trips, self.policy.max_trips)
         self.state = BreakerState.OPEN
         self._cooldown = self.policy.cooldown_documents
         self._probe_successes = 0
@@ -402,6 +420,34 @@ class QueryOutcome:
     def healthy(self) -> bool:
         return self.status == "ok"
 
+    def to_obj(self) -> dict:
+        """JSON-serializable form (checkpoint / IPC codec)."""
+        return {
+            "status": self.status,
+            "code": self.code,
+            "reason": self.reason,
+            "document": self.document,
+            "degraded": self.degraded,
+            "matches": self.matches,
+            "trips": self.trips,
+            "readmissions": self.readmissions,
+        }
+
+    @classmethod
+    def from_obj(cls, query_id: str, obj: Mapping) -> "QueryOutcome":
+        """Inverse of :meth:`to_obj`."""
+        return cls(
+            query_id=query_id,
+            status=str(obj["status"]),
+            code=obj["code"],
+            reason=obj["reason"],
+            document=obj["document"],
+            degraded=bool(obj["degraded"]),
+            matches=int(obj["matches"]),
+            trips=int(obj["trips"]),
+            readmissions=int(obj["readmissions"]),
+        )
+
 
 @dataclass
 class ServingReport:
@@ -419,10 +465,75 @@ class ServingReport:
     admitted_degraded: int = 0
     rejected: int = 0
 
+    #: the integer counters serialized by :meth:`to_obj` (order matters
+    #: only for readability; the codec is keyed, not positional).
+    COUNTER_FIELDS = (
+        "documents_seen",
+        "quarantines",
+        "breaker_trips",
+        "probes",
+        "readmissions",
+        "load_sheds",
+        "deadline_hits",
+        "admitted",
+        "admitted_degraded",
+        "rejected",
+    )
+
     def outcome(self, query_id: str) -> QueryOutcome:
         if query_id not in self.outcomes:
             self.outcomes[query_id] = QueryOutcome(query_id)
         return self.outcomes[query_id]
+
+    def to_obj(self) -> dict:
+        """JSON-serializable form: ``{"outcomes": ..., "report": ...}``.
+
+        The shape matches the serving section of the multiquery
+        checkpoint payload, so checkpoints, shard IPC messages and
+        merged reports all speak one codec.
+        """
+        return {
+            "outcomes": {
+                query_id: outcome.to_obj()
+                for query_id, outcome in self.outcomes.items()
+            },
+            "report": {name: getattr(self, name) for name in self.COUNTER_FIELDS},
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Mapping) -> "ServingReport":
+        """Inverse of :meth:`to_obj`."""
+        report = cls()
+        counters = obj["report"]
+        for name in cls.COUNTER_FIELDS:
+            setattr(report, name, int(counters[name]))
+        for query_id, state in obj["outcomes"].items():
+            report.outcomes[query_id] = QueryOutcome.from_obj(query_id, state)
+        return report
+
+    @classmethod
+    def merged(cls, reports: "Iterable[ServingReport]") -> "ServingReport":
+        """Merge per-shard reports into one service-wide report.
+
+        Queries are disjoint across shards, so outcomes union without
+        conflict; counters sum — except ``documents_seen``, which is the
+        max (every shard watches the same stream, so summing would count
+        each document once per shard).
+        """
+        merged = cls()
+        for report in reports:
+            for name in cls.COUNTER_FIELDS:
+                if name == "documents_seen":
+                    merged.documents_seen = max(
+                        merged.documents_seen, report.documents_seen
+                    )
+                else:
+                    setattr(
+                        merged, name, getattr(merged, name) + getattr(report, name)
+                    )
+            for query_id, outcome in report.outcomes.items():
+                merged.outcomes[query_id] = outcome
+        return merged
 
     @property
     def healthy(self) -> list[str]:

@@ -1,0 +1,1063 @@
+"""Crash-isolated sharded serving: per-process fault domains.
+
+The bulkhead layer (:mod:`repro.core.serving`) isolates *query-level*
+failures — a raising query is detached while its neighbours keep
+streaming.  It cannot isolate *process-level* failures: a segfault-class
+event (OOM kill, interpreter abort, pathological native code) takes
+every subscription in the process down at once.  This module promotes
+the same fault-domain discipline one level up:
+
+* :func:`partition_queries` splits a subscription set across ``N``
+  shards — by stable hash, or by trie-prefix affinity so queries that
+  would share work land together;
+* each shard runs a :class:`~repro.core.multiquery.MultiQueryEngine`
+  in its **own worker process**, fed over a bounded IPC queue with
+  backpressure, emitting matches, heartbeats and document-boundary
+  checkpoints back over a per-shard result queue;
+* the :class:`ShardCoordinator` detects worker death (exit) and worker
+  stall (missed heartbeats, via :class:`HeartbeatMonitor` on an
+  injectable :class:`~repro.core.clock.Clock`), kills and restarts the
+  shard from its last committed :class:`~repro.core.checkpoint.Checkpoint`
+  under the supervisor's :class:`~repro.core.supervisor.ExponentialBackoff`
+  discipline — surviving shards keep streaming the whole time;
+* after :attr:`ShardConfig.max_trips` crash-restarts from the same
+  position, the coordinator runs solo **isolation probes** to convict
+  the poison-pill queries, latches their circuit breakers *inside the
+  shard's checkpoint* (:func:`quarantine_in_checkpoint`), and restarts
+  the shard without them — so quarantine survives checkpoint/resume
+  exactly as PR 4's in-process latch does.
+
+Exactly-once match delivery across crashes uses a **checkpoint
+barrier**: matches stream from the worker continuously but the
+coordinator only *commits* them when the checkpoint covering them
+arrives (document boundaries).  A crash discards the uncommitted tail;
+the restart replays the events after the checkpoint and regenerates
+exactly that tail — so the merged output for non-quarantined queries is
+bit-identical to a single-process pass.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import zlib
+from dataclasses import asdict, dataclass
+from itertools import repeat
+from queue import Empty, Full
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..errors import CheckpointError, EngineError
+from ..limits import ResourceLimits
+from ..rpeq.ast import Rpeq
+from ..rpeq.parser import parse
+from ..rpeq.unparse import unparse
+from ..xmlstream.events import (
+    EndDocument,
+    Event,
+    StartDocument,
+    event_from_obj,
+    event_to_obj,
+)
+from ..xmlstream.offsets import StreamCursor
+from ..xmlstream.parser import ParserLimits, iter_events
+from .checkpoint import Checkpoint
+from .clock import SYSTEM_CLOCK, Clock, as_clock
+from .engine import RobustnessCounters
+from .multiquery import MultiQueryEngine, _spine
+from .output_tx import Match
+from .serving import AdmissionPolicy, QueryOutcome, ServingPolicy, ServingReport
+from .supervisor import ExponentialBackoff
+
+#: Per-shard outcome codes carried by the merged report's shard log.
+SHARD_CRASH = "SHARD_CRASH"  #: worker process died (non-zero exit / signal)
+SHARD_STALL = "SHARD_STALL"  #: worker missed heartbeats and was killed
+SHARD_RESTORED = "SHARD_RESTORED"  #: worker restarted from its checkpoint
+SHARD_POISON = "SHARD_POISON"  #: probes convicted queries as poison pills
+SHARD_LOST = "SHARD_LOST"  #: shard quarantined whole (no culprit isolable)
+
+#: Outcome code stamped on queries a lost shard takes down with it.
+QUERY_SHARD_LOST = "SHARD_LOST"
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs of the sharded serving layer.
+
+    Attributes:
+        shards: number of worker processes.
+        partition: ``"hash"`` (stable crc32 of the query id) or
+            ``"prefix"`` (queries sharing their first path step
+            co-locate, preserving shared-prefix work affinity).
+        heartbeat_interval: seconds between worker heartbeats.
+        heartbeat_timeout: coordinator-side silence budget before a
+            worker is declared stalled and killed; ``None`` disables
+            stall detection (death detection still works).
+        max_trips: crash-restarts tolerated *from the same checkpoint
+            position* before the coordinator stops retrying and runs
+            poison-isolation probes.
+        batch_events: events per IPC message (amortizes pickling).
+        queue_batches: bound of the per-shard input queue, in batches —
+            the backpressure window between coordinator and worker.
+        backoff_initial/backoff_factor/backoff_max/jitter/seed: restart
+            backoff schedule, shared with
+            :class:`~repro.core.supervisor.ExponentialBackoff`.
+        probe_timeout: wall-clock budget per isolation probe; a probe
+            that neither exits nor finishes inside it is convicted.
+        checkpoint_dir: when set, each worker persists its rolling
+            checkpoint as ``shard-<index>.json`` in this directory
+            (exercising the concurrent-writer-safe atomic save).
+        start_method: multiprocessing start method; ``None`` picks
+            ``fork`` where available (hooks need no pickling round-trip)
+            and the platform default elsewhere.
+    """
+
+    shards: int = 2
+    partition: str = "hash"
+    heartbeat_interval: float = 0.05
+    heartbeat_timeout: float | None = 5.0
+    max_trips: int = 3
+    batch_events: int = 256
+    queue_batches: int = 8
+    backoff_initial: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    jitter: float = 0.1
+    seed: int = 0
+    probe_timeout: float = 30.0
+    checkpoint_dir: str | None = None
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.partition not in ("hash", "prefix"):
+            raise ValueError(
+                f"partition must be 'hash' or 'prefix', got {self.partition!r}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout is not None and (
+            self.heartbeat_timeout <= self.heartbeat_interval
+        ):
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval"
+            )
+        if self.max_trips < 1:
+            raise ValueError("max_trips must be positive")
+        if self.batch_events < 1:
+            raise ValueError("batch_events must be positive")
+        if self.queue_batches < 1:
+            raise ValueError("queue_batches must be positive")
+
+
+@dataclass(frozen=True)
+class ShardEvent:
+    """One entry of the coordinator's shard fault log."""
+
+    shard: int
+    incarnation: int
+    code: str
+    detail: str
+
+
+# ----------------------------------------------------------------------
+# partitioning
+
+
+def partition_queries(
+    queries: Mapping[str, str | Rpeq],
+    shards: int,
+    strategy: str = "hash",
+) -> list[list[str]]:
+    """Split a subscription set into ``shards`` disjoint id lists.
+
+    ``"hash"`` assigns each id by ``crc32(id) % shards`` — stable across
+    processes and Python invocations (unlike the interpreter's salted
+    ``hash``), so a restarted coordinator rebuilds the same layout.
+
+    ``"prefix"`` groups queries by their first path step (the root of
+    the shared-prefix trie :class:`~repro.core.multiquery.SharedNetworkEngine`
+    deduplicates on) and assigns whole groups to the least-loaded shard,
+    largest groups first — queries that would share work land in the
+    same process.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if strategy not in ("hash", "prefix"):
+        raise ValueError(f"unknown partition strategy {strategy!r}")
+    layout: list[list[str]] = [[] for _ in range(shards)]
+    if strategy == "hash":
+        for query_id in queries:
+            layout[zlib.crc32(query_id.encode("utf-8")) % shards].append(query_id)
+        return layout
+    groups: dict[str, list[str]] = {}
+    for query_id, query in queries.items():
+        expr = parse(query) if isinstance(query, str) else query
+        head = unparse(_spine(expr)[0])
+        groups.setdefault(head, []).append(query_id)
+    loads = [0] * shards
+    for head, members in sorted(
+        groups.items(), key=lambda item: (-len(item[1]), item[0])
+    ):
+        target = min(range(shards), key=lambda i: (loads[i], i))
+        layout[target].extend(members)
+        loads[target] += len(members)
+    return layout
+
+
+# ----------------------------------------------------------------------
+# heartbeats
+
+
+class HeartbeatMonitor:
+    """Coordinator-side stall detector over an injectable clock.
+
+    Workers beat by sending messages; the coordinator calls
+    :meth:`beat` whenever *any* message arrives from a shard (every
+    message proves liveness) and :meth:`stalled` before trusting a
+    silent worker.  Tests drive it with a
+    :class:`~repro.core.clock.FakeClock`.
+    """
+
+    def __init__(self, timeout: float | None, clock: Clock | None = None) -> None:
+        self.timeout = timeout
+        self.clock = as_clock(clock)
+        self._last: dict[int, float] = {}
+
+    def beat(self, shard: int) -> None:
+        self._last[shard] = self.clock.monotonic()
+
+    def disarm(self, shard: int) -> None:
+        self._last.pop(shard, None)
+
+    def stalled(self, shard: int) -> bool:
+        if self.timeout is None:
+            return False
+        last = self._last.get(shard)
+        if last is None:
+            return False
+        return self.clock.monotonic() - last > self.timeout
+
+    def silence(self, shard: int) -> float:
+        """Seconds since the shard's last sign of life (0 if unknown)."""
+        last = self._last.get(shard)
+        if last is None:
+            return 0.0
+        return self.clock.monotonic() - last
+
+
+# ----------------------------------------------------------------------
+# checkpoint surgery (poison latch across the process boundary)
+
+
+def quarantine_in_checkpoint(
+    checkpoint: Checkpoint,
+    query_ids: Iterable[str],
+    max_trips: int,
+) -> Checkpoint:
+    """Return a copy of a serving checkpoint with queries latched out.
+
+    The convicted queries' circuit breakers are rewritten to the
+    exhausted state (``trips = max_trips``, open), their network
+    snapshots dropped, and their outcomes stamped ``quarantined`` /
+    ``POISON`` — so a worker resuming from the edited checkpoint treats
+    them exactly like queries that burned through ``max_trips`` inside
+    the process: never revived, never re-admitted, latch preserved by
+    every further checkpoint/resume cycle.
+    """
+    payload = copy.deepcopy(checkpoint.require("multiquery"))
+    serving = payload.get("serving")
+    if serving is None:
+        raise CheckpointError(
+            "cannot quarantine queries in a non-serving checkpoint "
+            "(no breaker state to latch)"
+        )
+    newly_latched = 0
+    for query_id in query_ids:
+        if query_id not in payload["queries"]:
+            raise CheckpointError(
+                f"cannot quarantine {query_id!r}: not in the checkpoint's "
+                f"subscription set"
+            )
+        payload["networks"].pop(query_id, None)
+        previous = serving["breakers"].get(query_id, {})
+        trips = max(int(previous.get("trips", 0)), max_trips)
+        serving["breakers"][query_id] = {
+            "state": "open",
+            "trips": trips,
+            "cooldown": 1,
+            "probe_successes": 0,
+        }
+        outcome = serving["outcomes"].get(query_id)
+        if outcome is None:
+            outcome = QueryOutcome(query_id).to_obj()
+            serving["outcomes"][query_id] = outcome
+        if outcome["status"] != "quarantined":
+            newly_latched += 1
+        outcome["status"] = "quarantined"
+        outcome["code"] = "POISON"
+        outcome["reason"] = (
+            "convicted by shard isolation probe (crashed its worker "
+            "process)"
+        )
+        outcome["degraded"] = True
+        outcome["trips"] = trips
+    serving["report"]["quarantines"] += newly_latched
+    return Checkpoint(
+        kind=checkpoint.kind, payload=payload, version=checkpoint.version
+    )
+
+
+# ----------------------------------------------------------------------
+# worker side
+
+#: Optional chaos/fault hook run in the *worker* before each event:
+#: ``hook(shard, incarnation, event_index, live_query_ids)``.  It may
+#: raise, sleep, or kill its own process — the coordinator's job is to
+#: survive whatever it does.  Probes call it with ``incarnation = -1``.
+FaultHook = Callable[[int, int, int, frozenset], None]
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a worker process needs, in picklable form."""
+
+    shard: int
+    incarnation: int
+    queries: dict[str, str]
+    collect_events: bool
+    limits: ResourceLimits | None
+    admission: AdmissionPolicy | None
+    policy: ServingPolicy
+    heartbeat_interval: float
+    checkpoint_path: str | None
+    checkpoint_data: dict | None
+    quarantined: tuple[str, ...]
+    hook: FaultHook | None
+
+
+class _Heartbeats:
+    """Rate-limited liveness messages on the worker's result queue."""
+
+    def __init__(self, out_queue, clock: Clock, interval: float) -> None:
+        self._out = out_queue
+        self._clock = clock
+        self._interval = interval
+        self._last = clock.monotonic()
+
+    def force(self) -> None:
+        self._out.put(("hb",))
+        self._last = self._clock.monotonic()
+
+    def maybe(self) -> None:
+        if self._clock.monotonic() - self._last >= self._interval:
+            self.force()
+
+
+def _queue_events(in_queue, heartbeats: _Heartbeats, interval: float):
+    """Decode the coordinator's event batches; beat while idle."""
+    while True:
+        try:
+            message = in_queue.get(timeout=interval)
+        except Empty:
+            heartbeats.force()
+            continue
+        if message[0] == "end":
+            return
+        for obj in message[1]:
+            yield event_from_obj(obj)
+
+
+def _instrumented(
+    events: Iterable[Event],
+    spec: _WorkerSpec,
+    engine: MultiQueryEngine,
+    heartbeats: _Heartbeats,
+    out_queue,
+    base: int,
+) -> Iterator[Event]:
+    """Worker-side event wrapper: hooks, heartbeats, doc checkpoints.
+
+    The post-``yield`` code runs when the engine pulls the *next* event
+    — by then the previous event is fully processed and its matches
+    drained to the result queue (the pipeline is pull-driven), which is
+    the exact boundary where a checkpoint is exact and a heartbeat
+    proves real progress.  Document-boundary checkpoints are what the
+    coordinator's commit barrier keys on.
+    """
+    index = base
+    for event in events:
+        if spec.hook is not None:
+            live = (
+                frozenset(engine._last_networks)
+                if engine._last_networks is not None
+                else frozenset(spec.queries)
+            )
+            spec.hook(spec.shard, spec.incarnation, index, live)
+        boundary = event.__class__ is EndDocument
+        index += 1
+        yield event
+        heartbeats.maybe()
+        if boundary:
+            checkpoint = engine.checkpoint()
+            if spec.checkpoint_path is not None:
+                checkpoint.save(spec.checkpoint_path)
+            out_queue.put(("checkpoint", checkpoint.to_dict()))
+
+
+def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
+    """Entry point of one shard worker process."""
+    try:
+        clock = SYSTEM_CLOCK
+        heartbeats = _Heartbeats(out_queue, clock, spec.heartbeat_interval)
+        engine = MultiQueryEngine(
+            spec.queries,
+            collect_events=spec.collect_events,
+            limits=spec.limits,
+            preflight=False,
+            admission=spec.admission,
+        )
+        raw = _queue_events(in_queue, heartbeats, spec.heartbeat_interval)
+        if spec.checkpoint_data is not None:
+            checkpoint = Checkpoint.from_dict(spec.checkpoint_data)
+            base = checkpoint.position
+            live = _instrumented(
+                raw, spec, engine, heartbeats, out_queue, base
+            )
+            # resume() seeks by skipping ``base`` events; feed it cheap
+            # padding instead of re-shipping the prefix over IPC (the
+            # skipped prefix is never validated or processed).
+            source: Iterable[Event] = _padded(base, live)
+            run = engine.resume(checkpoint, source, policy=spec.policy)
+        else:
+            cursor = StreamCursor()
+            source = _instrumented(raw, spec, engine, heartbeats, out_queue, 0)
+            run = engine.serve(
+                source,
+                policy=spec.policy,
+                cursor=cursor,
+                quarantined=spec.quarantined,
+            )
+        for query_id, match in run:
+            out_queue.put(("match", query_id, match))
+            heartbeats.maybe()
+        serving = engine.serving
+        out_queue.put(
+            (
+                "done",
+                serving.to_obj() if serving is not None else None,
+                asdict(engine.robustness),
+                engine._last_cursor.events_read
+                if engine._last_cursor is not None
+                else 0,
+            )
+        )
+    except BaseException as exc:
+        try:
+            out_queue.put(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        raise
+
+
+def _padded(count: int, events: Iterable[Event]) -> Iterator[Event]:
+    """``count`` placeholder events (consumed by the resume skip), then
+    the live stream."""
+    yield from repeat(StartDocument(), count)
+    yield from events
+
+
+def _probe_main(spec: _WorkerSpec, encoded: list) -> None:
+    """Solo isolation probe: one query, the whole stream, no IPC."""
+    engine = MultiQueryEngine(
+        spec.queries,
+        collect_events=spec.collect_events,
+        limits=spec.limits,
+        preflight=False,
+        admission=spec.admission,
+    )
+    events: Iterator[Event] = (event_from_obj(obj) for obj in encoded)
+    if spec.hook is not None:
+        events = _hooked_probe(events, spec)
+    for _ in engine.serve(events, policy=spec.policy):
+        pass
+
+
+def _hooked_probe(events: Iterable[Event], spec: _WorkerSpec) -> Iterator[Event]:
+    live = frozenset(spec.queries)
+    for index, event in enumerate(events):
+        spec.hook(spec.shard, spec.incarnation, index, live)
+        yield event
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+
+
+@dataclass
+class ShardedResult:
+    """Merged outcome of one sharded serving pass.
+
+    Attributes:
+        matches: committed matches per query, in document order — for
+            non-quarantined queries, bit-identical to a single-process
+            :meth:`~repro.core.multiquery.MultiQueryEngine.serve` pass.
+        report: the merged :class:`~repro.core.serving.ServingReport`
+            (per-query outcomes union; counters summed across shards).
+        robustness: summed per-worker + coordinator recovery counters.
+        shard_queries: the partition layout that ran.
+        shard_status: per-shard terminal status (``"ok"`` or
+            ``"quarantined"``).
+        shard_log: every crash / stall / restore / poison event, in
+            order of detection.
+        checkpoints: last committed checkpoint per shard (if any).
+        quarantined: query ids convicted as poison pills or lost with
+            their shard.
+        events_total: events in the materialized stream.
+    """
+
+    matches: dict[str, list[Match]]
+    report: ServingReport
+    robustness: RobustnessCounters
+    shard_queries: list[list[str]]
+    shard_status: list[str]
+    shard_log: list[ShardEvent]
+    checkpoints: dict[int, Checkpoint]
+    quarantined: set[str]
+    events_total: int
+
+    @property
+    def restarts(self) -> int:
+        return sum(1 for entry in self.shard_log if entry.code == SHARD_RESTORED)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.quarantined and all(
+            status == "ok" for status in self.shard_status
+        )
+
+    def summary(self) -> str:
+        """One log-friendly line, mirroring ``ServingReport.summary``."""
+        crashes = sum(
+            1 for e in self.shard_log if e.code in (SHARD_CRASH, SHARD_STALL)
+        )
+        return (
+            f"{len(self.shard_queries)} shard(s), "
+            f"{sum(len(ids) for ids in self.shard_queries)} quer(y/ies): "
+            f"{crashes} worker failure(s), {self.restarts} restart(s), "
+            f"{len(self.quarantined)} poison quarantine(s); "
+            + self.report.summary()
+        )
+
+
+class _ShardState:
+    """Coordinator-side bookkeeping for one shard."""
+
+    def __init__(self, index: int, query_ids: list[str]) -> None:
+        self.index = index
+        self.query_ids = query_ids
+        self.incarnation = -1
+        self.process = None
+        self.in_queue = None
+        self.out_queue = None
+        self.feed_pos = 0
+        self.end_sent = False
+        #: matches streamed but not yet covered by a checkpoint
+        self.pending: list[tuple[str, Match]] = []
+        self.committed: Checkpoint | None = None
+        self.finished = False
+        self.status = "ok"
+        self.serving_obj: dict | None = None
+        self.robustness_obj: dict | None = None
+        self.quarantined: set[str] = set()
+        #: consecutive crash count per restart position
+        self.crashes: dict[int, int] = {}
+        self.last_error: str | None = None
+
+    @property
+    def committed_pos(self) -> int:
+        return self.committed.position if self.committed is not None else 0
+
+    def live_queries(self) -> list[str]:
+        return [qid for qid in self.query_ids if qid not in self.quarantined]
+
+
+class ShardCoordinator:
+    """Partition, fan out, supervise, merge.
+
+    Args:
+        queries: the full subscription set (mapping or iterable, same
+            forms as :class:`~repro.core.multiquery.MultiQueryEngine`).
+        config: shard topology and restart policy.
+        policy: per-worker :class:`~repro.core.serving.ServingPolicy`;
+            must have a finite ``breaker.max_trips`` (the poison latch
+            is expressed as an exhausted breaker).
+        collect_events / limits / admission / parser_limits: forwarded
+            to the worker engines (admission is classified per worker;
+            pre-flight runs once, here).
+        clock: coordinator-side time source (heartbeat monitor, restart
+            backoff).  Defaults to the system clock; unit tests drive
+            :class:`HeartbeatMonitor` directly with a fake.
+        fault_hook: optional chaos hook run in every worker before each
+            event (see :data:`FaultHook`) — the lever the chaos soaks
+            use to kill, stall, or crash workers deterministically.
+    """
+
+    def __init__(
+        self,
+        queries: Mapping[str, str | Rpeq] | Iterable[str],
+        config: ShardConfig | None = None,
+        policy: ServingPolicy | None = None,
+        collect_events: bool = False,
+        limits: ResourceLimits | None = None,
+        admission: AdmissionPolicy | None = None,
+        parser_limits: ParserLimits | None = None,
+        preflight: bool = True,
+        clock: Clock | None = None,
+        fault_hook: FaultHook | None = None,
+    ) -> None:
+        self.config = config if config is not None else ShardConfig()
+        self.policy = policy if policy is not None else ServingPolicy()
+        if self.policy.breaker.max_trips is None:
+            raise EngineError(
+                "sharded serving requires a finite breaker max_trips: the "
+                "poison-pill latch is expressed as an exhausted breaker"
+            )
+        # Pre-flight once in the coordinator (workers skip it); also
+        # normalizes the query forms and surfaces admission rejections
+        # early without burning a process.
+        self._engine = MultiQueryEngine(
+            queries,
+            collect_events=collect_events,
+            limits=limits,
+            preflight=preflight,
+            admission=admission,
+        )
+        self.queries: dict[str, Rpeq] = self._engine.queries
+        self.collect_events = collect_events
+        self.limits = limits
+        self.admission = admission
+        self.parser_limits = parser_limits
+        self.clock = as_clock(clock)
+        self.fault_hook = fault_hook
+        self.monitor = HeartbeatMonitor(self.config.heartbeat_timeout, self.clock)
+        self.robustness = RobustnessCounters()
+        self._backoffs = [
+            ExponentialBackoff(
+                initial=self.config.backoff_initial,
+                factor=self.config.backoff_factor,
+                maximum=self.config.backoff_max,
+                jitter=self.config.jitter,
+                seed=self.config.seed + shard,
+            )
+            for shard in range(self.config.shards)
+        ]
+        method = self.config.start_method
+        if method is None and "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        self._mp = multiprocessing.get_context(method)
+        self._log: list[ShardEvent] = []
+
+    # ------------------------------------------------------------------
+    # main loop
+
+    def run(self, source: str | Iterable[Event]) -> ShardedResult:
+        """Serve the stream across all shards; block until merged.
+
+        The stream is materialized once (restarts replay suffixes of
+        it), partitioned serving runs to completion with crash/stall
+        supervision, and the per-shard outcomes merge into one
+        :class:`ShardedResult`.
+        """
+        events = list(iter_events(source, limits=self.parser_limits))
+        encoded = [event_to_obj(event) for event in events]
+        layout = partition_queries(
+            self.queries, self.config.shards, self.config.partition
+        )
+        states = [
+            _ShardState(index, query_ids)
+            for index, query_ids in enumerate(layout)
+        ]
+        matches: dict[str, list[Match]] = {qid: [] for qid in self.queries}
+        active = [state for state in states if state.query_ids]
+        for state in states:
+            if not state.query_ids:
+                state.finished = True
+        for state in active:
+            self._start_worker(state)
+        try:
+            while any(not state.finished for state in states):
+                progress = False
+                for state in states:
+                    if not state.finished:
+                        progress |= self._pump(state, encoded, matches)
+                if not progress:
+                    self.clock.sleep(0.002)
+        finally:
+            for state in states:
+                self._abandon_worker(state)
+        return self._merge(states, matches, len(events))
+
+    # ------------------------------------------------------------------
+    # per-shard pump
+
+    def _pump(self, state: _ShardState, encoded: list, matches: dict) -> bool:
+        progress = self._drain(state, matches, blocking=False)
+        if state.finished:
+            return progress
+        progress |= self._feed(state, encoded)
+        process = state.process
+        if process is not None and not process.is_alive():
+            self._handle_failure(state, encoded, matches, stalled=False)
+            return True
+        if self.monitor.stalled(state.index):
+            silence = self.monitor.silence(state.index)
+            if process is not None:
+                process.kill()
+            self._handle_failure(
+                state, encoded, matches, stalled=True, silence=silence
+            )
+            return True
+        return progress
+
+    def _feed(self, state: _ShardState, encoded: list) -> bool:
+        progress = False
+        batch_size = self.config.batch_events
+        while state.feed_pos < len(encoded):
+            batch = encoded[state.feed_pos : state.feed_pos + batch_size]
+            try:
+                state.in_queue.put_nowait(("events", batch))
+            except Full:
+                return progress
+            state.feed_pos += len(batch)
+            progress = True
+        if not state.end_sent:
+            try:
+                state.in_queue.put_nowait(("end",))
+            except Full:
+                return progress
+            state.end_sent = True
+            progress = True
+        return progress
+
+    def _drain(
+        self, state: _ShardState, matches: dict, blocking: bool
+    ) -> bool:
+        """Process queued worker messages; commit on checkpoint barriers.
+
+        ``blocking=True`` is the post-mortem drain: the worker is dead
+        and joined, so its queue feeder has flushed — keep reading with
+        a short timeout until silence.  A SIGKILL mid-``put`` can leave
+        the queue unreadable; any exception ends the drain (the
+        uncommitted tail is replayed from the checkpoint anyway).
+        """
+        progress = False
+        while True:
+            try:
+                if blocking:
+                    message = state.out_queue.get(timeout=0.1)
+                else:
+                    message = state.out_queue.get_nowait()
+            except Empty:
+                break
+            except Exception:
+                break
+            progress = True
+            self.monitor.beat(state.index)
+            kind = message[0]
+            if kind == "match":
+                state.pending.append((message[1], message[2]))
+            elif kind == "checkpoint":
+                state.committed = Checkpoint.from_dict(message[1])
+                self._commit(state, matches)
+            elif kind == "done":
+                self._commit(state, matches)
+                state.serving_obj = message[1]
+                state.robustness_obj = message[2]
+                state.finished = True
+                self._retire_worker(state)
+            elif kind == "error":
+                state.last_error = message[1]
+        return progress
+
+    def _commit(self, state: _ShardState, matches: dict) -> None:
+        for query_id, match in state.pending:
+            matches[query_id].append(match)
+        state.pending.clear()
+
+    # ------------------------------------------------------------------
+    # failure handling
+
+    def _handle_failure(
+        self,
+        state: _ShardState,
+        encoded: list,
+        matches: dict,
+        stalled: bool,
+        silence: float = 0.0,
+    ) -> None:
+        process = state.process
+        if process is not None:
+            process.join()
+        # The worker may have finished cleanly and exited before this
+        # liveness poll: the post-mortem drain finds its "done".
+        self._drain(state, matches, blocking=True)
+        self._release_queues(state)
+        if state.finished:
+            return
+        state.pending.clear()
+        exitcode = process.exitcode if process is not None else None
+        if stalled:
+            detail = (
+                f"no heartbeat for {silence:.2f}s "
+                f"(timeout {self.config.heartbeat_timeout}s); killed"
+            )
+            code = SHARD_STALL
+        else:
+            detail = f"worker exited with code {exitcode}"
+            if state.last_error:
+                detail += f" after: {state.last_error}"
+            code = SHARD_CRASH
+        state.last_error = None
+        self._log.append(ShardEvent(state.index, state.incarnation, code, detail))
+        self.robustness.stalls_detected += 1 if stalled else 0
+        key = state.committed_pos
+        state.crashes[key] = state.crashes.get(key, 0) + 1
+        failures = state.crashes[key]
+        if failures >= self.config.max_trips:
+            convicted = self._isolate_poison(state, encoded)
+            if not convicted:
+                self._lose_shard(state, matches)
+                return
+            state.quarantined |= convicted
+            self._log.append(
+                ShardEvent(
+                    state.index,
+                    state.incarnation,
+                    SHARD_POISON,
+                    f"quarantined {sorted(convicted)} after {failures} "
+                    f"crash(es) at position {key}",
+                )
+            )
+            self.robustness.quarantines += len(convicted)
+            state.crashes[key] = 0
+            failures = 1
+        self.clock.sleep(self._backoffs[state.index].delay(failures))
+        self.robustness.retries += 1
+        self._start_worker(state)
+        self._log.append(
+            ShardEvent(
+                state.index,
+                state.incarnation,
+                SHARD_RESTORED,
+                f"restarted from position {state.committed_pos}"
+                + (
+                    f" (checkpoint, {len(state.quarantined)} latched)"
+                    if state.committed is not None
+                    else " (stream head)"
+                ),
+            )
+        )
+
+    def _isolate_poison(self, state: _ShardState, encoded: list) -> set[str]:
+        """Convict the queries that kill a solo probe process."""
+        convicted: set[str] = set()
+        for query_id in sorted(state.live_queries()):
+            spec = self._spec(
+                state,
+                incarnation=-1,
+                queries={query_id: unparse(self.queries[query_id])},
+                checkpoint=None,
+                quarantined=(),
+            )
+            probe = self._mp.Process(
+                target=_probe_main, args=(spec, encoded), daemon=True
+            )
+            probe.start()
+            probe.join(self.config.probe_timeout)
+            if probe.is_alive():
+                probe.kill()
+                probe.join()
+                convicted.add(query_id)
+            elif probe.exitcode != 0:
+                convicted.add(query_id)
+        return convicted
+
+    def _lose_shard(self, state: _ShardState, matches: dict) -> None:
+        """Terminal: no culprit isolable — quarantine the whole shard."""
+        lost = set(state.live_queries())
+        state.quarantined |= lost
+        state.status = "quarantined"
+        state.finished = True
+        self._log.append(
+            ShardEvent(
+                state.index,
+                state.incarnation,
+                SHARD_LOST,
+                f"no poison culprit isolable; shard quarantined with "
+                f"{sorted(lost)}",
+            )
+        )
+        self.robustness.quarantines += len(lost)
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+
+    def _spec(
+        self,
+        state: _ShardState,
+        incarnation: int,
+        queries: dict[str, str],
+        checkpoint: Checkpoint | None,
+        quarantined: tuple[str, ...],
+    ) -> _WorkerSpec:
+        path = None
+        if self.config.checkpoint_dir is not None:
+            os.makedirs(self.config.checkpoint_dir, exist_ok=True)
+            path = os.path.join(
+                self.config.checkpoint_dir, f"shard-{state.index}.json"
+            )
+        return _WorkerSpec(
+            shard=state.index,
+            incarnation=incarnation,
+            queries=queries,
+            collect_events=self.collect_events,
+            limits=self.limits,
+            admission=self.admission,
+            policy=self.policy,
+            heartbeat_interval=self.config.heartbeat_interval,
+            checkpoint_path=path,
+            checkpoint_data=checkpoint.to_dict() if checkpoint is not None else None,
+            quarantined=quarantined,
+            hook=self.fault_hook,
+        )
+
+    def _start_worker(self, state: _ShardState) -> None:
+        state.incarnation += 1
+        state.in_queue = self._mp.Queue(maxsize=self.config.queue_batches)
+        state.out_queue = self._mp.Queue()
+        checkpoint = state.committed
+        if checkpoint is not None and state.quarantined:
+            checkpoint = quarantine_in_checkpoint(
+                checkpoint,
+                sorted(state.quarantined),
+                self.policy.breaker.max_trips,
+            )
+        state.feed_pos = checkpoint.position if checkpoint is not None else 0
+        state.end_sent = False
+        spec = self._spec(
+            state,
+            incarnation=state.incarnation,
+            queries={
+                qid: unparse(self.queries[qid]) for qid in state.query_ids
+            },
+            checkpoint=checkpoint,
+            quarantined=(
+                tuple(sorted(state.quarantined)) if checkpoint is None else ()
+            ),
+        )
+        state.process = self._mp.Process(
+            target=_worker_main,
+            args=(spec, state.in_queue, state.out_queue),
+            daemon=True,
+        )
+        state.process.start()
+        self.monitor.beat(state.index)
+        if state.incarnation > 0 and state.committed is not None:
+            self.robustness.restores += 1
+
+    def _retire_worker(self, state: _ShardState) -> None:
+        if state.process is not None:
+            state.process.join()
+        self._release_queues(state)
+        self.monitor.disarm(state.index)
+        state.process = None
+
+    def _abandon_worker(self, state: _ShardState) -> None:
+        process = state.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join()
+        self._release_queues(state)
+        state.process = None
+
+    def _release_queues(self, state: _ShardState) -> None:
+        for queue in (state.in_queue, state.out_queue):
+            if queue is None:
+                continue
+            try:
+                queue.cancel_join_thread()
+                queue.close()
+            except Exception:
+                pass
+        state.in_queue = None
+        state.out_queue = None
+
+    # ------------------------------------------------------------------
+    # merging
+
+    def _merge(
+        self,
+        states: list[_ShardState],
+        matches: dict[str, list[Match]],
+        events_total: int,
+    ) -> ShardedResult:
+        reports = []
+        counters = asdict(self.robustness)
+        for state in states:
+            if state.serving_obj is not None:
+                reports.append(ServingReport.from_obj(state.serving_obj))
+            if state.robustness_obj is not None:
+                for name, value in state.robustness_obj.items():
+                    if name == "restores":
+                        # the coordinator already counted every restore
+                        # attempt, including ones that crashed again
+                        continue
+                    counters[name] = counters.get(name, 0) + value
+        report = ServingReport.merged(reports)
+        quarantined: set[str] = set()
+        for state in states:
+            quarantined |= state.quarantined
+            if state.status != "quarantined":
+                continue
+            # The shard died without a final report: synthesize terminal
+            # outcomes for the queries it took down.
+            for query_id in state.query_ids:
+                if query_id in report.outcomes:
+                    continue
+                outcome = report.outcome(query_id)
+                outcome.status = "quarantined"
+                outcome.code = QUERY_SHARD_LOST
+                outcome.reason = (
+                    f"shard {state.index} lost (crash loop, no culprit "
+                    f"isolable); delivered matches are a committed prefix"
+                )
+                outcome.degraded = True
+                outcome.matches = len(matches[query_id])
+                report.quarantines += 1
+        return ShardedResult(
+            matches=matches,
+            report=report,
+            robustness=RobustnessCounters(**counters),
+            shard_queries=[state.query_ids for state in states],
+            shard_status=[state.status for state in states],
+            shard_log=list(self._log),
+            checkpoints={
+                state.index: state.committed
+                for state in states
+                if state.committed is not None
+            },
+            quarantined=quarantined,
+            events_total=events_total,
+        )
+
+
+def serve_sharded(
+    queries: Mapping[str, str | Rpeq] | Iterable[str],
+    source: str | Iterable[Event],
+    config: ShardConfig | None = None,
+    **kwargs,
+) -> ShardedResult:
+    """One-shot convenience: build a :class:`ShardCoordinator`, run it."""
+    return ShardCoordinator(queries, config=config, **kwargs).run(source)

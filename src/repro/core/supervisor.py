@@ -129,6 +129,38 @@ class SupervisorConfig:
             )
 
 
+class ExponentialBackoff:
+    """Seeded exponential backoff with jitter, shared retry discipline.
+
+    Extracted from the supervisor so the shard coordinator
+    (:mod:`repro.core.shards`) restarts crashed workers under exactly
+    the same schedule a supervised reconnect uses.  ``delay(failures)``
+    is a pure function of the seeded RNG stream, so schedules are
+    reproducible.
+    """
+
+    def __init__(
+        self,
+        initial: float = 0.1,
+        factor: float = 2.0,
+        maximum: float = 30.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        self.initial = initial
+        self.factor = factor
+        self.maximum = maximum
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, failures: int) -> float:
+        """Backoff delay for the ``failures``-th consecutive failure (≥1)."""
+        delay = min(self.maximum, self.initial * self.factor ** (failures - 1))
+        if self.jitter:
+            delay *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, delay)
+
+
 @dataclass
 class SupervisorReport:
     """What one supervised run went through (readable mid-run).
@@ -231,7 +263,13 @@ class Supervisor:
             self.clock = SYSTEM_CLOCK
         else:
             self.clock = _CallableClock(monotonic=clock, sleep=sleep)
-        self._rng = random.Random(self.config.seed)
+        self._backoff = ExponentialBackoff(
+            initial=self.config.backoff_initial,
+            factor=self.config.backoff_factor,
+            maximum=self.config.backoff_max,
+            jitter=self.config.jitter,
+            seed=self.config.seed,
+        )
         self._cursor: StreamCursor | None = None
         self._checkpointed_position = -1
         self._last_checkpoint_time = self.clock.monotonic()
@@ -367,14 +405,7 @@ class Supervisor:
 
     def _backoff_delay(self, failures: int) -> float:
         """Exponential backoff with seeded jitter (failures >= 1)."""
-        config = self.config
-        delay = min(
-            config.backoff_max,
-            config.backoff_initial * config.backoff_factor ** (failures - 1),
-        )
-        if config.jitter:
-            delay *= 1.0 + self._rng.uniform(-config.jitter, config.jitter)
-        return max(0.0, delay)
+        return self._backoff.delay(failures)
 
 
 def supervise(

@@ -22,6 +22,7 @@ from .generators import (
     deep_chain,
     nested_closure_workload,
     random_tree,
+    sdi_subscriptions,
     text_document,
     wide_flat,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "pathological_nesting",
     "query_corpus",
     "random_tree",
+    "sdi_subscriptions",
     "sensor_feed",
     "stock_ticker",
     "text_document",

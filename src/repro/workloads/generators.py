@@ -20,6 +20,34 @@ from ..xmlstream.events import (
 )
 
 
+def sdi_subscriptions(
+    count: int,
+    seed: int = 99,
+    labels: Sequence[str] = (
+        "country",
+        "province",
+        "city",
+        "name",
+        "population",
+        "religions",
+    ),
+) -> dict[str, str]:
+    """A seeded SDI/XFilter-style subscription family.
+
+    Generates ``count`` rpeq subscriptions over ``labels``, alternating
+    descendant-chain (``_*.a.b``) and qualifier (``_*.a[b]``) shapes —
+    the two query classes the paper's multi-query experiments stress.
+    Deterministic in ``(count, seed, labels)``, so benchmark series and
+    shard-scaling soaks can grow the subscription set reproducibly.
+    """
+    rng = random.Random(seed)
+    queries: dict[str, str] = {}
+    for index in range(count):
+        a, b = rng.choice(labels), rng.choice(labels)
+        queries[f"s{index}"] = f"_*.{a}.{b}" if index % 2 else f"_*.{a}[{b}]"
+    return queries
+
+
 def random_tree(
     seed: int,
     elements: int,

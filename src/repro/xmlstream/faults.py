@@ -78,9 +78,30 @@ class FaultInjector:
         labels: Sequence[str] = ("a", "b", "c", "zz"),
         clock: Clock | None = None,
     ) -> None:
+        self.seed = seed
         self.rng = random.Random(seed)
         self.labels = tuple(labels)
         self.clock = as_clock(clock)
+
+    def for_shard(self, index: int) -> "FaultInjector":
+        """Fresh injector with a seed derived for worker ``index``.
+
+        Multi-process chaos soaks must not hand every shard worker the
+        same RNG: forked workers would replay identical corruption
+        schedules, and spawned workers would share no schedule at all
+        (each pickled copy re-rolls from its own position).  Deriving
+        ``seed * P + index`` (``P`` prime, far above any shard count)
+        gives every worker its own stream that is a pure function of
+        ``(seed, index)`` — reproducible regardless of start method,
+        fork timing, or how many faults other shards drew.
+        """
+        if index < 0:
+            raise ValueError(f"shard index must be non-negative, got {index}")
+        return FaultInjector(
+            seed=self.seed * 1_000_003 + index,
+            labels=self.labels,
+            clock=self.clock,
+        )
 
     # ------------------------------------------------------------------
     # individual faults

@@ -1,0 +1,111 @@
+"""Regression-gate semantics of :mod:`repro.bench.compare`.
+
+Focus: the per-workload ``gate`` dict — ungated metrics are reported
+but can never fail the gate, while baselines without the field keep
+every band at full strictness (backward compatibility with entries
+committed before the field existed).
+"""
+
+import pytest
+
+from repro.bench.compare import compare
+from repro.bench.trajectory import SCHEMA_VERSION, WorkloadResult
+
+
+def run_with(workloads):
+    return {"schema": SCHEMA_VERSION, "workloads": workloads}
+
+
+def entry(
+    matches=10,
+    events=100,
+    events_per_second=1000.0,
+    peak_memory_bytes=5000,
+    **extra,
+):
+    obj = {
+        "matches": matches,
+        "events": events,
+        "events_per_second": events_per_second,
+        "peak_memory_bytes": peak_memory_bytes,
+    }
+    obj.update(extra)
+    return obj
+
+
+class TestGateField:
+    def test_ungated_throughput_regression_passes(self):
+        baseline = run_with(
+            {"shards": entry(gate={"events_per_second": False})}
+        )
+        current = run_with({"shards": entry(events_per_second=10.0)})
+        report = compare(baseline, current)
+        assert report.ok
+        delta = next(
+            d for d in report.deltas if d.metric == "events_per_second"
+        )
+        assert "skip" in delta.note
+
+    def test_gated_metrics_still_fail(self):
+        # The same entry's match count stays zero-tolerance.
+        baseline = run_with(
+            {"shards": entry(gate={"events_per_second": False})}
+        )
+        current = run_with(
+            {"shards": entry(matches=11, events_per_second=10.0)}
+        )
+        report = compare(baseline, current)
+        assert not report.ok
+        assert [d.metric for d in report.failures] == ["matches"]
+
+    def test_missing_gate_field_means_full_strictness(self):
+        baseline = run_with({"multiquery": entry()})
+        current = run_with({"multiquery": entry(events_per_second=10.0)})
+        assert not compare(baseline, current).ok
+
+    def test_gate_true_is_not_a_skip(self):
+        baseline = run_with(
+            {"shards": entry(gate={"events_per_second": True})}
+        )
+        current = run_with({"shards": entry(events_per_second=10.0)})
+        assert not compare(baseline, current).ok
+
+    def test_ungated_memory_growth_passes(self):
+        baseline = run_with(
+            {"shards": entry(gate={"peak_memory_bytes": False})}
+        )
+        current = run_with({"shards": entry(peak_memory_bytes=500000)})
+        assert compare(baseline, current).ok
+
+
+class TestCompatibility:
+    def test_current_only_workload_is_tolerated(self):
+        # A new PR may add a smoke workload the old baseline lacks.
+        baseline = run_with({"multiquery": entry()})
+        current = run_with({"multiquery": entry(), "shards": entry()})
+        assert compare(baseline, current).ok
+
+    def test_missing_current_workload_raises(self):
+        baseline = run_with({"multiquery": entry(), "shards": entry()})
+        current = run_with({"multiquery": entry()})
+        with pytest.raises(ValueError, match="missing workload"):
+            compare(baseline, current)
+
+    def test_workload_result_emits_gate_only_when_set(self):
+        plain = WorkloadResult(
+            workload="w",
+            seconds=1.0,
+            events=10,
+            events_per_second=10.0,
+            matches=1,
+        )
+        assert "gate" not in plain.to_obj()
+        gated = WorkloadResult(
+            workload="w",
+            seconds=1.0,
+            events=10,
+            events_per_second=10.0,
+            matches=1,
+            gate={"events_per_second": False},
+        )
+        assert gated.to_obj()["gate"] == {"events_per_second": False}

@@ -95,6 +95,44 @@ class TestCheckpointContainer:
         engine.checkpoint().save(path)
         assert Checkpoint.load(path).position == 9
 
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        # The sharded engine runs one checkpoint writer per worker
+        # process against a shared directory; hammer one target path
+        # from many threads and require every intermediate read to be a
+        # complete, loadable checkpoint (temp-name collisions between
+        # writers would surface here as torn or vanished files).
+        import threading
+
+        path = tmp_path / "checkpoint.json"
+        checkpoints = []
+        for prefix in range(4, 12):
+            engine = SpexEngine("_*.a")
+            run_with_cursor(engine, DOC, prefix)
+            checkpoints.append(engine.checkpoint())
+        positions = {checkpoint.position for checkpoint in checkpoints}
+        errors = []
+
+        def hammer(checkpoint):
+            try:
+                for _ in range(25):
+                    checkpoint.save(path)
+                    assert Checkpoint.load(path).position in positions
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(checkpoint,))
+            for checkpoint in checkpoints
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # The survivor is one coherent write; no temp litter remains.
+        assert Checkpoint.load(path).position in positions
+        assert os.listdir(tmp_path) == ["checkpoint.json"]
+
     def test_load_missing_or_garbage(self, tmp_path):
         with pytest.raises(CheckpointError, match="cannot read"):
             Checkpoint.load(tmp_path / "nope.json")

@@ -1,0 +1,383 @@
+"""Unit tests for the sharded-serving building blocks.
+
+Covers partitioning (hash stability, prefix affinity), the heartbeat
+monitor on a fake clock, checkpoint quarantine surgery, the extracted
+:class:`~repro.core.supervisor.ExponentialBackoff`, per-shard fault
+seeding, breaker latching, and the mergeable
+:class:`~repro.core.serving.ServingReport` codec.  End-to-end crash /
+stall / poison behaviour (real worker processes) lives in
+``tests/integration/test_shards.py``.
+"""
+
+import zlib
+
+import pytest
+
+from repro import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    CheckpointError,
+    FakeClock,
+    HeartbeatMonitor,
+    MultiQueryEngine,
+    ServingReport,
+    ShardConfig,
+    StreamCursor,
+    partition_queries,
+)
+from repro.core.serving import QueryOutcome
+from repro.core.shards import quarantine_in_checkpoint
+from repro.core.supervisor import ExponentialBackoff
+from repro.xmlstream.faults import FaultInjector
+
+DOC = "<a><b><c/></b><b/><c/></a>"
+
+
+# ----------------------------------------------------------------------
+# partitioning
+
+
+class TestPartitionQueries:
+    QUERIES = {f"q{i}": "_*.a" for i in range(20)}
+
+    def test_hash_is_disjoint_and_covering(self):
+        layout = partition_queries(self.QUERIES, 4)
+        flat = [qid for ids in layout for qid in ids]
+        assert sorted(flat) == sorted(self.QUERIES)
+        assert len(flat) == len(set(flat))
+
+    def test_hash_is_crc32_stable(self):
+        # The layout must be a pure function of the id — never the
+        # interpreter's salted hash() — so restarted coordinators
+        # rebuild the identical topology.
+        layout = partition_queries(self.QUERIES, 3)
+        for shard, ids in enumerate(layout):
+            for qid in ids:
+                assert zlib.crc32(qid.encode("utf-8")) % 3 == shard
+
+    def test_single_shard_gets_everything(self):
+        layout = partition_queries(self.QUERIES, 1)
+        assert len(layout) == 1
+        assert sorted(layout[0]) == sorted(self.QUERIES)
+
+    def test_prefix_colocates_shared_heads(self):
+        # Grouping keys on the exact first step — the unit the shared-
+        # prefix trie deduplicates on — so a qualified head ("country[x]")
+        # would be its own group; these three share the bare step.
+        queries = {
+            "a1": "country.name",
+            "a2": "country.city",
+            "a3": "country.population",
+            "b1": "org.name",
+        }
+        layout = partition_queries(queries, 2, strategy="prefix")
+        by_query = {
+            qid: shard for shard, ids in enumerate(layout) for qid in ids
+        }
+        assert by_query["a1"] == by_query["a2"] == by_query["a3"]
+        assert by_query["b1"] != by_query["a1"]
+
+    def test_prefix_balances_groups(self):
+        # Four singleton groups over two shards: 2 + 2.
+        queries = {f"q{i}": f"l{i}.x" for i in range(4)}
+        layout = partition_queries(queries, 2, strategy="prefix")
+        assert sorted(len(ids) for ids in layout) == [2, 2]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            partition_queries(self.QUERIES, 0)
+        with pytest.raises(ValueError):
+            partition_queries(self.QUERIES, 2, strategy="modulo")
+
+
+# ----------------------------------------------------------------------
+# heartbeats
+
+
+class TestHeartbeatMonitor:
+    def test_fresh_shard_is_not_stalled(self):
+        monitor = HeartbeatMonitor(1.0, FakeClock())
+        assert not monitor.stalled(0)
+
+    def test_stall_after_silence(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(1.0, clock)
+        monitor.beat(0)
+        clock.advance(0.9)
+        assert not monitor.stalled(0)
+        clock.advance(0.2)
+        assert monitor.stalled(0)
+
+    def test_beat_resets_the_budget(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(1.0, clock)
+        monitor.beat(0)
+        clock.advance(0.9)
+        monitor.beat(0)
+        clock.advance(0.9)
+        assert not monitor.stalled(0)
+
+    def test_shards_are_independent(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(1.0, clock)
+        monitor.beat(0)
+        monitor.beat(1)
+        clock.advance(1.5)
+        monitor.beat(1)
+        assert monitor.stalled(0)
+        assert not monitor.stalled(1)
+
+    def test_disarm_silences_the_watchdog(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(1.0, clock)
+        monitor.beat(0)
+        clock.advance(5.0)
+        monitor.disarm(0)
+        assert not monitor.stalled(0)
+
+    def test_none_timeout_disables_detection(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(None, clock)
+        monitor.beat(0)
+        clock.advance(1e9)
+        assert not monitor.stalled(0)
+
+    def test_silence_reports_elapsed(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(1.0, clock)
+        assert monitor.silence(0) == 0.0
+        monitor.beat(0)
+        clock.advance(2.5)
+        assert monitor.silence(0) == pytest.approx(2.5)
+
+
+# ----------------------------------------------------------------------
+# checkpoint quarantine surgery
+
+
+def serving_checkpoint(queries=None):
+    engine = MultiQueryEngine(queries or {"q1": "_*.b", "q2": "_*.c"})
+    for _ in engine.serve(DOC, cursor=StreamCursor()):
+        pass
+    return engine, engine.checkpoint()
+
+
+class TestQuarantineInCheckpoint:
+    def test_latches_breaker_and_drops_network(self):
+        _engine, checkpoint = serving_checkpoint()
+        edited = quarantine_in_checkpoint(checkpoint, ["q1"], max_trips=3)
+        payload = edited.require("multiquery")
+        assert "q1" not in payload["networks"]
+        breaker = payload["serving"]["breakers"]["q1"]
+        assert breaker["state"] == "open"
+        assert breaker["trips"] == 3
+        outcome = payload["serving"]["outcomes"]["q1"]
+        assert outcome["status"] == "quarantined"
+        assert outcome["code"] == "POISON"
+        assert outcome["degraded"] is True
+
+    def test_original_checkpoint_is_untouched(self):
+        _engine, checkpoint = serving_checkpoint()
+        before = checkpoint.to_dict()
+        quarantine_in_checkpoint(checkpoint, ["q1"], max_trips=3)
+        assert checkpoint.to_dict() == before
+
+    def test_bumps_quarantine_counter_once(self):
+        _engine, checkpoint = serving_checkpoint()
+        payload = checkpoint.require("multiquery")
+        base = payload["serving"]["report"]["quarantines"]
+        edited = quarantine_in_checkpoint(checkpoint, ["q1"], max_trips=3)
+        twice = quarantine_in_checkpoint(edited, ["q1"], max_trips=3)
+        report = twice.require("multiquery")["serving"]["report"]
+        # Re-latching an already-quarantined query is idempotent.
+        assert report["quarantines"] == base + 1
+
+    def test_unknown_query_raises(self):
+        _engine, checkpoint = serving_checkpoint()
+        with pytest.raises(CheckpointError, match="not in the checkpoint"):
+            quarantine_in_checkpoint(checkpoint, ["ghost"], max_trips=3)
+
+    def test_non_serving_checkpoint_raises(self):
+        engine = MultiQueryEngine({"q1": "_*.b"})
+        cursor = StreamCursor()
+        for _ in engine.run(DOC, cursor=cursor):
+            pass
+        checkpoint = engine.checkpoint()
+        with pytest.raises(CheckpointError, match="non-serving"):
+            quarantine_in_checkpoint(checkpoint, ["q1"], max_trips=3)
+
+    def test_resume_keeps_latched_query_out(self):
+        from repro.xmlstream import iter_events
+
+        _engine, checkpoint = serving_checkpoint()
+        edited = quarantine_in_checkpoint(checkpoint, ["q1"], max_trips=3)
+        events = list(iter_events(DOC))
+        fresh = MultiQueryEngine({"q1": "_*.b", "q2": "_*.c"})
+        # Source = the consumed prefix plus one more document; resume
+        # skips the prefix, replays the second document, and the
+        # latched q1 must never produce again while q2 streams on.
+        replay = list(fresh.resume(edited, iter(events + events)))
+        assert {qid for qid, _ in replay} == {"q2"}
+        outcome = fresh.serving.outcomes["q1"]
+        assert outcome.status == "quarantined"
+        assert outcome.code == "POISON"
+
+
+# ----------------------------------------------------------------------
+# backoff
+
+
+class TestExponentialBackoff:
+    def test_deterministic_per_seed(self):
+        a = ExponentialBackoff(seed=7)
+        b = ExponentialBackoff(seed=7)
+        assert [a.delay(i) for i in range(1, 6)] == [
+            b.delay(i) for i in range(1, 6)
+        ]
+
+    def test_seeds_diverge(self):
+        a = ExponentialBackoff(seed=1)
+        b = ExponentialBackoff(seed=2)
+        assert [a.delay(i) for i in range(1, 6)] != [
+            b.delay(i) for i in range(1, 6)
+        ]
+
+    def test_growth_and_cap(self):
+        backoff = ExponentialBackoff(
+            initial=1.0, factor=2.0, maximum=8.0, jitter=0.0
+        )
+        assert [backoff.delay(i) for i in range(1, 6)] == [
+            1.0,
+            2.0,
+            4.0,
+            8.0,
+            8.0,
+        ]
+
+    def test_jitter_stays_in_band(self):
+        backoff = ExponentialBackoff(
+            initial=1.0, factor=1.0, maximum=10.0, jitter=0.1, seed=3
+        )
+        for _ in range(100):
+            assert 0.9 <= backoff.delay(1) <= 1.1
+
+
+# ----------------------------------------------------------------------
+# per-shard fault seeding
+
+
+class TestFaultInjectorForShard:
+    def test_derived_streams_differ(self):
+        base = FaultInjector(seed=42)
+        a, b = base.for_shard(0), base.for_shard(1)
+        assert a.seed != b.seed
+        assert [a.rng.random() for _ in range(5)] != [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_derivation_is_reproducible(self):
+        assert (
+            FaultInjector(seed=42).for_shard(3).seed
+            == FaultInjector(seed=42).for_shard(3).seed
+        )
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(seed=1).for_shard(-1)
+
+
+# ----------------------------------------------------------------------
+# breaker latch
+
+
+class TestBreakerLatch:
+    def test_latch_exhausts_the_breaker(self):
+        breaker = CircuitBreaker(BreakerPolicy(max_trips=3))
+        breaker.latch()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 3
+        assert not breaker.admits()
+
+    def test_latch_never_lowers_trips(self):
+        breaker = CircuitBreaker(BreakerPolicy(max_trips=2))
+        breaker.trips = 5
+        breaker.latch()
+        assert breaker.trips == 5
+
+    def test_latch_requires_finite_max_trips(self):
+        breaker = CircuitBreaker(BreakerPolicy(max_trips=None))
+        with pytest.raises(ValueError):
+            breaker.latch()
+
+
+# ----------------------------------------------------------------------
+# report codec / merge
+
+
+class TestServingReportCodec:
+    def make(self):
+        report = ServingReport()
+        report.documents_seen = 2
+        report.breaker_trips = 1
+        outcome = report.outcome("q1")
+        outcome.status = "quarantined"
+        outcome.code = "POISON"
+        outcome.degraded = True
+        outcome.matches = 4
+        return report
+
+    def test_round_trip(self):
+        report = self.make()
+        again = ServingReport.from_obj(report.to_obj())
+        assert again.to_obj() == report.to_obj()
+        assert again.outcomes["q1"].code == "POISON"
+
+    def test_merged_sums_counters(self):
+        left, right = self.make(), ServingReport()
+        right.documents_seen = 5
+        right.quarantines = 2
+        right.outcome("q2").matches = 7
+        merged = ServingReport.merged([left, right])
+        # documents_seen is per-stream, not additive across shards.
+        assert merged.documents_seen == 5
+        assert merged.breaker_trips == 1
+        assert merged.quarantines == 2
+        assert set(merged.outcomes) == {"q1", "q2"}
+
+    def test_outcome_round_trip(self):
+        outcome = QueryOutcome("q")
+        outcome.status = "degraded"
+        outcome.code = "DEADLINE_DOC"
+        outcome.matches = 3
+        again = QueryOutcome.from_obj("q", outcome.to_obj())
+        assert again.to_obj() == outcome.to_obj()
+
+
+# ----------------------------------------------------------------------
+# config validation
+
+
+class TestShardConfig:
+    def test_defaults_are_valid(self):
+        config = ShardConfig()
+        assert config.shards == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"partition": "modulo"},
+            {"heartbeat_interval": 0.0},
+            {"heartbeat_interval": 2.0, "heartbeat_timeout": 1.0},
+            {"max_trips": 0},
+            {"batch_events": 0},
+            {"queue_batches": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardConfig(**kwargs)
+
+    def test_none_timeout_is_allowed(self):
+        assert ShardConfig(heartbeat_timeout=None).heartbeat_timeout is None

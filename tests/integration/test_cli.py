@@ -314,3 +314,62 @@ class TestServeCommand:
     def test_bad_priority_rejected(self, doc_file, capsys):
         assert main(["serve", "q=a", "--priority", "zz=1", "--file", doc_file]) == 2
         assert "--priority" in capsys.readouterr().err
+
+    def test_sharded_counts_match_single_process(self, doc_file, capsys):
+        assert (
+            main(["serve", "--count", "b=_*.b", "c=_*.c", "--file", doc_file])
+            == 0
+        )
+        single = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "serve",
+                    "--count",
+                    "b=_*.b",
+                    "c=_*.c",
+                    "--shards",
+                    "2",
+                    "--file",
+                    doc_file,
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert captured.out == single
+        assert "2 shard(s)" in captured.err
+
+    def test_sharded_match_output(self, doc_file, capsys):
+        assert (
+            main(["serve", "c=_*.c", "--shards", "2", "--file", doc_file])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "<c></c>" in out
+        assert "2 match(es)" in out
+
+    def test_sharded_warns_on_non_strict(self, doc_file, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--count",
+                    "q=_*.b",
+                    "--shards",
+                    "2",
+                    "--on-error",
+                    "skip",
+                    "--file",
+                    doc_file,
+                ]
+            )
+            == 0
+        )
+        assert "ignored" in capsys.readouterr().err
+
+    def test_shards_must_be_positive(self, doc_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "q=a", "--shards", "0", "--file", doc_file])
+        assert excinfo.value.code == 2
+        assert "positive" in capsys.readouterr().err
