@@ -1,0 +1,103 @@
+"""Client side of the network service: subscribe, produce, receive.
+
+A self-contained tour of ``spex serve --listen``: the script starts an
+in-process :class:`repro.service.SpexService` on an ephemeral port (so
+it needs no running server), then speaks to it exactly the way a
+remote client would —
+
+1. a **subscriber** connection registers two rpeq queries and gets an
+   admission verdict per query (``ADMIT000`` here);
+2. a **producer** connection pushes a small multi-document stream;
+3. the subscriber reads ``match`` frames as they arrive, each tagged
+   with the query id and the global document index;
+4. the service drains gracefully, flushing every committed match and
+   saying goodbye with ``SVC007``.
+
+Point :meth:`SubscriberClient.connect` at a real host/port to talk to
+a ``spex serve --listen HOST:PORT`` process instead.
+
+Run with::
+
+    python examples/service_client.py
+"""
+
+import asyncio
+
+from repro.service import (
+    ProducerClient,
+    ServiceConfig,
+    SpexService,
+    SubscriberClient,
+)
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+SUBSCRIPTIONS = {
+    "rush-orders": "_*.order[rush]",
+    "all-skus": "_*.order._*.sku",
+}
+
+
+def order_document(sku: str, rush: bool) -> list:
+    events = [StartDocument(), StartElement("order")]
+    if rush:
+        events += [StartElement("rush"), EndElement("rush")]
+    events += [
+        StartElement("item"),
+        StartElement("sku"),
+        Text(sku),
+        EndElement("sku"),
+        EndElement("item"),
+        EndElement("order"),
+        EndDocument(),
+    ]
+    return events
+
+
+async def main() -> None:
+    service = SpexService(ServiceConfig())
+    host, port = await service.start()
+    print(f"service listening on {host}:{port}")
+
+    subscriber = await SubscriberClient.connect(host, port, tenant="demo")
+    for query_id, query in SUBSCRIPTIONS.items():
+        verdict = await subscriber.subscribe(query_id, query)
+        print(f"subscribed {query_id!r}: {verdict['status']} [{verdict['code']}]")
+
+    producer = await ProducerClient.connect(host, port, tenant="demo")
+    documents = [
+        order_document("A-100", rush=False),
+        order_document("B-200", rush=True),
+        order_document("C-300", rush=True),
+    ]
+    for document in documents:
+        await producer.send_events(document)
+    await producer.close()
+
+    async def read_matches() -> None:
+        async for frame in subscriber.frames():
+            if frame.get("type") == "match":
+                match = frame["match"]
+                print(
+                    f"document {frame['document']}: {frame['query_id']} "
+                    f"matched <{match['label']}> at position "
+                    f"{match['position']}"
+                )
+            elif frame.get("type") == "bye":
+                print(f"server said goodbye: [{frame['code']}] {frame['reason']}")
+
+    reading = asyncio.create_task(read_matches())
+    # graceful drain: every committed match is flushed before the bye
+    await service.stop()
+    await reading
+    await subscriber.close()
+    print(f"documents ingested: {service.stats.documents_ingested}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -185,6 +185,23 @@ def compare(
                     bool(gate.get("events_per_second", True)),
                 )
             )
+        # latency percentiles (the service workload): always rendered,
+        # never gated — tail latency on shared runners is load noise,
+        # but the trajectory should still show its drift at a glance
+        for metric in ("p50_ms", "p99_ms"):
+            base_latency = (base.get("detail") or {}).get(metric)
+            cur_latency = (cur.get("detail") or {}).get(metric)
+            if base_latency is not None and cur_latency is not None:
+                deltas.append(
+                    MetricDelta(
+                        workload,
+                        metric,
+                        float(base_latency),
+                        float(cur_latency),
+                        ok=True,
+                        note="informational (latency is never gated)",
+                    )
+                )
         base_peak = base.get("peak_memory_bytes")
         cur_peak = cur.get("peak_memory_bytes")
         if base_peak and cur_peak:

@@ -35,6 +35,14 @@ from .xmlstream.parser import parse_stream
 from .xmlstream.recovery import ErrorReport
 from .xmlstream.stats import measure
 
+#: Process exit codes, uniform across every serving mode (in-process,
+#: ``--shards N``, ``--listen``): 0 = clean, 1 = fatal error, 2 = usage,
+#: 3 = completed but degraded (shed/deadline/quarantine/forced close).
+EXIT_OK = 0
+EXIT_FATAL = 1
+EXIT_USAGE = 2
+EXIT_DEGRADED = 3
+
 
 def _events_from(path: str | None) -> Iterator[Event]:
     if path is None:
@@ -85,20 +93,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "(stdin cannot be re-read on resume)",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         if on_error != "strict":
             print(
                 "error: checkpointing requires --on-error strict",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         if resume and checkpoint_dir is None:
             print(
                 "error: --resume needs --checkpoint-dir to find the "
                 "checkpoint file",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         checkpoint = None
         if resume:
             checkpoint = Checkpoint.load(
@@ -163,6 +171,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_outcomes(outcomes: dict) -> bool:
+    """Print unhealthy/degraded query outcomes to stderr.
+
+    Shared by all three serving modes so their stderr shape and the
+    clean/degraded exit-code decision stay uniform.  Returns ``True``
+    when anything warranted :data:`EXIT_DEGRADED`.
+    """
+    degraded = False
+    for query_id, outcome in sorted(outcomes.items()):
+        # a clean close (unsubscribe, orderly disconnect) is normal
+        # lifecycle, not degradation — only flag it if it was forced
+        clean = outcome.healthy or (
+            outcome.status == "closed" and outcome.code is None
+        )
+        if clean and not outcome.degraded:
+            continue
+        degraded = True
+        detail = f"--   {query_id}: {outcome.status}"
+        if outcome.code is not None:
+            detail += f" [{outcome.code}]"
+        if outcome.reason is not None:
+            detail += f" {outcome.reason}"
+        print(detail, file=sys.stderr)
+    return degraded
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .core.multiquery import MultiQueryEngine
     from .core.serving import AdmissionPolicy, ServingPolicy
@@ -176,8 +210,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             query_id, text = f"q{index}", spec
         if query_id in queries:
             print(f"error: duplicate query id {query_id!r}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         queries[query_id] = text
+    if args.listen is None and not queries:
+        print(
+            "error: at least one QUERY is required (queries arrive over "
+            "the wire only in --listen mode)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
 
     admission = None
     if args.admission is not None:
@@ -190,14 +231,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             print(f"error: bad --admission value: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
 
     priorities: dict[str, int] = {}
     for spec in args.priority or ():
         query_id, _, value = spec.partition("=")
         if not value or query_id not in queries:
             print(f"error: bad --priority {spec!r} (want ID=N)", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         priorities[query_id] = int(value)
 
     policy = ServingPolicy(
@@ -214,6 +255,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         priorities=priorities,
     )
     parser_limits = ParserLimits.default() if args.harden else None
+    if args.listen is not None:
+        return _serve_listen(args, queries, policy, admission)
     if args.shards > 1:
         return _serve_sharded(args, queries, policy, admission, parser_limits)
     engine = MultiQueryEngine(
@@ -255,20 +298,96 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"-- {total} match(es) across {len(queries)} quer(y/ies)")
     serving = engine.serving
     print(f"-- serving: {serving.summary()}", file=sys.stderr)
-    degraded_exit = False
-    for query_id, outcome in sorted(serving.outcomes.items()):
-        if outcome.healthy and not outcome.degraded:
-            continue
-        degraded_exit = True
-        detail = f"--   {query_id}: {outcome.status}"
-        if outcome.code is not None:
-            detail += f" [{outcome.code}]"
-        if outcome.reason is not None:
-            detail += f" {outcome.reason}"
-        print(detail, file=sys.stderr)
+    degraded_exit = _report_outcomes(serving.outcomes)
     if not report.ok:
         print(f"-- recovered: {report.summary()}", file=sys.stderr)
-    return 3 if degraded_exit else 0
+    return EXIT_DEGRADED if degraded_exit else EXIT_OK
+
+
+def _serve_listen(
+    args: argparse.Namespace, queries: dict[str, str], policy, admission
+) -> int:
+    """``spex serve --listen HOST:PORT``: the asyncio network frontend."""
+    import asyncio
+    import signal
+
+    from .service.server import ServiceConfig, SpexService
+
+    if queries:
+        print(
+            "error: --listen takes queries from subscribers over the "
+            "wire, not from the command line",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.shards > 1:
+        print("error: --listen and --shards are exclusive", file=sys.stderr)
+        return EXIT_USAGE
+    if args.file:
+        print(
+            "error: --listen ingests documents from producer "
+            "connections, not --file",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    host, sep, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+        if not sep or not host or not 0 <= port <= 65535:
+            raise ValueError(port_text)
+    except ValueError:
+        print(
+            f"error: bad --listen address {args.listen!r} (want HOST:PORT; "
+            "port 0 binds an ephemeral port)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        config = ServiceConfig(
+            host=host,
+            port=port,
+            serving=policy,
+            admission=admission,
+            limits=_limits_from(args),
+            overflow=args.overflow,
+            subscriber_queue=args.queue_size,
+            checkpoint_path=args.checkpoint_file,
+            max_subscriptions_per_tenant=args.tenant_budget,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    async def _run() -> SpexService:
+        service = SpexService(config)
+        bound_host, bound_port = await service.start()
+        # announced (and flushed) before serving so a supervisor — or a
+        # test — can discover an ephemeral port by reading one line
+        print(f"-- listening on {bound_host}:{bound_port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, service.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await service.serve_until_done()
+        return service
+
+    service = asyncio.run(_run())
+    serving = service.engine.serving
+    stats = service.stats
+    print(f"-- serving: {serving.summary()}", file=sys.stderr)
+    print(
+        f"-- service: {stats.connections} connection(s), "
+        f"{stats.documents_ingested} document(s) ingested, "
+        f"{stats.documents_rejected} rejected, "
+        f"{stats.frames_shed} frame(s) shed, "
+        f"{stats.forced_disconnects} forced disconnect(s), "
+        f"{stats.checkpoints_written} checkpoint(s) written",
+        file=sys.stderr,
+    )
+    degraded_exit = _report_outcomes(serving.outcomes)
+    return EXIT_DEGRADED if degraded_exit or service.degraded else EXIT_OK
 
 
 def _serve_sharded(
@@ -333,18 +452,8 @@ def _serve_sharded(
             f"[{entry.code}] {entry.detail}",
             file=sys.stderr,
         )
-    degraded_exit = False
-    for query_id, outcome in sorted(result.report.outcomes.items()):
-        if outcome.healthy and not outcome.degraded:
-            continue
-        degraded_exit = True
-        detail = f"--   {query_id}: {outcome.status}"
-        if outcome.code is not None:
-            detail += f" [{outcome.code}]"
-        if outcome.reason is not None:
-            detail += f" {outcome.reason}"
-        print(detail, file=sys.stderr)
-    return 3 if degraded_exit else 0
+    degraded_exit = _report_outcomes(result.report.outcomes)
+    return EXIT_DEGRADED if degraded_exit else EXIT_OK
 
 
 def _cmd_xpath(args: argparse.Namespace) -> int:
@@ -398,7 +507,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         targets = [("query", args.query)]
     else:
         print("error: give a QUERY, --workloads, or --list-codes", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     dtd = None
     if args.dtd is not None:
@@ -445,7 +554,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "bench mode)",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     run = trajectory.run_smoke(
         measure_memory=not args.no_memory, workloads=args.workloads
     )
@@ -479,7 +588,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"error: no BENCH_*.json baseline in {base}",
                     file=sys.stderr,
                 )
-                return 2
+                return EXIT_USAGE
             base = entry
         try:
             report = compare_runs(
@@ -489,7 +598,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             # e.g. --workload subset narrower than what the baseline
             # records, or a schema-version mismatch
             print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         print(report.render())
         return 0 if report.ok else 1
     return 0
@@ -571,13 +680,18 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="evaluate many queries in one pass with bulkhead isolation, "
         "circuit breakers, deadlines and admission control",
+        description="Exit codes are uniform across all serving modes "
+        "(in-process, --shards N, --listen): 0 clean, 1 fatal, 2 usage, "
+        "3 completed but degraded (shed/deadline/quarantine/forced "
+        "disconnect).",
     )
     serve.add_argument(
         "queries",
-        nargs="+",
+        nargs="*",
         metavar="QUERY",
         help="rpeq queries, optionally named as ID=RPEQ (default ids: "
-        "q1, q2, ...)",
+        "q1, q2, ...); required except with --listen, where subscribers "
+        "register queries over the wire",
     )
     serve.add_argument(
         "--file",
@@ -691,6 +805,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard assignment strategy: stable hash of the query id, or "
         "prefix affinity (queries sharing their first path step "
         "co-locate); only with --shards > 1",
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="run as a network service: producers push XML event "
+        "streams, subscribers register queries and receive matches "
+        "over NDJSON/TCP; port 0 binds an ephemeral port (announced "
+        "on stdout); SIGTERM drains gracefully",
+    )
+    serve.add_argument(
+        "--overflow",
+        choices=["block", "shed_oldest", "disconnect"],
+        default="block",
+        help="--listen only: default policy when a subscriber's output "
+        "queue fills — block (end-to-end backpressure), shed_oldest "
+        "(lossy, SHED001 notices), disconnect (SVC006 bye); "
+        "subscribers may override per connection",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=256,
+        metavar="N",
+        dest="queue_size",
+        help="--listen only: default per-subscriber output queue bound "
+        "(default: 256)",
+    )
+    serve.add_argument(
+        "--checkpoint-file",
+        metavar="FILE",
+        dest="checkpoint_file",
+        help="--listen only: write a document-boundary checkpoint here "
+        "on graceful drain (resumable with the offline engine)",
+    )
+    serve.add_argument(
+        "--tenant-budget",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        dest="tenant_budget",
+        help="--listen only: cap concurrent subscriptions per tenant "
+        "(excess rejected with SVC009)",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -822,7 +979,7 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FATAL
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -361,23 +361,7 @@ class MultiQueryEngine:
         serving = ServingReport()
         self.serving = serving
         for query_id in self.queries:
-            outcome = serving.outcome(query_id)
-            decision = self.admissions.get(query_id)
-            if decision is None:
-                serving.admitted += 1
-                continue
-            if not decision.admitted:
-                outcome.status = "rejected"
-                outcome.code = decision.code
-                outcome.reason = decision.reason
-                serving.rejected += 1
-            else:
-                serving.admitted += 1
-                if decision.degraded:
-                    outcome.degraded = True
-                    outcome.code = decision.code
-                    outcome.reason = decision.reason
-                    serving.admitted_degraded += 1
+            self._admission_outcome(serving, query_id)
         recovery = as_policy(on_error)
         if recovery is not RecoveryPolicy.STRICT:
             if cursor is not None:
@@ -412,6 +396,78 @@ class MultiQueryEngine:
         if cursor is not None:
             events = cursor.attach(events)
         return self._serve_pump(networks, events, policy, serving, breakers, clock)
+
+    def _admission_outcome(self, serving: ServingReport, query_id: str) -> bool:
+        """Record a query's admission decision in ``serving``.
+
+        Returns ``True`` when the query may join the pass (cleanly or
+        degraded), ``False`` on a rejection.
+        """
+        outcome = serving.outcome(query_id)
+        decision = self.admissions.get(query_id)
+        if decision is None:
+            serving.admitted += 1
+            return True
+        if not decision.admitted:
+            outcome.status = "rejected"
+            outcome.code = decision.code
+            outcome.reason = decision.reason
+            serving.rejected += 1
+            return False
+        serving.admitted += 1
+        if decision.degraded:
+            outcome.degraded = True
+            outcome.code = decision.code
+            outcome.reason = decision.reason
+            serving.admitted_degraded += 1
+        return True
+
+    def start_pump(
+        self,
+        policy: ServingPolicy | None = None,
+        clock: Clock | None = None,
+        cursor: StreamCursor | None = None,
+        quarantined: Iterable[str] = (),
+    ) -> "ServePump":
+        """Open a push-mode serving pass (see :class:`ServePump`).
+
+        This is :meth:`serve` with the event loop inverted: instead of
+        handing over a source iterable and consuming a match iterator,
+        the caller *pushes* events into the returned pump one at a time
+        and receives each event's matches synchronously.  The asyncio
+        service frontend (:mod:`repro.service`) is built on this — an
+        event arriving over the network cannot be pulled by a generator,
+        so the pump is the shape the state machine must have there.
+        Both entry points execute the same per-event transition
+        (:meth:`ServePump.feed`), which is what makes a served
+        subscriber's match stream bit-identical to an offline
+        :meth:`serve` pass by construction.
+
+        Passing a ``cursor`` keeps the pass checkpointable: the pump
+        advances it before processing each event (the update-then-
+        process invariant of :meth:`StreamCursor.attach
+        <repro.xmlstream.offsets.StreamCursor.attach>`), so
+        :meth:`checkpoint` may be called between any two :meth:`feed`
+        calls.  ``quarantined`` pre-latches poison-pill queries exactly
+        as in :meth:`serve`.
+        """
+        policy = policy if policy is not None else ServingPolicy()
+        clock = as_clock(clock)
+        serving = ServingReport()
+        self.serving = serving
+        for query_id in self.queries:
+            self._admission_outcome(serving, query_id)
+        networks = self._compile_all(clock=clock)
+        breakers = {
+            query_id: CircuitBreaker(policy.breaker) for query_id in networks
+        }
+        self._last_networks = networks
+        self._last_cursor = cursor
+        self._breakers = breakers
+        self._latch_poisoned(networks, serving, breakers, quarantined)
+        return ServePump(
+            self, networks, policy, serving, breakers, clock, cursor=cursor
+        )
 
     def _detach(
         self,
@@ -563,94 +619,14 @@ class MultiQueryEngine:
 
         ``live`` is mutated in place (detached queries leave it), so a
         concurrent :meth:`checkpoint` snapshots exactly the still-live
-        sub-networks.
+        sub-networks.  The per-event transition itself lives in
+        :class:`ServePump`; this is its pull-mode driver.
         """
-        robustness = self.robustness
-        stream_deadline = (
-            clock.monotonic() + policy.stream_deadline
-            if policy.stream_deadline is not None
-            else None
-        )
-        doc_deadline: float | None = None
-        check_clock = stream_deadline is not None or policy.doc_deadline is not None
+        pump = ServePump(self, live, policy, serving, breakers, clock)
         for event in events:
-            cls = event.__class__
-            if cls is StartDocument:
-                serving.documents_seen += 1
-                if policy.doc_deadline is not None:
-                    doc_deadline = clock.monotonic() + policy.doc_deadline
-                for query_id in breakers:
-                    if query_id not in live:
-                        self._readmit(live, serving, breakers, query_id, clock)
-            if check_clock:
-                now = clock.monotonic()
-                if stream_deadline is not None and now > stream_deadline:
-                    reason = str(
-                        DeadlineExceeded(
-                            f"stream deadline of {policy.stream_deadline}s "
-                            f"expired",
-                            scope="stream",
-                        )
-                    )
-                    for query_id in list(live):
-                        flushed = self._detach(
-                            live, serving, query_id, "deadline",
-                            "DEADLINE_STREAM", reason,
-                        )
-                        serving.deadline_hits += 1
-                        robustness.deadline_hits += 1
-                        for match in flushed:
-                            yield query_id, match
-                    return
-                if doc_deadline is not None and now > doc_deadline and live:
-                    reason = str(
-                        DeadlineExceeded(
-                            f"document deadline of {policy.doc_deadline}s "
-                            f"expired",
-                            scope="document",
-                        )
-                    )
-                    for query_id in list(live):
-                        flushed = self._detach(
-                            live, serving, query_id, "deadline",
-                            "DEADLINE_DOC", reason,
-                        )
-                        serving.deadline_hits += 1
-                        robustness.deadline_hits += 1
-                        for match in flushed:
-                            yield query_id, match
-                    doc_deadline = None
-            for query_id in list(live):
-                network = live[query_id]
-                try:
-                    matches = network.process_event(event)
-                except Exception as exc:
-                    if not policy.quarantine:
-                        raise
-                    flushed = self._quarantine(
-                        live, serving, breakers, query_id, exc
-                    )
-                    for match in flushed:
-                        yield query_id, match
-                    continue
-                if matches:
-                    serving.outcome(query_id).matches += len(matches)
-                    for match in matches:
-                        yield query_id, match
-            if cls is EndDocument:
-                doc_deadline = None
-                for query_id in live:
-                    if breakers[query_id].record_document_success():
-                        serving.outcome(query_id).readmissions += 1
-                        serving.readmissions += 1
-                        robustness.readmissions += 1
-            if policy.shed_buffered_events is not None and live:
-                total = sum(
-                    sum(s.buffered_events for s in network.sinks)
-                    for network in live.values()
-                )
-                if total > policy.shed_buffered_events:
-                    yield from self._shed(live, serving, policy, total)
+            yield from pump.feed(event)
+            if pump.finished:
+                return
 
     def _serve_recovering(
         self,
@@ -1073,6 +1049,237 @@ class MultiQueryEngine:
             except ResourceLimitError as exc:
                 report.add(doc_index, str(exc), "limit")
                 report.documents_skipped += 1
+
+
+class ServePump:
+    """Push-mode bulkhead state machine: one :meth:`feed` per event.
+
+    Both serving entry points run through this class —
+    :meth:`MultiQueryEngine.serve` pulls a source iterable through it,
+    and the asyncio service frontend (:mod:`repro.service`) pushes
+    events arriving over the network into it.  Every bulkhead semantic
+    of the serving layer (quarantine, breakers, deadlines, shedding,
+    document-boundary re-admission) therefore has exactly one
+    implementation, and a network subscriber's match stream is
+    bit-identical to an offline :meth:`~MultiQueryEngine.serve` pass by
+    construction.
+
+    On top of the per-event transition the pump supports the *dynamic
+    subscription set* a long-lived service needs: :meth:`attach`
+    registers a query mid-pass (it joins at the next document boundary,
+    the same place breaker re-admissions happen), and :meth:`close`
+    withdraws one (a departed subscriber) without the breaker penalty a
+    quarantine carries.
+
+    Not thread-safe: feed/attach/close must come from one driver.
+    """
+
+    def __init__(
+        self,
+        engine: MultiQueryEngine,
+        live: dict[str, Network],
+        policy: ServingPolicy,
+        serving: ServingReport,
+        breakers: dict[str, CircuitBreaker],
+        clock: Clock,
+        cursor: StreamCursor | None = None,
+    ) -> None:
+        self._engine = engine
+        self._live = live
+        self.policy = policy
+        self.serving = serving
+        self._breakers = breakers
+        self._clock = clock
+        self._cursor = cursor
+        #: set once the stream deadline expired: the pass is over and
+        #: further :meth:`feed` calls are a :class:`~repro.errors.EngineError`.
+        self.finished = False
+        self._stream_deadline = (
+            clock.monotonic() + policy.stream_deadline
+            if policy.stream_deadline is not None
+            else None
+        )
+        self._doc_deadline: float | None = None
+        #: whether a ``<$>`` has been fed and its ``</$>`` has not —
+        #: the drain logic of the service uses this to stop at a
+        #: document-boundary checkpoint.
+        self.in_document = False
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def live_queries(self) -> list[str]:
+        """Queries currently attached to the pass (sorted)."""
+        return sorted(self._live)
+
+    @property
+    def at_document_boundary(self) -> bool:
+        """True between documents — the checkpoint-commit positions."""
+        return not self.in_document
+
+    # ------------------------------------------------------------------
+    # dynamic subscription set
+
+    def attach(self, query_id: str) -> bool:
+        """Join a (freshly registered) query; effective next document.
+
+        The query must already be registered on the engine
+        (:meth:`MultiQueryEngine.add_query`, which classifies admission
+        and runs pre-flight).  Returns ``False`` when admission rejected
+        the query — its outcome then reads ``rejected`` with the
+        ``ADMIT`` code, and it never touches the stream.  Admitted
+        queries join at the next ``<$>`` through the same re-admission
+        path a recovered breaker uses, so mid-document joins can never
+        observe a half-seen document.
+        """
+        if query_id in self._breakers:
+            raise EngineError(f"query {query_id!r} is already attached")
+        if query_id not in self._engine.queries:
+            raise EngineError(
+                f"query {query_id!r} is not registered on the engine"
+            )
+        if not self._engine._admission_outcome(self.serving, query_id):
+            return False
+        self._breakers[query_id] = CircuitBreaker(self.policy.breaker)
+        return True
+
+    def close(
+        self,
+        query_id: str,
+        status: str = "closed",
+        code: str | None = None,
+        reason: str | None = None,
+        degraded: bool = False,
+    ) -> list[Match]:
+        """Withdraw a query from the pass (a departed subscriber).
+
+        Unlike a quarantine this is not a failure: no breaker trip, no
+        ``degraded`` mark unless the caller says so (the service marks
+        forced disconnects — overflow, write timeout — degraded, and
+        voluntary unsubscribes clean).  Returns the query's already-
+        decided but undelivered matches so the caller can flush them.
+        """
+        if self._breakers.pop(query_id, None) is None:
+            return []
+        outcome = self.serving.outcome(query_id)
+        outcome.status = status
+        outcome.code = code
+        outcome.reason = reason
+        if degraded:
+            outcome.degraded = True
+        network = self._live.pop(query_id, None)
+        flushed: list[Match] = []
+        if network is not None:
+            for sink in network.sinks:
+                flushed.extend(sink.results)
+                sink.results.clear()
+        outcome.matches += len(flushed)
+        return flushed
+
+    # ------------------------------------------------------------------
+    # the per-event transition
+
+    def feed(self, event: Event) -> list[tuple[str, Match]]:
+        """Process one event; return its ``(query_id, match)`` pairs.
+
+        Semantics are exactly those of the documented
+        :meth:`MultiQueryEngine.serve` loop: document boundaries
+        re-admit breakers and (re)arm the document deadline, expired
+        deadlines detach with ``DEADLINE_*`` outcomes (a stream-deadline
+        expiry additionally marks the pump :attr:`finished`), failing
+        queries are quarantined with their partial matches flushed, and
+        buffer pressure sheds the lowest-priority queries.
+        """
+        if self.finished:
+            raise EngineError("serving pass is finished (stream deadline)")
+        engine = self._engine
+        live = self._live
+        policy = self.policy
+        serving = self.serving
+        breakers = self._breakers
+        clock = self._clock
+        robustness = engine.robustness
+        out: list[tuple[str, Match]] = []
+        if self._cursor is not None:
+            self._cursor.advance(event)
+        cls = event.__class__
+        if cls is StartDocument:
+            self.in_document = True
+            serving.documents_seen += 1
+            if policy.doc_deadline is not None:
+                self._doc_deadline = clock.monotonic() + policy.doc_deadline
+            for query_id in breakers:
+                if query_id not in live:
+                    engine._readmit(live, serving, breakers, query_id, clock)
+        if self._stream_deadline is not None or policy.doc_deadline is not None:
+            now = clock.monotonic()
+            if self._stream_deadline is not None and now > self._stream_deadline:
+                reason = str(
+                    DeadlineExceeded(
+                        f"stream deadline of {policy.stream_deadline}s "
+                        f"expired",
+                        scope="stream",
+                    )
+                )
+                for query_id in list(live):
+                    flushed = engine._detach(
+                        live, serving, query_id, "deadline",
+                        "DEADLINE_STREAM", reason,
+                    )
+                    serving.deadline_hits += 1
+                    robustness.deadline_hits += 1
+                    out.extend((query_id, match) for match in flushed)
+                self.finished = True
+                return out
+            if self._doc_deadline is not None and now > self._doc_deadline and live:
+                reason = str(
+                    DeadlineExceeded(
+                        f"document deadline of {policy.doc_deadline}s "
+                        f"expired",
+                        scope="document",
+                    )
+                )
+                for query_id in list(live):
+                    flushed = engine._detach(
+                        live, serving, query_id, "deadline",
+                        "DEADLINE_DOC", reason,
+                    )
+                    serving.deadline_hits += 1
+                    robustness.deadline_hits += 1
+                    out.extend((query_id, match) for match in flushed)
+                self._doc_deadline = None
+        for query_id in list(live):
+            network = live[query_id]
+            try:
+                matches = network.process_event(event)
+            except Exception as exc:
+                if not policy.quarantine:
+                    raise
+                flushed = engine._quarantine(
+                    live, serving, breakers, query_id, exc
+                )
+                out.extend((query_id, match) for match in flushed)
+                continue
+            if matches:
+                serving.outcome(query_id).matches += len(matches)
+                out.extend((query_id, match) for match in matches)
+        if cls is EndDocument:
+            self.in_document = False
+            self._doc_deadline = None
+            for query_id in live:
+                if breakers[query_id].record_document_success():
+                    serving.outcome(query_id).readmissions += 1
+                    serving.readmissions += 1
+                    robustness.readmissions += 1
+        if policy.shed_buffered_events is not None and live:
+            total = sum(
+                sum(s.buffered_events for s in network.sinks)
+                for network in live.values()
+            )
+            if total > policy.shed_buffered_events:
+                out.extend(engine._shed(live, serving, policy, total))
+        return out
 
 
 def _spine(expr: Rpeq) -> list[Rpeq]:

@@ -511,14 +511,37 @@ class ServingReport:
             report.outcomes[query_id] = QueryOutcome.from_obj(query_id, state)
         return report
 
+    #: Outcome-status severity for :meth:`merged` conflicts.  Higher
+    #: wins: a quarantine latch reported by one shard must never be
+    #: papered over by a healthy outcome for the same query from
+    #: another report (e.g. a restarted worker that no longer ran the
+    #: query), and a rejection outranks transient detachments.
+    _MERGE_SEVERITY = {
+        "ok": 0,
+        "closed": 1,
+        "shed": 2,
+        "deadline": 3,
+        "rejected": 4,
+        "quarantined": 5,
+    }
+
     @classmethod
     def merged(cls, reports: "Iterable[ServingReport]") -> "ServingReport":
         """Merge per-shard reports into one service-wide report.
 
-        Queries are disjoint across shards, so outcomes union without
-        conflict; counters sum — except ``documents_seen``, which is the
-        max (every shard watches the same stream, so summing would count
-        each document once per shard).
+        Counters sum — except ``documents_seen``, which is the max
+        (every shard watches the same stream, so summing would count
+        each document once per shard).  Queries are normally disjoint
+        across shards so outcomes union; when two reports *do* carry
+        the same query id (a worker restarted mid-pass, or overlapping
+        partial reports), the outcomes are combined instead of
+        last-writer-wins: matches/readmissions sum, trips take the max,
+        ``degraded`` latches (once degraded, always degraded), and the
+        status/code/reason come from the more severe outcome per
+        :data:`_MERGE_SEVERITY` — so a quarantine latch survives the
+        merge no matter which report order the coordinator saw.
+
+        An empty iterable merges to an empty (all-zero) report.
         """
         merged = cls()
         for report in reports:
@@ -532,8 +555,31 @@ class ServingReport:
                         merged, name, getattr(merged, name) + getattr(report, name)
                     )
             for query_id, outcome in report.outcomes.items():
-                merged.outcomes[query_id] = outcome
+                existing = merged.outcomes.get(query_id)
+                if existing is None:
+                    merged.outcomes[query_id] = outcome
+                else:
+                    merged.outcomes[query_id] = cls._combine(existing, outcome)
         return merged
+
+    @classmethod
+    def _combine(cls, first: QueryOutcome, second: QueryOutcome) -> QueryOutcome:
+        """Fold two outcomes for the same query into one (see merged)."""
+        severity = cls._MERGE_SEVERITY
+        worse, other = first, second
+        if severity.get(second.status, 0) > severity.get(first.status, 0):
+            worse, other = second, first
+        return QueryOutcome(
+            query_id=first.query_id,
+            status=worse.status,
+            code=worse.code,
+            reason=worse.reason,
+            document=worse.document if worse.document is not None else other.document,
+            degraded=first.degraded or second.degraded,
+            matches=first.matches + second.matches,
+            trips=max(first.trips, second.trips),
+            readmissions=first.readmissions + second.readmissions,
+        )
 
     @property
     def healthy(self) -> list[str]:

@@ -1,0 +1,59 @@
+"""Async streaming service frontend (``spex serve --listen``).
+
+The network face of the SDI scenario: producers push XML event streams
+in over long-lived TCP connections, subscribers register rpeq queries
+and receive match frames — with the serving layer's bulkheads,
+breakers, admission control and deadlines applied per wire query, plus
+the transport-level robustness only a server needs (backpressure,
+overflow policies, clocked timeouts, heartbeats, graceful drain).
+
+Layering:
+
+* :mod:`repro.service.protocol` — transport-agnostic NDJSON frame codec
+  and code vocabulary;
+* :mod:`repro.service.server` — the asyncio TCP service around one
+  :class:`~repro.core.multiquery.ServePump`;
+* :mod:`repro.service.client` — thin asyncio producer/subscriber
+  clients;
+* :mod:`repro.service.loadgen` — load harness measuring p50/p99 match
+  latency and sustained ev/s, with seeded chaos modes.
+"""
+
+from .client import ProducerClient, ServiceConnection, SubscriberClient
+from .loadgen import LoadConfig, LoadReport, SubscriberResult, percentile, run_load
+from .protocol import (
+    MAX_FRAME_BYTES,
+    OVERFLOW_BLOCK,
+    OVERFLOW_DISCONNECT,
+    OVERFLOW_POLICIES,
+    OVERFLOW_SHED_OLDEST,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from .server import ServiceConfig, ServiceStats, SpexService, run_service
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OVERFLOW_BLOCK",
+    "OVERFLOW_DISCONNECT",
+    "OVERFLOW_POLICIES",
+    "OVERFLOW_SHED_OLDEST",
+    "PROTOCOL_VERSION",
+    "LoadConfig",
+    "LoadReport",
+    "ProducerClient",
+    "ProtocolError",
+    "ServiceConfig",
+    "ServiceConnection",
+    "ServiceStats",
+    "SpexService",
+    "SubscriberClient",
+    "SubscriberResult",
+    "decode_frame",
+    "encode_frame",
+    "percentile",
+    "run_load",
+    "run_service",
+]

@@ -1,0 +1,177 @@
+"""Minimal asyncio clients for the service wire protocol.
+
+These are deliberately thin — a connection, a handful of frame
+helpers, and an async frame iterator — so the load harness
+(:mod:`repro.service.loadgen`), the chaos tests and the example client
+all drive the server through the same code path a third-party client
+would implement from the protocol docs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Iterable, Sequence
+
+from ..xmlstream.events import Event
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ROLE_PRODUCER,
+    ROLE_SUBSCRIBER,
+    decode_frame,
+    encode_frame,
+    events_frame,
+    hello_frame,
+    subscribe_frame,
+    unsubscribe_frame,
+)
+
+
+class ServiceConnection:
+    """One NDJSON connection to a :class:`~repro.service.server.SpexService`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        role: str,
+        tenant: str = "default",
+        overflow: str | None = None,
+        queue_size: int | None = None,
+    ) -> "ServiceConnection":
+        """Connect, send ``hello``, and await the ``welcome``."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES + 2
+        )
+        conn = cls(reader, writer)
+        await conn.send(
+            hello_frame(role, tenant, overflow=overflow, queue_size=queue_size)
+        )
+        welcome = await conn.recv()
+        if welcome is None or welcome.get("type") != "welcome":
+            raise ConnectionError(f"handshake failed: {welcome!r}")
+        return conn
+
+    async def send(self, frame: dict) -> None:
+        self.writer.write(encode_frame(frame))
+        await self.writer.drain()
+
+    async def recv(self) -> dict | None:
+        """Next frame, or ``None`` at EOF."""
+        line = await self.reader.readline()
+        if not line:
+            return None
+        return decode_frame(line)
+
+    async def frames(self) -> AsyncIterator[dict]:
+        """Iterate frames until EOF or a ``bye`` (inclusive)."""
+        while True:
+            frame = await self.recv()
+            if frame is None:
+                return
+            yield frame
+            if frame.get("type") == "bye":
+                return
+
+    async def close(self) -> None:
+        if not self.writer.is_closing():
+            self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+class ProducerClient:
+    """Push event streams into the service, document batches at a time."""
+
+    def __init__(self, conn: ServiceConnection) -> None:
+        self.conn = conn
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, tenant: str = "default"
+    ) -> "ProducerClient":
+        return cls(await ServiceConnection.open(host, port, ROLE_PRODUCER, tenant))
+
+    async def send_events(self, events: Iterable[Event]) -> None:
+        await self.conn.send(events_frame(events))
+
+    async def send_raw(self, frame: dict) -> None:
+        await self.conn.send(frame)
+
+    async def close(self) -> None:
+        await self.conn.close()
+
+
+class SubscriberClient:
+    """Register queries and consume match frames."""
+
+    def __init__(self, conn: ServiceConnection) -> None:
+        self.conn = conn
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        overflow: str | None = None,
+        queue_size: int | None = None,
+    ) -> "SubscriberClient":
+        return cls(
+            await ServiceConnection.open(
+                host,
+                port,
+                ROLE_SUBSCRIBER,
+                tenant,
+                overflow=overflow,
+                queue_size=queue_size,
+            )
+        )
+
+    async def subscribe(self, query_id: str, query: str) -> dict:
+        """Send a ``subscribe`` and return its verdict frame.
+
+        Any frames that arrive before the verdict (heartbeats, matches
+        of earlier subscriptions) are buffered and replayed by
+        :meth:`frames` afterwards.
+        """
+        await self.conn.send(subscribe_frame(query_id, query))
+        self._buffered: list[dict] = getattr(self, "_buffered", [])
+        while True:
+            frame = await self.conn.recv()
+            if frame is None:
+                raise ConnectionError("connection closed awaiting verdict")
+            if frame.get("type") in ("subscribed", "rejected") and (
+                frame.get("query_id") == query_id
+            ):
+                return frame
+            self._buffered.append(frame)
+
+    async def subscribe_all(
+        self, subscriptions: Sequence[tuple[str, str]]
+    ) -> list[dict]:
+        return [await self.subscribe(qid, query) for qid, query in subscriptions]
+
+    async def unsubscribe(self, query_id: str) -> None:
+        await self.conn.send(unsubscribe_frame(query_id))
+
+    async def frames(self) -> AsyncIterator[dict]:
+        """All frames in order, including any buffered during subscribe."""
+        for frame in getattr(self, "_buffered", []):
+            yield frame
+            if frame.get("type") == "bye":
+                return
+        self._buffered = []
+        async for frame in self.conn.frames():
+            yield frame
+
+    async def close(self) -> None:
+        await self.conn.close()

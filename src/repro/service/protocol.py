@@ -1,0 +1,268 @@
+"""Wire protocol of the streaming service frontend.
+
+The service speaks *newline-delimited JSON frames* — one JSON object per
+line — over any byte transport.  This module is deliberately
+transport-agnostic: it knows how to encode, decode and validate frames,
+but never touches a socket, so an HTTP/WebSocket adapter can reuse it
+unchanged.  The asyncio TCP binding lives in
+:mod:`repro.service.server`.
+
+Two client roles exist, declared in the ``hello`` handshake frame:
+
+* **producers** push XML event streams in (``events`` frames carrying
+  batches in the checkpoint event codec of
+  :func:`repro.xmlstream.events.event_to_obj`);
+* **subscribers** register rpeq queries (``subscribe``) and receive
+  ``match`` frames over a long-lived connection.
+
+Server→client outcome frames reuse the serving layer's code vocabulary
+(``ADMIT000``–``ADMIT004`` admission decisions, ``SHED001`` load
+shedding, ``DEADLINE_*`` expiries) so a wire client sees exactly the
+codes an embedded :meth:`MultiQueryEngine.serve
+<repro.core.multiquery.MultiQueryEngine.serve>` caller would; genuinely
+transport-level conditions get their own ``SVC``-prefixed codes below.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from ..core.output_tx import Match
+from ..errors import ReproError
+from ..xmlstream.events import Event, event_from_obj, event_to_obj
+
+#: Protocol revision sent in the ``welcome`` frame.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one encoded frame (defense against a client feeding
+#: an unbounded line; producers must batch below this).
+MAX_FRAME_BYTES = 1_048_576
+
+# ----------------------------------------------------------------------
+# transport-level condition codes (the serving layer's ADMIT/SHED/
+# DEADLINE codes pass through verbatim; these cover what only the wire
+# can get wrong)
+
+SVC_MALFORMED_FRAME = "SVC001"  #: undecodable / oversized / non-object line
+SVC_PROTOCOL = "SVC002"  #: frame invalid for the connection's role or state
+SVC_HANDSHAKE_TIMEOUT = "SVC003"  #: no ``hello`` within the handshake window
+SVC_IDLE_TIMEOUT = "SVC004"  #: no traffic within the idle window
+SVC_WRITE_TIMEOUT = "SVC005"  #: subscriber would not accept writes in time
+SVC_OVERFLOW = "SVC006"  #: output queue overflowed under the disconnect policy
+SVC_DRAINING = "SVC007"  #: server is draining (SIGTERM); no new work accepted
+SVC_BAD_DOCUMENT = "SVC008"  #: producer document failed well-formedness
+SVC_TENANT_BUDGET = "SVC009"  #: tenant exceeded its subscription budget
+
+#: Per-subscriber output-queue overflow policies.
+OVERFLOW_BLOCK = "block"  #: block the producer side (end-to-end backpressure)
+OVERFLOW_SHED_OLDEST = "shed_oldest"  #: drop oldest matches, notify SHED001
+OVERFLOW_DISCONNECT = "disconnect"  #: force-close the slow subscriber
+OVERFLOW_POLICIES = (OVERFLOW_BLOCK, OVERFLOW_SHED_OLDEST, OVERFLOW_DISCONNECT)
+
+#: Client roles.
+ROLE_PRODUCER = "producer"
+ROLE_SUBSCRIBER = "subscriber"
+ROLES = (ROLE_PRODUCER, ROLE_SUBSCRIBER)
+
+
+class ProtocolError(ReproError):
+    """A frame violated the wire protocol.
+
+    ``code`` is one of the ``SVC*`` constants; the server answers with
+    an ``error`` frame carrying the same code and, for fatal
+    violations, closes the connection.
+    """
+
+    def __init__(self, message: str, code: str = SVC_PROTOCOL) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+# ----------------------------------------------------------------------
+# encode / decode
+
+
+def encode_frame(frame: Mapping) -> bytes:
+    """One frame → one compact JSON line (the only wire representation)."""
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes, max_bytes: int = MAX_FRAME_BYTES) -> dict:
+    """One received line → frame dict, enforcing size and shape.
+
+    Raises:
+        ProtocolError: the line is oversized, not valid JSON, not a JSON
+            object, or missing the ``type`` key (code ``SVC001``).
+    """
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds limit {max_bytes}",
+            code=SVC_MALFORMED_FRAME,
+        )
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            f"undecodable frame: {exc}", code=SVC_MALFORMED_FRAME
+        ) from exc
+    if not isinstance(frame, dict) or not isinstance(frame.get("type"), str):
+        raise ProtocolError(
+            "frame must be a JSON object with a string 'type'",
+            code=SVC_MALFORMED_FRAME,
+        )
+    return frame
+
+
+# ----------------------------------------------------------------------
+# client → server frames
+
+
+def hello_frame(
+    role: str,
+    tenant: str = "default",
+    overflow: str | None = None,
+    queue_size: int | None = None,
+) -> dict:
+    """Handshake: declare the connection's role and tenant.
+
+    Subscribers may also pick their output-queue ``overflow`` policy and
+    ``queue_size`` here (per connection — all of a subscriber's queries
+    share one ordered output queue).
+    """
+    if role not in ROLES:
+        raise ProtocolError(f"unknown role {role!r} (expected one of {ROLES})")
+    if overflow is not None and overflow not in OVERFLOW_POLICIES:
+        raise ProtocolError(
+            f"unknown overflow policy {overflow!r} "
+            f"(expected one of {OVERFLOW_POLICIES})"
+        )
+    frame = {
+        "type": "hello",
+        "role": role,
+        "tenant": tenant,
+        "version": PROTOCOL_VERSION,
+    }
+    if overflow is not None:
+        frame["overflow"] = overflow
+    if queue_size is not None:
+        frame["queue_size"] = queue_size
+    return frame
+
+
+def subscribe_frame(query_id: str, query: str) -> dict:
+    """Register one rpeq query on a subscriber connection."""
+    return {"type": "subscribe", "query_id": query_id, "query": query}
+
+
+def unsubscribe_frame(query_id: str) -> dict:
+    """Withdraw one query (a clean, non-degraded departure)."""
+    return {"type": "unsubscribe", "query_id": query_id}
+
+
+def events_frame(events: Iterable[Event]) -> dict:
+    """Producer batch: events in the checkpoint codec."""
+    return {"type": "events", "events": [event_to_obj(event) for event in events]}
+
+
+def events_from_frame(frame: Mapping) -> list[Event]:
+    """Decode a producer batch, mapping codec failures to ``SVC001``."""
+    payload = frame.get("events")
+    if not isinstance(payload, list):
+        raise ProtocolError(
+            "'events' frame must carry a list", code=SVC_MALFORMED_FRAME
+        )
+    try:
+        return [event_from_obj(obj) for obj in payload]
+    except (ValueError, TypeError, IndexError, KeyError) as exc:
+        raise ProtocolError(
+            f"undecodable event in batch: {exc}", code=SVC_MALFORMED_FRAME
+        ) from exc
+
+
+def ping_frame() -> dict:
+    return {"type": "ping"}
+
+
+# ----------------------------------------------------------------------
+# server → client frames
+
+
+def welcome_frame(role: str) -> dict:
+    return {"type": "welcome", "role": role, "version": PROTOCOL_VERSION}
+
+
+def subscribed_frame(
+    query_id: str, status: str, code: str | None, reason: str | None
+) -> dict:
+    """Admission verdict for one ``subscribe`` (status admit/degraded)."""
+    return {
+        "type": "subscribed",
+        "query_id": query_id,
+        "status": status,
+        "code": code,
+        "reason": reason,
+    }
+
+
+def rejected_frame(query_id: str, code: str, reason: str) -> dict:
+    """Admission (or tenant-budget) rejection of one ``subscribe``."""
+    return {"type": "rejected", "query_id": query_id, "code": code, "reason": reason}
+
+
+def match_to_obj(match: Match) -> dict:
+    """Wire form of one :class:`~repro.core.output_tx.Match`."""
+    obj: dict = {"position": match.position, "label": match.label}
+    if match.events is not None:
+        obj["events"] = [event_to_obj(event) for event in match.events]
+    return obj
+
+
+def match_from_obj(obj: Mapping) -> Match:
+    """Inverse of :func:`match_to_obj`."""
+    events = obj.get("events")
+    return Match(
+        position=int(obj["position"]),
+        label=str(obj["label"]),
+        events=tuple(event_from_obj(item) for item in events)
+        if events is not None
+        else None,
+    )
+
+
+def match_frame(query_id: str, match: Match, document: int) -> dict:
+    """One delivered match; ``document`` is the global document index
+    (0-based), which load harnesses use for client-side latency."""
+    return {
+        "type": "match",
+        "query_id": query_id,
+        "document": document,
+        "match": match_to_obj(match),
+    }
+
+
+def notice_frame(code: str, reason: str, query_id: str | None = None) -> dict:
+    """Non-fatal condition (shed matches, deadline detach, quarantine)."""
+    frame = {"type": "notice", "code": code, "reason": reason}
+    if query_id is not None:
+        frame["query_id"] = query_id
+    return frame
+
+
+def heartbeat_frame(documents: int) -> dict:
+    """Liveness beacon; ``documents`` is the engine's document count."""
+    return {"type": "heartbeat", "documents": documents}
+
+
+def pong_frame() -> dict:
+    return {"type": "pong"}
+
+
+def error_frame(code: str, reason: str) -> dict:
+    """Protocol-level complaint (the connection may stay open)."""
+    return {"type": "error", "code": code, "reason": reason}
+
+
+def bye_frame(code: str, reason: str) -> dict:
+    """Server-initiated close; always the last frame on the connection."""
+    return {"type": "bye", "code": code, "reason": reason}

@@ -1,0 +1,959 @@
+"""Asyncio streaming service: producers push streams, subscribers match.
+
+:class:`SpexService` binds the wire protocol of
+:mod:`repro.service.protocol` to TCP and drives one
+:class:`~repro.core.multiquery.ServePump` — the same push-mode state
+machine :meth:`MultiQueryEngine.serve
+<repro.core.multiquery.MultiQueryEngine.serve>` runs on — so a network
+subscriber's match stream is bit-identical to an offline pass by
+construction.
+
+Robustness properties, each enforced structurally rather than by luck:
+
+* **Per-connection fault domains.**  Every connection runs in its own
+  task; a client that sends garbage, crawls, or vanishes affects only
+  its own state.  Producer input is *document-atomic*: events are
+  buffered and well-formedness-checked per document before the engine
+  sees them, so a producer dying mid-document can never poison the
+  strict engine pump (the partial document is dropped, counted, and the
+  stream position never moves).
+* **End-to-end backpressure.**  Matches flow through a bounded
+  per-subscriber output queue; under the default ``block`` overflow
+  policy a full queue suspends the engine task, which stops draining
+  the bounded input document queue, which suspends producer read loops,
+  which stops reading their sockets — the TCP receive window closes and
+  the pressure reaches the true source.  ``shed_oldest`` trades loss
+  (marked ``degraded``, surfaced as ``SHED001`` notices) for liveness;
+  ``disconnect`` cuts the slow subscriber (``SVC006``).
+* **Admission at the wire.**  ``subscribe`` runs the d·σ cost
+  certifier's admission classification (``ADMIT000``–``ADMIT004``) and
+  a per-tenant subscription budget (``SVC009``); rejected queries never
+  touch the stream.
+* **Clocked timeouts.**  Handshake, idle and write deadlines are
+  *decided* against the injectable :class:`~repro.core.clock.Clock`
+  (the housekeeping task merely ticks on real time), so fault-injection
+  tests drive them with a :class:`~repro.core.clock.FakeClock` and zero
+  real waiting.
+* **Graceful drain.**  ``SIGTERM`` (via :meth:`SpexService.request_drain`)
+  stops accepting connections, lets producers finish in-flight
+  documents within a grace window, pumps the remaining input, takes a
+  document-boundary checkpoint (resumable via
+  :mod:`repro.core.checkpoint`), flushes every subscriber queue, and
+  says ``bye`` (``SVC007``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..core.checkpoint import Checkpoint
+from ..core.clock import Clock, as_clock
+from ..core.multiquery import MultiQueryEngine, ServePump
+from ..core.serving import AdmissionPolicy, ServingPolicy
+from ..errors import ReproError, StreamError
+from ..limits import ResourceLimits
+from ..xmlstream.events import EndDocument, Event, StartDocument
+from ..xmlstream.offsets import StreamCursor
+from ..xmlstream.validate import checked
+from .protocol import (
+    MAX_FRAME_BYTES,
+    OVERFLOW_BLOCK,
+    OVERFLOW_DISCONNECT,
+    OVERFLOW_POLICIES,
+    OVERFLOW_SHED_OLDEST,
+    ROLE_PRODUCER,
+    ROLE_SUBSCRIBER,
+    ROLES,
+    SVC_BAD_DOCUMENT,
+    SVC_DRAINING,
+    SVC_HANDSHAKE_TIMEOUT,
+    SVC_IDLE_TIMEOUT,
+    SVC_OVERFLOW,
+    SVC_PROTOCOL,
+    SVC_TENANT_BUDGET,
+    SVC_WRITE_TIMEOUT,
+    ProtocolError,
+    bye_frame,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    events_from_frame,
+    heartbeat_frame,
+    match_frame,
+    notice_frame,
+    pong_frame,
+    rejected_frame,
+    subscribed_frame,
+    welcome_frame,
+)
+
+#: Sentinels for the engine input queue and subscriber output queues.
+_DRAIN = object()
+_CLOSE = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`SpexService` enforces.
+
+    Attributes:
+        host / port: bind address (port 0 picks an ephemeral port;
+            read the actual one from :attr:`SpexService.address`).
+        serving: the :class:`~repro.core.serving.ServingPolicy` the
+            shared pass runs under (bulkheads, breakers, deadlines,
+            shedding — all of it applies to wire subscribers too).
+        admission: d·σ admission policy applied to every ``subscribe``
+            (``None`` admits everything as ``ADMIT000``).
+        limits: per-query :class:`~repro.limits.ResourceLimits`.
+        clock: injectable time source for every timeout decision.
+        handshake_timeout: seconds a connection may sit without a
+            ``hello`` (``SVC003``).
+        idle_timeout: seconds a producer (or a subscriber with no
+            subscriptions) may sit silent (``SVC004``); ``None``
+            disables.
+        write_timeout: seconds one subscriber write may stay blocked
+            before the connection is cut as a slow consumer
+            (``SVC005``).
+        heartbeat_interval: seconds between ``heartbeat`` frames to
+            subscribers; ``None`` disables.
+        subscriber_queue: default bound of a subscriber's output queue.
+        overflow: default overflow policy (one of
+            :data:`~repro.service.protocol.OVERFLOW_POLICIES`).
+        input_queue_documents: bound of the producer→engine document
+            queue — the backpressure coupling point.
+        drain_grace: seconds producers get to finish in-flight
+            documents during drain before being aborted.
+        checkpoint_path: where drain writes its document-boundary
+            checkpoint (``None`` skips checkpointing).
+        max_frame_bytes: per-line wire ceiling (``SVC001`` beyond).
+        max_subscriptions_per_tenant: tenant budget (``SVC009``);
+            ``None`` is unlimited.
+        tick: housekeeping cadence in *real* seconds (deadline decisions
+            themselves read :attr:`clock`).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    serving: ServingPolicy = field(default_factory=ServingPolicy)
+    admission: AdmissionPolicy | None = None
+    limits: ResourceLimits | None = None
+    clock: Clock | None = None
+    handshake_timeout: float = 5.0
+    idle_timeout: float | None = 60.0
+    write_timeout: float = 10.0
+    heartbeat_interval: float | None = 5.0
+    subscriber_queue: int = 256
+    overflow: str = OVERFLOW_BLOCK
+    input_queue_documents: int = 8
+    drain_grace: float = 5.0
+    checkpoint_path: str | None = None
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    max_subscriptions_per_tenant: int | None = None
+    tick: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {self.overflow!r}"
+            )
+        for name in (
+            "handshake_timeout",
+            "write_timeout",
+            "drain_grace",
+            "tick",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("idle_timeout", "heartbeat_interval"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+        for name in ("subscriber_queue", "input_queue_documents"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+
+
+@dataclass
+class ServiceStats:
+    """Operational counters, separate from the engine's ServingReport."""
+
+    connections: int = 0
+    producers: int = 0
+    subscribers: int = 0
+    documents_ingested: int = 0
+    documents_rejected: int = 0
+    partial_documents: int = 0
+    frames_shed: int = 0
+    forced_disconnects: int = 0
+    heartbeats_sent: int = 0
+    checkpoints_written: int = 0
+
+
+class _Connection:
+    """Per-socket state; every field is touched only from the event loop."""
+
+    def __init__(
+        self,
+        conn_id: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        clock: Clock,
+    ) -> None:
+        self.id = conn_id
+        self.reader = reader
+        self.writer = writer
+        self.role: str | None = None
+        self.tenant = "default"
+        self.opened_at = clock.monotonic()
+        self.last_activity = self.opened_at
+        self.closed = False
+        self.drain_requested = False
+        # producer state: the in-flight (not yet complete) document
+        self.partial: list[Event] = []
+        # subscriber state
+        self.overflow = OVERFLOW_BLOCK
+        self.queue: asyncio.Queue | None = None
+        self.queries: dict[str, str] = {}  # client query_id -> engine id
+        self.notified: dict[str, str] = {}  # engine id -> last notice code
+        self.shed_frames = 0
+        self.writing_since: float | None = None
+        self.writer_task: asyncio.Task | None = None
+
+    def send_now(self, frame: dict) -> None:
+        """Queue one line on the transport (never blocks, line-atomic)."""
+        if not self.closed and not self.writer.is_closing():
+            self.writer.write(encode_frame(frame))
+
+    def abort(self) -> None:
+        """Hard-cut the transport (breaks a stuck write immediately)."""
+        self.closed = True
+        transport = self.writer.transport
+        if transport is not None:
+            transport.abort()
+
+
+class SpexService:
+    """One engine, one listener, many producer/subscriber connections."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.clock = as_clock(self.config.clock)
+        self.stats = ServiceStats()
+        self.engine = MultiQueryEngine(
+            {},
+            limits=self.config.limits,
+            admission=self.config.admission,
+        )
+        self.pump: ServePump | None = None
+        self.address: tuple[str, int] | None = None
+        self.checkpoint: Checkpoint | None = None
+        self._server: asyncio.Server | None = None
+        self._input: asyncio.Queue | None = None
+        self._connections: set[_Connection] = set()
+        self._routes: dict[str, tuple[_Connection, str]] = {}
+        self._tenant_counts: dict[str, int] = {}
+        self._next_id = 0
+        self._draining = False
+        self._drain_task: asyncio.Task | None = None
+        self._engine_task: asyncio.Task | None = None
+        self._housekeeper: asyncio.Task | None = None
+        self._engine_done: asyncio.Event | None = None
+        self._done: asyncio.Event | None = None
+        self._last_heartbeat = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, start the engine pump, and begin accepting connections."""
+        config = self.config
+        self.pump = self.engine.start_pump(
+            policy=config.serving, clock=self.clock, cursor=StreamCursor()
+        )
+        self._input = asyncio.Queue(maxsize=config.input_queue_documents)
+        self._engine_done = asyncio.Event()
+        self._done = asyncio.Event()
+        self._last_heartbeat = self.clock.monotonic()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            config.host,
+            config.port,
+            limit=config.max_frame_bytes + 2,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        self._engine_task = asyncio.create_task(self._engine_loop())
+        self._housekeeper = asyncio.create_task(self._housekeeping_loop())
+        return self.address
+
+    async def serve_until_done(self) -> None:
+        """Block until a drain completes (install signal handlers first)."""
+        assert self._done is not None, "start() first"
+        await self._done.wait()
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown; idempotent, safe from signal handlers."""
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def stop(self) -> None:
+        """Drain and wait for completion."""
+        assert self._done is not None, "start() first"
+        self.request_drain()
+        await self._done.wait()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any query's delivery was degraded this pass."""
+        serving = self.engine.serving
+        if serving is None:
+            return False
+        return any(outcome.degraded for outcome in serving.outcomes.values())
+
+    # ------------------------------------------------------------------
+    # engine task: the single consumer of the document queue
+
+    async def _engine_loop(self) -> None:
+        assert self._input is not None and self.pump is not None
+        try:
+            while True:
+                document = await self._input.get()
+                if document is _DRAIN:
+                    break
+                for event in document:
+                    for engine_id, match in self.pump.feed(event):
+                        await self._deliver(engine_id, match)
+                self._notify_detachments()
+                # cooperative yield: one giant document must not starve
+                # accept/handshake processing forever
+                await asyncio.sleep(0)
+        finally:
+            assert self._engine_done is not None
+            self._engine_done.set()
+
+    async def _deliver(self, engine_id: str, match) -> None:
+        route = self._routes.get(engine_id)
+        if route is None:
+            return
+        conn, client_id = route
+        assert self.pump is not None and conn.queue is not None
+        frame = match_frame(
+            client_id, match, self.pump.serving.documents_seen - 1
+        )
+        if conn.overflow == OVERFLOW_BLOCK:
+            await conn.queue.put(frame)
+            return
+        if conn.overflow == OVERFLOW_SHED_OLDEST:
+            while conn.queue.full():
+                dropped = conn.queue.get_nowait()
+                if dropped is _CLOSE or (
+                    isinstance(dropped, dict) and dropped.get("type") == "bye"
+                ):
+                    # never shed the connection's own shutdown frames
+                    conn.queue.put_nowait(dropped)
+                    return
+                conn.shed_frames += 1
+                self.stats.frames_shed += 1
+                if isinstance(dropped, dict) and dropped.get("type") == "match":
+                    victim = conn.queries.get(dropped.get("query_id", ""))
+                    if victim is not None:
+                        self.pump.serving.outcome(victim).degraded = True
+            conn.queue.put_nowait(frame)
+            return
+        # OVERFLOW_DISCONNECT
+        if conn.queue.full():
+            self._force_close_subscriber(
+                conn,
+                SVC_OVERFLOW,
+                f"output queue of {conn.queue.maxsize} frame(s) overflowed",
+            )
+            return
+        conn.queue.put_nowait(frame)
+
+    def _notify_detachments(self) -> None:
+        """Surface quarantine/deadline/shed outcomes as wire notices."""
+        assert self.pump is not None
+        serving = self.pump.serving
+        for engine_id, route in list(self._routes.items()):
+            outcome = serving.outcomes.get(engine_id)
+            if outcome is None:
+                continue
+            conn, client_id = route
+            if outcome.status in ("quarantined", "deadline", "shed"):
+                code = outcome.code or outcome.status.upper()
+                if conn.notified.get(engine_id) != code:
+                    conn.notified[engine_id] = code
+                    self._enqueue_control(
+                        conn,
+                        notice_frame(code, outcome.reason or "", client_id),
+                    )
+            elif outcome.status == "ok" and engine_id in conn.notified:
+                conn.notified.pop(engine_id, None)
+                self._enqueue_control(
+                    conn,
+                    notice_frame("READMITTED", "query rejoined the pass", client_id),
+                )
+
+    def _enqueue_control(self, conn: _Connection, frame: dict) -> None:
+        """Best-effort control frame: dropped (not blocking) when full."""
+        if conn.closed or conn.queue is None:
+            return
+        try:
+            conn.queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            self.stats.frames_shed += 1
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(self._next_id, reader, writer, self.clock)
+        self._next_id += 1
+        self._connections.add(conn)
+        self.stats.connections += 1
+        try:
+            if self._draining:
+                conn.send_now(bye_frame(SVC_DRAINING, "server is draining"))
+                return
+            await self._handshake_and_run(conn)
+        except ProtocolError as exc:
+            conn.send_now(error_frame(exc.code, str(exc)))
+            conn.send_now(bye_frame(exc.code, "protocol violation; closing"))
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            ValueError,  # StreamReader raises it for over-limit lines
+        ):
+            pass
+        finally:
+            self._cleanup_connection(conn)
+
+    async def _handshake_and_run(self, conn: _Connection) -> None:
+        line = await conn.reader.readline()
+        if not line:
+            return
+        frame = decode_frame(line, self.config.max_frame_bytes)
+        if frame.get("type") != "hello":
+            raise ProtocolError(
+                f"expected 'hello', got {frame.get('type')!r}"
+            )
+        role = frame.get("role")
+        if role not in ROLES:
+            raise ProtocolError(f"unknown role {role!r} (expected one of {ROLES})")
+        conn.role = role
+        conn.tenant = str(frame.get("tenant", "default"))
+        conn.last_activity = self.clock.monotonic()
+        if role == ROLE_PRODUCER:
+            self.stats.producers += 1
+            conn.send_now(welcome_frame(role))
+            await self._producer_loop(conn)
+            return
+        self.stats.subscribers += 1
+        overflow = frame.get("overflow", self.config.overflow)
+        if overflow not in OVERFLOW_POLICIES:
+            raise ProtocolError(f"unknown overflow policy {overflow!r}")
+        conn.overflow = overflow
+        queue_size = int(frame.get("queue_size", self.config.subscriber_queue))
+        if queue_size < 1:
+            raise ProtocolError("queue_size must be at least 1")
+        conn.queue = asyncio.Queue(maxsize=queue_size)
+        conn.writer_task = asyncio.create_task(self._writer_loop(conn))
+        self._enqueue_control(conn, welcome_frame(role))
+        await self._subscriber_loop(conn)
+
+    # -------------------------------- producers
+
+    async def _producer_loop(self, conn: _Connection) -> None:
+        assert self._input is not None
+        while True:
+            if conn.drain_requested:
+                # Drain contract: everything the producer already sent
+                # (buffered on the socket or in the reader) still counts
+                # as committed — consume until a read would block, then
+                # say goodbye.  Cancelling readline is safe: partial
+                # lines stay in the StreamReader buffer.
+                try:
+                    line = await asyncio.wait_for(
+                        conn.reader.readline(), self.config.tick
+                    )
+                except TimeoutError:
+                    if conn.partial:
+                        continue  # mid-document: the grace window governs
+                    conn.send_now(bye_frame(SVC_DRAINING, "drained; thank you"))
+                    return
+            else:
+                line = await conn.reader.readline()
+            if not line:
+                return
+            conn.last_activity = self.clock.monotonic()
+            frame = decode_frame(line, self.config.max_frame_bytes)
+            kind = frame["type"]
+            if kind == "ping":
+                conn.send_now(pong_frame())
+                continue
+            if kind != "events":
+                conn.send_now(
+                    error_frame(
+                        SVC_PROTOCOL,
+                        f"producers send 'events' frames, got {kind!r}",
+                    )
+                )
+                continue
+            try:
+                events = events_from_frame(frame)
+            except ProtocolError as exc:
+                conn.send_now(error_frame(exc.code, str(exc)))
+                continue
+            await self._ingest(conn, events)
+
+    async def _ingest(self, conn: _Connection, events: list[Event]) -> None:
+        """Document-atomic ingestion.
+
+        Only *complete, well-formed* documents ever reach the engine
+        queue — a producer can disconnect, stall or babble mid-document
+        and the shared pass never sees a single event of it.
+        """
+        assert self._input is not None
+        for event in events:
+            if isinstance(event, StartDocument):
+                if conn.partial:
+                    self.stats.documents_rejected += 1
+                    conn.partial = []
+                    conn.send_now(
+                        error_frame(
+                            SVC_BAD_DOCUMENT,
+                            "new <$> before </$>: partial document dropped",
+                        )
+                    )
+                conn.partial.append(event)
+                continue
+            if not conn.partial:
+                self.stats.documents_rejected += 1
+                conn.send_now(
+                    error_frame(
+                        SVC_BAD_DOCUMENT,
+                        f"event {event} outside a <$> envelope: dropped",
+                    )
+                )
+                continue
+            conn.partial.append(event)
+            if isinstance(event, EndDocument):
+                document = conn.partial
+                conn.partial = []
+                try:
+                    list(checked(iter(document)))
+                except StreamError as exc:
+                    self.stats.documents_rejected += 1
+                    conn.send_now(
+                        error_frame(SVC_BAD_DOCUMENT, f"document dropped: {exc}")
+                    )
+                    continue
+                # bounded queue: this await is the backpressure point
+                await self._input.put(document)
+                self.stats.documents_ingested += 1
+
+    # -------------------------------- subscribers
+
+    async def _subscriber_loop(self, conn: _Connection) -> None:
+        while True:
+            line = await conn.reader.readline()
+            if not line or conn.closed:
+                return
+            conn.last_activity = self.clock.monotonic()
+            frame = decode_frame(line, self.config.max_frame_bytes)
+            kind = frame["type"]
+            if kind == "ping":
+                self._enqueue_control(conn, pong_frame())
+            elif kind == "subscribe":
+                await self._subscribe(conn, frame)
+            elif kind == "unsubscribe":
+                await self._unsubscribe(conn, frame)
+            else:
+                self._enqueue_control(
+                    conn,
+                    error_frame(
+                        SVC_PROTOCOL,
+                        f"subscribers send 'subscribe'/'unsubscribe', "
+                        f"got {kind!r}",
+                    ),
+                )
+
+    async def _subscribe(self, conn: _Connection, frame: dict) -> None:
+        assert self.pump is not None and conn.queue is not None
+        client_id = str(frame.get("query_id", ""))
+        query = frame.get("query")
+        if not client_id or not isinstance(query, str):
+            self._enqueue_control(
+                conn,
+                error_frame(
+                    SVC_PROTOCOL, "subscribe needs 'query_id' and 'query'"
+                ),
+            )
+            return
+        if client_id in conn.queries:
+            self._enqueue_control(
+                conn,
+                error_frame(
+                    SVC_PROTOCOL, f"query_id {client_id!r} already subscribed"
+                ),
+            )
+            return
+        if self._draining:
+            await conn.queue.put(
+                rejected_frame(client_id, SVC_DRAINING, "server is draining")
+            )
+            return
+        budget = self.config.max_subscriptions_per_tenant
+        if budget is not None and self._tenant_counts.get(conn.tenant, 0) >= budget:
+            await conn.queue.put(
+                rejected_frame(
+                    client_id,
+                    SVC_TENANT_BUDGET,
+                    f"tenant {conn.tenant!r} at its budget of {budget} "
+                    f"subscription(s)",
+                )
+            )
+            return
+        engine_id = f"c{conn.id}.{client_id}"
+        try:
+            self.engine.add_query(engine_id, query)
+        except ReproError as exc:
+            await conn.queue.put(
+                rejected_frame(client_id, SVC_PROTOCOL, f"query rejected: {exc}")
+            )
+            return
+        decision = self.engine.admissions.get(engine_id)
+        if not self.pump.attach(engine_id):
+            assert decision is not None  # attach only fails on rejection
+            self.engine.remove_query(engine_id)
+            await conn.queue.put(
+                rejected_frame(client_id, decision.code, decision.reason)
+            )
+            return
+        conn.queries[client_id] = engine_id
+        self._routes[engine_id] = (conn, client_id)
+        self._tenant_counts[conn.tenant] = (
+            self._tenant_counts.get(conn.tenant, 0) + 1
+        )
+        status = "degraded" if decision is not None and decision.degraded else "admit"
+        await conn.queue.put(
+            subscribed_frame(
+                client_id,
+                status,
+                decision.code if decision is not None else "ADMIT000",
+                decision.reason if decision is not None else None,
+            )
+        )
+
+    async def _unsubscribe(self, conn: _Connection, frame: dict) -> None:
+        assert self.pump is not None and conn.queue is not None
+        client_id = str(frame.get("query_id", ""))
+        engine_id = conn.queries.pop(client_id, None)
+        if engine_id is None:
+            self._enqueue_control(
+                conn,
+                error_frame(SVC_PROTOCOL, f"not subscribed: {client_id!r}"),
+            )
+            return
+        self._release_query(conn, engine_id, degraded=False)
+        for match in self.pump.close(engine_id):
+            await conn.queue.put(
+                match_frame(
+                    client_id, match, self.pump.serving.documents_seen - 1
+                )
+            )
+        self.engine.remove_query(engine_id)
+        await conn.queue.put(
+            notice_frame("CLOSED", "unsubscribed", client_id)
+        )
+
+    def _release_query(
+        self, conn: _Connection, engine_id: str, degraded: bool
+    ) -> None:
+        """Shared bookkeeping for any path that detaches a subscription."""
+        self._routes.pop(engine_id, None)
+        conn.notified.pop(engine_id, None)
+        count = self._tenant_counts.get(conn.tenant, 0)
+        if count <= 1:
+            self._tenant_counts.pop(conn.tenant, None)
+        else:
+            self._tenant_counts[conn.tenant] = count - 1
+        if degraded and self.engine.serving is not None:
+            self.engine.serving.outcome(engine_id).degraded = True
+
+    def _force_close_subscriber(
+        self, conn: _Connection, code: str, reason: str
+    ) -> None:
+        """Cut a slow/overflowed subscriber; its queries close degraded."""
+        if conn.closed:
+            return
+        conn.closed = True
+        self.stats.forced_disconnects += 1
+        assert self.pump is not None
+        for client_id, engine_id in list(conn.queries.items()):
+            self._release_query(conn, engine_id, degraded=True)
+            self.pump.close(
+                engine_id, status="closed", code=code, reason=reason,
+                degraded=True,
+            )
+            try:
+                self.engine.remove_query(engine_id)
+            except ReproError:
+                pass
+        conn.queries.clear()
+        # the bye goes straight onto the transport (the queue may hold a
+        # single slot, and the writer may be wedged in a slow drain); the
+        # cleared queue always has room for the close sentinel
+        if not conn.writer.is_closing():
+            conn.writer.write(encode_frame(bye_frame(code, reason)))
+        if conn.queue is not None:
+            while not conn.queue.empty():
+                conn.queue.get_nowait()
+            conn.queue.put_nowait(_CLOSE)
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        """Single writer per subscriber: ordered, clocked, abortable."""
+        assert conn.queue is not None
+        try:
+            while True:
+                frame = await conn.queue.get()
+                if frame is _CLOSE:
+                    break
+                conn.writing_since = self.clock.monotonic()
+                conn.writer.write(encode_frame(frame))
+                await conn.writer.drain()
+                conn.writing_since = None
+                if conn.shed_frames and conn.queue.empty():
+                    conn.writer.write(
+                        encode_frame(
+                            notice_frame(
+                                "SHED001",
+                                f"{conn.shed_frames} frame(s) shed "
+                                f"(slow consumer, overflow=shed_oldest)",
+                            )
+                        )
+                    )
+                    await conn.writer.drain()
+                    conn.shed_frames = 0
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            conn.writing_since = None
+            # Closing the transport here is what unblocks the reader
+            # loop (EOF) after a force-close or drain bye — and on a
+            # write error it ends the connection's fault domain cleanly.
+            if not conn.writer.is_closing():
+                conn.writer.close()
+
+    # ------------------------------------------------------------------
+    # housekeeping: clock-decided timeouts and heartbeats
+
+    async def _housekeeping_loop(self) -> None:
+        config = self.config
+        while True:
+            await asyncio.sleep(config.tick)
+            now = self.clock.monotonic()
+            for conn in list(self._connections):
+                if conn.closed:
+                    continue
+                if (
+                    conn.role is None
+                    and now - conn.opened_at > config.handshake_timeout
+                ):
+                    conn.send_now(
+                        bye_frame(
+                            SVC_HANDSHAKE_TIMEOUT,
+                            f"no hello within {config.handshake_timeout}s",
+                        )
+                    )
+                    conn.closed = True
+                    conn.writer.close()
+                    continue
+                if (
+                    config.idle_timeout is not None
+                    and now - conn.last_activity > config.idle_timeout
+                    and (conn.role == ROLE_PRODUCER or not conn.queries)
+                    and conn.role is not None
+                ):
+                    conn.send_now(
+                        bye_frame(
+                            SVC_IDLE_TIMEOUT,
+                            f"idle for more than {config.idle_timeout}s",
+                        )
+                    )
+                    conn.closed = True
+                    conn.writer.close()
+                    continue
+                if (
+                    conn.writing_since is not None
+                    and now - conn.writing_since > config.write_timeout
+                ):
+                    self._force_close_subscriber(
+                        conn,
+                        SVC_WRITE_TIMEOUT,
+                        f"write blocked for more than {config.write_timeout}s",
+                    )
+                    conn.abort()
+            if (
+                config.heartbeat_interval is not None
+                and now - self._last_heartbeat >= config.heartbeat_interval
+            ):
+                self._last_heartbeat = now
+                documents = (
+                    self.pump.serving.documents_seen
+                    if self.pump is not None
+                    else 0
+                )
+                for conn in self._connections:
+                    if conn.role == ROLE_SUBSCRIBER and not conn.closed:
+                        self._enqueue_control(conn, heartbeat_frame(documents))
+                        self.stats.heartbeats_sent += 1
+
+    # ------------------------------------------------------------------
+    # drain
+
+    async def _drain(self) -> None:
+        assert (
+            self._server is not None
+            and self._input is not None
+            and self._engine_done is not None
+            and self._done is not None
+        )
+        config = self.config
+        self._server.close()
+        await self._server.wait_closed()
+        # Producers between documents are released immediately; producers
+        # mid-document get the grace window to finish their document.
+        producers = [
+            conn
+            for conn in self._connections
+            if conn.role == ROLE_PRODUCER and not conn.closed
+        ]
+        for conn in producers:
+            conn.drain_requested = True
+        deadline = self.clock.monotonic() + config.drain_grace
+        while any(conn in self._connections for conn in producers):
+            if self.clock.monotonic() > deadline:
+                for conn in producers:
+                    if conn in self._connections:
+                        conn.abort()
+                break
+            await asyncio.sleep(config.tick)
+        await self._input.put(_DRAIN)
+        await self._engine_done.wait()
+        # Document-boundary checkpoint: the pump only ever stops between
+        # documents here (only whole documents enter the queue), so the
+        # cut is exact and resumable.
+        if self.pump is not None and self.pump.at_document_boundary:
+            try:
+                self.checkpoint = self.engine.checkpoint()
+                if config.checkpoint_path is not None:
+                    self.checkpoint.save(config.checkpoint_path)
+                    self.stats.checkpoints_written += 1
+            except ReproError:
+                self.checkpoint = None
+        # Flush and close every subscriber: committed matches first,
+        # then bye — a drained subscriber misses nothing it was owed.
+        flushers = []
+        for conn in list(self._connections):
+            if conn.role == ROLE_SUBSCRIBER and not conn.closed:
+                goodbye = [
+                    bye_frame(SVC_DRAINING, "server drained cleanly"),
+                    _CLOSE,
+                ]
+                for frame in goodbye:
+                    try:
+                        await asyncio.wait_for(
+                            conn.queue.put(frame), config.drain_grace
+                        )
+                    except TimeoutError:
+                        # writer wedged on a dead client: cut it
+                        conn.abort()
+                        break
+                if conn.writer_task is not None:
+                    flushers.append(conn.writer_task)
+        if flushers:
+            await asyncio.wait(flushers, timeout=config.drain_grace)
+        if self._housekeeper is not None:
+            self._housekeeper.cancel()
+        for conn in list(self._connections):
+            if not conn.closed:
+                conn.closed = True
+                conn.writer.close()
+        self._done.set()
+
+    # ------------------------------------------------------------------
+
+    def _cleanup_connection(self, conn: _Connection) -> None:
+        if conn.role == ROLE_PRODUCER and conn.partial:
+            # died mid-document: the document never reached the engine
+            self.stats.partial_documents += 1
+            conn.partial = []
+        if conn.role == ROLE_SUBSCRIBER and conn.queries:
+            # a departed subscriber is a clean close, not a failure
+            assert self.pump is not None
+            for engine_id in list(conn.queries.values()):
+                self._release_query(conn, engine_id, degraded=False)
+                self.pump.close(
+                    engine_id,
+                    status="closed",
+                    code=None,
+                    reason="subscriber disconnected",
+                )
+                try:
+                    self.engine.remove_query(engine_id)
+                except ReproError:
+                    pass
+            conn.queries.clear()
+        if conn.queue is not None:
+            # Free any engine task blocked on a put to this dead queue
+            # (its route is gone, so later matches already skip it).
+            while not conn.queue.empty():
+                conn.queue.get_nowait()
+            try:
+                conn.queue.put_nowait(_CLOSE)
+            except asyncio.QueueFull:  # pragma: no cover - queue just cleared
+                pass
+            if conn.writer_task is not None and conn.writer_task.done() is False:
+                # a wedged writer (dead peer) must not outlive the conn
+                if conn.closed:
+                    conn.writer_task.cancel()
+        conn.closed = True
+        self._connections.discard(conn)
+        if not conn.writer.is_closing():
+            conn.writer.close()
+
+
+async def run_service(
+    config: ServiceConfig,
+    install_signal_handlers: bool = True,
+    ready: "asyncio.Event | None" = None,
+) -> SpexService:
+    """Start a service, serve until drained, return it for inspection.
+
+    With ``install_signal_handlers`` the process's ``SIGTERM``/``SIGINT``
+    trigger :meth:`SpexService.request_drain` — the graceful path the
+    CLI and the chaos harness exercise.  ``ready`` (if given) is set
+    once the listener is bound, for in-process test orchestration.
+    """
+    service = SpexService(config)
+    await service.start()
+    if install_signal_handlers:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, service.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+    if ready is not None:
+        ready.set()
+    await service.serve_until_done()
+    return service

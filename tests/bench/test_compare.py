@@ -109,3 +109,28 @@ class TestCompatibility:
             gate={"events_per_second": False},
         )
         assert gated.to_obj()["gate"] == {"events_per_second": False}
+
+
+class TestLatencyRows:
+    """p50/p99 detail percentiles render as informational rows."""
+
+    def test_latency_rows_present_and_never_gated(self):
+        baseline = run_with(
+            {"service": entry(detail={"p50_ms": 10.0, "p99_ms": 50.0})}
+        )
+        current = run_with(
+            {"service": entry(detail={"p50_ms": 400.0, "p99_ms": 900.0})}
+        )
+        report = compare(baseline, current)
+        rows = {d.metric: d for d in report.deltas}
+        assert rows["p50_ms"].ok and rows["p99_ms"].ok
+        assert rows["p99_ms"].current == 900.0
+        assert "informational" in rows["p50_ms"].note
+        assert report.ok
+
+    def test_latency_rows_absent_without_detail(self):
+        report = compare(
+            run_with({"multiquery": entry()}),
+            run_with({"multiquery": entry()}),
+        )
+        assert not any(d.metric in ("p50_ms", "p99_ms") for d in report.deltas)

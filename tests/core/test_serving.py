@@ -18,6 +18,7 @@ from repro.core.serving import (
     BreakerPolicy,
     BreakerState,
     CircuitBreaker,
+    QueryOutcome,
     ServingPolicy,
     ServingReport,
     classify_admission,
@@ -365,3 +366,81 @@ class TestServingReport:
             ServingPolicy(doc_deadline=-1)
         with pytest.raises(ValueError):
             ServingPolicy(shed_buffered_events=0)
+
+
+class TestServingReportMerged:
+    @staticmethod
+    def _report(**outcomes: QueryOutcome) -> ServingReport:
+        report = ServingReport()
+        for query_id, outcome in outcomes.items():
+            assert outcome.query_id == query_id
+            report.outcomes[query_id] = outcome
+        return report
+
+    def test_empty_report_list_merges_to_empty(self):
+        merged = ServingReport.merged([])
+        assert merged.outcomes == {}
+        for name in ServingReport.COUNTER_FIELDS:
+            assert getattr(merged, name) == 0
+
+    def test_merged_of_generator_input(self):
+        # the signature takes any iterable, not just a list
+        merged = ServingReport.merged(iter([ServingReport(), ServingReport()]))
+        assert merged.documents_seen == 0
+
+    def test_disjoint_outcomes_union(self):
+        a = self._report(q1=QueryOutcome("q1", matches=2))
+        b = self._report(q2=QueryOutcome("q2", matches=3))
+        a.documents_seen = 4
+        b.documents_seen = 4
+        a.quarantines = 1
+        merged = ServingReport.merged([a, b])
+        assert sorted(merged.outcomes) == ["q1", "q2"]
+        assert merged.documents_seen == 4  # max, not sum
+        assert merged.quarantines == 1
+
+    def test_duplicate_query_ids_combine_counts(self):
+        a = self._report(q=QueryOutcome("q", matches=2, readmissions=1, trips=1))
+        b = self._report(q=QueryOutcome("q", matches=3, readmissions=2, trips=2))
+        merged = ServingReport.merged([a, b])
+        outcome = merged.outcomes["q"]
+        assert outcome.matches == 5
+        assert outcome.readmissions == 3
+        assert outcome.trips == 2  # max, not sum: trips count one breaker
+
+    def test_conflicting_quarantine_latch_survives_either_order(self):
+        healthy = QueryOutcome("q", status="ok", matches=1)
+        latched = QueryOutcome(
+            "q",
+            status="quarantined",
+            code="POISON",
+            reason="crashed its worker",
+            degraded=True,
+            trips=3,
+            document=2,
+        )
+        for first, second in (
+            (healthy, latched),
+            (latched, healthy),
+        ):
+            merged = ServingReport.merged(
+                [self._report(q=first), self._report(q=second)]
+            )
+            outcome = merged.outcomes["q"]
+            assert outcome.status == "quarantined"
+            assert outcome.code == "POISON"
+            assert outcome.degraded is True
+            assert outcome.trips == 3
+            assert outcome.document == 2
+            assert outcome.matches == 1
+
+    def test_rejection_outranks_transient_detachments(self):
+        shed = QueryOutcome("q", status="shed", code="SHED001", degraded=True)
+        rejected = QueryOutcome("q", status="rejected", code="ADMIT003")
+        merged = ServingReport.merged(
+            [self._report(q=shed), self._report(q=rejected)]
+        )
+        assert merged.outcomes["q"].status == "rejected"
+        assert merged.outcomes["q"].code == "ADMIT003"
+        # the shed's degraded mark latches through the merge
+        assert merged.outcomes["q"].degraded is True

@@ -373,3 +373,110 @@ class TestServeCommand:
             main(["serve", "q=a", "--shards", "0", "--file", doc_file])
         assert excinfo.value.code == 2
         assert "positive" in capsys.readouterr().err
+
+
+class TestServeListen:
+    """``spex serve --listen``: usage guards and the real subprocess."""
+
+    def test_requires_queries_without_listen(self, capsys):
+        assert main(["serve"]) == 2
+        assert "at least one QUERY" in capsys.readouterr().err
+
+    def test_listen_rejects_argv_queries(self, capsys):
+        assert main(["serve", "q=a", "--listen", "127.0.0.1:0"]) == 2
+        assert "over the wire" in capsys.readouterr().err
+
+    def test_listen_excludes_shards_and_files(self, doc_file, capsys):
+        assert main(["serve", "--listen", "127.0.0.1:0", "--shards", "2"]) == 2
+        assert "exclusive" in capsys.readouterr().err
+        assert (
+            main(["serve", "--listen", "127.0.0.1:0", "--file", doc_file]) == 2
+        )
+        assert "producer connections" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("address", ["nope", "host:", ":0", "h:99999"])
+    def test_listen_rejects_bad_addresses(self, address, capsys):
+        assert main(["serve", "--listen", address]) == 2
+        assert "bad --listen address" in capsys.readouterr().err
+
+    def test_sigterm_drains_and_exits_clean(self, tmp_path):
+        import asyncio
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        from repro.service.client import ProducerClient, SubscriberClient
+        from repro.xmlstream.events import (
+            EndDocument,
+            EndElement,
+            StartDocument,
+            StartElement,
+        )
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        checkpoint = tmp_path / "drain.ckpt"
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--checkpoint-file",
+                str(checkpoint),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "listening on" in banner
+            _host_port = banner.rsplit(" ", 1)[-1].strip()
+            host, _, port_text = _host_port.rpartition(":")
+            port = int(port_text)
+
+            async def roundtrip() -> list:
+                subscriber = await SubscriberClient.connect(host, port)
+                verdict = await subscriber.subscribe("q", "_*.a")
+                assert verdict["type"] == "subscribed"
+                producer = await ProducerClient.connect(host, port)
+                await producer.send_events(
+                    [
+                        StartDocument(),
+                        StartElement("r"),
+                        StartElement("a"),
+                        EndElement("a"),
+                        EndElement("r"),
+                        EndDocument(),
+                    ]
+                )
+                await producer.close()
+                frame = await asyncio.wait_for(subscriber.conn.recv(), 10)
+                # SIGTERM while the subscriber is still connected: drain
+                # must flush and bye, not cut the connection
+                process.send_signal(signal.SIGTERM)
+                tail = [frame]
+                async for later in subscriber.frames():
+                    tail.append(later)
+                await subscriber.close()
+                return tail
+
+            frames = asyncio.run(asyncio.wait_for(roundtrip(), 20))
+            out, err = process.communicate(timeout=20)
+        except BaseException:
+            process.kill()
+            process.communicate()
+            raise
+        assert process.returncode == 0, err
+        kinds = [frame.get("type") for frame in frames]
+        assert "match" in kinds
+        assert kinds[-1] == "bye"
+        assert checkpoint.exists()
+        assert "-- serving:" in err
+        assert "-- service:" in err

@@ -1,0 +1,177 @@
+"""Service chaos gate: misbehaving clients vs the asyncio frontend.
+
+Two properties the CI ``service-chaos`` job defends:
+
+1. **Differential** — with seeded slow readers, mid-stream
+   disconnectors and an abusive producer pushing guaranteed-malformed
+   documents and protocol junk, every *surviving* subscriber's match
+   stream must be bit-identical to an offline
+   :meth:`~repro.core.multiquery.MultiQueryEngine.serve` pass over the
+   same documents.  The service and ``serve()`` share one
+   :class:`~repro.core.multiquery.ServePump`, so any divergence means a
+   transport bug leaked into the answer.
+2. **Drain** — ``spex serve --listen`` under SIGTERM stops accepting,
+   flushes committed matches and exits 0.
+"""
+
+import asyncio
+from collections import defaultdict
+
+import pytest
+
+from repro.core.multiquery import MultiQueryEngine
+from repro.service.loadgen import (
+    LoadConfig,
+    load_documents,
+    load_subscriptions,
+    run_load_async,
+)
+from repro.service.server import ServiceConfig
+
+CHAOS_CONFIG = LoadConfig(
+    subscribers=8,
+    documents=12,
+    doc_elements=24,
+    seed=13,
+    slow_subscribers=2,
+    slow_delay=0.001,
+    disconnect_subscribers=1,
+    disconnect_after_matches=1,
+    abusive_producer=True,
+    abusive_documents=4,
+)
+
+
+def offline_streams(config: LoadConfig) -> dict:
+    """Ground truth per query id: the offline pump over the same load."""
+    queries = {
+        query_id: query
+        for per_subscriber in load_subscriptions(config)
+        for query_id, query in per_subscriber
+    }
+    engine = MultiQueryEngine(queries)
+    pump = engine.start_pump()
+    streams = defaultdict(list)
+    for index, document in enumerate(load_documents(config)):
+        for event in document:
+            for query_id, match in pump.feed(event):
+                streams[query_id].append((index, match.position, match.label))
+    return dict(streams)
+
+
+class TestChaosDifferential:
+    def test_survivors_match_offline_bit_for_bit(self):
+        report, service = asyncio.run(
+            asyncio.wait_for(
+                run_load_async(
+                    CHAOS_CONFIG,
+                    ServiceConfig(tick=0.005, heartbeat_interval=None),
+                ),
+                60,
+            )
+        )
+        assert service is not None
+        assert report.drained_cleanly
+        # the abusive producer's garbage all earned wire errors and
+        # never shifted the honest stream's document indices
+        assert report.abusive_rejections >= CHAOS_CONFIG.abusive_documents
+        assert service.stats.documents_ingested == CHAOS_CONFIG.documents
+        assert service.stats.documents_rejected >= CHAOS_CONFIG.abusive_documents
+
+        expected = offline_streams(CHAOS_CONFIG)
+        survivors = [sub for sub in report.subscribers if not sub.disconnected]
+        assert len(survivors) == (
+            CHAOS_CONFIG.subscribers - CHAOS_CONFIG.disconnect_subscribers
+        )
+        checked = 0
+        for sub in survivors:
+            observed = defaultdict(list)
+            for query_id, document, position, label in sub.matches:
+                observed[query_id].append((document, position, label))
+            for query_id in sub.queries:
+                assert observed.get(query_id, []) == expected.get(query_id, []), (
+                    f"subscriber {sub.index} diverged on {query_id}"
+                )
+                checked += 1
+        assert checked == sum(len(sub.queries) for sub in survivors)
+        # every delivered match carried a measurable latency sample
+        assert all(
+            len(sub.latencies) == len(sub.matches) for sub in report.subscribers
+        )
+
+    def test_disconnectors_never_poison_the_pass(self):
+        report, service = asyncio.run(
+            asyncio.wait_for(
+                run_load_async(
+                    CHAOS_CONFIG,
+                    ServiceConfig(tick=0.005, heartbeat_interval=None),
+                ),
+                60,
+            )
+        )
+        assert service is not None
+        dead = [sub for sub in report.subscribers if sub.disconnected]
+        assert len(dead) == CHAOS_CONFIG.disconnect_subscribers
+        # an abrupt client disconnect is lifecycle, not degradation:
+        # the serving report must not latch a degraded outcome for it
+        assert not service.degraded
+
+
+class TestSigtermDrain:
+    def test_listen_process_drains_to_exit_zero(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        from repro.service.client import ProducerClient, SubscriberClient
+        from repro.service.loadgen import load_documents
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--listen", "127.0.0.1:0"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "listening on" in banner
+            address = banner.rsplit(" ", 1)[-1].strip()
+            host, _, port_text = address.rpartition(":")
+            port = int(port_text)
+            config = LoadConfig(subscribers=1, documents=6, doc_elements=16)
+
+            async def drive() -> int:
+                subscriber = await SubscriberClient.connect(host, port)
+                verdict = await subscriber.subscribe("q", "_*.name")
+                assert verdict["type"] == "subscribed"
+                producer = await ProducerClient.connect(host, port)
+                for document in load_documents(config):
+                    await producer.send_events(document)
+                await producer.close()
+                # SIGTERM mid-session: committed matches must still
+                # arrive, terminated by a clean draining bye
+                process.send_signal(signal.SIGTERM)
+                matches = 0
+                bye = None
+                async for frame in subscriber.frames():
+                    if frame.get("type") == "match":
+                        matches += 1
+                    elif frame.get("type") == "bye":
+                        bye = frame
+                await subscriber.close()
+                assert bye is not None and bye["code"] == "SVC007"
+                return matches
+
+            matches = asyncio.run(asyncio.wait_for(drive(), 30))
+            _out, err = process.communicate(timeout=20)
+        except BaseException:
+            process.kill()
+            process.communicate()
+            raise
+        assert process.returncode == 0, err
+        assert matches > 0

@@ -22,6 +22,7 @@ EXAMPLES = {
     "infinite_monitoring.py": [],
     "checkpoint_resume.py": [],
     "large_documents.py": ["2000"],
+    "service_client.py": [],
 }
 
 
