@@ -19,9 +19,13 @@ for the full catalogue):
   (``NET020``/``NET021``).
 * :func:`preflight` / :func:`ensure_preflight` — the chain the engines
   run before consuming a stream (opt-out via ``preflight=False``).
-
-The structural query metrics that historically lived in
-``repro.rpeq.analysis`` are now :mod:`repro.analysis.metrics`.
+* :func:`rewrite_query` / :func:`factor_common_prefixes` — the certified
+  rewrite engine (``RWR0xx``): every applied rule emits a diagnostic and
+  a machine-checked equivalence certificate, discharged by differential
+  evaluation on witness streams.
+* :func:`plan_query` / :func:`plan_queries` — execution-lane planning
+  (``PLAN0xx``): lazy-DFA / hybrid / full-network classification with a
+  refined per-query ``σ̂`` bound (always ≤ the worst-case COST bound).
 """
 
 from .cost import CostCertificate, certify_cost
@@ -38,7 +42,22 @@ from .diagnostics import (
 from .lint import lint_query
 from .metrics import QueryProfile, analyze, labels_used, uses_wildcard
 from .netcheck import verify_network
+from .planner import (
+    LANES,
+    QueryPlan,
+    lane_counts,
+    plan_queries,
+    plan_query,
+)
 from .preflight import ensure_preflight, preflight
+from .rewrite import (
+    EquivalenceCertificate,
+    PrefixGroup,
+    RewriteResult,
+    RewriteStep,
+    factor_common_prefixes,
+    rewrite_query,
+)
 from .snapshot_check import check_snapshot_coverage
 
 __all__ = [
@@ -47,7 +66,13 @@ __all__ = [
     "CodeInfo",
     "CostCertificate",
     "Diagnostic",
+    "EquivalenceCertificate",
+    "LANES",
+    "PrefixGroup",
+    "QueryPlan",
     "QueryProfile",
+    "RewriteResult",
+    "RewriteStep",
     "Severity",
     "Span",
     "all_codes",
@@ -55,10 +80,15 @@ __all__ = [
     "certify_cost",
     "check_snapshot_coverage",
     "ensure_preflight",
+    "factor_common_prefixes",
     "labels_used",
+    "lane_counts",
     "lint_query",
+    "plan_queries",
+    "plan_query",
     "preflight",
     "register_code",
+    "rewrite_query",
     "uses_wildcard",
     "verify_network",
 ]

@@ -9,8 +9,8 @@ benchmark harness uses them to label experiments, the linter uses them
 to decide which performance notes apply, and the cost certifier uses
 them to pick the right formula-size bound.
 
-This module is the canonical home of the metrics that historically lived
-in ``repro.rpeq.analysis``; that module remains as a deprecated alias.
+This module is the canonical home of these metrics; the old
+``repro.rpeq.analysis`` alias has been removed.
 """
 
 from __future__ import annotations

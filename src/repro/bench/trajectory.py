@@ -278,6 +278,9 @@ def _smoke_multiquery(measure_memory: bool) -> WorkloadResult:
     result.detail["matches_by_query"] = {
         key: per_query[key] for key in sorted(per_query)
     }
+    from ..analysis.planner import lane_counts
+
+    result.detail["plan_lanes"] = lane_counts(engine.plans)
     return result
 
 

@@ -522,13 +522,42 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             max_depth=args.max_depth, max_formula_size=args.max_formula_size
         )
 
+    if args.rewrite and not args.plan:
+        print("error: --rewrite requires --plan", file=sys.stderr)
+        return EXIT_USAGE
+
     reports = {
         name: preflight(text, limits=limits, dtd=dtd) for name, text in targets
     }
+    plans = {}
+    if args.plan:
+        from .analysis import factor_common_prefixes, lane_counts, plan_query
+
+        for name, text in targets:
+            plans[name], _ = plan_query(
+                text,
+                limits=limits,
+                dtd=dtd,
+                rewrite=args.rewrite,
+                report=reports[name],
+            )
+        if len(targets) > 1:
+            # Shared-prefix groups (RWR010) land on the first report so
+            # the JSON stays keyed per query.
+            factor_common_prefixes(dict(targets), report=reports[targets[0][0]])
     failed = any(not report.ok for report in reports.values())
 
     if args.json:
-        payload = {name: report.to_obj() for name, report in reports.items()}
+        if args.plan:
+            payload = {
+                name: {
+                    "analysis": report.to_obj(),
+                    "plan": plans[name].to_obj(),
+                }
+                for name, report in reports.items()
+            }
+        else:
+            payload = {name: report.to_obj() for name, report in reports.items()}
         print(json.dumps(payload, indent=2, sort_keys=True, ensure_ascii=False))
     else:
         for name, report in reports.items():
@@ -536,6 +565,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 print(f"== {name}")
             if len(targets) == 1 or len(report) or not report.ok:
                 print(report.render())
+        if args.plan:
+            for name, plan in plans.items():
+                sigma = "∞" if plan.sigma_refined is None else plan.sigma_refined
+                worst = "∞" if plan.sigma_worst is None else plan.sigma_worst
+                print(
+                    f"-- plan {name}: lane={plan.lane} σ̂={sigma} "
+                    f"(worst {worst}) prefix={plan.prefix or 'ε'} "
+                    f"rewrites={plan.rewrite_steps}"
+                )
+            counts = lane_counts(plans)
+            print(
+                "-- lanes: "
+                + ", ".join(f"{lane}={n}" for lane, n in counts.items())
+            )
         clean = sum(1 for report in reports.values() if report.ok)
         print(f"-- {clean}/{len(reports)} quer(y/ies) clean")
     return 1 if failed else 0
@@ -800,11 +843,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--partition",
-        choices=["hash", "prefix"],
+        choices=["hash", "prefix", "cost"],
         default="hash",
-        help="shard assignment strategy: stable hash of the query id, or "
+        help="shard assignment strategy: stable hash of the query id, "
         "prefix affinity (queries sharing their first path step "
-        "co-locate); only with --shards > 1",
+        "co-locate), or cost balancing (planner-refined σ̂ weights, "
+        "heaviest queries spread first); only with --shards > 1",
     )
     serve.add_argument(
         "--listen",
@@ -899,6 +943,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="list_codes",
         help="print every registered diagnostic code and exit",
+    )
+    analyze.add_argument(
+        "--plan",
+        action="store_true",
+        help="classify each query into an execution lane (lazy-DFA / "
+        "hybrid / full network) with a refined per-query σ̂ bound",
+    )
+    analyze.add_argument(
+        "--rewrite",
+        action="store_true",
+        help="with --plan: run the certified rewrite engine first; every "
+        "applied rule carries a machine-checked equivalence certificate "
+        "(a failed certificate is an ERROR and the rewrite is discarded)",
     )
     analyze.add_argument(
         "--max-depth",

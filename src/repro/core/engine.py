@@ -166,6 +166,7 @@ class SpexEngine:
         simplify_query: bool = False,
         limits: ResourceLimits | None = None,
         preflight: bool = True,
+        rewrite: bool = False,
     ) -> None:
         """Create an engine for a query.
 
@@ -188,6 +189,14 @@ class SpexEngine:
                 over the query, a probe network, and the limits before
                 accepting the engine; the report is kept as
                 :attr:`analysis`.
+            rewrite: opt-in certified query rewriting
+                (:func:`repro.analysis.rewrite.rewrite_query`), applied
+                before pre-flight and compilation.  Unlike
+                ``simplify_query``, every rewrite step is gated on a
+                machine-checked equivalence certificate — an uncertified
+                rewrite is discarded and the original query runs.  The
+                :class:`~repro.analysis.rewrite.RewriteResult` is kept
+                as :attr:`rewrite_result` (``None`` when off).
 
         Raises:
             StaticAnalysisError: pre-flight analysis found an
@@ -200,6 +209,16 @@ class SpexEngine:
             from ..rpeq.rewrite import simplify
 
             self.query = simplify(self.query)
+        #: :class:`~repro.analysis.rewrite.RewriteResult` of the opt-in
+        #: certified rewrite (``None`` when ``rewrite=False``)
+        self.rewrite_result = None
+        if rewrite:
+            from ..analysis.rewrite import rewrite_query
+
+            result, _report = rewrite_query(self.query)
+            self.rewrite_result = result
+            if result.certified and result.changed:
+                self.query = result.rewritten
         self.collect_events = collect_events
         self.optimize = optimize
         self.limits = limits

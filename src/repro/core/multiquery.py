@@ -68,6 +68,7 @@ class MultiQueryEngine:
         limits: ResourceLimits | None = None,
         preflight: bool = True,
         admission: AdmissionPolicy | None = None,
+        rewrite: bool = False,
     ) -> None:
         """Register subscription queries.
 
@@ -91,6 +92,13 @@ class MultiQueryEngine:
                 never touch the stream and degraded admissions run under
                 tightened buffer ceilings.  Decisions are kept in
                 :attr:`admissions`.
+            rewrite: opt-in certified query rewriting
+                (:func:`repro.analysis.rewrite.rewrite_query`).  Each
+                registered query is rewritten before planning, admission
+                and pre-flight; a rewrite is applied **only** if every
+                step's equivalence certificate discharged, otherwise the
+                original query runs.  Results are kept in
+                :attr:`rewrites`.
 
         Raises:
             StaticAnalysisError: pre-flight analysis rejected one of the
@@ -109,12 +117,27 @@ class MultiQueryEngine:
         #: lifetime recovery counters, mirroring ``SpexEngine.robustness``
         self.robustness = RobustnessCounters()
         self.admission = admission
+        self.rewrite = rewrite
+        #: per-query :class:`~repro.analysis.rewrite.RewriteResult` for
+        #: queries the certified rewriter changed (``rewrite=True`` only)
+        self.rewrites: dict = {}
+        if rewrite:
+            for query_id in list(self.queries):
+                self._rewrite_one(query_id)
+        #: per-query :class:`~repro.analysis.planner.QueryPlan` —
+        #: execution lane, qualifier-free prefix and refined σ̂ bound
+        self.plans: dict = {
+            query_id: self._plan_one(query, query_id)
+            for query_id, query in self.queries.items()
+        }
         #: per-query :class:`~repro.core.serving.AdmissionDecision`
         #: (empty without an admission policy)
         self.admissions: dict[str, AdmissionDecision] = {}
         if admission is not None:
             for query_id, query in self.queries.items():
-                decision = classify_admission(query, admission, limits)
+                decision = classify_admission(
+                    query, admission, limits, plan=self.plans[query_id]
+                )
                 self.admissions[query_id] = decision
                 if not decision.admitted:
                     self.robustness.admissions_rejected += 1
@@ -152,6 +175,51 @@ class MultiQueryEngine:
             return decision.limits
         return self.limits
 
+    def _planning_limits(self) -> ResourceLimits | None:
+        """The limits queries are planned under: the engine's, with the
+        admission policy's ``depth_bound`` filled in when the engine
+        sets no depth of its own (mirrors ``classify_admission``)."""
+        from dataclasses import replace
+
+        limits = self.limits
+        policy = self.admission
+        if (
+            policy is not None
+            and policy.depth_bound is not None
+            and (limits is None or limits.max_depth is None)
+        ):
+            limits = replace(
+                limits if limits is not None else ResourceLimits(),
+                max_depth=policy.depth_bound,
+            )
+        return limits
+
+    def _plan_one(self, query: Rpeq, query_id: str | None = None):
+        from dataclasses import replace
+
+        from ..analysis.planner import plan_query
+
+        plan, _report = plan_query(query, limits=self._planning_limits())
+        # The engine rewrites before planning, so the planner itself sees
+        # zero steps — stamp the actual count from the applied rewrite.
+        result = self.rewrites.get(query_id) if query_id is not None else None
+        if result is not None:
+            plan = replace(plan, rewrite_steps=len(result.steps))
+        return plan
+
+    def _rewrite_one(self, query_id: str) -> None:
+        """Certified-rewrite one registered query in place (opt-in).
+
+        Only a fully certified rewrite replaces the query; a failed
+        certificate (or a no-op) leaves the original untouched.
+        """
+        from ..analysis.rewrite import rewrite_query
+
+        result, _report = rewrite_query(self.queries[query_id])
+        if result.certified and result.changed:
+            self.queries[query_id] = result.rewritten
+            self.rewrites[query_id] = result
+
     def _preflight_one(self, query_id: str, query: Rpeq):
         from ..analysis.preflight import ensure_preflight
         from ..errors import StaticAnalysisError
@@ -182,16 +250,31 @@ class MultiQueryEngine:
         if query_id in self.queries:
             raise EngineError(f"query {query_id!r} already registered")
         expr = parse(query) if isinstance(query, str) else query
+        if self.rewrite:
+            from ..analysis.rewrite import rewrite_query
+
+            result, _report = rewrite_query(expr)
+            if result.certified and result.changed:
+                expr = result.rewritten
+                self.rewrites[query_id] = result
+        plan = self._plan_one(expr, query_id)
         decision = None
         if self.admission is not None:
-            decision = classify_admission(expr, self.admission, self.limits)
+            decision = classify_admission(
+                expr, self.admission, self.limits, plan=plan
+            )
             if require_admission:
-                ensure_admitted(query_id, decision)
+                try:
+                    ensure_admitted(query_id, decision)
+                except Exception:
+                    self.rewrites.pop(query_id, None)
+                    raise
             if not decision.admitted:
                 self.robustness.admissions_rejected += 1
         if self.analysis is not None and (decision is None or decision.admitted):
             self.analysis[query_id] = self._preflight_one(query_id, expr)
         self.queries[query_id] = expr
+        self.plans[query_id] = plan
         if decision is not None:
             self.admissions[query_id] = decision
         return decision
@@ -202,6 +285,8 @@ class MultiQueryEngine:
             raise EngineError(f"query {query_id!r} is not registered")
         del self.queries[query_id]
         self.admissions.pop(query_id, None)
+        self.plans.pop(query_id, None)
+        self.rewrites.pop(query_id, None)
         if self.analysis is not None:
             self.analysis.pop(query_id, None)
 
@@ -360,6 +445,7 @@ class MultiQueryEngine:
         clock = as_clock(clock)
         serving = ServingReport()
         self.serving = serving
+        self._record_plans(serving)
         for query_id in self.queries:
             self._admission_outcome(serving, query_id)
         recovery = as_policy(on_error)
@@ -396,6 +482,11 @@ class MultiQueryEngine:
         if cursor is not None:
             events = cursor.attach(events)
         return self._serve_pump(networks, events, policy, serving, breakers, clock)
+
+    def _record_plans(self, serving: ServingReport) -> None:
+        """Mirror the registration-time query plans into the report."""
+        for query_id, plan in self.plans.items():
+            serving.plans[query_id] = plan.to_obj()
 
     def _admission_outcome(self, serving: ServingReport, query_id: str) -> bool:
         """Record a query's admission decision in ``serving``.
@@ -455,6 +546,7 @@ class MultiQueryEngine:
         clock = as_clock(clock)
         serving = ServingReport()
         self.serving = serving
+        self._record_plans(serving)
         for query_id in self.queries:
             self._admission_outcome(serving, query_id)
         networks = self._compile_all(clock=clock)
@@ -905,6 +997,10 @@ class MultiQueryEngine:
         policy = policy if policy is not None else ServingPolicy()
         clock = as_clock(clock)
         serving = ServingReport.from_obj(serving_state)
+        # Checkpoints written before the planner existed carry no plans;
+        # re-derive them from the (restored) registrations.
+        if not serving.plans:
+            self._record_plans(serving)
         breakers: dict[str, CircuitBreaker] = {}
         for query_id, snap in serving_state["breakers"].items():
             breaker = CircuitBreaker(policy.breaker)

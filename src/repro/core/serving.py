@@ -38,12 +38,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from ..errors import AdmissionError
 from ..limits import ResourceLimits
 from ..rpeq.ast import Rpeq
 from .clock import Clock  # noqa: F401  (re-exported for serve() signatures)
+
+if TYPE_CHECKING:
+    from ..analysis.planner import QueryPlan
 
 
 class BreakerState(str, Enum):
@@ -180,9 +183,11 @@ class CircuitBreaker:
 class AdmissionPolicy:
     """Budget policy classifying queries before they touch the stream.
 
-    Classification uses the cost certifier's ``σ̂`` bound
-    (:func:`repro.analysis.cost.certify_cost`), computed against
-    ``depth_bound`` (or the engine's ``ResourceLimits.max_depth``):
+    Classification uses the planner's *refined* ``σ̂`` bound
+    (:func:`repro.analysis.planner.plan_query`, which is ≤ the raw
+    cost-certifier bound by construction — a qualifier-free query never
+    builds condition formulas, so its bound collapses to 1), computed
+    against ``depth_bound`` (or the engine's ``ResourceLimits.max_depth``):
 
     * ``σ̂ ≤ degrade_sigma`` (or no soft ceiling) → **admit**;
     * ``degrade_sigma < σ̂ ≤ reject_sigma`` → **admit degraded**: the
@@ -240,7 +245,9 @@ class AdmissionDecision:
     degraded, ``ADMIT003`` σ̂ over the hard ceiling, ``ADMIT004``
     uncertifiable rejected).  ``limits`` is the effective
     :class:`~repro.limits.ResourceLimits` the query's network runs
-    under (``None`` = the engine's own limits, unchanged).
+    under (``None`` = the engine's own limits, unchanged).  ``lane``
+    is the planner's execution-lane classification the σ̂ bound came
+    from (``"dfa"`` / ``"hybrid"`` / ``"network"``).
     """
 
     status: str
@@ -248,6 +255,7 @@ class AdmissionDecision:
     reason: str
     sigma_bound: int | None = None
     limits: ResourceLimits | None = None
+    lane: str | None = None
 
     @property
     def admitted(self) -> bool:
@@ -282,9 +290,17 @@ def classify_admission(
     query: Rpeq,
     policy: AdmissionPolicy,
     limits: ResourceLimits | None = None,
+    plan: "QueryPlan | None" = None,
 ) -> AdmissionDecision:
-    """Classify one query against the budget policy (pure function)."""
-    from ..analysis.cost import certify_cost
+    """Classify one query against the budget policy (pure function).
+
+    ``plan`` is an optional pre-computed
+    :class:`~repro.analysis.planner.QueryPlan` (the engines pass the one
+    they already built); without it the planner runs here.  Either way
+    the budget is checked against the *refined* σ̂ bound — never looser
+    than the raw worst-case COST bound.
+    """
+    from ..analysis.planner import plan_query
 
     depth = policy.depth_bound
     effective = limits
@@ -292,8 +308,10 @@ def classify_admission(
         effective = replace(
             limits if limits is not None else ResourceLimits(), max_depth=depth
         )
-    certificate, _report = certify_cost(query, limits=effective)
-    sigma = certificate.sigma_bound
+    if plan is None:
+        plan, _report = plan_query(query, limits=effective)
+    sigma = plan.sigma_refined
+    lane = plan.lane
 
     if sigma is None:
         if policy.on_uncertifiable == "reject":
@@ -302,6 +320,7 @@ def classify_admission(
                 code="ADMIT004",
                 reason="memory bound not certifiable (policy rejects "
                 "uncertifiable queries)",
+                lane=lane,
             )
         if policy.on_uncertifiable == "degrade":
             return AdmissionDecision(
@@ -310,11 +329,13 @@ def classify_admission(
                 reason="memory bound not certifiable; admitted with "
                 "degraded buffer ceilings",
                 limits=_degraded_limits(limits, policy),
+                lane=lane,
             )
         return AdmissionDecision(
             status="admit",
             code="ADMIT000",
             reason="uncertifiable but policy admits",
+            lane=lane,
         )
 
     if policy.reject_sigma is not None and sigma > policy.reject_sigma:
@@ -324,6 +345,7 @@ def classify_admission(
             reason=f"certified σ̂={sigma} exceeds budget "
             f"{policy.reject_sigma}",
             sigma_bound=sigma,
+            lane=lane,
         )
     if policy.degrade_sigma is not None and sigma > policy.degrade_sigma:
         return AdmissionDecision(
@@ -334,12 +356,14 @@ def classify_admission(
             f"ceilings",
             sigma_bound=sigma,
             limits=_degraded_limits(limits, policy),
+            lane=lane,
         )
     return AdmissionDecision(
         status="admit",
         code="ADMIT000",
         reason=f"certified σ̂={sigma} within budget",
         sigma_bound=sigma,
+        lane=lane,
     )
 
 
@@ -451,9 +475,17 @@ class QueryOutcome:
 
 @dataclass
 class ServingReport:
-    """Counters and per-query outcomes for one serving pass."""
+    """Counters and per-query outcomes for one serving pass.
+
+    ``plans`` carries the planner metadata per query (the
+    :meth:`~repro.analysis.planner.QueryPlan.to_obj` form: execution
+    lane, qualifier-free prefix, refined σ̂) so operators see *why* each
+    query was admitted the way it was — it rides the same codec as the
+    counters through checkpoints, shard IPC and merges.
+    """
 
     outcomes: dict[str, QueryOutcome] = field(default_factory=dict)
+    plans: dict[str, dict] = field(default_factory=dict)
     documents_seen: int = 0
     quarantines: int = 0
     breaker_trips: int = 0
@@ -497,18 +529,24 @@ class ServingReport:
                 query_id: outcome.to_obj()
                 for query_id, outcome in self.outcomes.items()
             },
+            "plans": {
+                query_id: dict(plan) for query_id, plan in self.plans.items()
+            },
             "report": {name: getattr(self, name) for name in self.COUNTER_FIELDS},
         }
 
     @classmethod
     def from_obj(cls, obj: Mapping) -> "ServingReport":
-        """Inverse of :meth:`to_obj`."""
+        """Inverse of :meth:`to_obj` (``plans`` is optional: checkpoints
+        written before the planner existed restore without it)."""
         report = cls()
         counters = obj["report"]
         for name in cls.COUNTER_FIELDS:
             setattr(report, name, int(counters[name]))
         for query_id, state in obj["outcomes"].items():
             report.outcomes[query_id] = QueryOutcome.from_obj(query_id, state)
+        for query_id, plan in obj.get("plans", {}).items():
+            report.plans[query_id] = dict(plan)
         return report
 
     #: Outcome-status severity for :meth:`merged` conflicts.  Higher
@@ -560,6 +598,9 @@ class ServingReport:
                     merged.outcomes[query_id] = outcome
                 else:
                     merged.outcomes[query_id] = cls._combine(existing, outcome)
+            # Plans are registration-time constants: every shard that
+            # carries a query carries the same plan, so union suffices.
+            merged.plans.update(report.plans)
         return merged
 
     @classmethod

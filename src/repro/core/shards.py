@@ -45,7 +45,7 @@ import zlib
 from dataclasses import asdict, dataclass
 from itertools import repeat
 from queue import Empty, Full
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..errors import CheckpointError, EngineError
 from ..limits import ResourceLimits
@@ -86,9 +86,12 @@ class ShardConfig:
 
     Attributes:
         shards: number of worker processes.
-        partition: ``"hash"`` (stable crc32 of the query id) or
+        partition: ``"hash"`` (stable crc32 of the query id),
             ``"prefix"`` (queries sharing their first path step
-            co-locate, preserving shared-prefix work affinity).
+            co-locate, preserving shared-prefix work affinity) or
+            ``"cost"`` (planner-weighted: queries are spread by their
+            refined σ̂ bound so no shard concentrates the expensive
+            condition-heavy networks).
         heartbeat_interval: seconds between worker heartbeats.
         heartbeat_timeout: coordinator-side silence budget before a
             worker is declared stalled and killed; ``None`` disables
@@ -131,9 +134,10 @@ class ShardConfig:
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be positive, got {self.shards}")
-        if self.partition not in ("hash", "prefix"):
+        if self.partition not in ("hash", "prefix", "cost"):
             raise ValueError(
-                f"partition must be 'hash' or 'prefix', got {self.partition!r}"
+                f"partition must be 'hash', 'prefix' or 'cost', "
+                f"got {self.partition!r}"
             )
         if self.heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
@@ -164,6 +168,14 @@ class ShardEvent:
 # ----------------------------------------------------------------------
 # partitioning
 
+#: Nominal stream-depth bound the ``"cost"`` strategy plans under, so
+#: closure-under-qualifier σ̂ bounds stay finite and comparable.
+_COST_PARTITION_DEPTH = 32
+#: Weight assigned to queries whose σ̂ stays uncertifiable even under
+#: the nominal depth (axis steps): treated as heavier than anything
+#: certifiable so they spread out first.
+_COST_UNCERTIFIABLE_WEIGHT = 1 << 16
+
 
 def partition_queries(
     queries: Mapping[str, str | Rpeq],
@@ -181,15 +193,44 @@ def partition_queries(
     deduplicates on) and assigns whole groups to the least-loaded shard,
     largest groups first — queries that would share work land in the
     same process.
+
+    ``"cost"`` weighs each query by the planner's refined ``σ̂`` bound
+    (:func:`repro.analysis.planner.plan_query`, under a nominal depth
+    bound so closure-under-qualifier queries stay finite; uncertifiable
+    queries get a heavy default weight) and bin-packs heaviest-first
+    onto the lightest shard — so the condition-heavy networks spread
+    out instead of pig-piling one worker.
     """
     if shards < 1:
         raise ValueError(f"shards must be positive, got {shards}")
-    if strategy not in ("hash", "prefix"):
+    if strategy not in ("hash", "prefix", "cost"):
         raise ValueError(f"unknown partition strategy {strategy!r}")
     layout: list[list[str]] = [[] for _ in range(shards)]
     if strategy == "hash":
         for query_id in queries:
             layout[zlib.crc32(query_id.encode("utf-8")) % shards].append(query_id)
+        return layout
+    if strategy == "cost":
+        from ..analysis.planner import plan_query
+        from ..limits import ResourceLimits
+
+        planning_limits = ResourceLimits(max_depth=_COST_PARTITION_DEPTH)
+        weights: dict[str, int] = {}
+        for query_id, query in queries.items():
+            expr = parse(query) if isinstance(query, str) else query
+            plan, _report = plan_query(expr, limits=planning_limits)
+            weights[query_id] = (
+                plan.sigma_refined
+                if plan.sigma_refined is not None
+                else _COST_UNCERTIFIABLE_WEIGHT
+            )
+        cost_loads = [0] * shards
+        for query_id, weight in sorted(
+            weights.items(), key=lambda item: (-item[1], item[0])
+        ):
+            target = min(range(shards), key=lambda i: (cost_loads[i], i))
+            layout[target].append(query_id)
+            cost_loads[target] += weight
         return layout
     groups: dict[str, list[str]] = {}
     for query_id, query in queries.items():
@@ -340,7 +381,12 @@ class _WorkerSpec:
 class _Heartbeats:
     """Rate-limited liveness messages on the worker's result queue."""
 
-    def __init__(self, out_queue, clock: Clock, interval: float) -> None:
+    def __init__(
+        self,
+        out_queue: "multiprocessing.queues.Queue[tuple]",
+        clock: Clock,
+        interval: float,
+    ) -> None:
         self._out = out_queue
         self._clock = clock
         self._interval = interval
@@ -355,7 +401,11 @@ class _Heartbeats:
             self.force()
 
 
-def _queue_events(in_queue, heartbeats: _Heartbeats, interval: float):
+def _queue_events(
+    in_queue: "multiprocessing.queues.Queue[tuple]",
+    heartbeats: _Heartbeats,
+    interval: float,
+) -> Iterator[Event]:
     """Decode the coordinator's event batches; beat while idle."""
     while True:
         try:
@@ -374,7 +424,7 @@ def _instrumented(
     spec: _WorkerSpec,
     engine: MultiQueryEngine,
     heartbeats: _Heartbeats,
-    out_queue,
+    out_queue: "multiprocessing.queues.Queue[tuple]",
     base: int,
 ) -> Iterator[Event]:
     """Worker-side event wrapper: hooks, heartbeats, doc checkpoints.
@@ -406,7 +456,11 @@ def _instrumented(
             out_queue.put(("checkpoint", checkpoint.to_dict()))
 
 
-def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
+def _worker_main(
+    spec: _WorkerSpec,
+    in_queue: "multiprocessing.queues.Queue[tuple]",
+    out_queue: "multiprocessing.queues.Queue[tuple]",
+) -> None:
     """Entry point of one shard worker process."""
     try:
         clock = SYSTEM_CLOCK
@@ -1057,7 +1111,7 @@ def serve_sharded(
     queries: Mapping[str, str | Rpeq] | Iterable[str],
     source: str | Iterable[Event],
     config: ShardConfig | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> ShardedResult:
     """One-shot convenience: build a :class:`ShardCoordinator`, run it."""
     return ShardCoordinator(queries, config=config, **kwargs).run(source)

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from ..core.checkpoint import Checkpoint
 from ..core.clock import Clock, as_clock
 from ..core.multiquery import MultiQueryEngine, ServePump
+from ..core.output_tx import Match
 from ..core.serving import AdmissionPolicy, ServingPolicy
 from ..errors import ReproError, StreamError
 from ..limits import ResourceLimits
@@ -59,7 +60,6 @@ from ..xmlstream.validate import checked
 from .protocol import (
     MAX_FRAME_BYTES,
     OVERFLOW_BLOCK,
-    OVERFLOW_DISCONNECT,
     OVERFLOW_POLICIES,
     OVERFLOW_SHED_OLDEST,
     ROLE_PRODUCER,
@@ -335,7 +335,7 @@ class SpexService:
             assert self._engine_done is not None
             self._engine_done.set()
 
-    async def _deliver(self, engine_id: str, match) -> None:
+    async def _deliver(self, engine_id: str, match: Match) -> None:
         route = self._routes.get(engine_id)
         if route is None:
             return

@@ -19,9 +19,14 @@ from typing import Iterator
 
 from ..xmlstream.events import EndElement, Event, StartDocument, StartElement, Text
 
-#: Queries used by the infinite-stream example and tests.
+#: Queries used by the infinite-stream example and tests.  ``alerted``
+#: qualifies the wildcard closure itself (prices under *any* element
+#: carrying an alert), so no selective qualifier-free prefix exists —
+#: the planner's full-network lane, kept here so the corpus exercises
+#: all three execution lanes.
 TICKER_QUERIES = {
     "all_trades": "_*.trade.price",
+    "alerted": "_*[alert].price",
     "flagged": "_*.trade[alert].price",
 }
 

@@ -1,0 +1,42 @@
+"""Doc-drift gate: the diagnostic catalogue stays in sync everywhere.
+
+Every code in the registry must appear in ``docs/analysis.md`` and be
+printed by ``spex analyze --list-codes``.  A new code that skips either
+surface fails here, not in a user's terminal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import all_codes
+from repro.cli import main
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "analysis.md"
+
+
+class TestDocCatalogue:
+    def test_every_code_documented(self):
+        text = DOCS.read_text(encoding="utf-8")
+        missing = [code for code in all_codes() if f"`{code}`" not in text]
+        assert not missing, f"codes absent from docs/analysis.md: {missing}"
+
+    def test_registry_covers_all_sources(self):
+        # The registry import side effect (repro.analysis pulls in every
+        # pass) must register all five code families.
+        prefixes = {code.rstrip("0123456789") for code in all_codes()}
+        assert {"RPQ", "NET", "COST", "RWR", "PLAN"} <= prefixes
+
+
+class TestListCodes:
+    def test_cli_lists_every_registered_code(self, capsys):
+        assert main(["analyze", "--list-codes"]) == 0
+        out = capsys.readouterr().out
+        listed = {line.split()[0] for line in out.splitlines() if line.strip()}
+        assert listed == set(all_codes())
+
+    def test_listing_includes_titles_and_severities(self, capsys):
+        main(["analyze", "--list-codes"])
+        out = capsys.readouterr().out
+        assert "RWR090" in out and "error" in out
+        assert "PLAN001" in out and "Lazy-DFA" in out

@@ -1,0 +1,140 @@
+"""Tests for the execution-lane planner and its refined σ̂ bound."""
+
+from repro.analysis import lane_counts, plan_queries, plan_query
+from repro.analysis.planner import (
+    LANE_DFA,
+    LANE_HYBRID,
+    LANE_NETWORK,
+    LANES,
+    QueryPlan,
+)
+from repro.dtd import parse_dtd
+from repro.limits import ResourceLimits
+from repro.workloads import query_corpus
+
+LIMITS = ResourceLimits(max_depth=32)
+
+
+class TestLanes:
+    def test_qualifier_free_query_is_dfa(self):
+        plan, report = plan_query("_*.item.name")
+        assert plan.lane == LANE_DFA
+        assert plan.prefix == "_*.item.name"
+        assert plan.qualifiers == 0
+        assert "PLAN001" in report.codes()
+
+    def test_selective_prefix_is_hybrid(self):
+        plan, report = plan_query("_*.item[payment].name")
+        assert plan.lane == LANE_HYBRID
+        # The prefix crosses into the qualifier-free base of the first
+        # qualified step, where the network takes over.
+        assert plan.prefix == "_*.item"
+        assert plan.prefix_steps == 2
+        assert "PLAN002" in report.codes()
+
+    def test_qualifier_on_closure_is_network(self):
+        # The qualifier sits on the wildcard closure itself: no required
+        # concrete step before it, nothing selective to gate on.
+        plan, report = plan_query("_*[alert].price")
+        assert plan.lane == LANE_NETWORK
+        assert "PLAN003" in report.codes()
+
+    def test_axis_step_disqualifies_dfa(self):
+        plan, _ = plan_query("_*.a.following::b")
+        assert plan.lane != LANE_DFA
+        assert plan.axis_steps == 1
+
+    def test_wildcard_only_prefix_is_not_selective(self):
+        # `_*._[c]` has a pure prefix but no required concrete step.
+        plan, _ = plan_query("_*._[c]")
+        assert plan.lane == LANE_NETWORK
+
+    def test_plan000_always_emitted(self):
+        _, report = plan_query("a.b")
+        (diag,) = [d for d in report if d.code == "PLAN000"]
+        assert diag.details["plan"]["lane"] == LANE_DFA
+
+
+class TestSigmaRefined:
+    def test_dfa_lane_pins_sigma_to_one(self):
+        # No qualifiers → no condition formulas → σ̂ collapses to 1,
+        # however pessimistic the worst-case certificate is.
+        plan, _ = plan_query("_*.a.b", limits=LIMITS)
+        assert plan.sigma_refined == 1
+
+    def test_refined_never_exceeds_worst(self):
+        for text in ("_*.a[b].c", "_*[x].y", "a.b.c", "_*.a[_*.b]"):
+            plan, _ = plan_query(text, limits=LIMITS)
+            if plan.sigma_worst is not None:
+                assert plan.sigma_refined is not None
+                assert plan.sigma_refined <= plan.sigma_worst, text
+
+    def test_plan004_reports_strict_improvement(self):
+        # The worst-case bound is computed on the original query; the
+        # certified rewrite strips the vacuous qualifier and the refined
+        # bound drops below it.
+        plan, report = plan_query("_*.a[b*]", limits=LIMITS, rewrite=True)
+        assert "PLAN004" in report.codes()
+        assert plan.sigma_refined < plan.sigma_worst
+
+    def test_rewrite_tightens_the_plan(self):
+        # The trivially-true qualifier costs a condition variable; the
+        # certified rewrite removes it and the plan lands in the DFA
+        # lane with σ̂ = 1.
+        before, _ = plan_query("_*.a[b*]", limits=LIMITS)
+        after, _ = plan_query("_*.a[b*]", limits=LIMITS, rewrite=True)
+        assert before.lane == LANE_HYBRID
+        assert after.lane == LANE_DFA
+        assert after.rewrite_steps == 1
+        assert after.sigma_refined == 1
+        assert after.sigma_refined <= (before.sigma_refined or 1)
+
+    def test_uncertified_rewrite_is_discarded(self):
+        # DTD with an undeclared element: the valid-document sampler
+        # refuses, the schema-dead elimination fails its certificate,
+        # and the plan must describe the *original* query.
+        dtd = parse_dtd("<!ELEMENT root (a*, q?)> <!ELEMENT a EMPTY>")
+        plan, report = plan_query("_*.(a|zz)", dtd=dtd, rewrite=True)
+        assert plan.query == "_*.(a|zz)"
+        assert plan.rewrite_steps == 0
+        assert "RWR090" in report.codes()
+
+
+class TestCodec:
+    def test_round_trip(self):
+        plan, _ = plan_query("_*.item[payment].name", limits=LIMITS)
+        assert QueryPlan.from_obj(plan.to_obj()) == plan
+
+    def test_round_trip_unbounded(self):
+        plan, _ = plan_query("_*[x]._*[y]")
+        obj = plan.to_obj()
+        assert obj["sigma_worst"] is None
+        assert QueryPlan.from_obj(obj) == plan
+
+    def test_rewrite_steps_defaults_for_old_payloads(self):
+        plan, _ = plan_query("a.b")
+        obj = plan.to_obj()
+        del obj["rewrite_steps"]
+        assert QueryPlan.from_obj(obj).rewrite_steps == 0
+
+
+class TestCorpus:
+    def test_corpus_covers_every_lane(self):
+        plans, report = plan_queries(
+            query_corpus(), limits=LIMITS, rewrite=True
+        )
+        counts = lane_counts(plans)
+        assert set(counts) == set(LANES)
+        for lane in LANES:
+            assert counts[lane] >= 1, counts
+        assert report.ok
+
+    def test_corpus_refined_bounded_by_worst(self):
+        plans, _ = plan_queries(query_corpus(), limits=LIMITS)
+        for name, plan in plans.items():
+            if plan.sigma_worst is not None:
+                assert plan.sigma_refined is not None
+                assert plan.sigma_refined <= plan.sigma_worst, name
+
+    def test_lane_counts_always_lists_all_lanes(self):
+        assert set(lane_counts({})) == set(LANES)

@@ -1,0 +1,233 @@
+"""Unit and property tests for the certified rewrite engine.
+
+Each rule gets a direct trigger test; the certification machinery gets
+discharge/abort tests (including the schema-modulo witness path); and
+hypothesis drives the fixpoint-idempotence property over the seeded
+random-query generator.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import factor_common_prefixes, rewrite_query
+from repro.analysis.rewrite import (
+    EquivalenceCertificate,
+    concat_spine,
+    discharge,
+    witness_streams,
+)
+from repro.dtd import parse_dtd
+from repro.rpeq.ast import Concat, Empty, Label
+from repro.rpeq.generate import random_rpeq
+from repro.rpeq.parser import parse
+from repro.rpeq.unparse import unparse
+
+
+def rewritten(query, **kwargs):
+    result, _ = rewrite_query(query, certify=False, **kwargs)
+    return unparse(result.rewritten)
+
+
+class TestRules:
+    def test_rwr001_vacuous_epsilon(self):
+        # ε only arises programmatically; the grammar cannot spell it.
+        result, report = rewrite_query(
+            Concat(Empty(), Label("a")), certify=False
+        )
+        assert unparse(result.rewritten) == "a"
+        assert "RWR001" in report.codes()
+
+    def test_rwr002_closure_collapse(self):
+        assert rewritten("a*.a*") == "a*"
+        assert rewritten("a*.a+") == "a+"
+        assert rewritten("a+.a*") == "a+"
+
+    def test_rwr002_plus_plus_never_fuses(self):
+        # a+.a+ requires at least two steps; no single closure says that.
+        assert rewritten("a+.a+") == "a+.a+"
+
+    def test_rwr003_trivially_true_qualifier(self):
+        assert rewritten("a[b*]") == "a"
+        assert rewritten("a[c?]") == "a"
+
+    def test_rwr004_duplicate_qualifier(self):
+        assert rewritten("a[b][b]") == "a[b]"
+
+    def test_rwr005_dead_union_branch(self):
+        assert rewritten("(b|b)") == "b"
+        assert rewritten("(_|b)") == "_"
+        assert rewritten("(_*|b*)") == "_*"
+
+    def test_rwr006_schema_dead_branch(self):
+        dtd = parse_dtd("<!ELEMENT root (a*)> <!ELEMENT a EMPTY>")
+        assert rewritten("_*.(a|zz)", dtd=dtd) == "_*.a"
+
+    def test_rwr007_qualifier_pushdown(self):
+        result, report = rewrite_query("(a.b)[c]", certify=False)
+        assert unparse(result.rewritten) == "a.b[c]"
+        assert "RWR007" in report.codes()
+
+    def test_rwr007_pushdown_is_iterated(self):
+        # The qualifier sinks all the way to the last step of the chain.
+        assert rewritten("(a.b.c)[d]") == "a.b.c[d]"
+
+    def test_rwr008_qualifier_hoisting(self):
+        result, report = rewrite_query("(a[c]|b[c])", certify=False)
+        assert unparse(result.rewritten) == "(a|b)[c]"
+        assert "RWR008" in report.codes()
+
+    def test_rwr008_different_conditions_do_not_hoist(self):
+        assert rewritten("(a[c]|b[d])") == "a[c]|b[d]"
+
+    def test_rwr091_step_budget(self):
+        result, report = rewrite_query("a*.a*.a*", certify=False, max_steps=1)
+        assert "RWR091" in report.codes()
+        assert len(result.steps) == 1
+
+    def test_clean_query_is_untouched(self):
+        result, report = rewrite_query("_*.a[b].c")
+        assert not result.changed
+        assert not result.steps
+        assert report.ok
+
+
+class TestCertificates:
+    def test_every_step_certified_by_default(self):
+        result, report = rewrite_query("a*.a*.b[c*].d[e][e]")
+        assert result.changed
+        assert result.certified
+        assert unparse(result.rewritten) == "a*.b.d[e]"
+        assert len(result.certificates) == len(result.steps) >= 3
+        for cert in result.certificates:
+            assert cert.discharged
+            assert cert.streams > 0
+        assert report.ok
+
+    def test_certificate_json_shape(self):
+        result, _ = rewrite_query("a[b*]")
+        (cert,) = result.certificates
+        obj = cert.to_obj()
+        assert obj["rule"] == "RWR003"
+        assert obj["discharged"] is True
+        assert obj["failure"] is None
+        assert obj["before"] == "a[b*]" and obj["after"] == "a"
+
+    def test_diagnostics_embed_the_certificate(self):
+        _, report = rewrite_query("a[b*]")
+        (diag,) = [d for d in report if d.code == "RWR003"]
+        assert diag.details["certificate"]["discharged"] is True
+
+    def test_unsound_step_is_refuted(self):
+        # a* vs a+ differ on the empty path: the differential harness
+        # must catch a genuinely wrong "rewrite".
+        cert = EquivalenceCertificate(rule="BOGUS", before="a*", after="a+")
+        assert not discharge(cert, parse("a*"), parse("a+"))
+        assert not cert.discharged
+        assert cert.failure is not None
+
+    def test_failed_certificate_aborts_and_keeps_original(self):
+        # The DTD references an undeclared element, so the valid-document
+        # sampler refuses and certification falls back to generic
+        # streams — on which the schema-dead elimination is *not* an
+        # equivalence.  The engine must discard the rewrite, emit the
+        # RWR090 error, and return the original query.
+        dtd = parse_dtd("<!ELEMENT root (a*, q?)> <!ELEMENT a EMPTY>")
+        result, report = rewrite_query("_*.(a|zz)", dtd=dtd)
+        assert not result.changed
+        assert unparse(result.rewritten) == "_*.(a|zz)"
+        assert "RWR090" in report.codes()
+        assert not report.ok
+
+    def test_schema_modulo_witnesses_are_valid_documents(self):
+        dtd = parse_dtd("<!ELEMENT root (a*)> <!ELEMENT a (b?)> <!ELEMENT b EMPTY>")
+        streams = witness_streams(parse("_*.a"), parse("_*.a"), dtd=dtd)
+        from repro.dtd import DtdValidator
+
+        for events in streams:
+            assert DtdValidator(dtd).is_valid(iter(events))
+
+    def test_certify_false_leaves_obligations_open(self):
+        result, _ = rewrite_query("a[b*]", certify=False)
+        assert result.changed
+        assert not result.certified
+
+
+class TestIdempotence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_rewrite_reaches_a_fixpoint(self, seed):
+        expr = random_rpeq(random.Random(seed))
+        once, _ = rewrite_query(expr, certify=False, max_steps=500)
+        twice, _ = rewrite_query(once.rewritten, certify=False, max_steps=500)
+        assert twice.rewritten == once.rewritten, unparse(expr)
+        assert not twice.steps
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_rewrite_preserves_parseability(self, seed):
+        expr = random_rpeq(random.Random(seed))
+        result, _ = rewrite_query(expr, certify=False, max_steps=500)
+        assert parse(unparse(result.rewritten)) == result.rewritten
+
+    def test_certified_rewrite_is_idempotent(self):
+        for query in ("a*.a*[b*]", "(a[c]|b[c])", "(a.b)[c][c]"):
+            once, _ = rewrite_query(query)
+            assert once.certified
+            twice, report = rewrite_query(once.rewritten)
+            assert not twice.changed, query
+            assert report.ok
+
+
+class TestPrefixFactoring:
+    def test_groups_by_longest_common_prefix(self):
+        groups, report = factor_common_prefixes(
+            {
+                "q1": "_*.item.name",
+                "q2": "_*.item.price",
+                "q3": "_*.item",
+                "q4": "site.people",
+            }
+        )
+        (group,) = groups
+        assert group.prefix == "_*.item"
+        assert group.steps == 2
+        assert group.members == ("q1", "q2", "q3")
+        assert "RWR010" in report.codes()
+
+    def test_no_sharing_no_groups(self):
+        groups, report = factor_common_prefixes({"a": "a.b", "b": "c.d"})
+        assert groups == ()
+        assert "RWR010" not in report.codes()
+
+    def test_largest_group_first(self):
+        groups, _ = factor_common_prefixes(
+            {
+                "q1": "a.x",
+                "q2": "a.y",
+                "q3": "a.z",
+                "q4": "b.x",
+                "q5": "b.y",
+            }
+        )
+        assert [g.prefix for g in groups] == ["a", "b"]
+        assert len(groups[0].members) == 3
+
+
+class TestSpine:
+    def test_concat_spine_flattens(self):
+        assert [unparse(p) for p in concat_spine(parse("a.b.c[d]"))] == [
+            "a",
+            "b",
+            "c[d]",
+        ]
+
+    def test_non_concat_is_its_own_spine(self):
+        assert concat_spine(parse("a*")) == [parse("a*")]
+
+    def test_deep_chain_does_not_recurse(self):
+        # Lemma V.1 workloads are chains thousands of steps long; the
+        # flattener must be iterative.
+        chain = ".".join(["a"] * 4000)
+        assert len(concat_spine(parse(chain))) == 4000

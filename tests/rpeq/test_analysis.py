@@ -53,29 +53,9 @@ class TestHelpers:
         assert uses_wildcard(parse("_*.a"))
         assert not uses_wildcard(parse("a.b"))
 
+    def test_shim_module_is_gone(self):
+        # repro.rpeq.analysis was a deprecated alias for
+        # repro.analysis.metrics; it has been removed.
+        import importlib.util
 
-class TestDeprecatedAliases:
-    """repro.rpeq.analysis is a deprecated alias for repro.analysis.metrics."""
-
-    def test_functions_warn_and_delegate(self):
-        import warnings
-
-        from repro.rpeq import analysis as old
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            profile = old.analyze(parse("_*.a[b].c"))
-            labels = old.labels_used(parse("a.b"))
-            wildcard = old.uses_wildcard(parse("_*"))
-        assert profile == analyze(parse("_*.a[b].c"))
-        assert labels == {"a", "b"}
-        assert wildcard is True
-        assert len(caught) == 3
-        assert all(w.category is DeprecationWarning for w in caught)
-        assert "repro.analysis" in str(caught[0].message)
-
-    def test_profile_class_is_the_same_object(self):
-        from repro.analysis.metrics import QueryProfile as canonical
-        from repro.rpeq.analysis import QueryProfile as aliased
-
-        assert aliased is canonical
+        assert importlib.util.find_spec("repro.rpeq.analysis") is None
