@@ -400,6 +400,50 @@ def _smoke_service(measure_memory: bool) -> WorkloadResult:
             "p99_ms": round(best.p99_latency * 1000.0, 3),
         },
     )
+    # Informational recovery series: one seeded crash_reconnect pass
+    # against a WAL-backed service — durable-session clients cut their
+    # connections mid-stream and resume.  Runs once outside _measure
+    # (the chaos must not perturb the gated match count) and is never
+    # regression-gated: reconnect wall-clock rides the scheduler.
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="spex-bench-") as state_dir:
+        crash_config = LoadConfig(
+            subscribers=SMOKE_SERVICE_SUBSCRIBERS,
+            documents=SMOKE_SERVICE_DOCUMENTS,
+            doc_elements=SMOKE_SERVICE_ELEMENTS,
+            seed=SMOKE_SERVICE_SEED,
+            crash_reconnect_subscribers=max(
+                2, SMOKE_SERVICE_SUBSCRIBERS // 8
+            ),
+            crash_after_matches=2,
+        )
+        crash_report, crash_service = run_load(
+            crash_config,
+            ServiceConfig(
+                tick=0.005,
+                heartbeat_interval=None,
+                wal_path=f"{state_dir}/bench.wal",
+                checkpoint_path=f"{state_dir}/bench.ckpt",
+                checkpoint_every_documents=4,
+            ),
+        )
+        result.detail["recovery"] = {
+            "crash_clients": crash_config.crash_reconnect_subscribers,
+            "reconnects": crash_report.reconnects,
+            "sessions_resumed": (
+                crash_service.stats.sessions_resumed
+                if crash_service is not None
+                else 0
+            ),
+            "matches_replayed": (
+                crash_service.stats.matches_replayed
+                if crash_service is not None
+                else 0
+            ),
+            "p50_recovery_ms": round(crash_report.p50_recovery * 1000.0, 3),
+            "max_recovery_ms": round(crash_report.max_recovery * 1000.0, 3),
+        }
     # Latency and throughput over a real socket are scheduler-bound on
     # shared runners; only the delivered answer is gated.
     result.gate["events_per_second"] = False

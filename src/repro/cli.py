@@ -342,6 +342,13 @@ def _serve_listen(
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if args.resume and args.wal_file is None:
+        print(
+            "error: --resume needs --wal-file (the write-ahead log is "
+            "what makes the resume exact)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     try:
         config = ServiceConfig(
             host=host,
@@ -352,6 +359,11 @@ def _serve_listen(
             overflow=args.overflow,
             subscriber_queue=args.queue_size,
             checkpoint_path=args.checkpoint_file,
+            checkpoint_every_documents=args.checkpoint_every_docs,
+            checkpoint_keep=args.checkpoint_keep,
+            wal_path=args.wal_file,
+            wal_fsync_documents=args.wal_fsync_docs,
+            resume=args.resume,
             max_subscriptions_per_tenant=args.tenant_budget,
         )
     except ValueError as exc:
@@ -364,6 +376,13 @@ def _serve_listen(
         # announced (and flushed) before serving so a supervisor — or a
         # test — can discover an ephemeral port by reading one line
         print(f"-- listening on {bound_host}:{bound_port}", flush=True)
+        if service.resumed:
+            print(
+                f"-- resumed: {service.committed_documents} committed "
+                f"document(s), {service.session_count} durable "
+                f"session(s)",
+                file=sys.stderr,
+            )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -373,7 +392,15 @@ def _serve_listen(
         await service.serve_until_done()
         return service
 
-    service = asyncio.run(_run())
+    try:
+        service = asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - handler install raced
+        # SIGINT is a drain request, exactly like SIGTERM.  The asyncio
+        # handler normally swallows it; this fallback covers the narrow
+        # window before it is installed (or platforms without
+        # add_signal_handler) — still no traceback, a normalized code.
+        print("-- interrupted before a graceful drain could run", file=sys.stderr)
+        return EXIT_FATAL
     serving = service.engine.serving
     stats = service.stats
     print(f"-- serving: {serving.summary()}", file=sys.stderr)
@@ -882,7 +909,52 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         dest="checkpoint_file",
         help="--listen only: write a document-boundary checkpoint here "
-        "on graceful drain (resumable with the offline engine)",
+        "on graceful drain (resumable with the offline engine, or "
+        "as a service with --resume)",
+    )
+    serve.add_argument(
+        "--checkpoint-every-docs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        dest="checkpoint_every_docs",
+        help="--listen only: also checkpoint in the background every N "
+        "committed documents, without stopping ingestion (default: "
+        "drain-only)",
+    )
+    serve.add_argument(
+        "--checkpoint-keep",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        dest="checkpoint_keep",
+        help="--listen only: checkpoint generations to retain (FILE, "
+        "FILE.1, ...); load falls back to the newest one that "
+        "verifies (default: 1)",
+    )
+    serve.add_argument(
+        "--wal-file",
+        metavar="FILE",
+        dest="wal_file",
+        help="--listen only: write-ahead match log enabling durable "
+        "subscriber sessions (session tokens, per-subscription "
+        "sequence numbers, exactly-once resume)",
+    )
+    serve.add_argument(
+        "--wal-fsync-docs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        dest="wal_fsync_docs",
+        help="--listen only: fsync the WAL every N document markers "
+        "(default: 1, every document)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="--listen only: reconstruct the previous run's pump, "
+        "subscriptions and durable sessions from --checkpoint-file + "
+        "--wal-file before accepting connections",
     )
     serve.add_argument(
         "--tenant-budget",

@@ -127,7 +127,7 @@ class Checkpoint:
             )
         return cls(kind=kind, payload=payload, version=version)
 
-    def save(self, path: str | os.PathLike[str]) -> None:
+    def save(self, path: str | os.PathLike[str], keep: int = 1) -> None:
         """Write the checkpoint to ``path`` atomically.
 
         The bytes land in a temp file in the same directory and are
@@ -139,10 +139,24 @@ class Checkpoint:
         ``mkstemp``'s own randomness, and the directory entry is fsynced
         after the rename so a crashed host cannot resurrect a stale
         name→inode mapping.
+
+        Args:
+            keep: how many generations to retain.  With ``keep > 1`` the
+                previous snapshots are shifted to ``path.1``, ``path.2``,
+                ... before the replace, so :meth:`load` can fall back to
+                an older generation if the newest one is damaged on
+                disk.  Rotation renames are not safe under *concurrent*
+                writers sharing one path (the sharded engine), so the
+                default stays ``keep=1`` — a single live file, exactly
+                the pre-rotation behaviour.
         """
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
         path = os.fspath(path)
         directory = os.path.dirname(path) or "."
         data = json.dumps(self.to_dict(), sort_keys=True, indent=1)
+        if keep > 1:
+            _rotate(path, keep)
         descriptor, temp_path = tempfile.mkstemp(
             prefix=f".checkpoint-{os.getpid()}-", suffix=".tmp", dir=directory
         )
@@ -171,10 +185,51 @@ class Checkpoint:
 
     @classmethod
     def load(cls, path: str | os.PathLike[str]) -> "Checkpoint":
-        """Read and verify a checkpoint file written by :meth:`save`."""
+        """Read and verify a checkpoint file written by :meth:`save`.
+
+        If the file at ``path`` is torn, truncated, or fails its
+        checksum, older rotated generations (``path.1``, ``path.2``,
+        ...) written by :meth:`save` with ``keep > 1`` are tried in
+        order; the newest one that verifies wins.  Only when every
+        generation is unreadable does the *newest* failure propagate —
+        falling back silently to stale state without saying so would be
+        worse than the original corruption.
+        """
+        try:
+            return cls._load_one(path)
+        except CheckpointError as exc:
+            primary_error = exc
+        base = os.fspath(path)
+        generation = 1
+        while os.path.exists(f"{base}.{generation}"):
+            try:
+                return cls._load_one(f"{base}.{generation}")
+            except CheckpointError:
+                generation += 1
+                continue
+        raise primary_error
+
+    @classmethod
+    def _load_one(cls, path: str | os.PathLike[str]) -> "Checkpoint":
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except (OSError, json.JSONDecodeError) as exc:
             raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
         return cls.from_dict(data)
+
+
+def _rotate(path: str, keep: int) -> None:
+    """Shift ``path`` → ``path.1`` → ... → ``path.keep-1`` (oldest drops).
+
+    Renames happen oldest-first so each generation moves exactly one
+    slot; a crash mid-rotation leaves every snapshot intact under *some*
+    name that :meth:`Checkpoint.load` still probes.
+    """
+    for generation in range(keep - 1, 0, -1):
+        source = path if generation == 1 else f"{path}.{generation - 1}"
+        if os.path.exists(source):
+            try:
+                os.replace(source, f"{path}.{generation}")
+            except OSError:
+                pass  # rotation is best-effort; the new save still lands

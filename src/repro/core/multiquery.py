@@ -947,38 +947,8 @@ class MultiQueryEngine:
                 position.
         """
         payload = checkpoint.require("multiquery")
-        have = {
-            query_id: unparse(query) for query_id, query in self.queries.items()
-        }
-        if payload["queries"] != have:
-            raise CheckpointError(
-                "checkpoint subscription set does not match this engine's "
-                "queries"
-            )
-        if bool(payload["collect_events"]) != self.collect_events:
-            raise CheckpointError(
-                f"checkpoint was taken with collect_events="
-                f"{bool(payload['collect_events'])}, engine has "
-                f"collect_events={self.collect_events}"
-            )
+        networks, cursor = self._restore_networks(payload)
         serving_state = payload.get("serving")
-        # Only the sub-networks present in the checkpoint are revived:
-        # queries that were quarantined, shed or rejected at the cut have
-        # no snapshot, and re-admitting them is the breaker's call, not
-        # the resume path's.
-        networks: dict[str, Network] = {}
-        for query_id, states in payload["networks"].items():
-            if not self._is_admitted(query_id):
-                continue
-            network = self._compile_one(query_id)
-            network.restore(states["network"])
-            network.condition_store.restore(states["store"])
-            network.allocator.restore(states["allocator"])
-            networks[query_id] = network
-        cursor = StreamCursor.from_state(payload["cursor"])
-        self._last_networks = networks
-        self._last_cursor = cursor
-        self.robustness.restores += 1
         events = skip_events(
             iter_events(source, limits=parser_limits), cursor.events_read
         )
@@ -996,6 +966,110 @@ class MultiQueryEngine:
             return self._pump(networks, events)
         policy = policy if policy is not None else ServingPolicy()
         clock = as_clock(clock)
+        serving, breakers = self._restore_serving(
+            serving_state, networks, policy, clock
+        )
+        return self._serve_pump(networks, events, policy, serving, breakers, clock)
+
+    def resume_pump(
+        self,
+        checkpoint: Checkpoint,
+        policy: ServingPolicy | None = None,
+        clock: Clock | None = None,
+    ) -> "ServePump":
+        """Reconstruct a checkpointed serving pass as a push-mode pump.
+
+        This is the *service-native* resume path: where :meth:`resume`
+        couples the restored state to a pull-mode source iterator, this
+        returns a live :class:`ServePump` with **no source attached** —
+        the caller (the asyncio service frontend) pushes events arriving
+        over the network into it, exactly as :meth:`start_pump` callers
+        do.  Every restored artifact is the same as :meth:`resume`'s:
+        sub-network snapshots, the condition stores and allocators, the
+        stream cursor, the :class:`~repro.core.serving.ServingReport`
+        (so document indices continue where the cut left them), and the
+        circuit breakers — including latched quarantine convictions,
+        which stay latched without any offline engine round-trip.
+
+        The caller owns the replay contract :meth:`resume` enforces with
+        ``skip_events``: the first event pushed into the returned pump
+        must be the first event *after* the checkpoint cut (the pump's
+        restored cursor continues counting from there).
+
+        Raises:
+            CheckpointError: wrong engine kind / subscription set /
+                options, or the checkpoint carries no serving state
+                (it was taken from a plain :meth:`run` pass, which has
+                no breakers or report to revive a pump from).
+        """
+        payload = checkpoint.require("multiquery")
+        networks, cursor = self._restore_networks(payload)
+        serving_state = payload.get("serving")
+        if serving_state is None:
+            raise CheckpointError(
+                "checkpoint carries no serving state: only checkpoints "
+                "taken from a serve()/start_pump() pass can resume as a "
+                "pump"
+            )
+        policy = policy if policy is not None else ServingPolicy()
+        clock = as_clock(clock)
+        serving, breakers = self._restore_serving(
+            serving_state, networks, policy, clock
+        )
+        return ServePump(
+            self, networks, policy, serving, breakers, clock, cursor=cursor
+        )
+
+    def _restore_networks(
+        self, payload: dict
+    ) -> tuple[dict[str, "Network"], StreamCursor]:
+        """Shared state restoration of :meth:`resume`/:meth:`resume_pump`.
+
+        Validates the checkpoint against this engine's registrations,
+        revives every snapshotted sub-network (with its condition store
+        and allocator), and rebuilds the stream cursor.  Only the
+        sub-networks present in the checkpoint are revived: queries that
+        were quarantined, shed or rejected at the cut have no snapshot,
+        and re-admitting them is the breaker's call, not the resume
+        path's.
+        """
+        have = {
+            query_id: unparse(query) for query_id, query in self.queries.items()
+        }
+        if payload["queries"] != have:
+            raise CheckpointError(
+                "checkpoint subscription set does not match this engine's "
+                "queries"
+            )
+        if bool(payload["collect_events"]) != self.collect_events:
+            raise CheckpointError(
+                f"checkpoint was taken with collect_events="
+                f"{bool(payload['collect_events'])}, engine has "
+                f"collect_events={self.collect_events}"
+            )
+        networks: dict[str, Network] = {}
+        for query_id, states in payload["networks"].items():
+            if not self._is_admitted(query_id):
+                continue
+            network = self._compile_one(query_id)
+            network.restore(states["network"])
+            network.condition_store.restore(states["store"])
+            network.allocator.restore(states["allocator"])
+            networks[query_id] = network
+        cursor = StreamCursor.from_state(payload["cursor"])
+        self._last_networks = networks
+        self._last_cursor = cursor
+        self.robustness.restores += 1
+        return networks, cursor
+
+    def _restore_serving(
+        self,
+        serving_state: dict,
+        networks: dict[str, "Network"],
+        policy: ServingPolicy,
+        clock: Clock,
+    ) -> tuple[ServingReport, dict[str, CircuitBreaker]]:
+        """Revive the report and breakers of a checkpointed serving pass."""
         serving = ServingReport.from_obj(serving_state)
         # Checkpoints written before the planner existed carry no plans;
         # re-derive them from the (restored) registrations.
@@ -1010,7 +1084,7 @@ class MultiQueryEngine:
             network.clock = clock
         self.serving = serving
         self._breakers = breakers
-        return self._serve_pump(networks, events, policy, serving, breakers, clock)
+        return serving, breakers
 
     @staticmethod
     def _pump(
@@ -1213,6 +1287,11 @@ class ServePump:
     def at_document_boundary(self) -> bool:
         """True between documents — the checkpoint-commit positions."""
         return not self.in_document
+
+    @property
+    def cursor(self) -> StreamCursor | None:
+        """The pass's stream cursor (``None`` for uncheckpointable pumps)."""
+        return self._cursor
 
     # ------------------------------------------------------------------
     # dynamic subscription set

@@ -16,7 +16,11 @@ Layering:
 * :mod:`repro.service.client` — thin asyncio producer/subscriber
   clients;
 * :mod:`repro.service.loadgen` — load harness measuring p50/p99 match
-  latency and sustained ev/s, with seeded chaos modes.
+  latency and sustained ev/s, with seeded chaos modes;
+* :mod:`repro.service.wal` — write-ahead match log backing durable
+  sessions and exactly-once-observed resume;
+* :mod:`repro.service.supervisor` — process supervisor restarting a
+  crashed server with ``--resume`` under seeded backoff.
 """
 
 from .client import ProducerClient, ServiceConnection, SubscriberClient
@@ -33,6 +37,12 @@ from .protocol import (
     encode_frame,
 )
 from .server import ServiceConfig, ServiceStats, SpexService, run_service
+from .supervisor import (
+    ServiceSupervisor,
+    ServiceSupervisorConfig,
+    ServiceSupervisorError,
+)
+from .wal import SessionRecovery, WalError, WalRecovery, WriteAheadLog
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -48,9 +58,16 @@ __all__ = [
     "ServiceConfig",
     "ServiceConnection",
     "ServiceStats",
+    "ServiceSupervisor",
+    "ServiceSupervisorConfig",
+    "ServiceSupervisorError",
+    "SessionRecovery",
     "SpexService",
     "SubscriberClient",
     "SubscriberResult",
+    "WalError",
+    "WalRecovery",
+    "WriteAheadLog",
     "decode_frame",
     "encode_frame",
     "percentile",

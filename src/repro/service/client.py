@@ -12,15 +12,19 @@ from __future__ import annotations
 import asyncio
 from typing import AsyncIterator, Iterable, Sequence
 
+from typing import Mapping
+
 from ..xmlstream.events import Event
 from .protocol import (
     MAX_FRAME_BYTES,
     ROLE_PRODUCER,
     ROLE_SUBSCRIBER,
+    ack_frame,
     decode_frame,
     encode_frame,
     events_frame,
     hello_frame,
+    resume_frame,
     subscribe_frame,
     unsubscribe_frame,
 )
@@ -34,6 +38,10 @@ class ServiceConnection:
     ) -> None:
         self.reader = reader
         self.writer = writer
+        #: durable-session token from the ``welcome`` (``None`` otherwise)
+        self.session: str | None = None
+        #: the full welcome frame (producers read ``replay_from`` off it)
+        self.welcome: dict = {}
 
     @classmethod
     async def open(
@@ -44,18 +52,35 @@ class ServiceConnection:
         tenant: str = "default",
         overflow: str | None = None,
         queue_size: int | None = None,
+        durable: bool = False,
+        session: str | None = None,
     ) -> "ServiceConnection":
-        """Connect, send ``hello``, and await the ``welcome``."""
+        """Connect, send ``hello``, and await the ``welcome``.
+
+        ``durable=True`` asks the server to open a durable session (the
+        token lands in :attr:`session`); passing ``session`` reattaches
+        an existing one after a disconnect or server restart.
+        """
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_FRAME_BYTES + 2
         )
         conn = cls(reader, writer)
         await conn.send(
-            hello_frame(role, tenant, overflow=overflow, queue_size=queue_size)
+            hello_frame(
+                role,
+                tenant,
+                overflow=overflow,
+                queue_size=queue_size,
+                durable=durable,
+                session=session,
+            )
         )
         welcome = await conn.recv()
         if welcome is None or welcome.get("type") != "welcome":
             raise ConnectionError(f"handshake failed: {welcome!r}")
+        conn.welcome = welcome
+        token = welcome.get("session")
+        conn.session = str(token) if token is not None else None
         return conn
 
     async def send(self, frame: dict) -> None:
@@ -124,6 +149,8 @@ class SubscriberClient:
         tenant: str = "default",
         overflow: str | None = None,
         queue_size: int | None = None,
+        durable: bool = False,
+        session: str | None = None,
     ) -> "SubscriberClient":
         return cls(
             await ServiceConnection.open(
@@ -133,8 +160,37 @@ class SubscriberClient:
                 tenant,
                 overflow=overflow,
                 queue_size=queue_size,
+                durable=durable,
+                session=session,
             )
         )
+
+    @property
+    def session(self) -> str | None:
+        """The durable-session token, if the hello asked for one."""
+        return self.conn.session
+
+    async def resume(self, acked: Mapping[str, int]) -> dict:
+        """Replay the session's retained match tail above ``acked``.
+
+        Returns the terminal ``resumed`` frame; every replayed ``match``
+        frame before it is buffered and re-emitted by :meth:`frames`,
+        preserving the wire order (replayed tail strictly before live
+        matches).
+        """
+        await self.conn.send(resume_frame(acked))
+        self._buffered = getattr(self, "_buffered", [])
+        while True:
+            frame = await self.conn.recv()
+            if frame is None:
+                raise ConnectionError("connection closed awaiting 'resumed'")
+            if frame.get("type") == "resumed":
+                return frame
+            self._buffered.append(frame)
+
+    async def ack(self, query_id: str, seq: int) -> None:
+        """Tell the server the highest sequence number observed."""
+        await self.conn.send(ack_frame(query_id, seq))
 
     async def subscribe(self, query_id: str, query: str) -> dict:
         """Send a ``subscribe`` and return its verdict frame.

@@ -24,7 +24,13 @@ Chaos modes (all seeded, all reproducible):
   guaranteed-malformed documents and protocol junk, all of which the
   server must reject *without* shifting the document indices the honest
   producer's stream establishes (document-atomic ingestion is exactly
-  what makes this hold).
+  what makes this hold);
+* ``crash_reconnect_subscribers`` — durable-session clients that cut
+  their TCP connection at a seeded point mid-stream, reconnect with
+  their session token, and ``resume`` from their observed sequence
+  floors.  Each reports its *recovery time* (reconnect start → terminal
+  ``resumed`` frame), the informational series the ``service`` bench
+  workload records; requires a server started with a write-ahead log.
 """
 
 from __future__ import annotations
@@ -70,12 +76,21 @@ class LoadConfig:
     disconnect_after_matches: int = 3
     abusive_producer: bool = False
     abusive_documents: int = 5
+    crash_reconnect_subscribers: int = 0
+    crash_after_matches: int = 4
 
     def __post_init__(self) -> None:
         if self.subscribers < 1 or self.documents < 1:
             raise ValueError("subscribers and documents must be positive")
-        if self.slow_subscribers + self.disconnect_subscribers > self.subscribers:
+        misbehaving = (
+            self.slow_subscribers
+            + self.disconnect_subscribers
+            + self.crash_reconnect_subscribers
+        )
+        if misbehaving > self.subscribers:
             raise ValueError("more misbehaving subscribers than subscribers")
+        if self.crash_after_matches < 1:
+            raise ValueError("crash_after_matches must be positive")
 
 
 @dataclass
@@ -93,6 +108,12 @@ class SubscriberResult:
     rejected: list[dict] = field(default_factory=list)
     disconnected: bool = False
     bye_code: str | None = None
+    #: durable-session crash/reconnect cycles this subscriber performed
+    reconnects: int = 0
+    #: seconds from reconnect start to the terminal ``resumed`` frame
+    recovery_times: list[float] = field(default_factory=list)
+    #: match sequence numbers in arrival order (durable sessions only)
+    seqs: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -128,6 +149,26 @@ class LoadReport:
     @property
     def events_per_second(self) -> float:
         return self.events_sent / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def recovery_times(self) -> list[float]:
+        out: list[float] = []
+        for sub in self.subscribers:
+            out.extend(sub.recovery_times)
+        return out
+
+    @property
+    def reconnects(self) -> int:
+        return sum(sub.reconnects for sub in self.subscribers)
+
+    @property
+    def p50_recovery(self) -> float:
+        return percentile(self.recovery_times, 50.0)
+
+    @property
+    def max_recovery(self) -> float:
+        times = self.recovery_times
+        return max(times) if times else 0.0
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -257,6 +298,127 @@ async def _subscriber_task(
     return result
 
 
+async def _consume_frames(
+    client: SubscriberClient,
+    result: SubscriberResult,
+    send_times: dict[int, float],
+    floors: dict[str, int],
+    stop_after: int | None = None,
+) -> str:
+    """Drive one frame loop; returns ``"crash"``/``"bye"``/``"eof"``."""
+    async for frame in client.frames():
+        kind = frame.get("type")
+        if kind == "match":
+            document = int(frame["document"])
+            match = frame["match"]
+            query_id = str(frame["query_id"])
+            result.matches.append(
+                (
+                    query_id,
+                    document,
+                    int(match["position"]),
+                    str(match["label"]),
+                )
+            )
+            seq = frame.get("seq")
+            if seq is not None:
+                result.seqs.append(int(seq))
+                floors[query_id] = max(floors.get(query_id, 0), int(seq))
+            sent = send_times.get(document)
+            if sent is not None:
+                result.latencies.append(time.monotonic() - sent)
+            if stop_after is not None and len(result.matches) >= stop_after:
+                return "crash"
+        elif kind == "heartbeat":
+            result.heartbeats += 1
+        elif kind == "notice":
+            result.notices.append(frame)
+        elif kind == "bye":
+            result.bye_code = frame.get("code")
+            return "bye"
+    return "eof"
+
+
+async def _crash_reconnect_task(
+    host: str,
+    port: int,
+    index: int,
+    subscriptions: list[tuple[str, str]],
+    config: LoadConfig,
+    send_times: dict[int, float],
+    ready: asyncio.Barrier,
+    settled: asyncio.Event,
+) -> SubscriberResult:
+    """A durable-session subscriber that crashes and resumes, seeded.
+
+    The connection is cut (no unsubscribe, no goodbye) after a seeded
+    number of matches; the client then reconnects with its session
+    token, sends ``resume`` with its observed floors, and keeps
+    consuming.  ``recovery_times`` records reconnect→``resumed``
+    wall-clock — the recovery-time series the bench reports.
+    ``settled`` is set once the crash/resume cycle is over (or was
+    never going to happen) so the harness knows it may drain.
+    """
+    import random
+
+    result = SubscriberResult(index=index, queries=dict(subscriptions))
+    rng = random.Random(config.seed * 7919 + index)
+    crash_after = 1 + rng.randrange(config.crash_after_matches)
+    client = await SubscriberClient.connect(
+        host,
+        port,
+        tenant=config.tenant,
+        overflow=config.overflow,
+        queue_size=config.queue_size,
+        durable=True,
+    )
+    token = client.session
+    floors: dict[str, int] = {}
+    for query_id, query in subscriptions:
+        verdict = await client.subscribe(query_id, query)
+        if verdict.get("type") == "rejected":
+            result.rejected.append(verdict)
+    await ready.wait()
+    try:
+        outcome = await _consume_frames(
+            client, result, send_times, floors, stop_after=crash_after
+        )
+        if outcome == "crash" and token is not None:
+            await client.close()
+            await asyncio.sleep(rng.uniform(0.005, 0.02))
+            restarted = time.monotonic()
+            # The server may not have seen our abrupt close yet, in
+            # which case the session still looks attached and the
+            # resume hello is refused — retry as a real client would.
+            for attempt in range(25):
+                try:
+                    client = await SubscriberClient.connect(
+                        host,
+                        port,
+                        tenant=config.tenant,
+                        overflow=config.overflow,
+                        queue_size=config.queue_size,
+                        session=token,
+                    )
+                    break
+                except ConnectionError:
+                    await asyncio.sleep(0.01 * (attempt + 1))
+            else:
+                result.disconnected = True
+                return result
+            await client.resume(floors)
+            result.recovery_times.append(time.monotonic() - restarted)
+            result.reconnects += 1
+            settled.set()  # before the tail consume: it ends at drain
+            await _consume_frames(client, result, send_times, floors)
+    except (ConnectionError, asyncio.IncompleteReadError):
+        result.disconnected = True
+    finally:
+        settled.set()
+        await client.close()
+    return result
+
+
 async def _producer_task(
     host: str,
     port: int,
@@ -336,9 +498,26 @@ async def run_load_async(
     parties = 1 + config.subscribers + (1 if config.abusive_producer else 0)
     ready = asyncio.Barrier(parties)
     started = time.monotonic()
-    tasks: list[asyncio.Task] = [
-        asyncio.create_task(
-            _subscriber_task(
+    crash_lo = config.slow_subscribers
+    crash_hi = crash_lo + config.crash_reconnect_subscribers
+    crash_settled: list[asyncio.Event] = []
+    tasks: list[asyncio.Task] = []
+    for index in range(config.subscribers):
+        if crash_lo <= index < crash_hi:
+            settled = asyncio.Event()
+            crash_settled.append(settled)
+            coro = _crash_reconnect_task(
+                bound_host,
+                bound_port,
+                index,
+                subscriptions[index],
+                config,
+                send_times,
+                ready,
+                settled,
+            )
+        else:
+            coro = _subscriber_task(
                 bound_host,
                 bound_port,
                 index,
@@ -347,9 +526,7 @@ async def run_load_async(
                 send_times,
                 ready,
             )
-        )
-        for index in range(config.subscribers)
-    ]
+        tasks.append(asyncio.create_task(coro))
     producer = asyncio.create_task(
         _producer_task(
             bound_host, bound_port, config, documents, send_times, ready
@@ -364,6 +541,18 @@ async def run_load_async(
     )
     events_sent = await producer
     abusive_rejections = await abusive if abusive is not None else 0
+    if crash_settled:
+        # hold the drain until every chaos client is through its
+        # crash/resume cycle — the listener must still be up for the
+        # reconnects (a sparse query that never crashes falls through
+        # on the timeout instead of stalling the run)
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*(event.wait() for event in crash_settled)),
+                timeout=settle,
+            )
+        except asyncio.TimeoutError:
+            pass
     drained = False
     if service is not None:
         # graceful drain flushes every committed match, then byes the

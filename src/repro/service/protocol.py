@@ -32,8 +32,12 @@ from ..core.output_tx import Match
 from ..errors import ReproError
 from ..xmlstream.events import Event, event_from_obj, event_to_obj
 
-#: Protocol revision sent in the ``welcome`` frame.
-PROTOCOL_VERSION = 1
+#: Protocol revision sent in the ``welcome`` frame.  Revision 2 adds
+#: durable sessions: session tokens, per-subscription match sequence
+#: numbers, ``resume``/``ack`` client frames and ``ingested`` producer
+#: acknowledgements.  Revision-1 clients interoperate unchanged — every
+#: addition is an optional field or a frame only durable sessions see.
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one encoded frame (defense against a client feeding
 #: an unbounded line; producers must batch below this).
@@ -53,6 +57,8 @@ SVC_OVERFLOW = "SVC006"  #: output queue overflowed under the disconnect policy
 SVC_DRAINING = "SVC007"  #: server is draining (SIGTERM); no new work accepted
 SVC_BAD_DOCUMENT = "SVC008"  #: producer document failed well-formedness
 SVC_TENANT_BUDGET = "SVC009"  #: tenant exceeded its subscription budget
+SVC_SESSION_UNKNOWN = "SVC010"  #: resume token matches no live session
+SVC_SESSION_EXPIRED = "SVC011"  #: session aged past the retention window
 
 #: Per-subscriber output-queue overflow policies.
 OVERFLOW_BLOCK = "block"  #: block the producer side (end-to-end backpressure)
@@ -123,12 +129,20 @@ def hello_frame(
     tenant: str = "default",
     overflow: str | None = None,
     queue_size: int | None = None,
+    durable: bool = False,
+    session: str | None = None,
 ) -> dict:
     """Handshake: declare the connection's role and tenant.
 
     Subscribers may also pick their output-queue ``overflow`` policy and
     ``queue_size`` here (per connection — all of a subscriber's queries
-    share one ordered output queue).
+    share one ordered output queue).  ``durable=True`` asks for a
+    durable session: the server issues a session token in the
+    ``welcome``, stamps every match with a monotone per-subscription
+    ``seq``, and keeps the session's subscriptions running across
+    disconnects.  ``session`` presents a previously issued token to
+    reattach to that session (follow the welcome with a ``resume``
+    frame carrying the observed sequence floors).
     """
     if role not in ROLES:
         raise ProtocolError(f"unknown role {role!r} (expected one of {ROLES})")
@@ -147,6 +161,10 @@ def hello_frame(
         frame["overflow"] = overflow
     if queue_size is not None:
         frame["queue_size"] = queue_size
+    if durable or session is not None:
+        frame["durable"] = True
+    if session is not None:
+        frame["session"] = session
     return frame
 
 
@@ -184,12 +202,81 @@ def ping_frame() -> dict:
     return {"type": "ping"}
 
 
+def resume_frame(acked: Mapping[str, int]) -> dict:
+    """Reattach a durable session's delivery after a reconnect.
+
+    ``acked`` maps each of the session's query ids to the highest
+    sequence number the client *observed* (not necessarily acked on the
+    wire before the disconnect).  The server replays every retained
+    match above that floor, answers with ``resumed``, and only then
+    resumes live delivery — so each match is observed exactly once.
+    """
+    return {"type": "resume", "acked": {str(k): int(v) for k, v in acked.items()}}
+
+
+def ack_frame(query_id: str, seq: int) -> dict:
+    """Advance one subscription's durable delivery floor.
+
+    Acks let the server prune the write-ahead log's replay tail; they
+    are cumulative (acking ``seq`` covers everything at or below it)
+    and purely advisory for flow — delivery never waits on them.
+    """
+    return {"type": "ack", "query_id": query_id, "seq": seq}
+
+
 # ----------------------------------------------------------------------
 # server → client frames
 
 
-def welcome_frame(role: str) -> dict:
-    return {"type": "welcome", "role": role, "version": PROTOCOL_VERSION}
+def welcome_frame(
+    role: str,
+    session: str | None = None,
+    documents: int | None = None,
+    replay_from: int | None = None,
+) -> dict:
+    """Handshake acknowledgement.
+
+    Durable subscribers receive their ``session`` token here.  Producers
+    on a resumed server receive ``documents`` (the committed document
+    count) and ``replay_from`` — the 1-based count of the first document
+    the engine needs re-sent (its state trails the log by up to one
+    checkpoint interval; re-sent documents the log already committed are
+    rebuilt silently, never re-delivered).
+    """
+    frame = {"type": "welcome", "role": role, "version": PROTOCOL_VERSION}
+    if session is not None:
+        frame["session"] = session
+    if documents is not None:
+        frame["documents"] = documents
+    if replay_from is not None:
+        frame["replay_from"] = replay_from
+    return frame
+
+
+def resumed_frame(queries: Mapping[str, int], documents: int) -> dict:
+    """Answer to ``resume``: replay is complete, live delivery follows.
+
+    ``queries`` maps each restored query id to the last sequence number
+    on or below which the client now holds everything (its resume floor
+    plus the replayed tail); ``documents`` is the committed document
+    count at the reattach point.
+    """
+    return {
+        "type": "resumed",
+        "queries": {str(k): int(v) for k, v in queries.items()},
+        "documents": documents,
+    }
+
+
+def ingested_frame(documents: int, durable_documents: int) -> dict:
+    """Producer acknowledgement: ``documents`` committed so far, of
+    which ``durable_documents`` are fsync-covered in the write-ahead
+    log (the fsync batching cadence makes these differ transiently)."""
+    return {
+        "type": "ingested",
+        "documents": documents,
+        "durable": durable_documents,
+    }
 
 
 def subscribed_frame(
@@ -230,15 +317,24 @@ def match_from_obj(obj: Mapping) -> Match:
     )
 
 
-def match_frame(query_id: str, match: Match, document: int) -> dict:
+def match_frame(
+    query_id: str, match: Match, document: int, seq: int | None = None
+) -> dict:
     """One delivered match; ``document`` is the global document index
-    (0-based), which load harnesses use for client-side latency."""
-    return {
+    (0-based), which load harnesses use for client-side latency.
+
+    On durable sessions every match additionally carries ``seq`` — the
+    subscription's monotone, gap-free sequence number, the unit of the
+    ack/resume contract."""
+    frame = {
         "type": "match",
         "query_id": query_id,
         "document": document,
         "match": match_to_obj(match),
     }
+    if seq is not None:
+        frame["seq"] = seq
+    return frame
 
 
 def notice_frame(code: str, reason: str, query_id: str | None = None) -> dict:

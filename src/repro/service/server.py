@@ -34,25 +34,42 @@ Robustness properties, each enforced structurally rather than by luck:
   (the housekeeping task merely ticks on real time), so fault-injection
   tests drive them with a :class:`~repro.core.clock.FakeClock` and zero
   real waiting.
-* **Graceful drain.**  ``SIGTERM`` (via :meth:`SpexService.request_drain`)
-  stops accepting connections, lets producers finish in-flight
-  documents within a grace window, pumps the remaining input, takes a
-  document-boundary checkpoint (resumable via
-  :mod:`repro.core.checkpoint`), flushes every subscriber queue, and
-  says ``bye`` (``SVC007``).
+* **Graceful drain.**  ``SIGTERM``/``SIGINT`` (via
+  :meth:`SpexService.request_drain`) stop accepting connections, let
+  producers finish in-flight documents within a grace window, pump the
+  remaining input, take a document-boundary checkpoint (resumable via
+  :mod:`repro.core.checkpoint`), flush every subscriber queue, and say
+  ``bye`` (``SVC007``).
+* **Durable sessions.**  With a write-ahead log configured
+  (:attr:`ServiceConfig.wal_path`), subscribers may open *durable
+  sessions*: every match carries a monotone per-subscription sequence
+  number and is logged (:mod:`repro.service.wal`) before delivery, the
+  engine is checkpointed in the background at document boundaries
+  without stopping ingestion, and ``resume=True`` reconstructs the
+  whole serving pass — pump, subscriptions, admission verdicts and
+  quarantine latches — *as a service*, directly into a listening
+  server.  A reconnecting client presents its session token and
+  observed sequence floors (``resume`` frame); the server replays the
+  retained log tail above the floor and suppresses regenerated
+  duplicates below it, so every subscriber observes every match exactly
+  once, bit-identical to an offline :meth:`MultiQueryEngine.serve
+  <repro.core.multiquery.MultiQueryEngine.serve>` pass, across any
+  number of crashes.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..core.checkpoint import Checkpoint
 from ..core.clock import Clock, as_clock
 from ..core.multiquery import MultiQueryEngine, ServePump
 from ..core.output_tx import Match
 from ..core.serving import AdmissionPolicy, ServingPolicy
-from ..errors import ReproError, StreamError
+from ..errors import CheckpointError, ReproError, StreamError
 from ..limits import ResourceLimits
 from ..xmlstream.events import EndDocument, Event, StartDocument
 from ..xmlstream.offsets import StreamCursor
@@ -71,6 +88,8 @@ from .protocol import (
     SVC_IDLE_TIMEOUT,
     SVC_OVERFLOW,
     SVC_PROTOCOL,
+    SVC_SESSION_EXPIRED,
+    SVC_SESSION_UNKNOWN,
     SVC_TENANT_BUDGET,
     SVC_WRITE_TIMEOUT,
     ProtocolError,
@@ -80,13 +99,27 @@ from .protocol import (
     error_frame,
     events_from_frame,
     heartbeat_frame,
+    ingested_frame,
     match_frame,
+    match_from_obj,
+    match_to_obj,
     notice_frame,
     pong_frame,
     rejected_frame,
+    resumed_frame,
     subscribed_frame,
     welcome_frame,
 )
+from .wal import SessionRecovery, WalError, WalRecovery, WriteAheadLog
+
+
+def _token_ordinal(token: str) -> int | None:
+    """The ordinal inside a ``sess-NNNNNN`` token (issuance continuity)."""
+    if token.startswith("sess-"):
+        tail = token[5:]
+        if tail.isdigit():
+            return int(tail)
+    return None
 
 #: Sentinels for the engine input queue and subscriber output queues.
 _DRAIN = object()
@@ -124,8 +157,29 @@ class ServiceConfig:
             queue — the backpressure coupling point.
         drain_grace: seconds producers get to finish in-flight
             documents during drain before being aborted.
-        checkpoint_path: where drain writes its document-boundary
-            checkpoint (``None`` skips checkpointing).
+        checkpoint_path: where drain (and the background cadence) write
+            the document-boundary checkpoint (``None`` skips it).
+        checkpoint_every_documents: background-checkpoint cadence — a
+            snapshot is taken (in memory, synchronously — bounded by
+            the paper's d·σ state bound) and written in a worker thread
+            every N committed documents, *without* stopping ingestion;
+            ``None`` keeps the drain-only behaviour.
+        checkpoint_keep: checkpoint generations to retain (rotation);
+            :meth:`Checkpoint.load <repro.core.checkpoint.Checkpoint.load>`
+            falls back to the newest verifying one.
+        wal_path: the write-ahead match log (:mod:`repro.service.wal`);
+            required for durable sessions, ``None`` disables them.
+        wal_fsync_documents: fsync batching cadence of the log (1 syncs
+            every document marker).
+        wal_max_bytes: compaction threshold — once the log exceeds it
+            (checked at the checkpoint cadence), it is atomically
+            rewritten from the retained unacked tail.
+        session_retention_documents: a disconnected durable session
+            older than this many committed documents is expired at the
+            next checkpoint cadence (``SVC011`` on a later resume).
+        resume: reconstruct state from ``checkpoint_path`` + ``wal_path``
+            at :meth:`SpexService.start` — the service-native resume
+            path (no offline engine round-trip).
         max_frame_bytes: per-line wire ceiling (``SVC001`` beyond).
         max_subscriptions_per_tenant: tenant budget (``SVC009``);
             ``None`` is unlimited.
@@ -148,6 +202,13 @@ class ServiceConfig:
     input_queue_documents: int = 8
     drain_grace: float = 5.0
     checkpoint_path: str | None = None
+    checkpoint_every_documents: int | None = None
+    checkpoint_keep: int = 1
+    wal_path: str | None = None
+    wal_fsync_documents: int = 1
+    wal_max_bytes: int = 4_194_304
+    session_retention_documents: int = 1024
+    resume: bool = False
     max_frame_bytes: int = MAX_FRAME_BYTES
     max_subscriptions_per_tenant: int | None = None
     tick: float = 0.02
@@ -170,9 +231,24 @@ class ServiceConfig:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive when set")
-        for name in ("subscriber_queue", "input_queue_documents"):
+        for name in (
+            "subscriber_queue",
+            "input_queue_documents",
+            "checkpoint_keep",
+            "wal_fsync_documents",
+            "session_retention_documents",
+        ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be at least 1")
+        if (
+            self.checkpoint_every_documents is not None
+            and self.checkpoint_every_documents < 1
+        ):
+            raise ValueError(
+                "checkpoint_every_documents must be at least 1 when set"
+            )
+        if self.wal_max_bytes < 1:
+            raise ValueError("wal_max_bytes must be positive")
 
 
 @dataclass
@@ -189,6 +265,50 @@ class ServiceStats:
     forced_disconnects: int = 0
     heartbeats_sent: int = 0
     checkpoints_written: int = 0
+    sessions_opened: int = 0
+    sessions_resumed: int = 0
+    sessions_expired: int = 0
+    matches_logged: int = 0
+    matches_replayed: int = 0
+    documents_rebuilt: int = 0
+    wal_compactions: int = 0
+
+
+class _Session:
+    """One durable subscriber session; outlives its connections.
+
+    The session is the durability unit of the wire protocol: its
+    subscriptions keep running (and their matches keep accruing in the
+    write-ahead log) while no connection is attached, and a client
+    presenting the token reattaches with a ``resume`` frame carrying
+    its observed per-query sequence floors.
+    """
+
+    def __init__(self, token: str, tenant: str, opened_doc: int) -> None:
+        self.token = token
+        self.tenant = tenant
+        #: client query id -> {"engine_id", "query", "attach_doc"}
+        self.subscriptions: dict[str, dict[str, Any]] = {}
+        #: client query id -> highest sequence number the client observed
+        #: (live delivery at or below it is suppressed; the WAL tail
+        #: above it is what a resume replays).
+        self.floors: dict[str, int] = {}
+        self.conn: _Connection | None = None
+        self.opened_doc = opened_doc
+        self.last_doc = opened_doc
+
+    def recovery_form(self) -> SessionRecovery:
+        """The session as the WAL compactor re-emits it."""
+        return SessionRecovery(
+            token=self.token,
+            tenant=self.tenant,
+            subscriptions={
+                qid: dict(sub) for qid, sub in self.subscriptions.items()
+            },
+            acked=dict(self.floors),
+            opened_doc=self.opened_doc,
+            last_doc=self.last_doc,
+        )
 
 
 class _Connection:
@@ -220,6 +340,12 @@ class _Connection:
         self.shed_frames = 0
         self.writing_since: float | None = None
         self.writer_task: asyncio.Task | None = None
+        # durable-session state
+        self.session: "_Session | None" = None
+        #: replay in progress: live matches divert to ``resume_buffer``
+        #: so the WAL tail stays strictly before them in the queue.
+        self.resuming = False
+        self.resume_buffer: list[dict] = []
 
     def send_now(self, frame: dict) -> None:
         """Queue one line on the transport (never blocks, line-atomic)."""
@@ -249,6 +375,8 @@ class SpexService:
         self.pump: ServePump | None = None
         self.address: tuple[str, int] | None = None
         self.checkpoint: Checkpoint | None = None
+        self.wal: WriteAheadLog | None = None
+        self.resumed = False
         self._server: asyncio.Server | None = None
         self._input: asyncio.Queue | None = None
         self._connections: set[_Connection] = set()
@@ -262,16 +390,65 @@ class SpexService:
         self._engine_done: asyncio.Event | None = None
         self._done: asyncio.Event | None = None
         self._last_heartbeat = 0.0
+        # durable-session machinery
+        self._sessions: dict[str, _Session] = {}
+        self._engine_sessions: dict[str, tuple[_Session, str]] = {}
+        self._session_ordinal = 0
+        self._seqs: dict[str, int] = {}
+        #: complete documents committed (1-based count; WAL marker unit).
+        self._committed_documents = 0
+        #: documents accepted onto the input queue (>= committed).
+        self._accepted_documents = 0
+        #: replayed documents at or below this count rebuild engine state
+        #: silently: their matches are already in the WAL, so delivery
+        #: and logging are suppressed for the engine ids that existed at
+        #: the crash (fresh subscriptions still see them live).
+        self._rebuild_until = 0
+        self._rebuild_eids: set[str] = set()
+        #: (attach_doc, engine_id, query, qid, session) — recovered
+        #: subscriptions younger than the checkpoint, re-attached when
+        #: the rebuild replay reaches their original join point.
+        self._deferred_attach: list[tuple[int, str, str, str, _Session]] = []
+        self._expired_tokens: set[str] = set()
+        self._checkpoint_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
 
     async def start(self) -> tuple[str, int]:
-        """Bind, start the engine pump, and begin accepting connections."""
+        """Bind, start the engine pump, and begin accepting connections.
+
+        With :attr:`ServiceConfig.resume` the pump, subscriptions,
+        admission verdicts, quarantine latches and WAL replay tail are
+        reconstructed from ``checkpoint_path`` + ``wal_path`` *before*
+        the listener binds — the service-native resume path.
+        """
         config = self.config
-        self.pump = self.engine.start_pump(
-            policy=config.serving, clock=self.clock, cursor=StreamCursor()
-        )
+        recovery = None
+        if config.wal_path is not None:
+            if not config.resume and os.path.exists(config.wal_path):
+                os.unlink(config.wal_path)  # stale log from an old run
+            self.wal, recovery = WriteAheadLog.open(
+                config.wal_path, config.wal_fsync_documents
+            )
+        snapshot = self._load_resume_checkpoint() if config.resume else None
+        if snapshot is not None:
+            self.engine = MultiQueryEngine.from_checkpoint(
+                snapshot,
+                limits=config.limits,
+                admission=config.admission,
+            )
+            self.pump = self.engine.resume_pump(
+                snapshot, policy=config.serving, clock=self.clock
+            )
+            self.checkpoint = snapshot
+            self.resumed = True
+        else:
+            self.pump = self.engine.start_pump(
+                policy=config.serving, clock=self.clock, cursor=StreamCursor()
+            )
+        if config.resume and recovery is not None:
+            self._install_recovery(recovery)
         self._input = asyncio.Queue(maxsize=config.input_queue_documents)
         self._engine_done = asyncio.Event()
         self._done = asyncio.Event()
@@ -307,6 +484,16 @@ class SpexService:
         await self._done.wait()
 
     @property
+    def committed_documents(self) -> int:
+        """Fully ingested documents this run has committed (1-based)."""
+        return self._committed_documents
+
+    @property
+    def session_count(self) -> int:
+        """Live durable sessions (attached or awaiting a resume)."""
+        return len(self._sessions)
+
+    @property
     def degraded(self) -> bool:
         """Whether any query's delivery was degraded this pass."""
         serving = self.engine.serving
@@ -315,18 +502,133 @@ class SpexService:
         return any(outcome.degraded for outcome in serving.outcomes.values())
 
     # ------------------------------------------------------------------
+    # service-native resume
+
+    def _load_resume_checkpoint(self) -> Checkpoint | None:
+        """The newest verifying checkpoint generation, or ``None``.
+
+        A missing file is a fresh start (first boot under a supervisor
+        that always passes ``--resume``); a corrupt file falls back
+        through the rotated generations inside :meth:`Checkpoint.load
+        <repro.core.checkpoint.Checkpoint.load>` and only a fully
+        unreadable set comes back ``None`` — the WAL still rebuilds the
+        stream from document one in that case.
+        """
+        path = self.config.checkpoint_path
+        if path is None:
+            return None
+        try:
+            return Checkpoint.load(path)
+        except CheckpointError:
+            return None
+
+    def _install_recovery(self, recovery: "WalRecovery") -> None:
+        """Rebuild sessions, routes-to-be and counters from the WAL.
+
+        The engine (restored from the checkpoint) may trail the log by
+        up to one checkpoint interval; the difference is bridged by the
+        producer replay contract — ``welcome`` tells producers to
+        re-send from the engine's position, and documents at or below
+        the committed count rebuild state with delivery suppressed.
+        """
+        assert self.pump is not None and self.wal is not None
+        engine_documents = self.pump.serving.documents_seen
+        self._committed_documents = max(
+            recovery.committed_documents, engine_documents
+        )
+        self._accepted_documents = engine_documents
+        self._rebuild_until = self._committed_documents
+        self._seqs = dict(recovery.seqs)
+        self.wal.documents = self._committed_documents
+        deferred: list[tuple[int, str, str, str, _Session]] = []
+        for token in sorted(recovery.sessions):
+            record = recovery.sessions[token]
+            session = _Session(token, record.tenant, record.opened_doc)
+            session.last_doc = record.last_doc
+            session.floors = dict(record.acked)
+            session.subscriptions = {
+                qid: dict(sub) for qid, sub in record.subscriptions.items()
+            }
+            self._sessions[token] = session
+            for qid, sub in session.subscriptions.items():
+                engine_id = str(sub["engine_id"])
+                self._engine_sessions[engine_id] = (session, qid)
+                self._rebuild_eids.add(engine_id)
+                self._tenant_counts[session.tenant] = (
+                    self._tenant_counts.get(session.tenant, 0) + 1
+                )
+                if engine_id not in self.engine.queries:
+                    # Subscribed after the checkpoint cut: re-register at
+                    # its original join point during the rebuild replay.
+                    attach_doc = max(int(sub["attach_doc"]), engine_documents)
+                    deferred.append(
+                        (attach_doc, engine_id, str(sub["query"]), qid, session)
+                    )
+            ordinal = _token_ordinal(token)
+            if ordinal is not None:
+                self._session_ordinal = max(self._session_ordinal, ordinal)
+        self._deferred_attach = sorted(deferred, key=lambda item: item[0])
+        # Checkpointed queries no durable session claims belonged to
+        # non-durable subscribers of the dead process: close them out
+        # (their subscribers are gone and cannot resume).
+        for engine_id in list(self.engine.queries):
+            if engine_id not in self._engine_sessions:
+                self.pump.close(
+                    engine_id,
+                    status="closed",
+                    code=None,
+                    reason="non-durable subscriber lost in crash",
+                )
+                try:
+                    self.engine.remove_query(engine_id)
+                except ReproError:  # pragma: no cover - defensive
+                    pass
+
+    def _attach_deferred(self) -> None:
+        """Re-attach recovered subscriptions whose join point arrived.
+
+        A subscription recorded at document count ``k`` joined the pass
+        at document ``k + 1``; during the rebuild replay it must join at
+        exactly that boundary again — gauged by the *pump's* position,
+        which climbs back through the replayed documents — or its
+        regenerated matches (and every later sequence number) would
+        diverge from the log.
+        """
+        assert self.pump is not None
+        while (
+            self._deferred_attach
+            and self._deferred_attach[0][0] <= self.pump.serving.documents_seen
+        ):
+            _, engine_id, query, qid, session = self._deferred_attach.pop(0)
+            try:
+                self.engine.add_query(engine_id, query)
+            except ReproError:
+                session.subscriptions.pop(qid, None)
+                self._engine_sessions.pop(engine_id, None)
+                continue
+            if not self.pump.attach(engine_id):
+                # Deterministic admission re-rejects only what it
+                # rejected before; a recovered subscription was admitted.
+                self.engine.remove_query(engine_id)
+                session.subscriptions.pop(qid, None)
+                self._engine_sessions.pop(engine_id, None)
+
+    # ------------------------------------------------------------------
     # engine task: the single consumer of the document queue
 
     async def _engine_loop(self) -> None:
         assert self._input is not None and self.pump is not None
         try:
             while True:
-                document = await self._input.get()
-                if document is _DRAIN:
+                item = await self._input.get()
+                if item is _DRAIN:
                     break
+                producer, document = item
+                self._attach_deferred()
                 for event in document:
                     for engine_id, match in self.pump.feed(event):
                         await self._deliver(engine_id, match)
+                await self._commit_document(producer)
                 self._notify_detachments()
                 # cooperative yield: one giant document must not starve
                 # accept/handshake processing forever
@@ -335,15 +637,167 @@ class SpexService:
             assert self._engine_done is not None
             self._engine_done.set()
 
+    async def _commit_document(self, producer: "_Connection | None") -> None:
+        """Document-boundary commit: marker, fsync cadence, checkpoint.
+
+        Ordering is the durability invariant: the WAL marker (and its
+        covering fsync, when the batching cadence fires) always precedes
+        the background checkpoint save, so the checkpoint can trail the
+        log but never lead it.  The producer's ``ingested`` ack goes out
+        last — an acked document is one the log already holds.
+        """
+        assert self.pump is not None
+        # The pump's own position is the commit count: during a rebuild
+        # replay it climbs back toward the already-committed count (which
+        # therefore must not advance), and past it they move together.
+        count = self.pump.serving.documents_seen
+        rebuilding = count <= self._rebuild_until
+        self._committed_documents = max(self._committed_documents, count)
+        if rebuilding:
+            self.stats.documents_rebuilt += 1
+        elif self.wal is not None:
+            cursor = self.pump.cursor if self.pump is not None else None
+            events_read = cursor.events_read if cursor is not None else 0
+            self.wal.append_document(count, events_read)
+            self._maybe_background_checkpoint(count)
+        if (
+            producer is not None
+            and not producer.closed
+            and self.wal is not None
+        ):
+            producer.send_now(
+                ingested_frame(count, self.wal.durable_documents)
+            )
+
+    def _maybe_background_checkpoint(self, count: int) -> None:
+        """Live checkpoint at the cadence, without stopping ingestion.
+
+        The snapshot itself is taken synchronously (it is an in-memory
+        dict capture, bounded by d·σ); only the fsync-heavy file write
+        moves to a worker thread.  One save in flight at a time — if the
+        previous write is still running, this boundary is skipped and
+        the next cadence hit retries.
+        """
+        config = self.config
+        if (
+            config.checkpoint_every_documents is None
+            or config.checkpoint_path is None
+            or count % config.checkpoint_every_documents != 0
+        ):
+            return
+        if self._checkpoint_task is not None and not self._checkpoint_task.done():
+            return
+        if self.wal is not None:
+            self.wal.sync()  # the WAL must never trail the checkpoint
+            self._expire_stale_sessions(count)
+            if self.wal.size_bytes > config.wal_max_bytes:
+                cursor = self.pump.cursor if self.pump is not None else None
+                self.wal.compact(
+                    {
+                        token: session.recovery_form()
+                        for token, session in self._sessions.items()
+                    },
+                    cursor.events_read if cursor is not None else 0,
+                )
+                self.stats.wal_compactions += 1
+        try:
+            snapshot = self.engine.checkpoint()
+        except ReproError:  # pragma: no cover - no cursor-tracked pass
+            return
+        self.checkpoint = snapshot
+        self._checkpoint_task = asyncio.get_running_loop().create_task(
+            self._save_checkpoint(snapshot)
+        )
+
+    async def _save_checkpoint(self, snapshot: Checkpoint) -> None:
+        try:
+            await asyncio.to_thread(
+                snapshot.save,
+                self.config.checkpoint_path,
+                self.config.checkpoint_keep,
+            )
+            self.stats.checkpoints_written += 1
+        except (ReproError, OSError):  # pragma: no cover - disk trouble
+            pass
+
+    def _expire_stale_sessions(self, count: int) -> None:
+        """Expire disconnected sessions past the retention window."""
+        retention = self.config.session_retention_documents
+        for token in list(self._sessions):
+            session = self._sessions[token]
+            if session.conn is not None:
+                continue
+            if count - session.last_doc <= retention:
+                continue
+            self._sessions.pop(token)
+            self._expired_tokens.add(token)
+            self.stats.sessions_expired += 1
+            if self.wal is not None:
+                self.wal.append_session(
+                    {"op": "expire", "sid": token, "doc": count},
+                    durable=False,
+                )
+            for qid, sub in list(session.subscriptions.items()):
+                engine_id = str(sub["engine_id"])
+                self._engine_sessions.pop(engine_id, None)
+                self._rebuild_eids.discard(engine_id)
+                count_t = self._tenant_counts.get(session.tenant, 0)
+                if count_t <= 1:
+                    self._tenant_counts.pop(session.tenant, None)
+                else:
+                    self._tenant_counts[session.tenant] = count_t - 1
+                if self.wal is not None:
+                    self.wal.release(engine_id)
+                if self.pump is not None:
+                    self.pump.close(
+                        engine_id,
+                        status="closed",
+                        code=None,
+                        reason="durable session expired",
+                    )
+                try:
+                    self.engine.remove_query(engine_id)
+                except ReproError:
+                    pass
+            session.subscriptions.clear()
+
     async def _deliver(self, engine_id: str, match: Match) -> None:
+        assert self.pump is not None
+        document = self.pump.serving.documents_seen - 1
+        owner = self._engine_sessions.get(engine_id)
+        seq: int | None = None
+        if owner is not None:
+            owner_session, owner_qid = owner
+            if (
+                self.pump.serving.documents_seen <= self._rebuild_until
+                and engine_id in self._rebuild_eids
+            ):
+                # Rebuild replay: this match is already in the WAL with
+                # this exact sequence number; the resume replay delivers
+                # it, so regenerating it must stay silent.
+                return
+            seq = self._seqs.get(engine_id, 0) + 1
+            self._seqs[engine_id] = seq
+            if self.wal is not None:
+                self.wal.append_match(
+                    engine_id, seq, document, match_to_obj(match)
+                )
+                self.stats.matches_logged += 1
+            if seq <= owner_session.floors.get(owner_qid, 0):
+                # The client observed this match before the crash; the
+                # regenerated copy must not be delivered twice.
+                return
         route = self._routes.get(engine_id)
         if route is None:
             return
         conn, client_id = route
-        assert self.pump is not None and conn.queue is not None
-        frame = match_frame(
-            client_id, match, self.pump.serving.documents_seen - 1
-        )
+        assert conn.queue is not None
+        frame = match_frame(client_id, match, document, seq=seq)
+        if conn.resuming:
+            # WAL-tail replay in progress: live frames park here and
+            # follow the replayed tail in order.
+            conn.resume_buffer.append(frame)
+            return
         if conn.overflow == OVERFLOW_BLOCK:
             await conn.queue.put(frame)
             return
@@ -451,7 +905,20 @@ class SpexService:
         conn.last_activity = self.clock.monotonic()
         if role == ROLE_PRODUCER:
             self.stats.producers += 1
-            conn.send_now(welcome_frame(role))
+            if self.wal is not None:
+                # Replay contract: the producer re-sends everything after
+                # the service's accepted position — during a resume that
+                # is the checkpoint cut, so the rebuild replay regrows
+                # the engine to the committed count deterministically.
+                conn.send_now(
+                    welcome_frame(
+                        role,
+                        documents=self._committed_documents,
+                        replay_from=self._accepted_documents + 1,
+                    )
+                )
+            else:
+                conn.send_now(welcome_frame(role))
             await self._producer_loop(conn)
             return
         self.stats.subscribers += 1
@@ -462,10 +929,91 @@ class SpexService:
         queue_size = int(frame.get("queue_size", self.config.subscriber_queue))
         if queue_size < 1:
             raise ProtocolError("queue_size must be at least 1")
+        durable = bool(frame.get("durable", False))
+        token = frame.get("session")
+        if (durable or token is not None) and self.wal is None:
+            raise ProtocolError(
+                "durable sessions need a write-ahead log "
+                "(server started without --wal-file)"
+            )
         conn.queue = asyncio.Queue(maxsize=queue_size)
         conn.writer_task = asyncio.create_task(self._writer_loop(conn))
-        self._enqueue_control(conn, welcome_frame(role))
+        if token is not None:
+            session = self._sessions.get(str(token))
+            if session is None:
+                if str(token) in self._expired_tokens:
+                    code, why = (
+                        SVC_SESSION_EXPIRED,
+                        f"session {token!r} expired past the retention "
+                        f"window of "
+                        f"{self.config.session_retention_documents} "
+                        f"document(s)",
+                    )
+                else:
+                    code, why = (
+                        SVC_SESSION_UNKNOWN,
+                        f"unknown session {token!r}",
+                    )
+                self._enqueue_control(conn, error_frame(code, why))
+                self._enqueue_control(conn, bye_frame(code, "cannot resume"))
+                if conn.queue is not None:
+                    conn.queue.put_nowait(_CLOSE)
+                # let the writer flush the refusal before cleanup drains
+                # the queue and closes the transport under it
+                if conn.writer_task is not None:
+                    await conn.writer_task
+                return
+            if session.conn is not None and not session.conn.closed:
+                raise ProtocolError(
+                    f"session {token!r} is attached on another connection"
+                )
+            self._adopt_session(conn, session)
+            self._enqueue_control(
+                conn, welcome_frame(role, session=session.token)
+            )
+        elif durable:
+            session = self._open_session(conn)
+            self._enqueue_control(
+                conn, welcome_frame(role, session=session.token)
+            )
+        else:
+            self._enqueue_control(conn, welcome_frame(role))
         await self._subscriber_loop(conn)
+
+    def _open_session(self, conn: _Connection) -> _Session:
+        """Mint a durable session for a fresh ``durable`` hello."""
+        assert self.wal is not None
+        self._session_ordinal += 1
+        token = f"sess-{self._session_ordinal:06d}"
+        session = _Session(token, conn.tenant, self._committed_documents)
+        session.conn = conn
+        conn.session = session
+        self._sessions[token] = session
+        self.wal.append_session(
+            {
+                "op": "open",
+                "sid": token,
+                "tenant": conn.tenant,
+                "doc": session.opened_doc,
+            }
+        )
+        self.stats.sessions_opened += 1
+        return session
+
+    def _adopt_session(self, conn: _Connection, session: "_Session") -> None:
+        """Bind a reconnecting connection to its recovered session.
+
+        Routes and ``conn.queries`` are installed immediately so live
+        matches start flowing (through the floor filter); the client's
+        ``resume`` frame then replays the WAL tail and lifts the floors.
+        """
+        session.conn = conn
+        conn.session = session
+        conn.tenant = session.tenant
+        for qid, sub in session.subscriptions.items():
+            engine_id = str(sub["engine_id"])
+            conn.queries[qid] = engine_id
+            self._routes[engine_id] = (conn, qid)
 
     # -------------------------------- producers
 
@@ -555,7 +1103,8 @@ class SpexService:
                     )
                     continue
                 # bounded queue: this await is the backpressure point
-                await self._input.put(document)
+                await self._input.put((conn, document))
+                self._accepted_documents += 1
                 self.stats.documents_ingested += 1
 
     # -------------------------------- subscribers
@@ -574,6 +1123,10 @@ class SpexService:
                 await self._subscribe(conn, frame)
             elif kind == "unsubscribe":
                 await self._unsubscribe(conn, frame)
+            elif kind == "resume":
+                await self._resume_session(conn, frame)
+            elif kind == "ack":
+                self._handle_ack(conn, frame)
             else:
                 self._enqueue_control(
                     conn,
@@ -583,6 +1136,86 @@ class SpexService:
                         f"got {kind!r}",
                     ),
                 )
+
+    async def _resume_session(self, conn: _Connection, frame: dict) -> None:
+        """Replay the retained WAL tail above the client's floors.
+
+        Ordering contract: every replayed match precedes every live
+        match on the wire.  Routes are already installed (adoption), so
+        live matches produced *during* this replay divert to
+        ``conn.resume_buffer`` and are flushed right after the tail,
+        before the ``resumed`` frame clears the diversion.
+        """
+        session = conn.session
+        if session is None or self.wal is None:
+            self._enqueue_control(
+                conn,
+                error_frame(SVC_PROTOCOL, "resume needs a durable session"),
+            )
+            return
+        acked = frame.get("acked")
+        if not isinstance(acked, dict):
+            acked = {}
+        conn.resuming = True
+        try:
+            for qid in sorted(session.subscriptions):
+                sub = session.subscriptions[qid]
+                engine_id = str(sub["engine_id"])
+                floor = max(session.floors.get(qid, 0), int(acked.get(qid, 0)))
+                session.floors[qid] = floor
+                self.wal.acknowledge(engine_id, floor)
+                for seq, document, match_obj in self.wal.replay_tail(
+                    engine_id, floor
+                ):
+                    replayed = match_frame(
+                        qid, match_from_obj(match_obj), document, seq=seq
+                    )
+                    await conn.queue.put(replayed)  # type: ignore[union-attr]
+                    self.stats.matches_replayed += 1
+            for buffered in conn.resume_buffer:
+                await conn.queue.put(buffered)  # type: ignore[union-attr]
+            conn.resume_buffer = []
+            await conn.queue.put(  # type: ignore[union-attr]
+                resumed_frame(
+                    {
+                        qid: self._seqs.get(
+                            str(session.subscriptions[qid]["engine_id"]), 0
+                        )
+                        for qid in sorted(session.subscriptions)
+                    },
+                    self._committed_documents,
+                )
+            )
+        finally:
+            conn.resuming = False
+        session.last_doc = self._committed_documents
+        self.stats.sessions_resumed += 1
+
+    def _handle_ack(self, conn: _Connection, frame: dict) -> None:
+        """Lift a floor: the log tail at or below it can be pruned."""
+        session = conn.session
+        if session is None or self.wal is None:
+            return
+        qid = str(frame.get("query_id", ""))
+        sub = session.subscriptions.get(qid)
+        if sub is None:
+            return
+        try:
+            seq = int(frame.get("seq", 0))
+        except (TypeError, ValueError):
+            return
+        if seq <= session.floors.get(qid, 0):
+            return
+        session.floors[qid] = seq
+        engine_id = str(sub["engine_id"])
+        self.wal.acknowledge(engine_id, seq)
+        # Ack records trim the tail a *future* recovery replays; losing
+        # the latest one merely re-replays a few acked matches, which
+        # the client's own floor filter drops — no eager fsync needed.
+        self.wal.append_session(
+            {"op": "ack", "sid": session.token, "qid": qid, "seq": seq},
+            durable=False,
+        )
 
     async def _subscribe(self, conn: _Connection, frame: dict) -> None:
         assert self.pump is not None and conn.queue is not None
@@ -620,7 +1253,13 @@ class SpexService:
                 )
             )
             return
-        engine_id = f"c{conn.id}.{client_id}"
+        session = conn.session
+        if session is not None:
+            # Session-scoped id: stable across reconnects, so the WAL
+            # tail and sequence counter survive the connection.
+            engine_id = f"{session.token}.{client_id}"
+        else:
+            engine_id = f"c{conn.id}.{client_id}"
         try:
             self.engine.add_query(engine_id, query)
         except ReproError as exc:
@@ -641,6 +1280,29 @@ class SpexService:
         self._tenant_counts[conn.tenant] = (
             self._tenant_counts.get(conn.tenant, 0) + 1
         )
+        if session is not None:
+            assert self.wal is not None
+            # attach() joins at the next <$>, i.e. document
+            # ``documents_seen + 1`` whether called at a boundary or
+            # mid-document — record the position so a rebuild replay
+            # re-attaches at exactly the same join point.
+            attach_doc = self.pump.serving.documents_seen
+            session.subscriptions[client_id] = {
+                "engine_id": engine_id,
+                "query": query,
+                "attach_doc": attach_doc,
+            }
+            self._engine_sessions[engine_id] = (session, client_id)
+            self.wal.append_session(
+                {
+                    "op": "sub",
+                    "sid": session.token,
+                    "qid": client_id,
+                    "eid": engine_id,
+                    "query": query,
+                    "doc": attach_doc,
+                }
+            )
         status = "degraded" if decision is not None and decision.degraded else "admit"
         await conn.queue.put(
             subscribed_frame(
@@ -662,13 +1324,36 @@ class SpexService:
             )
             return
         self._release_query(conn, engine_id, degraded=False)
+        session = conn.session
+        durable = session is not None and client_id in session.subscriptions
         for match in self.pump.close(engine_id):
+            seq: int | None = None
+            if durable:
+                seq = self._seqs.get(engine_id, 0) + 1
+                self._seqs[engine_id] = seq
             await conn.queue.put(
                 match_frame(
-                    client_id, match, self.pump.serving.documents_seen - 1
+                    client_id,
+                    match,
+                    self.pump.serving.documents_seen - 1,
+                    seq=seq,
                 )
             )
         self.engine.remove_query(engine_id)
+        if durable and session is not None:
+            # The subscription ends with the session's blessing: its log
+            # tail and recovery entry go away (an unsubscribed query is
+            # never replayed), though its sequence counter stays so a
+            # re-subscribe under the same id continues monotonically.
+            session.subscriptions.pop(client_id, None)
+            session.floors.pop(client_id, None)
+            self._engine_sessions.pop(engine_id, None)
+            self._rebuild_eids.discard(engine_id)
+            if self.wal is not None:
+                self.wal.release(engine_id)
+                self.wal.append_session(
+                    {"op": "unsub", "sid": session.token, "qid": client_id}
+                )
         await conn.queue.put(
             notice_frame("CLOSED", "unsubscribed", client_id)
         )
@@ -687,26 +1372,54 @@ class SpexService:
         if degraded and self.engine.serving is not None:
             self.engine.serving.outcome(engine_id).degraded = True
 
+    def _detach_session_conn(self, conn: _Connection) -> None:
+        """Unbind a durable session from a dying connection.
+
+        The session — queries, tenant budget, sequence counters, WAL
+        tail — stays alive: matches keep accruing durably and a later
+        ``resume`` with the token replays them.  Nothing is degraded;
+        by the exactly-once contract the client loses no matches.
+        """
+        session = conn.session
+        assert session is not None
+        for engine_id in conn.queries.values():
+            route = self._routes.get(engine_id)
+            if route is not None and route[0] is conn:
+                self._routes.pop(engine_id, None)
+        conn.queries.clear()
+        conn.notified.clear()
+        conn.resume_buffer = []
+        session.conn = None
+        session.last_doc = max(session.last_doc, self._committed_documents)
+        conn.session = None
+
     def _force_close_subscriber(
         self, conn: _Connection, code: str, reason: str
     ) -> None:
-        """Cut a slow/overflowed subscriber; its queries close degraded."""
+        """Cut a slow/overflowed subscriber; its queries close degraded.
+
+        A durable session's queries are *not* closed — the connection is
+        the faulty part, the session survives for a resume.
+        """
         if conn.closed:
             return
         conn.closed = True
         self.stats.forced_disconnects += 1
         assert self.pump is not None
-        for client_id, engine_id in list(conn.queries.items()):
-            self._release_query(conn, engine_id, degraded=True)
-            self.pump.close(
-                engine_id, status="closed", code=code, reason=reason,
-                degraded=True,
-            )
-            try:
-                self.engine.remove_query(engine_id)
-            except ReproError:
-                pass
-        conn.queries.clear()
+        if conn.session is not None:
+            self._detach_session_conn(conn)
+        else:
+            for client_id, engine_id in list(conn.queries.items()):
+                self._release_query(conn, engine_id, degraded=True)
+                self.pump.close(
+                    engine_id, status="closed", code=code, reason=reason,
+                    degraded=True,
+                )
+                try:
+                    self.engine.remove_query(engine_id)
+                except ReproError:
+                    pass
+            conn.queries.clear()
         # the bye goes straight onto the transport (the queue may hold a
         # single slot, and the writer may be wedged in a slow drain); the
         # cleared queue always has room for the close sentinel
@@ -847,6 +1560,12 @@ class SpexService:
             await asyncio.sleep(config.tick)
         await self._input.put(_DRAIN)
         await self._engine_done.wait()
+        if self._checkpoint_task is not None:
+            # let an in-flight background save finish before the final
+            # one (two concurrent rotations on one path would race)
+            await asyncio.wait([self._checkpoint_task])
+        if self.wal is not None:
+            self.wal.sync()  # checkpoint never leads the log
         # Document-boundary checkpoint: the pump only ever stops between
         # documents here (only whole documents enter the queue), so the
         # cut is exact and resumable.
@@ -854,7 +1573,9 @@ class SpexService:
             try:
                 self.checkpoint = self.engine.checkpoint()
                 if config.checkpoint_path is not None:
-                    self.checkpoint.save(config.checkpoint_path)
+                    self.checkpoint.save(
+                        config.checkpoint_path, keep=config.checkpoint_keep
+                    )
                     self.stats.checkpoints_written += 1
             except ReproError:
                 self.checkpoint = None
@@ -886,6 +1607,11 @@ class SpexService:
             if not conn.closed:
                 conn.closed = True
                 conn.writer.close()
+        if self.wal is not None:
+            try:
+                self.wal.close()
+            except WalError:  # pragma: no cover - already closed
+                pass
         self._done.set()
 
     # ------------------------------------------------------------------
@@ -895,7 +1621,11 @@ class SpexService:
             # died mid-document: the document never reached the engine
             self.stats.partial_documents += 1
             conn.partial = []
-        if conn.role == ROLE_SUBSCRIBER and conn.queries:
+        if conn.role == ROLE_SUBSCRIBER and conn.session is not None:
+            # a durable session outlives its connection: queries keep
+            # running, matches keep accruing in the WAL
+            self._detach_session_conn(conn)
+        elif conn.role == ROLE_SUBSCRIBER and conn.queries:
             # a departed subscriber is a clean close, not a failure
             assert self.pump is not None
             for engine_id in list(conn.queries.values()):

@@ -1,0 +1,501 @@
+"""Write-ahead match log: the durability half of the streaming service.
+
+The paper's d·σ bound is what makes a *match* log the right durability
+unit: the engine's in-flight state is small enough to checkpoint
+cheaply (:mod:`repro.core.checkpoint`), but a checkpoint alone cannot
+give a reconnecting subscriber the matches it was owed between the last
+cut and a crash.  The WAL closes that gap.  It records, append-only:
+
+* every match delivered (or owed) to a **durable session**, stamped
+  with its per-subscription monotone sequence number;
+* a **document-boundary marker** after each fully ingested document —
+  the commit points of the log.  Matches are *committed* once a marker
+  for their document is durable; matches after the last marker belong
+  to a document the engine never finished and are dropped on recovery
+  (the producer replays that document and the engine regenerates them,
+  deterministically, with the *same* sequence numbers);
+* **session records** (open / subscribe / unsubscribe / ack) so the
+  subscription set and each client's delivery floor survive the
+  process.
+
+Format: newline-delimited JSON, one record per line, each carrying a
+CRC-32 over its canonical encoding.  Recovery tolerates a torn tail —
+the file is scanned to the last fully valid record and truncated there,
+exactly the rule a crash mid-``write`` requires.  ``fsync`` is batched
+by document (``fsync_every_documents``), except session records, which
+are rare and synced eagerly so a freshly opened session survives an
+immediate crash.
+
+The log stays small by construction: only durable sessions' matches are
+logged (their count is bounded by the per-tenant d·σ admission budget
+of the serving layer), acknowledged matches are pruned from the replay
+index, and :meth:`WriteAheadLog.compact` rewrites the file from the
+retained state once it crosses a size threshold.
+
+Commit-ordering invariant (enforced by the server, relied on here):
+the WAL's document marker is fsynced **before** the engine checkpoint
+covering that document is saved.  A checkpoint may therefore lag the
+log (recovery replays the difference) but never lead it — the
+configuration under which a crash could lose matches silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ReproError
+
+
+class WalError(ReproError):
+    """The write-ahead log is unusable (I/O failure, malformed base)."""
+
+
+def _canonical(record: dict[str, Any]) -> bytes:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _crc(record: dict[str, Any]) -> int:
+    return zlib.crc32(_canonical(record)) & 0xFFFFFFFF
+
+
+def _encode(record: dict[str, Any]) -> bytes:
+    return _canonical({**record, "c": _crc(record)}) + b"\n"
+
+
+def _decode(line: bytes) -> dict[str, Any] | None:
+    """One line → record dict, or ``None`` if torn/corrupt."""
+    try:
+        record = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    stored = record.pop("c", None)
+    if stored != _crc(record):
+        return None
+    return record
+
+
+@dataclass
+class SessionRecovery:
+    """One durable session as reconstructed from the log.
+
+    Attributes:
+        token: the wire session token.
+        tenant: the tenant the session opened under (budget accounting).
+        subscriptions: ``query_id -> {"engine_id", "query", "attach_doc"}``
+            — the session's live queries, with the document count at
+            which each one joined the pass (``attach_doc``; the query is
+            active from document ``attach_doc + 1`` on).
+        acked: ``query_id -> seq`` — the client's observed floor;
+            matches at or below it are never re-delivered.
+        opened_doc: document count when the session opened.
+        last_doc: document count of the session's last logged activity.
+    """
+
+    token: str
+    tenant: str = "default"
+    subscriptions: dict[str, dict[str, Any]] = field(default_factory=dict)
+    acked: dict[str, int] = field(default_factory=dict)
+    opened_doc: int = 0
+    last_doc: int = 0
+
+
+@dataclass
+class WalRecovery:
+    """Everything :meth:`WriteAheadLog.open` reconstructed from disk.
+
+    Attributes:
+        committed_documents: count of fully committed documents — the
+            resume position of the *stream* (the engine checkpoint may
+            trail it; the producer replays the difference).
+        committed_events: events read at the last document marker.
+        seqs: per-engine-id sequence counters as of the committed cut
+            (the next match of engine id ``q`` gets ``seqs[q] + 1``).
+        sessions: durable sessions by token.
+        matches: per-engine-id replay tail — committed, not-yet-acked
+            matches as ``(seq, document_index, match_obj)`` triples.
+        truncated_bytes: torn-tail bytes dropped during recovery.
+        records: valid records scanned.
+    """
+
+    committed_documents: int = 0
+    committed_events: int = 0
+    seqs: dict[str, int] = field(default_factory=dict)
+    sessions: dict[str, SessionRecovery] = field(default_factory=dict)
+    matches: dict[str, list[tuple[int, int, dict[str, Any]]]] = field(
+        default_factory=dict
+    )
+    truncated_bytes: int = 0
+    records: int = 0
+
+
+def _apply_session(
+    sessions: dict[str, SessionRecovery], record: dict[str, Any]
+) -> None:
+    """Fold one ``sess`` record into the recovery state (idempotent)."""
+    op = record.get("op")
+    token = str(record.get("sid", ""))
+    doc = int(record.get("doc", 0))
+    if not token:
+        return
+    if op == "open":
+        session = sessions.get(token)
+        if session is None:
+            sessions[token] = SessionRecovery(
+                token=token,
+                tenant=str(record.get("tenant", "default")),
+                opened_doc=doc,
+                last_doc=doc,
+            )
+        return
+    session = sessions.get(token)
+    if session is None:
+        return  # subscribe/ack for a session whose open was compacted away
+    session.last_doc = max(session.last_doc, doc)
+    if op == "sub":
+        qid = str(record.get("qid", ""))
+        session.subscriptions[qid] = {
+            "engine_id": str(record.get("eid", "")),
+            "query": str(record.get("query", "")),
+            "attach_doc": int(record.get("attach_doc", doc)),
+        }
+    elif op == "unsub":
+        session.subscriptions.pop(str(record.get("qid", "")), None)
+    elif op == "ack":
+        qid = str(record.get("qid", ""))
+        seq = int(record.get("seq", 0))
+        session.acked[qid] = max(session.acked.get(qid, 0), seq)
+    elif op == "expire":
+        sessions.pop(token, None)
+
+
+class WriteAheadLog:
+    """Append-only match log with document-boundary commit markers.
+
+    Use :meth:`open` (it recovers an existing file's tail); the
+    constructor alone never touches disk.
+    """
+
+    def __init__(self, path: str, fsync_every_documents: int = 1) -> None:
+        if fsync_every_documents < 1:
+            raise ValueError("fsync_every_documents must be at least 1")
+        self.path = path
+        self.fsync_every_documents = fsync_every_documents
+        #: committed document count (last durable-or-pending ``d`` marker).
+        self.documents = 0
+        #: document count covered by the last fsync.
+        self.durable_documents = 0
+        #: per-engine-id sequence counters (last assigned seq).
+        self.seqs: dict[str, int] = {}
+        #: per-engine-id replay tail: (seq, document, match_obj), ordered.
+        self.matches: dict[str, list[tuple[int, int, dict[str, Any]]]] = {}
+        self.size_bytes = 0
+        self.appended_records = 0
+        self.compactions = 0
+        self._handle: Any = None
+
+    # ------------------------------------------------------------------
+    # open / recover
+
+    @classmethod
+    def open(
+        cls, path: str, fsync_every_documents: int = 1
+    ) -> tuple["WriteAheadLog", WalRecovery]:
+        """Open (creating if absent) and recover the log at ``path``.
+
+        Scans the file to the last fully valid record, truncates any
+        torn tail, and returns the log (positioned for appends) together
+        with the :class:`WalRecovery` describing the committed state.
+        """
+        wal = cls(path, fsync_every_documents)
+        recovery = WalRecovery()
+        raw = b""
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise WalError(f"cannot read WAL {path!r}: {exc}") from exc
+        valid_bytes, records = cls._scan(raw)
+        recovery.truncated_bytes = len(raw) - valid_bytes
+        recovery.records = len(records)
+        matches: dict[str, list[tuple[int, int, dict[str, Any]]]] = {}
+        for record in records:
+            kind = record.get("t")
+            if kind == "base":
+                recovery.committed_documents = int(record.get("doc", 0))
+                recovery.committed_events = int(record.get("ev", 0))
+                seqs = record.get("seqs")
+                if isinstance(seqs, dict):
+                    recovery.seqs = {
+                        str(eid): int(seq) for eid, seq in seqs.items()
+                    }
+            elif kind == "m":
+                eid = str(record.get("q", ""))
+                matches.setdefault(eid, []).append(
+                    (
+                        int(record.get("s", 0)),
+                        int(record.get("d", 0)),
+                        dict(record.get("m", {})),
+                    )
+                )
+            elif kind == "d":
+                recovery.committed_documents = max(
+                    recovery.committed_documents, int(record.get("n", 0))
+                )
+                recovery.committed_events = int(record.get("ev", 0))
+            elif kind == "sess":
+                _apply_session(recovery.sessions, record)
+        committed = recovery.committed_documents
+        # Commit rule: a match is durable iff its document's marker is.
+        # Matches of the in-flight document are dropped here — the
+        # producer replays that document and the engine regenerates them
+        # with identical sequence numbers.
+        for eid, triples in matches.items():
+            kept = [t for t in triples if t[1] < committed]
+            for seq, _doc, _obj in kept:
+                recovery.seqs[eid] = max(recovery.seqs.get(eid, 0), seq)
+            if kept:
+                recovery.matches[eid] = kept
+        # Prune the replay tail below each owning session's ack floor;
+        # engine ids no durable session subscribes to have no possible
+        # replayer and are dropped outright.
+        owners: dict[str, int] = {}
+        for session in recovery.sessions.values():
+            for qid, sub in session.subscriptions.items():
+                owners[str(sub["engine_id"])] = session.acked.get(qid, 0)
+        recovery.matches = {
+            eid: [t for t in triples if t[0] > owners[eid]]
+            for eid, triples in recovery.matches.items()
+            if eid in owners
+        }
+        recovery.matches = {
+            eid: triples for eid, triples in recovery.matches.items() if triples
+        }
+        # Truncate the torn tail before reopening for append.
+        if recovery.truncated_bytes:
+            with open(path, "rb+") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        wal._handle = open(path, "ab")
+        wal.size_bytes = valid_bytes
+        wal.documents = recovery.committed_documents
+        wal.durable_documents = recovery.committed_documents
+        wal.seqs = dict(recovery.seqs)
+        wal.matches = {eid: list(t) for eid, t in recovery.matches.items()}
+        return wal, recovery
+
+    @staticmethod
+    def _scan(raw: bytes) -> tuple[int, list[dict[str, Any]]]:
+        """Valid prefix length and its records (stops at the first tear)."""
+        records: list[dict[str, Any]] = []
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                break  # unterminated final line: torn write
+            record = _decode(raw[offset:newline])
+            if record is None:
+                break  # corrupt record: everything after it is suspect
+            records.append(record)
+            offset = newline + 1
+        return offset, records
+
+    # ------------------------------------------------------------------
+    # append side
+
+    def append_match(
+        self, engine_id: str, seq: int, document: int, match_obj: dict[str, Any]
+    ) -> None:
+        """Log one durable match (not yet committed — see marker)."""
+        self._append({"t": "m", "q": engine_id, "s": seq, "d": document, "m": match_obj})
+        self.seqs[engine_id] = max(self.seqs.get(engine_id, 0), seq)
+        self.matches.setdefault(engine_id, []).append((seq, document, match_obj))
+
+    def append_document(self, count: int, events_read: int) -> bool:
+        """Log the commit marker for document ``count`` (1-based count).
+
+        Returns ``True`` when this marker was fsynced (the batching
+        cadence fired), ``False`` when it merely reached the OS buffer.
+        """
+        self._append({"t": "d", "n": count, "ev": events_read})
+        self.documents = count
+        if count - self.durable_documents >= self.fsync_every_documents:
+            self.sync()
+            return True
+        return False
+
+    def append_session(self, record: dict[str, Any], durable: bool = True) -> None:
+        """Log one session record (``op``/``sid``/... fields; see module doc).
+
+        Session records default to an eager fsync: they are rare, and a
+        session that vanishes because its ``open`` never hit the platter
+        would violate the resume contract the token represents.
+        """
+        self._append({"t": "sess", **record})
+        if durable:
+            self.sync()
+
+    def acknowledge(self, engine_id: str, seq: int) -> None:
+        """Drop replay-tail matches at or below the client's floor."""
+        triples = self.matches.get(engine_id)
+        if not triples:
+            return
+        kept = [t for t in triples if t[0] > seq]
+        if kept:
+            self.matches[engine_id] = kept
+        else:
+            self.matches.pop(engine_id, None)
+
+    def release(self, engine_id: str) -> None:
+        """Forget an engine id's replay tail (unsubscribed / expired)."""
+        self.matches.pop(engine_id, None)
+
+    def replay_tail(
+        self, engine_id: str, after_seq: int
+    ) -> list[tuple[int, int, dict[str, Any]]]:
+        """The retained matches of ``engine_id`` with seq > ``after_seq``."""
+        return [t for t in self.matches.get(engine_id, ()) if t[0] > after_seq]
+
+    def sync(self) -> None:
+        """Flush and fsync everything appended so far."""
+        if self._handle is None:
+            raise WalError("write-ahead log is closed")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.durable_documents = self.documents
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self.sync()
+            finally:
+                self._handle.close()
+                self._handle = None
+
+    def _append(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            raise WalError("write-ahead log is closed")
+        data = _encode(record)
+        self._handle.write(data)
+        self.size_bytes += len(data)
+        self.appended_records += 1
+
+    # ------------------------------------------------------------------
+    # compaction
+
+    def compact(
+        self,
+        sessions: dict[str, SessionRecovery],
+        committed_events: int,
+    ) -> None:
+        """Atomically rewrite the log from the retained in-memory state.
+
+        The new file holds: a ``base`` record pinning the committed
+        document count and every sequence counter; the current session
+        set (re-emitted as ``open``/``sub``/``ack`` records); the
+        unacked replay tails; and a final document marker.  Everything
+        acked, unsubscribed or superseded is gone.  The rewrite is
+        atomic (temp file + fsync + ``os.replace``), so a crash during
+        compaction leaves the previous log intact.
+        """
+        if self._handle is None:
+            raise WalError("write-ahead log is closed")
+        committed = self.documents
+        directory = os.path.dirname(self.path) or "."
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=f".wal-{os.getpid()}-", suffix=".tmp", dir=directory
+        )
+        size = 0
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                def emit(record: dict[str, Any]) -> None:
+                    nonlocal size
+                    data = _encode(record)
+                    handle.write(data)
+                    size += len(data)
+
+                emit(
+                    {
+                        "t": "base",
+                        "doc": committed,
+                        "ev": committed_events,
+                        "seqs": dict(sorted(self.seqs.items())),
+                    }
+                )
+                for token in sorted(sessions):
+                    session = sessions[token]
+                    emit(
+                        {
+                            "t": "sess",
+                            "op": "open",
+                            "sid": token,
+                            "tenant": session.tenant,
+                            "doc": session.opened_doc,
+                        }
+                    )
+                    for qid in sorted(session.subscriptions):
+                        sub = session.subscriptions[qid]
+                        emit(
+                            {
+                                "t": "sess",
+                                "op": "sub",
+                                "sid": token,
+                                "qid": qid,
+                                "eid": sub["engine_id"],
+                                "query": sub["query"],
+                                "attach_doc": sub["attach_doc"],
+                                "doc": session.last_doc,
+                            }
+                        )
+                    for qid in sorted(session.acked):
+                        emit(
+                            {
+                                "t": "sess",
+                                "op": "ack",
+                                "sid": token,
+                                "qid": qid,
+                                "seq": session.acked[qid],
+                                "doc": session.last_doc,
+                            }
+                        )
+                for eid in sorted(self.matches):
+                    for seq, doc, obj in self.matches[eid]:
+                        emit({"t": "m", "q": eid, "s": seq, "d": doc, "m": obj})
+                emit({"t": "d", "n": committed, "ev": committed_events})
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            self._handle = None
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            if self._handle is None:
+                self._handle = open(self.path, "ab")
+            raise
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            dir_fd = -1
+        if dir_fd >= 0:
+            try:
+                os.fsync(dir_fd)
+            except OSError:
+                pass
+            finally:
+                os.close(dir_fd)
+        self._handle = open(self.path, "ab")
+        self.size_bytes = size
+        self.durable_documents = committed
+        self.compactions += 1

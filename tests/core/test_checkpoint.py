@@ -330,3 +330,77 @@ class TestMultiQueryCheckpointContract:
         other = MultiQueryEngine({"plain": "_*.a"})
         with pytest.raises(CheckpointError, match="subscription"):
             other.resume(checkpoint, DOC)
+
+
+class TestRotation:
+    """keep-N generation rotation and the corruption fallback chain."""
+
+    @staticmethod
+    def snap(query: str) -> Checkpoint:
+        import itertools
+
+        engine = MultiQueryEngine({"q": query})
+        cursor = StreamCursor()
+        prefix = list(itertools.islice(iter_events(DOC), 6))
+        list(engine.run(iter(prefix), cursor=cursor))
+        return engine.checkpoint()
+
+    def test_keep_shifts_generations(self, tmp_path):
+        path = tmp_path / "ck.json"
+        generations = [self.snap(q) for q in ("_*.a", "_*.b", "_*.c")]
+        for checkpoint in generations:
+            checkpoint.save(path, keep=3)
+        assert Checkpoint.load(path).to_dict() == generations[2].to_dict()
+        assert (
+            Checkpoint._load_one(f"{path}.1").to_dict()
+            == generations[1].to_dict()
+        )
+        assert (
+            Checkpoint._load_one(f"{path}.2").to_dict()
+            == generations[0].to_dict()
+        )
+        assert not os.path.exists(f"{path}.3")
+
+    def test_keep_bounds_generation_count(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = self.snap("_*.a")
+        for _ in range(5):
+            checkpoint.save(path, keep=2)
+        assert os.path.exists(f"{path}.1")
+        assert not os.path.exists(f"{path}.2"), "oldest must drop"
+
+    def test_keep_one_rotates_nothing(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = self.snap("_*.a")
+        checkpoint.save(path)
+        checkpoint.save(path)
+        assert not os.path.exists(f"{path}.1")
+
+    def test_torn_primary_falls_back_one_generation(self, tmp_path):
+        """A crash mid-write of the newest file must not lose the run."""
+        path = tmp_path / "ck.json"
+        old, new = self.snap("_*.a"), self.snap("_*.b")
+        old.save(path, keep=3)
+        new.save(path, keep=3)
+        raw = open(path, "r", encoding="utf-8").read()
+        open(path, "w", encoding="utf-8").write(raw[: len(raw) // 2])
+        assert Checkpoint.load(path).to_dict() == old.to_dict()
+
+    def test_corrupt_chain_falls_to_oldest_good_generation(self, tmp_path):
+        path = tmp_path / "ck.json"
+        generations = [self.snap(q) for q in ("_*.a", "_*.b", "_*.c")]
+        for checkpoint in generations:
+            checkpoint.save(path, keep=3)
+        open(path, "w", encoding="utf-8").write("not json")
+        open(f"{path}.1", "w", encoding="utf-8").write("{}")
+        assert Checkpoint.load(path).to_dict() == generations[0].to_dict()
+
+    def test_every_generation_bad_raises_the_primary_error(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = self.snap("_*.a")
+        checkpoint.save(path, keep=2)
+        checkpoint.save(path, keep=2)
+        open(path, "w", encoding="utf-8").write("junk")
+        open(f"{path}.1", "w", encoding="utf-8").write("junk")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            Checkpoint.load(path)

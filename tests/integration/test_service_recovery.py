@@ -1,0 +1,209 @@
+"""Service recovery gate: SIGKILL the server, supervise it back, diff.
+
+The CI ``service-recovery`` job's contract: a supervised ``spex serve
+--listen`` process SIGKILLed at a seeded stream offset, restarted with
+``--resume`` by :class:`~repro.service.supervisor.ServiceSupervisor`,
+and rejoined by its durable-session subscriber must deliver a match
+stream bit-identical to one uninterrupted offline ``serve()`` pass —
+session token preserved, sequence numbers contiguous from 1, zero
+duplicates.  ``SOAK_TRIALS`` scales the number of seeded kill points.
+"""
+
+import asyncio
+import os
+import random
+import signal
+import subprocess
+import sys
+
+from repro.core.multiquery import MultiQueryEngine
+from repro.service.client import ProducerClient, SubscriberClient
+from repro.service.loadgen import LoadConfig, load_documents
+from repro.service.supervisor import ServiceSupervisor, ServiceSupervisorConfig
+
+TRIALS = int(os.environ.get("SOAK_TRIALS", "3"))
+QUERY = "_*.name"
+
+
+def offline_reference(documents):
+    engine = MultiQueryEngine({"q1": QUERY})
+    flat = [event for document in documents for event in document]
+    return [
+        (match.position, match.label) for _qid, match in engine.serve(iter(flat))
+    ]
+
+
+async def wait_ingested(producer):
+    """Block until the server commits the last sent document."""
+    while True:
+        frame = await producer.conn.recv()
+        if frame is None:
+            raise ConnectionError("producer connection died awaiting commit")
+        if frame.get("type") == "ingested":
+            return frame
+
+
+async def consume(client, stream, floors, stop_after=None):
+    async for frame in client.frames():
+        if frame.get("type") == "match":
+            stream.append(
+                (frame["seq"], frame["match"]["position"], frame["match"]["label"])
+            )
+            floors[frame["query_id"]] = max(
+                floors.get(frame["query_id"], 0), frame["seq"]
+            )
+            if stop_after is not None and len(stream) >= stop_after:
+                return "enough"
+        elif frame.get("type") == "bye":
+            return "bye"
+    return "eof"
+
+
+class TestSupervisedSigkillSoak:
+    def test_sigkill_resume_replays_to_the_offline_stream(self, tmp_path):
+        for trial in range(TRIALS):
+            self._one_trial(tmp_path / f"trial{trial}", seed=101 + trial)
+
+    def _one_trial(self, workdir, seed):
+        workdir.mkdir()
+        rng = random.Random(seed)
+        documents = load_documents(
+            LoadConfig(documents=8, doc_elements=20, seed=seed)
+        )
+        offline = offline_reference(documents)
+        assert len(offline) >= 4, "trial stream too sparse to be a test"
+        kill_after = rng.randrange(1, len(documents))
+        # synced mode kills at a committed document boundary; burst mode
+        # fires everything and kills with documents still in flight — an
+        # arbitrary event offset from the server's point of view
+        synced = rng.random() < 0.5
+        supervisor = ServiceSupervisor(
+            ServiceSupervisorConfig(
+                checkpoint_path=str(workdir / "svc.ckpt"),
+                wal_path=str(workdir / "svc.wal"),
+                seed=seed,
+                extra_args=["--checkpoint-every-docs", "2"],
+            )
+        )
+
+        async def drive():
+            host, port = await asyncio.to_thread(supervisor.start)
+            stream, floors = [], {}
+            sub = await SubscriberClient.connect(host, port, durable=True)
+            token = sub.session
+            assert token is not None
+            verdict = await sub.subscribe("q1", QUERY)
+            assert verdict["type"] == "subscribed"
+            producer = await ProducerClient.connect(host, port)
+            try:
+                for document in documents[:kill_after]:
+                    await producer.send_events(document)
+                    if synced:
+                        await wait_ingested(producer)
+            except ConnectionError:
+                pass  # burst mode may lose the race with the kill
+            # observe a seeded prefix so the resume floor is non-trivial
+            try:
+                await asyncio.wait_for(
+                    consume(sub, stream, floors, stop_after=1 + rng.randrange(3)),
+                    timeout=2.0,
+                )
+            except asyncio.TimeoutError:
+                pass
+            await asyncio.to_thread(supervisor.kill)
+            await sub.close()
+            await producer.close()
+
+            host2, port2 = await asyncio.to_thread(
+                supervisor.wait_for_server
+            )
+            sub2 = None
+            for attempt in range(25):
+                try:
+                    sub2 = await SubscriberClient.connect(
+                        host2, port2, session=token
+                    )
+                    break
+                except ConnectionError:
+                    await asyncio.sleep(0.01 * (attempt + 1))
+            assert sub2 is not None, "resume connect never succeeded"
+            assert sub2.session == token
+            resumed = await sub2.resume(floors)
+            assert resumed["type"] == "resumed"
+            producer2 = await ProducerClient.connect(host2, port2)
+            replay_from = producer2.conn.welcome["replay_from"]
+            assert replay_from >= 1
+            for document in documents[replay_from - 1 :]:
+                await producer2.send_events(document)
+                await wait_ingested(producer2)
+            await producer2.close()
+            finisher = asyncio.create_task(consume(sub2, stream, floors))
+            returncode = await asyncio.to_thread(supervisor.stop)
+            assert await finisher == "bye"
+            await sub2.close()
+            assert returncode == 0, "drain after resume must exit clean"
+            return stream
+
+        stream = asyncio.run(asyncio.wait_for(drive(), 120))
+        assert supervisor.generations == 2, "exactly one supervised restart"
+        seqs = [seq for seq, _, _ in stream]
+        assert seqs == list(range(1, len(seqs) + 1)), (
+            f"seed {seed}: seq gaps/dups {seqs}"
+        )
+        assert [(p, label) for _, p, label in stream] == offline, (
+            f"seed {seed} (kill_after={kill_after}, synced={synced}) diverged"
+        )
+
+
+class TestSigintDrain:
+    def test_sigint_equals_sigterm_clean_drain(self, tmp_path):
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--listen", "127.0.0.1:0"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "listening on" in banner
+            address = banner.rsplit(" ", 1)[-1].strip()
+            host, _, port_text = address.rpartition(":")
+            port = int(port_text)
+            config = LoadConfig(subscribers=1, documents=6, doc_elements=16)
+
+            async def drive() -> int:
+                subscriber = await SubscriberClient.connect(host, port)
+                verdict = await subscriber.subscribe("q", QUERY)
+                assert verdict["type"] == "subscribed"
+                producer = await ProducerClient.connect(host, port)
+                for document in load_documents(config):
+                    await producer.send_events(document)
+                await producer.close()
+                # Ctrl-C must behave exactly like SIGTERM: stop
+                # accepting, flush committed matches, bye, exit 0 —
+                # not a KeyboardInterrupt traceback
+                process.send_signal(signal.SIGINT)
+                matches = 0
+                bye = None
+                async for frame in subscriber.frames():
+                    if frame.get("type") == "match":
+                        matches += 1
+                    elif frame.get("type") == "bye":
+                        bye = frame
+                await subscriber.close()
+                assert bye is not None and bye["code"] == "SVC007"
+                return matches
+
+            matches = asyncio.run(asyncio.wait_for(drive(), 30))
+            _out, err = process.communicate(timeout=20)
+        except BaseException:
+            process.kill()
+            process.communicate()
+            raise
+        assert process.returncode == 0, err
+        assert "Traceback" not in err
+        assert matches > 0
