@@ -61,6 +61,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import secrets
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -112,14 +113,6 @@ from .protocol import (
 )
 from .wal import SessionRecovery, WalError, WalRecovery, WriteAheadLog
 
-
-def _token_ordinal(token: str) -> int | None:
-    """The ordinal inside a ``sess-NNNNNN`` token (issuance continuity)."""
-    if token.startswith("sess-"):
-        tail = token[5:]
-        if tail.isdigit():
-            return int(tail)
-    return None
 
 #: Sentinels for the engine input queue and subscriber output queues.
 _DRAIN = object()
@@ -393,7 +386,6 @@ class SpexService:
         # durable-session machinery
         self._sessions: dict[str, _Session] = {}
         self._engine_sessions: dict[str, tuple[_Session, str]] = {}
-        self._session_ordinal = 0
         self._seqs: dict[str, int] = {}
         #: complete documents committed (1-based count; WAL marker unit).
         self._committed_documents = 0
@@ -564,9 +556,6 @@ class SpexService:
                     deferred.append(
                         (attach_doc, engine_id, str(sub["query"]), qid, session)
                     )
-            ordinal = _token_ordinal(token)
-            if ordinal is not None:
-                self._session_ordinal = max(self._session_ordinal, ordinal)
         self._deferred_attach = sorted(deferred, key=lambda item: item[0])
         # Checkpointed queries no durable session claims belonged to
         # non-durable subscribers of the dead process: close them out
@@ -936,8 +925,7 @@ class SpexService:
                 "durable sessions need a write-ahead log "
                 "(server started without --wal-file)"
             )
-        conn.queue = asyncio.Queue(maxsize=queue_size)
-        conn.writer_task = asyncio.create_task(self._writer_loop(conn))
+        session: _Session | None = None
         if token is not None:
             session = self._sessions.get(str(token))
             if session is None:
@@ -954,19 +942,23 @@ class SpexService:
                         SVC_SESSION_UNKNOWN,
                         f"unknown session {token!r}",
                     )
-                self._enqueue_control(conn, error_frame(code, why))
-                self._enqueue_control(conn, bye_frame(code, "cannot resume"))
-                if conn.queue is not None:
-                    conn.queue.put_nowait(_CLOSE)
-                # let the writer flush the refusal before cleanup drains
-                # the queue and closes the transport under it
-                if conn.writer_task is not None:
-                    await conn.writer_task
+                # The writer task does not exist yet, so the refusal
+                # goes straight onto the transport — a client-chosen
+                # queue size (even 1) cannot shed or wedge the flush.
+                conn.send_now(error_frame(code, why))
+                conn.send_now(bye_frame(code, "cannot resume"))
+                try:
+                    await conn.writer.drain()
+                except ConnectionError:
+                    pass
                 return
             if session.conn is not None and not session.conn.closed:
                 raise ProtocolError(
                     f"session {token!r} is attached on another connection"
                 )
+        conn.queue = asyncio.Queue(maxsize=queue_size)
+        conn.writer_task = asyncio.create_task(self._writer_loop(conn))
+        if session is not None:
             self._adopt_session(conn, session)
             self._enqueue_control(
                 conn, welcome_frame(role, session=session.token)
@@ -981,10 +973,20 @@ class SpexService:
         await self._subscriber_loop(conn)
 
     def _open_session(self, conn: _Connection) -> _Session:
-        """Mint a durable session for a fresh ``durable`` hello."""
+        """Mint a durable session for a fresh ``durable`` hello.
+
+        Tokens are unguessable (``secrets``) rather than sequential:
+        the token is the *only* credential a resume presents, so a
+        guessable one would let any client adopt another tenant's
+        session — and a counter-derived one could be re-minted after a
+        crash if the counter's high-water mark predated the surviving
+        WAL records, silently handing an old client's matches to a new
+        one.  Random tokens rule out both recycling and hijacking.
+        """
         assert self.wal is not None
-        self._session_ordinal += 1
-        token = f"sess-{self._session_ordinal:06d}"
+        token = f"sess-{secrets.token_urlsafe(12)}"
+        while token in self._sessions or token in self._expired_tokens:
+            token = f"sess-{secrets.token_urlsafe(12)}"  # pragma: no cover
         session = _Session(token, conn.tenant, self._committed_documents)
         session.conn = conn
         conn.session = session
@@ -1161,7 +1163,12 @@ class SpexService:
             for qid in sorted(session.subscriptions):
                 sub = session.subscriptions[qid]
                 engine_id = str(sub["engine_id"])
-                floor = max(session.floors.get(qid, 0), int(acked.get(qid, 0)))
+                # Clamp to the highest assigned sequence: a floor above
+                # the counter would suppress every future delivery.
+                claimed = min(
+                    int(acked.get(qid, 0)), self._seqs.get(engine_id, 0)
+                )
+                floor = max(session.floors.get(qid, 0), claimed)
                 session.floors[qid] = floor
                 self.wal.acknowledge(engine_id, floor)
                 for seq, document, match_obj in self.wal.replay_tail(
@@ -1172,9 +1179,17 @@ class SpexService:
                     )
                     await conn.queue.put(replayed)  # type: ignore[union-attr]
                     self.stats.matches_replayed += 1
-            for buffered in conn.resume_buffer:
-                await conn.queue.put(buffered)  # type: ignore[union-attr]
-            conn.resume_buffer = []
+            # Drain-and-recheck: a blocking put below may let the engine
+            # task append more live matches to the buffer, so loop until
+            # a check finds it empty — then clear ``resuming`` with no
+            # await in between, or a match delivered during the final
+            # put would land in an orphaned buffer and be lost forever
+            # (a cumulative ack would even prune it from the WAL).
+            while conn.resume_buffer:
+                await conn.queue.put(  # type: ignore[union-attr]
+                    conn.resume_buffer.pop(0)
+                )
+            conn.resuming = False
             await conn.queue.put(  # type: ignore[union-attr]
                 resumed_frame(
                     {
@@ -1204,10 +1219,14 @@ class SpexService:
             seq = int(frame.get("seq", 0))
         except (TypeError, ValueError):
             return
+        engine_id = str(sub["engine_id"])
+        # Clamp to the highest assigned sequence: an ack past the
+        # counter would raise the floor above every future match,
+        # silently blackholing the subscription (and pruning the WAL).
+        seq = min(seq, self._seqs.get(engine_id, 0))
         if seq <= session.floors.get(qid, 0):
             return
         session.floors[qid] = seq
-        engine_id = str(sub["engine_id"])
         self.wal.acknowledge(engine_id, seq)
         # Ack records trim the tail a *future* recovery replays; losing
         # the latest one merely re-replays a few acked matches, which

@@ -111,6 +111,7 @@ class ServiceSupervisor:
         self.generations = 0
         self.address: tuple[str, int] | None = None
         self._process: subprocess.Popen[str] | None = None
+        self._spawned_at = 0.0
         self._monitor: threading.Thread | None = None
         self._stopping = threading.Event()
         self._ready = threading.Event()
@@ -219,6 +220,7 @@ class ServiceSupervisor:
                 text=True,
                 env=env,
             )
+            self._spawned_at = time.monotonic()
             self.generations += 1
         banner_thread = threading.Thread(
             target=self._await_banner, args=(self._process,), daemon=True
@@ -260,12 +262,23 @@ class ServiceSupervisor:
         while not self._stopping.is_set():
             with self._lock:
                 process = self._process
+                spawned_at = self._spawned_at
             if process is None:  # pragma: no cover - start() precedes
                 return
             returncode = process.poll()
             if returncode is None:
                 # Stall watchdog: a generation that never banners within
-                # its startup budget is killed and counted as a crash.
+                # its startup budget is killed here and counted as a
+                # crash on the next poll.  The banner thread cannot do
+                # this alone — it blocks on the stdout read, so its own
+                # deadline check only runs when a line actually arrives,
+                # never for a child that hangs silently before printing.
+                if (
+                    not self._ready.is_set()
+                    and time.monotonic() - spawned_at
+                    > self.config.startup_timeout
+                ):
+                    process.kill()
                 self._stopping.wait(0.05)
                 continue
             if self._stopping.is_set():

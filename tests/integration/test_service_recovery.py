@@ -15,11 +15,18 @@ import random
 import signal
 import subprocess
 import sys
+import time
+
+import pytest
 
 from repro.core.multiquery import MultiQueryEngine
 from repro.service.client import ProducerClient, SubscriberClient
 from repro.service.loadgen import LoadConfig, load_documents
-from repro.service.supervisor import ServiceSupervisor, ServiceSupervisorConfig
+from repro.service.supervisor import (
+    ServiceSupervisor,
+    ServiceSupervisorConfig,
+    ServiceSupervisorError,
+)
 
 TRIALS = int(os.environ.get("SOAK_TRIALS", "3"))
 QUERY = "_*.name"
@@ -153,6 +160,40 @@ class TestSupervisedSigkillSoak:
         assert [(p, label) for _, p, label in stream] == offline, (
             f"seed {seed} (kill_after={kill_after}, synced={synced}) diverged"
         )
+
+
+class TestStallWatchdog:
+    def test_silent_startup_hang_is_killed_and_counted(self, tmp_path):
+        """A child that hangs before printing any banner line must be
+        killed by the monitor's startup watchdog and counted as a crash
+        — the banner thread alone cannot do it, since its deadline check
+        only runs when a line actually arrives."""
+        supervisor = ServiceSupervisor(
+            ServiceSupervisorConfig(
+                checkpoint_path=str(tmp_path / "hang.ckpt"),
+                wal_path=str(tmp_path / "hang.wal"),
+                max_restarts=1,
+                startup_timeout=0.5,
+            )
+        )
+        # every generation hangs silently: no banner, no exit
+        supervisor._command = lambda resume: [
+            sys.executable,
+            "-c",
+            "import time; time.sleep(30)",
+        ]
+        try:
+            with pytest.raises(ServiceSupervisorError):
+                supervisor.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and (
+                supervisor.alive or supervisor.restarts < 1
+            ):
+                time.sleep(0.05)
+            assert supervisor.restarts >= 1, "stalled start never counted"
+            assert not supervisor.alive, "hung child never killed"
+        finally:
+            supervisor.stop()
 
 
 class TestSigintDrain:

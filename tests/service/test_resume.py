@@ -24,6 +24,7 @@ from repro.service.protocol import (
     SVC_SESSION_EXPIRED,
     SVC_SESSION_UNKNOWN,
     SVC_TENANT_BUDGET,
+    resume_frame,
 )
 from repro.service.server import ServiceConfig, SpexService
 
@@ -171,6 +172,132 @@ class TestConnectionResume:
             finisher = asyncio.create_task(consume(sub2, stream, floors))
             await service.stop()
             await finisher
+            await sub2.close()
+            assert_stream_is_offline_pass(stream, offline)
+
+        run(scenario())
+
+
+    def test_live_matches_during_replay_are_never_lost(self, tmp_path):
+        """Live matches that arrive while the WAL tail replays divert to
+        the resume buffer; with a one-slot queue every put blocks, so a
+        match can land in the buffer *during* the flush — the drain loop
+        must re-check emptiness after each put or it is lost forever."""
+
+        async def scenario():
+            documents = documents_for(seed=11, count=10)
+            offline = offline_reference(documents)
+            service = SpexService(durable_config(tmp_path))
+            host, port = await service.start()
+            sub = await SubscriberClient.connect(host, port, durable=True)
+            token = sub.session
+            await sub.subscribe("q1", QUERY)
+            producer = await ProducerClient.connect(host, port)
+            for document in documents[:5]:
+                await producer.send_events(document)
+            await wait_for(lambda: service.committed_documents == 5)
+            await sub.close()  # abrupt: the tail accrues unacked
+            sub2 = await SubscriberClient.connect(
+                host, port, session=token, queue_size=1
+            )
+            # the resume frame goes out *before* the feeder starts, so
+            # every second-half match lands during the replay window and
+            # exercises the diversion buffer + drain loop
+            await sub2.conn.send(resume_frame({}))
+
+            async def feed():
+                for document in documents[5:]:
+                    await producer.send_events(document)
+
+            feeder = asyncio.create_task(feed())
+            stream, floors = [], {}
+            while True:
+                frame = await sub2.conn.recv()
+                assert frame is not None, "connection died awaiting 'resumed'"
+                if frame.get("type") == "resumed":
+                    break
+                if frame.get("type") == "match":
+                    stream.append(
+                        (
+                            frame["seq"],
+                            frame["match"]["position"],
+                            frame["match"]["label"],
+                        )
+                    )
+                    qid = frame["query_id"]
+                    floors[qid] = max(floors.get(qid, 0), frame["seq"])
+            finisher = asyncio.create_task(consume(sub2, stream, floors))
+            await feeder
+            await wait_for(lambda: service.committed_documents == len(documents))
+            await producer.close()
+            await service.stop()
+            assert await finisher == "bye"
+            await sub2.close()
+            # replayed tail first, then every live match: the offline
+            # pass exactly, no gap where a buffered frame vanished
+            assert_stream_is_offline_pass(stream, offline)
+
+        run(scenario())
+
+    def test_ack_past_the_counter_cannot_blackhole(self, tmp_path):
+        """An ack beyond the highest assigned sequence is clamped; it
+        must not raise the floor above all future matches and silently
+        suppress the rest of the subscription."""
+
+        async def scenario():
+            documents = documents_for(seed=7, count=6)
+            offline = offline_reference(documents)
+            service = SpexService(durable_config(tmp_path))
+            host, port = await service.start()
+            sub = await SubscriberClient.connect(host, port, durable=True)
+            await sub.subscribe("q1", QUERY)
+            producer = await ProducerClient.connect(host, port)
+            stream, floors = [], {}
+            for document in documents[:3]:
+                await producer.send_events(document)
+            first = len(offline_reference(documents[:3]))
+            assert first > 0
+            assert await consume(sub, stream, floors, stop_after=first) == "enough"
+            await sub.ack("q1", floors["q1"] + 1000)  # buggy client
+            for document in documents[3:]:
+                await producer.send_events(document)
+            await wait_for(lambda: service.committed_documents == len(documents))
+            await producer.close()
+            finisher = asyncio.create_task(consume(sub, stream, floors))
+            await service.stop()
+            assert await finisher == "bye"
+            await sub.close()
+            assert_stream_is_offline_pass(stream, offline)
+
+        run(scenario())
+
+    def test_resume_with_inflated_floors_cannot_blackhole(self, tmp_path):
+        """The acked map in a resume frame is clamped the same way."""
+
+        async def scenario():
+            documents = documents_for(seed=3, count=6)
+            offline = offline_reference(documents)
+            service = SpexService(durable_config(tmp_path))
+            host, port = await service.start()
+            sub = await SubscriberClient.connect(host, port, durable=True)
+            token = sub.session
+            await sub.subscribe("q1", QUERY)
+            producer = await ProducerClient.connect(host, port)
+            stream, floors = [], {}
+            for document in documents[:3]:
+                await producer.send_events(document)
+            first = len(offline_reference(documents[:3]))
+            assert await consume(sub, stream, floors, stop_after=first) == "enough"
+            await sub.close()
+            sub2 = await SubscriberClient.connect(host, port, session=token)
+            await sub2.resume({"q1": floors["q1"] + 1000})  # inflated claim
+            for document in documents[3:]:
+                await producer.send_events(document)
+            await wait_for(lambda: service.committed_documents == len(documents))
+            await producer.close()
+            finisher = asyncio.create_task(consume(sub2, stream, floors))
+            await service.stop()
+            assert await finisher == "bye"
             await sub2.close()
             assert_stream_is_offline_pass(stream, offline)
 
@@ -325,6 +452,21 @@ class TestResumedLatches:
             with pytest.raises(ConnectionError, match=SVC_SESSION_UNKNOWN):
                 await SubscriberClient.connect(
                     host, port, session="sess-999999"
+                )
+            await service.stop()
+
+        run(scenario())
+
+    def test_refusal_is_flushed_with_a_one_slot_queue(self, tmp_path):
+        """The SVC010 error + bye must reach the client even when its
+        chosen queue_size is 1 — the refusal bypasses the queue."""
+
+        async def scenario():
+            service = SpexService(durable_config(tmp_path))
+            host, port = await service.start()
+            with pytest.raises(ConnectionError, match=SVC_SESSION_UNKNOWN):
+                await SubscriberClient.connect(
+                    host, port, session="sess-nobody", queue_size=1
                 )
             await service.stop()
 
