@@ -45,6 +45,7 @@ from .netcheck import verify_network
 from .planner import (
     LANES,
     QueryPlan,
+    check_lane_coverage,
     lane_counts,
     plan_queries,
     plan_query,
@@ -78,6 +79,7 @@ __all__ = [
     "all_codes",
     "analyze",
     "certify_cost",
+    "check_lane_coverage",
     "check_snapshot_coverage",
     "ensure_preflight",
     "factor_common_prefixes",

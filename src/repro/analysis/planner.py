@@ -70,6 +70,10 @@ PLAN003 = register_code(
 PLAN004 = register_code(
     "PLAN004", Severity.INFO, "planner", "Planner refined the σ̂ bound"
 )
+PLAN005 = register_code(
+    "PLAN005", Severity.WARNING, "planner",
+    "Fast-lane demotion: query falls back to the transducer network",
+)
 
 #: The execution lanes, in increasing machinery order.
 LANE_DFA = "dfa"
@@ -322,3 +326,69 @@ def lane_counts(plans: Mapping[str, QueryPlan]) -> dict[str, int]:
     for plan in plans.values():
         counts[plan.lane] += 1
     return counts
+
+
+def check_lane_coverage(payload: Mapping[str, object]) -> list[str]:
+    """Validate an ``analyze --plan --json`` payload's lane invariants.
+
+    This is the gate CI used to re-implement inline against the JSON:
+    every lane of :data:`LANES` must be exercised by the corpus, every
+    refined σ̂ must stay under its worst-case bound, and every rewrite
+    certificate present in the diagnostics must have discharged.
+    Returns a list of human-readable problems — empty means the payload
+    passes (``spex analyze --plan --check-lanes`` exits nonzero
+    otherwise, so local runs and CI share one checker).
+    """
+    problems: list[str] = []
+    lanes: set[str] = set()
+    for name, entry in payload.items():
+        if not isinstance(entry, Mapping):
+            problems.append(f"{name}: malformed payload entry")
+            continue
+        plan = entry.get("plan")
+        if not isinstance(plan, Mapping):
+            problems.append(f"{name}: entry carries no plan")
+            continue
+        lane = str(plan.get("lane"))
+        if lane not in LANES:
+            problems.append(f"{name}: unknown lane {lane!r}")
+        lanes.add(lane)
+        worst = plan.get("sigma_worst")
+        refined = plan.get("sigma_refined")
+        if worst is not None:
+            if refined is None:
+                problems.append(
+                    f"{name}: refined σ̂ is unbounded but the worst case "
+                    f"is {worst}"
+                )
+            elif int(refined) > int(worst):  # type: ignore[call-overload]
+                problems.append(
+                    f"{name}: refined σ̂ {refined} exceeds the worst-case "
+                    f"bound {worst}"
+                )
+        analysis = entry.get("analysis")
+        diagnostics = (
+            analysis.get("diagnostics", [])
+            if isinstance(analysis, Mapping)
+            else []
+        )
+        for diag in diagnostics:
+            if not isinstance(diag, Mapping):
+                continue
+            details = diag.get("details")
+            if not isinstance(details, Mapping):
+                continue
+            certificate = details.get("certificate")
+            if isinstance(certificate, Mapping) and not certificate.get(
+                "discharged"
+            ):
+                problems.append(
+                    f"{name}: rewrite certificate failed to discharge "
+                    f"({diag.get('code')})"
+                )
+    missing = set(LANES) - lanes
+    if missing:
+        problems.append(
+            f"corpus does not exercise every lane: missing {sorted(missing)}"
+        )
+    return problems

@@ -185,6 +185,66 @@ def compare(
                     bool(gate.get("events_per_second", True)),
                 )
             )
+        # per-lane series (the multiquery workload): same bands as the
+        # blended metrics — answers and event counts are exact, lane
+        # throughput shares the workload's relative band.  A lane the
+        # baseline records must exist in the current run; a lane only
+        # the current run has is new coverage and passes silently.
+        base_lanes = (base.get("detail") or {}).get("lanes") or {}
+        cur_lanes = (cur.get("detail") or {}).get("lanes") or {}
+        for lane in sorted(base_lanes):
+            lane_base = base_lanes[lane]
+            lane_cur = cur_lanes.get(lane)
+            if lane_cur is None:
+                deltas.append(
+                    MetricDelta(
+                        workload,
+                        f"lane[{lane}]",
+                        1.0,
+                        0.0,
+                        ok=False,
+                        note="lane series missing from the current run",
+                    )
+                )
+                continue
+            for metric, reason in (
+                ("matches", "exact (answer drift is a bug)"),
+                ("events", "exact (workloads are pinned)"),
+            ):
+                deltas.append(
+                    _gated_delta(
+                        MetricDelta(
+                            workload,
+                            f"lane[{lane}].{metric}",
+                            lane_base[metric],
+                            lane_cur[metric],
+                            ok=lane_cur[metric] == lane_base[metric],
+                            note=reason,
+                        ),
+                        bool(gate.get(metric, True)),
+                    )
+                )
+            if lane_base["events_per_second"] > 0:
+                change = _relative_change(
+                    lane_base["events_per_second"],
+                    lane_cur["events_per_second"],
+                )
+                deltas.append(
+                    _gated_delta(
+                        MetricDelta(
+                            workload,
+                            f"lane[{lane}].ev/s",
+                            lane_base["events_per_second"],
+                            lane_cur["events_per_second"],
+                            ok=change >= -throughput_tolerance,
+                            note=(
+                                f"{change:+.1%} "
+                                f"(band -{throughput_tolerance:.0%})"
+                            ),
+                        ),
+                        bool(gate.get("events_per_second", True)),
+                    )
+                )
         # latency percentiles (the service workload): always rendered,
         # never gated — tail latency on shared runners is load noise,
         # but the trajectory should still show its drift at a glance

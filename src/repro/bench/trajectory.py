@@ -281,6 +281,37 @@ def _smoke_multiquery(measure_memory: bool) -> WorkloadResult:
     from ..analysis.planner import lane_counts
 
     result.detail["plan_lanes"] = lane_counts(engine.plans)
+    result.detail["lane_executions"] = {
+        query_id: engine.lane_executions[query_id]
+        for query_id in sorted(engine.lane_executions)
+    }
+    # Per-lane throughput series: re-run each lane's query subset on its
+    # own engine so the trajectory records how every execution lane
+    # moves, not just the blended number.  Lane routing is per query, so
+    # the subset engines land on the same lanes as the full pass.
+    by_lane: dict[str, list[str]] = {}
+    for query_id, lane in engine.lane_executions.items():
+        by_lane.setdefault(lane, []).append(query_id)
+    lanes: dict[str, dict[str, float]] = {}
+    for lane in sorted(by_lane):
+        subset = {
+            query_id: subscriptions[query_id] for query_id in by_lane[lane]
+        }
+        lane_engine = MultiQueryEngine(subset)
+        lane_seconds, lane_matches, _peak = _measure(
+            lambda eng=lane_engine: sum(1 for _ in eng.run(iter(events))),
+            False,
+        )
+        lanes[lane] = {
+            "queries": len(subset),
+            "events": len(events),
+            "seconds": lane_seconds,
+            "events_per_second": (
+                len(events) / lane_seconds if lane_seconds > 0 else 0.0
+            ),
+            "matches": lane_matches,
+        }
+    result.detail["lanes"] = lanes
     return result
 
 

@@ -552,6 +552,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.rewrite and not args.plan:
         print("error: --rewrite requires --plan", file=sys.stderr)
         return EXIT_USAGE
+    if args.check_lanes and not args.plan:
+        print("error: --check-lanes requires --plan", file=sys.stderr)
+        return EXIT_USAGE
 
     reports = {
         name: preflight(text, limits=limits, dtd=dtd) for name, text in targets
@@ -573,6 +576,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             # the JSON stays keyed per query.
             factor_common_prefixes(dict(targets), report=reports[targets[0][0]])
     failed = any(not report.ok for report in reports.values())
+
+    lane_problems: list[str] = []
+    if args.check_lanes:
+        from .analysis import check_lane_coverage
+
+        lane_problems = check_lane_coverage(
+            {
+                name: {
+                    "analysis": report.to_obj(),
+                    "plan": plans[name].to_obj(),
+                }
+                for name, report in reports.items()
+            }
+        )
 
     if args.json:
         if args.plan:
@@ -608,7 +625,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             )
         clean = sum(1 for report in reports.values() if report.ok)
         print(f"-- {clean}/{len(reports)} quer(y/ies) clean")
-    return 1 if failed else 0
+    for problem in lane_problems:
+        print(f"lane check: {problem}", file=sys.stderr)
+    return 1 if failed or lane_problems else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1028,6 +1047,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --plan: run the certified rewrite engine first; every "
         "applied rule carries a machine-checked equivalence certificate "
         "(a failed certificate is an ERROR and the rewrite is discarded)",
+    )
+    analyze.add_argument(
+        "--check-lanes",
+        action="store_true",
+        dest="check_lanes",
+        help="with --plan: validate the lane invariants CI gates on — "
+        "all execution lanes exercised, refined σ̂ within the "
+        "worst-case bound, every rewrite certificate discharged "
+        "(nonzero exit on any problem)",
     )
     analyze.add_argument(
         "--max-depth",

@@ -96,6 +96,18 @@ class EngineStats:
         load_sheds: queries shed at the aggregate-buffer high-water mark.
         deadline_hits: per-query deadline expiries (document + stream).
         admissions_rejected: queries refused at admission control.
+        fastlane_dfa_queries: queries executed on the shared lazy DFA
+            (multi-query engines only; the ``lane-differential`` CI gate
+            asserts this equals the planner's dfa-lane count).
+        fastlane_hybrid_queries: queries executed natively on the DFA
+            with per-candidate condition automata.
+        fastlane_gated_queries: network queries running behind the DFA
+            subtree gate.
+        fastlane_demotions: planned fast lanes demoted to the network at
+            compile time (``PLAN005``).
+        fastlane_states: interned product-DFA states.
+        fastlane_saturated_steps: subset-construction steps taken past
+            the determinization memo bound (uncached but bounded).
     """
 
     network: NetworkStats = field(default_factory=NetworkStats)
@@ -116,6 +128,12 @@ class EngineStats:
     load_sheds: int = 0
     deadline_hits: int = 0
     admissions_rejected: int = 0
+    fastlane_dfa_queries: int = 0
+    fastlane_hybrid_queries: int = 0
+    fastlane_gated_queries: int = 0
+    fastlane_demotions: int = 0
+    fastlane_states: int = 0
+    fastlane_saturated_steps: int = 0
 
     def summary(self) -> str:
         """Human-readable one-screen digest of a run's resource profile."""
@@ -142,6 +160,12 @@ class EngineStats:
             f"load sheds            : {self.load_sheds}",
             f"deadline hits         : {self.deadline_hits}",
             f"admissions rejected   : {self.admissions_rejected}",
+            f"fast-lane queries     : {self.fastlane_dfa_queries} dfa, "
+            f"{self.fastlane_hybrid_queries} hybrid, "
+            f"{self.fastlane_gated_queries} gated "
+            f"({self.fastlane_demotions} demoted)",
+            f"fast-lane DFA states  : {self.fastlane_states}"
+            f" ({self.fastlane_saturated_steps} saturated step(s))",
         ]
         if self.query is not None:
             lines.insert(

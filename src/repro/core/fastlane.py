@@ -1,0 +1,1004 @@
+"""Lazy-DFA fast lanes — the execution half of the lane planner.
+
+The planner (:mod:`repro.analysis.planner`) classifies every query into
+``dfa``/``hybrid``/``network``; this module makes the classification pay
+at runtime.  The design follows the DFA line of related work (X-Scan,
+Green et al.'s lazy DFA, YFilter's shared automaton): all fast-lane
+queries of an engine are compiled into **one shared product NFA** and
+determinized *lazily* — DFA states are interned on demand, keyed by the
+subset of live ``(slot, nfa_state)`` pairs, with transitions memoized per
+state.  The memo is bounded: past ``max_states`` interned states the
+subset construction keeps running *uncached* (correct, bounded memory,
+counted in :attr:`FastLaneCore.saturated_steps`), and a query whose NFA
+alone exceeds the budget is demoted to the network lane at compile time
+(``PLAN005``) rather than risking a state explosion mid-stream.
+
+Three execution shapes hang off the shared core:
+
+* :class:`FastLaneAdapter` (``dfa`` lane) — qualifier-free queries run
+  entirely on the DFA.  Match candidates open when the query's slot
+  accepts at a start tag and are emitted with the exact FIFO/front-
+  blocking discipline of :class:`~repro.core.output_tx.OutputTransducer`,
+  so positions and emission events are bit-identical to the network.
+* :class:`HybridAdapter` (``hybrid`` lane, final-step qualifier) — the
+  qualifier-free spine runs on the DFA; each open candidate carries its
+  own lazily-determinized condition-automaton stack, advanced along its
+  subtree.  A witness accept determines the candidate ``true`` at the
+  witness's start tag, an undetermined candidate drops at its end tag —
+  the same determination times the ``VC``/``VD`` machinery exhibits for
+  this query class.
+* :class:`GatedNetworkAdapter` (other ``hybrid`` shapes) — the full
+  transducer network, behind a DFA gate.  The gate runs a sound
+  over-approximation automaton (qualifier guards erased to ε, condition
+  automata embedded as continuation branches); a subtree whose gate
+  state set is empty is skipped wholesale — cold subtrees never touch
+  the condition machinery — with the skipped start-tag count resynced
+  into the sink's position counter so match positions stay global.
+
+Every adapter exposes the ``Network`` surface the multi-query drivers
+use (``process_event``/``snapshot``/``restore``/``sinks``/
+``condition_store``/``allocator``/``clock``), so checkpoint/resume,
+shards and durable service sessions keep their exactly-once guarantees
+without knowing which lane a query runs on.  Snapshots carry the open
+element path; restore replays it through the subset construction, so
+automaton state is never serialized — only positions and candidates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from ..baselines.nfa import Nfa, compile_nfa
+from ..conditions.store import ConditionStore, VariableAllocator
+from ..errors import CheckpointError, UnsupportedFeatureError
+from ..rpeq.ast import (
+    Concat,
+    Following,
+    OptionalExpr,
+    Preceding,
+    Qualifier,
+    Rpeq,
+    Star,
+    Union,
+)
+from ..rpeq.unparse import unparse
+from ..xmlstream.events import (
+    DOCUMENT_LABEL,
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from .output_tx import Match
+
+if TYPE_CHECKING:
+    from ..analysis.planner import QueryPlan
+    from .network import Network
+    from .optimize import OptimizationFlags
+
+#: Interned-state budget of the shared lazy DFA (and of each per-slot
+#: condition DFA).  Generous for real query sets — the mondial/xmark
+#: corpus stays under a few dozen states — while keeping an adversarial
+#: union-of-closures query from growing the memo without bound.
+DEFAULT_MAX_STATES = 4096
+
+#: Shared empty result: adapters return it for the (vast majority of)
+#: events that decide nothing, so the hot path allocates no list.
+_NO_MATCHES: list[Match] = []
+
+KIND_DFA = 1
+KIND_HYBRID = 2
+KIND_GATE = 3
+
+_PENDING = 0
+_READY = 1
+_DROPPED = 2
+
+_STATE_NAMES = {_PENDING: "pending", _READY: "ready", _DROPPED: "dropped"}
+_STATE_CODES = {name: code for code, name in _STATE_NAMES.items()}
+
+
+class FastLaneUnsupported(Exception):
+    """A query cannot run on the fast lane (compile-time demotion)."""
+
+
+# ----------------------------------------------------------------------
+# query-shape analysis
+
+
+def _pure(expr: Rpeq) -> bool:
+    """No qualifiers and no axis steps anywhere under ``expr``."""
+    return not any(
+        isinstance(node, (Qualifier, Following, Preceding)) for node in expr.walk()
+    )
+
+
+def _parts(expr: Rpeq) -> list[Rpeq]:
+    """Flatten top-level concatenations into the query's step spine."""
+    if isinstance(expr, Concat):
+        return _parts(expr.left) + _parts(expr.right)
+    return [expr]
+
+
+def _concat(parts: list[Rpeq]) -> Rpeq:
+    out = parts[0]
+    for part in parts[1:]:
+        out = Concat(out, part)
+    return out
+
+
+def native_hybrid_split(expr: Rpeq) -> tuple[Rpeq, Rpeq] | None:
+    """Split ``spine[condition]`` queries whose qualifier is final.
+
+    Returns ``(spine, condition)`` when the query is a qualifier-free
+    spine whose **last** step carries the only qualifier and the
+    condition itself is pure — the class the native hybrid evaluator
+    handles without any network.  ``None`` otherwise.
+    """
+    parts = _parts(expr)
+    last = parts[-1]
+    if not isinstance(last, Qualifier) or isinstance(last.base, Qualifier):
+        return None
+    if not all(_pure(part) for part in parts[:-1]):
+        return None
+    if not _pure(last.base) or not _pure(last.condition):
+        return None
+    return _concat(parts[:-1] + [last.base]), last.condition
+
+
+def gate_expr(expr: Rpeq) -> Rpeq:
+    """The gate's sound over-approximation of ``expr``.
+
+    Qualifier guards are erased (the gate may never skip a subtree the
+    network would act in, so guards only *add* live runs) and each
+    condition becomes an optional continuation branch at its guard
+    point — its states keep the gate alive exactly where the network's
+    witness search would still be walking the subtree.  Accepting more
+    paths than the query is fine: the gate reads aliveness, not accepts.
+    """
+    if isinstance(expr, Qualifier):
+        return Concat(
+            gate_expr(expr.base), OptionalExpr(gate_expr(expr.condition))
+        )
+    if isinstance(expr, Concat):
+        return Concat(gate_expr(expr.left), gate_expr(expr.right))
+    if isinstance(expr, Union):
+        return Union(gate_expr(expr.left), gate_expr(expr.right))
+    if isinstance(expr, OptionalExpr):
+        return OptionalExpr(gate_expr(expr.inner))
+    if isinstance(expr, (Following, Preceding)):
+        raise FastLaneUnsupported(
+            "axis steps are not path-regular; the gate automaton covers "
+            "the core rpeq language only"
+        )
+    # Label / Plus / Star / Empty carry no nested conditions.
+    return expr
+
+
+# ----------------------------------------------------------------------
+# the shared lazy product DFA
+
+
+class _Candidate:
+    """One potential match: an element the query's spine accepted."""
+
+    __slots__ = ("pos", "label", "depth", "state", "done", "cstack")
+
+    def __init__(self, pos: int, label: str, depth: int) -> None:
+        self.pos = pos
+        self.label = label
+        self.depth = depth
+        self.state = _PENDING
+        self.done = False
+        #: condition-DFA state stack (hybrid lane, while undetermined)
+        self.cstack: list["_CondState"] | None = None
+
+
+class _DfaState:
+    """One interned subset-construction state of the shared product."""
+
+    __slots__ = ("key", "trans", "accepts", "alive", "interned")
+
+    def __init__(
+        self,
+        key: frozenset[tuple[int, int]],
+        accepts: tuple[int, ...],
+        alive: frozenset[int],
+        interned: bool,
+    ) -> None:
+        self.key = key
+        self.trans: dict[str, "_DfaState"] = {}
+        self.accepts = accepts
+        self.alive = alive
+        self.interned = interned
+
+
+class _CondState:
+    """One interned state of a per-slot condition DFA."""
+
+    __slots__ = ("key", "trans", "accept", "interned")
+
+    def __init__(self, key: frozenset[int], accept: bool, interned: bool) -> None:
+        self.key = key
+        self.trans: dict[str, "_CondState"] = {}
+        self.accept = accept
+        self.interned = interned
+
+
+def _closures(nfa: Nfa) -> dict[int, frozenset[int]]:
+    """ε-closure of every state (fast-lane NFAs carry no guarded edges)."""
+    states = {nfa.start, nfa.accept}
+    states.update(nfa.transitions)
+    states.update(t for edges in nfa.transitions.values() for _, t in edges)
+    states.update(nfa.epsilon)
+    states.update(t for targets in nfa.epsilon.values() for t in targets)
+    out: dict[int, frozenset[int]] = {}
+    for state in states:
+        seen = {state}
+        frontier = [state]
+        while frontier:
+            current = frontier.pop()
+            for target in nfa.epsilon.get(current, ()):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        out[state] = frozenset(seen)
+    return out
+
+
+class _Slot:
+    """One query's compartment in the shared core."""
+
+    __slots__ = (
+        "index",
+        "query_id",
+        "kind",
+        "accept",
+        "edges",
+        "start_pairs",
+        "cond_edges",
+        "cond_states",
+        "cond_init",
+        "cond_accept",
+        "active",
+        "offset",
+        "queue",
+        "open",
+        "watching",
+        "out",
+        "dirty",
+    )
+
+    def __init__(self, index: int, query_id: str, kind: int, nfa: Nfa) -> None:
+        self.index = index
+        self.query_id = query_id
+        self.kind = kind
+        self.accept = nfa.accept
+        closures = _closures(nfa)
+        # Pre-paired transition tables: state -> ((label, wildcard?,
+        # ((slot, state), ...) target closure), ...) — the subset move
+        # then runs on tuples alone, no attribute or method calls.
+        self.edges: dict[int, tuple[tuple[str, bool, tuple[tuple[int, int], ...]], ...]] = {
+            state: tuple(
+                (
+                    test.name,
+                    test.is_wildcard,
+                    tuple((index, t) for t in closures[target]),
+                )
+                for test, target in edges
+            )
+            for state, edges in nfa.transitions.items()
+        }
+        self.start_pairs = tuple((index, s) for s in closures[nfa.start])
+        self.cond_edges: dict[int, tuple[tuple[str, bool, tuple[int, ...]], ...]] | None = None
+        self.cond_states: dict[frozenset[int], _CondState] | None = None
+        self.cond_init: _CondState | None = None
+        self.cond_accept = -1
+        self.active = True
+        self.offset = 0
+        self.queue: deque[_Candidate] = deque()
+        self.open: list[_Candidate] = []
+        self.watching: list[_Candidate] = []
+        #: undelivered matches; doubles as the adapter-sink's ``results``
+        self.out: deque[Match] = deque()
+        self.dirty = False
+
+    def attach_condition(self, cond: Nfa) -> None:
+        closures = _closures(cond)
+        self.cond_accept = cond.accept
+        self.cond_edges = {
+            state: tuple(
+                (test.name, test.is_wildcard, tuple(closures[target]))
+                for test, target in edges
+            )
+            for state, edges in cond.transitions.items()
+        }
+        self.cond_states = {}
+        init_key = closures[cond.start]
+        self.cond_init = _CondState(init_key, cond.accept in init_key, True)
+        self.cond_states[init_key] = self.cond_init
+
+    def reset(self, offset: int) -> None:
+        self.offset = offset
+        self.active = True
+        self.queue.clear()
+        self.open.clear()
+        self.watching.clear()
+        self.out.clear()
+        self.dirty = False
+
+
+class FastLaneCore:
+    """The shared lazily-determinized product automaton of one engine.
+
+    Drivers call :meth:`advance` exactly once per stream event; adapters
+    fall back to an identity check for direct (non-driver) use.  All
+    registered slots share one DFA stack along the open-element path, so
+    per-event cost is one transition lookup plus per-slot work only
+    where candidates actually live.
+    """
+
+    def __init__(self, max_states: int = DEFAULT_MAX_STATES) -> None:
+        self.max_states = max_states
+        self._slots: list[_Slot] = []
+        self._by_query: dict[str, _Slot] = {}
+        self._interned: dict[frozenset[tuple[int, int]], _DfaState] = {}
+        self._init: _DfaState | None = None
+        self._stack: list[_DfaState] = []
+        #: labels of the open elements, root child first (depth 1..)
+        self._path: list[str] = []
+        #: StartElements seen, ever (the OU position counter, global)
+        self.ecount = 0
+        self.last: Event | None = None
+        self._open_slots: set[_Slot] = set()
+        self._watchers: set[_Slot] = set()
+        #: slots with undrained matches (run()-style bulk drain only)
+        self._dirty: list[_Slot] = []
+        self.track_dirty = False
+        #: uncached subset-construction steps past the memo bound
+        self.saturated_steps = 0
+        self._restored: tuple[tuple[str, ...], int] | None = None
+
+    # ------------------------------------------------------------------
+    # registration
+
+    @property
+    def states_interned(self) -> int:
+        return len(self._interned)
+
+    def register(
+        self, query_id: str, kind: int, nfa: Nfa, cond: Nfa | None = None
+    ) -> _Slot:
+        """Add (or re-admit) one query's automaton to the product.
+
+        Re-registration under the same ``query_id``/kind reuses the
+        existing slot — its automaton part is identical, so every
+        interned product state stays valid — and resets its runtime
+        state with the position offset a freshly compiled network would
+        start from.  Registration is cheap because states missing the
+        new slot entirely remain correct: the new slot is simply dead in
+        them, which is exactly what those states now mean.
+        """
+        existing = self._by_query.get(query_id)
+        if existing is not None and existing.kind == kind:
+            self._open_slots.discard(existing)
+            self._watchers.discard(existing)
+            existing.reset(self.ecount)
+            return existing
+        if nfa.size > self.max_states:
+            raise FastLaneUnsupported(
+                f"query automaton has {nfa.size} states, over the "
+                f"determinization budget of {self.max_states}"
+            )
+        if cond is not None and cond.size > self.max_states:
+            raise FastLaneUnsupported(
+                f"condition automaton has {cond.size} states, over the "
+                f"determinization budget of {self.max_states}"
+            )
+        slot = _Slot(len(self._slots), query_id, kind, nfa)
+        if cond is not None:
+            slot.attach_condition(cond)
+        slot.offset = self.ecount
+        self._slots.append(slot)
+        self._by_query[query_id] = slot
+        # The initial state must include the new slot's start closure;
+        # every other interned state stays valid (see docstring).
+        self._init = None
+        return slot
+
+    # ------------------------------------------------------------------
+    # subset construction
+
+    def _initial(self) -> _DfaState:
+        init = self._init
+        if init is None:
+            pairs: set[tuple[int, int]] = set()
+            for slot in self._slots:
+                pairs.update(slot.start_pairs)
+            key = frozenset(pairs)
+            init = self._interned.get(key)
+            if init is None:
+                init = self._make(key)
+            self._init = init
+        return init
+
+    def _step(self, state: _DfaState, label: str) -> _DfaState:
+        pairs: set[tuple[int, int]] = set()
+        slots = self._slots
+        for si, ns in state.key:
+            edges = slots[si].edges.get(ns)
+            if edges:
+                for name, wild, closure in edges:
+                    if wild or name == label:
+                        pairs.update(closure)
+        key = frozenset(pairs)
+        nxt = self._interned.get(key)
+        if nxt is None:
+            nxt = self._make(key)
+        if nxt.interned and state.interned:
+            state.trans[label] = nxt
+        return nxt
+
+    def _make(self, key: frozenset[tuple[int, int]]) -> _DfaState:
+        slots = self._slots
+        accepts = tuple(
+            sorted(si for si, ns in key if ns == slots[si].accept)
+        )
+        alive = frozenset(si for si, _ns in key)
+        interned = len(self._interned) < self.max_states
+        state = _DfaState(key, accepts, alive, interned)
+        if interned:
+            self._interned[key] = state
+        else:
+            self.saturated_steps += 1
+        return state
+
+    def _cond_step(self, slot: _Slot, state: _CondState, label: str) -> _CondState:
+        targets: set[int] = set()
+        edges_map = slot.cond_edges
+        assert edges_map is not None and slot.cond_states is not None
+        for ns in state.key:
+            edges = edges_map.get(ns)
+            if edges:
+                for name, wild, closure in edges:
+                    if wild or name == label:
+                        targets.update(closure)
+        key = frozenset(targets)
+        nxt = slot.cond_states.get(key)
+        if nxt is None:
+            interned = len(slot.cond_states) < self.max_states
+            nxt = _CondState(key, slot.cond_accept in key, interned)
+            if interned:
+                slot.cond_states[key] = nxt
+            else:
+                self.saturated_steps += 1
+        if nxt.interned and state.interned:
+            state.trans[label] = nxt
+        return nxt
+
+    # ------------------------------------------------------------------
+    # the per-event transition
+
+    def advance(self, event: Event) -> None:
+        """Process one stream event (exactly once per event)."""
+        self.last = event
+        cls = event.__class__
+        if cls is Text:
+            return
+        if cls is StartElement:
+            label = event.label  # type: ignore[attr-defined]
+            self.ecount += 1
+            stack = self._stack
+            if not stack:
+                stack.append(self._initial())
+            state = stack[-1]
+            nxt = state.trans.get(label)
+            if nxt is None:
+                nxt = self._step(state, label)
+            stack.append(nxt)
+            self._path.append(label)
+            if self._watchers:
+                self._advance_watchers(label)
+            accepts = nxt.accepts
+            if accepts:
+                depth = len(self._path)
+                ecount = self.ecount
+                for si in accepts:
+                    slot = self._slots[si]
+                    if slot.active and slot.kind != KIND_GATE:
+                        self._open_candidate(
+                            slot, ecount - slot.offset, label, depth
+                        )
+            return
+        if cls is EndElement:
+            path = self._path
+            if path:
+                depth = len(path)
+                if self._open_slots:
+                    self._close_at(depth)
+                if self._watchers:
+                    for slot in self._watchers:
+                        for cand in slot.watching:
+                            cand.cstack.pop()  # type: ignore[union-attr]
+                self._stack.pop()
+                path.pop()
+            return
+        if cls is StartDocument:
+            self._reset_document()
+            return
+        if cls is EndDocument:
+            if self._open_slots:
+                self._close_at(0)
+            return
+
+    def _advance_watchers(self, label: str) -> None:
+        finished: list[_Slot] = []
+        for slot in self._watchers:
+            watching = slot.watching
+            determined = False
+            for cand in watching:
+                cstack = cand.cstack
+                assert cstack is not None
+                top = cstack[-1]
+                nxt = top.trans.get(label)
+                if nxt is None:
+                    nxt = self._cond_step(slot, top, label)
+                cstack.append(nxt)
+                if nxt.accept:
+                    # Witness found: the candidate is determined true at
+                    # the witness's start tag, exactly when the network's
+                    # CH chain would fire its Contribute.
+                    cand.state = _READY
+                    cand.cstack = None
+                    determined = True
+            if determined:
+                slot.watching = [c for c in watching if c.state == _PENDING]
+                if not slot.watching:
+                    finished.append(slot)
+        for slot in finished:
+            self._watchers.discard(slot)
+
+    def _open_candidate(
+        self, slot: _Slot, pos: int, label: str, depth: int
+    ) -> None:
+        cand = _Candidate(pos, label, depth)
+        if slot.kind == KIND_DFA:
+            cand.state = _READY
+        else:
+            init = slot.cond_init
+            assert init is not None
+            if init.accept:
+                # ε-accepting condition ([b?], [a*]): determined at birth.
+                cand.state = _READY
+            else:
+                cand.cstack = [init]
+                slot.watching.append(cand)
+                self._watchers.add(slot)
+        slot.queue.append(cand)
+        slot.open.append(cand)
+        self._open_slots.add(slot)
+
+    def _close_at(self, depth: int) -> None:
+        for slot in list(self._open_slots):
+            open_stack = slot.open
+            if open_stack and open_stack[-1].depth == depth:
+                cand = open_stack.pop()
+                cand.done = True
+                if cand.state == _PENDING:
+                    # Scope closed without a witness: determined false —
+                    # the VD transducer's Close at the same end tag.
+                    cand.state = _DROPPED
+                    cand.cstack = None
+                    watching = slot.watching
+                    if watching:
+                        if watching[-1] is cand:
+                            watching.pop()
+                        else:  # pragma: no cover - deepest pending is last
+                            watching.remove(cand)
+                        if not watching:
+                            self._watchers.discard(slot)
+                if not open_stack:
+                    self._open_slots.discard(slot)
+                self._flush(slot)
+
+    def _flush(self, slot: _Slot) -> None:
+        """The OU emission rule: pop dropped fronts, emit ready+complete
+        fronts, block on the first open or undetermined candidate."""
+        queue = slot.queue
+        out = slot.out
+        emitted = False
+        while queue:
+            head = queue[0]
+            state = head.state
+            if state == _DROPPED:
+                queue.popleft()
+                continue
+            if state == _READY and head.done:
+                queue.popleft()
+                out.append(Match(head.pos, head.label, None))
+                emitted = True
+                continue
+            break
+        if emitted and self.track_dirty and not slot.dirty:
+            slot.dirty = True
+            self._dirty.append(slot)
+
+    def _reset_document(self) -> None:
+        for slot in self._slots:
+            if slot.open:
+                slot.open.clear()
+            if slot.watching:
+                slot.watching.clear()
+            if slot.queue:
+                slot.queue.clear()
+        self._open_slots.clear()
+        self._watchers.clear()
+        init = self._initial()
+        self._stack.clear()
+        self._stack.append(init)
+        self._path.clear()
+        accepts = init.accepts
+        if accepts:
+            # The query accepts ε: the virtual root $ is a candidate at
+            # position 0, completing at </$> — OU's document-root rule.
+            for si in accepts:
+                slot = self._slots[si]
+                if slot.active and slot.kind != KIND_GATE:
+                    self._open_candidate(slot, 0, DOCUMENT_LABEL, 0)
+
+    def drain_matches(self) -> list[tuple[str, Match]]:
+        """Bulk-drain all pending matches (the ``run()`` hot loop)."""
+        dirty = self._dirty
+        out: list[tuple[str, Match]] = []
+        for slot in dirty:
+            slot.dirty = False
+            pending = slot.out
+            if pending:
+                query_id = slot.query_id
+                while pending:
+                    out.append((query_id, pending.popleft()))
+        dirty.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def path_state(self) -> dict[str, object]:
+        return {"path": list(self._path), "ecount": self.ecount}
+
+    def restore_path(self, path: list[str], ecount: int) -> None:
+        """Rebuild the DFA stack by replaying the open-element path.
+
+        Called once per engine restore by the first adapter; later
+        adapters only verify their snapshots agree on the position.
+        Replay is side-effect free (no candidates open — those are
+        restored explicitly by each adapter).
+        """
+        if self._restored is not None:
+            if self._restored != (tuple(path), ecount):
+                raise CheckpointError(
+                    "fast-lane snapshots disagree on the stream position"
+                )
+            return
+        state = self._initial()
+        stack = [state]
+        for label in path:
+            nxt = state.trans.get(label)
+            if nxt is None:
+                nxt = self._step(state, label)
+            stack.append(nxt)
+            state = nxt
+        self._stack = stack
+        self._path = list(path)
+        self.ecount = ecount
+        self._restored = (tuple(path), ecount)
+
+
+# ----------------------------------------------------------------------
+# adapters: the Network surface over a core slot
+
+
+class _AdapterBase:
+    """Common Network-shaped surface of the DFA-backed adapters.
+
+    The adapter is its own sink: ``sinks`` yields ``self`` and
+    ``results`` is the slot's out deque, so every driver that drains
+    ``network.sinks[*].results`` works unchanged.  The condition store
+    and allocator are fresh empties — fast-lane queries never allocate
+    condition variables, and checkpoints of empty stores round-trip.
+    """
+
+    lane = "dfa"
+
+    def __init__(self, core: FastLaneCore, slot: _Slot, query: Rpeq) -> None:
+        self._core = core
+        self._slot = slot
+        self.query = query
+        self.condition_store = ConditionStore()
+        self.allocator = VariableAllocator()
+        self.clock: object | None = None
+        self.limits = None
+        self.buffered_events = 0
+
+    @property
+    def sinks(self) -> tuple["_AdapterBase", ...]:
+        return (self,)
+
+    @property
+    def results(self) -> deque[Match]:
+        return self._slot.out
+
+    def process_event(self, event: Event) -> list[Match]:
+        core = self._core
+        if core.last is not event:
+            # Direct (non-driver) use: nobody advanced the core yet.
+            core.advance(event)
+        out = self._slot.out
+        if not out:
+            return _NO_MATCHES
+        matches = list(out)
+        out.clear()
+        return matches
+
+    def deactivate(self) -> None:
+        """Detach: stop opening candidates and drop in-flight state."""
+        slot = self._slot
+        slot.active = False
+        slot.queue.clear()
+        slot.open.clear()
+        slot.watching.clear()
+        self._core._open_slots.discard(slot)
+        self._core._watchers.discard(slot)
+
+    # -- checkpointing --------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        core = self._core
+        slot = self._slot
+        return {
+            "fastlane": {
+                "kind": slot.kind,
+                "query": unparse(self.query),
+                "path": list(core._path),
+                "ecount": core.ecount,
+                "offset": slot.offset,
+                "candidates": [
+                    [c.pos, c.label, c.depth, _STATE_NAMES[c.state], c.done]
+                    for c in slot.queue
+                ],
+                "pending_out": [[m.position, m.label] for m in slot.out],
+            }
+        }
+
+    def restore(self, snap: dict[str, object]) -> None:
+        payload = snap.get("fastlane")
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                "network-lane snapshot cannot restore into a fast-lane "
+                "runner; re-run with the checkpoint's optimization flags"
+            )
+        core = self._core
+        slot = self._slot
+        if payload.get("kind") != slot.kind:
+            raise CheckpointError(
+                "fast-lane snapshot kind does not match the compiled lane"
+            )
+        path = [str(p) for p in payload["path"]]  # type: ignore[index]
+        core.restore_path(path, int(payload["ecount"]))  # type: ignore[arg-type]
+        slot.reset(int(payload["offset"]))  # type: ignore[arg-type]
+        open_by_depth: dict[int, _Candidate] = {}
+        for pos, label, depth, state_name, done in payload["candidates"]:  # type: ignore[misc]
+            cand = _Candidate(int(pos), str(label), int(depth))
+            cand.state = _STATE_CODES[str(state_name)]
+            cand.done = bool(done)
+            slot.queue.append(cand)
+            if not cand.done:
+                open_by_depth[cand.depth] = cand
+                slot.open.append(cand)
+        if slot.open:
+            slot.open.sort(key=lambda c: c.depth)
+            core._open_slots.add(slot)
+        if slot.kind == KIND_HYBRID:
+            self._rebuild_cstacks(open_by_depth)
+        for pos, label in payload["pending_out"]:  # type: ignore[misc]
+            slot.out.append(Match(int(pos), str(label), None))
+
+    def _rebuild_cstacks(self, open_by_depth: dict[int, _Candidate]) -> None:
+        """Recompute condition stacks by replaying path labels below each
+        pending open candidate — the stacks are pure label functions."""
+        core = self._core
+        slot = self._slot
+        for cand in slot.open:
+            if cand.state != _PENDING:
+                continue
+            init = slot.cond_init
+            assert init is not None
+            cstack = [init]
+            state = init
+            for label in core._path[cand.depth :]:
+                nxt = state.trans.get(label)
+                if nxt is None:
+                    nxt = core._cond_step(slot, state, label)
+                cstack.append(nxt)
+                state = nxt
+                if state.accept:  # pragma: no cover - snapshot said pending
+                    raise CheckpointError(
+                        "pending fast-lane candidate replays to accepted"
+                    )
+            cand.cstack = cstack
+            slot.watching.append(cand)
+        if slot.watching:
+            core._watchers.add(slot)
+
+
+class FastLaneAdapter(_AdapterBase):
+    """dfa-lane runner: the query lives entirely in the shared DFA."""
+
+    lane = "dfa"
+
+
+class HybridAdapter(_AdapterBase):
+    """Native hybrid runner: DFA spine + per-candidate condition DFA."""
+
+    lane = "hybrid"
+
+
+class GatedNetworkAdapter:
+    """A full transducer network behind a DFA subtree gate.
+
+    The wrapped network sees exactly the events of subtrees where the
+    gate's over-approximation automaton is alive.  Skipped subtrees are
+    balanced (we skip from a dead start tag to its matching end tag), so
+    the network's depth bookkeeping stays consistent; its *position*
+    counter is resynced via
+    :meth:`~repro.core.output_tx.OutputTransducer.advance_positions`
+    with the count of skipped start tags before the next fed event.
+    """
+
+    lane = "gated"
+
+    def __init__(
+        self, core: FastLaneCore, slot: _Slot, network: "Network", query: Rpeq
+    ) -> None:
+        self._core = core
+        self._slot = slot
+        self._network = network
+        self.query = query
+        #: >0 — depth inside a skipped subtree (balanced-tag counter)
+        self._skip = 0
+        #: start tags skipped and not yet resynced into the sink
+        self._skipped = 0
+
+    @property
+    def sinks(self) -> tuple[object, ...]:
+        return self._network.sinks
+
+    @property
+    def condition_store(self) -> ConditionStore:
+        return self._network.condition_store
+
+    @property
+    def allocator(self) -> VariableAllocator:
+        return self._network.allocator
+
+    @property
+    def clock(self) -> object | None:
+        return self._network.clock
+
+    @clock.setter
+    def clock(self, value: object | None) -> None:
+        self._network.clock = value
+
+    @property
+    def limits(self) -> object | None:
+        return self._network.limits
+
+    @property
+    def buffered_events(self) -> int:
+        return sum(s.buffered_events for s in self._network.sinks)
+
+    def process_event(self, event: Event) -> list[Match]:
+        core = self._core
+        if core.last is not event:
+            core.advance(event)
+        cls = event.__class__
+        if self._skip:
+            if cls is StartElement:
+                self._skip += 1
+                self._skipped += 1
+            elif cls is EndElement:
+                self._skip -= 1
+            return _NO_MATCHES
+        if cls is StartElement:
+            # core.advance already pushed this tag; dead here means dead
+            # for every continuation of the query, condition search
+            # included — the whole subtree is irrelevant.
+            if self._slot.index not in core._stack[-1].alive:
+                self._skip = 1
+                self._skipped += 1
+                return _NO_MATCHES
+        if self._skipped:
+            for sink in self._network.sinks:
+                sink.advance_positions(self._skipped)
+            self._skipped = 0
+        return self._network.process_event(event)
+
+    def deactivate(self) -> None:
+        self._slot.active = False
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "fastlane": {
+                "kind": KIND_GATE,
+                "path": list(self._core._path),
+                "ecount": self._core.ecount,
+                "skip": self._skip,
+                "skipped": self._skipped,
+            },
+            "network": self._network.snapshot(),
+        }
+
+    def restore(self, snap: dict[str, object]) -> None:
+        payload = snap.get("fastlane")
+        if not isinstance(payload, dict) or payload.get("kind") != KIND_GATE:
+            raise CheckpointError(
+                "snapshot lane does not match the gated fast-lane runner"
+            )
+        path = [str(p) for p in payload["path"]]  # type: ignore[index]
+        self._core.restore_path(path, int(payload["ecount"]))  # type: ignore[arg-type]
+        self._skip = int(payload["skip"])  # type: ignore[arg-type]
+        self._skipped = int(payload["skipped"])  # type: ignore[arg-type]
+        self._network.restore(snap["network"])  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# routing
+
+
+def build_lane_runner(
+    core: FastLaneCore,
+    query_id: str,
+    expr: Rpeq,
+    plan: "QueryPlan | None",
+    flags: "OptimizationFlags",
+    network_factory: Callable[[], "Network"],
+) -> tuple[object | None, str, str | None]:
+    """Compile one query onto its planned execution lane.
+
+    Returns ``(runner, lane, demotion_reason)``: ``runner`` is ``None``
+    when the query must run on the plain network (lane ``"network"``),
+    and ``demotion_reason`` is set when the *plan* wanted a fast lane
+    but compilation demoted it (surfaced as a ``PLAN005`` diagnostic).
+    """
+    if plan is None:
+        return None, "network", None
+    lane = plan.lane
+    if lane == "dfa" and flags.dfa_lane:
+        try:
+            nfa = compile_nfa(expr, allow_qualifiers=False)
+            slot = core.register(query_id, KIND_DFA, nfa)
+        except (FastLaneUnsupported, UnsupportedFeatureError) as exc:
+            return None, "network", str(exc)
+        return FastLaneAdapter(core, slot, expr), "dfa", None
+    if lane == "hybrid" and flags.hybrid_gate:
+        split = native_hybrid_split(expr)
+        if split is not None:
+            spine, condition = split
+            try:
+                nfa = compile_nfa(spine, allow_qualifiers=False)
+                cond = compile_nfa(condition, allow_qualifiers=False)
+                slot = core.register(query_id, KIND_HYBRID, nfa, cond)
+            except (FastLaneUnsupported, UnsupportedFeatureError) as exc:
+                return None, "network", str(exc)
+            return HybridAdapter(core, slot, expr), "hybrid", None
+        try:
+            over = gate_expr(expr)
+            nfa = compile_nfa(over, allow_qualifiers=False)
+            slot = core.register(query_id, KIND_GATE, nfa)
+        except (FastLaneUnsupported, UnsupportedFeatureError) as exc:
+            return None, "network", str(exc)
+        return GatedNetworkAdapter(core, slot, network_factory(), expr), "gated", None
+    return None, "network", None

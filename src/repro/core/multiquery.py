@@ -20,6 +20,7 @@ Two consumption styles:
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Iterable, Iterator, Mapping
 
 from ..conditions.store import ConditionStore, VariableAllocator
@@ -41,8 +42,16 @@ from ..xmlstream.recovery import (
 from .checkpoint import Checkpoint
 from .clock import Clock, as_clock
 from .compiler import _Compiler, compile_network
-from .engine import RobustnessCounters
+from .engine import EngineStats, RobustnessCounters
+from .fastlane import (
+    FastLaneAdapter,
+    FastLaneCore,
+    GatedNetworkAdapter,
+    HybridAdapter,
+    build_lane_runner,
+)
 from .network import Network
+from .optimize import OptimizationFlags, as_flags
 from .output_tx import Match, OutputTransducer
 from .path_transducers import InputTransducer
 from .serving import (
@@ -69,6 +78,7 @@ class MultiQueryEngine:
         preflight: bool = True,
         admission: AdmissionPolicy | None = None,
         rewrite: bool = False,
+        optimize: bool | OptimizationFlags = True,
     ) -> None:
         """Register subscription queries.
 
@@ -99,6 +109,15 @@ class MultiQueryEngine:
                 step's equivalence certificate discharged, otherwise the
                 original query runs.  Results are kept in
                 :attr:`rewrites`.
+            optimize: optimization knobs, as for
+                :func:`~repro.core.compiler.compile_network`.  The
+                ``dfa_lane``/``hybrid_gate`` knobs additionally control
+                whether planned fast lanes *execute* on the shared lazy
+                DFA (:mod:`repro.core.fastlane`); with both off every
+                query runs on its transducer network regardless of the
+                planner's lane.  The lanes each query actually ran on
+                are kept in :attr:`lane_executions`, compile-time
+                demotions (``PLAN005``) in :attr:`lane_demotions`.
 
         Raises:
             StaticAnalysisError: pre-flight analysis rejected one of the
@@ -114,8 +133,17 @@ class MultiQueryEngine:
         }
         self.collect_events = collect_events
         self.limits = limits
+        self.optimize = as_flags(optimize)
         #: lifetime recovery counters, mirroring ``SpexEngine.robustness``
         self.robustness = RobustnessCounters()
+        #: the execution lane each compiled query actually runs on
+        #: (``"dfa"``/``"hybrid"``/``"gated"``/``"network"``), refreshed
+        #: by every compile pass — the planner invariant CI asserts.
+        self.lane_executions: dict[str, str] = {}
+        #: per-query reason a planned fast lane was demoted to the
+        #: network at compile time (surfaced as ``PLAN005``).
+        self.lane_demotions: dict[str, str] = {}
+        self._fastlane_core: FastLaneCore | None = None
         self.admission = admission
         self.rewrite = rewrite
         #: per-query :class:`~repro.analysis.rewrite.RewriteResult` for
@@ -160,6 +188,44 @@ class MultiQueryEngine:
 
     def __len__(self) -> int:
         return len(self.queries)
+
+    @property
+    def stats(self) -> EngineStats:
+        """Roll-up of the most recent compile pass and lifetime counters.
+
+        The ``fastlane_*`` fields carry the lane-execution invariant the
+        ``lane-differential`` CI job asserts: every planned dfa-lane
+        query (under default flags) must show up in
+        ``fastlane_dfa_queries``, i.e. it actually executed on the
+        shared lazy DFA rather than a transducer network.
+        """
+        lanes = self.lane_executions
+        stats = EngineStats(
+            fastlane_dfa_queries=sum(1 for lane in lanes.values() if lane == "dfa"),
+            fastlane_hybrid_queries=sum(
+                1 for lane in lanes.values() if lane == "hybrid"
+            ),
+            fastlane_gated_queries=sum(
+                1 for lane in lanes.values() if lane == "gated"
+            ),
+            fastlane_demotions=len(self.lane_demotions),
+        )
+        core = self._fastlane_core
+        if core is not None:
+            stats.fastlane_states = core.states_interned
+            stats.fastlane_saturated_steps = core.saturated_steps
+        robustness = self.robustness
+        stats.checkpoints_written = robustness.checkpoints_written
+        stats.restores = robustness.restores
+        stats.retries = robustness.retries
+        stats.stalls_detected = robustness.stalls_detected
+        stats.quarantines = robustness.quarantines
+        stats.breaker_trips = robustness.breaker_trips
+        stats.readmissions = robustness.readmissions
+        stats.load_sheds = robustness.load_sheds
+        stats.deadline_hits = robustness.deadline_hits
+        stats.admissions_rejected = robustness.admissions_rejected
+        return stats
 
     # ------------------------------------------------------------------
     # registration / admission
@@ -290,34 +356,83 @@ class MultiQueryEngine:
         if self.analysis is not None:
             self.analysis.pop(query_id, None)
 
-    def _compile_one(self, query_id: str, clock: Clock | None = None) -> Network:
-        network = compile_network(
-            self.queries[query_id],
-            collect_events=self.collect_events,
-            limits=self._effective_limits(query_id),
-        )[0]
+    def _fastlane(self) -> FastLaneCore:
+        core = self._fastlane_core
+        if core is None:
+            core = self._fastlane_core = FastLaneCore()
+        return core
+
+    def _compile_one(
+        self,
+        query_id: str,
+        clock: Clock | None = None,
+        collect_events: bool | None = None,
+        force_network: bool = False,
+    ) -> Network:
+        """Compile one query onto its execution lane.
+
+        Returns either a plain transducer :class:`Network` or one of the
+        fast-lane runners of :mod:`repro.core.fastlane`, which expose
+        the same driver surface.  Fast lanes require the plain-match
+        configuration they were proved against: no event collection and
+        no per-query resource limits (a limit-armed network must see
+        every event to count it, which the gate's subtree skipping would
+        break).
+        """
+        collect = self.collect_events if collect_events is None else collect_events
+        limits = self._effective_limits(query_id)
+        query = self.queries[query_id]
+
+        def factory() -> Network:
+            return compile_network(
+                query,
+                collect_events=collect,
+                optimize=self.optimize,
+                limits=limits,
+            )[0]
+
+        runner: Network | None = None
+        lane = "network"
+        flags = self.optimize
+        if (
+            not force_network
+            and not collect
+            and limits is None
+            and (flags.dfa_lane or flags.hybrid_gate)
+        ):
+            runner, lane, reason = build_lane_runner(
+                self._fastlane(),
+                query_id,
+                query,
+                self.plans.get(query_id),
+                flags,
+                factory,
+            )
+            if reason is not None:
+                self.lane_demotions[query_id] = reason
+        self.lane_executions[query_id] = lane
+        result = runner if runner is not None else factory()
         if clock is not None:
-            network.clock = clock
-        return network
+            result.clock = clock
+        return result
 
     def _compile_all(
         self,
         collect_events: bool | None = None,
         clock: Clock | None = None,
     ) -> dict[str, Network]:
-        collect = self.collect_events if collect_events is None else collect_events
+        # A fresh pass gets a fresh shared DFA: networks restart their
+        # per-pass state, so the fast-lane core must too.
+        self._fastlane_core = None
+        self.lane_executions = {}
+        self.lane_demotions = {}
         networks: dict[str, Network] = {}
-        for query_id, query in self.queries.items():
+        for query_id in self.queries:
             if not self._is_admitted(query_id):
                 continue
-            network = compile_network(
-                query,
-                collect_events=collect,
-                limits=self._effective_limits(query_id),
-            )[0]
-            if clock is not None:
-                network.clock = clock
-            networks[query_id] = network
+            networks[query_id] = self._compile_one(
+                query_id, clock=clock, collect_events=collect_events
+            )
         return networks
 
     def run(
@@ -363,17 +478,55 @@ class MultiQueryEngine:
         if cursor is not None:
             events = cursor.attach(events)
         # Hoisted out of the per-event loop: the dict iteration and the
-        # process_event attribute lookup are per-pass constants.
+        # process_event attribute lookup are per-pass constants.  Core-
+        # backed fast-lane queries are excluded — the shared DFA does
+        # their per-event work once in ``core.advance`` and their
+        # matches come out of one bulk drain, so per-query cost is paid
+        # only by network (and gated-network) queries.
         pairs = [
             (query_id, network.process_event)
             for query_id, network in networks.items()
+            if not isinstance(network, (FastLaneAdapter, HybridAdapter))
         ]
+        core = self._fastlane_core
+        if core is None:
+            for event in events:
+                for query_id, process_event in pairs:
+                    matches = process_event(event)
+                    if matches:
+                        for match in matches:
+                            yield query_id, match
+            return
+        core.track_dirty = True
+        advance = core.advance
+        drain = core.drain_matches
+        # Emission order within one event must be bit-identical to the
+        # pure-network pass: compile order across queries, FIFO within a
+        # query.  Fast-lane drains arrive out of that order (flush order
+        # is close order), so match-bearing events — the rare case —
+        # merge through a stable sort on the compile-order index.
+        order = {query_id: index for index, query_id in enumerate(networks)}
+        by_order = itemgetter(0)
         for event in events:
+            advance(event)
+            batch: list[tuple[int, str, Match]] | None = None
             for query_id, process_event in pairs:
                 matches = process_event(event)
                 if matches:
+                    if batch is None:
+                        batch = []
+                    rank = order[query_id]
                     for match in matches:
-                        yield query_id, match
+                        batch.append((rank, query_id, match))
+            if core._dirty:
+                if batch is None:
+                    batch = []
+                for query_id, match in drain():
+                    batch.append((order[query_id], query_id, match))
+            if batch:
+                batch.sort(key=by_order)
+                for _, query_id, match in batch:
+                    yield query_id, match
 
     def _run_recovering(
         self,
@@ -384,10 +537,13 @@ class MultiQueryEngine:
         report = report if report is not None else ErrorReport()
         for document in recovered_documents(iter_events(source), policy, report):
             networks = self._compile_all()
+            core = self._fastlane_core
             matches: list[tuple[str, Match]] = []
             doc_index = report.documents_seen - 1
             try:
                 for event in document:
+                    if core is not None:
+                        core.advance(event)
                     for query_id, network in networks.items():
                         for match in network.process_event(event):
                             matches.append((query_id, match))
@@ -588,6 +744,10 @@ class MultiQueryEngine:
         for sink in network.sinks:
             flushed.extend(sink.results)
             sink.results.clear()
+        deactivate = getattr(network, "deactivate", None)
+        if deactivate is not None:
+            # fast-lane runner: stop its slot in the shared DFA too
+            deactivate()
         outcome.matches += len(flushed)
         return flushed
 
@@ -779,6 +939,7 @@ class MultiQueryEngine:
             live: dict[str, Network] = {}
             for query_id in breakers:
                 self._readmit(live, serving, breakers, query_id, clock)
+            core = self._fastlane_core
             doc_deadline = (
                 clock.monotonic() + policy.doc_deadline
                 if policy.doc_deadline is not None
@@ -826,6 +987,8 @@ class MultiQueryEngine:
                             for match in flushed:
                                 yield query_id, match
                         doc_deadline = None
+                    if core is not None:
+                        core.advance(event)
                     for query_id in list(live):
                         network = live[query_id]
                         try:
@@ -895,6 +1058,7 @@ class MultiQueryEngine:
                 for query_id, query in self.queries.items()
             },
             "collect_events": self.collect_events,
+            "optimize": self.optimize.to_obj(),
             "cursor": self._last_cursor.state(),
             "networks": {
                 query_id: {
@@ -1047,11 +1211,30 @@ class MultiQueryEngine:
                 f"{bool(payload['collect_events'])}, engine has "
                 f"collect_events={self.collect_events}"
             )
-        networks: dict[str, Network] = {}
+        # Two-phase revival: every runner is compiled (and its fast-lane
+        # slot registered in the shared DFA) before any state is
+        # restored, so the product automaton's initial state covers the
+        # full slot set when the first restore replays the open path.
+        self._fastlane_core = None
+        self.lane_executions = {}
+        self.lane_demotions = {}
+        compiled: list[tuple[str, Network, dict]] = []
         for query_id, states in payload["networks"].items():
             if not self._is_admitted(query_id):
                 continue
-            network = self._compile_one(query_id)
+            snap = states["network"]
+            wants_fastlane = isinstance(snap, dict) and "fastlane" in snap
+            network = self._compile_one(query_id, force_network=not wants_fastlane)
+            if wants_fastlane and isinstance(network, Network):
+                raise CheckpointError(
+                    f"query {query_id!r} was checkpointed on a fast lane "
+                    f"but compiles to a transducer network here; restore "
+                    f"with the checkpoint's optimization flags "
+                    f"(see the payload's 'optimize' entry)"
+                )
+            compiled.append((query_id, network, states))
+        networks: dict[str, Network] = {}
+        for query_id, network, states in compiled:
             network.restore(states["network"])
             network.condition_store.restore(states["store"])
             network.allocator.restore(states["allocator"])
@@ -1086,12 +1269,14 @@ class MultiQueryEngine:
         self._breakers = breakers
         return serving, breakers
 
-    @staticmethod
     def _pump(
-        networks: dict[str, Network], events: Iterable[Event]
+        self, networks: dict[str, Network], events: Iterable[Event]
     ) -> Iterator[tuple[str, Match]]:
         """Generator tail of :meth:`resume` (verification stays eager)."""
+        core = self._fastlane_core
         for event in events:
+            if core is not None:
+                core.advance(event)
             for query_id, network in networks.items():
                 for match in network.process_event(event):
                     yield query_id, match
@@ -1110,6 +1295,8 @@ class MultiQueryEngine:
             collect_events=bool(payload["collect_events"]),
             limits=limits,
             admission=admission,
+            # pre-lane checkpoints carry no flags; they meant "all on"
+            optimize=as_flags(payload.get("optimize", True)),
         )
 
     def evaluate(
@@ -1170,18 +1357,24 @@ class MultiQueryEngine:
     def _filter_one(self, events: Iterable[Event]) -> dict[str, bool]:
         """One first-match-short-circuit boolean pass over ``events``."""
         networks = self._compile_all(collect_events=False)
+        core = self._fastlane_core
         matched: dict[str, bool] = {query_id: False for query_id in self.queries}
         live = dict(networks)
         for event in events:
             if not live:
                 break
+            if core is not None:
+                core.advance(event)
             done: list[str] = []
             for query_id, network in live.items():
                 if network.process_event(event):
                     matched[query_id] = True
                     done.append(query_id)
             for query_id in done:
-                del live[query_id]
+                network = live.pop(query_id)
+                deactivate = getattr(network, "deactivate", None)
+                if deactivate is not None:
+                    deactivate()
         return matched
 
     def filter_stream(
@@ -1349,6 +1542,9 @@ class ServePump:
             for sink in network.sinks:
                 flushed.extend(sink.results)
                 sink.results.clear()
+            deactivate = getattr(network, "deactivate", None)
+            if deactivate is not None:
+                deactivate()
         outcome.matches += len(flushed)
         return flushed
 
@@ -1424,6 +1620,9 @@ class ServePump:
                     robustness.deadline_hits += 1
                     out.extend((query_id, match) for match in flushed)
                 self._doc_deadline = None
+        core = engine._fastlane_core
+        if core is not None:
+            core.advance(event)
         for query_id in list(live):
             network = live[query_id]
             try:

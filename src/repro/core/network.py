@@ -189,9 +189,20 @@ class Network:
             self.activation_pool = pool
             for node in self._nodes:
                 node._activation = pool.acquire
-        if not flags.routing:
+        if flags.routing:
+            self._compile_routing()
+        else:
             self._exec = None
-            return
+        if flags.fused_network and self.limits is None and self.sink is not None:
+            # Flatten the whole per-event driver into one closure (the
+            # instance attribute shadows the method).  Limit-armed
+            # networks keep the full method: the guards must see every
+            # event.
+            from .dispatch import make_fused_runner
+
+            self.process_event = make_fused_runner(self)  # type: ignore[method-assign]
+
+    def _compile_routing(self) -> None:
         # Flatten the plan into straight-line code: one generated
         # function whose body is the topological pass with every feed
         # method pre-bound and every slot a local variable.  This strips

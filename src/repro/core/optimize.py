@@ -24,6 +24,17 @@ The knobs (each described where it is implemented):
   recycle activation messages event-to-event
   (:class:`repro.core.messages.ActivationPool`), cutting allocator
   churn on the per-event hot path.
+* ``dfa_lane`` — execute dfa-lane queries (qualifier-free, no axes) on
+  the shared lazily-determinized product DFA instead of a transducer
+  network (:mod:`repro.core.fastlane`).
+* ``hybrid_gate`` — run hybrid-lane queries through the shared DFA as
+  well: final-step-qualifier queries natively, everything else behind a
+  subtree gate that skips the transducer network while the query's
+  over-approximation automaton is dead (:mod:`repro.core.fastlane`).
+* ``fused_network`` — flatten a finalized network's per-event driver
+  into one closure over an event-class table instead of the method-call
+  chain through :meth:`repro.core.network.Network.process_event`
+  (:func:`repro.core.dispatch.make_fused_runner`).
 
 None of the knobs may change answers; the ``BENCH_<n>.json`` trajectory
 gate and ``tests/core/test_optimize_differential.py`` enforce that.
@@ -42,6 +53,9 @@ class OptimizationFlags:
     routing: bool = True
     formula_memo: bool = True
     message_pool: bool = True
+    dfa_lane: bool = True
+    hybrid_gate: bool = True
+    fused_network: bool = True
 
     def to_obj(self) -> object:
         """Checkpoint encoding: plain bool for the two endpoint presets
@@ -61,7 +75,13 @@ class OptimizationFlags:
 ALL_OPTIMIZATIONS = OptimizationFlags()
 #: The literal Fig. 11 semantics — what ``optimize=False`` means.
 NO_OPTIMIZATIONS = OptimizationFlags(
-    star_fusion=False, routing=False, formula_memo=False, message_pool=False
+    star_fusion=False,
+    routing=False,
+    formula_memo=False,
+    message_pool=False,
+    dfa_lane=False,
+    hybrid_gate=False,
+    fused_network=False,
 )
 
 

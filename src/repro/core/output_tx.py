@@ -203,6 +203,16 @@ class OutputTransducer(Transducer):
         """Currently undecided result candidates."""
         return self._live
 
+    def advance_positions(self, count: int) -> None:
+        """Account for ``count`` start tags this network never saw.
+
+        The fast-lane subtree gate (:mod:`repro.core.fastlane`) skips
+        whole dead subtrees in front of the network; positions are
+        stream-global, so the skipped start tags must still advance the
+        element counter before the next fed event.
+        """
+        self._element_count += count
+
     # ------------------------------------------------------------------
     # message handling
 

@@ -134,3 +134,76 @@ class TestLatencyRows:
             run_with({"multiquery": entry()}),
         )
         assert not any(d.metric in ("p50_ms", "p99_ms") for d in report.deltas)
+
+
+def lane(matches=5, events=100, events_per_second=2000.0):
+    return {
+        "queries": 2,
+        "events": events,
+        "seconds": 0.05,
+        "events_per_second": events_per_second,
+        "matches": matches,
+    }
+
+
+class TestLaneSeries:
+    """The per-lane multiquery series gates like the blended metrics."""
+
+    def test_identical_lane_series_passes(self):
+        run = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane(), "hybrid": lane()}})}
+        )
+        report = compare(run, run)
+        assert report.ok
+        assert any(d.metric == "lane[dfa].ev/s" for d in report.deltas)
+
+    def test_lane_match_drift_fails_exactly(self):
+        baseline = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane(matches=5)}})}
+        )
+        current = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane(matches=6)}})}
+        )
+        report = compare(baseline, current)
+        assert [d.metric for d in report.failures] == ["lane[dfa].matches"]
+
+    def test_lane_throughput_shares_the_band(self):
+        baseline = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane(events_per_second=2000.0)}})}
+        )
+        within = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane(events_per_second=1800.0)}})}
+        )
+        outside = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane(events_per_second=100.0)}})}
+        )
+        assert compare(baseline, within).ok
+        report = compare(baseline, outside)
+        assert [d.metric for d in report.failures] == ["lane[dfa].ev/s"]
+
+    def test_missing_lane_in_current_run_fails(self):
+        baseline = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane(), "hybrid": lane()}})}
+        )
+        current = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane()}})}
+        )
+        report = compare(baseline, current)
+        assert [d.metric for d in report.failures] == ["lane[hybrid]"]
+
+    def test_new_lane_in_current_run_is_tolerated(self):
+        baseline = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane()}})}
+        )
+        current = run_with(
+            {"multiquery": entry(detail={"lanes": {"dfa": lane(), "gated": lane()}})}
+        )
+        assert compare(baseline, current).ok
+
+    def test_baselines_without_lanes_skip_the_series(self):
+        report = compare(
+            run_with({"multiquery": entry()}),
+            run_with({"multiquery": entry(detail={"lanes": {"dfa": lane()}})}),
+        )
+        assert report.ok
+        assert not any(d.metric.startswith("lane[") for d in report.deltas)

@@ -1,0 +1,256 @@
+"""Unit and differential tests for the shared lazy-DFA fast lane.
+
+The fast lane (:mod:`repro.core.fastlane`) must be *invisible in the
+answers*: any query the planner routes onto the ``dfa``/``hybrid``/
+``gated`` lanes has to produce the exact match sequence of the
+transducer-network evaluation it replaces.  These tests pin that down at
+three levels: the split/gate helpers (pure AST surgery), the core's
+bounded determinization memo (saturation falls back to transient states,
+never to wrong answers), and end-to-end differentials through
+:class:`~repro.core.multiquery.MultiQueryEngine` driven by the seeded
+query generator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.nfa import compile_nfa
+from repro.core.fastlane import (
+    KIND_DFA,
+    FastLaneAdapter,
+    FastLaneCore,
+    FastLaneUnsupported,
+    build_lane_runner,
+    gate_expr,
+    native_hybrid_split,
+)
+from repro.core.multiquery import MultiQueryEngine
+from repro.core.optimize import ALL_OPTIMIZATIONS
+from repro.rpeq.ast import Qualifier, Rpeq
+from repro.rpeq.parser import parse
+from repro.rpeq.unparse import unparse
+
+from ..conftest import PAPER_DOC, event_streams, make_random_events, rpeq_queries
+
+# ----------------------------------------------------------------------
+# AST surgery: hybrid split and the gate over-approximation
+
+
+class TestNativeHybridSplit:
+    def test_trailing_qualifier_splits(self):
+        split = native_hybrid_split(parse("a.b[c]"))
+        assert split is not None
+        spine, condition = split
+        assert unparse(spine) == "a.b"
+        assert unparse(condition) == "c"
+
+    def test_closure_spine_splits(self):
+        split = native_hybrid_split(parse("_*.a[b.c]"))
+        assert split is not None
+        spine, condition = split
+        assert unparse(spine) == "_*.a"
+        assert unparse(condition) == "b.c"
+
+    def test_inner_qualifier_does_not_split(self):
+        assert native_hybrid_split(parse("a[b].c")) is None
+
+    def test_stacked_qualifiers_do_not_split(self):
+        assert native_hybrid_split(parse("a.b[c][d]")) is None
+
+    def test_axis_condition_does_not_split(self):
+        assert native_hybrid_split(parse("a.b[following::c]")) is None
+
+
+def _has_qualifier(expr: Rpeq) -> bool:
+    if isinstance(expr, Qualifier):
+        return True
+    return any(
+        _has_qualifier(getattr(expr, field.name))
+        for field in dataclasses.fields(expr)
+        if isinstance(getattr(expr, field.name), Rpeq)
+    )
+
+
+class TestGateExpr:
+    def test_over_approximation_is_qualifier_free(self):
+        for text in ("a[b].c", "_*[b]._*.c", "a[b.c].(b|c)", "a[b[c]].d"):
+            over = gate_expr(parse(text))
+            assert not _has_qualifier(over), text
+            # and it actually compiles onto the qualifier-free NFA path
+            compile_nfa(over, allow_qualifiers=False)
+
+    def test_axes_are_unsupported(self):
+        with pytest.raises(FastLaneUnsupported):
+            gate_expr(parse("a[following::b].c"))
+
+
+# ----------------------------------------------------------------------
+# lane routing through the engine
+
+
+def _fingerprints(engine, events):
+    return [
+        (query_id, match.position, match.label, match.events)
+        for query_id, match in engine.run(iter(events))
+    ]
+
+
+class TestLaneRouting:
+    def test_each_query_class_lands_on_its_lane(self):
+        engine = MultiQueryEngine(
+            {
+                "plain": "a.c",
+                "closure": "_*.b",
+                "trailing": "_*.a[c]",
+                "inner": "a[b].c",
+            }
+        )
+        engine.evaluate(PAPER_DOC)
+        assert engine.lane_executions == {
+            "plain": "dfa",
+            "closure": "dfa",
+            "trailing": "hybrid",
+            "inner": "gated",
+        }
+        assert engine.lane_demotions == {}
+
+    def test_knobs_off_runs_everything_on_the_network(self):
+        engine = MultiQueryEngine(
+            {"plain": "a.c", "trailing": "_*.a[c]"}, optimize=False
+        )
+        engine.evaluate(PAPER_DOC)
+        assert set(engine.lane_executions.values()) == {"network"}
+
+    def test_collecting_fragments_stays_on_the_network(self):
+        """Fragment reconstruction is network-only; routing must notice."""
+        engine = MultiQueryEngine({"q": "a.c"}, collect_events=True)
+        results = engine.evaluate(PAPER_DOC)
+        assert engine.lane_executions == {"q": "network"}
+        assert [m.position for m in results["q"]] == [5]
+
+    def test_stats_report_lane_counts(self):
+        engine = MultiQueryEngine(
+            {"d": "a.c", "h": "_*.a[c]", "g": "a[b].c", "n": "a.following::b"}
+        )
+        engine.evaluate(PAPER_DOC)
+        stats = engine.stats
+        assert stats.fastlane_dfa_queries == 1
+        assert stats.fastlane_hybrid_queries == 1
+        assert stats.fastlane_gated_queries == 1
+        assert stats.fastlane_states > 0
+        assert "fast-lane" in stats.summary()
+
+
+# ----------------------------------------------------------------------
+# bounded determinization memo
+
+
+class TestMemoBound:
+    def test_oversized_automaton_is_rejected_at_registration(self):
+        core = FastLaneCore(max_states=2)
+        nfa = compile_nfa(parse("_*.a.b.c"), allow_qualifiers=False)
+        with pytest.raises(FastLaneUnsupported, match="determinization budget"):
+            core.register("q", KIND_DFA, nfa)
+
+    def test_build_lane_runner_demotes_with_a_reason(self):
+        engine = MultiQueryEngine({"q": "_*.a.b.c"})
+        plan = engine.plans["q"]
+        assert plan.lane == "dfa"
+        runner, lane, reason = build_lane_runner(
+            FastLaneCore(max_states=2),
+            "q",
+            engine.queries["q"],
+            plan,
+            ALL_OPTIMIZATIONS,
+            lambda: None,
+        )
+        assert runner is None
+        assert lane == "network"
+        assert reason is not None and "determinization budget" in reason
+
+    def test_saturated_memo_still_answers_exactly(self, rng):
+        """Past the cap the core runs on transient states — never OOM,
+        never a different answer."""
+        queries = {
+            "q1": "_*.a",
+            "q2": "_*.b.c",
+            "q3": "(a|b)._*.c",
+            "q4": "_*.d.(a|b)",
+        }
+        events = []
+        for _ in range(10):
+            events.extend(make_random_events(rng, max_children=5, max_depth=6))
+        reference = {
+            query_id: [(m.position, m.label) for m in matches]
+            for query_id, matches in MultiQueryEngine(
+                queries, optimize=False
+            ).evaluate(iter(events)).items()
+        }
+
+        core = FastLaneCore(max_states=14)
+        adapters = {}
+        for query_id, text in queries.items():
+            expr = parse(text)
+            nfa = compile_nfa(expr, allow_qualifiers=False)
+            assert nfa.size <= core.max_states, "pre-check must admit these"
+            slot = core.register(query_id, KIND_DFA, nfa)
+            adapters[query_id] = FastLaneAdapter(core, slot, expr)
+        got = {query_id: [] for query_id in queries}
+        for event in events:
+            core.advance(event)
+            for query_id, adapter in adapters.items():
+                got[query_id].extend(
+                    (m.position, m.label) for m in adapter.process_event(event)
+                )
+        assert got == reference
+        assert core.saturated_steps > 0
+        assert core.states_interned <= core.max_states
+
+
+# ----------------------------------------------------------------------
+# differential: lanes vs. the transducer network
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(rpeq_queries(allow_qualifiers=False), event_streams())
+def test_dfa_lane_matches_network(query, events):
+    """Qualifier-free queries all plan onto the dfa lane; the lazy DFA
+    must reproduce the network's matches bit for bit."""
+    reference = _fingerprints(MultiQueryEngine({"q": query}, optimize=False), events)
+    engine = MultiQueryEngine({"q": query})
+    assert _fingerprints(engine, events) == reference
+    assert engine.lane_executions["q"] == "dfa"
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(rpeq_queries(), event_streams())
+def test_all_lanes_match_network(query, events):
+    """Unrestricted queries spread over all four lanes."""
+    reference = _fingerprints(MultiQueryEngine({"q": query}, optimize=False), events)
+    engine = MultiQueryEngine({"q": query})
+    assert _fingerprints(engine, events) == reference
+    assert engine.lane_executions["q"] in {"dfa", "hybrid", "gated", "network"}
+
+
+def test_multi_document_streams_reset_cleanly(rng):
+    """The shared core's per-document reset, across lane kinds at once."""
+    queries = {"d": "_*.c", "h": "_*.a[c]", "g": "_*[b].c", "n": "a.following::b"}
+    events = []
+    for _ in range(4):
+        events.extend(make_random_events(rng))
+    reference = _fingerprints(MultiQueryEngine(queries, optimize=False), events)
+    engine = MultiQueryEngine(queries)
+    assert _fingerprints(engine, events) == reference

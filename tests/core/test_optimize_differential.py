@@ -41,7 +41,7 @@ def test_all_knob_combinations_cover_endpoints_and_single_knobs():
     assert ALL_OPTIMIZATIONS in combos
     assert NO_OPTIMIZATIONS in combos
     # one-off and one-on variant per knob, no duplicates
-    assert len(combos) == len(set(combos)) == 10
+    assert len(combos) == len(set(combos)) == 16
 
 
 def test_as_flags_round_trips_checkpoint_encoding():
@@ -189,5 +189,8 @@ def test_single_knob_routing_and_pool_agree(query, events):
             routing=name == "routing",
             formula_memo=False,
             message_pool=name == "message_pool",
+            dfa_lane=False,
+            hybrid_gate=False,
+            fused_network=False,
         )
         assert _answers(query, events, lone) == reference

@@ -227,6 +227,27 @@ class TestAnalyzeCommand:
         assert main(["analyze", "--workloads"]) == 0
         assert f"{total}/{total}" in capsys.readouterr().out
 
+    def test_check_lanes_requires_plan(self, capsys):
+        assert main(["analyze", "a.b", "--check-lanes"]) == 2
+        assert "--check-lanes requires --plan" in capsys.readouterr().err
+
+    def test_check_lanes_passes_on_the_workload_corpus(self, capsys):
+        assert (
+            main(
+                [
+                    "analyze", "--plan", "--rewrite", "--workloads",
+                    "--json", "--check-lanes",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().err == ""
+
+    def test_check_lanes_flags_missing_lane_coverage(self, capsys):
+        # a single dfa-lane query can never exercise all three lanes
+        assert main(["analyze", "a.b", "--plan", "--check-lanes"]) == 1
+        assert "does not exercise every lane" in capsys.readouterr().err
+
     def test_dtd_findings_surface(self, tmp_path, capsys):
         dtd = tmp_path / "doc.dtd"
         dtd.write_text("<!ELEMENT a (b*)>\n<!ELEMENT b EMPTY>")

@@ -1,0 +1,161 @@
+"""End-to-end lane differential: the CI ``lane-differential`` gate.
+
+The planner (PR 8) *chose* execution lanes; this PR makes them real.
+The acceptance property is strict: for a corpus spanning every lane
+(``dfa``, ``hybrid``, ``gated``, ``network``) and **every** combination
+of optimization knobs, the multi-query engine must emit the exact match
+stream of the unoptimized pure-network pass — same positions, same
+labels, same cross-query interleaving — through every entry point:
+:meth:`~repro.core.multiquery.MultiQueryEngine.run`,
+:meth:`~repro.core.multiquery.MultiQueryEngine.serve`, and a
+checkpoint/resume cut mid-stream.
+
+The planner invariant rides along: under default flags every query the
+planner put on the ``dfa`` lane must actually have *executed* on the
+shared lazy DFA (:attr:`~repro.core.multiquery.MultiQueryEngine.stats`
+counters), so a silent demotion can never masquerade as coverage.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro import Checkpoint, StreamCursor
+from repro.analysis.planner import lane_counts
+from repro.core.multiquery import MultiQueryEngine
+from repro.core.optimize import (
+    ALL_OPTIMIZATIONS,
+    NO_OPTIMIZATIONS,
+    all_knob_combinations,
+)
+
+#: Queries chosen so the default plan covers every execution lane.
+CORPUS = {
+    "dfa-plain": "a.c",
+    "dfa-closure": "_*.c",
+    "dfa-union": "a._.c|a.b",
+    "hybrid-trailing": "_*.a[c]",
+    "hybrid-path-cond": "_*.b[c.a]",
+    "gated-inner": "a[b.c].(b|c)",
+    "gated-stacked": "_*[b]._*.c",
+    "network-axis": "a.following::b",
+    "network-preceding": "_*.c[preceding::a]",
+}
+
+
+def _stream(seed: int = 0xC0FFEE, documents: int = 3) -> list:
+    from ..conftest import make_random_events
+
+    rng = random.Random(seed)
+    events = []
+    for _ in range(documents):
+        events.extend(make_random_events(rng, max_children=4, max_depth=5))
+    return events
+
+
+EVENTS = _stream()
+
+
+def _fingerprints(pairs):
+    return [(query_id, m.position, m.label, m.events) for query_id, m in pairs]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    engine = MultiQueryEngine(CORPUS, optimize=NO_OPTIMIZATIONS)
+    return _fingerprints(engine.run(iter(EVENTS)))
+
+
+class TestRunDifferential:
+    def test_corpus_covers_every_lane(self):
+        engine = MultiQueryEngine(CORPUS)
+        assert all(count > 0 for count in lane_counts(engine.plans).values())
+
+    @pytest.mark.parametrize(
+        "flags", all_knob_combinations(), ids=lambda f: f.describe() or "none"
+    )
+    def test_every_knob_combination_is_bit_identical(self, flags, reference):
+        engine = MultiQueryEngine(CORPUS, optimize=flags)
+        assert _fingerprints(engine.run(iter(EVENTS))) == reference
+
+
+class TestServeDifferential:
+    def test_serving_pass_is_bit_identical(self, reference):
+        engine = MultiQueryEngine(CORPUS)
+        got = _fingerprints(engine.serve(iter(EVENTS)))
+        assert got == reference
+        assert engine.serving is not None
+        assert engine.serving.quarantines == 0
+        assert engine.serving.breaker_trips == 0
+
+    def test_serving_with_lanes_off_is_bit_identical(self, reference):
+        engine = MultiQueryEngine(CORPUS, optimize=NO_OPTIMIZATIONS)
+        assert _fingerprints(engine.serve(iter(EVENTS))) == reference
+
+
+class TestCheckpointResumeDifferential:
+    """A cut through live fast-lane state must not lose or duplicate."""
+
+    CUTS = (len(EVENTS) // 4, len(EVENTS) // 2, (3 * len(EVENTS)) // 4)
+
+    def _interrupted(self, optimize, cut):
+        engine = MultiQueryEngine(CORPUS, optimize=optimize)
+        cursor = StreamCursor()
+        prefix = list(itertools.islice(iter(EVENTS), cut))
+        collected = _fingerprints(engine.run(iter(prefix), cursor=cursor))
+        data = engine.checkpoint().to_dict()
+        restored = Checkpoint.from_dict(data)  # full serialization trip
+        fresh = MultiQueryEngine.from_checkpoint(restored)
+        collected += _fingerprints(fresh.resume(restored, iter(EVENTS)))
+        return collected
+
+    @pytest.mark.parametrize("cut", CUTS)
+    def test_resume_through_fast_lanes(self, cut, reference):
+        assert self._interrupted(ALL_OPTIMIZATIONS, cut) == reference
+
+    @pytest.mark.parametrize("cut", CUTS)
+    def test_resume_without_lanes_still_agrees(self, cut, reference):
+        assert self._interrupted(NO_OPTIMIZATIONS, cut) == reference
+
+    def test_restored_engine_reuses_the_checkpointed_lanes(self):
+        engine = MultiQueryEngine(CORPUS)
+        cursor = StreamCursor()
+        prefix = list(itertools.islice(iter(EVENTS), len(EVENTS) // 2))
+        list(engine.run(iter(prefix), cursor=cursor))
+        checkpoint = engine.checkpoint()
+        fresh = MultiQueryEngine.from_checkpoint(checkpoint)
+        list(fresh.resume(checkpoint, iter(EVENTS)))
+        assert fresh.lane_executions == engine.lane_executions
+
+
+class TestPlannerInvariant:
+    """Every planned dfa-lane query actually executed on the DFA."""
+
+    def test_dfa_plans_execute_on_the_dfa(self):
+        engine = MultiQueryEngine(CORPUS)
+        engine.evaluate(iter(EVENTS))
+        for query_id, plan in engine.plans.items():
+            if plan.lane == "dfa":
+                assert engine.lane_executions[query_id] == "dfa", query_id
+        # the axis queries plan hybrid but demote at compile time — the
+        # PLAN005 path; a demotion must always carry its reason
+        for query_id, reason in engine.lane_demotions.items():
+            assert engine.lane_executions[query_id] == "network"
+            assert reason
+
+    def test_stats_counters_match_the_plans(self):
+        engine = MultiQueryEngine(CORPUS)
+        engine.evaluate(iter(EVENTS))
+        planned = lane_counts(engine.plans)
+        stats = engine.stats
+        assert stats.fastlane_dfa_queries == planned["dfa"]
+        assert (
+            stats.fastlane_hybrid_queries
+            + stats.fastlane_gated_queries
+            + stats.fastlane_demotions
+        ) == planned["hybrid"]
+        assert stats.fastlane_demotions == len(engine.lane_demotions)
+        assert stats.fastlane_states > 0
